@@ -1,0 +1,293 @@
+package scans
+
+import (
+	"scans/internal/algo/bfs"
+	"scans/internal/algo/bicc"
+	"scans/internal/algo/bitonic"
+	"scans/internal/algo/cc"
+	"scans/internal/algo/closest"
+	"scans/internal/algo/graph"
+	"scans/internal/algo/hull"
+	"scans/internal/algo/kdtree"
+	"scans/internal/algo/lines"
+	"scans/internal/algo/listrank"
+	"scans/internal/algo/los"
+	"scans/internal/algo/matrix"
+	"scans/internal/algo/maxflow"
+	"scans/internal/algo/merge"
+	"scans/internal/algo/mis"
+	"scans/internal/algo/mst"
+	"scans/internal/algo/qsort"
+	"scans/internal/algo/radix"
+	"scans/internal/algo/rle"
+	"scans/internal/algo/spmv"
+	"scans/internal/algo/treecontract"
+)
+
+// This file is the algorithm façade: every algorithm of the paper (and
+// every Table 1 row this repository implements), exposed on the public
+// Machine.
+
+// RadixSort sorts non-negative integers with the paper's split radix
+// sort (§2.2.1): O(1) steps per key bit.
+func (m *Machine) RadixSort(keys []int) []int {
+	return radix.Sort(m.core, keys, radix.BitsFor(keys))
+}
+
+// RadixSortInts sorts arbitrary integers (negatives included) by
+// range-shifting around the split radix sort.
+func (m *Machine) RadixSortInts(keys []int) []int {
+	return radix.SortInts(m.core, keys)
+}
+
+// BitonicSort sorts integers with Batcher's bitonic network executed on
+// the machine: the Table 4 baseline, O(lg² n) steps.
+func (m *Machine) BitonicSort(keys []int) []int {
+	return bitonic.Sort(m.core, keys)
+}
+
+// Quicksort sorts float64 keys with the segmented parallel quicksort
+// (§2.3.1): expected O(lg n) steps with random pivots. seed drives the
+// pivot choice.
+func (m *Machine) Quicksort(keys []float64, seed int64) []float64 {
+	return qsort.Sort(m.core, keys, qsort.Options{Seed: seed})
+}
+
+// Merge merges two sorted int vectors with the halving merge (§2.5.1):
+// O(n/p + lg n) steps. Values must fit in 62 bits.
+func (m *Machine) Merge(a, b []int) []int {
+	return merge.Merge(m.core, a, b)
+}
+
+// Edge is an undirected weighted graph edge.
+type Edge struct {
+	U, V int
+	W    int
+}
+
+func toGraphEdges(edges []Edge) []graph.Edge {
+	out := make([]graph.Edge, len(edges))
+	for i, e := range edges {
+		out[i] = graph.Edge{U: e.U, V: e.V, W: e.W}
+	}
+	return out
+}
+
+// MSTResult reports a minimum spanning forest.
+type MSTResult struct {
+	// EdgeIDs indexes the edge list passed to MinimumSpanningTree.
+	EdgeIDs []int
+	// Weight is the total forest weight.
+	Weight int
+	// Rounds is the number of star-merge rounds (expected O(lg n)).
+	Rounds int
+}
+
+// MinimumSpanningTree computes a minimum spanning forest with the
+// paper's random-mate star-merge algorithm (§2.3.3): expected O(lg n)
+// steps.
+func (m *Machine) MinimumSpanningTree(numVertices int, edges []Edge, seed int64) MSTResult {
+	r := mst.Run(m.core, numVertices, toGraphEdges(edges), seed)
+	return MSTResult{EdgeIDs: r.EdgeIDs, Weight: r.Weight, Rounds: r.Rounds}
+}
+
+// ConnectedComponents labels each vertex with its component (equal
+// labels ⇔ connected), by random-mate contraction: expected O(lg n)
+// steps.
+func (m *Machine) ConnectedComponents(numVertices int, edges []Edge, seed int64) []int {
+	return cc.Labels(m.core, numVertices, toGraphEdges(edges), seed)
+}
+
+// MaximalIndependentSet returns a maximal independent set as per-vertex
+// flags, by Luby's algorithm on the segmented graph representation:
+// expected O(lg n) steps.
+func (m *Machine) MaximalIndependentSet(numVertices int, edges []Edge, seed int64) []bool {
+	return mis.Run(m.core, numVertices, toGraphEdges(edges), seed)
+}
+
+// BiconnectedComponents labels every edge of a connected graph with its
+// biconnected component (equal labels ⇔ a common simple cycle), by the
+// Tarjan–Vishkin algorithm built on the Euler tour, list ranking and
+// connected components substrates: expected O(lg n) steps.
+func (m *Machine) BiconnectedComponents(numVertices int, edges []Edge, seed int64) []int {
+	return bicc.Run(m.core, numVertices, toGraphEdges(edges), seed)
+}
+
+// MaxFlow computes the maximum s→t flow of a dense capacity matrix
+// (capacity[u*n+v], zero for absent edges) by synchronous parallel
+// push–relabel: O(1) steps per pulse with n² virtual processors.
+func (m *Machine) MaxFlow(capacity []int, n, s, t int) int {
+	return maxflow.Run(m.core, capacity, n, s, t)
+}
+
+// Pixel is an integer grid position produced by DrawLines.
+type Pixel struct{ X, Y int }
+
+// Line is a pair of inclusive endpoints.
+type Line struct{ X1, Y1, X2, Y2 int }
+
+// DrawLines renders all lines at once with the paper's allocation-based
+// routine (§2.4.1): O(1) steps. The result concatenates each line's
+// pixels; starts[i] is where line i's pixels begin.
+func (m *Machine) DrawLines(ls []Line) (pixels []Pixel, starts []int) {
+	in := make([]lines.Line, len(ls))
+	for i, l := range ls {
+		in[i] = lines.Line{From: lines.Point{X: l.X1, Y: l.Y1}, To: lines.Point{X: l.X2, Y: l.Y2}}
+	}
+	r := lines.Draw(m.core, in)
+	pixels = make([]Pixel, len(r.Pixels))
+	for i, p := range r.Pixels {
+		pixels[i] = Pixel{X: p.X, Y: p.Y}
+	}
+	return pixels, r.Starts
+}
+
+// LineOfSight reports which terrain points along a ray are visible from
+// the observer at index 0 (Table 1's O(1) row).
+func (m *Machine) LineOfSight(altitudes []float64) []bool {
+	return los.Visible(m.core, altitudes)
+}
+
+// HullPoint is a planar point for ConvexHull.
+type HullPoint struct{ X, Y float64 }
+
+// ConvexHull returns the convex hull in counterclockwise order via
+// segmented quickhull: expected O(lg n) steps.
+func (m *Machine) ConvexHull(pts []HullPoint) []HullPoint {
+	in := make([]hull.Point, len(pts))
+	for i, p := range pts {
+		in[i] = hull.Point{X: p.X, Y: p.Y}
+	}
+	out := hull.QuickHull(m.core, in)
+	res := make([]HullPoint, len(out))
+	for i, p := range out {
+		res[i] = HullPoint{X: p.X, Y: p.Y}
+	}
+	return res
+}
+
+// GridPoint is an integer planar point for the k-d tree and closest
+// pair.
+type GridPoint struct{ X, Y int }
+
+// KDTree is a built 2-d tree; see NearestNeighbor.
+type KDTree struct{ t *kdtree.Tree }
+
+// BuildKDTree builds a 2-d tree over non-negative integer points by
+// repeated median splits: O(lg n) steps after the orderings (Table 1).
+func (m *Machine) BuildKDTree(pts []GridPoint, leafSize int) *KDTree {
+	in := make([]kdtree.Point, len(pts))
+	for i, p := range pts {
+		in[i] = kdtree.Point{X: p.X, Y: p.Y}
+	}
+	return &KDTree{t: kdtree.Build(m.core, in, leafSize)}
+}
+
+// NearestNeighbor returns the index of the point nearest to q.
+func (k *KDTree) NearestNeighbor(q GridPoint) int {
+	return k.t.Nearest(kdtree.Point{X: q.X, Y: q.Y})
+}
+
+// ClosestPair returns the squared euclidean distance of the closest pair
+// of non-negative integer points: O(lg n) steps (Table 1).
+func (m *Machine) ClosestPair(pts []GridPoint) int {
+	in := make([]closest.Point, len(pts))
+	for i, p := range pts {
+		in[i] = closest.Point{X: p.X, Y: p.Y}
+	}
+	return closest.Run(m.core, in).SqDist
+}
+
+// ListRank returns each node's distance to the end of its linked list
+// (next[i] = successor; tails point to themselves), by work-efficient
+// random-mate contraction (Table 5).
+func (m *Machine) ListRank(next []int, seed int64) []int {
+	return listrank.Contract(m.core, next, seed)
+}
+
+// ListRankPointerJump is Wyllie's pointer jumping: O(lg n) steps,
+// O(n lg n) work (the p = n row of Table 5).
+func (m *Machine) ListRankPointerJump(next []int) []int {
+	return listrank.PointerJump(m.core, next)
+}
+
+// ExprOp is an expression-tree operator.
+type ExprOp = treecontract.Op
+
+// Expression operators.
+const (
+	OpAdd = treecontract.OpAdd
+	OpMul = treecontract.OpMul
+)
+
+// ExprTree is a full binary arithmetic expression tree.
+type ExprTree = treecontract.Tree
+
+// EvalExpression evaluates an expression tree by parallel tree
+// contraction: O(lg n) rounds (Table 5).
+func (m *Machine) EvalExpression(t *ExprTree) float64 {
+	return treecontract.Eval(m.core, t)
+}
+
+// BFS returns each vertex's breadth-first distance from source (-1 if
+// unreachable), expanding whole frontiers with the allocation primitive:
+// O(1) steps per level, O(diameter) steps total.
+func (m *Machine) BFS(numVertices int, edges []Edge, source int) []int {
+	return bfs.Levels(m.core, numVertices, toGraphEdges(edges), source)
+}
+
+// RLERun is one run of RLEEncode's output.
+type RLERun struct {
+	Value, Count int
+}
+
+// RLEEncode run-length encodes v in O(1) steps.
+func (m *Machine) RLEEncode(v []int) []RLERun {
+	rs := rle.Encode(m.core, v)
+	out := make([]RLERun, len(rs))
+	for i, r := range rs {
+		out[i] = RLERun{Value: r.Value, Count: r.Count}
+	}
+	return out
+}
+
+// RLEDecode expands runs in O(1) steps via processor allocation.
+func (m *Machine) RLEDecode(runs []RLERun) []int {
+	rs := make([]rle.Run, len(runs))
+	for i, r := range runs {
+		rs[i] = rle.Run{Value: r.Value, Count: r.Count}
+	}
+	return rle.Decode(m.core, rs)
+}
+
+// SparseMatrix is a CSR sparse matrix for SpMV.
+type SparseMatrix struct {
+	Rows, Cols int
+	RowStart   []int // len Rows+1; row r's nonzeros at [RowStart[r], RowStart[r+1])
+	Col        []int
+	Val        []float64
+}
+
+// SpMV multiplies a CSR sparse matrix by x with segmented scans: O(1)
+// steps with one virtual processor per nonzero, immune to row-length
+// skew (the canonical segmented-scan application).
+func (m *Machine) SpMV(a SparseMatrix, x []float64) []float64 {
+	return spmv.NewMatrix(a.Rows, a.Cols, a.RowStart, a.Col, a.Val).MulVec(m.core, x)
+}
+
+// VecMat multiplies the length-n vector v by the n×w row-major matrix a:
+// O(1) steps with n·w virtual processors (Table 1).
+func (m *Machine) VecMat(v, a []float64, n, w int) []float64 {
+	return matrix.VecMat(m.core, v, a, n, w)
+}
+
+// MatMat multiplies two n×n row-major matrices: O(n) steps (Table 1).
+func (m *Machine) MatMat(a, b []float64, n int) []float64 {
+	return matrix.MatMat(m.core, a, b, n)
+}
+
+// SolveLinearSystem solves ax = rhs by Gauss–Jordan elimination with
+// partial pivoting: O(n) steps (Table 1's "with pivoting" row).
+func (m *Machine) SolveLinearSystem(a, rhs []float64, n int) ([]float64, error) {
+	return matrix.Solve(m.core, a, rhs, n)
+}

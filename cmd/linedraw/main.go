@@ -1,0 +1,63 @@
+// Command linedraw renders lines with the paper's O(1)-step parallel
+// line-drawing routine (§2.4.1) and prints the raster as ASCII art. With
+// no arguments it reproduces Figure 9's three lines; otherwise each
+// argument is a line "x1,y1,x2,y2".
+//
+//	linedraw
+//	linedraw 0,0,20,10 20,0,0,10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scans/internal/algo/lines"
+	"scans/internal/core"
+)
+
+func main() {
+	flag.Parse()
+	ls := []lines.Line{
+		{From: lines.Point{X: 11, Y: 2}, To: lines.Point{X: 23, Y: 14}},
+		{From: lines.Point{X: 2, Y: 13}, To: lines.Point{X: 13, Y: 8}},
+		{From: lines.Point{X: 16, Y: 4}, To: lines.Point{X: 31, Y: 4}},
+	}
+	if flag.NArg() > 0 {
+		ls = nil
+		for _, arg := range flag.Args() {
+			var l lines.Line
+			if _, err := fmt.Sscanf(arg, "%d,%d,%d,%d", &l.From.X, &l.From.Y, &l.To.X, &l.To.Y); err != nil {
+				fmt.Fprintf(os.Stderr, "linedraw: bad line %q: want x1,y1,x2,y2\n", arg)
+				os.Exit(2)
+			}
+			ls = append(ls, l)
+		}
+	}
+	m := core.New()
+	r := lines.Draw(m, ls)
+	w, h := 1, 1
+	for _, p := range r.Pixels {
+		if p.X+1 > w {
+			w = p.X + 1
+		}
+		if p.Y+1 > h {
+			h = p.Y + 1
+		}
+	}
+	grid := lines.Raster(m, r, w, h)
+	var b strings.Builder
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			if grid[y*w+x] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	fmt.Print(b.String())
+	fmt.Printf("%d lines, %d pixels, %d program steps\n", len(ls), len(r.Pixels), m.Steps())
+}

@@ -1,0 +1,29 @@
+// Command scanfigures reproduces the worked-example figures (1-16) of
+// Blelloch's "Scans as Primitive Parallel Operations", running the
+// paper's exact inputs through this repository's implementations:
+//
+//	scanfigures           # all figures
+//	scanfigures -fig 7    # one figure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scans/internal/figures"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure to print (1-16); 0 = all")
+	flag.Parse()
+	if *fig == 0 {
+		fmt.Print(figures.All())
+		return
+	}
+	if *fig < 1 || *fig > 16 {
+		fmt.Fprintf(os.Stderr, "scanfigures: no figure %d (want 1-16)\n", *fig)
+		os.Exit(2)
+	}
+	fmt.Print(figures.Figure(*fig))
+}

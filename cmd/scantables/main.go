@@ -1,0 +1,56 @@
+// Command scantables regenerates the tables of Blelloch's "Scans as
+// Primitive Parallel Operations" from this repository's simulators:
+//
+//	scantables            # all tables at default scales
+//	scantables -table 2   # one table
+//	scantables -n 4096    # problem size for Tables 1/3/5
+//	scantables -procs 65536 -bits 32   # hardware scale for Tables 2/4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"scans/internal/tables"
+)
+
+func main() {
+	table := flag.Int("table", 0, "table to print (1-5); 0 = all")
+	n := flag.Int("n", 1024, "problem size for tables 1, 3, 5")
+	procs := flag.Int("procs", 1<<16, "processor count for tables 2 and 4 (power of two)")
+	bits := flag.Int("bits", 32, "word size for table 2")
+	sortBits := flag.Int("sortbits", 16, "key size for table 4")
+	seed := flag.Int64("seed", 1987, "workload seed")
+	flag.Parse()
+
+	sizes := []int{*n / 4, *n, *n * 4}
+	print1 := func() { fmt.Print(tables.FormatTable1(sizes, tables.Table1(sizes))) }
+	print2 := func() { fmt.Print(tables.FormatTable2(tables.Table2(*procs, *bits, *seed))) }
+	print3 := func() { fmt.Print(tables.FormatTable3(tables.Table3(*n, *seed))) }
+	print4 := func() { fmt.Print(tables.FormatTable4(tables.Table4(*procs, *sortBits, *seed))) }
+	print5 := func() { fmt.Print(tables.FormatTable5(tables.Table5(*n, *seed))) }
+
+	switch *table {
+	case 0:
+		for i, f := range []func(){print1, print2, print3, print4, print5} {
+			if i > 0 {
+				fmt.Println()
+			}
+			f()
+		}
+	case 1:
+		print1()
+	case 2:
+		print2()
+	case 3:
+		print3()
+	case 4:
+		print4()
+	case 5:
+		print5()
+	default:
+		fmt.Fprintf(os.Stderr, "scantables: no table %d (want 1-5)\n", *table)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,148 @@
+// Command scanvm assembles and runs a program for the PARIS-style
+// vector VM against the step-counted scan-model machine.
+//
+//	scanvm -in 'v0=2,1,2,3,5,8,13,21' -in 'f0=T,F,T,F,F,F,T,F' prog.svm
+//	echo '+scan v1 v0' | scanvm -in 'v0=1,2,3'
+//
+// Output: every register the program wrote, plus the program-step count.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"scans/internal/core"
+	"scans/internal/vm"
+)
+
+type inputs []string
+
+func (i *inputs) String() string     { return strings.Join(*i, " ") }
+func (i *inputs) Set(s string) error { *i = append(*i, s); return nil }
+
+func main() {
+	var ins inputs
+	flag.Var(&ins, "in", "input register, e.g. v0=1,2,3 or f0=T,F,T (repeatable)")
+	flag.Parse()
+
+	src, err := readProgram(flag.Args())
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := vm.Parse(src)
+	if err != nil {
+		fatal(err)
+	}
+	machine := vm.New(core.New())
+	written := map[string]bool{}
+	for _, in := range ins {
+		name, vals, ok := strings.Cut(in, "=")
+		if !ok {
+			fatal(fmt.Errorf("bad -in %q: want name=v1,v2,...", in))
+		}
+		reg, err := strconv.Atoi(name[1:])
+		if err != nil || len(name) < 2 {
+			fatal(fmt.Errorf("bad register name %q", name))
+		}
+		switch name[0] {
+		case 'v':
+			var v []int
+			for _, f := range strings.Split(vals, ",") {
+				x, err := strconv.Atoi(strings.TrimSpace(f))
+				if err != nil {
+					fatal(fmt.Errorf("bad value %q in %q", f, in))
+				}
+				v = append(v, x)
+			}
+			machine.SetV(reg, v)
+		case 'f':
+			var fv []bool
+			for _, f := range strings.Split(vals, ",") {
+				switch strings.TrimSpace(strings.ToUpper(f)) {
+				case "T", "1", "TRUE":
+					fv = append(fv, true)
+				case "F", "0", "FALSE":
+					fv = append(fv, false)
+				default:
+					fatal(fmt.Errorf("bad flag %q in %q", f, in))
+				}
+			}
+			machine.SetF(reg, fv)
+		default:
+			fatal(fmt.Errorf("register %q must start with v or f", name))
+		}
+		written[name] = true
+	}
+	machine.Run(prog)
+	printRegisters(machine, prog)
+	fmt.Printf("steps: %d\n", machine.Steps())
+}
+
+func readProgram(args []string) (string, error) {
+	if len(args) == 0 {
+		b, err := io.ReadAll(os.Stdin)
+		return string(b), err
+	}
+	b, err := os.ReadFile(args[0])
+	return string(b), err
+}
+
+func printRegisters(machine *vm.VM, prog vm.Program) {
+	type reg struct {
+		kind byte
+		n    int
+	}
+	seen := map[reg]bool{}
+	var regs []reg
+	note := func(kind byte, n int) {
+		r := reg{kind, n}
+		if !seen[r] {
+			seen[r] = true
+			regs = append(regs, r)
+		}
+	}
+	for _, in := range prog {
+		// Destination register kind follows the opcode shape; reuse the
+		// formatter to avoid duplicating the table.
+		line := strings.Fields(vm.Format(vm.Program{in}))
+		if len(line) >= 2 {
+			n, _ := strconv.Atoi(line[1][1:])
+			note(line[1][0], n)
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].kind != regs[j].kind {
+			return regs[i].kind > regs[j].kind // v before f
+		}
+		return regs[i].n < regs[j].n
+	})
+	for _, r := range regs {
+		if r.kind == 'v' {
+			fmt.Printf("v%d = %v\n", r.n, machine.V(r.n))
+		} else {
+			fmt.Printf("f%d = %s\n", r.n, flagString(machine.F(r.n)))
+		}
+	}
+}
+
+func flagString(f []bool) string {
+	parts := make([]string, len(f))
+	for i, b := range f {
+		if b {
+			parts[i] = "T"
+		} else {
+			parts[i] = "F"
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scanvm:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,102 @@
+package scans_test
+
+import (
+	"fmt"
+
+	"scans"
+)
+
+// The paper's §2.1 scan example.
+func ExampleMachine_PlusScan() {
+	m := scans.NewMachine()
+	a := []int{2, 1, 2, 3, 5, 8, 13, 21}
+	out := make([]int, len(a))
+	total := m.PlusScan(out, a)
+	fmt.Println(out, total)
+	// Output: [0 2 3 5 8 13 21 34] 55
+}
+
+// The paper's Figure 4 segmented scan.
+func ExampleMachine_SegPlusScan() {
+	m := scans.NewMachine()
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	out := make([]int, len(a))
+	m.SegPlusScan(out, a, flags)
+	fmt.Println(out)
+	// Output: [0 5 0 3 7 10 0 2]
+}
+
+// The paper's Figure 1 enumerate.
+func ExampleMachine_Enumerate() {
+	m := scans.NewMachine()
+	flags := []bool{true, false, false, true, false, true, true, false}
+	out := make([]int, len(flags))
+	count := m.Enumerate(out, flags)
+	fmt.Println(out, count)
+	// Output: [0 1 1 1 2 2 3 4] 4
+}
+
+// The split radix sort of §2.2.1, O(1) steps per key bit.
+func ExampleMachine_RadixSort() {
+	m := scans.NewMachine()
+	fmt.Println(m.RadixSort([]int{5, 7, 3, 1, 4, 2, 7, 2}))
+	fmt.Println(m.Steps(), "program steps")
+	// Output:
+	// [1 2 2 3 4 5 7 7]
+	// 28 program steps
+}
+
+// The halving merge of §2.5.1 on the paper's Figure 12 input.
+func ExampleMachine_Merge() {
+	m := scans.NewMachine()
+	merged := m.Merge([]int{1, 7, 10, 13, 15, 20}, []int{3, 4, 9, 22, 23, 26})
+	fmt.Println(merged)
+	// Output: [1 3 4 7 9 10 13 15 20 22 23 26]
+}
+
+// Processor allocation (§2.4, Figure 8).
+func ExampleMachine_Allocate() {
+	m := scans.NewMachine()
+	counts := []int{4, 1, 3}
+	alloc := m.Allocate(counts)
+	out := make([]string, alloc.Total)
+	scans.Distribute(m, alloc, out, []string{"v1", "v2", "v3"}, counts)
+	fmt.Println(alloc.HPointers, out)
+	// Output: [0 4 5] [v1 v1 v1 v1 v2 v3 v3 v3]
+}
+
+// Run-length coding, a two-primitive round trip.
+func ExampleMachine_RLEEncode() {
+	m := scans.NewMachine()
+	runs := m.RLEEncode([]int{7, 7, 7, 2, 9, 9})
+	fmt.Println(runs)
+	fmt.Println(m.RLEDecode(runs))
+	// Output:
+	// [{7 3} {2 1} {9 2}]
+	// [7 7 7 2 9 9]
+}
+
+// Frontier-at-a-time breadth-first search.
+func ExampleMachine_BFS() {
+	m := scans.NewMachine()
+	edges := []scans.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}, {U: 2, V: 3}}
+	fmt.Println(m.BFS(5, edges, 0))
+	// Output: [0 1 1 2 -1]
+}
+
+// The cost-model comparison that is the paper's whole argument.
+func ExampleWithModel() {
+	big := make([]int, 1<<20)
+	out := make([]int, len(big))
+
+	scanModel := scans.NewMachine()
+	scanModel.PlusScan(out, big)
+
+	erew := scans.NewMachine(scans.WithModel(scans.ModelEREW))
+	erew.PlusScan(out, big)
+
+	fmt.Printf("one +-scan over 2^20 elements: scan model %d step, EREW %d steps\n",
+		scanModel.Steps(), erew.Steps())
+	// Output: one +-scan over 2^20 elements: scan model 1 step, EREW 40 steps
+}

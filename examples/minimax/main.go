@@ -1,0 +1,163 @@
+// Minimax plays the subtraction game (Nim with a single pile, take 1-3
+// stones, last mover wins) by brute-force game-tree search — the
+// branch-and-bound motivation of the paper's §2.4: "since the algorithm
+// dynamically decides how many next moves to generate ... we need to
+// dynamically allocate new elements."
+//
+// Each ply expands the whole frontier at once: every position counts its
+// legal moves, one Allocate call creates a processor per child, and the
+// level's segment flags are kept so the backward pass can fold the
+// minimax values with one segmented distribute per ply.
+package main
+
+import (
+	"fmt"
+
+	"scans"
+)
+
+// position is a game state: stones left, and whether the maximizing
+// player moves.
+type position struct {
+	stones  int
+	maxTurn bool
+}
+
+// moves returns how many legal moves a position has (0 when the game is
+// over: the player to move has lost).
+func (p position) moves() int {
+	if p.stones <= 0 {
+		return 0
+	}
+	if p.stones > 3 {
+		return 3
+	}
+	return p.stones
+}
+
+func main() {
+	const startStones = 11
+	m := scans.NewMachine()
+
+	// Forward pass: expand ply by ply, remembering each level's frontier
+	// and allocation so the backward pass can fold values up.
+	type level struct {
+		positions []position
+		alloc     scans.Allocation
+		counts    []int
+	}
+	var levels []level
+	frontier := []position{{stones: startStones, maxTurn: true}}
+	for ply := 0; ; ply++ {
+		counts := make([]int, len(frontier))
+		scans.Par(m, len(frontier), func(i int) { counts[i] = frontier[i].moves() })
+		alloc := m.Allocate(counts)
+		if alloc.Total == 0 {
+			levels = append(levels, level{positions: frontier})
+			break
+		}
+		// Every child processor works out which move it is (its rank in
+		// its segment) and derives its position.
+		parents := make([]position, alloc.Total)
+		scans.Distribute(m, alloc, parents, frontier, counts)
+		rank := make([]int, alloc.Total)
+		scans.Par(m, alloc.Total, func(i int) { rank[i] = i })
+		head := make([]int, alloc.Total)
+		scans.SegCopy(m, head, rank, alloc.Flags)
+		children := make([]position, alloc.Total)
+		scans.Par(m, alloc.Total, func(i int) {
+			take := rank[i] - head[i] + 1
+			children[i] = position{stones: parents[i].stones - take, maxTurn: !parents[i].maxTurn}
+		})
+		levels = append(levels, level{positions: frontier, alloc: alloc, counts: counts})
+		frontier = children
+	}
+
+	// Backward pass: leaves score -1 for the player who cannot move
+	// (from the maximizer's viewpoint), then each ply folds its
+	// children's values with a segmented min- or max-distribute.
+	values := make([]int, len(frontier))
+	scans.Par(m, len(frontier), func(i int) {
+		if frontier[i].maxTurn {
+			values[i] = -1 // maximizer to move with no moves: loss
+		} else {
+			values[i] = 1
+		}
+	})
+	for ply := len(levels) - 2; ply >= 0; ply-- {
+		lv := levels[ply]
+		// Terminal positions at this ply (no children) keep their own
+		// value; expanded ones take min or max over their segment.
+		maxSeg := make([]int, len(values))
+		minSeg := make([]int, len(values))
+		segMaxDistribute(m, maxSeg, values, lv.alloc.Flags)
+		segMinDistribute(m, minSeg, values, lv.alloc.Flags)
+		parentVals := make([]int, len(lv.positions))
+		scans.Par(m, len(lv.positions), func(i int) {
+			if lv.counts[i] == 0 {
+				if lv.positions[i].maxTurn {
+					parentVals[i] = -1
+				} else {
+					parentVals[i] = 1
+				}
+				return
+			}
+			at := lv.alloc.HPointers[i]
+			if lv.positions[i].maxTurn {
+				parentVals[i] = maxSeg[at]
+			} else {
+				parentVals[i] = minSeg[at]
+			}
+		})
+		values = parentVals
+	}
+
+	verdict := "second player wins"
+	if values[0] > 0 {
+		verdict = "first player wins"
+	}
+	fmt.Printf("subtraction game, %d stones, take 1-3: %s (value %+d)\n",
+		startStones, verdict, values[0])
+	fmt.Printf("game tree searched in %d plies, %d program steps\n", len(levels), m.Steps())
+	// Theory: the first player loses iff stones ≡ 0 (mod 4).
+	if want := startStones%4 != 0; (values[0] > 0) != want {
+		panic("minimax disagrees with the known theory of the subtraction game")
+	}
+	fmt.Println("matches the known theory: first player loses iff stones % 4 == 0")
+}
+
+// segMaxDistribute / segMinDistribute fold each segment's extreme to all
+// its members using the public scan API.
+func segMaxDistribute(m *scans.Machine, dst, src []int, flags []bool) {
+	tmp := make([]int, len(src))
+	m.SegMaxScan(tmp, src, flags)
+	scans.Par(m, len(src), func(i int) {
+		if src[i] > tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	backCopySeg(m, dst, tmp, flags)
+}
+
+func segMinDistribute(m *scans.Machine, dst, src []int, flags []bool) {
+	tmp := make([]int, len(src))
+	m.SegMinScan(tmp, src, flags)
+	scans.Par(m, len(src), func(i int) {
+		if src[i] < tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	backCopySeg(m, dst, tmp, flags)
+}
+
+// backCopySeg copies each segment's last element across the segment.
+func backCopySeg(m *scans.Machine, dst, src []int, flags []bool) {
+	n := len(src)
+	var cur int
+	for i := n - 1; i >= 0; i-- {
+		if i == n-1 || flags[i+1] {
+			cur = src[i]
+		}
+		dst[i] = cur
+	}
+}

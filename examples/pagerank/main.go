@@ -1,0 +1,112 @@
+// Pagerank runs power iteration on a small link graph with the
+// segmented-scan sparse matrix-vector product — the kind of irregular
+// data-parallel workload (wildly varying row lengths) that the paper's
+// segmented operations exist for: every iteration is O(1) program steps
+// regardless of how skewed the link structure is.
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scans"
+)
+
+func main() {
+	// A miniature web: page -> pages it links to.
+	links := map[string][]string{
+		"home":     {"docs", "blog", "about"},
+		"docs":     {"home", "api", "guide"},
+		"api":      {"docs"},
+		"guide":    {"docs", "api"},
+		"blog":     {"home", "docs", "guide", "about"},
+		"about":    {"home"},
+		"orphan":   {"home"},
+		"sink":     {},
+		"linkfarm": {"home", "docs", "api", "guide", "blog", "about", "orphan", "sink"},
+	}
+	var names []string
+	for name := range links {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	id := map[string]int{}
+	for i, name := range names {
+		id[name] = i
+	}
+	n := len(names)
+
+	// Column-stochastic transition matrix in CSR form, built by rows of
+	// the *transpose*: rank flows along in-links, so row r collects the
+	// pages linking to r, weighted by 1/outdegree.
+	in := make([][]int, n)
+	outdeg := make([]int, n)
+	for from, tos := range links {
+		outdeg[id[from]] = len(tos)
+		for _, to := range tos {
+			in[id[to]] = append(in[id[to]], id[from])
+		}
+	}
+	rowStart := make([]int, n+1)
+	var col []int
+	var val []float64
+	for r := 0; r < n; r++ {
+		rowStart[r] = len(col)
+		sort.Ints(in[r])
+		for _, from := range in[r] {
+			col = append(col, from)
+			val = append(val, 1/float64(outdeg[from]))
+		}
+	}
+	rowStart[n] = len(col)
+	matrix := scans.SparseMatrix{Rows: n, Cols: n, RowStart: rowStart, Col: col, Val: val}
+
+	const damping = 0.85
+	m := scans.NewMachine()
+	rank := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1 / float64(n)
+	}
+	iters := 0
+	for ; iters < 200; iters++ {
+		next := m.SpMV(matrix, rank)
+		// Dangling pages (no out-links) spread their rank uniformly;
+		// fold that and the damping in elementwise.
+		var dangling float64
+		for i := range rank {
+			if outdeg[i] == 0 {
+				dangling += rank[i]
+			}
+		}
+		base := (1-damping)/float64(n) + damping*dangling/float64(n)
+		scans.Par(m, n, func(i int) { next[i] = base + damping*next[i] })
+		delta := 0.0
+		for i := range rank {
+			delta += math.Abs(next[i] - rank[i])
+		}
+		rank = next
+		if delta < 1e-10 {
+			break
+		}
+	}
+
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rank[order[a]] > rank[order[b]] })
+	fmt.Printf("pagerank over %d pages, converged after %d iterations (%d program steps):\n",
+		n, iters+1, m.Steps())
+	for _, i := range order {
+		fmt.Printf("  %-9s %.4f\n", names[i], rank[i])
+	}
+	var total float64
+	for _, r := range rank {
+		total += r
+	}
+	if math.Abs(total-1) > 1e-6 {
+		panic(fmt.Sprintf("ranks do not sum to 1: %g", total))
+	}
+	fmt.Println("each iteration is O(1) program steps however skewed the link graph")
+}

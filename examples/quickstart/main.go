@@ -1,0 +1,57 @@
+// Quickstart: the scan primitives and the vector operations built on
+// them, on the step-counted scan-model machine.
+package main
+
+import (
+	"fmt"
+
+	"scans"
+)
+
+func main() {
+	m := scans.NewMachine()
+
+	// The two primitive scans (§2.1). Scans are exclusive: element i
+	// receives the combination of elements 0..i-1.
+	data := []int{2, 1, 2, 3, 5, 8, 13, 21}
+	prefix := make([]int, len(data))
+	total := m.PlusScan(prefix, data)
+	fmt.Printf("data       %v\n", data)
+	fmt.Printf("+-scan     %v (total %d)\n", prefix, total)
+	runningMax := make([]int, len(data))
+	m.MaxScan(runningMax, data)
+	fmt.Printf("max-scan   %v (identity at [0])\n", runningMax)
+
+	// Segmented scans (§2.3) restart at each segment.
+	flags := []bool{true, false, true, false, false, false, true, false}
+	seg := make([]int, len(data))
+	m.SegPlusScan(seg, data, flags)
+	fmt.Printf("seg-+-scan %v with segments at 0, 2, 6\n", seg)
+
+	// Compound O(1)-step operations: enumerate flagged elements, pack
+	// them densely, split by a flag.
+	marked := []bool{false, true, true, false, true, false, false, true}
+	idx := make([]int, len(data))
+	count := m.Enumerate(idx, marked)
+	packed := make([]int, count)
+	scans.Pack(m, packed, data, marked)
+	fmt.Printf("packed     %v (%d marked elements)\n", packed, count)
+
+	// Processor allocation (§2.4): give position i counts[i] new
+	// elements and distribute a value across each segment.
+	counts := []int{3, 0, 2}
+	alloc := m.Allocate(counts)
+	out := make([]string, alloc.Total)
+	scans.Distribute(m, alloc, out, []string{"a", "b", "c"}, counts)
+	fmt.Printf("allocate   %v from counts %v\n", out, counts)
+
+	// Everything above was a handful of program steps.
+	fmt.Printf("\ntotal program steps: %d\n", m.Steps())
+
+	// The same scan charged under a plain EREW P-RAM costs 2 lg n steps;
+	// that gap is the paper's whole argument.
+	erew := scans.NewMachine(scans.WithModel(scans.ModelEREW))
+	big := make([]int, 1<<20)
+	erew.PlusScan(make([]int, len(big)), big)
+	fmt.Printf("one +-scan over 2^20 elements: scan model 1 step, EREW model %d steps\n", erew.Steps())
+}

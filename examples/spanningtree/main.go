@@ -1,0 +1,63 @@
+// Spanningtree builds a minimum spanning tree of a random weighted grid
+// graph with the paper's §2.3.3 random-mate star-merge algorithm and
+// reports the expected-O(lg n) round count, then cross-checks against
+// connected components on a thinned copy of the graph.
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scans"
+)
+
+func main() {
+	const side = 24 // a side x side grid: 576 vertices
+	n := side * side
+	rng := rand.New(rand.NewSource(7))
+
+	var edges []scans.Edge
+	id := func(x, y int) int { return y*side + x }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			if x+1 < side {
+				edges = append(edges, scans.Edge{U: id(x, y), V: id(x+1, y), W: rng.Intn(1000)})
+			}
+			if y+1 < side {
+				edges = append(edges, scans.Edge{U: id(x, y), V: id(x, y+1), W: rng.Intn(1000)})
+			}
+		}
+	}
+
+	m := scans.NewMachine()
+	r := m.MinimumSpanningTree(n, edges, 7)
+	fmt.Printf("grid graph: %d vertices, %d edges\n", n, len(edges))
+	fmt.Printf("MST: %d edges, total weight %d, %d star-merge rounds (lg n = 10)\n",
+		len(r.EdgeIDs), r.Weight, r.Rounds)
+	fmt.Printf("program steps: %d\n", m.Steps())
+
+	// Keep only the cheap edges and count the resulting components.
+	var thinned []scans.Edge
+	for _, e := range edges {
+		if e.W < 300 {
+			thinned = append(thinned, e)
+		}
+	}
+	labels := m.ConnectedComponents(n, thinned, 7)
+	comps := map[int]bool{}
+	for _, l := range labels {
+		comps[l] = true
+	}
+	fmt.Printf("keeping edges with weight < 300 (%d edges) leaves %d components\n",
+		len(thinned), len(comps))
+
+	// A maximal independent set of the full grid.
+	set := m.MaximalIndependentSet(n, edges, 7)
+	count := 0
+	for _, s := range set {
+		if s {
+			count++
+		}
+	}
+	fmt.Printf("maximal independent set: %d of %d vertices\n", count, n)
+}

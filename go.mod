@@ -1,0 +1,3 @@
+module scans
+
+go 1.22

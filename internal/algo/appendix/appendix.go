@@ -1,0 +1,95 @@
+// Package appendix implements the two historical scan applications from
+// the paper's appendix ("A Short History of the Scan Operations"):
+//
+//   - Ofman's 1963 carry-lookahead binary addition — "the following
+//     routine executes addition on two binary numbers with their bits
+//     spread across two vectors A and B: (A ⊕ B) ⊕ seg-or-scan(A∧B, A⊕B)"
+//     — the carry at each position resolved by one segmented scan rather
+//     than a ripple, and
+//
+//   - Stone's 1971 polynomial evaluation on a perfect shuffle —
+//     "A × ×-scan(copy(X))": distribute x, scan with multiplication to
+//     form the powers of x, multiply by the coefficients, and sum.
+//
+// Both run on the scan-model machine in O(1) program steps.
+package appendix
+
+import (
+	"scans/internal/core"
+)
+
+// AddBinary adds two n-bit binary numbers whose bits are spread across
+// two vectors, least significant bit first (a[0] is the 2⁰ bit), and
+// returns the n+1 result bits. The carry chain is Ofman's formulation:
+// position i receives a carry iff some earlier position generated one
+// (aᵢ ∧ bᵢ) and every position in between propagates (aᵢ ⊕ bᵢ) — which
+// is exactly a segmented or-scan with the propagate bits as (inverted)
+// segment boundaries.
+func AddBinary(m *core.Machine, a, b []bool) []bool {
+	n := len(a)
+	if len(b) != n {
+		panic("appendix: AddBinary: operand lengths differ")
+	}
+	generate := make([]bool, n)
+	propagate := make([]bool, n)
+	core.Par(m, n, func(i int) {
+		generate[i] = a[i] && b[i]
+		propagate[i] = a[i] != b[i]
+	})
+	// The carry into position i is decided by the *latest* position
+	// before i that does not propagate: a carry arrives iff that
+	// position generates. "Latest non-propagating position wins" is one
+	// exclusive max-scan over keys that put the position index above the
+	// generate bit — the same two-primitive encoding trick as the
+	// paper's Figure 16.
+	keys := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if propagate[i] {
+			keys[i] = core.MinIdentity // invisible to the max-scan
+		} else {
+			keys[i] = i << 1
+			if generate[i] {
+				keys[i] |= 1
+			}
+		}
+	})
+	last := make([]int, n)
+	core.MaxScan(m, last, keys)
+	carry := make([]bool, n)
+	core.Par(m, n, func(i int) {
+		carry[i] = last[i] != core.MinIdentity && last[i]&1 == 1
+	})
+	out := make([]bool, n+1)
+	core.Par(m, n, func(i int) { out[i] = propagate[i] != carry[i] })
+	// The carry out of the top bit.
+	if n > 0 {
+		out[n] = generate[n-1] || (propagate[n-1] && carry[n-1])
+	}
+	return out
+}
+
+// EvalPolynomial evaluates a polynomial with coefficient vector coeffs
+// (coeffs[i] is the xⁱ coefficient) at the point x, Stone's way: copy x
+// across a vector, ×-scan it to produce [1, x, x², ...], multiply by the
+// coefficients elementwise, and +-distribute the total. O(1) program
+// steps for any degree.
+func EvalPolynomial(m *core.Machine, coeffs []float64, x float64) float64 {
+	n := len(coeffs)
+	if n == 0 {
+		return 0
+	}
+	xs := make([]float64, n)
+	core.Par(m, n, func(i int) {
+		if i == 0 {
+			xs[i] = x
+		}
+	})
+	core.Copy(m, xs, xs)
+	powers := make([]float64, n)
+	core.FMulScan(m, powers, xs)
+	terms := make([]float64, n)
+	core.Par(m, n, func(i int) { terms[i] = coeffs[i] * powers[i] })
+	tmp := make([]float64, n)
+	m.Use(core.UseDistribute)
+	return core.FPlusScan(m, tmp, terms)
+}

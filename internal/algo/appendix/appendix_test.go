@@ -1,0 +1,129 @@
+package appendix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func toBits(v uint64, n int) []bool {
+	bits := make([]bool, n)
+	for i := 0; i < n; i++ {
+		bits[i] = v>>uint(i)&1 == 1
+	}
+	return bits
+}
+
+func fromBits(bits []bool) uint64 {
+	var v uint64
+	for i, b := range bits {
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func TestAddBinaryExhaustive6Bit(t *testing.T) {
+	m := core.New()
+	for a := uint64(0); a < 64; a++ {
+		for b := uint64(0); b < 64; b++ {
+			got := fromBits(AddBinary(m, toBits(a, 6), toBits(b, 6)))
+			if got != a+b {
+				t.Fatalf("%d + %d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+func TestAddBinaryRandomWide(t *testing.T) {
+	m := core.New()
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		a := rng.Uint64() >> 1 // keep the sum within 64 bits
+		b := rng.Uint64() >> 1
+		got := fromBits(AddBinary(m, toBits(a, 63), toBits(b, 63)))
+		if got != a+b {
+			t.Fatalf("%d + %d = %d, want %d", a, b, got, a+b)
+		}
+	}
+}
+
+func TestAddBinaryProperty(t *testing.T) {
+	m := core.New()
+	prop := func(a, b uint32) bool {
+		got := fromBits(AddBinary(m, toBits(uint64(a), 32), toBits(uint64(b), 32)))
+		return got == uint64(a)+uint64(b)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddBinaryConstantSteps(t *testing.T) {
+	// Ofman's point: addition in O(1) scan steps regardless of width.
+	m1 := core.New()
+	AddBinary(m1, make([]bool, 8), make([]bool, 8))
+	m2 := core.New()
+	AddBinary(m2, make([]bool, 4096), make([]bool, 4096))
+	if m1.Steps() != m2.Steps() {
+		t.Errorf("steps grew with width: %d vs %d", m1.Steps(), m2.Steps())
+	}
+}
+
+func TestAddBinaryMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	AddBinary(core.New(), make([]bool, 3), make([]bool, 4))
+}
+
+func TestEvalPolynomial(t *testing.T) {
+	m := core.New()
+	// 3 + 2x + x³ at x = 2: 3 + 4 + 8 = 15.
+	if got := EvalPolynomial(m, []float64{3, 2, 0, 1}, 2); got != 15 {
+		t.Errorf("poly(2) = %g, want 15", got)
+	}
+	if got := EvalPolynomial(m, nil, 5); got != 0 {
+		t.Errorf("empty poly = %g", got)
+	}
+	if got := EvalPolynomial(m, []float64{7}, 100); got != 7 {
+		t.Errorf("constant poly = %g", got)
+	}
+}
+
+func TestEvalPolynomialMatchesHorner(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := core.New()
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(20)
+		coeffs := make([]float64, n)
+		for i := range coeffs {
+			coeffs[i] = rng.NormFloat64()
+		}
+		x := rng.NormFloat64()
+		want := 0.0
+		for i := n - 1; i >= 0; i-- {
+			want = want*x + coeffs[i]
+		}
+		got := EvalPolynomial(m, coeffs, x)
+		if math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("trial %d: %g vs Horner %g", trial, got, want)
+		}
+	}
+}
+
+func TestEvalPolynomialConstantSteps(t *testing.T) {
+	m1 := core.New()
+	EvalPolynomial(m1, make([]float64, 8), 1.5)
+	m2 := core.New()
+	EvalPolynomial(m2, make([]float64, 8192), 1.5)
+	if m1.Steps() != m2.Steps() {
+		t.Errorf("steps grew with degree: %d vs %d", m1.Steps(), m2.Steps())
+	}
+}

@@ -1,0 +1,122 @@
+// Package bfs implements breadth-first search on the segmented graph
+// representation with the paper's allocation primitive: each level, the
+// frontier's vertices count their edges, one Allocate call creates a
+// processor per candidate neighbor, and the unvisited ones become the
+// next frontier — O(1) program steps per BFS level, so O(diameter)
+// steps overall, independent of how many vertices or edges a level
+// touches.
+package bfs
+
+import (
+	"fmt"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// Levels returns each vertex's BFS distance from source, or -1 when
+// unreachable.
+func Levels(m *core.Machine, numVertices int, edges []graph.Edge, source int) []int {
+	if source < 0 || source >= numVertices {
+		panic(fmt.Sprintf("bfs: source %d out of range [0,%d)", source, numVertices))
+	}
+	dist := make([]int, numVertices)
+	core.Par(m, numVertices, func(v int) { dist[v] = -1 })
+	dist[source] = 0
+	if len(edges) == 0 {
+		return dist
+	}
+	g := graph.Build(m, numVertices, edges)
+	s := g.Slots()
+	// Per-slot helpers: owning vertex and the neighbor across the edge.
+	repSlot := make([]int, s)
+	core.SegCopy(m, repSlot, g.Rep, g.Flags)
+	nbr := make([]int, s)
+	core.Permute(m, nbr, repSlot, g.Cross)
+	// Per-vertex segment start and degree, in vertex-id space.
+	segStart := make([]int, numVertices)
+	core.Par(m, numVertices, func(v int) { segStart[v] = -1 })
+	deg := make([]int, numVertices)
+	headIdx := make([]int, s)
+	core.SegHeadIndex(m, headIdx, g.Flags)
+	ones := make([]int, s)
+	core.Par(m, s, func(i int) { ones[i] = 1 })
+	segLen := make([]int, s)
+	core.SegPlusDistribute(m, segLen, ones, g.Flags)
+	core.Par(m, s, func(i int) {
+		if g.Flags[i] {
+			segStart[repSlot[i]] = i
+			deg[repSlot[i]] = segLen[i]
+		}
+	})
+
+	frontier := []int{source}
+	for level := 1; len(frontier) > 0; level++ {
+		if level > numVertices+1 {
+			panic("bfs: level exceeded vertex count; cycle in bookkeeping")
+		}
+		nf := len(frontier)
+		counts := make([]int, nf)
+		core.Par(m, nf, func(i int) { counts[i] = deg[frontier[i]] })
+		alloc := core.Allocate(m, counts)
+		if alloc.Total == 0 {
+			break
+		}
+		// Each allocated processor inspects one edge of one frontier
+		// vertex.
+		base := make([]int, alloc.Total)
+		starts := make([]int, nf)
+		core.Par(m, nf, func(i int) { starts[i] = segStart[frontier[i]] })
+		core.Distribute(m, alloc, base, starts, counts)
+		rank := make([]int, alloc.Total)
+		core.SegRank(m, rank, alloc.Flags)
+		cand := make([]int, alloc.Total)
+		core.Par(m, alloc.Total, func(i int) { cand[i] = nbr[base[i]+rank[i]] })
+		// Claim unvisited candidates; duplicates within a level resolve
+		// by the concurrent write the grid placement of §2.4.1 also
+		// needs (any winner is correct: all get the same level).
+		fresh := make([]bool, alloc.Total)
+		core.Par(m, alloc.Total, func(i int) { fresh[i] = dist[cand[i]] == -1 })
+		marks := make([]int, numVertices)
+		core.Par(m, numVertices, func(v int) { marks[v] = -1 })
+		ids := make([]int, alloc.Total)
+		core.Par(m, alloc.Total, func(i int) { ids[i] = i })
+		core.PermuteWrite(m, marks, ids, cand) // last writer wins; any is fine
+		isWinner := make([]bool, alloc.Total)
+		core.Par(m, alloc.Total, func(i int) {
+			isWinner[i] = fresh[i] && marks[cand[i]] == i
+		})
+		next := make([]int, alloc.Total)
+		cnt := core.Pack(m, next, cand, isWinner)
+		lvl := level
+		core.Par(m, cnt, func(i int) { dist[next[i]] = lvl })
+		frontier = next[:cnt]
+	}
+	return dist
+}
+
+// SerialLevels is the queue-based reference implementation.
+func SerialLevels(numVertices int, edges []graph.Edge, source int) []int {
+	adj := make([][]int, numVertices)
+	for _, e := range edges {
+		adj[e.U] = append(adj[e.U], e.V)
+		adj[e.V] = append(adj[e.V], e.U)
+	}
+	dist := make([]int, numVertices)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[source] = 0
+	queue := []int{source}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range adj[u] {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}

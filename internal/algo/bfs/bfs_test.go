@@ -1,0 +1,98 @@
+package bfs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+func TestLevelsSmall(t *testing.T) {
+	m := core.New()
+	// 0-1-2-3 path plus shortcut 0-2.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 0, V: 2}}
+	got := Levels(m, 5, edges, 0)
+	want := []int{0, 1, 1, 2, -1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Levels = %v, want %v", got, want)
+	}
+}
+
+func TestLevelsMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(180))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(80)
+		var edges []graph.Edge
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		src := rng.Intn(n)
+		m := core.New()
+		got := Levels(m, n, edges, src)
+		if want := SerialLevels(n, edges, src); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d src=%d): %v != %v", trial, n, src, got, want)
+		}
+	}
+}
+
+func TestLevelsLongPath(t *testing.T) {
+	n := 600
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	m := core.New()
+	got := Levels(m, n, edges, 0)
+	for v := 0; v < n; v++ {
+		if got[v] != v {
+			t.Fatalf("dist[%d] = %d", v, got[v])
+		}
+	}
+}
+
+func TestLevelsIsolatedSourceAndEmpty(t *testing.T) {
+	m := core.New()
+	got := Levels(m, 3, nil, 1)
+	if want := []int{-1, 0, -1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("edgeless = %v", got)
+	}
+	edges := []graph.Edge{{U: 0, V: 2}}
+	got = Levels(m, 3, edges, 1)
+	if want := []int{-1, 0, -1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("isolated source = %v", got)
+	}
+}
+
+func TestLevelsStepsPerLevelConstant(t *testing.T) {
+	// O(1) steps per BFS level: steps scale with diameter, not edges.
+	// A star graph has diameter 2 regardless of size.
+	steps := func(n int) int64 {
+		edges := make([]graph.Edge, n-1)
+		for i := range edges {
+			edges[i] = graph.Edge{U: 0, V: i + 1}
+		}
+		m := core.New()
+		Levels(m, n, edges, 1)
+		return m.Steps()
+	}
+	s1, s2 := steps(64), steps(1024)
+	// The graph build costs O(lg n) (radix sort); allow that growth but
+	// nothing edge-proportional.
+	if float64(s2) > 1.5*float64(s1) {
+		t.Errorf("star BFS steps grew %d -> %d; want near-flat", s1, s2)
+	}
+}
+
+func TestLevelsBadSourcePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Levels(core.New(), 3, nil, 7)
+}

@@ -1,0 +1,41 @@
+package bicc
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// BenchmarkBicc measures Tarjan–Vishkin against the serial Tarjan.
+func BenchmarkBicc(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 10} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: rng.Intn(v), V: v})
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		b.Run(fmt.Sprintf("tarjan-vishkin/n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := core.New()
+				Run(m, n, edges, 3)
+				steps = m.Steps()
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+		b.Run(fmt.Sprintf("serial-tarjan/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Serial(n, edges)
+			}
+		})
+	}
+}

@@ -1,0 +1,350 @@
+// Package bicc computes biconnected components with the Tarjan–Vishkin
+// algorithm, the paper's Table 1 row "Biconnected Components": O(lg n)
+// in the scan model versus O(lg² n) on an EREW P-RAM. The paper itself
+// defers the algorithm to its companion references; this implementation
+// composes it entirely from this repository's substrates:
+//
+//  1. a spanning tree from the star-merge engine (package mst),
+//  2. an Euler tour of the tree threaded through the segmented graph
+//     representation's cross-pointers, ranked by work-efficient list
+//     ranking (package listrank) to give preorder numbers and subtree
+//     sizes,
+//  3. low/high labels — the extreme preorder numbers reachable from each
+//     subtree through one non-tree edge — by a doubling sparse table
+//     over the preorder sequence (O(lg n) elementwise steps),
+//  4. the Tarjan–Vishkin auxiliary graph on the tree edges, whose
+//     connected components (package cc) are exactly the biconnected
+//     components.
+//
+// Output is a block label per input edge; two edges get equal labels iff
+// they lie on a common simple cycle.
+package bicc
+
+import (
+	"fmt"
+
+	"scans/internal/algo/cc"
+	"scans/internal/algo/graph"
+	"scans/internal/algo/listrank"
+	"scans/internal/algo/mst"
+	"scans/internal/core"
+)
+
+// Run labels every edge of a connected graph with its biconnected
+// component. Labels are arbitrary but consistent: equal label ⇔ same
+// block. Panics if the graph is not connected (callers can split by
+// component first) or has self-loops.
+func Run(m *core.Machine, numVertices int, edges []graph.Edge, seed int64) []int {
+	if numVertices == 0 {
+		return nil
+	}
+	requireConnected(numVertices, edges)
+	if len(edges) == 0 {
+		return nil
+	}
+
+	// 1. A spanning tree (unit weights; any tree works for
+	// Tarjan–Vishkin).
+	unit := make([]graph.Edge, len(edges))
+	core.Par(m, len(edges), func(i int) {
+		unit[i] = graph.Edge{U: edges[i].U, V: edges[i].V, W: 1}
+	})
+	tree := mst.Run(m, numVertices, unit, seed)
+	isTree := make([]bool, len(edges))
+	for _, id := range tree.EdgeIDs {
+		isTree[id] = true
+	}
+
+	pre, nd, parent := eulerNumbers(m, numVertices, edges, tree.EdgeIDs, seed)
+	root := -1
+	for v, p := range parent {
+		if p == -1 {
+			root = v
+		}
+	}
+
+	low, high := lowHigh(m, numVertices, edges, isTree, pre, nd)
+
+	// 4. The auxiliary graph: one vertex per non-root vertex w, standing
+	// for the tree edge (parent(w), w).
+	hasAux := make([]bool, len(edges))
+	core.Par(m, len(edges), func(i int) {
+		e := edges[i]
+		v, w := e.U, e.V
+		if pre[v] > pre[w] {
+			v, w = w, v
+		}
+		if isTree[i] {
+			// Rule B: tree edge (v, w), v = parent(w). If v is not the
+			// root, the blocks of (p(v),v) and (v,w) merge when w's
+			// subtree escapes v's subtree downward (low) or sideways
+			// (high).
+			hasAux[i] = v != root && (low[w] < pre[v] || high[w] >= pre[v]+nd[v])
+			return
+		}
+		// Rule A: non-tree edge between unrelated vertices joins their
+		// tree edges' blocks. (If v is an ancestor of w the connection
+		// comes transitively through rule B.)
+		hasAux[i] = pre[w] >= pre[v]+nd[v]
+	})
+	auxIdx := make([]int, len(edges))
+	numAux := core.Enumerate(m, auxIdx, hasAux)
+	aux := make([]graph.Edge, numAux)
+	core.Par(m, len(edges), func(i int) {
+		if hasAux[i] {
+			aux[auxIdx[i]] = graph.Edge{U: edges[i].U, V: edges[i].V}
+		}
+	})
+	blocks := cc.Labels(m, numVertices, aux, seed+1)
+
+	// A tree edge is labeled by its child endpoint; a non-tree edge by
+	// its later-preorder endpoint (its block contains that vertex's tree
+	// edge).
+	labels := make([]int, len(edges))
+	core.Par(m, len(edges), func(i int) {
+		e := edges[i]
+		w := e.V
+		if pre[e.U] > pre[e.V] {
+			w = e.U
+		}
+		labels[i] = blocks[w]
+	})
+	return labels
+}
+
+// eulerNumbers builds the rooted structure of the spanning tree: each
+// vertex's preorder number, subtree size, and parent (-1 for the root).
+func eulerNumbers(m *core.Machine, numVertices int, edges []graph.Edge, treeIDs []int, seed int64) (pre, nd, parent []int) {
+	treeEdges := make([]graph.Edge, len(treeIDs))
+	core.Par(m, len(treeIDs), func(i int) { treeEdges[i] = edges[treeIDs[i]] })
+	tg := graph.Build(m, numVertices, treeEdges)
+	s := tg.Slots()
+
+	// Euler tour: the successor of arc a = (u -> w) is the arc after
+	// (w -> u) in w's adjacency segment, cyclically.
+	headIdx := make([]int, s)
+	core.SegHeadIndex(m, headIdx, tg.Flags)
+	nextInSeg := make([]int, s)
+	core.Par(m, s, func(i int) {
+		if i+1 < s && !tg.Flags[i+1] {
+			nextInSeg[i] = i + 1
+		} else {
+			nextInSeg[i] = headIdx[i]
+		}
+	})
+	nxt := make([]int, s)
+	core.Gather(m, nxt, nextInSeg, tg.Cross)
+	// Cut the circuit before arc 0 (an arc out of the segment-order
+	// first vertex, the root).
+	isTail := make([]bool, s)
+	core.Par(m, s, func(a int) { isTail[a] = nxt[a] == 0 })
+	core.Par(m, s, func(a int) {
+		if isTail[a] {
+			nxt[a] = a
+		}
+	})
+	rank := listrank.Contract(m, nxt, seed)
+	pos := make([]int, s)
+	core.Par(m, s, func(a int) { pos[a] = (s - 1) - rank[a] })
+
+	// An advance arc is the first traversal of its edge.
+	crossPos := make([]int, s)
+	core.Gather(m, crossPos, pos, tg.Cross)
+	advance := make([]bool, s)
+	core.Par(m, s, func(a int) { advance[a] = pos[a] < crossPos[a] })
+
+	// In Euler order: the exclusive count of advance arcs gives preorder
+	// numbers and, differenced across an arc and its mate, subtree sizes.
+	advE := make([]bool, s)
+	core.Permute(m, advE, advance, pos)
+	advCnt := make([]int, s)
+	core.Enumerate(m, advCnt, advE)
+	cntAt := make([]int, s) // per arc: advance arcs before its position
+	core.Gather(m, cntAt, advCnt, pos)
+	cntAtMate := make([]int, s)
+	core.Gather(m, cntAtMate, cntAt, tg.Cross)
+
+	// The head vertex of each slot's segment, and its mate's.
+	repSlot := make([]int, s)
+	core.SegCopy(m, repSlot, tg.Rep, tg.Flags)
+	otherRep := make([]int, s)
+	core.Gather(m, otherRep, repSlot, tg.Cross)
+
+	pre = make([]int, numVertices)
+	nd = make([]int, numVertices)
+	parent = make([]int, numVertices)
+	core.Par(m, numVertices, func(v int) { parent[v] = -1 })
+	root := tg.Rep[0]
+	pre[root] = 0
+	nd[root] = numVertices
+	core.Par(m, s, func(a int) {
+		if !advance[a] {
+			return
+		}
+		w := otherRep[a] // the arc runs u -> w; w is the child
+		pre[w] = cntAt[a] + 1
+		nd[w] = cntAtMate[a] - cntAt[a]
+		parent[w] = repSlot[a]
+	})
+	if numVertices == 1 {
+		pre[root], nd[root] = 0, 1
+	}
+	return pre, nd, parent
+}
+
+// lowHigh computes, for every vertex w, the minimum (low) and maximum
+// (high) preorder number reachable from w's subtree directly or through
+// a single non-tree edge, via per-vertex local extremes and a doubling
+// sparse table over the preorder sequence.
+func lowHigh(m *core.Machine, numVertices int, edges []graph.Edge, isTree []bool, pre, nd []int) (low, high []int) {
+	// Local extremes over the full segmented representation: distribute
+	// each vertex's preorder number across its slots, send it across the
+	// cross-pointers, mask the tree edges, and take per-segment
+	// min/max — all O(1) steps.
+	localLow := make([]int, numVertices)
+	localHigh := make([]int, numVertices)
+	core.Par(m, numVertices, func(v int) {
+		localLow[v] = pre[v]
+		localHigh[v] = pre[v]
+	})
+	fg := graph.Build(m, numVertices, edges)
+	s := fg.Slots()
+	headPos := make([]int, fg.Vertices())
+	core.PackIndex(m, headPos, fg.Flags)
+	reps := make([]int, fg.Vertices())
+	core.Pack(m, reps, fg.Rep, fg.Flags)
+	preAtHeads := make([]int, fg.Vertices())
+	core.Gather(m, preAtHeads, pre, reps)
+	preHead := make([]int, s)
+	core.Permute(m, preHead, preAtHeads, headPos)
+	preSlot := make([]int, s)
+	core.SegCopy(m, preSlot, preHead, fg.Flags)
+	otherPre := make([]int, s)
+	core.Permute(m, otherPre, preSlot, fg.Cross)
+	maskedLow := make([]int, s)
+	maskedHigh := make([]int, s)
+	core.Par(m, s, func(i int) {
+		if isTree[fg.EdgeID[i]] {
+			maskedLow[i] = core.MaxIdentity
+			maskedHigh[i] = core.MinIdentity
+		} else {
+			maskedLow[i] = otherPre[i]
+			maskedHigh[i] = otherPre[i]
+		}
+	})
+	segLow := make([]int, s)
+	core.SegMinDistribute(m, segLow, maskedLow, fg.Flags)
+	segHigh := make([]int, s)
+	core.SegMaxDistribute(m, segHigh, maskedHigh, fg.Flags)
+	core.Par(m, fg.Vertices(), func(i int) {
+		v := reps[i]
+		if l := segLow[headPos[i]]; l < localLow[v] {
+			localLow[v] = l
+		}
+		if h := segHigh[headPos[i]]; h > localHigh[v] {
+			localHigh[v] = h
+		}
+	})
+	// Order by preorder and build min/max sparse tables: lg n doubling
+	// levels, each one elementwise combine with a uniformly shifted
+	// copy.
+	lowByPre := make([]int, numVertices)
+	highByPre := make([]int, numVertices)
+	core.PermuteIf(m, lowByPre, localLow, pre, trueVec(m, numVertices))
+	core.PermuteIf(m, highByPre, localHigh, pre, trueVec(m, numVertices))
+	minTab := sparseTable(m, lowByPre, func(a, b int) int {
+		if b < a {
+			return b
+		}
+		return a
+	})
+	maxTab := sparseTable(m, highByPre, func(a, b int) int {
+		if b > a {
+			return b
+		}
+		return a
+	})
+	low = make([]int, numVertices)
+	high = make([]int, numVertices)
+	core.Par(m, numVertices, func(v int) {
+		lo, length := pre[v], nd[v]
+		k := 0
+		for 1<<uint(k+1) <= length {
+			k++
+		}
+		a, b := lo, lo+length-1<<uint(k)
+		low[v] = minTab[k][a]
+		if minTab[k][b] < low[v] {
+			low[v] = minTab[k][b]
+		}
+		high[v] = maxTab[k][a]
+		if maxTab[k][b] > high[v] {
+			high[v] = maxTab[k][b]
+		}
+	})
+	return low, high
+}
+
+// sparseTable builds the doubling table: level k covers windows of
+// length 2^k. Each level is one elementwise combine with a shifted
+// gather — O(lg n) steps, O(n lg n) space, O(1)-step queries (with
+// concurrent reads, as range-minimum queries inherently share cells).
+func sparseTable(m *core.Machine, base []int, combine func(a, b int) int) [][]int {
+	n := len(base)
+	levels := 1
+	for 1<<uint(levels) <= n {
+		levels++
+	}
+	tab := make([][]int, levels)
+	tab[0] = base
+	for k := 1; k < levels; k++ {
+		prev := tab[k-1]
+		half := 1 << uint(k-1)
+		cur := make([]int, n)
+		core.Par(m, n, func(i int) {
+			cur[i] = prev[i]
+			if i+half < n {
+				cur[i] = combine(prev[i], prev[i+half])
+			}
+		})
+		tab[k] = cur
+	}
+	return tab
+}
+
+func trueVec(m *core.Machine, n int) []bool {
+	v := make([]bool, n)
+	core.Par(m, n, func(i int) { v[i] = true })
+	return v
+}
+
+// requireConnected panics unless the graph is connected (host-side
+// union-find validation; the algorithm's preconditions are the caller's
+// contract, not part of the measured computation).
+func requireConnected(numVertices int, edges []graph.Edge) {
+	if numVertices <= 1 {
+		return
+	}
+	parent := make([]int, numVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	comps := numVertices
+	for _, e := range edges {
+		if ru, rv := find(e.U), find(e.V); ru != rv {
+			parent[ru] = rv
+			comps--
+		}
+	}
+	if comps != 1 {
+		panic(fmt.Sprintf("bicc: graph has %d components; Run requires a connected graph", comps))
+	}
+}

@@ -1,0 +1,90 @@
+package bicc
+
+import "scans/internal/algo/graph"
+
+// Serial is Tarjan's sequential biconnected-components algorithm
+// (iterative DFS with an edge stack), the reference implementation Run
+// is verified against. It returns a block label per edge; isolated
+// vertices contribute nothing. Unlike Run it accepts disconnected
+// graphs.
+func Serial(numVertices int, edges []graph.Edge) []int {
+	type half struct{ to, id int }
+	adj := make([][]half, numVertices)
+	for i, e := range edges {
+		adj[e.U] = append(adj[e.U], half{e.V, i})
+		adj[e.V] = append(adj[e.V], half{e.U, i})
+	}
+	labels := make([]int, len(edges))
+	for i := range labels {
+		labels[i] = -1
+	}
+	num := make([]int, numVertices)
+	low := make([]int, numVertices)
+	for i := range num {
+		num[i] = -1
+	}
+	var edgeStack []int
+	counter := 0
+	nextBlock := 0
+
+	type frame struct {
+		v, parentEdge, childIdx int
+	}
+	for start := 0; start < numVertices; start++ {
+		if num[start] != -1 {
+			continue
+		}
+		stack := []frame{{v: start, parentEdge: -1}}
+		num[start] = counter
+		low[start] = counter
+		counter++
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			v := f.v
+			if f.childIdx < len(adj[v]) {
+				h := adj[v][f.childIdx]
+				f.childIdx++
+				if h.id == f.parentEdge {
+					continue
+				}
+				if num[h.to] == -1 {
+					edgeStack = append(edgeStack, h.id)
+					num[h.to] = counter
+					low[h.to] = counter
+					counter++
+					stack = append(stack, frame{v: h.to, parentEdge: h.id})
+				} else if num[h.to] < num[v] {
+					// A back (or parallel) edge, seen from below.
+					edgeStack = append(edgeStack, h.id)
+					if num[h.to] < low[v] {
+						low[v] = num[h.to]
+					}
+				}
+				continue
+			}
+			// v is done; fold into its parent.
+			stack = stack[:len(stack)-1]
+			if len(stack) == 0 {
+				continue
+			}
+			p := &stack[len(stack)-1]
+			if low[v] < low[p.v] {
+				low[p.v] = low[v]
+			}
+			if low[v] >= num[p.v] {
+				// p.v is an articulation point (or the root): pop the
+				// block.
+				for {
+					id := edgeStack[len(edgeStack)-1]
+					edgeStack = edgeStack[:len(edgeStack)-1]
+					labels[id] = nextBlock
+					if id == f.parentEdge {
+						break
+					}
+				}
+				nextBlock++
+			}
+		}
+	}
+	return labels
+}

@@ -1,0 +1,119 @@
+// Package bitonic implements Batcher's bitonic sort on the scan-model
+// machine, the paper's Table 4 comparison baseline. Each of the
+// lg n (lg n + 1)/2 comparator stages is one gather plus one elementwise
+// compare-exchange, so the sort takes O(lg² n) program steps — versus
+// O(d) for the split radix sort — on any of the machine's cost models
+// (bitonic uses no scans, so the models price it identically).
+package bitonic
+
+import (
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"scans/internal/core"
+)
+
+// Sort sorts keys ascending on machine m, padding internally to a power
+// of two, and returns the sorted vector. O(lg² n) program steps.
+func Sort(m *core.Machine, keys []int) []int {
+	orig := len(keys)
+	if orig == 0 {
+		return nil
+	}
+	n := 1
+	for n < orig {
+		n *= 2
+	}
+	a := make([]int, n)
+	copy(a, keys)
+	// Pad with the maximum so the padding sorts to the top and the
+	// prefix is exactly the sorted input.
+	pad := make([]int, orig)
+	hi := core.MaxDistribute(m, pad, keys)
+	core.Par(m, n-orig, func(i int) { a[orig+i] = hi })
+
+	partner := make([]int, n)
+	pval := make([]int, n)
+	for kk := 2; kk <= n; kk *= 2 {
+		for jj := kk / 2; jj > 0; jj /= 2 {
+			kkc, jjc := kk, jj
+			core.Par(m, n, func(i int) { partner[i] = i ^ jjc })
+			core.Gather(m, pval, a, partner)
+			core.Par(m, n, func(i int) {
+				// i and its partner differ only in bit jj < kk, so both
+				// agree on the block direction bit.
+				wantMin := (i&kkc == 0) == (i < partner[i])
+				if (pval[i] < a[i]) == wantMin {
+					a[i] = pval[i]
+				}
+			})
+		}
+	}
+	return a[:orig]
+}
+
+// Stages returns the comparator-stage count the machine version executes
+// for n keys (after padding to a power of two).
+func Stages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	p := 1
+	for p < n {
+		p *= 2
+	}
+	k := bits.Len(uint(p)) - 1
+	return k * (k + 1) / 2
+}
+
+// SortParallel is a plain goroutine-parallel bitonic sort used for
+// wall-clock comparisons, with no machine accounting. workers <= 0 means
+// GOMAXPROCS. It sorts in place; len(keys) must be a power of two.
+func SortParallel(keys []int, workers int) {
+	n := len(keys)
+	if n <= 1 {
+		return
+	}
+	if n&(n-1) != 0 {
+		panic("bitonic: SortParallel: length must be a power of two")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	apply := func(kk, jj int) {
+		if workers == 1 || n < 8192 {
+			for i := 0; i < n; i++ {
+				compareExchange(keys, i, jj, kk)
+			}
+			return
+		}
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			lo, hi := w*n/workers, (w+1)*n/workers
+			go func(lo, hi int) {
+				defer wg.Done()
+				for i := lo; i < hi; i++ {
+					compareExchange(keys, i, jj, kk)
+				}
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	for kk := 2; kk <= n; kk *= 2 {
+		for jj := kk / 2; jj > 0; jj /= 2 {
+			apply(kk, jj)
+		}
+	}
+}
+
+func compareExchange(keys []int, i, jj, kk int) {
+	l := i ^ jj
+	if l <= i {
+		return
+	}
+	if (i&kk == 0 && keys[i] > keys[l]) || (i&kk != 0 && keys[i] < keys[l]) {
+		keys[i], keys[l] = keys[l], keys[i]
+	}
+}

@@ -1,0 +1,80 @@
+package bitonic
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"scans/internal/core"
+)
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{0, 1, 2, 3, 7, 8, 100, 1000, 1024} {
+		m := core.New()
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(1000) - 500
+		}
+		got := Sort(m, keys)
+		want := make([]int, n)
+		copy(want, keys)
+		sort.Ints(want)
+		if len(got) != n {
+			t.Fatalf("n=%d: wrong length %d", n, len(got))
+		}
+		if n > 0 && !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: bitonic machine sort wrong: %v", n, got)
+		}
+	}
+}
+
+func TestStepsGrowAsLgSquared(t *testing.T) {
+	// O(lg² n) steps: each stage is a constant number of primitives and
+	// there are k(k+1)/2 stages.
+	steps := func(n int) int64 {
+		m := core.New()
+		Sort(m, make([]int, n))
+		return m.Steps()
+	}
+	s256, s65536 := steps(256), steps(65536)
+	// k: 8 -> 36 stages; 16 -> 136 stages. Ratio of stage counts ~3.78.
+	ratio := float64(s65536) / float64(s256)
+	if ratio < 3 || ratio > 4.5 {
+		t.Errorf("step ratio 64K/256 = %.2f, want ~3.8 (lg² growth)", ratio)
+	}
+}
+
+func TestStages(t *testing.T) {
+	for _, c := range []struct{ n, want int }{{1, 0}, {2, 1}, {8, 6}, {9, 10}, {1 << 16, 136}} {
+		if got := Stages(c.n); got != c.want {
+			t.Errorf("Stages(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestSortParallel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, w := range []int{1, 4, 0} {
+		keys := make([]int, 1<<14)
+		for i := range keys {
+			keys[i] = rng.Int()
+		}
+		SortParallel(keys, w)
+		if !sort.IntsAreSorted(keys) {
+			t.Fatalf("workers=%d: parallel bitonic failed", w)
+		}
+	}
+	SortParallel(nil, 1)
+	SortParallel([]int{1}, 1)
+}
+
+func TestSortParallelRejectsNonPowerOfTwo(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	SortParallel(make([]int, 3), 1)
+}

@@ -1,0 +1,128 @@
+// Package cc computes connected components by random-mate contraction on
+// the segmented graph representation: the same star-merge engine as the
+// minimum-spanning-tree algorithm with the edge choice "any edge to a
+// parent". Expected O(lg n) rounds of O(1) program steps (the paper's
+// Table 1 lists Connected Components at O(lg n) in the scan model).
+package cc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// Labels computes a component label for every vertex: two vertices get
+// equal labels iff they are connected. Labels are vertex ids (each
+// component is named after one of its members).
+func Labels(m *core.Machine, numVertices int, edges []graph.Edge, seed int64) []int {
+	g := graph.Build(m, numVertices, edges)
+	rng := rand.New(rand.NewSource(seed))
+	parentOf := make([]int, numVertices)
+	for i := range parentOf {
+		parentOf[i] = i
+	}
+	maxRounds := 64 * (lg(numVertices) + 2)
+	for round := 0; g.Slots() > 0; round++ {
+		if round >= maxRounds {
+			panic(fmt.Sprintf("cc: no convergence after %d rounds", round))
+		}
+		nv := g.Vertices()
+		coins := make([]bool, nv)
+		core.Par(m, nv, func(i int) { coins[i] = rng.Intn(2) == 0 })
+		parentSlot := graph.DistributeVertexFlag(m, g, coins)
+		// Prefer any edge whose other end is a parent, so every child
+		// with a parent neighbor merges this round.
+		n := g.Slots()
+		otherParent := make([]bool, n)
+		core.Permute(m, otherParent, parentSlot, g.Cross)
+		key := make([]int, n)
+		core.Par(m, n, func(i int) {
+			if !otherParent[i] {
+				key[i] = 1
+			}
+		})
+		star := graph.ChooseStarEdges(m, g, parentSlot, key)
+		any := make([]bool, n)
+		if !core.OrDistribute(m, any, star) {
+			continue
+		}
+		var rec graph.MergeRecord
+		g, rec = graph.StarMerge(m, g, parentSlot, star)
+		for i, c := range rec.ChildRep {
+			parentOf[c] = rec.ParentRep[i]
+		}
+	}
+	// The merge records form a forest over original vertex ids; resolve
+	// each vertex to its root.
+	labels := make([]int, numVertices)
+	for v := range labels {
+		r := v
+		for parentOf[r] != r {
+			r = parentOf[r]
+		}
+		// Path-compress for the next lookups.
+		for x := v; x != r; {
+			x, parentOf[x] = parentOf[x], r
+		}
+		labels[v] = r
+	}
+	return labels
+}
+
+func lg(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// Serial is the union-find reference used to verify Labels.
+func Serial(numVertices int, edges []graph.Edge) []int {
+	parent := make([]int, numVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for _, e := range edges {
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+		}
+	}
+	labels := make([]int, numVertices)
+	for v := range labels {
+		labels[v] = find(v)
+	}
+	return labels
+}
+
+// SameComponents reports whether two labelings induce the same partition.
+func SameComponents(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	fw := map[int]int{}
+	bw := map[int]int{}
+	for i := range a {
+		if x, ok := fw[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if y, ok := bw[b[i]]; ok && y != a[i] {
+			return false
+		}
+		fw[a[i]] = b[i]
+		bw[b[i]] = a[i]
+	}
+	return true
+}

@@ -1,0 +1,83 @@
+package cc
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+func TestLabelsSmall(t *testing.T) {
+	m := core.New()
+	// Components {0,1,2}, {3,4}, {5}.
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	got := Labels(m, 6, edges, 1)
+	want := Serial(6, edges)
+	if !SameComponents(got, want) {
+		t.Errorf("labels %v do not partition like %v", got, want)
+	}
+	if got[5] != 5 {
+		t.Errorf("isolated vertex labeled %d, want 5", got[5])
+	}
+}
+
+func TestLabelsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(60)
+		var edges []graph.Edge
+		for e := 0; e < rng.Intn(2*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		m := core.New()
+		got := Labels(m, n, edges, int64(trial))
+		if !SameComponents(got, Serial(n, edges)) {
+			t.Fatalf("trial %d: wrong components", trial)
+		}
+	}
+}
+
+func TestLabelsPathGraph(t *testing.T) {
+	// A long path is the adversarial case for contraction depth.
+	n := 512
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	m := core.New()
+	got := Labels(m, n, edges, 9)
+	for v := 1; v < n; v++ {
+		if got[v] != got[0] {
+			t.Fatalf("path vertex %d in different component", v)
+		}
+	}
+}
+
+func TestLabelsEmpty(t *testing.T) {
+	m := core.New()
+	got := Labels(m, 4, nil, 0)
+	for v, l := range got {
+		if l != v {
+			t.Errorf("edgeless vertex %d labeled %d", v, l)
+		}
+	}
+}
+
+func TestSameComponents(t *testing.T) {
+	if !SameComponents([]int{1, 1, 3}, []int{7, 7, 9}) {
+		t.Error("isomorphic labelings rejected")
+	}
+	if SameComponents([]int{1, 1, 3}, []int{7, 8, 9}) {
+		t.Error("different partitions accepted")
+	}
+	if SameComponents([]int{1, 2, 2}, []int{7, 7, 7}) {
+		t.Error("coarser partition accepted")
+	}
+	if SameComponents([]int{1}, []int{1, 2}) {
+		t.Error("length mismatch accepted")
+	}
+}

@@ -1,0 +1,257 @@
+// Package closest solves the planar closest-pair problem (the paper's
+// Table 1 row: O(lg n) program steps in the scan model) with a
+// level-synchronous divide and conquer. The top-down pass splits every
+// segment at its x-median simultaneously, maintaining a y-sorted vector
+// by stable segmented splits (so no merging is ever needed); the
+// bottom-up pass combines children level by level, each level checking
+// its median strips with a constant number of segmented operations — the
+// classical "each strip point looks at the next 7 points in y order"
+// argument, executed for all strips at a level at once.
+//
+// Coordinates are non-negative integers (the initial y ordering comes
+// from the split radix sort) and the result is the squared euclidean
+// distance of the closest pair.
+package closest
+
+import (
+	"fmt"
+	"math"
+
+	"scans/internal/algo/radix"
+	"scans/internal/core"
+)
+
+// Point is an integer-grid planar point.
+type Point struct{ X, Y int }
+
+// stripNeighbors is how many following strip points each strip point
+// inspects: 7 suffices by the classical packing argument; 8 adds margin
+// for duplicate points.
+const stripNeighbors = 8
+
+// level is the per-level snapshot of the top-down pass.
+type level struct {
+	xs, ys   []int  // coordinates, y-sorted within parent segments
+	flags    []bool // parent segment heads
+	midX     []int  // splitter x, distributed over parent segments
+	midID    []int  // splitter id (x-ties break by id)
+	split    []bool // whether the segment split at this level
+	newFlags []bool // segment heads after the split
+}
+
+// Pair reports the result of Run.
+type Pair struct {
+	// SqDist is the squared distance of the closest pair, or
+	// math.MaxInt if fewer than two points were given.
+	SqDist int
+}
+
+// Run computes the closest-pair distance of pts on machine m.
+func Run(m *core.Machine, pts []Point) Pair {
+	n := len(pts)
+	if n < 2 {
+		return Pair{SqDist: math.MaxInt}
+	}
+	for _, p := range pts {
+		if p.X < 0 || p.Y < 0 {
+			panic("closest: coordinates must be non-negative for the radix ordering")
+		}
+		if p.X > 1<<24 || p.Y > 1<<24 {
+			panic(fmt.Sprintf("closest: coordinate %v too large for exact squared distances", p))
+		}
+	}
+	// Dual orderings: ids by x and ids by y, same segment structure.
+	xsAll := make([]int, n)
+	ysAll := make([]int, n)
+	core.Par(m, n, func(i int) { xsAll[i], ysAll[i] = pts[i].X, pts[i].Y })
+	_, byX := radix.SortWithIndex(m, xsAll, radix.BitsFor(xsAll))
+	_, byY := radix.SortWithIndex(m, ysAll, radix.BitsFor(ysAll))
+	flags := make([]bool, n)
+	flags[0] = true
+
+	// Top-down: split every splittable segment at its x-median.
+	var levels []*level
+	for {
+		segLen := distributeSegLen(m, flags)
+		anyBig := false
+		for i := 0; i < n; i++ {
+			if flags[i] && segLen[i] > 1 {
+				anyBig = true
+				break
+			}
+		}
+		if !anyBig {
+			break
+		}
+		lv := &level{flags: append([]bool(nil), flags...)}
+		lv.xs = make([]int, n)
+		lv.ys = make([]int, n)
+		core.Par(m, n, func(i int) {
+			lv.xs[i], lv.ys[i] = pts[byY[i]].X, pts[byY[i]].Y
+		})
+		rank := make([]int, n)
+		core.SegRank(m, rank, flags)
+		split := make([]bool, n)
+		isSplitter := make([]bool, n)
+		core.Par(m, n, func(i int) {
+			split[i] = segLen[i] > 1
+			isSplitter[i] = split[i] && rank[i] == (segLen[i]-1)/2
+		})
+		lv.split = split
+		lv.midX = pickPerSegment(m, flags, isSplitter, func(i int) int { return pts[byX[i]].X })
+		lv.midID = pickPerSegment(m, flags, isSplitter, func(i int) int { return byX[i] })
+		goesRight := func(v []int) []bool {
+			gr := make([]bool, n)
+			core.Par(m, n, func(i int) {
+				if !split[i] {
+					return
+				}
+				x := pts[v[i]].X
+				gr[i] = x > lv.midX[i] || (x == lv.midX[i] && v[i] > lv.midID[i])
+			})
+			return gr
+		}
+		idx := make([]int, n)
+		tmp := make([]int, n)
+		for _, v := range [][]int{byX, byY} {
+			core.SegSplitIndex(m, idx, goesRight(v), flags)
+			core.Permute(m, tmp, v, idx)
+			copy(v, tmp)
+		}
+		leftCount := make([]int, n)
+		core.Par(m, n, func(i int) { leftCount[i] = (segLen[i]-1)/2 + 1 })
+		core.Par(m, n, func(i int) {
+			if split[i] && rank[i] == leftCount[i] {
+				flags[i] = true
+			}
+		})
+		lv.newFlags = append([]bool(nil), flags...)
+		levels = append(levels, lv)
+	}
+
+	// Bottom-up: delta starts at infinity (all segments are singletons)
+	// and each level combines children with a strip check over the
+	// parent's y-sorted points.
+	delta := make([]int, n)
+	core.Par(m, n, func(i int) { delta[i] = math.MaxInt })
+	for l := len(levels) - 1; l >= 0; l-- {
+		lv := levels[l]
+		// Child minimum per parent segment. delta is positionally in the
+		// post-split layout, whose parent segments occupy the same
+		// ranges.
+		childMin := make([]int, n)
+		core.SegMinDistribute(m, childMin, delta, lv.flags)
+		stripMin := stripCheck(m, lv, childMin)
+		core.Par(m, n, func(i int) {
+			d := childMin[i]
+			if stripMin[i] < d {
+				d = stripMin[i]
+			}
+			delta[i] = d
+		})
+		// Distribute the combined value across the parent segment (it
+		// already is uniform per segment from the distributes).
+	}
+	return Pair{SqDist: delta[0]}
+}
+
+// stripCheck computes, per parent segment, the minimum squared distance
+// among pairs that straddle the median strip: points with
+// (x - midX)² < childMin, kept in y order, each compared with the next
+// stripNeighbors strip points.
+func stripCheck(m *core.Machine, lv *level, childMin []int) []int {
+	n := len(lv.flags)
+	inStrip := make([]bool, n)
+	core.Par(m, n, func(i int) {
+		if !lv.split[i] {
+			return
+		}
+		dx := lv.xs[i] - lv.midX[i]
+		if childMin[i] == math.MaxInt || dx*dx < childMin[i] {
+			inStrip[i] = true
+		}
+	})
+	// Stable-split the strip points to the front of each segment,
+	// preserving y order.
+	notStrip := make([]bool, n)
+	core.Par(m, n, func(i int) { notStrip[i] = !inStrip[i] })
+	idx := make([]int, n)
+	core.SegSplitIndex(m, idx, notStrip, lv.flags)
+	sx := make([]int, n)
+	sy := make([]int, n)
+	sIn := make([]bool, n)
+	core.Permute(m, sx, lv.xs, idx)
+	core.Permute(m, sy, lv.ys, idx)
+	core.Permute(m, sIn, inStrip, idx)
+	nStrip := make([]int, n)
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if sIn[i] {
+			ones[i] = 1
+		}
+	})
+	core.SegPlusDistribute(m, nStrip, ones, lv.flags)
+	rank := make([]int, n)
+	core.SegRank(m, rank, lv.flags)
+	best := make([]int, n)
+	core.Par(m, n, func(i int) { best[i] = math.MaxInt })
+	// t global shifts: neighbor t positions ahead, valid while both are
+	// strip points of the same segment.
+	for t := 1; t <= stripNeighbors; t++ {
+		tt := t
+		core.Par(m, n, func(i int) {
+			if !sIn[i] || rank[i]+tt >= nStrip[i] || i+tt >= n {
+				return
+			}
+			dx := sx[i] - sx[i+tt]
+			dy := sy[i] - sy[i+tt]
+			d := dx*dx + dy*dy
+			if d < best[i] {
+				best[i] = d
+			}
+		})
+	}
+	out := make([]int, n)
+	core.SegMinDistribute(m, out, best, lv.flags)
+	return out
+}
+
+// distributeSegLen gives every slot its segment's length.
+func distributeSegLen(m *core.Machine, flags []bool) []int {
+	n := len(flags)
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) { ones[i] = 1 })
+	out := make([]int, n)
+	core.SegPlusDistribute(m, out, ones, flags)
+	return out
+}
+
+// pickPerSegment distributes f(i) of each segment's selected slot.
+func pickPerSegment(m *core.Machine, flags, sel []bool, f func(i int) int) []int {
+	n := len(flags)
+	masked := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if sel[i] {
+			masked[i] = f(i)
+		} else {
+			masked[i] = core.MinIdentity
+		}
+	})
+	out := make([]int, n)
+	core.SegMaxDistribute(m, out, masked, flags)
+	return out
+}
+
+// Brute is the O(n²) reference.
+func Brute(pts []Point) int {
+	best := math.MaxInt
+	for i := range pts {
+		for j := i + 1; j < len(pts); j++ {
+			dx, dy := pts[i].X-pts[j].X, pts[i].Y-pts[j].Y
+			if d := dx*dx + dy*dy; d < best {
+				best = d
+			}
+		}
+	}
+	return best
+}

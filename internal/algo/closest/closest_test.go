@@ -1,0 +1,124 @@
+package closest
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+func TestRunSmall(t *testing.T) {
+	m := core.New()
+	pts := []Point{{0, 0}, {10, 10}, {3, 4}, {4, 4}, {20, 0}}
+	got := Run(m, pts)
+	if got.SqDist != 1 {
+		t.Errorf("SqDist = %d, want 1", got.SqDist)
+	}
+}
+
+func TestRunMatchesBruteRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(130))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(300)
+		span := 1 << uint(3+rng.Intn(10))
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(span), rng.Intn(span)}
+		}
+		m := core.New()
+		got := Run(m, pts)
+		if want := Brute(pts); got.SqDist != want {
+			t.Fatalf("trial %d (n=%d span=%d): Run = %d, brute = %d", trial, n, span, got.SqDist, want)
+		}
+	}
+}
+
+func TestRunDuplicates(t *testing.T) {
+	m := core.New()
+	pts := []Point{{5, 5}, {9, 2}, {5, 5}, {0, 0}}
+	if got := Run(m, pts); got.SqDist != 0 {
+		t.Errorf("duplicate points: SqDist = %d, want 0", got.SqDist)
+	}
+}
+
+func TestRunCollinear(t *testing.T) {
+	m := core.New()
+	// Vertical line: all splits degenerate into x-ties broken by id.
+	pts := []Point{{7, 0}, {7, 100}, {7, 41}, {7, 44}, {7, 70}}
+	if got, want := Run(m, pts).SqDist, Brute(pts); got != want {
+		t.Errorf("vertical line: %d, want %d", got, want)
+	}
+	// Horizontal line.
+	pts = []Point{{0, 7}, {100, 7}, {41, 7}, {44, 7}, {70, 7}}
+	if got, want := Run(m, pts).SqDist, Brute(pts); got != want {
+		t.Errorf("horizontal line: %d, want %d", got, want)
+	}
+}
+
+func TestRunTinyInputs(t *testing.T) {
+	m := core.New()
+	if got := Run(m, nil); got.SqDist != math.MaxInt {
+		t.Error("empty input should report MaxInt")
+	}
+	if got := Run(m, []Point{{1, 1}}); got.SqDist != math.MaxInt {
+		t.Error("single point should report MaxInt")
+	}
+	if got := Run(m, []Point{{1, 1}, {4, 5}}); got.SqDist != 25 {
+		t.Errorf("two points: %d, want 25", got.SqDist)
+	}
+}
+
+func TestRunGridPoints(t *testing.T) {
+	// A dense grid: min distance is exactly 1, with huge tie counts.
+	m := core.New()
+	var pts []Point
+	for x := 0; x < 12; x++ {
+		for y := 0; y < 12; y++ {
+			pts = append(pts, Point{x * 3, y * 3})
+		}
+	}
+	if got := Run(m, pts); got.SqDist != 9 {
+		t.Errorf("grid: SqDist = %d, want 9", got.SqDist)
+	}
+}
+
+func TestStepsLogarithmic(t *testing.T) {
+	// Table 1: O(lg n) steps after the sorts. Per-doubling step growth
+	// should be roughly additive, not multiplicative.
+	rng := rand.New(rand.NewSource(131))
+	steps := func(n int) int64 {
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Intn(1 << 16), rng.Intn(1 << 16)}
+		}
+		m := core.New()
+		Run(m, pts)
+		return m.Steps()
+	}
+	s1, s2, s4 := steps(1<<8), steps(1<<9), steps(1<<10)
+	d1, d2 := s2-s1, s4-s2
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("steps not increasing: %d %d %d", s1, s2, s4)
+	}
+	if float64(d2) > 1.8*float64(d1) {
+		t.Errorf("per-doubling growth accelerating: %d then %d", d1, d2)
+	}
+}
+
+func TestRejectsBadCoordinates(t *testing.T) {
+	m := core.New()
+	for name, pts := range map[string][]Point{
+		"negative": {{-1, 0}, {1, 1}},
+		"huge":     {{1 << 30, 0}, {1, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Run(m, pts)
+		}()
+	}
+}

@@ -1,0 +1,216 @@
+// Package graph implements the paper's segmented graph representation
+// (§2.3.2, Figure 6) and the star-merge operation (§2.3.3, Figure 7)
+// that contracts disjoint stars in O(1) program steps. The minimum
+// spanning tree, connected components, and maximal independent set
+// algorithms are all built on this package.
+//
+// An undirected graph is one segment per vertex and one element per edge
+// end: each edge appears in the segments of both its endpoints, and the
+// cross-pointers vector holds, for each edge end, the index of the other
+// end. The representation is built from an arbitrary edge list with the
+// split radix sort.
+package graph
+
+import (
+	"fmt"
+
+	"scans/internal/algo/radix"
+	"scans/internal/core"
+)
+
+// Edge is an undirected edge between vertices U and V with weight W.
+type Edge struct {
+	U, V int
+	W    int
+}
+
+// SegGraph is the segmented graph representation. All per-slot vectors
+// have one entry per edge end ("slot"); there are two slots per edge.
+// Vertices that currently have no edges own no segment.
+type SegGraph struct {
+	// Flags marks the first slot of each vertex's segment.
+	Flags []bool
+	// Cross holds, for each slot, the index of the edge's other end.
+	Cross []int
+	// Weight is the edge weight, replicated at both ends.
+	Weight []int
+	// EdgeID is the index of the edge in the original edge list,
+	// replicated at both ends.
+	EdgeID []int
+	// Rep is, per slot, the representative original vertex of the
+	// segment the slot belongs to; it starts as the vertex id and is
+	// carried through merges.
+	Rep []int
+}
+
+// Slots returns the number of edge ends (twice the live edge count).
+func (g *SegGraph) Slots() int { return len(g.Flags) }
+
+// Vertices returns the number of live vertex segments.
+func (g *SegGraph) Vertices() int {
+	n := 0
+	for _, f := range g.Flags {
+		if f {
+			n++
+		}
+	}
+	return n
+}
+
+// Build constructs the segmented representation of a graph with
+// numVertices vertices from an edge list, per §2.3.2: create two slots
+// per edge and sort them by endpoint with the split radix sort, which
+// places all of a vertex's slots in one contiguous segment. Self-loops
+// are rejected (they would merge a vertex with itself); parallel edges
+// are fine. O(lg numVertices) program steps, all in the sort.
+func Build(m *core.Machine, numVertices int, edges []Edge) *SegGraph {
+	for i, e := range edges {
+		if e.U == e.V {
+			panic(fmt.Sprintf("graph: Build: edge %d is a self-loop at vertex %d", i, e.U))
+		}
+		if e.U < 0 || e.U >= numVertices || e.V < 0 || e.V >= numVertices {
+			panic(fmt.Sprintf("graph: Build: edge %d endpoints (%d,%d) out of range [0,%d)", i, e.U, e.V, numVertices))
+		}
+	}
+	n := 2 * len(edges)
+	vertex := make([]int, n)
+	weight := make([]int, n)
+	edgeID := make([]int, n)
+	core.Par(m, n, func(i int) {
+		e := edges[i/2]
+		if i%2 == 0 {
+			vertex[i] = e.U
+		} else {
+			vertex[i] = e.V
+		}
+		weight[i] = e.W
+		edgeID[i] = i / 2
+	})
+	sortedVertex, perm := radix.SortWithIndex(m, vertex, radix.BitsFor([]int{numVertices - 1}))
+	// perm[i] is the original slot at sorted position i; the partner of
+	// original slot s is s^1. posOf maps original slot -> sorted
+	// position.
+	posOf := make([]int, n)
+	iota := make([]int, n)
+	core.Par(m, n, func(i int) { iota[i] = i })
+	core.Permute(m, posOf, iota, perm)
+	g := &SegGraph{
+		Flags:  make([]bool, n),
+		Cross:  make([]int, n),
+		Weight: make([]int, n),
+		EdgeID: make([]int, n),
+		Rep:    make([]int, n),
+	}
+	core.Gather(m, g.Weight, weight, perm)
+	core.Gather(m, g.EdgeID, edgeID, perm)
+	core.Par(m, n, func(i int) {
+		g.Rep[i] = sortedVertex[i]
+		g.Flags[i] = i == 0 || sortedVertex[i] != sortedVertex[i-1]
+	})
+	partner := make([]int, n)
+	core.Par(m, n, func(i int) { partner[i] = perm[i] ^ 1 })
+	core.Gather(m, g.Cross, posOf, partner)
+	return g
+}
+
+// Validate checks the structural invariants of the representation and
+// returns a descriptive error for the first violation: Cross must be an
+// involution with no fixed points that crosses segment boundaries, and
+// Weight/EdgeID/Rep must agree appropriately across it. Used by tests
+// and available to callers handling untrusted graphs.
+func (g *SegGraph) Validate() error {
+	n := g.Slots()
+	if len(g.Cross) != n || len(g.Weight) != n || len(g.EdgeID) != n || len(g.Rep) != n {
+		return fmt.Errorf("graph: vector lengths differ: flags %d cross %d weight %d edgeid %d rep %d",
+			n, len(g.Cross), len(g.Weight), len(g.EdgeID), len(g.Rep))
+	}
+	if n == 0 {
+		return nil
+	}
+	if !g.Flags[0] {
+		return fmt.Errorf("graph: slot 0 is not a segment head")
+	}
+	seg := segNumbers(g.Flags)
+	for i := 0; i < n; i++ {
+		c := g.Cross[i]
+		if c < 0 || c >= n {
+			return fmt.Errorf("graph: cross[%d] = %d out of range", i, c)
+		}
+		if c == i {
+			return fmt.Errorf("graph: cross[%d] is a fixed point", i)
+		}
+		if g.Cross[c] != i {
+			return fmt.Errorf("graph: cross is not an involution at %d", i)
+		}
+		if seg[c] == seg[i] {
+			return fmt.Errorf("graph: slot %d's edge stays within segment %d (self-loop)", i, seg[i])
+		}
+		if g.Weight[c] != g.Weight[i] {
+			return fmt.Errorf("graph: weight disagrees across edge at slot %d", i)
+		}
+		if g.EdgeID[c] != g.EdgeID[i] {
+			return fmt.Errorf("graph: edge id disagrees across edge at slot %d", i)
+		}
+		if i > 0 && seg[i] == seg[i-1] && g.Rep[i] != g.Rep[i-1] {
+			return fmt.Errorf("graph: rep changes inside segment at slot %d", i)
+		}
+	}
+	return nil
+}
+
+// segNumbers is the host-side 0-origin segment number of each slot.
+func segNumbers(flags []bool) []int {
+	seg := make([]int, len(flags))
+	cur := -1
+	for i, f := range flags {
+		if f || i == 0 {
+			cur++
+		}
+		seg[i] = cur
+	}
+	return seg
+}
+
+// SegNumber writes each slot's 0-origin segment number: the inclusive
+// +-scan of the flags minus one. One scan.
+func SegNumber(m *core.Machine, dst []int, flags []bool) {
+	n := len(flags)
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if flags[i] || i == 0 {
+			ones[i] = 1
+		}
+	})
+	core.PlusScan(m, dst, ones)
+	core.Par(m, n, func(i int) { dst[i] += ones[i] - 1 })
+}
+
+// HeadValues packs the per-slot vector's value at each segment head into
+// a dense per-vertex vector (vertex order = segment order).
+func HeadValues(m *core.Machine, g *SegGraph, perSlot []int) []int {
+	out := make([]int, g.Vertices())
+	core.Pack(m, out, perSlot, g.Flags)
+	return out
+}
+
+// NeighborPlusReduce computes, for every live vertex, the sum of a
+// per-vertex value over its neighbors — the paper's showcase O(1)
+// neighbor-summing (§2.3.2): distribute each vertex's value over its
+// slots with a segmented copy, exchange ends through the cross-pointers
+// with one permute, and sum each segment back with a segmented
+// +-distribute. perVertex must have one value per live vertex, in
+// segment order; parallel edges count once per edge.
+func NeighborPlusReduce(m *core.Machine, g *SegGraph, perVertex []int) []int {
+	n := g.Slots()
+	headPos := make([]int, g.Vertices())
+	core.PackIndex(m, headPos, g.Flags)
+	atHeads := make([]int, n)
+	core.Permute(m, atHeads, perVertex, headPos)
+	mine := make([]int, n)
+	core.SegCopy(m, mine, atHeads, g.Flags)
+	theirs := make([]int, n)
+	core.Permute(m, theirs, mine, g.Cross)
+	sums := make([]int, n)
+	core.SegPlusDistribute(m, sums, theirs, g.Flags)
+	return HeadValues(m, g, sums)
+}

@@ -1,0 +1,244 @@
+package graph
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// fig6Edges is the graph of Figure 6, 0-origin: w_k has weight k.
+// Edges: w1=(0,1) w2=(1,2) w3=(1,4) w4=(2,3) w5=(2,4) w6=(3,4).
+var fig6Edges = []Edge{
+	{0, 1, 1}, {1, 2, 2}, {1, 4, 3}, {2, 3, 4}, {2, 4, 5}, {3, 4, 6},
+}
+
+func TestBuildFig6(t *testing.T) {
+	m := core.New()
+	g := Build(m, 5, fig6Edges)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's exact vectors (vertex ids 1-origin in the paper).
+	wantSeg := []bool{true, true, false, false, true, false, false, true, false, true, false, false}
+	if !reflect.DeepEqual(g.Flags, wantSeg) {
+		t.Errorf("segment-descriptor = %v, want %v", g.Flags, wantSeg)
+	}
+	wantCross := []int{1, 0, 4, 9, 2, 7, 10, 5, 11, 3, 6, 8}
+	if !reflect.DeepEqual(g.Cross, wantCross) {
+		t.Errorf("cross-pointers = %v, want %v", g.Cross, wantCross)
+	}
+	wantWeights := []int{1, 1, 2, 3, 2, 4, 5, 4, 6, 3, 5, 6}
+	if !reflect.DeepEqual(g.Weight, wantWeights) {
+		t.Errorf("weights = %v, want %v", g.Weight, wantWeights)
+	}
+	wantRep := []int{0, 1, 1, 1, 2, 2, 2, 3, 3, 4, 4, 4}
+	if !reflect.DeepEqual(g.Rep, wantRep) {
+		t.Errorf("rep = %v, want %v", g.Rep, wantRep)
+	}
+	if g.Vertices() != 5 {
+		t.Errorf("Vertices = %d, want 5", g.Vertices())
+	}
+}
+
+func TestBuildRejectsBadEdges(t *testing.T) {
+	m := core.New()
+	for name, edges := range map[string][]Edge{
+		"self-loop":    {{2, 2, 1}},
+		"out-of-range": {{0, 9, 1}},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			Build(m, 5, edges)
+		}()
+	}
+}
+
+func TestBuildEmptyAndParallelEdges(t *testing.T) {
+	m := core.New()
+	g := Build(m, 4, nil)
+	if g.Slots() != 0 || g.Vertices() != 0 {
+		t.Error("empty graph not empty")
+	}
+	// Parallel edges are legal.
+	g = Build(m, 2, []Edge{{0, 1, 5}, {0, 1, 7}})
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.Slots() != 4 {
+		t.Errorf("Slots = %d, want 4", g.Slots())
+	}
+}
+
+func TestNeighborPlusReduceFig6(t *testing.T) {
+	m := core.New()
+	g := Build(m, 5, fig6Edges)
+	// Value = vertex id + 1; neighbor sums on the Figure 6 graph:
+	// v0~{v1}: 2. v1~{v0,v2,v4}: 1+3+5 = 9. v2~{v1,v3,v4}: 2+4+5 = 11.
+	// v3~{v2,v4}: 3+5 = 8. v4~{v1,v2,v3}: 2+3+4 = 9.
+	vals := []int{1, 2, 3, 4, 5}
+	got := NeighborPlusReduce(m, g, vals)
+	want := []int{2, 9, 11, 8, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("neighbor sums = %v, want %v", got, want)
+	}
+}
+
+func TestNeighborPlusReduceConstantSteps(t *testing.T) {
+	// §2.3.2: neighbor summing is O(1) in the scan model (beyond the
+	// build). Compare step deltas across graph sizes.
+	ringEdges := func(n int) []Edge {
+		es := make([]Edge, n)
+		for i := range es {
+			es[i] = Edge{i, (i + 1) % n, 1}
+		}
+		return es
+	}
+	delta := func(n int) int64 {
+		m := core.New()
+		g := Build(m, n, ringEdges(n))
+		before := m.Steps()
+		NeighborPlusReduce(m, g, make([]int, n))
+		return m.Steps() - before
+	}
+	if d1, d2 := delta(16), delta(1024); d1 != d2 {
+		t.Errorf("neighbor-sum steps grew with n: %d vs %d", d1, d2)
+	}
+}
+
+func TestStarMergeFig7(t *testing.T) {
+	m := core.New()
+	g := Build(m, 5, fig6Edges)
+	// Figure 7: parents {v0, v2, v4}, stars on edges w2 (v1->v2) and
+	// w4 (v3->v2), marked at both ends: slots 2,4,5,7.
+	parentVertex := []bool{true, false, true, false, true}
+	parentSlot := DistributeVertexFlag(m, g, parentVertex)
+	star := make([]bool, 12)
+	for _, s := range []int{2, 4, 5, 7} {
+		star[s] = true
+	}
+	merged, rec := StarMerge(m, g, parentSlot, star)
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's post-merge segment structure.
+	wantFlags := []bool{true, true, false, false, false, true, false, false}
+	if !reflect.DeepEqual(merged.Flags, wantFlags) {
+		t.Errorf("flags = %v, want %v", merged.Flags, wantFlags)
+	}
+	// Per-segment weight multisets must match the paper's
+	// [w1 | w1 w3 w5 w6 | w3 w5 w6] (within-segment order is layout-
+	// dependent).
+	gotSegs := segMultisets(merged)
+	wantSegs := [][]int{{1}, {1, 3, 5, 6}, {3, 5, 6}}
+	if !reflect.DeepEqual(gotSegs, wantSegs) {
+		t.Errorf("segment weights = %v, want %v", gotSegs, wantSegs)
+	}
+	// Both children merged into v2 along edges w2 (id 1) and w4 (id 3).
+	if len(rec.ChildRep) != 2 {
+		t.Fatalf("merge records = %+v, want 2", rec)
+	}
+	wantPairs := map[int]int{1: 2, 3: 2}
+	for i, c := range rec.ChildRep {
+		if wantPairs[c] != rec.ParentRep[i] {
+			t.Errorf("merge %d: child %d -> parent %d", i, c, rec.ParentRep[i])
+		}
+	}
+	ids := append([]int(nil), rec.EdgeID...)
+	sort.Ints(ids)
+	if !reflect.DeepEqual(ids, []int{1, 3}) {
+		t.Errorf("merged edge ids = %v, want [1 3]", ids)
+	}
+	// The merged segment adopted the parent's representative.
+	if merged.Rep[1] != 2 {
+		t.Errorf("merged segment rep = %d, want 2", merged.Rep[1])
+	}
+}
+
+func segMultisets(g *SegGraph) [][]int {
+	var out [][]int
+	var cur []int
+	for i := 0; i < g.Slots(); i++ {
+		if g.Flags[i] && cur != nil {
+			sort.Ints(cur)
+			out = append(out, cur)
+			cur = nil
+		}
+		cur = append(cur, g.Weight[i])
+	}
+	if cur != nil {
+		sort.Ints(cur)
+		out = append(out, cur)
+	}
+	return out
+}
+
+func TestStarMergeRandomValidates(t *testing.T) {
+	// Random graphs, random coin flips, many rounds: every intermediate
+	// representation must satisfy the structural invariants (the EREW
+	// checker inside the machine also guards every permute).
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(30)
+		var edges []Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(3) == 0 {
+					edges = append(edges, Edge{u, v, rng.Intn(50)})
+				}
+			}
+		}
+		m := core.New()
+		g := Build(m, n, edges)
+		for round := 0; g.Slots() > 0 && round < 200; round++ {
+			coins := make([]bool, g.Vertices())
+			for i := range coins {
+				coins[i] = rng.Intn(2) == 0
+			}
+			parentSlot := DistributeVertexFlag(m, g, coins)
+			star := ChooseStarEdges(m, g, parentSlot, g.Weight)
+			g, _ = StarMerge(m, g, parentSlot, star)
+			if err := g.Validate(); err != nil {
+				t.Fatalf("trial %d round %d: %v", trial, round, err)
+			}
+		}
+	}
+}
+
+func TestSegNumber(t *testing.T) {
+	m := core.New()
+	flags := []bool{true, false, true, true, false}
+	got := make([]int, 5)
+	SegNumber(m, got, flags)
+	if want := []int{0, 0, 1, 2, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegNumber = %v, want %v", got, want)
+	}
+}
+
+func TestFilterSymmetricSubset(t *testing.T) {
+	m := core.New()
+	g := Build(m, 5, fig6Edges)
+	// Drop edge w6 = (3,4): slots 8 and 11 in the Fig 6 layout.
+	keep := make([]bool, 12)
+	for i := range keep {
+		keep[i] = i != 8 && i != 11
+	}
+	f := Filter(m, g, keep)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Slots() != 10 {
+		t.Errorf("Slots = %d, want 10", f.Slots())
+	}
+	for _, id := range f.EdgeID {
+		if id == 5 {
+			t.Error("edge 5 survived the filter")
+		}
+	}
+}

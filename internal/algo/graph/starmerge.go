@@ -1,0 +1,264 @@
+package graph
+
+import (
+	"math"
+
+	"scans/internal/core"
+)
+
+// ChooseStarEdges implements the star-finding rule of §2.3.3: every
+// child segment finds its minimum-key edge with a segmented
+// min-distribute (first slot wins ties), and that edge becomes a star
+// edge exactly when its other end lies in a parent segment. The returned
+// flag vector marks star edges at both ends. parentSlot must be uniform
+// within each segment (use DistributeVertexFlag). O(1) program steps.
+func ChooseStarEdges(m *core.Machine, g *SegGraph, parentSlot []bool, key []int) []bool {
+	n := g.Slots()
+	minKey := make([]int, n)
+	core.SegMinDistribute(m, minKey, key, g.Flags)
+	isMin := make([]bool, n)
+	core.Par(m, n, func(i int) { isMin[i] = !parentSlot[i] && key[i] == minKey[i] })
+	rank := make([]int, n)
+	core.SegEnumerate(m, rank, isMin, g.Flags)
+	otherParent := make([]bool, n)
+	core.Permute(m, otherParent, parentSlot, g.Cross)
+	starChild := make([]bool, n)
+	core.Par(m, n, func(i int) {
+		starChild[i] = isMin[i] && rank[i] == 0 && otherParent[i]
+	})
+	starOther := make([]bool, n)
+	core.Permute(m, starOther, starChild, g.Cross)
+	star := make([]bool, n)
+	core.Par(m, n, func(i int) { star[i] = starChild[i] || starOther[i] })
+	return star
+}
+
+// DistributeVertexFlag expands a per-vertex flag (segment order) to a
+// per-slot flag with one permute and one segmented copy.
+func DistributeVertexFlag(m *core.Machine, g *SegGraph, perVertex []bool) []bool {
+	n := g.Slots()
+	headPos := make([]int, g.Vertices())
+	core.PackIndex(m, headPos, g.Flags)
+	atHeads := make([]bool, n)
+	core.Permute(m, atHeads, perVertex, headPos)
+	out := make([]bool, n)
+	core.SegCopy(m, out, atHeads, g.Flags)
+	return out
+}
+
+// MergeRecord reports what a StarMerge contracted: child i's segment
+// (representative ChildRep[i]) merged into ParentRep[i]'s segment along
+// original edge EdgeID[i].
+type MergeRecord struct {
+	ChildRep  []int
+	ParentRep []int
+	EdgeID    []int
+}
+
+// StarMerge contracts every star in the graph in O(1) program steps,
+// following the paper's four-step recipe (§2.3.3): (1) each parent opens
+// space for its children, (2) the children permute into that space,
+// (3) the cross-pointers are updated, and (4) edges that now point
+// within a segment — edges inside a merged tree — are deleted and the
+// representation repacked. Segments whose every edge was internal vanish.
+//
+// parentSlot marks (uniformly per segment) the segments that act as
+// parents; starSlot marks star edges at both ends, as produced by
+// ChooseStarEdges. A child segment with a star edge moves into its
+// parent; every other segment stays (a "parent" here is any segment that
+// does not itself merge away).
+func StarMerge(m *core.Machine, g *SegGraph, parentSlot, starSlot []bool) (*SegGraph, MergeRecord) {
+	n := g.Slots()
+	// A segment merges away iff it is a child containing a star edge.
+	starInSeg := make([]bool, n)
+	core.SegOrDistribute(m, starInSeg, starSlot, g.Flags)
+	merging := make([]bool, n)
+	core.Par(m, n, func(i int) { merging[i] = starInSeg[i] && !parentSlot[i] })
+	keeper := make([]bool, n)
+	core.Par(m, n, func(i int) { keeper[i] = !merging[i] })
+
+	// Record the contractions before anything moves.
+	rec := recordMerges(m, g, starSlot, merging)
+
+	// Step 1: sizes. Each keeper slot needs one cell, plus, if it is a
+	// parent's star slot, room for the whole child segment right after
+	// it ("each child passes its length across its star edge").
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) { ones[i] = 1 })
+	segLen := make([]int, n)
+	core.SegPlusDistribute(m, segLen, ones, g.Flags)
+	otherLen := make([]int, n)
+	core.Gather(m, otherLen, segLen, g.Cross)
+	otherMerging := make([]bool, n)
+	core.Permute(m, otherMerging, merging, g.Cross)
+	contrib := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if !keeper[i] {
+			return
+		}
+		contrib[i] = 1
+		if starSlot[i] && otherMerging[i] {
+			contrib[i] += otherLen[i]
+		}
+	})
+	offset := make([]int, n)
+	newTotal := core.PlusScan(m, offset, contrib)
+
+	// Step 2: destinations. Keeper slots sit at their own offset; a
+	// merging child's base (one past its parent's star slot) travels
+	// across the star edge and is distributed over the child's segment.
+	childBaseAtParent := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if keeper[i] && starSlot[i] && otherMerging[i] {
+			childBaseAtParent[i] = offset[i] + 1
+		} else {
+			childBaseAtParent[i] = math.MinInt
+		}
+	})
+	baseAtChild := make([]int, n)
+	core.Permute(m, baseAtChild, childBaseAtParent, g.Cross)
+	base := make([]int, n)
+	core.SegMaxDistribute(m, base, baseAtChild, g.Flags)
+	rank := make([]int, n)
+	core.SegRank(m, rank, g.Flags)
+	newPos := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if keeper[i] {
+			newPos[i] = offset[i]
+		} else {
+			newPos[i] = base[i] + rank[i]
+		}
+	})
+
+	// Permute every payload to its new position; newPos is a full
+	// permutation onto the new layout (the machine's EREW check verifies
+	// this on every run).
+	out := &SegGraph{
+		Flags:  make([]bool, newTotal),
+		Cross:  make([]int, newTotal),
+		Weight: make([]int, newTotal),
+		EdgeID: make([]int, newTotal),
+		Rep:    make([]int, newTotal),
+	}
+	core.Permute(m, out.Weight, g.Weight, newPos)
+	core.Permute(m, out.EdgeID, g.EdgeID, newPos)
+	repSlot := make([]int, n)
+	core.SegCopy(m, repSlot, g.Rep, g.Flags)
+	// A merged child's slots adopt the parent's representative; keeper
+	// slots keep their own. Parent reps are read across the star edge.
+	parentRepAtChildStar := make([]int, n)
+	core.Permute(m, parentRepAtChildStar, repSlot, g.Cross)
+	core.Par(m, n, func(i int) {
+		if !merging[i] || !starSlot[i] {
+			parentRepAtChildStar[i] = math.MinInt
+		}
+	})
+	adopted := make([]int, n)
+	core.SegMaxDistribute(m, adopted, parentRepAtChildStar, g.Flags)
+	newRep := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if merging[i] {
+			newRep[i] = adopted[i]
+		} else {
+			newRep[i] = repSlot[i]
+		}
+	})
+	core.Permute(m, out.Rep, newRep, newPos)
+	// Step 3: update the cross-pointers ("pass the new position of each
+	// end of an edge to the other end").
+	partnerNew := make([]int, n)
+	core.Gather(m, partnerNew, newPos, g.Cross)
+	core.Permute(m, out.Cross, partnerNew, newPos)
+	// New segment heads: the heads of keeper segments only.
+	headFlags := make([]bool, n)
+	core.Par(m, n, func(i int) { headFlags[i] = keeper[i] && g.Flags[i] })
+	core.Permute(m, out.Flags, headFlags, newPos)
+
+	// Step 4: delete edges that point within a segment.
+	return deleteInternal(m, out), rec
+}
+
+// recordMerges packs the (childRep, parentRep, edgeID) triples of every
+// star edge, read from the child side.
+func recordMerges(m *core.Machine, g *SegGraph, starSlot, merging []bool) MergeRecord {
+	n := g.Slots()
+	repSlot := make([]int, n)
+	core.SegCopy(m, repSlot, g.Rep, g.Flags)
+	otherRep := make([]int, n)
+	core.Permute(m, otherRep, repSlot, g.Cross)
+	childStar := make([]bool, n)
+	core.Par(m, n, func(i int) { childStar[i] = starSlot[i] && merging[i] })
+	count := 0
+	for _, f := range childStar {
+		if f {
+			count++
+		}
+	}
+	rec := MergeRecord{
+		ChildRep:  make([]int, count),
+		ParentRep: make([]int, count),
+		EdgeID:    make([]int, count),
+	}
+	core.Pack(m, rec.ChildRep, repSlot, childStar)
+	core.Pack(m, rec.ParentRep, otherRep, childStar)
+	core.Pack(m, rec.EdgeID, g.EdgeID, childStar)
+	return rec
+}
+
+// deleteInternal removes every slot whose edge points within its own
+// segment and repacks the representation, fixing the cross-pointers and
+// flags. Segments left with no edges disappear.
+func deleteInternal(m *core.Machine, g *SegGraph) *SegGraph {
+	n := g.Slots()
+	if n == 0 {
+		return g
+	}
+	seg := make([]int, n)
+	SegNumber(m, seg, g.Flags)
+	otherSeg := make([]int, n)
+	core.Gather(m, otherSeg, seg, g.Cross)
+	keep := make([]bool, n)
+	core.Par(m, n, func(i int) { keep[i] = seg[i] != otherSeg[i] })
+	return Filter(m, g, keep)
+}
+
+// Filter repacks the representation keeping only the flagged slots,
+// fixing cross-pointers and segment flags; segments losing every slot
+// disappear. keep must be symmetric across edges (keep[i] ==
+// keep[Cross[i]]), since half an edge cannot survive. O(1) program
+// steps. The maximal-independent-set algorithm uses it to drop all edges
+// incident to decided vertices.
+func Filter(m *core.Machine, g *SegGraph, keep []bool) *SegGraph {
+	n := g.Slots()
+	if n == 0 {
+		return g
+	}
+	seg := make([]int, n)
+	SegNumber(m, seg, g.Flags)
+	packedIdx := make([]int, n)
+	kept := core.Enumerate(m, packedIdx, keep)
+	out := &SegGraph{
+		Flags:  make([]bool, kept),
+		Cross:  make([]int, kept),
+		Weight: make([]int, kept),
+		EdgeID: make([]int, kept),
+		Rep:    make([]int, kept),
+	}
+	if kept == 0 {
+		return out
+	}
+	core.PermuteIf(m, out.Weight, g.Weight, packedIdx, keep)
+	core.PermuteIf(m, out.EdgeID, g.EdgeID, packedIdx, keep)
+	core.PermuteIf(m, out.Rep, g.Rep, packedIdx, keep)
+	// An edge survives iff both its ends do (internal-ness is
+	// symmetric), so the partner's packed position is well defined.
+	partnerPacked := make([]int, n)
+	core.Gather(m, partnerPacked, packedIdx, g.Cross)
+	core.PermuteIf(m, out.Cross, partnerPacked, packedIdx, keep)
+	segPacked := make([]int, kept)
+	core.PermuteIf(m, segPacked, seg, packedIdx, keep)
+	core.Par(m, kept, func(i int) {
+		out.Flags[i] = i == 0 || segPacked[i] != segPacked[i-1]
+	})
+	return out
+}

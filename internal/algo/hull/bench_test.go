@@ -1,0 +1,35 @@
+package hull
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// BenchmarkQuickHull measures the segmented quickhull against the serial
+// monotone chain.
+func BenchmarkQuickHull(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 13} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 1000, rng.Float64() * 1000}
+		}
+		b.Run(fmt.Sprintf("segmented/n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := core.New()
+				QuickHull(m, pts)
+				steps = m.Steps()
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+		b.Run(fmt.Sprintf("monotone-chain/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				MonotoneChain(pts)
+			}
+		})
+	}
+}

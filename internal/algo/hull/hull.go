@@ -1,0 +1,366 @@
+// Package hull computes planar convex hulls with a segmented quickhull,
+// the style of algorithm the paper's Table 1 prices at O(lg n) expected
+// program steps in the scan model: every round, all open hull edges
+// simultaneously find their farthest outside point with a segmented
+// max-distribute, settle it, and split their candidate sets with
+// segmented splits — O(1) steps per round regardless of how many edges
+// are open.
+package hull
+
+import (
+	"math"
+	"sort"
+
+	"scans/internal/core"
+)
+
+// Point is a planar point.
+type Point struct{ X, Y float64 }
+
+// cross returns the z-component of (b-a) × (c-a): positive when c lies
+// strictly left of the directed line a→b.
+func cross(a, b, c Point) float64 {
+	return (b.X-a.X)*(c.Y-a.Y) - (b.Y-a.Y)*(c.X-a.X)
+}
+
+// QuickHull returns the convex hull of pts in counterclockwise order,
+// starting from the leftmost-lowest point, with collinear boundary
+// points omitted. Degenerate inputs (all collinear, duplicates) yield
+// the two extreme points, or one for a single distinct point.
+func QuickHull(m *core.Machine, pts []Point) []Point {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	lo, hi := extremes(m, pts)
+	if lo == hi {
+		return []Point{pts[lo]}
+	}
+	a, b := pts[lo], pts[hi]
+	// Initial working vector: [a, points right of b->a ... , b, points
+	// right of a->b ...] — i.e. below the a-b line first, giving
+	// counterclockwise order. Segment heads are the settled hull points.
+	d := make([]float64, n)
+	core.Par(m, n, func(i int) { d[i] = cross(a, b, pts[i]) })
+	var xs, ys []float64
+	var flags []bool
+	push := func(p Point, head bool) {
+		xs = append(xs, p.X)
+		ys = append(ys, p.Y)
+		flags = append(flags, head)
+	}
+	push(a, true)
+	for i, p := range pts {
+		if d[i] < 0 {
+			push(p, false)
+		}
+	}
+	push(b, true)
+	for i, p := range pts {
+		if d[i] > 0 {
+			push(p, false)
+		}
+	}
+	m.Use(core.UseSegmented)
+	xs, ys, flags = refine(m, xs, ys, flags)
+	out := make([]Point, len(xs))
+	for i := range out {
+		out[i] = Point{xs[i], ys[i]}
+	}
+	return out
+}
+
+// extremes returns the indices of the leftmost-lowest and
+// rightmost-highest points: two distributes per coordinate and a
+// min-distribute over the qualifying indices, O(1) steps.
+func extremes(m *core.Machine, pts []Point) (lo, hi int) {
+	n := len(pts)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	core.Par(m, n, func(i int) { xs[i], ys[i] = pts[i].X, pts[i].Y })
+	one := make([]bool, n) // a single segment
+	pick := func(wantMaxX bool) int {
+		bestX := make([]float64, n)
+		if wantMaxX {
+			core.SegFMaxDistribute(m, bestX, xs, one)
+		} else {
+			core.SegFMinDistribute(m, bestX, xs, one)
+		}
+		maskedY := maskWhere(m, ys, xs, bestX, !wantMaxX)
+		bestY := make([]float64, n)
+		if wantMaxX {
+			core.SegFMaxDistribute(m, bestY, maskedY, one)
+		} else {
+			core.SegFMinDistribute(m, bestY, maskedY, one)
+		}
+		idx := make([]int, n)
+		core.Par(m, n, func(i int) {
+			if xs[i] == bestX[i] && ys[i] == bestY[i] {
+				idx[i] = i
+			} else {
+				idx[i] = core.MaxIdentity
+			}
+		})
+		out := make([]int, n)
+		best := core.MinDistribute(m, out, idx)
+		return best
+	}
+	return pick(false), pick(true)
+}
+
+// maskWhere returns vals where key == bound, else ±Inf (the losing
+// direction for the following distribute).
+func maskWhere(m *core.Machine, vals, key, bound []float64, minSide bool) []float64 {
+	n := len(vals)
+	out := make([]float64, n)
+	fill := math.Inf(1)
+	if !minSide {
+		fill = math.Inf(-1)
+	}
+	core.Par(m, n, func(i int) {
+		if key[i] == bound[i] {
+			out[i] = vals[i]
+		} else {
+			out[i] = fill
+		}
+	})
+	return out
+}
+
+// refine runs quickhull rounds until no candidates remain. The working
+// vector's segment heads are settled hull points in hull order; each
+// segment's candidates lie strictly right of the directed edge from its
+// head to the next segment's head (cyclically).
+func refine(m *core.Machine, xs, ys []float64, flags []bool) ([]float64, []float64, []bool) {
+	for round := 0; ; round++ {
+		n := len(xs)
+		heads := 0
+		for _, f := range flags {
+			if f {
+				heads++
+			}
+		}
+		if n == heads {
+			return xs, ys, flags
+		}
+		if round > n+10 {
+			panic("hull: refine did not converge")
+		}
+		// A = own segment head, B = next segment head (cyclic).
+		ax := make([]float64, n)
+		core.SegCopy(m, ax, xs, flags)
+		ay := make([]float64, n)
+		core.SegCopy(m, ay, ys, flags)
+		bx := nextHeadValues(m, xs, flags, heads)
+		by := nextHeadValues(m, ys, flags, heads)
+		// Signed distance of each candidate from edge A->B (right of the
+		// edge = positive, our outside direction given the CCW layout).
+		dist := make([]float64, n)
+		core.Par(m, n, func(i int) {
+			if flags[i] {
+				dist[i] = math.Inf(-1)
+				return
+			}
+			dist[i] = -crossXY(ax[i], ay[i], bx[i], by[i], xs[i], ys[i])
+		})
+		masked := make([]float64, n)
+		core.Par(m, n, func(i int) {
+			if !flags[i] && dist[i] > 0 {
+				masked[i] = dist[i]
+			} else {
+				masked[i] = math.Inf(-1)
+			}
+		})
+		maxd := make([]float64, n)
+		core.SegFMaxDistribute(m, maxd, masked, flags)
+		isMax := make([]bool, n)
+		core.Par(m, n, func(i int) { isMax[i] = masked[i] == maxd[i] && !math.IsInf(maxd[i], -1) })
+		// Distance ties (a run of candidates collinear parallel to the
+		// base) must resolve to the run's far end, or interior collinear
+		// points would later settle as hull vertices: tie-break on the
+		// projection along A->B.
+		proj := make([]float64, n)
+		core.Par(m, n, func(i int) {
+			if isMax[i] {
+				proj[i] = (xs[i]-ax[i])*(bx[i]-ax[i]) + (ys[i]-ay[i])*(by[i]-ay[i])
+			} else {
+				proj[i] = math.Inf(-1)
+			}
+		})
+		maxProj := make([]float64, n)
+		core.SegFMaxDistribute(m, maxProj, proj, flags)
+		isBest := make([]bool, n)
+		core.Par(m, n, func(i int) { isBest[i] = isMax[i] && proj[i] == maxProj[i] })
+		rank := make([]int, n)
+		core.SegEnumerate(m, rank, isBest, flags)
+		isC := make([]bool, n)
+		core.Par(m, n, func(i int) { isC[i] = isBest[i] && rank[i] == 0 })
+		cx := make([]float64, n)
+		core.SegFMaxDistribute(m, cx, maskVal(m, xs, isC), flags)
+		cy := make([]float64, n)
+		core.SegFMaxDistribute(m, cy, maskVal(m, ys, isC), flags)
+		// Children: right of A->C goes to the A segment, right of C->B
+		// to the C segment; everything else (inside the triangle, or on
+		// an edge) is dropped.
+		inAC := make([]bool, n)
+		inCB := make([]bool, n)
+		core.Par(m, n, func(i int) {
+			if flags[i] || isC[i] || dist[i] <= 0 || math.IsInf(maxd[i], -1) {
+				return
+			}
+			switch {
+			case -crossXY(ax[i], ay[i], cx[i], cy[i], xs[i], ys[i]) > 0:
+				inAC[i] = true
+			case -crossXY(cx[i], cy[i], bx[i], by[i], xs[i], ys[i]) > 0:
+				inCB[i] = true
+			}
+		})
+		// New within-segment layout: [A, AC..., C, CB...].
+		hasC := make([]bool, n)
+		core.SegOrDistribute(m, hasC, isC, flags)
+		rankAC := make([]int, n)
+		core.SegEnumerate(m, rankAC, inAC, flags)
+		rankCB := make([]int, n)
+		core.SegEnumerate(m, rankCB, inCB, flags)
+		nAC := segCount(m, inAC, flags)
+		nCB := segCount(m, inCB, flags)
+		segLen := make([]int, n)
+		core.Par(m, n, func(i int) {
+			segLen[i] = 1 + nAC[i] + nCB[i]
+			if hasC[i] {
+				segLen[i]++
+			}
+		})
+		headLen := make([]int, n)
+		core.Par(m, n, func(i int) {
+			if flags[i] {
+				headLen[i] = segLen[i]
+			}
+		})
+		startScan := make([]int, n)
+		total := core.PlusScan(m, startScan, headLen)
+		segStart := make([]int, n)
+		core.SegCopy(m, segStart, startScan, flags)
+		keep := make([]bool, n)
+		pos := make([]int, n)
+		core.Par(m, n, func(i int) {
+			switch {
+			case flags[i]:
+				keep[i] = true
+				pos[i] = segStart[i]
+			case inAC[i]:
+				keep[i] = true
+				pos[i] = segStart[i] + 1 + rankAC[i]
+			case isC[i]:
+				keep[i] = true
+				pos[i] = segStart[i] + 1 + nAC[i]
+			case inCB[i]:
+				keep[i] = true
+				pos[i] = segStart[i] + 2 + nAC[i] + rankCB[i]
+			}
+		})
+		nxs := make([]float64, total)
+		nys := make([]float64, total)
+		nflags := make([]bool, total)
+		core.PermuteIf(m, nxs, xs, pos, keep)
+		core.PermuteIf(m, nys, ys, pos, keep)
+		isHead := make([]bool, n)
+		core.Par(m, n, func(i int) { isHead[i] = flags[i] || isC[i] })
+		core.PermuteIf(m, nflags, isHead, pos, keep)
+		xs, ys, flags = nxs, nys, nflags
+	}
+}
+
+func crossXY(ax, ay, bx, by, px, py float64) float64 {
+	return (bx-ax)*(py-ay) - (by-ay)*(px-ax)
+}
+
+// maskVal returns src where sel, else -Inf (for max-distributes that
+// pick out one value per segment).
+func maskVal(m *core.Machine, src []float64, sel []bool) []float64 {
+	n := len(src)
+	out := make([]float64, n)
+	core.Par(m, n, func(i int) {
+		if sel[i] {
+			out[i] = src[i]
+		} else {
+			out[i] = math.Inf(-1)
+		}
+	})
+	return out
+}
+
+// segCount distributes the per-segment count of flagged elements.
+func segCount(m *core.Machine, sel []bool, flags []bool) []int {
+	n := len(sel)
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if sel[i] {
+			ones[i] = 1
+		}
+	})
+	out := make([]int, n)
+	core.SegPlusDistribute(m, out, ones, flags)
+	return out
+}
+
+// nextHeadValues gives every slot the value at the NEXT segment's head,
+// cyclically: pack the head values, rotate by one, scatter back, and
+// distribute.
+func nextHeadValues(m *core.Machine, vals []float64, flags []bool, heads int) []float64 {
+	n := len(vals)
+	packed := make([]float64, heads)
+	core.Pack(m, packed, vals, flags)
+	rot := make([]int, heads)
+	core.Par(m, heads, func(i int) { rot[i] = (i + heads - 1) % heads })
+	rotated := make([]float64, heads)
+	core.Permute(m, rotated, packed, rot)
+	headPos := make([]int, heads)
+	core.PackIndex(m, headPos, flags)
+	atHeads := make([]float64, n)
+	core.Permute(m, atHeads, rotated, headPos)
+	out := make([]float64, n)
+	core.SegCopy(m, out, atHeads, flags)
+	return out
+}
+
+// MonotoneChain is the serial reference: Andrew's monotone chain,
+// returning the hull counterclockwise from the leftmost-lowest point,
+// collinear points omitted.
+func MonotoneChain(pts []Point) []Point {
+	uniq := map[Point]bool{}
+	var ps []Point
+	for _, p := range pts {
+		if !uniq[p] {
+			uniq[p] = true
+			ps = append(ps, p)
+		}
+	}
+	if len(ps) == 0 {
+		return nil
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	if len(ps) == 1 {
+		return ps
+	}
+	var lower, upper []Point
+	for _, p := range ps {
+		for len(lower) >= 2 && cross(lower[len(lower)-2], lower[len(lower)-1], p) <= 0 {
+			lower = lower[:len(lower)-1]
+		}
+		lower = append(lower, p)
+	}
+	for i := len(ps) - 1; i >= 0; i-- {
+		p := ps[i]
+		for len(upper) >= 2 && cross(upper[len(upper)-2], upper[len(upper)-1], p) <= 0 {
+			upper = upper[:len(upper)-1]
+		}
+		upper = append(upper, p)
+	}
+	return append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+}

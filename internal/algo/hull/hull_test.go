@@ -1,0 +1,151 @@
+package hull
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// canonicalCycle rotates a polygon so it starts at its lexicographically
+// smallest vertex, for order-insensitive-up-to-rotation comparison.
+func canonicalCycle(ps []Point) []Point {
+	if len(ps) == 0 {
+		return ps
+	}
+	best := 0
+	for i, p := range ps {
+		b := ps[best]
+		if p.X < b.X || (p.X == b.X && p.Y < b.Y) {
+			best = i
+		}
+	}
+	out := make([]Point, 0, len(ps))
+	out = append(out, ps[best:]...)
+	return append(out, ps[:best]...)
+}
+
+func TestQuickHullSquare(t *testing.T) {
+	m := core.New()
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {3, 1}}
+	got := QuickHull(m, pts)
+	want := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if !reflect.DeepEqual(canonicalCycle(got), want) {
+		t.Errorf("hull = %v, want %v", got, want)
+	}
+}
+
+func TestQuickHullMatchesMonotoneChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(300)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 100, rng.Float64() * 100}
+		}
+		m := core.New()
+		got := canonicalCycle(QuickHull(m, pts))
+		want := canonicalCycle(MonotoneChain(pts))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: quickhull %v != monotone chain %v", trial, got, want)
+		}
+	}
+}
+
+func TestQuickHullIntegerGrid(t *testing.T) {
+	// Integer coordinates produce many collinear points, the hard case
+	// for strict-left tests.
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 20; trial++ {
+		n := 3 + rng.Intn(150)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{float64(rng.Intn(10)), float64(rng.Intn(10))}
+		}
+		m := core.New()
+		got := canonicalCycle(QuickHull(m, pts))
+		want := canonicalCycle(MonotoneChain(pts))
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: %v != %v (points %v)", trial, got, want, pts)
+		}
+	}
+}
+
+func TestQuickHullDegenerate(t *testing.T) {
+	m := core.New()
+	if got := QuickHull(m, nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := QuickHull(m, []Point{{1, 1}}); !reflect.DeepEqual(got, []Point{{1, 1}}) {
+		t.Errorf("single = %v", got)
+	}
+	// All identical.
+	if got := QuickHull(m, []Point{{2, 2}, {2, 2}, {2, 2}}); !reflect.DeepEqual(got, []Point{{2, 2}}) {
+		t.Errorf("identical = %v", got)
+	}
+	// Collinear: the two extremes.
+	got := QuickHull(m, []Point{{0, 0}, {1, 1}, {2, 2}, {3, 3}})
+	if !reflect.DeepEqual(canonicalCycle(got), []Point{{0, 0}, {3, 3}}) {
+		t.Errorf("collinear = %v", got)
+	}
+	// Two points.
+	got = QuickHull(m, []Point{{5, 1}, {0, 0}})
+	if !reflect.DeepEqual(canonicalCycle(got), []Point{{0, 0}, {5, 1}}) {
+		t.Errorf("two points = %v", got)
+	}
+}
+
+func TestQuickHullCircle(t *testing.T) {
+	// All points on a circle: everything is on the hull.
+	m := core.New()
+	n := 64
+	pts := make([]Point, n)
+	for i := range pts {
+		th := 2 * math.Pi * float64(i) / float64(n)
+		pts[i] = Point{math.Cos(th), math.Sin(th)}
+	}
+	got := QuickHull(m, pts)
+	if len(got) != n {
+		t.Errorf("circle hull has %d points, want %d", len(got), n)
+	}
+}
+
+func TestQuickHullIsCounterclockwise(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	pts := make([]Point, 100)
+	for i := range pts {
+		pts[i] = Point{rng.Float64(), rng.Float64()}
+	}
+	m := core.New()
+	h := QuickHull(m, pts)
+	if len(h) < 3 {
+		t.Fatal("hull too small")
+	}
+	for i := range h {
+		a, b, c := h[i], h[(i+1)%len(h)], h[(i+2)%len(h)]
+		if cross(a, b, c) <= 0 {
+			t.Fatalf("hull not strictly counterclockwise at %d: %v %v %v", i, a, b, c)
+		}
+	}
+}
+
+func TestQuickHullExpectedStepScaling(t *testing.T) {
+	// Table 1: O(lg n) expected steps for random points. Steps should
+	// grow far slower than n.
+	steps := func(n int) int64 {
+		rng := rand.New(rand.NewSource(int64(n)))
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64(), rng.Float64()}
+		}
+		m := core.New()
+		QuickHull(m, pts)
+		return m.Steps()
+	}
+	s256, s4096 := steps(256), steps(4096)
+	if ratio := float64(s4096) / float64(s256); ratio > 4 {
+		t.Errorf("hull steps grew %.1fx for 16x points; want lg-like", ratio)
+	}
+}

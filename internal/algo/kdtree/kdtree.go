@@ -1,0 +1,336 @@
+// Package kdtree builds a 2-d tree (the paper's Table 1 "Building a
+// K-D Tree" row: O(lg n) program steps in the scan model, O(lg² n) on
+// the P-RAMs). The scan-model trick is to keep two id vectors — one
+// sorted by x and one by y — over an identical segment structure, one
+// segment per tree node under construction. Each level then needs no
+// sorting at all: the splitting coordinate's median is the middle
+// element of the sorted segment, and one stable segmented split
+// partitions both vectors while preserving their sort orders, O(1)
+// program steps per level.
+//
+// Coordinates are integers so the initial orderings come from the
+// paper's own split radix sort.
+package kdtree
+
+import (
+	"fmt"
+
+	"scans/internal/algo/radix"
+	"scans/internal/core"
+)
+
+// Point is an integer-grid planar point.
+type Point struct{ X, Y int }
+
+// Node is one k-d tree node. Leaves have Left == Right == -1 and hold
+// Points[Start:Start+Count] of the tree's point ordering.
+type Node struct {
+	Axis         int // 0 = x, 1 = y; -1 for leaves
+	Split        int // splitting coordinate value (max of the left side)
+	SplitID      int // id of the splitting point (ties break by id)
+	Start, Count int // range in Tree.Order
+	Left, Right  int // child node indices, -1 for leaves
+}
+
+// Tree is a built k-d tree.
+type Tree struct {
+	Nodes  []Node
+	Order  []int // point ids, the final in-tree left-to-right order
+	Points []Point
+	Root   int
+}
+
+// levelSplit records one segment's split at one level, keyed by the
+// segment's start offset.
+type levelSplit struct {
+	start, length     int
+	splitVal, splitID int
+	leftCount         int
+}
+
+// Build constructs a k-d tree over pts, splitting segments recursively
+// at the median (alternating axes) until segments have at most leafSize
+// points. O(lg n) program steps total: O(d) for the two radix sorts and
+// O(1) per level.
+func Build(m *core.Machine, pts []Point, leafSize int) *Tree {
+	if leafSize < 1 {
+		panic(fmt.Sprintf("kdtree: Build: leafSize %d < 1", leafSize))
+	}
+	n := len(pts)
+	t := &Tree{Points: pts, Root: -1}
+	if n == 0 {
+		return t
+	}
+	xs := make([]int, n)
+	ys := make([]int, n)
+	core.Par(m, n, func(i int) { xs[i], ys[i] = pts[i].X, pts[i].Y })
+	for i := 0; i < n; i++ {
+		if xs[i] < 0 || ys[i] < 0 {
+			panic("kdtree: Build: coordinates must be non-negative for the radix ordering")
+		}
+	}
+	_, byX := radix.SortWithIndex(m, xs, radix.BitsFor(xs))
+	_, byY := radix.SortWithIndex(m, ys, radix.BitsFor(ys))
+	flags := make([]bool, n)
+	flags[0] = true
+	var levels [][]levelSplit
+
+	for level := 0; ; level++ {
+		axis := level % 2
+		primary, other := byX, byY
+		if axis == 1 {
+			primary, other = byY, byX
+		}
+		segLen := distributeSegLen(m, flags)
+		anyBig := false
+		for i := 0; i < n; i++ {
+			if flags[i] && segLen[i] > leafSize {
+				anyBig = true
+				break
+			}
+		}
+		if !anyBig {
+			break
+		}
+		rank := make([]int, n)
+		core.SegRank(m, rank, flags)
+		// The splitter is the median element of the primary (sorted)
+		// vector; the left side keeps ranks [0, (len-1)/2].
+		split := make([]bool, n) // per-segment: this level splits it
+		isSplitter := make([]bool, n)
+		core.Par(m, n, func(i int) {
+			split[i] = segLen[i] > leafSize
+			isSplitter[i] = split[i] && rank[i] == (segLen[i]-1)/2
+		})
+		// Distribute the splitter's (coordinate, id) across the segment,
+		// usable by both vectors because their segment structures agree.
+		coordOf := func(id int) int {
+			if axis == 0 {
+				return pts[id].X
+			}
+			return pts[id].Y
+		}
+		splitVal := pickPerSegment(m, flags, isSplitter, func(i int) int { return coordOf(primary[i]) })
+		splitID := pickPerSegment(m, flags, isSplitter, func(i int) int { return primary[i] })
+		// Partition both vectors: an element goes right when its
+		// (coordinate, id) exceeds the splitter's — stable, so each
+		// vector stays sorted.
+		goesRight := func(v []int) []bool {
+			gr := make([]bool, n)
+			core.Par(m, n, func(i int) {
+				if !split[i] {
+					return
+				}
+				c := coordOf(v[i])
+				gr[i] = c > splitVal[i] || (c == splitVal[i] && v[i] > splitID[i])
+			})
+			return gr
+		}
+		idx := make([]int, n)
+		tmp := make([]int, n)
+		for _, v := range []*[]int{&primary, &other} {
+			core.SegSplitIndex(m, idx, goesRight(*v), flags)
+			core.Permute(m, tmp, *v, idx)
+			copy(*v, tmp)
+		}
+		if axis == 0 {
+			byX, byY = primary, other
+		} else {
+			byY, byX = primary, other
+		}
+		// Record this level's splits and insert the new segment flags.
+		var recs []levelSplit
+		leftCount := make([]int, n)
+		core.Par(m, n, func(i int) { leftCount[i] = (segLen[i]-1)/2 + 1 })
+		for i := 0; i < n; i++ {
+			if flags[i] && split[i] {
+				recs = append(recs, levelSplit{
+					start: i, length: segLen[i],
+					splitVal: splitVal[i], splitID: splitID[i],
+					leftCount: leftCount[i],
+				})
+			}
+		}
+		levels = append(levels, recs)
+		core.Par(m, n, func(i int) {
+			if split[i] && rank[i] == leftCount[i] {
+				flags[i] = true
+			}
+		})
+	}
+	t.Order = byX
+	t.Root = buildNodes(t, levels, 0, n, 0)
+	return t
+}
+
+// distributeSegLen gives every slot its segment's length.
+func distributeSegLen(m *core.Machine, flags []bool) []int {
+	n := len(flags)
+	ones := make([]int, n)
+	core.Par(m, n, func(i int) { ones[i] = 1 })
+	out := make([]int, n)
+	core.SegPlusDistribute(m, out, ones, flags)
+	return out
+}
+
+// pickPerSegment distributes f(i) of each segment's selected slot across
+// the segment (exactly one selected slot per splitting segment).
+func pickPerSegment(m *core.Machine, flags, sel []bool, f func(i int) int) []int {
+	n := len(flags)
+	masked := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if sel[i] {
+			masked[i] = f(i)
+		} else {
+			masked[i] = core.MinIdentity
+		}
+	})
+	out := make([]int, n)
+	core.SegMaxDistribute(m, out, masked, flags)
+	return out
+}
+
+// buildNodes reconstructs the node tree from the recorded level splits.
+func buildNodes(t *Tree, levels [][]levelSplit, start, count, level int) int {
+	id := len(t.Nodes)
+	t.Nodes = append(t.Nodes, Node{Axis: -1, Start: start, Count: count, Left: -1, Right: -1})
+	if level < len(levels) {
+		for _, rec := range levels[level] {
+			if rec.start == start && rec.length == count {
+				l := buildNodes(t, levels, start, rec.leftCount, level+1)
+				r := buildNodes(t, levels, start+rec.leftCount, count-rec.leftCount, level+1)
+				t.Nodes[id].Axis = level % 2
+				t.Nodes[id].Split = rec.splitVal
+				t.Nodes[id].SplitID = rec.splitID
+				t.Nodes[id].Left = l
+				t.Nodes[id].Right = r
+				return id
+			}
+		}
+		// Not split at this level; it may still split deeper (segments
+		// stop splitting only when small enough, so no deeper record
+		// exists either — but check to be safe).
+		return buildNodes2(t, levels, id, start, count, level+1)
+	}
+	return id
+}
+
+// buildNodes2 looks for a split of this exact range at deeper levels
+// (cannot happen with the current splitting rule, kept for safety).
+func buildNodes2(t *Tree, levels [][]levelSplit, id, start, count, level int) int {
+	for l := level; l < len(levels); l++ {
+		for _, rec := range levels[l] {
+			if rec.start == start && rec.length == count {
+				left := buildNodes(t, levels, start, rec.leftCount, l+1)
+				right := buildNodes(t, levels, start+rec.leftCount, count-rec.leftCount, l+1)
+				t.Nodes[id].Axis = l % 2
+				t.Nodes[id].Split = rec.splitVal
+				t.Nodes[id].SplitID = rec.splitID
+				t.Nodes[id].Left = left
+				t.Nodes[id].Right = right
+				return id
+			}
+		}
+	}
+	return id
+}
+
+// Validate panics if the tree violates a k-d invariant: every point in a
+// node's left subtree must be ≤ the split (with id tiebreak) on the
+// node's axis, every right-subtree point greater; ranges must partition.
+func (t *Tree) Validate() {
+	if t.Root == -1 {
+		return
+	}
+	seen := make([]bool, len(t.Points))
+	for _, id := range t.Order {
+		if seen[id] {
+			panic("kdtree: point appears twice in order")
+		}
+		seen[id] = true
+	}
+	var check func(ni int)
+	check = func(ni int) {
+		nd := t.Nodes[ni]
+		if nd.Left == -1 {
+			return
+		}
+		l, r := t.Nodes[nd.Left], t.Nodes[nd.Right]
+		if l.Start != nd.Start || l.Count+r.Count != nd.Count || r.Start != nd.Start+l.Count {
+			panic(fmt.Sprintf("kdtree: node %d children do not partition its range", ni))
+		}
+		for i := l.Start; i < l.Start+l.Count; i++ {
+			id := t.Order[i]
+			c := t.coord(id, nd.Axis)
+			if c > nd.Split || (c == nd.Split && id > nd.SplitID) {
+				panic(fmt.Sprintf("kdtree: left point %d violates split at node %d", id, ni))
+			}
+		}
+		for i := r.Start; i < r.Start+r.Count; i++ {
+			id := t.Order[i]
+			c := t.coord(id, nd.Axis)
+			if c < nd.Split || (c == nd.Split && id < nd.SplitID) {
+				panic(fmt.Sprintf("kdtree: right point %d violates split at node %d", id, ni))
+			}
+		}
+		check(nd.Left)
+		check(nd.Right)
+	}
+	check(t.Root)
+}
+
+func (t *Tree) coord(id, axis int) int {
+	if axis == 0 {
+		return t.Points[id].X
+	}
+	return t.Points[id].Y
+}
+
+// Nearest returns the id of the point nearest to q (squared euclidean
+// distance, ties to the smaller id), using standard branch-and-bound
+// descent. Serial: queries are not part of the paper's claim; they
+// exercise the built structure.
+func (t *Tree) Nearest(q Point) int {
+	if t.Root == -1 {
+		return -1
+	}
+	bestID, bestD := -1, int(^uint(0)>>1)
+	var visit func(ni int)
+	visit = func(ni int) {
+		nd := t.Nodes[ni]
+		if nd.Left == -1 {
+			for i := nd.Start; i < nd.Start+nd.Count; i++ {
+				id := t.Order[i]
+				d := sqDist(t.Points[id], q)
+				if d < bestD || (d == bestD && id < bestID) {
+					bestD, bestID = d, id
+				}
+			}
+			return
+		}
+		qc := t.coord2(q, nd.Axis)
+		first, second := nd.Left, nd.Right
+		if qc > nd.Split {
+			first, second = nd.Right, nd.Left
+		}
+		visit(first)
+		gap := qc - nd.Split
+		if gap*gap <= bestD {
+			visit(second)
+		}
+	}
+	visit(t.Root)
+	return bestID
+}
+
+func (t *Tree) coord2(p Point, axis int) int {
+	if axis == 0 {
+		return p.X
+	}
+	return p.Y
+}
+
+func sqDist(a, b Point) int {
+	dx, dy := a.X-b.X, a.Y-b.Y
+	return dx*dx + dy*dy
+}

@@ -1,0 +1,140 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+func randomPoints(rng *rand.Rand, n, span int) []Point {
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = Point{rng.Intn(span), rng.Intn(span)}
+	}
+	return pts
+}
+
+func bruteNearest(pts []Point, q Point) int {
+	best, bestD := -1, int(^uint(0)>>1)
+	for id, p := range pts {
+		d := sqDist(p, q)
+		if d < bestD || (d == bestD && id < best) {
+			bestD, best = d, id
+		}
+	}
+	return best
+}
+
+func TestBuildSmall(t *testing.T) {
+	m := core.New()
+	pts := []Point{{5, 5}, {1, 9}, {9, 1}, {3, 3}, {7, 7}}
+	tr := Build(m, pts, 1)
+	tr.Validate()
+	if len(tr.Order) != 5 {
+		t.Fatalf("order length %d", len(tr.Order))
+	}
+}
+
+func TestBuildValidatesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(120))
+	for trial := 0; trial < 15; trial++ {
+		n := 1 + rng.Intn(300)
+		pts := randomPoints(rng, n, 64) // duplicates likely
+		m := core.New()
+		tr := Build(m, pts, 1+rng.Intn(4))
+		tr.Validate()
+	}
+}
+
+func TestNearestMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	pts := randomPoints(rng, 500, 1000)
+	m := core.New()
+	tr := Build(m, pts, 2)
+	tr.Validate()
+	for q := 0; q < 200; q++ {
+		query := Point{rng.Intn(1200) - 100, rng.Intn(1200) - 100}
+		got := tr.Nearest(query)
+		want := bruteNearest(pts, query)
+		if sqDist(pts[got], query) != sqDist(pts[want], query) {
+			t.Fatalf("query %v: tree found %v (d=%d), brute %v (d=%d)",
+				query, pts[got], sqDist(pts[got], query), pts[want], sqDist(pts[want], query))
+		}
+	}
+}
+
+func TestBuildAllDuplicates(t *testing.T) {
+	m := core.New()
+	pts := make([]Point, 16)
+	for i := range pts {
+		pts[i] = Point{3, 3}
+	}
+	tr := Build(m, pts, 2)
+	tr.Validate()
+	if got := tr.Nearest(Point{0, 0}); got == -1 {
+		t.Error("nearest on duplicates failed")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	m := core.New()
+	tr := Build(m, nil, 1)
+	if tr.Root != -1 || tr.Nearest(Point{1, 2}) != -1 {
+		t.Error("empty tree misbehaves")
+	}
+}
+
+func TestBuildRejectsNegative(t *testing.T) {
+	m := core.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for negative coordinates")
+		}
+	}()
+	Build(m, []Point{{-1, 2}}, 1)
+}
+
+func TestDepthLogarithmic(t *testing.T) {
+	// Median splits must give depth ~lg n.
+	rng := rand.New(rand.NewSource(122))
+	pts := randomPoints(rng, 1024, 1<<20)
+	m := core.New()
+	tr := Build(m, pts, 1)
+	var depth func(ni, d int) int
+	depth = func(ni, d int) int {
+		nd := tr.Nodes[ni]
+		if nd.Left == -1 {
+			return d
+		}
+		l, r := depth(nd.Left, d+1), depth(nd.Right, d+1)
+		if r > l {
+			return r
+		}
+		return l
+	}
+	if got := depth(tr.Root, 0); got > 12 {
+		t.Errorf("depth = %d for n=1024 median splits, want <= 12", got)
+	}
+}
+
+func TestStepsLogarithmic(t *testing.T) {
+	// Table 1: O(lg n) steps (after the O(d) radix sorts). Fix the
+	// coordinate span so the sort cost is constant, then check the step
+	// growth per doubling is roughly additive.
+	rng := rand.New(rand.NewSource(123))
+	steps := func(n int) int64 {
+		pts := randomPoints(rng, n, 1<<16)
+		m := core.New()
+		Build(m, pts, 1)
+		return m.Steps()
+	}
+	s1, s2, s4 := steps(1<<8), steps(1<<9), steps(1<<10)
+	d1, d2 := s2-s1, s4-s2
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("steps not increasing: %d %d %d", s1, s2, s4)
+	}
+	if float64(d2) > 1.8*float64(d1) {
+		t.Errorf("per-doubling step growth accelerating (%d then %d); want ~constant per level", d1, d2)
+	}
+}

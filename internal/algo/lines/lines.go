@@ -1,0 +1,134 @@
+// Package lines implements the paper's parallel line-drawing routine
+// (§2.4.1, Figure 9): every line computes its pixel count, allocates a
+// processor per pixel with the allocation primitive, distributes its
+// endpoints across the allocated segment, and each pixel processor
+// computes its own grid position with simple DDA arithmetic — O(1)
+// program steps however many lines and pixels there are. The output is
+// identical to the serial digital differential analyzer (DDA).
+package lines
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// Point is an integer grid position.
+type Point struct{ X, Y int }
+
+// Line is a pair of endpoints, inclusive.
+type Line struct{ From, To Point }
+
+// PixelCount returns how many pixels the DDA produces for l:
+// max(|dx|, |dy|) + 1, both endpoints included.
+func (l Line) PixelCount() int {
+	dx, dy := abs(l.To.X-l.From.X), abs(l.To.Y-l.From.Y)
+	if dy > dx {
+		dx = dy
+	}
+	return dx + 1
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Result is the output of Draw: all pixels of all lines in one vector,
+// segmented by line.
+type Result struct {
+	// Pixels holds every line's pixels, the paper's "(x, y) pairs that
+	// specify the position of each pixel".
+	Pixels []Point
+	// SegFlags marks the first pixel of each line's segment.
+	SegFlags []bool
+	// Starts[i] is the offset of line i's pixels within Pixels.
+	Starts []int
+}
+
+// Draw renders all lines on machine m in O(1) program steps.
+func Draw(m *core.Machine, ls []Line) Result {
+	n := len(ls)
+	counts := make([]int, n)
+	core.Par(m, n, func(i int) { counts[i] = ls[i].PixelCount() })
+	alloc := core.Allocate(m, counts)
+	// Distribute each line's descriptor across its segment.
+	descs := make([]Line, alloc.Total)
+	core.Distribute(m, alloc, descs, ls, counts)
+	lens := make([]int, alloc.Total)
+	core.Distribute(m, alloc, lens, counts, counts)
+	// Every pixel processor finds its index within the line and its
+	// final grid location.
+	rank := make([]int, alloc.Total)
+	core.SegRank(m, rank, alloc.Flags)
+	pixels := make([]Point, alloc.Total)
+	core.Par(m, alloc.Total, func(i int) {
+		l := descs[i]
+		steps := lens[i] - 1
+		if steps == 0 {
+			pixels[i] = l.From
+			return
+		}
+		pixels[i] = Point{
+			X: l.From.X + roundDiv((l.To.X-l.From.X)*rank[i], steps),
+			Y: l.From.Y + roundDiv((l.To.Y-l.From.Y)*rank[i], steps),
+		}
+	})
+	return Result{Pixels: pixels, SegFlags: alloc.Flags, Starts: alloc.HPointers}
+}
+
+// roundDiv divides a by b rounding half away from zero, the DDA's
+// nearest-pixel rule.
+func roundDiv(a, b int) int {
+	if b < 0 {
+		a, b = -a, -b
+	}
+	if a >= 0 {
+		return (a + b/2) / b
+	}
+	return -((-a + b/2) / b)
+}
+
+// SerialDDA is the reference implementation: the "simple digital
+// differential analyzer serial technique" the paper cites. It renders
+// one line at a time.
+func SerialDDA(l Line) []Point {
+	n := l.PixelCount()
+	out := make([]Point, n)
+	if n == 1 {
+		out[0] = l.From
+		return out
+	}
+	for i := 0; i < n; i++ {
+		out[i] = Point{
+			X: l.From.X + roundDiv((l.To.X-l.From.X)*i, n-1),
+			Y: l.From.Y + roundDiv((l.To.Y-l.From.Y)*i, n-1),
+		}
+	}
+	return out
+}
+
+// Raster scatters the pixels of r onto a width×height grid and returns
+// it as a row-major boolean matrix. Because a pixel can appear in more
+// than one line, this is the one place the paper needs "the simplest
+// form of concurrent-write (one of the values gets written)"; the
+// machine's PermuteWrite provides exactly that. Pixels outside the grid
+// panic: the caller chose the grid.
+func Raster(m *core.Machine, r Result, width, height int) []bool {
+	grid := make([]bool, width*height)
+	n := len(r.Pixels)
+	idx := make([]int, n)
+	core.Par(m, n, func(i int) {
+		p := r.Pixels[i]
+		if p.X < 0 || p.X >= width || p.Y < 0 || p.Y >= height {
+			panic(fmt.Sprintf("lines: Raster: pixel %d at (%d,%d) outside %dx%d grid", i, p.X, p.Y, width, height))
+		}
+		idx[i] = p.Y*width + p.X
+	})
+	trues := make([]bool, n)
+	core.Par(m, n, func(i int) { trues[i] = true })
+	core.PermuteWrite(m, grid, trues, idx)
+	return grid
+}

@@ -1,0 +1,158 @@
+package lines
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// fig9Lines are the three lines of Figure 9.
+var fig9Lines = []Line{
+	{Point{11, 2}, Point{23, 14}},
+	{Point{2, 13}, Point{13, 8}},
+	{Point{16, 4}, Point{31, 4}},
+}
+
+func TestDrawFig9(t *testing.T) {
+	m := core.New()
+	r := Draw(m, fig9Lines)
+	// Inclusive DDA: max(|dx|,|dy|)+1 pixels per line. (The paper's
+	// caption says 12/11/16, which is not consistent with any single
+	// endpoint convention; see EXPERIMENTS.md.)
+	wantCounts := []int{13, 12, 16}
+	if want := []int{0, 13, 25}; !reflect.DeepEqual(r.Starts, want) {
+		t.Errorf("Starts = %v, want %v", r.Starts, want)
+	}
+	if len(r.Pixels) != 13+12+16 {
+		t.Fatalf("total pixels = %d, want 41", len(r.Pixels))
+	}
+	for i, l := range fig9Lines {
+		start := r.Starts[i]
+		end := start + wantCounts[i]
+		got := r.Pixels[start:end]
+		want := SerialDDA(l)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("line %d pixels = %v, want serial DDA %v", i, got, want)
+		}
+	}
+}
+
+func TestDrawMatchesSerialDDARandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(20)
+		ls := make([]Line, n)
+		for i := range ls {
+			ls[i] = Line{
+				Point{rng.Intn(100), rng.Intn(100)},
+				Point{rng.Intn(100), rng.Intn(100)},
+			}
+		}
+		m := core.New()
+		r := Draw(m, ls)
+		pos := 0
+		for i, l := range ls {
+			want := SerialDDA(l)
+			got := r.Pixels[pos : pos+len(want)]
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d line %d: %v vs %v", trial, i, got, want)
+			}
+			if !r.SegFlags[pos] {
+				t.Fatalf("trial %d line %d: missing segment flag", trial, i)
+			}
+			pos += len(want)
+		}
+	}
+}
+
+func TestDrawDegenerateLines(t *testing.T) {
+	m := core.New()
+	r := Draw(m, []Line{{Point{5, 5}, Point{5, 5}}})
+	if len(r.Pixels) != 1 || r.Pixels[0] != (Point{5, 5}) {
+		t.Errorf("point line = %v", r.Pixels)
+	}
+	// Vertical and horizontal.
+	r = Draw(m, []Line{{Point{0, 0}, Point{0, 4}}, {Point{3, 2}, Point{0, 2}}})
+	if len(r.Pixels) != 5+4 {
+		t.Fatalf("pixels = %d, want 9", len(r.Pixels))
+	}
+	for i := 0; i < 5; i++ {
+		if r.Pixels[i] != (Point{0, i}) {
+			t.Errorf("vertical pixel %d = %v", i, r.Pixels[i])
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if r.Pixels[5+i] != (Point{3 - i, 2}) {
+			t.Errorf("reversed horizontal pixel %d = %v", i, r.Pixels[5+i])
+		}
+	}
+}
+
+func TestDrawConstantSteps(t *testing.T) {
+	// O(1) program steps regardless of line count and length.
+	mkLines := func(n, length int) []Line {
+		ls := make([]Line, n)
+		for i := range ls {
+			ls[i] = Line{Point{0, i}, Point{length, i}}
+		}
+		return ls
+	}
+	m1 := core.New()
+	Draw(m1, mkLines(4, 10))
+	m2 := core.New()
+	Draw(m2, mkLines(400, 1000))
+	if m1.Steps() != m2.Steps() {
+		t.Errorf("steps grew: %d vs %d", m1.Steps(), m2.Steps())
+	}
+}
+
+func TestRaster(t *testing.T) {
+	m := core.New()
+	r := Draw(m, []Line{{Point{0, 0}, Point{2, 0}}, {Point{2, 0}, Point{2, 1}}})
+	grid := Raster(m, r, 3, 2)
+	want := []bool{
+		true, true, true,
+		false, false, true,
+	}
+	if !reflect.DeepEqual(grid, want) {
+		t.Errorf("grid = %v, want %v", grid, want)
+	}
+}
+
+func TestRasterOutOfRangePanics(t *testing.T) {
+	m := core.New()
+	r := Draw(m, []Line{{Point{0, 0}, Point{5, 0}}})
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for out-of-grid pixel")
+		}
+	}()
+	Raster(m, r, 3, 1)
+}
+
+func TestUsageTable3(t *testing.T) {
+	// Table 3: line drawing uses allocating, copying, segmented
+	// primitives.
+	m := core.New()
+	Draw(m, fig9Lines)
+	c := m.Counters()
+	for _, u := range []core.Usage{core.UseAllocate, core.UseCopy, core.UseSegmented} {
+		if c.UsageCounts[u] == 0 {
+			t.Errorf("usage %v not recorded", u)
+		}
+	}
+}
+
+func TestRoundDiv(t *testing.T) {
+	cases := []struct{ a, b, want int }{
+		{0, 5, 0}, {5, 2, 3}, {4, 2, 2}, {-5, 2, -3}, {7, 3, 2}, {8, 3, 3},
+		{5, -2, -3}, {-5, -2, 3},
+	}
+	for _, c := range cases {
+		if got := roundDiv(c.a, c.b); got != c.want {
+			t.Errorf("roundDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,282 @@
+// Package listrank implements the list-ranking row of the paper's
+// Table 5: computing every node's distance to the end of a linked list.
+//
+// Two algorithms are provided. PointerJump is Wyllie's pointer jumping:
+// O(lg n) steps with n processors but O(n lg n) work. Contract is the
+// work-efficient random-mate contraction: spliced-out nodes accumulate
+// their weight on their predecessor's link and are packed away (the
+// paper's load balancing), so the active vector shrinks geometrically
+// and the processor-step product is O(n) with p = n / lg n processors —
+// exactly the trade Table 5 tabulates.
+package listrank
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scans/internal/core"
+)
+
+// PointerJump returns, for each node, the number of links from it to the
+// tail. next[i] is node i's successor; the tail points to itself. Every
+// node must reach the tail (one list, or a forest of lists each ending
+// in a self-loop).
+func PointerJump(m *core.Machine, next []int) []int {
+	n := len(next)
+	checkList(next)
+	rank := make([]int, n)
+	nxt := make([]int, n)
+	core.Par(m, n, func(i int) {
+		nxt[i] = next[i]
+		if next[i] != i {
+			rank[i] = 1
+		}
+	})
+	rankNext := make([]int, n)
+	nextNext := make([]int, n)
+	for span := 1; span < n; span *= 2 {
+		core.GatherShared(m, rankNext, rank, nxt)
+		core.GatherShared(m, nextNext, nxt, nxt)
+		core.Par(m, n, func(i int) {
+			rank[i] += rankNext[i]
+			nxt[i] = nextNext[i]
+		})
+	}
+	return rank
+}
+
+// spliceRecord remembers one removed node for the expansion sweep.
+type spliceRecord struct {
+	id, succ, d int
+}
+
+// Contract returns the same ranks as PointerJump via work-efficient
+// random-mate contraction. seed drives the coin flips.
+func Contract(m *core.Machine, next []int, seed int64) []int {
+	n := len(next)
+	checkList(next)
+	if n == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	// Active arrays, indexed by position; ids map positions back to the
+	// original nodes. d is the weight of the link leaving each node.
+	ids := make([]int, n)
+	nxt := make([]int, n) // successor as original id
+	d := make([]int, n)
+	core.Par(m, n, func(i int) {
+		ids[i] = i
+		nxt[i] = next[i]
+		if next[i] != i {
+			d[i] = 1
+		}
+	})
+	posOf := make([]int, n) // original id -> active position
+	var rounds [][]spliceRecord
+	na := n
+	for round := 0; ; round++ {
+		if round > 64*(lgCeil(n)+2) {
+			panic("listrank: Contract did not converge; splice bookkeeping bug")
+		}
+		anyNonTail := false
+		for i := 0; i < na; i++ {
+			if nxt[i] != ids[i] {
+				anyNonTail = true
+				break
+			}
+		}
+		if !anyNonTail {
+			break
+		}
+		ids, nxt, d, na = spliceRound(m, rng, ids, nxt, d, posOf, &rounds, na)
+	}
+	// Only tails remain; their rank is zero.
+	rank := make([]int, n)
+	core.Par(m, na, func(i int) { rank[ids[i]] = d[i] })
+	// Expansion: replay the splices newest-first; each removed node's
+	// rank is its link weight plus its then-successor's rank.
+	for r := len(rounds) - 1; r >= 0; r-- {
+		recs := rounds[r]
+		core.Par(m, len(recs), func(i int) {
+			rec := recs[i]
+			rank[rec.id] = rec.d + rank[rec.succ]
+		})
+	}
+	return rank
+}
+
+// spliceRound removes an independent set of picked nodes and returns the
+// packed arrays.
+func spliceRound(m *core.Machine, rng *rand.Rand, ids, nxt, d, posOf []int, rounds *[][]spliceRecord, na int) ([]int, []int, []int, int) {
+	ids, nxt, d = ids[:na], nxt[:na], d[:na]
+	// Refresh id -> position (only the na active writes are charged).
+	core.Permute(m, posOf, iota(m, na), ids)
+	nxtPos := make([]int, na)
+	core.GatherShared(m, nxtPos, posOf, nxt) // tail reads itself twice
+	isTail := make([]bool, na)
+	coin := make([]bool, na)
+	core.Par(m, na, func(i int) {
+		isTail[i] = nxt[i] == ids[i]
+		coin[i] = rng.Intn(2) == 0
+	})
+	// predCoin / predPos via a scatter from each non-tail to its
+	// successor's slot: exclusive, since successors are unique.
+	notTail := make([]bool, na)
+	core.Par(m, na, func(i int) { notTail[i] = !isTail[i] })
+	predCoin := make([]bool, na)
+	core.PermuteIf(m, predCoin, coin, nxtPos, notTail)
+	predPos := make([]int, na)
+	core.Par(m, na, func(i int) { predPos[i] = -1 })
+	core.PermuteIf(m, predPos, iota(m, na), nxtPos, notTail)
+	// A picked non-tail splices unless its predecessor was also picked
+	// (which keeps the spliced set independent). Heads — nodes with no
+	// predecessor — always qualify when picked; there is simply no link
+	// to repair for them.
+	spliced := make([]bool, na)
+	hasPred := make([]bool, na)
+	core.Par(m, na, func(i int) {
+		hasPred[i] = predPos[i] >= 0
+		spliced[i] = coin[i] && !isTail[i] && (!hasPred[i] || !predCoin[i])
+	})
+	// Record the removals.
+	count := 0
+	for _, s := range spliced {
+		if s {
+			count++
+		}
+	}
+	if count > 0 {
+		recID := make([]int, count)
+		recSucc := make([]int, count)
+		recD := make([]int, count)
+		core.Pack(m, recID, ids, spliced)
+		core.Pack(m, recSucc, nxt, spliced)
+		core.Pack(m, recD, d, spliced)
+		recs := make([]spliceRecord, count)
+		for i := range recs {
+			recs[i] = spliceRecord{id: recID[i], succ: recSucc[i], d: recD[i]}
+		}
+		*rounds = append(*rounds, recs)
+		// Splice: the predecessor (if any) inherits the removed node's
+		// link; spliced heads just drop.
+		withPred := make([]bool, na)
+		core.Par(m, na, func(i int) { withPred[i] = spliced[i] && hasPred[i] })
+		core.PermuteIf(m, nxt, nxt, predPos, withPred)
+		dAdd := make([]int, na)
+		core.PermuteIf(m, dAdd, d, predPos, withPred)
+		core.Par(m, na, func(i int) {
+			if !spliced[i] {
+				d[i] += dAdd[i]
+			}
+		})
+		// Pack the survivors.
+		keep := make([]bool, na)
+		core.Par(m, na, func(i int) { keep[i] = !spliced[i] })
+		newIds := make([]int, na-count)
+		newNxt := make([]int, na-count)
+		newD := make([]int, na-count)
+		core.Pack(m, newIds, ids, keep)
+		core.Pack(m, newNxt, nxt, keep)
+		core.Pack(m, newD, d, keep)
+		return newIds, newNxt, newD, na - count
+	}
+	return ids, nxt, d, na
+}
+
+func lgCeil(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// iota returns [0, 1, ..., n-1], charged as one elementwise step.
+func iota(m *core.Machine, n int) []int {
+	v := make([]int, n)
+	core.Par(m, n, func(i int) { v[i] = i })
+	return v
+}
+
+// checkList panics unless next describes lists: every pointer in range,
+// and following pointers terminates (no cycle other than tail
+// self-loops). O(n) host-side validation.
+func checkList(next []int) {
+	n := len(next)
+	indeg := make([]int, n)
+	for i, nx := range next {
+		if nx < 0 || nx >= n {
+			panic(fmt.Sprintf("listrank: next[%d] = %d out of range", i, nx))
+		}
+		if nx != i {
+			indeg[nx]++
+		}
+	}
+	for i, deg := range indeg {
+		if deg > 1 {
+			panic(fmt.Sprintf("listrank: node %d has %d predecessors; not a list", i, deg))
+		}
+	}
+	// Cycle detection: total rank must be finite; walk from each head.
+	visited := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] != 0 {
+			continue
+		}
+		steps := 0
+		for x := i; !visited[x]; x = next[x] {
+			visited[x] = true
+			if next[x] == x {
+				break
+			}
+			if steps++; steps > n {
+				panic("listrank: cycle detected")
+			}
+		}
+	}
+	for i, v := range visited {
+		if !v {
+			panic(fmt.Sprintf("listrank: node %d is on a cycle with no tail", i))
+		}
+	}
+}
+
+// SerialRank is the obvious reference implementation.
+func SerialRank(next []int) []int {
+	n := len(next)
+	rank := make([]int, n)
+	var solve func(i int) int
+	memo := make([]int, n)
+	for i := range memo {
+		memo[i] = -1
+	}
+	solve = func(i int) int {
+		if next[i] == i {
+			return 0
+		}
+		if memo[i] >= 0 {
+			return memo[i]
+		}
+		// Iterative to avoid deep recursion on long lists.
+		var path []int
+		x := i
+		for memo[x] < 0 && next[x] != x {
+			path = append(path, x)
+			x = next[x]
+		}
+		base := 0
+		if memo[x] >= 0 {
+			base = memo[x]
+		}
+		for j := len(path) - 1; j >= 0; j-- {
+			base++
+			memo[path[j]] = base
+		}
+		return memo[i]
+	}
+	for i := range rank {
+		rank[i] = solve(i)
+	}
+	return rank
+}

@@ -1,0 +1,134 @@
+package listrank
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// randomList returns next pointers for one list over n nodes in random
+// order.
+func randomList(rng *rand.Rand, n int) []int {
+	order := rng.Perm(n)
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[order[i]] = order[i+1]
+	}
+	next[order[n-1]] = order[n-1]
+	return next
+}
+
+func TestPointerJumpSmall(t *testing.T) {
+	m := core.New()
+	// 2 -> 0 -> 1 -> 3 -> 3 (tail).
+	next := []int{1, 3, 0, 3}
+	got := PointerJump(m, next)
+	want := []int{2, 1, 3, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("PointerJump = %v, want %v", got, want)
+	}
+}
+
+func TestPointerJumpMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for _, n := range []int{1, 2, 3, 17, 256, 1000} {
+		next := randomList(rng, n)
+		m := core.New()
+		got := PointerJump(m, next)
+		if want := SerialRank(next); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: pointer jumping wrong", n)
+		}
+	}
+}
+
+func TestContractMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for _, n := range []int{1, 2, 3, 4, 17, 256, 1000} {
+		next := randomList(rng, n)
+		m := core.New()
+		got := Contract(m, next, int64(n))
+		if want := SerialRank(next); !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: contraction ranking wrong", n)
+		}
+	}
+}
+
+func TestMultipleLists(t *testing.T) {
+	// Two disjoint lists: 0->1->1 and 3->2->4->4.
+	next := []int{1, 1, 4, 2, 4}
+	want := []int{1, 0, 1, 2, 0}
+	m := core.New()
+	if got := PointerJump(m, next); !reflect.DeepEqual(got, want) {
+		t.Errorf("PointerJump forest = %v, want %v", got, want)
+	}
+	if got := Contract(m, next, 7); !reflect.DeepEqual(got, want) {
+		t.Errorf("Contract forest = %v, want %v", got, want)
+	}
+}
+
+func TestChecksRejectBadInputs(t *testing.T) {
+	m := core.New()
+	for name, next := range map[string][]int{
+		"cycle":        {1, 2, 0},
+		"two-preds":    {2, 2, 2},
+		"out-of-range": {5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			PointerJump(m, next)
+		}()
+	}
+}
+
+// TestTable5ProcessorStepGrowth verifies the shape of the paper's
+// Table 5 row: pointer jumping with p = n does Θ(n lg n) processor-steps
+// while contraction with p = n/lg n does Θ(n). Constant factors differ
+// (contraction runs ~10x more primitives per round), so the measurable
+// claim is the growth rate: over a 64x size increase, pointer jumping's
+// product must grow by an extra lg factor (~64·16/10) while
+// contraction's stays ~linear.
+func TestTable5ProcessorStepGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	product := func(n, lgn int, contract bool) float64 {
+		next := randomList(rng, n)
+		if contract {
+			m := core.New(core.WithProcessors(n / lgn))
+			Contract(m, next, 5)
+			return float64(m.Steps()) * float64(n/lgn)
+		}
+		m := core.New(core.WithProcessors(n))
+		PointerJump(m, next)
+		return float64(m.Steps()) * float64(n)
+	}
+	jumpRatio := product(1<<16, 16, false) / product(1<<10, 10, false)
+	contractRatio := product(1<<16, 16, true) / product(1<<10, 10, true)
+	// 64x input: linear work grows ~64x, n lg n work ~64*1.6x.
+	if contractRatio > 85 {
+		t.Errorf("contraction processor-steps grew %.1fx for 64x input; want ~linear", contractRatio)
+	}
+	if jumpRatio < 90 {
+		t.Errorf("pointer jumping processor-steps grew only %.1fx for 64x input; want an extra lg factor", jumpRatio)
+	}
+	if contractRatio >= jumpRatio {
+		t.Errorf("contraction growth (%.1fx) not below pointer jumping growth (%.1fx)", contractRatio, jumpRatio)
+	}
+}
+
+func TestContractStepsLogWithUnboundedProcessors(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	steps := func(n int) int64 {
+		m := core.New()
+		Contract(m, randomList(rng, n), 3)
+		return m.Steps()
+	}
+	s1, s4 := steps(1<<10), steps(1<<12)
+	if ratio := float64(s4) / float64(s1); ratio > 2 {
+		t.Errorf("contraction steps grew %.2fx for 4x nodes; want lg-like", ratio)
+	}
+}

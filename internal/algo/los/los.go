@@ -1,0 +1,68 @@
+// Package los implements the line-of-sight computation of the paper's
+// Table 1: given terrain altitudes along a ray from an observation
+// point, a point is visible exactly when its vertical angle from the
+// observer exceeds the angle of every point in front of it — one
+// elementwise pass to form the angles and one max-scan, O(1) program
+// steps (the paper lists Line of Sight as O(1) in the scan model versus
+// O(lg n) on both P-RAM variants).
+package los
+
+import (
+	"math"
+
+	"scans/internal/core"
+)
+
+// Visible reports which points along a ray can be seen from the
+// observer. alt[0] is the observer's altitude (plus any eye height);
+// alt[i] is the terrain altitude at distance i along the ray. The
+// observer itself is reported visible.
+func Visible(m *core.Machine, alt []float64) []bool {
+	n := len(alt)
+	if n == 0 {
+		return nil
+	}
+	// The slope (tangent of the vertical angle) is monotone in the
+	// angle, so compare slopes and skip the trigonometry.
+	slope := make([]float64, n)
+	core.Par(m, n, func(i int) {
+		if i == 0 {
+			slope[i] = math.Inf(-1)
+		} else {
+			slope[i] = (alt[i] - alt[0]) / float64(i)
+		}
+	})
+	best := make([]float64, n)
+	core.FMaxScan(m, best, slope)
+	vis := make([]bool, n)
+	core.Par(m, n, func(i int) { vis[i] = i == 0 || slope[i] > best[i] })
+	return vis
+}
+
+// VisibleSegmented runs the computation independently for many rays laid
+// out in one segmented vector (flags mark each ray's first element, the
+// observer sample): the form a grid line-of-sight uses, one ray per
+// compass direction, still O(1) steps.
+func VisibleSegmented(m *core.Machine, alt []float64, flags []bool) []bool {
+	n := len(alt)
+	if n == 0 {
+		return nil
+	}
+	origin := make([]float64, n)
+	core.SegCopy(m, origin, alt, flags)
+	rank := make([]int, n)
+	core.SegRank(m, rank, flags)
+	slope := make([]float64, n)
+	core.Par(m, n, func(i int) {
+		if rank[i] == 0 {
+			slope[i] = math.Inf(-1)
+		} else {
+			slope[i] = (alt[i] - origin[i]) / float64(rank[i])
+		}
+	})
+	best := make([]float64, n)
+	core.SegFMaxScan(m, best, slope, flags)
+	vis := make([]bool, n)
+	core.Par(m, n, func(i int) { vis[i] = rank[i] == 0 || slope[i] > best[i] })
+	return vis
+}

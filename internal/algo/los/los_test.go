@@ -1,0 +1,121 @@
+package los
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// refVisible is the obvious O(n²) reference.
+func refVisible(alt []float64) []bool {
+	n := len(alt)
+	vis := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			vis[0] = true
+			continue
+		}
+		s := (alt[i] - alt[0]) / float64(i)
+		vis[i] = true
+		for j := 1; j < i; j++ {
+			if (alt[j]-alt[0])/float64(j) >= s {
+				vis[i] = false
+				break
+			}
+		}
+	}
+	return vis
+}
+
+func TestVisibleBasic(t *testing.T) {
+	m := core.New()
+	// Observer at height 10; a hill at distance 2 hides the valley
+	// behind it until the terrain rises above the sight line.
+	// The hill's sight line has slope (20-10)/2 = 5, so the peak at
+	// distance 5 needs altitude above 10 + 5*5 = 35 to clear it.
+	alt := []float64{10, 5, 20, 5, 5, 40}
+	got := Visible(m, alt)
+	want := []bool{true, true, true, false, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Visible = %v, want %v", got, want)
+	}
+}
+
+func TestVisibleMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(30))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(200)
+		alt := make([]float64, n)
+		for i := range alt {
+			alt[i] = rng.Float64() * 100
+		}
+		m := core.New()
+		got := Visible(m, alt)
+		if want := refVisible(alt); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestVisibleEdges(t *testing.T) {
+	m := core.New()
+	if got := Visible(m, nil); got != nil {
+		t.Errorf("empty = %v", got)
+	}
+	if got := Visible(m, []float64{7}); !reflect.DeepEqual(got, []bool{true}) {
+		t.Errorf("single = %v", got)
+	}
+	// Flat terrain: only the first point ahead is visible.
+	got := Visible(m, []float64{0, 0, 0, 0})
+	if want := []bool{true, true, false, false}; !reflect.DeepEqual(got, want) {
+		t.Errorf("flat = %v, want %v", got, want)
+	}
+}
+
+func TestVisibleConstantSteps(t *testing.T) {
+	// Table 1: Line of Sight is O(1) in the scan model.
+	m1 := core.New()
+	Visible(m1, make([]float64, 64))
+	m2 := core.New()
+	Visible(m2, make([]float64, 65536))
+	if m1.Steps() != m2.Steps() {
+		t.Errorf("steps grew with n: %d vs %d", m1.Steps(), m2.Steps())
+	}
+}
+
+func TestVisibleSegmented(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	// Three rays of different lengths; results must equal per-ray runs.
+	rays := [][]float64{}
+	var all []float64
+	var flags []bool
+	for r := 0; r < 3; r++ {
+		n := 1 + rng.Intn(50)
+		ray := make([]float64, n)
+		for i := range ray {
+			ray[i] = rng.Float64() * 50
+		}
+		rays = append(rays, ray)
+		for i := range ray {
+			flags = append(flags, i == 0)
+			all = append(all, ray[i])
+		}
+	}
+	m := core.New()
+	got := VisibleSegmented(m, all, flags)
+	pos := 0
+	for r, ray := range rays {
+		want := refVisible(ray)
+		for i := range want {
+			if got[pos+i] != want[i] {
+				t.Fatalf("ray %d index %d: got %v, want %v", r, i, got[pos+i], want[i])
+			}
+		}
+		pos += len(ray)
+	}
+	if gotEmpty := VisibleSegmented(m, nil, nil); gotEmpty != nil {
+		t.Errorf("empty segmented = %v", gotEmpty)
+	}
+}

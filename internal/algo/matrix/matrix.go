@@ -1,0 +1,208 @@
+// Package matrix implements the paper's Table 1 matrix manipulations on
+// the scan-model machine with n² (or n·(n+1)) virtual processors:
+//
+//   - vector × matrix in O(1) program steps (copy the vector across the
+//     rows, multiply, sum the columns with a segmented +-distribute),
+//   - matrix × matrix in O(n) steps (n rank-1 updates, each O(1)),
+//   - a linear-system solver with partial pivoting in O(n) steps
+//     (max-scan pivot selection per iteration).
+//
+// Matrices are flat row-major []float64 vectors; the column operations
+// run through one fixed transpose permutation.
+package matrix
+
+import (
+	"fmt"
+	"math"
+
+	"scans/internal/core"
+)
+
+// rowHeads returns segment flags marking the start of each length-w row
+// in an n-row matrix.
+func rowHeads(m *core.Machine, n, w int) []bool {
+	flags := make([]bool, n*w)
+	core.Par(m, n*w, func(i int) { flags[i] = i%w == 0 })
+	return flags
+}
+
+// transposeIdx returns the permutation sending row-major (n rows × w
+// cols) position i*w+j to column-major position j*n+i.
+func transposeIdx(m *core.Machine, n, w int) []int {
+	idx := make([]int, n*w)
+	core.Par(m, n*w, func(p int) {
+		i, j := p/w, p%w
+		idx[p] = j*n + i
+	})
+	return idx
+}
+
+// spreadRowValue distributes, for each row i, the value at column col of
+// that row across the whole row: one permute to the row heads plus one
+// segmented copy. a is row-major n×w.
+func spreadRowValue(m *core.Machine, a []float64, n, w, col int, flags []bool) []float64 {
+	sel := make([]bool, n*w)
+	idx := make([]int, n*w)
+	core.Par(m, n*w, func(p int) {
+		if p%w == col {
+			sel[p] = true
+			idx[p] = (p / w) * w
+		}
+	})
+	heads := make([]float64, n*w)
+	core.PermuteIf(m, heads, a, idx, sel)
+	out := make([]float64, n*w)
+	core.SegCopy(m, out, heads, flags)
+	return out
+}
+
+// VecMat multiplies the length-n vector v by the n×w matrix a (row
+// major), returning the length-w result, in O(1) program steps.
+func VecMat(m *core.Machine, v []float64, a []float64, n, w int) []float64 {
+	if len(v) != n || len(a) != n*w {
+		panic(fmt.Sprintf("matrix: VecMat: v %d, a %d, want %d and %d", len(v), len(a), n, n*w))
+	}
+	if n == 0 || w == 0 {
+		return make([]float64, w)
+	}
+	flags := rowHeads(m, n, w)
+	// v_i across row i.
+	headPos := make([]int, n)
+	core.Par(m, n, func(i int) { headPos[i] = i * w })
+	atHeads := make([]float64, n*w)
+	core.Permute(m, atHeads, v, headPos)
+	vv := make([]float64, n*w)
+	core.SegCopy(m, vv, atHeads, flags)
+	prod := make([]float64, n*w)
+	core.Par(m, n*w, func(p int) { prod[p] = vv[p] * a[p] })
+	// Column sums: transpose, segmented +-distribute, read the heads.
+	t := transposeIdx(m, n, w)
+	colMajor := make([]float64, n*w)
+	core.Permute(m, colMajor, prod, t)
+	colFlags := rowHeads(m, w, n)
+	sums := make([]float64, n*w)
+	core.SegFPlusScan(m, sums, colMajor, colFlags)
+	core.Par(m, n*w, func(p int) { sums[p] += colMajor[p] })
+	out := make([]float64, w)
+	core.Par(m, w, func(j int) { out[j] = sums[j*n+n-1] })
+	return out
+}
+
+// MatMat multiplies two n×n row-major matrices in O(n) program steps:
+// n rank-1 updates C += A[:,k] ⊗ B[k,:], each a constant number of
+// primitives.
+func MatMat(m *core.Machine, a, b []float64, n int) []float64 {
+	if len(a) != n*n || len(b) != n*n {
+		panic(fmt.Sprintf("matrix: MatMat: a %d, b %d, want %d", len(a), len(b), n*n))
+	}
+	c := make([]float64, n*n)
+	if n == 0 {
+		return c
+	}
+	flags := rowHeads(m, n, n)
+	t := transposeIdx(m, n, n)
+	bt := make([]float64, n*n)
+	core.Permute(m, bt, b, t) // bt[j*n+k] = b[k*n+j]
+	for k := 0; k < n; k++ {
+		acol := spreadRowValue(m, a, n, n, k, flags) // acol[i*n+j] = a[i][k]
+		// brow in transposed space: brow_t[j*n+i] = b[k][j], then back.
+		browT := spreadRowValue(m, bt, n, n, k, flags)
+		brow := make([]float64, n*n)
+		core.Permute(m, brow, browT, t)
+		core.Par(m, n*n, func(p int) { c[p] += acol[p] * brow[p] })
+	}
+	return c
+}
+
+// Solve solves the n×n system ax = rhs by Gauss–Jordan elimination with
+// partial pivoting on an n×(n+1) augmented matrix: n iterations, each a
+// constant number of primitives (the pivot search is one max-distribute,
+// the paper's "with pivoting ... O(n)" row of Table 1). It returns an
+// error for a singular (or numerically singular) system.
+func Solve(m *core.Machine, a []float64, rhs []float64, n int) ([]float64, error) {
+	if len(a) != n*n || len(rhs) != n {
+		panic(fmt.Sprintf("matrix: Solve: a %d, rhs %d, want %d and %d", len(a), len(rhs), n*n, n))
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	w := n + 1
+	aug := make([]float64, n*w)
+	core.Par(m, n*w, func(p int) {
+		i, j := p/w, p%w
+		if j < n {
+			aug[p] = a[i*n+j]
+		} else {
+			aug[p] = rhs[i]
+		}
+	})
+	flags := rowHeads(m, n, w)
+	t := transposeIdx(m, n, w)
+	tBack := transposeIdx(m, w, n)
+	one := make([]bool, n*w) // single segment for global distributes
+	colFlags := rowHeads(m, w, n)
+	for k := 0; k < n; k++ {
+		// Partial pivoting: the row i >= k maximizing |aug[i][k]|.
+		key := make([]float64, n*w)
+		core.Par(m, n*w, func(p int) {
+			i, j := p/w, p%w
+			if j == k && i >= k {
+				key[p] = math.Abs(aug[p])
+			} else {
+				key[p] = math.Inf(-1)
+			}
+		})
+		best := make([]float64, n*w)
+		core.SegFMaxDistribute(m, best, key, one)
+		if best[0] == 0 || math.IsInf(best[0], -1) {
+			return nil, fmt.Errorf("matrix: Solve: singular system at elimination step %d", k)
+		}
+		cand := make([]int, n*w)
+		core.Par(m, n*w, func(p int) {
+			if key[p] == best[p] {
+				cand[p] = p / w
+			} else {
+				cand[p] = core.MaxIdentity
+			}
+		})
+		tmp := make([]int, n*w)
+		r := core.MinDistribute(m, tmp, cand)
+		if r != k {
+			// Swap rows k and r with one permute.
+			swp := make([]int, n*w)
+			core.Par(m, n*w, func(p int) {
+				switch i, j := p/w, p%w; i {
+				case k:
+					swp[p] = r*w + j
+				case r:
+					swp[p] = k*w + j
+				default:
+					swp[p] = p
+				}
+			})
+			swapped := make([]float64, n*w)
+			core.Permute(m, swapped, aug, swp)
+			aug = swapped
+		}
+		// Distribute pivot row k down every column (in transposed
+		// space) and the per-row factor aug[i][k] across every row.
+		colMajor := make([]float64, n*w)
+		core.Permute(m, colMajor, aug, t)
+		pivRowT := spreadRowValue(m, colMajor, w, n, k, colFlags)
+		pivRow := make([]float64, n*w)
+		core.Permute(m, pivRow, pivRowT, tBack)
+		factor := spreadRowValue(m, aug, n, w, k, flags)
+		piv := pivRow[k*w+k] // == aug[k][k], already distributed everywhere in row k... use scalar read
+		core.Par(m, n*w, func(p int) {
+			i := p / w
+			if i == k {
+				aug[p] /= piv
+			} else {
+				aug[p] -= factor[i*w] * pivRow[p] / piv
+			}
+		})
+	}
+	x := make([]float64, n)
+	core.Par(m, n, func(i int) { x[i] = aug[i*w+n] })
+	return x, nil
+}

@@ -1,0 +1,225 @@
+package matrix
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+func refVecMat(v, a []float64, n, w int) []float64 {
+	out := make([]float64, w)
+	for i := 0; i < n; i++ {
+		for j := 0; j < w; j++ {
+			out[j] += v[i] * a[i*w+j]
+		}
+	}
+	return out
+}
+
+func refMatMat(a, b []float64, n int) []float64 {
+	out := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			for j := 0; j < n; j++ {
+				out[i*n+j] += a[i*n+k] * b[k*n+j]
+			}
+		}
+	}
+	return out
+}
+
+func almostEqual(a, b []float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVecMatSmall(t *testing.T) {
+	m := core.New()
+	// v = [1 2], A = [[1 2 3],[4 5 6]]: v*A = [9 12 15].
+	got := VecMat(m, []float64{1, 2}, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if !almostEqual(got, []float64{9, 12, 15}, 1e-12) {
+		t.Errorf("VecMat = %v, want [9 12 15]", got)
+	}
+}
+
+func TestVecMatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(90))
+	for _, dims := range [][2]int{{1, 1}, {3, 5}, {8, 8}, {16, 4}} {
+		n, w := dims[0], dims[1]
+		v := make([]float64, n)
+		a := make([]float64, n*w)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		m := core.New()
+		got := VecMat(m, v, a, n, w)
+		if !almostEqual(got, refVecMat(v, a, n, w), 1e-9) {
+			t.Fatalf("n=%d w=%d: VecMat wrong", n, w)
+		}
+	}
+}
+
+func TestVecMatConstantSteps(t *testing.T) {
+	// Table 1: Vector x Matrix is O(1) in the scan model.
+	steps := func(n int) int64 {
+		m := core.New()
+		VecMat(m, make([]float64, n), make([]float64, n*n), n, n)
+		return m.Steps()
+	}
+	if s8, s64 := steps(8), steps(64); s8 != s64 {
+		t.Errorf("VecMat steps grew with n: %d vs %d", s8, s64)
+	}
+}
+
+func TestMatMatSmall(t *testing.T) {
+	m := core.New()
+	a := []float64{1, 2, 3, 4}
+	b := []float64{5, 6, 7, 8}
+	got := MatMat(m, a, b, 2)
+	if !almostEqual(got, []float64{19, 22, 43, 50}, 1e-12) {
+		t.Errorf("MatMat = %v, want [19 22 43 50]", got)
+	}
+}
+
+func TestMatMatRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for _, n := range []int{1, 2, 5, 12} {
+		a := make([]float64, n*n)
+		b := make([]float64, n*n)
+		for i := range a {
+			a[i], b[i] = rng.NormFloat64(), rng.NormFloat64()
+		}
+		m := core.New()
+		got := MatMat(m, a, b, n)
+		if !almostEqual(got, refMatMat(a, b, n), 1e-9) {
+			t.Fatalf("n=%d: MatMat wrong", n)
+		}
+	}
+}
+
+func TestMatMatStepsLinear(t *testing.T) {
+	// Table 1: Matrix x Matrix is O(n) steps.
+	steps := func(n int) int64 {
+		m := core.New()
+		MatMat(m, make([]float64, n*n), make([]float64, n*n), n)
+		return m.Steps()
+	}
+	s8, s16 := steps(8), steps(16)
+	ratio := float64(s16-1) / float64(s8-1) // minus the shared setup
+	if ratio < 1.8 || ratio > 2.2 {
+		t.Errorf("MatMat step ratio for 2x n = %.2f, want ~2 (O(n))", ratio)
+	}
+}
+
+func TestSolveSmall(t *testing.T) {
+	m := core.New()
+	// 2x + y = 5; x - y = 1 -> x = 2, y = 1.
+	a := []float64{2, 1, 1, -1}
+	x, err := Solve(m, a, []float64{5, 1}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, []float64{2, 1}, 1e-12) {
+		t.Errorf("Solve = %v, want [2 1]", x)
+	}
+}
+
+func TestSolveNeedsPivoting(t *testing.T) {
+	m := core.New()
+	// Zero in the leading position forces a row swap.
+	a := []float64{0, 1, 1, 0}
+	x, err := Solve(m, a, []float64{3, 7}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x, []float64{7, 3}, 1e-12) {
+		t.Errorf("Solve = %v, want [7 3]", x)
+	}
+}
+
+func TestSolveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for _, n := range []int{1, 2, 4, 10, 20} {
+		a := make([]float64, n*n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		// rhs = A * want, so Solve must recover want.
+		rhs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				rhs[i] += a[i*n+j] * want[j]
+			}
+		}
+		m := core.New()
+		x, err := Solve(m, a, rhs, n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !almostEqual(x, want, 1e-6) {
+			t.Fatalf("n=%d: Solve = %v, want %v", n, x, want)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	m := core.New()
+	a := []float64{1, 2, 2, 4} // rank 1
+	if _, err := Solve(m, a, []float64{1, 2}, 2); err == nil {
+		t.Error("singular system did not error")
+	}
+}
+
+func TestSolveStepsLinear(t *testing.T) {
+	// Table 1: Linear Systems Solver is O(n) steps.
+	steps := func(n int) int64 {
+		a := make([]float64, n*n)
+		for i := 0; i < n; i++ {
+			a[i*n+i] = 1
+		}
+		m := core.New()
+		if _, err := Solve(m, a, make([]float64, n), n); err != nil {
+			t.Fatal(err)
+		}
+		return m.Steps()
+	}
+	s8, s16 := steps(8), steps(16)
+	ratio := float64(s16) / float64(s8)
+	if ratio < 1.7 || ratio > 2.4 {
+		t.Errorf("Solve step ratio for 2x n = %.2f, want ~2", ratio)
+	}
+}
+
+func TestDimensionPanics(t *testing.T) {
+	m := core.New()
+	for name, f := range map[string]func(){
+		"vecmat": func() { VecMat(m, []float64{1}, []float64{1}, 2, 3) },
+		"matmat": func() { MatMat(m, []float64{1}, []float64{1}, 2) },
+		"solve":  func() { Solve(m, []float64{1}, []float64{1}, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

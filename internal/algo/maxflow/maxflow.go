@@ -1,0 +1,209 @@
+// Package maxflow computes maximum s-t flow, the last row of the
+// paper's Table 1 graph-algorithm block (O(n² lg n) on the P-RAMs,
+// O(n²) in the scan model). The paper defers the algorithm to its
+// companion references; this implementation is a synchronous parallel
+// push–relabel on a dense n×n residual matrix: every pulse — all active
+// vertices pushing along one admissible edge or relabeling, with the
+// excess updates gathered by segmented +-distributes over rows and
+// columns — is a constant number of primitives over n² virtual
+// processors. The pulse count is the push–relabel phase bound
+// (polynomial in n; see DESIGN.md for the substitution note against the
+// paper's specific O(n²) algorithm).
+package maxflow
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// Run computes the maximum flow from s to t in a directed graph given as
+// a dense capacity matrix (cap[u*n+v] = capacity of the edge u→v,
+// 0 for no edge). Capacities must be non-negative.
+func Run(m *core.Machine, capacity []int, n, s, t int) int {
+	if len(capacity) != n*n {
+		panic(fmt.Sprintf("maxflow: capacity has %d entries for n = %d", len(capacity), n))
+	}
+	if s < 0 || s >= n || t < 0 || t >= n || s == t {
+		panic(fmt.Sprintf("maxflow: bad terminals s=%d t=%d for n=%d", s, t, n))
+	}
+	for i, c := range capacity {
+		if c < 0 {
+			panic(fmt.Sprintf("maxflow: negative capacity at %d", i))
+		}
+	}
+	r := make([]int, n*n) // residual matrix
+	core.Par(m, n*n, func(i int) { r[i] = capacity[i] })
+	height := make([]int, n)
+	excess := make([]int, n)
+	core.Par(m, n, func(v int) {
+		if v == s {
+			height[v] = n
+		}
+	})
+	// Saturate the source's out-edges.
+	core.Par(m, n, func(v int) {
+		c := r[s*n+v]
+		if c > 0 && v != s {
+			excess[v] += c
+			r[s*n+v] = 0
+			r[v*n+s] += c
+		}
+	})
+
+	rowFlags := make([]bool, n*n)
+	core.Par(m, n*n, func(i int) { rowFlags[i] = i%n == 0 })
+	t2 := make([]int, n*n) // transpose permutation
+	core.Par(m, n*n, func(p int) {
+		i, j := p/n, p%n
+		t2[p] = j*n + i
+	})
+
+	// Reusable pulse vectors.
+	active := make([]bool, n)
+	admKey := make([]int, n*n)
+	rowMin := make([]int, n*n)
+	neighKey := make([]int, n*n)
+	neighMin := make([]int, n*n)
+	push := make([]int, n*n)
+	pushT := make([]int, n*n)
+	incoming := make([]int, n*n)
+	outgoing := make([]int, n*n)
+	admRes := make([]int, n*n)
+	admPrefix := make([]int, n*n)
+
+	// admissibleMins fills rowMin with each active row's first admissible
+	// column (or MaxIdentity), under the current heights and residuals.
+	admissibleMins := func() {
+		core.Par(m, n*n, func(p int) {
+			v, w := p/n, p%n
+			if active[v] && r[p] > 0 && height[v] == height[w]+1 {
+				admKey[p] = w
+			} else {
+				admKey[p] = core.MaxIdentity
+			}
+		})
+		core.SegMinDistribute(m, rowMin, admKey, rowFlags)
+	}
+
+	// The pulses alternate pure push phases and pure relabel phases:
+	// each preserves the height-function validity on its own (mixing
+	// them can relabel a vertex past a residual edge created by a
+	// concurrent push).
+	maxPulses := 16*n*n*n + 64
+	for pulse := 0; ; pulse++ {
+		if pulse > maxPulses {
+			panic("maxflow: pulse budget exhausted; push-relabel bookkeeping bug")
+		}
+		anyActive := false
+		core.Par(m, n, func(v int) {
+			active[v] = v != s && v != t && excess[v] > 0
+		})
+		for _, a := range active {
+			if a {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			break
+		}
+		// Push phase: every active row discharges across ALL its
+		// admissible edges at once — a row +-scan of the admissible
+		// residuals allocates the excess left to right. All pushes read
+		// the same pre-phase heights, so every new reverse residual edge
+		// (w, v) has h(w) = h(v) − 1, keeping the labeling valid.
+		core.Par(m, n*n, func(p int) {
+			v, w := p/n, p%n
+			if active[v] && r[p] > 0 && height[v] == height[w]+1 {
+				admRes[p] = r[p]
+			} else {
+				admRes[p] = 0
+			}
+		})
+		core.SegPlusScan(m, admPrefix, admRes, rowFlags)
+		core.Par(m, n*n, func(p int) {
+			v := p / n
+			push[p] = 0
+			if admRes[p] == 0 {
+				return
+			}
+			amt := excess[v] - admPrefix[p]
+			if amt <= 0 {
+				return
+			}
+			if amt > admRes[p] {
+				amt = admRes[p]
+			}
+			push[p] = amt
+		})
+		core.Permute(m, pushT, push, t2)
+		core.Par(m, n*n, func(p int) { r[p] += pushT[p] - push[p] })
+		core.SegPlusDistribute(m, incoming, pushT, rowFlags)
+		core.SegPlusDistribute(m, outgoing, push, rowFlags)
+		core.Par(m, n, func(v int) {
+			excess[v] += incoming[v*n] - outgoing[v*n]
+		})
+		// Relabel phase: rows still active with no admissible edge rise
+		// to one above their lowest residual neighbor. Simultaneous
+		// relabels stay valid because every height only increases.
+		core.Par(m, n, func(v int) {
+			active[v] = v != s && v != t && excess[v] > 0
+		})
+		admissibleMins()
+		core.Par(m, n*n, func(p int) {
+			v, w := p/n, p%n
+			if active[v] && rowMin[v*n] == core.MaxIdentity && r[p] > 0 {
+				neighKey[p] = height[w]
+			} else {
+				neighKey[p] = core.MaxIdentity
+			}
+		})
+		core.SegMinDistribute(m, neighMin, neighKey, rowFlags)
+		core.Par(m, n, func(v int) {
+			if active[v] && rowMin[v*n] == core.MaxIdentity && neighMin[v*n] != core.MaxIdentity {
+				height[v] = neighMin[v*n] + 1
+			}
+		})
+	}
+	return excess[t]
+}
+
+// Serial is the Edmonds–Karp reference implementation (BFS augmenting
+// paths on the dense residual matrix).
+func Serial(capacity []int, n, s, t int) int {
+	r := append([]int(nil), capacity...)
+	flow := 0
+	parent := make([]int, n)
+	for {
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[s] = s
+		queue := []int{s}
+		for len(queue) > 0 && parent[t] == -1 {
+			u := queue[0]
+			queue = queue[1:]
+			for v := 0; v < n; v++ {
+				if parent[v] == -1 && r[u*n+v] > 0 {
+					parent[v] = u
+					queue = append(queue, v)
+				}
+			}
+		}
+		if parent[t] == -1 {
+			return flow
+		}
+		aug := int(^uint(0) >> 1)
+		for v := t; v != s; v = parent[v] {
+			if c := r[parent[v]*n+v]; c < aug {
+				aug = c
+			}
+		}
+		for v := t; v != s; v = parent[v] {
+			r[parent[v]*n+v] -= aug
+			r[v*n+parent[v]] += aug
+		}
+		flow += aug
+	}
+}

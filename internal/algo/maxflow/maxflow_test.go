@@ -1,0 +1,170 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// capMatrix builds a dense capacity matrix from an arc list.
+func capMatrix(n int, arcs [][3]int) []int {
+	c := make([]int, n*n)
+	for _, a := range arcs {
+		c[a[0]*n+a[1]] += a[2]
+	}
+	return c
+}
+
+func TestMaxflowClassic(t *testing.T) {
+	// The CLRS example network: max flow 23.
+	c := capMatrix(6, [][3]int{
+		{0, 1, 16}, {0, 2, 13}, {1, 2, 10}, {2, 1, 4}, {1, 3, 12},
+		{3, 2, 9}, {2, 4, 14}, {4, 3, 7}, {3, 5, 20}, {4, 5, 4},
+	})
+	if got := Serial(c, 6, 0, 5); got != 23 {
+		t.Fatalf("serial reference = %d, want 23", got)
+	}
+	m := core.New()
+	if got := Run(m, c, 6, 0, 5); got != 23 {
+		t.Errorf("Run = %d, want 23", got)
+	}
+}
+
+func TestMaxflowNoPath(t *testing.T) {
+	m := core.New()
+	c := capMatrix(4, [][3]int{{0, 1, 5}, {2, 3, 7}})
+	if got := Run(m, c, 4, 0, 3); got != 0 {
+		t.Errorf("disconnected flow = %d, want 0", got)
+	}
+}
+
+func TestMaxflowDirectEdge(t *testing.T) {
+	m := core.New()
+	c := capMatrix(2, [][3]int{{0, 1, 9}})
+	if got := Run(m, c, 2, 0, 1); got != 9 {
+		t.Errorf("direct edge flow = %d, want 9", got)
+	}
+}
+
+func TestMaxflowParallelPaths(t *testing.T) {
+	// Two disjoint unit paths plus a shared bottleneck.
+	m := core.New()
+	c := capMatrix(6, [][3]int{
+		{0, 1, 3}, {1, 5, 3},
+		{0, 2, 4}, {2, 5, 2},
+		{0, 3, 1}, {3, 4, 1}, {4, 5, 1},
+	})
+	want := Serial(c, 6, 0, 5)
+	if got := Run(m, c, 6, 0, 5); got != want {
+		t.Errorf("Run = %d, want %d", got, want)
+	}
+}
+
+func TestMaxflowRandomDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(150))
+	for trial := 0; trial < 25; trial++ {
+		n := 2 + rng.Intn(14)
+		c := make([]int, n*n)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v && rng.Intn(3) == 0 {
+					c[u*n+v] = rng.Intn(20)
+				}
+			}
+		}
+		s, tt := 0, n-1
+		want := Serial(c, n, s, tt)
+		m := core.New()
+		got := Run(m, c, n, s, tt)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Run = %d, Serial = %d", trial, n, got, want)
+		}
+	}
+}
+
+func TestMaxflowRandomSparse(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 15; trial++ {
+		n := 4 + rng.Intn(20)
+		c := make([]int, n*n)
+		// A random s-t path guarantees nonzero flow sometimes.
+		prev := 0
+		for v := 1; v < n; v++ {
+			c[prev*n+v] = 1 + rng.Intn(9)
+			prev = v
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				c[u*n+v] += rng.Intn(10)
+			}
+		}
+		want := Serial(c, n, 0, n-1)
+		m := core.New()
+		got := Run(m, c, n, 0, n-1)
+		if got != want {
+			t.Fatalf("trial %d (n=%d): Run = %d, Serial = %d", trial, n, got, want)
+		}
+	}
+}
+
+func TestMaxflowAntiparallelEdges(t *testing.T) {
+	m := core.New()
+	c := capMatrix(3, [][3]int{{0, 1, 5}, {1, 0, 5}, {1, 2, 3}, {2, 1, 3}})
+	want := Serial(c, 3, 0, 2)
+	if got := Run(m, c, 3, 0, 2); got != want {
+		t.Errorf("antiparallel: Run = %d, want %d", got, want)
+	}
+}
+
+func TestMaxflowBadInputsPanic(t *testing.T) {
+	m := core.New()
+	for name, f := range map[string]func(){
+		"wrong-size":   func() { Run(m, make([]int, 3), 2, 0, 1) },
+		"s==t":         func() { Run(m, make([]int, 4), 2, 1, 1) },
+		"negative-cap": func() { Run(m, []int{0, -1, 0, 0}, 2, 0, 1) },
+		"bad-terminal": func() { Run(m, make([]int, 4), 2, 0, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestMaxflowStepsWithinPulseBound(t *testing.T) {
+	// Each pulse is O(1) primitives over n² processors, and push–relabel
+	// needs O(n²) pulses, so total steps must stay within C·n² — the
+	// scan-model O(n²) row of Table 1. Individual graphs vary wildly
+	// (trapped excess ladders heights one relabel pulse at a time), so
+	// average over several seeds.
+	avgSteps := func(n int) float64 {
+		var total int64
+		const trials = 3
+		for trial := 0; trial < trials; trial++ {
+			rng := rand.New(rand.NewSource(152 + int64(trial)))
+			c := make([]int, n*n)
+			for u := 0; u < n; u++ {
+				for v := 0; v < n; v++ {
+					if u != v && rng.Intn(2) == 0 {
+						c[u*n+v] = 1 + rng.Intn(5)
+					}
+				}
+			}
+			m := core.New()
+			Run(m, c, n, 0, n-1)
+			total += m.Steps()
+		}
+		return float64(total) / trials
+	}
+	for _, n := range []int{8, 16, 32} {
+		if got, bound := avgSteps(n), 48*float64(n*n); got > bound {
+			t.Errorf("n=%d: avg steps %.0f exceed the O(n²) pulse bound proxy %.0f", n, got, bound)
+		}
+	}
+}

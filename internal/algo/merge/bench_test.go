@@ -1,0 +1,61 @@
+package merge
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// BenchmarkHalvingMerge measures the halving merge across sizes,
+// reporting program steps alongside wall-clock.
+func BenchmarkHalvingMerge(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1 << 10, 1 << 14} {
+		a := sortedRandom(rng, n, 1<<20)
+		bb := sortedRandom(rng, n, 1<<20)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			var steps int64
+			for i := 0; i < b.N; i++ {
+				m := core.New()
+				Merge(m, a, bb)
+				steps = m.Steps()
+			}
+			b.ReportMetric(float64(steps), "steps")
+		})
+	}
+}
+
+// BenchmarkMergeVsSimple is the DESIGN.md merge-crossover ablation: the
+// halving merge against the cross-ranking binary-search merge, on steps
+// and wall-clock.
+func BenchmarkMergeVsSimple(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	n := 1 << 12
+	a := sortedRandom(rng, n, 1<<20)
+	bb := sortedRandom(rng, n, 1<<20)
+	b.Run("halving", func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			m := core.New()
+			Merge(m, a, bb)
+			steps = m.Steps()
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("cross-rank", func(b *testing.B) {
+		var steps int64
+		for i := 0; i < b.N; i++ {
+			m := core.New()
+			Simple(m, a, bb)
+			steps = m.Steps()
+		}
+		b.ReportMetric(float64(steps), "steps")
+	})
+	b.Run("serial-reference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			refMerge(a, bb)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Package merge implements the paper's halving merge (§2.5.1,
+// Figure 12), the one algorithm in the paper that is original rather
+// than a translation: extract the odd-indexed elements of both sorted
+// vectors, recursively merge them, expand the result by placing each
+// even-indexed element directly after its original predecessor (the
+// "near-merge" vector), and repair the single non-overlapping rotations
+// with two scans (x-near-merge). With p processors the step complexity
+// is O(n/p + lg n), optimal for p ≤ n / lg n.
+package merge
+
+import (
+	"math"
+
+	"scans/internal/core"
+)
+
+// Merge merges two ascending sorted int vectors on machine m and returns
+// the merged vector. The merge is stable: ties come from a before b.
+//
+// Keys are carried through the recursion with a provenance bit packed
+// below the value (a-keys even, b-keys odd), which both implements the
+// paper's merge-flag bookkeeping and makes the merge stable; values must
+// therefore fit in 62 bits.
+func Merge(m *core.Machine, a, b []int) []int {
+	ka := make([]int, len(a))
+	core.Par(m, len(a), func(i int) { ka[i] = a[i] << 1 })
+	kb := make([]int, len(b))
+	core.Par(m, len(b), func(i int) { kb[i] = b[i]<<1 | 1 })
+	keys := mergeKeys(m, ka, kb)
+	out := make([]int, len(keys))
+	core.Par(m, len(keys), func(i int) { out[i] = keys[i] >> 1 })
+	return out
+}
+
+// Flags merges a and b and returns the paper's merge-flag vector: false
+// for an element of a, true for an element of b, in merged order
+// ("each F flag represents an element of A and each T flag represents an
+// element of B").
+func Flags(m *core.Machine, a, b []int) []bool {
+	ka := make([]int, len(a))
+	core.Par(m, len(a), func(i int) { ka[i] = a[i] << 1 })
+	kb := make([]int, len(b))
+	core.Par(m, len(b), func(i int) { kb[i] = b[i]<<1 | 1 })
+	keys := mergeKeys(m, ka, kb)
+	flags := make([]bool, len(keys))
+	core.Par(m, len(keys), func(i int) { flags[i] = keys[i]&1 == 1 })
+	return flags
+}
+
+// mergeKeys is the recursive halving merge on provenance-tagged keys.
+func mergeKeys(m *core.Machine, a, b []int) []int {
+	na, nb := len(a), len(b)
+	switch {
+	case na == 0:
+		out := make([]int, nb)
+		core.Par(m, nb, func(i int) { out[i] = b[i] })
+		return out
+	case nb == 0:
+		out := make([]int, na)
+		core.Par(m, na, func(i int) { out[i] = a[i] })
+		return out
+	case na == 1:
+		return insertOne(m, a[0], b)
+	case nb == 1:
+		return insertOne(m, b[0], a)
+	}
+	// Extract the odd-indexed elements (1-origin; slice indices 0, 2,
+	// 4, ...) of each vector by packing, the paper's subselection plus
+	// load balancing.
+	oddA := packEvens(m, a)
+	oddB := packEvens(m, b)
+	merged0 := mergeKeys(m, oddA, oddB)
+	near := evenInsert(m, merged0, a, b)
+	return xNearMerge(m, near)
+}
+
+// packEvens packs the elements at even slice indices.
+func packEvens(m *core.Machine, v []int) []int {
+	n := len(v)
+	flags := make([]bool, n)
+	core.Par(m, n, func(i int) { flags[i] = i%2 == 0 })
+	out := make([]int, (n+1)/2)
+	core.Pack(m, out, v, flags)
+	return out
+}
+
+// insertOne inserts key k into the sorted vector v: the recursion's base
+// case, O(1) steps. Each element of v counts whether it precedes k; the
+// count is k's insertion rank.
+func insertOne(m *core.Machine, k int, v []int) []int {
+	n := len(v)
+	leq := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if v[i] <= k {
+			leq[i] = 1
+		}
+	})
+	tmp := make([]int, n)
+	rank := core.PlusDistribute(m, tmp, leq)
+	out := make([]int, n+1)
+	idx := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if v[i] <= k {
+			idx[i] = i
+		} else {
+			idx[i] = i + 1
+		}
+	})
+	core.Permute(m, out, v, idx)
+	out[rank] = k // the inserting processor's single write
+	m.Use(core.UseEnumerate)
+	return out
+}
+
+// evenInsert builds the near-merge vector: each merged odd-indexed
+// element followed by the even-indexed element that trailed it in its
+// source vector, placed by processor allocation (Figure 12).
+func evenInsert(m *core.Machine, merged0, a, b []int) []int {
+	k := len(merged0)
+	// Which source each merged element came from is its low bit; its
+	// index within the packed odd vector is its rank among same-source
+	// elements.
+	fromB := make([]bool, k)
+	core.Par(m, k, func(i int) { fromB[i] = merged0[i]&1 == 1 })
+	rankB := make([]int, k)
+	core.Enumerate(m, rankB, fromB)
+	fromA := make([]bool, k)
+	core.Par(m, k, func(i int) { fromA[i] = !fromB[i] })
+	rankA := make([]int, k)
+	core.Enumerate(m, rankA, fromA)
+	// The element's original slice index is 2*rank; its successor is at
+	// 2*rank + 1 when that exists.
+	counts := make([]int, k)
+	succ := make([]int, k)
+	hasSucc := make([]bool, k)
+	core.Par(m, k, func(i int) {
+		var src []int
+		var j int
+		if fromB[i] {
+			src, j = b, rankB[i]
+		} else {
+			src, j = a, rankA[i]
+		}
+		counts[i] = 1
+		if 2*j+1 < len(src) {
+			counts[i] = 2
+			succ[i] = src[2*j+1] // an exclusive read: distinct per element
+			hasSucc[i] = true
+		}
+	})
+	m.Use(core.UseAllocate)
+	alloc := core.Allocate(m, counts)
+	near := make([]int, alloc.Total)
+	core.Permute(m, near, merged0, alloc.HPointers)
+	succPos := make([]int, k)
+	core.Par(m, k, func(i int) { succPos[i] = alloc.HPointers[i] + 1 })
+	core.PermuteIf(m, near, succ, succPos, hasSucc)
+	return near
+}
+
+// xNearMerge converts a near-merge vector into a fully merged vector by
+// rotating each out-of-order block one position, with exactly the two
+// scans of the paper's definition:
+//
+//	head-copy <- max(max-scan(near-merge), near-merge)
+//	result    <- min(min-backscan(near-merge), head-copy)
+func xNearMerge(m *core.Machine, near []int) []int {
+	n := len(near)
+	headCopy := make([]int, n)
+	core.MaxScan(m, headCopy, near)
+	core.Par(m, n, func(i int) {
+		if near[i] > headCopy[i] {
+			headCopy[i] = near[i]
+		}
+	})
+	back := make([]int, n)
+	core.BackMinScan(m, back, near)
+	out := make([]int, n)
+	core.Par(m, n, func(i int) {
+		if back[i] < headCopy[i] {
+			out[i] = back[i]
+		} else {
+			out[i] = headCopy[i]
+		}
+	})
+	return out
+}
+
+// Simple is a step-counted cross-ranking merge for reference: every
+// element finds its rank in the other vector by a binary search executed
+// as O(lg n) rounds of one elementwise step each (the standard
+// concurrent-read merge), then one permute places everything. O(lg n)
+// steps, O(n lg n) work, and — unlike the halving merge — concurrent
+// reads of b, so it runs with the exclusivity check relaxed. It verifies
+// the halving merge and prices the non-scan alternative.
+func Simple(m *core.Machine, a, b []int) []int {
+	na, nb := len(a), len(b)
+	out := make([]int, na+nb)
+	// rank of a[i] in b: |{j : b[j] < a[i]}| (stable: a precedes b).
+	rankA := searchRounds(m, a, b, func(bv, av int) bool { return bv < av })
+	// rank of b[j] in a: |{i : a[i] <= b[j]}|.
+	rankB := searchRounds(m, b, a, func(av, bv int) bool { return av <= bv })
+	idxA := make([]int, na)
+	core.Par(m, na, func(i int) { idxA[i] = i + rankA[i] })
+	idxB := make([]int, nb)
+	core.Par(m, nb, func(j int) { idxB[j] = j + rankB[j] })
+	core.Permute(m, out, a, idxA)
+	core.Permute(m, out, b, idxB) // targets disjoint from idxA by construction
+	return out
+}
+
+// searchRounds runs the data-parallel binary search: for each x[i], the
+// number of elements of sorted v for which goesBefore(v[j], x[i]) holds.
+func searchRounds(m *core.Machine, x, v []int, goesBefore func(vj, xi int) bool) []int {
+	n := len(x)
+	lo := make([]int, n)
+	hi := make([]int, n)
+	core.Par(m, n, func(i int) { hi[i] = len(v) })
+	rounds := int(math.Ceil(math.Log2(float64(len(v)+1)))) + 1
+	for r := 0; r < rounds; r++ {
+		core.Par(m, n, func(i int) {
+			if lo[i] < hi[i] {
+				mid := (lo[i] + hi[i]) / 2
+				if goesBefore(v[mid], x[i]) {
+					lo[i] = mid + 1
+				} else {
+					hi[i] = mid
+				}
+			}
+		})
+	}
+	return lo
+}

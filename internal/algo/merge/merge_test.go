@@ -1,0 +1,199 @@
+package merge
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func refMerge(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func sortedRandom(rng *rand.Rand, n, span int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = rng.Intn(span)
+	}
+	sort.Ints(v)
+	return v
+}
+
+func TestMergeFig12(t *testing.T) {
+	// Figure 12: A = [1 7 10 13 15 20], B = [3 4 9 22 23 26],
+	// result = [1 3 4 7 9 10 13 15 20 22 23 26].
+	m := core.New()
+	a := []int{1, 7, 10, 13, 15, 20}
+	b := []int{3, 4, 9, 22, 23, 26}
+	got := Merge(m, a, b)
+	want := []int{1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23, 26}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("halving merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeFlagsFig12Halves(t *testing.T) {
+	// The paper's merge-flag example: halving-merge(A', B') with
+	// A' = [1 10 15], B' = [3 9 23] gives flags [F T T F F T].
+	m := core.New()
+	got := Flags(m, []int{1, 10, 15}, []int{3, 9, 23})
+	want := []bool{false, true, true, false, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("merge flags = %v, want %v", got, want)
+	}
+}
+
+func TestMergeEdgeCases(t *testing.T) {
+	m := core.New()
+	if got := Merge(m, nil, nil); len(got) != 0 {
+		t.Errorf("empty merge = %v", got)
+	}
+	if got := Merge(m, []int{5}, nil); !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("a-only = %v", got)
+	}
+	if got := Merge(m, nil, []int{5}); !reflect.DeepEqual(got, []int{5}) {
+		t.Errorf("b-only = %v", got)
+	}
+	if got := Merge(m, []int{9}, []int{4}); !reflect.DeepEqual(got, []int{4, 9}) {
+		t.Errorf("singletons = %v", got)
+	}
+	if got := Merge(m, []int{2}, []int{1, 3, 5, 7}); !reflect.DeepEqual(got, []int{1, 2, 3, 5, 7}) {
+		t.Errorf("insert-one = %v", got)
+	}
+	if got := Merge(m, []int{1, 3, 5, 7}, []int{2}); !reflect.DeepEqual(got, []int{1, 2, 3, 5, 7}) {
+		t.Errorf("insert-one-b = %v", got)
+	}
+}
+
+func TestMergeRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 50; trial++ {
+		na, nb := rng.Intn(200), rng.Intn(200)
+		a := sortedRandom(rng, na, 100) // duplicates across and within
+		b := sortedRandom(rng, nb, 100)
+		m := core.New()
+		got := Merge(m, a, b)
+		want := refMerge(a, b)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge(%v, %v) = %v, want %v", trial, a, b, got, want)
+		}
+	}
+}
+
+func TestMergeUnequalLengths(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	m := core.New()
+	a := sortedRandom(rng, 1000, 10000)
+	b := sortedRandom(rng, 3, 10000)
+	if got, want := Merge(m, a, b), refMerge(a, b); !reflect.DeepEqual(got, want) {
+		t.Error("very unequal merge wrong")
+	}
+}
+
+func TestMergeNegativeValues(t *testing.T) {
+	m := core.New()
+	a := []int{-50, -3, 0, 7}
+	b := []int{-10, -4, 2}
+	if got, want := Merge(m, a, b), refMerge(a, b); !reflect.DeepEqual(got, want) {
+		t.Errorf("negative merge = %v, want %v", got, want)
+	}
+}
+
+func TestMergeStability(t *testing.T) {
+	// Equal keys: all of a's copies precede b's. Flags encode provenance.
+	m := core.New()
+	a := []int{5, 5, 5}
+	b := []int{5, 5}
+	flags := Flags(m, a, b)
+	want := []bool{false, false, false, true, true}
+	if !reflect.DeepEqual(flags, want) {
+		t.Errorf("stability flags = %v, want %v", flags, want)
+	}
+}
+
+func TestMergeStepsLogarithmic(t *testing.T) {
+	// O(lg n) steps with unbounded processors: doubling n adds a
+	// constant number of steps (one more recursion level).
+	steps := func(n int) int64 {
+		rng := rand.New(rand.NewSource(int64(n)))
+		a := sortedRandom(rng, n, 1<<20)
+		b := sortedRandom(rng, n, 1<<20)
+		m := core.New()
+		Merge(m, a, b)
+		return m.Steps()
+	}
+	s1, s2, s4 := steps(1<<10), steps(1<<11), steps(1<<12)
+	d1, d2 := s2-s1, s4-s2
+	if d1 <= 0 || d2 <= 0 {
+		t.Fatalf("steps not increasing: %d %d %d", s1, s2, s4)
+	}
+	// Per-level cost is constant, so the increments should be equal (up
+	// to base-case noise).
+	if d2 > 2*d1 || d1 > 2*d2 {
+		t.Errorf("per-doubling step increments differ wildly: %d vs %d", d1, d2)
+	}
+}
+
+func TestMergePropertyQuick(t *testing.T) {
+	prop := func(ra, rb []uint16) bool {
+		a := make([]int, len(ra))
+		for i, v := range ra {
+			a[i] = int(v)
+		}
+		b := make([]int, len(rb))
+		for i, v := range rb {
+			b[i] = int(v)
+		}
+		sort.Ints(a)
+		sort.Ints(b)
+		m := core.New()
+		got := Merge(m, a, b)
+		return reflect.DeepEqual(got, refMerge(a, b))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimpleMergeMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for trial := 0; trial < 30; trial++ {
+		a := sortedRandom(rng, rng.Intn(100), 50)
+		b := sortedRandom(rng, rng.Intn(100), 50)
+		m := core.New(core.WithExclusiveCheck(true))
+		got := Simple(m, a, b)
+		if want := refMerge(a, b); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: Simple(%v, %v) = %v, want %v", trial, a, b, got, want)
+		}
+	}
+}
+
+func TestUsageTable3(t *testing.T) {
+	// Table 3: the halving merge uses allocating and load balancing.
+	m := core.New()
+	rng := rand.New(rand.NewSource(15))
+	Merge(m, sortedRandom(rng, 50, 100), sortedRandom(rng, 50, 100))
+	c := m.Counters()
+	if c.UsageCounts[core.UseAllocate] == 0 {
+		t.Error("allocate usage not recorded")
+	}
+	if c.UsageCounts[core.UseLoadBalance] == 0 {
+		t.Error("load-balance usage not recorded")
+	}
+}

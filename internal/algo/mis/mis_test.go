@@ -1,0 +1,112 @@
+package mis
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+func TestMISTriangle(t *testing.T) {
+	m := core.New()
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}
+	set := Run(m, 3, edges, 1)
+	if err := Verify(3, edges, set); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, s := range set {
+		if s {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("triangle MIS size = %d, want 1", count)
+	}
+}
+
+func TestMISIsolatedVertices(t *testing.T) {
+	m := core.New()
+	edges := []graph.Edge{{U: 1, V: 2}}
+	set := Run(m, 4, edges, 2)
+	if err := Verify(4, edges, set); err != nil {
+		t.Fatal(err)
+	}
+	if !set[0] || !set[3] {
+		t.Error("isolated vertices must be in the set")
+	}
+}
+
+func TestMISStar(t *testing.T) {
+	// Star graph: either the hub alone or all the leaves.
+	m := core.New()
+	n := 20
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: 0, V: i + 1}
+	}
+	set := Run(m, n, edges, 3)
+	if err := Verify(n, edges, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewSource(70))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(60)
+		var edges []graph.Edge
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				if rng.Intn(4) == 0 {
+					edges = append(edges, graph.Edge{U: u, V: v})
+				}
+			}
+		}
+		m := core.New()
+		set := Run(m, n, edges, int64(trial))
+		if err := Verify(n, edges, set); err != nil {
+			t.Fatalf("trial %d (n=%d): %v", trial, n, err)
+		}
+	}
+}
+
+func TestMISPathGraph(t *testing.T) {
+	n := 300
+	edges := make([]graph.Edge, n-1)
+	for i := range edges {
+		edges[i] = graph.Edge{U: i, V: i + 1}
+	}
+	m := core.New()
+	set := Run(m, n, edges, 8)
+	if err := Verify(n, edges, set); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMISEmptyGraph(t *testing.T) {
+	m := core.New()
+	set := Run(m, 5, nil, 0)
+	for v, s := range set {
+		if !s {
+			t.Errorf("vertex %d of edgeless graph not in set", v)
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	edges := []graph.Edge{{U: 0, V: 1}}
+	if Verify(2, edges, []bool{true, true}) == nil {
+		t.Error("dependent set accepted")
+	}
+	if Verify(2, edges, []bool{false, false}) == nil {
+		t.Error("non-maximal set accepted")
+	}
+	if Verify(2, edges, []bool{true}) == nil {
+		t.Error("wrong-length set accepted")
+	}
+	if err := Verify(2, edges, []bool{true, false}); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+}

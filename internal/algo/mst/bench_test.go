@@ -1,0 +1,34 @@
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// BenchmarkMST measures the star-merge MST against Kruskal, reporting
+// rounds and program steps.
+func BenchmarkMST(b *testing.B) {
+	for _, n := range []int{1 << 8, 1 << 10} {
+		rng := rand.New(rand.NewSource(int64(n)))
+		edges := randomConnectedGraph(rng, n, 2*n)
+		b.Run(fmt.Sprintf("star-merge/n=%d", n), func(b *testing.B) {
+			var steps int64
+			var rounds int
+			for i := 0; i < b.N; i++ {
+				m := core.New()
+				r := Run(m, n, edges, 7)
+				steps, rounds = m.Steps(), r.Rounds
+			}
+			b.ReportMetric(float64(steps), "steps")
+			b.ReportMetric(float64(rounds), "rounds")
+		})
+		b.Run(fmt.Sprintf("kruskal/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Kruskal(n, edges)
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+// Package mst implements the paper's probabilistic minimum-spanning-tree
+// algorithm (§2.3.3): Sollin/Borůvka-style tree merging where, each
+// round, every vertex flips a coin to become a child or a parent, every
+// child tree finds its minimum edge with a segmented min-distribute, the
+// edges that land on parents become star edges, and one O(1)-step
+// star-merge contracts all stars at once. On average a quarter of the
+// trees disappear per round, so the expected step complexity is O(lg n)
+// — versus O(lg² n) on an EREW P-RAM.
+package mst
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// Result is a computed spanning forest.
+type Result struct {
+	// EdgeIDs indexes the input edge list: the chosen forest edges.
+	EdgeIDs []int
+	// Weight is the total weight of the forest.
+	Weight int
+	// Rounds is how many star-merge rounds ran.
+	Rounds int
+}
+
+// Run computes a minimum spanning forest of the graph on machine m.
+// Expected O(lg n) rounds of O(1) program steps each. The forest spans
+// every connected component; isolated vertices contribute nothing.
+func Run(m *core.Machine, numVertices int, edges []graph.Edge, seed int64) Result {
+	g := graph.Build(m, numVertices, edges)
+	rng := rand.New(rand.NewSource(seed))
+	var res Result
+	maxRounds := 64 * (bitsLen(numVertices) + 2)
+	for round := 0; g.Slots() > 0; round++ {
+		if round >= maxRounds {
+			panic(fmt.Sprintf("mst: no convergence after %d rounds; star-merge bug", round))
+		}
+		res.Rounds++
+		nv := g.Vertices()
+		coins := make([]bool, nv)
+		core.Par(m, nv, func(i int) { coins[i] = rng.Intn(2) == 0 })
+		parentSlot := graph.DistributeVertexFlag(m, g, coins)
+		star := graph.ChooseStarEdges(m, g, parentSlot, g.Weight)
+		any := make([]bool, len(star))
+		if !core.OrDistribute(m, any, star) {
+			continue // unlucky coins: no stars formed this round
+		}
+		var rec graph.MergeRecord
+		g, rec = graph.StarMerge(m, g, parentSlot, star)
+		res.EdgeIDs = append(res.EdgeIDs, rec.EdgeID...)
+	}
+	for _, id := range res.EdgeIDs {
+		res.Weight += edges[id].W
+	}
+	sort.Ints(res.EdgeIDs)
+	return res
+}
+
+func bitsLen(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}
+
+// Kruskal is the serial reference implementation used to verify Run:
+// sort the edges and grow a forest with union-find.
+func Kruskal(numVertices int, edges []graph.Edge) Result {
+	order := make([]int, len(edges))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return edges[order[a]].W < edges[order[b]].W })
+	parent := make([]int, numVertices)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	var res Result
+	for _, id := range order {
+		e := edges[id]
+		ru, rv := find(e.U), find(e.V)
+		if ru != rv {
+			parent[ru] = rv
+			res.EdgeIDs = append(res.EdgeIDs, id)
+			res.Weight += e.W
+		}
+	}
+	sort.Ints(res.EdgeIDs)
+	return res
+}

@@ -1,0 +1,145 @@
+package mst
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// randomConnectedGraph builds a connected graph: a random spanning tree
+// plus extra random edges, with distinct weights so the MST is unique.
+func randomConnectedGraph(rng *rand.Rand, n, extra int) []graph.Edge {
+	weights := rng.Perm(n*n + extra + n)
+	var edges []graph.Edge
+	w := 0
+	for v := 1; v < n; v++ {
+		edges = append(edges, graph.Edge{U: rng.Intn(v), V: v, W: weights[w] + 1})
+		w++
+	}
+	for e := 0; e < extra; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v, W: weights[w] + 1})
+		w++
+	}
+	return edges
+}
+
+func TestMSTSmallFixed(t *testing.T) {
+	m := core.New()
+	// A 4-cycle with a chord; unique MST = {0-1:1, 1-2:2, 2-3:3}.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 0, W: 10}, {U: 0, V: 2, W: 9},
+	}
+	got := Run(m, 4, edges, 1)
+	want := Kruskal(4, edges)
+	if !reflect.DeepEqual(got.EdgeIDs, want.EdgeIDs) {
+		t.Errorf("MST edges = %v, want %v", got.EdgeIDs, want.EdgeIDs)
+	}
+	if got.Weight != 6 {
+		t.Errorf("weight = %d, want 6", got.Weight)
+	}
+}
+
+func TestMSTMatchesKruskalRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(40)
+		edges := randomConnectedGraph(rng, n, rng.Intn(3*n))
+		m := core.New()
+		got := Run(m, n, edges, int64(trial))
+		want := Kruskal(n, edges)
+		if !reflect.DeepEqual(got.EdgeIDs, want.EdgeIDs) {
+			t.Fatalf("trial %d (n=%d): MST %v != Kruskal %v", trial, n, got.EdgeIDs, want.EdgeIDs)
+		}
+		if len(got.EdgeIDs) != n-1 {
+			t.Fatalf("trial %d: %d edges for %d vertices", trial, len(got.EdgeIDs), n)
+		}
+	}
+}
+
+func TestMSTDuplicateWeights(t *testing.T) {
+	// With ties the MST is not unique; compare total weight only.
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 10; trial++ {
+		n := 3 + rng.Intn(20)
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: rng.Intn(v), V: v, W: rng.Intn(4)})
+		}
+		for e := 0; e < n; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v, W: rng.Intn(4)})
+			}
+		}
+		m := core.New()
+		got := Run(m, n, edges, int64(trial))
+		want := Kruskal(n, edges)
+		if got.Weight != want.Weight {
+			t.Fatalf("trial %d: weight %d != Kruskal %d", trial, got.Weight, want.Weight)
+		}
+		if len(got.EdgeIDs) != n-1 {
+			t.Fatalf("trial %d: tree has %d edges, want %d", trial, len(got.EdgeIDs), n-1)
+		}
+	}
+}
+
+func TestMSTDisconnected(t *testing.T) {
+	m := core.New()
+	// Two components: {0,1,2} and {3,4}; vertex 5 isolated.
+	edges := []graph.Edge{
+		{U: 0, V: 1, W: 5}, {U: 1, V: 2, W: 2}, {U: 0, V: 2, W: 7},
+		{U: 3, V: 4, W: 1},
+	}
+	got := Run(m, 6, edges, 3)
+	want := Kruskal(6, edges)
+	if !reflect.DeepEqual(got.EdgeIDs, want.EdgeIDs) {
+		t.Errorf("forest = %v, want %v", got.EdgeIDs, want.EdgeIDs)
+	}
+	if len(got.EdgeIDs) != 3 {
+		t.Errorf("forest edges = %d, want 3", len(got.EdgeIDs))
+	}
+}
+
+func TestMSTEmptyAndSingle(t *testing.T) {
+	m := core.New()
+	got := Run(m, 1, nil, 0)
+	if len(got.EdgeIDs) != 0 || got.Weight != 0 {
+		t.Errorf("trivial MST = %+v", got)
+	}
+}
+
+func TestMSTRoundsLogarithmic(t *testing.T) {
+	// Expected O(lg n) rounds: with n = 256 vertices anything beyond
+	// ~8 lg n indicates the random-mate contraction is not shrinking.
+	rng := rand.New(rand.NewSource(52))
+	edges := randomConnectedGraph(rng, 256, 512)
+	m := core.New()
+	got := Run(m, 256, edges, 7)
+	if got.Rounds > 64 {
+		t.Errorf("MST took %d rounds for n=256; expected O(lg n)", got.Rounds)
+	}
+}
+
+func TestMSTStepCountScaling(t *testing.T) {
+	// Table 1: O(lg n) steps (expected). Steps for 4x the vertices
+	// should grow by roughly a constant factor of rounds, not by n.
+	steps := func(n int) int64 {
+		rng := rand.New(rand.NewSource(int64(n)))
+		edges := randomConnectedGraph(rng, n, 2*n)
+		m := core.New()
+		Run(m, n, edges, 11)
+		return m.Steps()
+	}
+	s64, s1024 := steps(64), steps(1024)
+	if ratio := float64(s1024) / float64(s64); ratio > 4 {
+		t.Errorf("steps grew %fx for 16x vertices; expected lg-like growth", ratio)
+	}
+}

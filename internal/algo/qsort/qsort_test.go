@@ -1,0 +1,197 @@
+package qsort
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func TestSortFig5Trace(t *testing.T) {
+	// Figure 5's walk-through with first-element pivots.
+	m := core.New()
+	keys := []float64{6.4, 9.2, 3.4, 1.6, 8.7, 4.1, 9.2, 3.4}
+	sorted, rounds := SortTrace(m, keys, Options{Pivot: PivotFirst})
+	if want := []float64{1.6, 3.4, 3.4, 4.1, 6.4, 8.7, 9.2, 9.2}; !reflect.DeepEqual(sorted, want) {
+		t.Fatalf("sorted = %v, want %v", sorted, want)
+	}
+	if len(rounds) != 2 {
+		t.Fatalf("rounds = %d, want 2", len(rounds))
+	}
+	r0 := rounds[0]
+	for _, p := range r0.Pivots {
+		if p != 6.4 {
+			t.Fatalf("round 0 pivots = %v, want all 6.4", r0.Pivots)
+		}
+	}
+	if want := []float64{3.4, 1.6, 4.1, 3.4, 6.4, 9.2, 8.7, 9.2}; !reflect.DeepEqual(r0.Keys, want) {
+		t.Errorf("round 0 keys = %v, want %v", r0.Keys, want)
+	}
+	if want := []bool{true, false, false, false, true, true, false, false}; !reflect.DeepEqual(r0.Flags, want) {
+		t.Errorf("round 0 flags = %v, want %v", r0.Flags, want)
+	}
+	r1 := rounds[1]
+	if want := []float64{3.4, 3.4, 3.4, 3.4, 6.4, 9.2, 9.2, 9.2}; !reflect.DeepEqual(r1.Pivots, want) {
+		t.Errorf("round 1 pivots = %v, want %v", r1.Pivots, want)
+	}
+	if want := []float64{1.6, 3.4, 3.4, 4.1, 6.4, 8.7, 9.2, 9.2}; !reflect.DeepEqual(r1.Keys, want) {
+		t.Errorf("round 1 keys = %v, want %v", r1.Keys, want)
+	}
+	if want := []bool{true, true, false, true, true, true, true, false}; !reflect.DeepEqual(r1.Flags, want) {
+		t.Errorf("round 1 flags = %v, want %v", r1.Flags, want)
+	}
+}
+
+func TestSortRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, n := range []int{0, 1, 2, 3, 10, 100, 1000} {
+		for _, p := range []Pivot{PivotRandom, PivotFirst} {
+			m := core.New()
+			keys := make([]float64, n)
+			for i := range keys {
+				keys[i] = math.Floor(rng.Float64() * 50) // duplicates likely
+			}
+			got := Sort(m, keys, Options{Pivot: p, Seed: int64(n)})
+			want := make([]float64, n)
+			copy(want, keys)
+			sort.Float64s(want)
+			if n > 0 && !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d pivot=%d: quicksort wrong", n, p)
+			}
+		}
+	}
+}
+
+func TestSortAllEqual(t *testing.T) {
+	m := core.New()
+	keys := []float64{3, 3, 3, 3, 3}
+	got := Sort(m, keys, Options{})
+	if want := []float64{3, 3, 3, 3, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("all-equal sort = %v", got)
+	}
+}
+
+func TestSortDescending(t *testing.T) {
+	m := core.New()
+	n := 64
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = float64(n - i)
+	}
+	got := Sort(m, keys, Options{Seed: 1})
+	if !sort.Float64sAreSorted(got) {
+		t.Error("descending input not sorted")
+	}
+}
+
+func TestSortAlreadySortedExitsImmediately(t *testing.T) {
+	m := core.New()
+	keys := []float64{1, 2, 3, 4, 5}
+	if r := Rounds(m, keys, Options{}); r != 0 {
+		t.Errorf("sorted input took %d rounds, want 0", r)
+	}
+}
+
+func TestExpectedLogRounds(t *testing.T) {
+	// Expected O(lg n) iterations with random pivots: for n = 4096
+	// (lg n = 12) anything wildly above ~4 lg n indicates the recursion
+	// is not halving.
+	rng := rand.New(rand.NewSource(7))
+	n := 4096
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = rng.Float64()
+	}
+	m := core.New()
+	r := Rounds(m, keys, Options{Seed: 42})
+	if r > 48 {
+		t.Errorf("random input took %d rounds; expected O(lg n) ~ 12-40", r)
+	}
+	if r < 8 {
+		t.Errorf("suspiciously few rounds (%d) for n=%d", r, n)
+	}
+}
+
+func TestStepsPerRoundConstant(t *testing.T) {
+	// The step charge per iteration must not depend on n.
+	stepsPerRound := func(n int) float64 {
+		rng := rand.New(rand.NewSource(9))
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64()
+		}
+		m := core.New()
+		r := Rounds(m, keys, Options{Seed: 3})
+		return float64(m.Steps()) / float64(r)
+	}
+	a, b := stepsPerRound(256), stepsPerRound(4096)
+	if b > a*1.5 {
+		t.Errorf("steps per round grew with n: %.1f -> %.1f", a, b)
+	}
+}
+
+func TestSortPropertyQuick(t *testing.T) {
+	prop := func(raw []float32, seed int64) bool {
+		keys := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(float64(v)) {
+				v = 0
+			}
+			keys[i] = float64(v)
+		}
+		m := core.New()
+		got := Sort(m, keys, Options{Seed: seed})
+		return len(got) == len(keys) && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortWithIndexPermutation(t *testing.T) {
+	m := core.New()
+	rng := rand.New(rand.NewSource(20))
+	n := 400
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = math.Floor(rng.Float64() * 30)
+	}
+	sorted, perm := SortWithIndex(m, keys, Options{Seed: 4})
+	seen := make([]bool, n)
+	for i := range sorted {
+		if keys[perm[i]] != sorted[i] {
+			t.Fatalf("perm inconsistent at %d", i)
+		}
+		if seen[perm[i]] {
+			t.Fatal("perm not a permutation")
+		}
+		seen[perm[i]] = true
+	}
+	if !sort.Float64sAreSorted(sorted) {
+		t.Fatal("SortWithIndex output not sorted")
+	}
+	// Already-sorted input: identity permutation (zero rounds).
+	sortedIn := []float64{1, 2, 3}
+	_, p2 := SortWithIndex(m, sortedIn, Options{})
+	if !reflect.DeepEqual(p2, []int{0, 1, 2}) {
+		t.Errorf("identity perm = %v", p2)
+	}
+}
+
+func TestUsageTable3(t *testing.T) {
+	// Table 3: quicksort uses splitting, distributing sums, copying, and
+	// segmented primitives.
+	m := core.New()
+	keys := []float64{5, 2, 8, 1, 9, 3}
+	Sort(m, keys, Options{})
+	c := m.Counters()
+	for _, u := range []core.Usage{core.UseSplit, core.UseDistribute, core.UseCopy, core.UseSegmented} {
+		if c.UsageCounts[u] == 0 {
+			t.Errorf("usage %v not recorded", u)
+		}
+	}
+}

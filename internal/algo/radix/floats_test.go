@@ -1,0 +1,134 @@
+package radix
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func TestSortFloatsBasic(t *testing.T) {
+	m := core.New()
+	keys := []float64{3.5, -1.25, 0, 2, -100, 7e30, -7e-30}
+	got := SortFloats(m, keys)
+	want := append([]float64(nil), keys...)
+	sort.Float64s(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortFloats = %v, want %v", got, want)
+	}
+}
+
+func TestSortFloatsTrickyValues(t *testing.T) {
+	m := core.New()
+	keys := []float64{
+		math.Inf(1), math.Inf(-1), 0, math.Copysign(0, -1),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		1, -1,
+	}
+	got := SortFloats(m, keys)
+	for i := 1; i < len(got); i++ {
+		if got[i] < got[i-1] {
+			t.Fatalf("not sorted at %d: %v", i, got)
+		}
+	}
+	if !math.IsInf(got[0], -1) || !math.IsInf(got[len(got)-1], 1) {
+		t.Errorf("infinities misplaced: %v", got)
+	}
+	// -0 must sort before +0 (bit order), both compare equal.
+	if math.Signbit(got[4]) != true || math.Signbit(got[5]) != false {
+		t.Errorf("signed zeros misplaced: %v", got[3:7])
+	}
+}
+
+func TestSortFloatsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{0, 1, 2, 100, 500} {
+		m := core.New()
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(40)-20))
+		}
+		got := SortFloats(m, keys)
+		want := make([]float64, n)
+		copy(want, keys)
+		sort.Float64s(want)
+		if n > 0 && !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: SortFloats wrong", n)
+		}
+	}
+}
+
+func TestSortFloatsPropertyQuick(t *testing.T) {
+	prop := func(raw []float64) bool {
+		keys := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) {
+				keys = append(keys, v)
+			}
+		}
+		m := core.New()
+		got := SortFloats(m, keys)
+		if len(got) != len(keys) {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] < got[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortFloatsWithIndex(t *testing.T) {
+	m := core.New()
+	rng := rand.New(rand.NewSource(6))
+	n := 300
+	keys := make([]float64, n)
+	for i := range keys {
+		keys[i] = math.Floor(rng.Float64() * 20) // duplicates for stability
+	}
+	sorted, perm := SortFloatsWithIndex(m, keys)
+	seen := make([]bool, n)
+	for i := range sorted {
+		if keys[perm[i]] != sorted[i] {
+			t.Fatalf("perm inconsistent at %d", i)
+		}
+		if i > 0 && sorted[i] == sorted[i-1] && perm[i] < perm[i-1] {
+			t.Fatalf("not stable at %d", i)
+		}
+		if seen[perm[i]] {
+			t.Fatal("perm not a permutation")
+		}
+		seen[perm[i]] = true
+	}
+}
+
+func TestSortFloatsRejectsNaN(t *testing.T) {
+	m := core.New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on NaN")
+		}
+	}()
+	SortFloats(m, []float64{1, math.NaN()})
+}
+
+func TestSortFloatsConstantStepsInN(t *testing.T) {
+	// 64 fixed passes: the step count is independent of n.
+	m1 := core.New()
+	SortFloats(m1, make([]float64, 64))
+	m2 := core.New()
+	SortFloats(m2, make([]float64, 4096))
+	if m1.Steps() != m2.Steps() {
+		t.Errorf("steps grew with n: %d vs %d", m1.Steps(), m2.Steps())
+	}
+}

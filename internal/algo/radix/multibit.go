@@ -1,0 +1,51 @@
+package radix
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// SortMultiBit is the multi-bit-per-pass extension of the split radix
+// sort: each pass sorts r bits at once by generalizing split to 2^r
+// buckets (one enumerate per bucket, still O(1) scans per bucket). The
+// pass count drops from nbits to ⌈nbits/r⌉ at the price of 2^r scans per
+// pass, the classic radix trade-off; DESIGN.md lists it as an ablation.
+// keys must fit in nbits unsigned bits; r must be in [1, 16].
+func SortMultiBit(m *core.Machine, keys []int, nbits, r int) []int {
+	if r < 1 || r > 16 {
+		panic(fmt.Sprintf("radix: SortMultiBit: r = %d out of range [1,16]", r))
+	}
+	n := len(keys)
+	a := make([]int, n)
+	copy(a, keys)
+	next := make([]int, n)
+	digit := make([]int, n)
+	index := make([]int, n)
+	rank := make([]int, n)
+	isBucket := make([]bool, n)
+	buckets := 1 << uint(r)
+	for lo := 0; lo < nbits; lo += r {
+		shift := uint(lo)
+		mask := buckets - 1
+		core.Par(m, n, func(i int) { digit[i] = a[i] >> shift & mask })
+		// For each bucket in order: its elements go after all smaller
+		// buckets' elements, in stable order.
+		base := 0
+		for b := 0; b < buckets; b++ {
+			bb := b
+			core.Par(m, n, func(i int) { isBucket[i] = digit[i] == bb })
+			count := core.Enumerate(m, rank, isBucket)
+			thisBase := base
+			core.Par(m, n, func(i int) {
+				if isBucket[i] {
+					index[i] = thisBase + rank[i]
+				}
+			})
+			base += count
+		}
+		core.Permute(m, next, a, index)
+		a, next = next, a
+	}
+	return a
+}

@@ -1,0 +1,105 @@
+// Package radix implements the paper's split radix sort (§2.2.1,
+// Figure 2): loop over the key bits from least significant to most,
+// each pass packing the 0-bit keys to the bottom and the 1-bit keys to
+// the top with the split operation. Each pass costs O(1) program steps,
+// so d-bit keys sort in O(d) steps — O(lg n) under the standard
+// assumption that keys are O(lg n) bits. It is the sort the Connection
+// Machine's instruction set shipped with.
+package radix
+
+import (
+	"math/bits"
+
+	"scans/internal/core"
+)
+
+// BitsFor returns the number of bits needed to represent every key;
+// keys must be non-negative. A nil or all-zero input needs 1 bit.
+func BitsFor(keys []int) int {
+	maxV := 0
+	for _, k := range keys {
+		if k > maxV {
+			maxV = k
+		}
+	}
+	b := bits.Len(uint(maxV))
+	if b == 0 {
+		b = 1
+	}
+	return b
+}
+
+// Sort sorts keys (which must fit in nbits unsigned bits) on machine m
+// and returns the sorted vector. O(nbits) program steps.
+func Sort(m *core.Machine, keys []int, nbits int) []int {
+	sorted, _ := SortWithIndex(m, keys, nbits)
+	return sorted
+}
+
+// SortWithIndex sorts keys and also returns the permutation applied:
+// perm[i] is the original index of the i-th smallest key. The
+// permutation is what lets callers sort payload vectors alongside the
+// keys (the graph-building path of §2.3.2 needs it). The sort is stable.
+func SortWithIndex(m *core.Machine, keys []int, nbits int) (sorted, perm []int) {
+	n := len(keys)
+	a := make([]int, n)
+	copy(a, keys)
+	idx := make([]int, n)
+	core.Par(m, n, func(i int) { idx[i] = i })
+	flags := make([]bool, n)
+	splitIdx := make([]int, n)
+	nextA := make([]int, n)
+	nextIdx := make([]int, n)
+	for b := 0; b < nbits; b++ {
+		bit := uint(b)
+		core.Par(m, n, func(i int) { flags[i] = a[i]>>bit&1 == 1 })
+		core.SplitIndex(m, splitIdx, flags)
+		core.Permute(m, nextA, a, splitIdx)
+		core.Permute(m, nextIdx, idx, splitIdx)
+		a, nextA = nextA, a
+		idx, nextIdx = nextIdx, idx
+	}
+	return a, idx
+}
+
+// SortInts sorts arbitrary ints (negatives included) by shifting the
+// range to be non-negative, sorting with the bit count of the shifted
+// range, and shifting back.
+func SortInts(m *core.Machine, keys []int) []int {
+	n := len(keys)
+	if n == 0 {
+		return nil
+	}
+	minv := make([]int, n)
+	lo := core.MinDistribute(m, minv, keys)
+	shifted := make([]int, n)
+	core.Par(m, n, func(i int) { shifted[i] = keys[i] - lo })
+	sorted := Sort(m, shifted, BitsFor(shifted))
+	core.Par(m, n, func(i int) { sorted[i] += lo })
+	return sorted
+}
+
+// Trace records one pass of the sort for the Figure 2 reproduction.
+type Trace struct {
+	Bit   int    // which bit this pass split on
+	Flags []bool // A<bit>: the extracted bit of each key
+	After []int  // the vector after the split
+}
+
+// SortTrace runs the sort and records the per-pass state, reproducing
+// Figure 2.
+func SortTrace(m *core.Machine, keys []int, nbits int) (sorted []int, passes []Trace) {
+	n := len(keys)
+	a := make([]int, n)
+	copy(a, keys)
+	for b := 0; b < nbits; b++ {
+		bit := uint(b)
+		flags := make([]bool, n)
+		core.Par(m, n, func(i int) { flags[i] = a[i]>>bit&1 == 1 })
+		next := make([]int, n)
+		core.Split(m, next, a, flags)
+		passes = append(passes, Trace{Bit: b, Flags: flags, After: next})
+		a = next
+	}
+	return a, passes
+}

@@ -1,0 +1,184 @@
+package radix
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func TestSortFig2(t *testing.T) {
+	// Figure 2: sorting [5 7 3 1 4 2 7 2] on 3 bits, pass by pass.
+	m := core.New()
+	keys := []int{5, 7, 3, 1, 4, 2, 7, 2}
+	sorted, passes := SortTrace(m, keys, 3)
+	if want := []int{1, 2, 2, 3, 4, 5, 7, 7}; !reflect.DeepEqual(sorted, want) {
+		t.Fatalf("sorted = %v, want %v", sorted, want)
+	}
+	wantPasses := [][]int{
+		{4, 2, 2, 5, 7, 3, 1, 7},
+		{4, 5, 1, 2, 2, 7, 3, 7},
+		{1, 2, 2, 3, 4, 5, 7, 7},
+	}
+	wantFlags := [][]bool{
+		{true, true, true, true, false, false, true, false},
+		{false, true, true, false, true, true, false, true},
+		{true, true, false, false, false, true, false, true},
+	}
+	for i, p := range passes {
+		if !reflect.DeepEqual(p.After, wantPasses[i]) {
+			t.Errorf("pass %d after = %v, want %v", i, p.After, wantPasses[i])
+		}
+		if !reflect.DeepEqual(p.Flags, wantFlags[i]) {
+			t.Errorf("pass %d flags = %v, want %v", i, p.Flags, wantFlags[i])
+		}
+	}
+}
+
+func TestSortRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{0, 1, 2, 100, 1000} {
+		m := core.New()
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(1 << 16)
+		}
+		got := Sort(m, keys, 16)
+		want := make([]int, len(keys))
+		copy(want, keys)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: radix sort wrong", n)
+		}
+	}
+}
+
+func TestSortWithIndexIsStablePermutation(t *testing.T) {
+	m := core.New()
+	rng := rand.New(rand.NewSource(3))
+	n := 500
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(8) // many duplicates to exercise stability
+	}
+	sorted, perm := SortWithIndex(m, keys, 3)
+	for i := range sorted {
+		if keys[perm[i]] != sorted[i] {
+			t.Fatalf("perm[%d] inconsistent", i)
+		}
+		if i > 0 && sorted[i] == sorted[i-1] && perm[i] < perm[i-1] {
+			t.Fatalf("not stable at %d", i)
+		}
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if seen[p] {
+			t.Fatal("perm is not a permutation")
+		}
+		seen[p] = true
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	m := core.New()
+	keys := []int{5, -3, 0, 99, -120, 7, -3}
+	got := SortInts(m, keys)
+	want := make([]int, len(keys))
+	copy(want, keys)
+	sort.Ints(want)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SortInts = %v, want %v", got, want)
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	for _, c := range []struct {
+		keys []int
+		want int
+	}{{nil, 1}, {[]int{0}, 1}, {[]int{1}, 1}, {[]int{7}, 3}, {[]int{8}, 4}, {[]int{1000}, 10}} {
+		if got := BitsFor(c.keys); got != c.want {
+			t.Errorf("BitsFor(%v) = %d, want %d", c.keys, got, c.want)
+		}
+	}
+}
+
+func TestStepsLinearInBits(t *testing.T) {
+	// O(d) steps: steps for 2d bits = 2x steps for d bits, independent
+	// of n.
+	keys := make([]int, 4096)
+	m8 := core.New()
+	Sort(m8, keys, 8)
+	m16 := core.New()
+	Sort(m16, keys, 16)
+	// Subtract the shared setup pass (the iota elementwise op).
+	if got, want := m16.Steps()-1, 2*(m8.Steps()-1); got != want {
+		t.Errorf("steps(16 bits) - setup = %d, want 2*steps(8 bits) = %d", got, want)
+	}
+	mBig := core.New()
+	Sort(mBig, make([]int, 8192), 8)
+	if mBig.Steps() != m8.Steps() {
+		t.Errorf("steps grew with n: %d vs %d", mBig.Steps(), m8.Steps())
+	}
+}
+
+func TestSortPropertyQuick(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		m := core.New()
+		keys := make([]int, len(raw))
+		for i, v := range raw {
+			keys[i] = int(v)
+		}
+		got := Sort(m, keys, 16)
+		want := make([]int, len(keys))
+		copy(want, keys)
+		sort.Ints(want)
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortMultiBit(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, r := range []int{1, 2, 4, 5} {
+		m := core.New()
+		keys := make([]int, 300)
+		for i := range keys {
+			keys[i] = rng.Intn(1 << 12)
+		}
+		got := SortMultiBit(m, keys, 12, r)
+		want := make([]int, len(keys))
+		copy(want, keys)
+		sort.Ints(want)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("r=%d: multi-bit radix sort wrong", r)
+		}
+	}
+}
+
+func TestSortMultiBitRejectsBadR(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for r=0")
+		}
+	}()
+	SortMultiBit(core.New(), []int{1}, 4, 0)
+}
+
+func TestUsageRecorded(t *testing.T) {
+	// Table 3: the split radix sort uses splitting (and via split,
+	// enumerating).
+	m := core.New()
+	Sort(m, []int{3, 1, 2}, 2)
+	c := m.Counters()
+	if c.UsageCounts[core.UseSplit] == 0 {
+		t.Error("split usage not recorded")
+	}
+	if c.UsageCounts[core.UseEnumerate] == 0 {
+		t.Error("enumerate usage not recorded")
+	}
+}

@@ -1,0 +1,63 @@
+// Package rle implements run-length encoding and decoding with the
+// paper's vector operations — a staple example of the scan-vector style:
+// encoding is a head-flag pass, an enumerate and a pack; decoding is one
+// processor allocation plus a distribute. Both directions are O(1)
+// program steps for any input, however the run lengths are distributed.
+package rle
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// Run is one (value, count) pair.
+type Run struct {
+	Value int
+	Count int
+}
+
+// Encode compresses v into runs in O(1) program steps.
+func Encode(m *core.Machine, v []int) []Run {
+	n := len(v)
+	if n == 0 {
+		return nil
+	}
+	heads := make([]bool, n)
+	core.Par(m, n, func(i int) { heads[i] = i == 0 || v[i] != v[i-1] })
+	// Each head's run length = next head's index - its own.
+	idx := make([]int, n)
+	runs := core.Enumerate(m, idx, heads) // run number per position
+	starts := make([]int, runs)
+	core.PackIndex(m, starts, heads)
+	values := make([]int, runs)
+	core.Pack(m, values, v, heads)
+	out := make([]Run, runs)
+	core.Par(m, runs, func(r int) {
+		end := n
+		if r+1 < runs {
+			end = starts[r+1]
+		}
+		out[r] = Run{Value: values[r], Count: end - starts[r]}
+	})
+	return out
+}
+
+// Decode expands runs back into a flat vector in O(1) program steps:
+// allocate Count processors per run and distribute the value.
+func Decode(m *core.Machine, runs []Run) []int {
+	k := len(runs)
+	counts := make([]int, k)
+	values := make([]int, k)
+	core.Par(m, k, func(r int) {
+		if runs[r].Count < 0 {
+			panic(fmt.Sprintf("rle: run %d has negative count %d", r, runs[r].Count))
+		}
+		counts[r] = runs[r].Count
+		values[r] = runs[r].Value
+	})
+	alloc := core.Allocate(m, counts)
+	out := make([]int, alloc.Total)
+	core.Distribute(m, alloc, out, values, counts)
+	return out
+}

@@ -1,0 +1,84 @@
+package rle
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"scans/internal/core"
+)
+
+func TestEncodeDecodeBasic(t *testing.T) {
+	m := core.New()
+	v := []int{7, 7, 7, 2, 9, 9, 9, 9, 1}
+	runs := Encode(m, v)
+	want := []Run{{7, 3}, {2, 1}, {9, 4}, {1, 1}}
+	if !reflect.DeepEqual(runs, want) {
+		t.Errorf("Encode = %v, want %v", runs, want)
+	}
+	back := Decode(m, runs)
+	if !reflect.DeepEqual(back, v) {
+		t.Errorf("Decode = %v, want %v", back, v)
+	}
+}
+
+func TestEdgeCases(t *testing.T) {
+	m := core.New()
+	if got := Encode(m, nil); got != nil {
+		t.Errorf("Encode(nil) = %v", got)
+	}
+	if got := Decode(m, nil); len(got) != 0 {
+		t.Errorf("Decode(nil) = %v", got)
+	}
+	if got := Encode(m, []int{5}); !reflect.DeepEqual(got, []Run{{5, 1}}) {
+		t.Errorf("single = %v", got)
+	}
+	// Zero-count runs vanish on decode.
+	if got := Decode(m, []Run{{1, 0}, {2, 3}, {3, 0}}); !reflect.DeepEqual(got, []int{2, 2, 2}) {
+		t.Errorf("zero-count = %v", got)
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(raw []uint8) bool {
+		m := core.New()
+		v := make([]int, len(raw))
+		for i, x := range raw {
+			v[i] = int(x % 4) // long runs
+		}
+		back := Decode(m, Encode(m, v))
+		if len(v) == 0 {
+			return len(back) == 0
+		}
+		return reflect.DeepEqual(back, v)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstantSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	steps := func(n int) int64 {
+		v := make([]int, n)
+		for i := range v {
+			v[i] = rng.Intn(3)
+		}
+		m := core.New()
+		Decode(m, Encode(m, v))
+		return m.Steps()
+	}
+	if s1, s2 := steps(64), steps(8192); s1 != s2 {
+		t.Errorf("steps grew with n: %d vs %d", s1, s2)
+	}
+}
+
+func TestNegativeCountPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Decode(core.New(), []Run{{1, -2}})
+}

@@ -1,0 +1,130 @@
+package spmv
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+func buildRandom(rng *rand.Rand, rows, cols int, density float64) *Matrix {
+	rowStart := make([]int, rows+1)
+	var col []int
+	var val []float64
+	for r := 0; r < rows; r++ {
+		rowStart[r] = len(col)
+		for c := 0; c < cols; c++ {
+			if rng.Float64() < density {
+				col = append(col, c)
+				val = append(val, rng.NormFloat64())
+			}
+		}
+	}
+	rowStart[rows] = len(col)
+	return NewMatrix(rows, cols, rowStart, col, val)
+}
+
+func almost(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*(1+math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMulVecSmall(t *testing.T) {
+	// [[1 0 2] [0 0 0] [3 4 0]] * [1 2 3] = [7, 0, 11].
+	a := NewMatrix(3, 3, []int{0, 2, 2, 4}, []int{0, 2, 0, 1}, []float64{1, 2, 3, 4})
+	m := core.New()
+	y := a.MulVec(m, []float64{1, 2, 3})
+	if !almost(y, []float64{7, 0, 11}) {
+		t.Errorf("MulVec = %v, want [7 0 11]", y)
+	}
+}
+
+func TestMulVecMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(170))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(50), 1+rng.Intn(50)
+		a := buildRandom(rng, rows, cols, rng.Float64()*0.3)
+		x := make([]float64, cols)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		m := core.New()
+		if !almost(a.MulVec(m, x), a.MulVecSerial(x)) {
+			t.Fatalf("trial %d: mismatch", trial)
+		}
+	}
+}
+
+func TestMulVecSkewedRows(t *testing.T) {
+	// One row holds nearly all nonzeros — the load-imbalance case
+	// segmented scans exist for.
+	cols := 1000
+	rowStart := []int{0, cols, cols, cols + 1}
+	col := make([]int, cols+1)
+	val := make([]float64, cols+1)
+	for c := 0; c < cols; c++ {
+		col[c] = c
+		val[c] = 1
+	}
+	col[cols] = 7
+	val[cols] = 2
+	a := NewMatrix(3, cols, rowStart, col, val)
+	x := make([]float64, cols)
+	for i := range x {
+		x[i] = 1
+	}
+	m := core.New()
+	y := a.MulVec(m, x)
+	if !almost(y, []float64{1000, 0, 2}) {
+		t.Errorf("skewed = %v", y)
+	}
+}
+
+func TestMulVecConstantSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(171))
+	steps := func(rows int) int64 {
+		a := buildRandom(rng, rows, rows, 0.1)
+		m := core.New()
+		a.MulVec(m, make([]float64, rows))
+		return m.Steps()
+	}
+	if s1, s2 := steps(32), steps(512); s1 != s2 {
+		t.Errorf("spmv steps grew with size: %d vs %d", s1, s2)
+	}
+}
+
+func TestMulVecEmptyMatrix(t *testing.T) {
+	a := NewMatrix(2, 3, []int{0, 0, 0}, nil, nil)
+	m := core.New()
+	y := a.MulVec(m, []float64{1, 2, 3})
+	if !almost(y, []float64{0, 0}) {
+		t.Errorf("empty = %v", y)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	for name, f := range map[string]func(){
+		"rowstart-len":   func() { NewMatrix(2, 2, []int{0, 1}, []int{0}, []float64{1}) },
+		"non-monotone":   func() { NewMatrix(2, 2, []int{0, 2, 1}, []int{0}, []float64{1}) },
+		"col-range":      func() { NewMatrix(1, 2, []int{0, 1}, []int{5}, []float64{1}) },
+		"len-mismatch":   func() { NewMatrix(1, 2, []int{0, 1}, []int{0}, []float64{1, 2}) },
+		"x-wrong-length": func() { buildRandom(rand.New(rand.NewSource(1)), 3, 3, 0.5).MulVec(core.New(), []float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

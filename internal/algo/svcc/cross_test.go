@@ -1,0 +1,36 @@
+package svcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/algo/cc"
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// TestCrossModelAgreement runs the same graphs through the CRCW hooking
+// algorithm and the scan-model random-mate contraction: two completely
+// different machines and algorithms must induce identical partitions —
+// the strongest internal consistency check the repository has for
+// connectivity.
+func TestCrossModelAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(190))
+	for trial := 0; trial < 15; trial++ {
+		n := 2 + rng.Intn(100)
+		var edges []graph.Edge
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		crcwM := core.New(core.WithModel(core.ModelCRCW))
+		viaHooking := Labels(crcwM, n, edges)
+		scanM := core.New()
+		viaContraction := cc.Labels(scanM, n, edges, int64(trial))
+		if !cc.SameComponents(viaHooking, viaContraction) {
+			t.Fatalf("trial %d (n=%d): CRCW hooking and scan contraction disagree", trial, n)
+		}
+	}
+}

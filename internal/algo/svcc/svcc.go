@@ -1,0 +1,138 @@
+// Package svcc implements Shiloach–Vishkin style connected components,
+// the algorithm behind Table 1's CRCW column (O(lg n) on a CRCW P-RAM
+// whose concurrent writes resolve to the minimum — the extension the
+// paper's §2.3.3 explicitly describes). It exists as the measured
+// counterpart to the scan-model contraction in package cc: same answer,
+// different machine model.
+//
+// The variant here is Awerbuch–Shiloach hooking: repeat {conditional
+// star hooking toward smaller labels, unconditional star hooking for
+// stagnant stars, pointer-jump shortcutting} until stable. Each phase is
+// a constant number of elementwise steps, concurrent-read gathers, and
+// min-combining concurrent writes, giving O(lg n) rounds.
+package svcc
+
+import (
+	"fmt"
+
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+// Labels returns a component label per vertex; equal labels ⇔ connected.
+// The machine must be ModelCRCW (the algorithm hooks with min-combining
+// concurrent writes).
+func Labels(m *core.Machine, numVertices int, edges []graph.Edge) []int {
+	if m.Model() != core.ModelCRCW {
+		panic("svcc: Labels requires a ModelCRCW machine")
+	}
+	n := numVertices
+	parent := make([]int, n)
+	core.Par(m, n, func(v int) { parent[v] = v })
+	if n == 0 {
+		return parent
+	}
+	ne := len(edges)
+	us := make([]int, ne)
+	vs := make([]int, ne)
+	core.Par(m, ne, func(i int) { us[i], vs[i] = edges[i].U, edges[i].V })
+
+	maxRounds := 8*lg(n) + 16
+	for round := 0; ; round++ {
+		if round > maxRounds {
+			panic(fmt.Sprintf("svcc: no convergence after %d rounds", round))
+		}
+		before := append([]int(nil), parent...)
+
+		// Conditional hooking: roots of stars hook onto strictly
+		// smaller neighboring labels (min-combined on collisions).
+		star := starVector(m, parent)
+		hookIf(m, parent, star, us, vs, true)
+		hookIf(m, parent, star, vs, us, true)
+
+		// Unconditional hooking: stars left stagnant hook onto any
+		// differing neighbor label, guaranteeing progress.
+		star = starVector(m, parent)
+		hookIf(m, parent, star, us, vs, false)
+		hookIf(m, parent, star, vs, us, false)
+
+		// Shortcut: pointer jumping halves every tree's depth.
+		next := make([]int, n)
+		core.GatherShared(m, next, parent, parent)
+		core.Par(m, n, func(v int) { parent[v] = next[v] })
+
+		stable := true
+		for v := range parent {
+			if parent[v] != before[v] {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			break
+		}
+	}
+	return parent
+}
+
+// starVector computes, per vertex, whether its tree is a star (depth ≤
+// 1), with the standard three-step routine: a vertex two levels deep
+// disqualifies itself, its grandparent's tree, and — through the final
+// "inherit from parent" step — everything else in that tree.
+func starVector(m *core.Machine, parent []int) []bool {
+	n := len(parent)
+	gp := make([]int, n)
+	core.GatherShared(m, gp, parent, parent)
+	// ok[v] = 1 while v's tree still looks like a star.
+	ok := make([]int, n)
+	core.Par(m, n, func(v int) { ok[v] = 1 })
+	deep := make([]bool, n)
+	core.Par(m, n, func(v int) { deep[v] = gp[v] != parent[v] })
+	zero := make([]int, n)
+	// A depth-2 vertex zeroes itself and its grandparent (concurrent
+	// min-writes).
+	self := make([]int, n)
+	core.Par(m, n, func(v int) { self[v] = v })
+	core.PermuteMinWriteIf(m, ok, zero, self, deep)
+	core.PermuteMinWriteIf(m, ok, zero, gp, deep)
+	// Everyone inherits their parent's verdict (the parent of a depth-1
+	// vertex is the root, already zeroed if anything hangs below).
+	okParent := make([]int, n)
+	core.GatherShared(m, okParent, ok, parent)
+	star := make([]bool, n)
+	core.Par(m, n, func(v int) { star[v] = ok[v] == 1 && okParent[v] == 1 })
+	return star
+}
+
+// hookIf hooks, for every edge (from[i], to[i]) whose from-endpoint lies
+// in a star, the from-side root onto the to-side label — only onto
+// strictly smaller labels when conditional, onto any differing label
+// otherwise. Collisions resolve to the minimum.
+func hookIf(m *core.Machine, parent []int, star []bool, from, to []int, conditional bool) {
+	ne := len(from)
+	pFrom := make([]int, ne)
+	pTo := make([]int, ne)
+	core.GatherShared(m, pFrom, parent, from)
+	core.GatherShared(m, pTo, parent, to)
+	cand := make([]bool, ne)
+	core.Par(m, ne, func(i int) {
+		if !star[from[i]] {
+			return
+		}
+		if conditional {
+			cand[i] = pTo[i] < pFrom[i]
+		} else {
+			cand[i] = pTo[i] != pFrom[i]
+		}
+	})
+	core.PermuteMinWriteIf(m, parent, pTo, pFrom, cand)
+}
+
+func lg(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

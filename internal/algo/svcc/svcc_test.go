@@ -1,0 +1,121 @@
+package svcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"scans/internal/algo/cc"
+	"scans/internal/algo/graph"
+	"scans/internal/core"
+)
+
+func crcw() *core.Machine { return core.New(core.WithModel(core.ModelCRCW)) }
+
+func TestLabelsSmall(t *testing.T) {
+	m := crcw()
+	edges := []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}}
+	got := Labels(m, 6, edges)
+	want := cc.Serial(6, edges)
+	if !cc.SameComponents(got, want) {
+		t.Errorf("labels %v do not partition like %v", got, want)
+	}
+}
+
+func TestLabelsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(160))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(80)
+		var edges []graph.Edge
+		for e := 0; e < rng.Intn(3*n); e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				edges = append(edges, graph.Edge{U: u, V: v})
+			}
+		}
+		m := crcw()
+		got := Labels(m, n, edges)
+		if !cc.SameComponents(got, cc.Serial(n, edges)) {
+			t.Fatalf("trial %d (n=%d): wrong components", trial, n)
+		}
+	}
+}
+
+func TestLabelsPathAndCycle(t *testing.T) {
+	n := 256
+	var path []graph.Edge
+	for i := 0; i < n-1; i++ {
+		path = append(path, graph.Edge{U: i, V: i + 1})
+	}
+	m := crcw()
+	got := Labels(m, n, path)
+	for v := 1; v < n; v++ {
+		if got[v] != got[0] {
+			t.Fatalf("path vertex %d disconnected", v)
+		}
+	}
+	cycle := append(path, graph.Edge{U: n - 1, V: 0})
+	got = Labels(m, n, cycle)
+	for v := 1; v < n; v++ {
+		if got[v] != got[0] {
+			t.Fatalf("cycle vertex %d disconnected", v)
+		}
+	}
+}
+
+func TestLabelsRoundsLogarithmic(t *testing.T) {
+	// O(lg n) rounds: steps grow additively per doubling.
+	steps := func(n int) int64 {
+		rng := rand.New(rand.NewSource(int64(n)))
+		var edges []graph.Edge
+		for v := 1; v < n; v++ {
+			edges = append(edges, graph.Edge{U: rng.Intn(v), V: v})
+		}
+		m := crcw()
+		Labels(m, n, edges)
+		return m.Steps()
+	}
+	s1, s4 := steps(1<<8), steps(1<<10)
+	if ratio := float64(s4) / float64(s1); ratio > 2.5 {
+		t.Errorf("steps grew %.1fx for 4x vertices; want lg-like", ratio)
+	}
+}
+
+func TestLabelsRequiresCRCW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on a non-CRCW machine")
+		}
+	}()
+	Labels(core.New(), 2, []graph.Edge{{U: 0, V: 1}})
+}
+
+func TestMinWriteRequiresCRCW(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	core.PermuteMinWrite(core.New(), []int{5}, []int{1}, []int{0})
+}
+
+func TestMinWriteSemantics(t *testing.T) {
+	m := crcw()
+	dst := []int{9, 9}
+	core.PermuteMinWrite(m, dst, []int{4, 2, 7}, []int{0, 0, 1})
+	if dst[0] != 2 || dst[1] != 7 {
+		t.Errorf("min-write = %v, want [2 7]", dst)
+	}
+}
+
+func TestEmptyAndEdgeless(t *testing.T) {
+	m := crcw()
+	if got := Labels(m, 0, nil); len(got) != 0 {
+		t.Errorf("empty = %v", got)
+	}
+	got := Labels(m, 3, nil)
+	for v, l := range got {
+		if l != v {
+			t.Errorf("edgeless vertex %d labeled %d", v, l)
+		}
+	}
+}

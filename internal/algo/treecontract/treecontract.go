@@ -1,0 +1,349 @@
+// Package treecontract implements parallel tree contraction — the third
+// row of the paper's Table 5 — specialized to evaluating arithmetic
+// expression trees (full binary trees whose internal nodes are + or ×).
+//
+// The algorithm is the classic rake-based contraction: leaves are
+// numbered left to right; each round rakes all odd-numbered leaves (the
+// left children, then the right children — two sub-steps that make the
+// simultaneous rakes provably non-interfering), composing the removed
+// subexpression into a pending linear function a·x + b on the raked
+// leaf's sibling. Odd leaves vanish each round, so a tree of n nodes
+// contracts in O(lg n) rounds, each a constant number of primitives over
+// the surviving nodes; with packed (load-balanced) vectors the work is
+// O(n), giving Table 5's O(n/p + lg n) with p = n/lg n processors.
+package treecontract
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// Op is an internal node's operator.
+type Op int8
+
+const (
+	// OpAdd is addition.
+	OpAdd Op = iota
+	// OpMul is multiplication.
+	OpMul
+)
+
+// Tree is a full binary expression tree: every node has zero or two
+// children. Leaves carry Value; internal nodes carry Op. Children and
+// parents are node indices, -1 for none.
+type Tree struct {
+	Parent []int
+	Left   []int
+	Right  []int
+	Ops    []Op
+	Value  []float64
+	Root   int
+}
+
+// Validate panics with a description if t is not a rooted full binary
+// tree with consistent pointers.
+func (t *Tree) Validate() {
+	n := len(t.Parent)
+	if len(t.Left) != n || len(t.Right) != n || len(t.Ops) != n || len(t.Value) != n {
+		panic("treecontract: tree vectors have differing lengths")
+	}
+	if t.Root < 0 || t.Root >= n || t.Parent[t.Root] != -1 {
+		panic(fmt.Sprintf("treecontract: bad root %d", t.Root))
+	}
+	for v := 0; v < n; v++ {
+		l, r := t.Left[v], t.Right[v]
+		if (l == -1) != (r == -1) {
+			panic(fmt.Sprintf("treecontract: node %d has exactly one child; tree must be full", v))
+		}
+		if l != -1 {
+			if t.Parent[l] != v || t.Parent[r] != v {
+				panic(fmt.Sprintf("treecontract: child links of %d are inconsistent", v))
+			}
+		}
+		if v != t.Root && t.Parent[v] == -1 {
+			panic(fmt.Sprintf("treecontract: node %d is disconnected", v))
+		}
+	}
+}
+
+// EvalSerial evaluates the tree by a straightforward iterative
+// post-order walk: the reference implementation.
+func EvalSerial(t *Tree) float64 {
+	type frame struct {
+		node  int
+		stage int8
+	}
+	val := make([]float64, len(t.Parent))
+	stack := []frame{{t.Root, 0}}
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		v := f.node
+		if t.Left[v] == -1 {
+			val[v] = t.Value[v]
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		switch f.stage {
+		case 0:
+			f.stage = 1
+			stack = append(stack, frame{t.Left[v], 0})
+		case 1:
+			f.stage = 2
+			stack = append(stack, frame{t.Right[v], 0})
+		default:
+			if t.Ops[v] == OpAdd {
+				val[v] = val[t.Left[v]] + val[t.Right[v]]
+			} else {
+				val[v] = val[t.Left[v]] * val[t.Right[v]]
+			}
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return val[t.Root]
+}
+
+// Eval evaluates the expression tree by parallel contraction on machine
+// m and returns the root value.
+func Eval(m *core.Machine, t *Tree) float64 {
+	t.Validate()
+	n := len(t.Parent)
+	if n == 1 {
+		return t.Value[t.Root]
+	}
+	s := newState(m, t)
+	for round := 0; s.na > 1; round++ {
+		if round > 4*lgCeil(n)+16 {
+			panic("treecontract: contraction did not converge")
+		}
+		s.subStep(m, sideLeft)
+		s.subStep(m, sideRight)
+		s.packAndRenumber(m)
+	}
+	// One node left: a leaf with a pending linear function.
+	return s.a[0]*s.value[0] + s.b[0]
+}
+
+type side int8
+
+const (
+	sideLeft side = iota
+	sideRight
+	sideNone
+)
+
+// state holds the packed per-node vectors of the live contraction.
+type state struct {
+	na        int
+	ids       []int // original node id per position
+	parent    []int // parent id, -1 for root
+	childSide []side
+	left      []int // child ids, -1 for leaves
+	right     []int
+	op        []Op
+	value     []float64
+	a, b      []float64 // pending linear function
+	leafRank  []int     // left-to-right leaf number, -1 for internal
+	posOf     []int     // original id -> position
+	removed   []bool
+}
+
+func newState(m *core.Machine, t *Tree) *state {
+	n := len(t.Parent)
+	s := &state{
+		na: n, ids: make([]int, n), parent: make([]int, n),
+		childSide: make([]side, n), left: make([]int, n), right: make([]int, n),
+		op: make([]Op, n), value: make([]float64, n),
+		a: make([]float64, n), b: make([]float64, n),
+		leafRank: make([]int, n), posOf: make([]int, n),
+		removed: make([]bool, n),
+	}
+	core.Par(m, n, func(i int) {
+		s.ids[i] = i
+		s.posOf[i] = i
+		s.parent[i] = t.Parent[i]
+		s.left[i], s.right[i] = t.Left[i], t.Right[i]
+		s.op[i] = t.Ops[i]
+		s.value[i] = t.Value[i]
+		s.a[i] = 1
+		s.leafRank[i] = -1
+		switch p := t.Parent[i]; {
+		case p == -1:
+			s.childSide[i] = sideNone
+		case t.Left[p] == i:
+			s.childSide[i] = sideLeft
+		default:
+			s.childSide[i] = sideRight
+		}
+	})
+	// Initial left-to-right leaf numbering by an in-order walk. (A
+	// one-time setup; the paper's tree algorithms assume trees arrive in
+	// a canonical form [7]. The contraction itself maintains the
+	// numbering with one elementwise halving per round.)
+	rank := 0
+	walkIterative(t, &rank, s.leafRank)
+	return s
+}
+
+// walkIterative numbers the leaves in order without recursion (trees can
+// be deep chains).
+func walkIterative(t *Tree, rank *int, leafRank []int) {
+	stack := []int{t.Root}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if t.Left[v] == -1 {
+			leafRank[v] = *rank
+			*rank++
+			continue
+		}
+		// Push right first so left pops first.
+		stack = append(stack, t.Right[v], t.Left[v])
+	}
+}
+
+// subStep rakes every odd-numbered leaf that hangs on the given side.
+func (s *state) subStep(m *core.Machine, sd side) {
+	na := s.na
+	rake := make([]bool, na)
+	core.Par(m, na, func(i int) {
+		rake[i] = !s.removed[i] && s.left[i] == -1 && s.leafRank[i] >= 0 &&
+			s.leafRank[i]%2 == 1 && s.childSide[i] == sd && s.parent[i] != -1
+	})
+	// Each raked leaf computes its parent's and sibling's positions and
+	// the composed linear function for the sibling.
+	sibPos := make([]int, na)
+	parPos := make([]int, na)
+	gpPos := make([]int, na)
+	newA := make([]float64, na)
+	newB := make([]float64, na)
+	newParent := make([]int, na)
+	newSide := make([]side, na)
+	sibID := make([]int, na)
+	hasGP := make([]bool, na)
+	core.Par(m, na, func(i int) {
+		if !rake[i] {
+			return
+		}
+		p := s.posOf[s.parent[i]]
+		parPos[i] = p
+		var sid int
+		if sd == sideLeft {
+			sid = s.right[p]
+		} else {
+			sid = s.left[p]
+		}
+		sibID[i] = sid
+		sp := s.posOf[sid]
+		sibPos[i] = sp
+		c := s.a[i]*s.value[i] + s.b[i]
+		ap, bp := s.a[p], s.b[p]
+		as, bs := s.a[sp], s.b[sp]
+		if s.op[p] == OpAdd {
+			// x -> ap*(c + as*x + bs) + bp
+			newA[i] = ap * as
+			newB[i] = ap*(c+bs) + bp
+		} else {
+			// x -> ap*(c * (as*x + bs)) + bp
+			newA[i] = ap * c * as
+			newB[i] = ap*c*bs + bp
+		}
+		newParent[i] = s.parent[p]
+		newSide[i] = s.childSide[p]
+		if s.parent[p] != -1 {
+			hasGP[i] = true
+			gpPos[i] = s.posOf[s.parent[p]]
+		}
+	})
+	// Scatter the sibling updates (distinct siblings per rake).
+	core.PermuteIf(m, s.a, newA, sibPos, rake)
+	core.PermuteIf(m, s.b, newB, sibPos, rake)
+	core.PermuteIf(m, s.parent, newParent, sibPos, rake)
+	core.PermuteIf(m, s.childSide, newSide, sibPos, rake)
+	// Repair the grandparent's child pointer on the parent's old side.
+	gpLeft := make([]bool, na)
+	gpRight := make([]bool, na)
+	core.Par(m, na, func(i int) {
+		if rake[i] && hasGP[i] {
+			if newSide[i] == sideLeft {
+				gpLeft[i] = true
+			} else {
+				gpRight[i] = true
+			}
+		}
+	})
+	core.PermuteIf(m, s.left, sibID, gpPos, gpLeft)
+	core.PermuteIf(m, s.right, sibID, gpPos, gpRight)
+	// Remove the raked leaf and its parent.
+	trues := make([]bool, na)
+	core.Par(m, na, func(i int) { trues[i] = true })
+	core.PermuteIf(m, s.removed, trues, parPos, rake)
+	core.Par(m, na, func(i int) {
+		if rake[i] {
+			s.removed[i] = true
+		}
+	})
+}
+
+// packAndRenumber drops removed nodes, rebuilds the id->position map,
+// and halves the leaf numbers (all odd leaves are gone).
+func (s *state) packAndRenumber(m *core.Machine) {
+	na := s.na
+	keep := make([]bool, na)
+	core.Par(m, na, func(i int) { keep[i] = !s.removed[i] })
+	idx := make([]int, na)
+	kept := core.Enumerate(m, idx, keep)
+	packInts := func(v []int) []int {
+		out := make([]int, kept)
+		core.PermuteIf(m, out, v, idx, keep)
+		return out
+	}
+	packF := func(v []float64) []float64 {
+		out := make([]float64, kept)
+		core.PermuteIf(m, out, v, idx, keep)
+		return out
+	}
+	s.ids = packInts(s.ids)
+	s.parent = packInts(s.parent)
+	s.left = packInts(s.left)
+	s.right = packInts(s.right)
+	s.leafRank = packInts(s.leafRank)
+	s.value = packF(s.value)
+	s.a = packF(s.a)
+	s.b = packF(s.b)
+	newSide := make([]side, kept)
+	core.PermuteIf(m, newSide, s.childSide, idx, keep)
+	s.childSide = newSide
+	newOp := make([]Op, kept)
+	core.PermuteIf(m, newOp, s.op, idx, keep)
+	s.op = newOp
+	s.removed = make([]bool, kept)
+	s.na = kept
+	core.PermuteIf(m, s.posOf, iotaVec(m, kept), s.ids, trueVec(m, kept))
+	core.Par(m, kept, func(i int) {
+		if s.leafRank[i] >= 0 {
+			s.leafRank[i] /= 2
+		}
+	})
+}
+
+func iotaVec(m *core.Machine, n int) []int {
+	v := make([]int, n)
+	core.Par(m, n, func(i int) { v[i] = i })
+	return v
+}
+
+func trueVec(m *core.Machine, n int) []bool {
+	v := make([]bool, n)
+	core.Par(m, n, func(i int) { v[i] = true })
+	return v
+}
+
+func lgCeil(n int) int {
+	b := 0
+	for n > 0 {
+		b++
+		n >>= 1
+	}
+	return b
+}

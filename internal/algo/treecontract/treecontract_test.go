@@ -1,0 +1,175 @@
+package treecontract
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// leafTree returns a single-leaf tree with the given value.
+func leafTree(v float64) *Tree {
+	return &Tree{
+		Parent: []int{-1}, Left: []int{-1}, Right: []int{-1},
+		Ops: []Op{OpAdd}, Value: []float64{v}, Root: 0,
+	}
+}
+
+// buildRandomTree builds a random full binary expression tree with
+// nLeaves leaves, biased by chaininess toward unbalanced shapes.
+func buildRandomTree(rng *rand.Rand, nLeaves int, chainy bool) *Tree {
+	total := 2*nLeaves - 1
+	t := &Tree{
+		Parent: make([]int, total), Left: make([]int, total),
+		Right: make([]int, total), Ops: make([]Op, total),
+		Value: make([]float64, total),
+	}
+	for i := range t.Parent {
+		t.Parent[i], t.Left[i], t.Right[i] = -1, -1, -1
+	}
+	next := 0
+	alloc := func() int { n := next; next++; return n }
+	// Build top-down: grow(k) returns the root of a subtree with k
+	// leaves.
+	var grow func(k int) int
+	grow = func(k int) int {
+		v := alloc()
+		if k == 1 {
+			t.Value[v] = float64(rng.Intn(5)) - 2
+			return v
+		}
+		var lk int
+		if chainy {
+			lk = 1 + rng.Intn(2)
+			if lk >= k {
+				lk = k - 1
+			}
+		} else {
+			lk = 1 + rng.Intn(k-1)
+		}
+		if rng.Intn(4) == 0 {
+			t.Ops[v] = OpMul
+		} else {
+			t.Ops[v] = OpAdd
+		}
+		l := grow(lk)
+		r := grow(k - lk)
+		t.Left[v], t.Right[v] = l, r
+		t.Parent[l], t.Parent[r] = v, v
+		return v
+	}
+	t.Root = grow(nLeaves)
+	return t
+}
+
+func TestEvalLeaf(t *testing.T) {
+	m := core.New()
+	if got := Eval(m, leafTree(42)); got != 42 {
+		t.Errorf("leaf eval = %g, want 42", got)
+	}
+}
+
+func TestEvalSmall(t *testing.T) {
+	// (2 + 3) * 4 = 20.
+	tr := &Tree{
+		Parent: []int{-1, 0, 0, 1, 1},
+		Left:   []int{1, 3, -1, -1, -1},
+		Right:  []int{2, 4, -1, -1, -1},
+		Ops:    []Op{OpMul, OpAdd, OpAdd, OpAdd, OpAdd},
+		Value:  []float64{0, 0, 4, 2, 3},
+		Root:   0,
+	}
+	if got := EvalSerial(tr); got != 20 {
+		t.Fatalf("serial = %g, want 20", got)
+	}
+	m := core.New()
+	if got := Eval(m, tr); got != 20 {
+		t.Errorf("parallel = %g, want 20", got)
+	}
+}
+
+func TestEvalMatchesSerialRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(110))
+	for trial := 0; trial < 30; trial++ {
+		nLeaves := 1 + rng.Intn(200)
+		tr := buildRandomTree(rng, nLeaves, trial%2 == 0)
+		want := EvalSerial(tr)
+		m := core.New()
+		got := Eval(m, tr)
+		if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Fatalf("trial %d (%d leaves): Eval = %g, want %g", trial, nLeaves, got, want)
+		}
+	}
+}
+
+func TestEvalDeepChain(t *testing.T) {
+	// Left-spine caterpillar: (((v + v) + v) + v)...: the worst case
+	// for naive recursion, routine for contraction.
+	rng := rand.New(rand.NewSource(111))
+	tr := buildRandomTree(rng, 2000, true)
+	want := EvalSerial(tr)
+	m := core.New()
+	got := Eval(m, tr)
+	if math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+		t.Errorf("deep chain: Eval = %g, want %g", got, want)
+	}
+}
+
+func TestEvalRoundsLogarithmic(t *testing.T) {
+	// O(lg n) rounds -> steps grow additively per doubling, not
+	// multiplicatively.
+	rng := rand.New(rand.NewSource(112))
+	steps := func(nLeaves int) int64 {
+		tr := buildRandomTree(rng, nLeaves, false)
+		m := core.New()
+		Eval(m, tr)
+		return m.Steps()
+	}
+	s1, s2 := steps(1<<9), steps(1<<11)
+	if ratio := float64(s2) / float64(s1); ratio > 2 {
+		t.Errorf("contraction steps grew %.2fx for 4x leaves; want lg-like", ratio)
+	}
+}
+
+func TestValidateCatchesBadTrees(t *testing.T) {
+	for name, tr := range map[string]*Tree{
+		"one-child": {
+			Parent: []int{-1, 0}, Left: []int{1, -1}, Right: []int{-1, -1},
+			Ops: make([]Op, 2), Value: make([]float64, 2), Root: 0,
+		},
+		"bad-root": {
+			Parent: []int{0}, Left: []int{-1}, Right: []int{-1},
+			Ops: make([]Op, 1), Value: make([]float64, 1), Root: 0,
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			tr.Validate()
+		}()
+	}
+}
+
+// TestTable5WorkShape: contraction processor-step product grows
+// ~linearly in n when p = n/lg n (Table 5's second row for tree
+// contraction).
+func TestTable5WorkShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	product := func(nLeaves, lgn int) float64 {
+		tr := buildRandomTree(rng, nLeaves, false)
+		n := 2*nLeaves - 1
+		m := core.New(core.WithProcessors(n / lgn))
+		Eval(m, tr)
+		return float64(m.Steps()) * float64(n/lgn)
+	}
+	r := product(1<<13, 14) / product(1<<9, 10)
+	// 16x the leaves: linear work grows ~16x (some slack for the lg n
+	// rounds term).
+	if r > 24 {
+		t.Errorf("contraction processor-steps grew %.1fx for 16x input; want ~linear", r)
+	}
+}

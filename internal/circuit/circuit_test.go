@@ -1,0 +1,342 @@
+package circuit
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestSumStateMachinePlusExhaustive drives the Figure 15 logic through
+// every (state, input) combination as a bit-serial adder and checks full
+// word addition against native arithmetic for all 8-bit pairs.
+func TestSumStateMachinePlusExhaustive(t *testing.T) {
+	for a := uint64(0); a < 256; a++ {
+		for b := uint64(0); b < 256; b++ {
+			var sm SumState
+			var got uint64
+			// Feed LSB first; 9 result bits plus one drain cycle for the
+			// one-cycle latency.
+			for k := 0; k <= 9; k++ {
+				out := sm.Clock(OpPlus, a>>uint(k)&1 == 1, b>>uint(k)&1 == 1)
+				if k > 0 && out {
+					got |= 1 << uint(k-1)
+				}
+			}
+			if got != a+b {
+				t.Fatalf("bit-serial add %d+%d = %d, want %d", a, b, got, a+b)
+			}
+		}
+	}
+}
+
+// TestSumStateMachineMaxExhaustive checks the Figure 15 max logic for all
+// 8-bit pairs, bits fed most-significant first.
+func TestSumStateMachineMaxExhaustive(t *testing.T) {
+	const m = 8
+	for a := uint64(0); a < 256; a++ {
+		for b := uint64(0); b < 256; b++ {
+			var sm SumState
+			var got uint64
+			for k := 0; k <= m; k++ {
+				var abit, bbit bool
+				if k < m {
+					abit = a>>uint(m-1-k)&1 == 1
+					bbit = b>>uint(m-1-k)&1 == 1
+				}
+				out := sm.Clock(OpMax, abit, bbit)
+				if k > 0 && out {
+					got |= 1 << uint(m-k)
+				}
+			}
+			want := a
+			if b > a {
+				want = b
+			}
+			if got != want {
+				t.Fatalf("bit-serial max(%d,%d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSumStateClear(t *testing.T) {
+	var sm SumState
+	sm.Clock(OpPlus, true, true) // sets carry
+	sm.Clear()
+	if sm.Q1 || sm.Q2 || sm.S {
+		t.Error("Clear left state set")
+	}
+}
+
+func TestShiftReg(t *testing.T) {
+	r := newShiftReg(3)
+	in := []bool{true, false, true, true, false, false, true}
+	var out []bool
+	for _, b := range in {
+		out = append(out, r.Clock(b))
+	}
+	want := []bool{false, false, false, true, false, true, true}
+	if !reflect.DeepEqual(out, want) {
+		t.Errorf("shift register out = %v, want %v", out, want)
+	}
+	zero := newShiftReg(0)
+	if !zero.Clock(true) || zero.Clock(false) {
+		t.Error("length-0 register is not a pass-through")
+	}
+}
+
+func refExclusivePlus(values []uint64) []uint64 {
+	out := make([]uint64, len(values))
+	var acc uint64
+	for i, v := range values {
+		out[i] = acc
+		acc += v
+	}
+	return out
+}
+
+func refExclusiveMax(values []uint64) []uint64 {
+	out := make([]uint64, len(values))
+	var acc uint64
+	for i, v := range values {
+		out[i] = acc
+		if v > acc {
+			acc = v
+		}
+	}
+	return out
+}
+
+func TestTreePlusScanSmall(t *testing.T) {
+	values := []uint64{5, 1, 3, 4, 3, 9, 2, 6}
+	res := PlusScan(values, 8)
+	want := refExclusivePlus(values)
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Errorf("tree +-scan = %v, want %v", res.Values, want)
+	}
+	// m' + 2 lg n - 1 cycles with m' = 8 + 3 carry bits.
+	if res.Cycles != 11+6-1 {
+		t.Errorf("cycles = %d, want 16", res.Cycles)
+	}
+}
+
+func TestTreeMaxScanSmall(t *testing.T) {
+	values := []uint64{5, 1, 3, 4, 3, 9, 2, 6}
+	res := MaxScan(values, 8)
+	want := refExclusiveMax(values)
+	if !reflect.DeepEqual(res.Values, want) {
+		t.Errorf("tree max-scan = %v, want %v", res.Values, want)
+	}
+	if res.Cycles != 8+6-1 {
+		t.Errorf("cycles = %d, want 13", res.Cycles)
+	}
+}
+
+func TestTreeScansRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 4, 16, 64, 256} {
+		for _, m := range []int{1, 7, 16, 32} {
+			values := make([]uint64, n)
+			for i := range values {
+				values[i] = rng.Uint64() & (1<<uint(m) - 1)
+			}
+			if got, want := PlusScan(values, m).Values, refExclusivePlus(values); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d m=%d: +-scan = %v, want %v", n, m, got, want)
+			}
+			if got, want := MaxScan(values, m).Values, refExclusiveMax(values); !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d m=%d: max-scan = %v, want %v", n, m, got, want)
+			}
+		}
+	}
+}
+
+func TestTreeNonPowerOfTwoPadding(t *testing.T) {
+	values := []uint64{9, 4, 7, 1, 3}
+	res := PlusScan(values, 4)
+	if want := refExclusivePlus(values); !reflect.DeepEqual(res.Values, want) {
+		t.Errorf("padded scan = %v, want %v", res.Values, want)
+	}
+	if len(res.Values) != 5 {
+		t.Errorf("result length %d, want 5", len(res.Values))
+	}
+}
+
+func TestTreeRejectsBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"non-power-of-two": func() { NewTree(6) },
+		"zero":             func() { NewTree(0) },
+		"oversized-value":  func() { NewTree(2).Run(OpPlus, []uint64{4, 0}, 2) },
+		"bad-word-size":    func() { NewTree(2).Run(OpPlus, []uint64{0, 0}, 0) },
+		"wrong-count":      func() { NewTree(4).Run(OpPlus, []uint64{0}, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestTreeReuse(t *testing.T) {
+	// Running twice on the same tree must clear all state in between.
+	tr := NewTree(8)
+	v1 := []uint64{255, 255, 255, 255, 255, 255, 255, 255}
+	tr.Run(OpPlus, v1, 8)
+	v2 := []uint64{1, 2, 3, 4, 5, 6, 7, 8}
+	res := tr.Run(OpPlus, v2, 8)
+	if want := refExclusivePlus(v2); !reflect.DeepEqual(res.Values, want) {
+		t.Errorf("reused tree = %v, want %v", res.Values, want)
+	}
+}
+
+func TestHardwareInventory(t *testing.T) {
+	tr := NewTree(8)
+	h := tr.Hardware()
+	if h.Units != 7 {
+		t.Errorf("Units = %d, want 7", h.Units)
+	}
+	if h.StateMachines != 14 {
+		t.Errorf("StateMachines = %d, want 14", h.StateMachines)
+	}
+	// Depths: root 0, two units at 2 bits each... units at distance d
+	// have registers of 2d bits: 1*0 + 2*2 + 4*4 = 20.
+	if h.ShiftRegisterBits != 20 {
+		t.Errorf("ShiftRegisterBits = %d, want 20", h.ShiftRegisterBits)
+	}
+	if h.MaxShiftRegisterBits != 4 {
+		t.Errorf("MaxShiftRegisterBits = %d, want 4", h.MaxShiftRegisterBits)
+	}
+	if h.Wires != 28 {
+		t.Errorf("Wires = %d, want 28", h.Wires)
+	}
+}
+
+func TestHardwareScalesLinearly(t *testing.T) {
+	// Table 2: scan circuit area is O(n). Shift-register bits are
+	// O(n) too (sum of 2^d * 2d is dominated by the last level).
+	h1 := NewTree(1 << 8).Hardware()
+	h2 := NewTree(1 << 10).Hardware()
+	ratio := float64(h2.ShiftRegisterBits) / float64(h1.ShiftRegisterBits)
+	if ratio > 6 { // 4x leaves -> ~5x bits (n lg n in this term), far from n^2
+		t.Errorf("shift register bits grew by %.1fx for 4x leaves", ratio)
+	}
+}
+
+func TestCyclesFormula(t *testing.T) {
+	// The analytic count must match the simulation.
+	for _, n := range []int{2, 8, 64} {
+		for _, m := range []int{4, 16} {
+			values := make([]uint64, n)
+			if got, want := PlusScan(values, m).Cycles, Cycles(OpPlus, n, m); got != want {
+				t.Errorf("n=%d m=%d: simulated %d cycles, formula %d", n, m, got, want)
+			}
+			if got, want := MaxScan(values, m).Cycles, Cycles(OpMax, n, m); got != want {
+				t.Errorf("n=%d m=%d: max simulated %d cycles, formula %d", n, m, got, want)
+			}
+		}
+	}
+	if Cycles(OpPlus, 1, 32) != 0 {
+		t.Error("single leaf needs no cycles")
+	}
+}
+
+func TestCM2ScaleCycles(t *testing.T) {
+	// §3.3: the example system — a 32-bit +-scan across 64K processors.
+	// Our pipeline: (32+16) result bits + 2*16 - 1 = 79 cycles.
+	got := Cycles(OpPlus, 1<<16, 32)
+	if got != 79 {
+		t.Errorf("64K x 32-bit +-scan = %d cycles, want 79", got)
+	}
+}
+
+func TestExampleSystemSection33(t *testing.T) {
+	// §3.3: "a 4096 processor parallel computer with 64 processors on
+	// each board and 64 boards per machine ... a single chip on each
+	// board that has 64 inputs ... would require 126 sum state machines
+	// and 63 shift registers. ... If the clock period is 100
+	// nanoseconds, a scan on a 32 bit field would require 5
+	// microseconds."
+	sys := NewExampleSystem(4096, 64, 32, 100)
+	if sys.BoardChips != 64 {
+		t.Errorf("board chips = %d, want 64", sys.BoardChips)
+	}
+	if sys.ChipStateMachines != 126 {
+		t.Errorf("chip state machines = %d, want 126", sys.ChipStateMachines)
+	}
+	if sys.ChipShiftRegisters != 63 {
+		t.Errorf("chip shift registers = %d, want 63", sys.ChipShiftRegisters)
+	}
+	// Our pipeline counts (32+12) + 24 - 1 = 67 cycles -> 6.7 µs; the
+	// paper rounds its estimate to 5 µs. Same ballpark by construction.
+	if sys.ScanMicroseconds < 4 || sys.ScanMicroseconds > 8 {
+		t.Errorf("32-bit scan = %.1f µs, want ~5-7 µs", sys.ScanMicroseconds)
+	}
+	// "With a more aggressive clock such as the 10 nanoseconds ... this
+	// time would be reduced to .5 microseconds."
+	fast := NewExampleSystem(4096, 64, 32, 10)
+	if fast.ScanMicroseconds > 0.8 {
+		t.Errorf("10ns-clock scan = %.2f µs, want sub-microsecond", fast.ScanMicroseconds)
+	}
+}
+
+func TestExampleSystemRejectsPartialBoards(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewExampleSystem(100, 64, 32, 100)
+}
+
+func TestTreeScanTraceFig13(t *testing.T) {
+	// Figure 13 runs a +-scan on a tree; verify the sweep values on the
+	// paper's 8-wide example input [5 1 3 4 3 9 2 6].
+	values := []int64{5, 1, 3, 4, 3, 9, 2, 6}
+	tr := TreeScanTrace(values, 0, func(a, b int64) int64 { return a + b })
+	if want := []int64{0, 5, 6, 9, 13, 16, 25, 27}; !reflect.DeepEqual(tr.Result, want) {
+		t.Errorf("trace result = %v, want %v", tr.Result, want)
+	}
+	// Root stored its left child's up value (5+1+3+4 = 13) and passed up
+	// the total 33.
+	if tr.Memory[0] != 13 || tr.Up[0] != 33 {
+		t.Errorf("root memory/up = %d/%d, want 13/33", tr.Memory[0], tr.Up[0])
+	}
+	if tr.Steps != 6 {
+		t.Errorf("steps = %d, want 2 lg 8 = 6", tr.Steps)
+	}
+}
+
+func TestTreeScanTraceMax(t *testing.T) {
+	values := []int64{3, 1, 4, 1}
+	maxOp := func(a, b int64) int64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	tr := TreeScanTrace(values, 0, maxOp)
+	if want := []int64{0, 3, 3, 4}; !reflect.DeepEqual(tr.Result, want) {
+		t.Errorf("max trace = %v, want %v", tr.Result, want)
+	}
+}
+
+func TestTreeScanTraceMatchesBitSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	values := make([]uint64, 32)
+	word := make([]int64, 32)
+	for i := range values {
+		values[i] = uint64(rng.Intn(1 << 12))
+		word[i] = int64(values[i])
+	}
+	bitres := PlusScan(values, 12)
+	wordres := TreeScanTrace(word, 0, func(a, b int64) int64 { return a + b })
+	for i := range values {
+		if bitres.Values[i] != uint64(wordres.Result[i]) {
+			t.Fatalf("bit-serial and word-level disagree at %d: %d vs %d",
+				i, bitres.Values[i], wordres.Result[i])
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package circuit
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: the clock-accurate bit-serial tree agrees with plain
+// arithmetic for arbitrary inputs — the hardware of §3 computes exactly
+// the abstract primitive of §2.
+func TestPropertyBitSerialMatchesArithmetic(t *testing.T) {
+	prop := func(raw []uint16) bool {
+		values := make([]uint64, len(raw))
+		for i, v := range raw {
+			values[i] = uint64(v)
+		}
+		plus := PlusScan(values, 16).Values
+		max := MaxScan(values, 16).Values
+		var accP, accM uint64
+		for i, v := range values {
+			if plus[i] != accP || max[i] != accM {
+				return false
+			}
+			accP += v
+			if v > accM {
+				accM = v
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the word-level two-sweep trace agrees with the bit-serial
+// pipeline on power-of-two inputs.
+func TestPropertyTraceMatchesPipeline(t *testing.T) {
+	prop := func(raw [16]uint16) bool {
+		values := make([]uint64, 16)
+		words := make([]int64, 16)
+		for i, v := range raw {
+			values[i] = uint64(v)
+			words[i] = int64(v)
+		}
+		bit := PlusScan(values, 16).Values
+		word := TreeScanTrace(words, 0, func(a, b int64) int64 { return a + b }).Result
+		for i := range bit {
+			if bit[i] != uint64(word[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the segmented tree scan agrees with a serial segmented fold.
+func TestPropertySegTreeMatchesFold(t *testing.T) {
+	prop := func(raw [32]int32, flagBits uint32) bool {
+		values := make([]int64, 32)
+		flags := make([]bool, 32)
+		for i := range values {
+			values[i] = int64(raw[i])
+			flags[i] = flagBits>>uint(i)&1 == 1
+		}
+		got := SegTreeScan(values, flags, 0, func(a, b int64) int64 { return a + b })
+		var acc int64
+		for i := range values {
+			if flags[i] || i == 0 {
+				acc = 0
+			}
+			if got[i] != acc {
+				return false
+			}
+			acc += values[i]
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,116 @@
+package circuit
+
+import "fmt"
+
+// The paper notes (§3) that "some of the other scan operations, such as
+// the segmented scan operations, can be implemented directly with little
+// additional hardware", deferring the construction to its companion
+// thesis. This file carries that claim out at the word level: a
+// segmented scan is an ordinary (unsegmented) tree scan over
+// (flag, value) pairs under the standard segmented operator
+//
+//	(fa, va) ⊕seg (fb, vb) = (fa ∨ fb, fb ? vb : va ⊕ vb)
+//
+// which is associative whenever ⊕ is. In hardware the pair costs one
+// extra wire per edge and one extra flip-flop plus a mux per sum state
+// machine — the "little additional hardware".
+
+// segWord is a (flag, value) pair flowing through the tree.
+type segWord struct {
+	flag bool
+	v    int64
+}
+
+// SegTreeScan runs the two-sweep tree algorithm of Figure 13 on
+// (flag, value) pairs, computing the segmented exclusive scan of values
+// under combine/identity with segment heads at flags. len(values) must
+// be a power of two.
+func SegTreeScan(values []int64, flags []bool, identity int64, combine func(a, b int64) int64) []int64 {
+	n := len(values)
+	if len(flags) != n {
+		panic(fmt.Sprintf("circuit: SegTreeScan: %d values, %d flags", n, len(flags)))
+	}
+	pairs := make([]segWord, n)
+	for i := range pairs {
+		pairs[i] = segWord{flag: flags[i], v: values[i]}
+	}
+	segCombine := func(a, b segWord) segWord {
+		if b.flag {
+			return segWord{flag: true, v: b.v}
+		}
+		return segWord{flag: a.flag, v: combine(a.v, b.v)}
+	}
+	id := segWord{v: identity}
+	out := treeScanPairs(pairs, id, segCombine)
+	res := make([]int64, n)
+	for i := range res {
+		// An element beginning a segment ignores everything before it:
+		// its exclusive result is the identity. Otherwise the down-sweep
+		// value is the combination since its segment head.
+		if flags[i] {
+			res[i] = identity
+		} else {
+			res[i] = out[i].v
+		}
+	}
+	return res
+}
+
+// treeScanPairs is the up-sweep/down-sweep of Figure 13 over pair words.
+func treeScanPairs(values []segWord, identity segWord, combine func(a, b segWord) segWord) []segWord {
+	n := len(values)
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("circuit: SegTreeScan: n = %d is not a positive power of two", n))
+	}
+	if n == 1 {
+		return []segWord{identity}
+	}
+	up := make([]segWord, n-1)
+	mem := make([]segWord, n-1)
+	nodeUp := func(i int) segWord {
+		if i >= n-1 {
+			return values[i-(n-1)]
+		}
+		return up[i]
+	}
+	for u := n - 2; u >= 0; u-- {
+		l, r := nodeUp(2*u+1), nodeUp(2*u+2)
+		mem[u] = l
+		up[u] = combine(l, r)
+	}
+	down := make([]segWord, n-1)
+	result := make([]segWord, n)
+	for u := 0; u < n-1; u++ {
+		if u == 0 {
+			down[0] = identity
+		}
+		fromParent := down[u]
+		leftDown := fromParent
+		rightDown := combine(fromParent, mem[u])
+		l, r := 2*u+1, 2*u+2
+		if l >= n-1 {
+			result[l-(n-1)] = leftDown
+			result[r-(n-1)] = rightDown
+		} else {
+			down[l] = leftDown
+			down[r] = rightDown
+		}
+	}
+	return result
+}
+
+// SegHardware reports the incremental hardware of the segmented tree
+// over the plain one from NewTree(n): one extra wire per edge for the
+// flag bit and one extra flip-flop per sum state machine to hold it.
+type SegHardware struct {
+	ExtraWires     int // one per tree edge, each direction: 2(n-1)... per Figure 14 wiring
+	ExtraFlipFlops int // one per sum state machine
+}
+
+// SegHardwareFor returns the incremental inventory for n leaves.
+func SegHardwareFor(n int) SegHardware {
+	return SegHardware{
+		ExtraWires:     4 * (n - 1),
+		ExtraFlipFlops: 2 * (n - 1),
+	}
+}

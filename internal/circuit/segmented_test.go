@@ -1,0 +1,91 @@
+package circuit
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/scan"
+)
+
+func TestSegTreeScanFig4(t *testing.T) {
+	// The Figure 4 example, run through the tree construction.
+	a := []int64{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	got := SegTreeScan(a, flags, 0, func(x, y int64) int64 { return x + y })
+	want := []int64{0, 5, 0, 3, 7, 10, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("segmented tree +-scan = %v, want %v", got, want)
+	}
+	gotMax := SegTreeScan(a, flags, 0, func(x, y int64) int64 {
+		if x > y {
+			return x
+		}
+		return y
+	})
+	wantMax := []int64{0, 5, 0, 3, 4, 4, 0, 2}
+	if !reflect.DeepEqual(gotMax, wantMax) {
+		t.Errorf("segmented tree max-scan = %v, want %v", gotMax, wantMax)
+	}
+}
+
+func TestSegTreeScanMatchesKernel(t *testing.T) {
+	rng := rand.New(rand.NewSource(50))
+	for _, n := range []int{1, 2, 4, 32, 256} {
+		vals := make([]int64, n)
+		ints := make([]int, n)
+		flags := make([]bool, n)
+		for i := range vals {
+			v := rng.Intn(1000) - 500
+			vals[i], ints[i] = int64(v), v
+			flags[i] = rng.Intn(4) == 0
+		}
+		got := SegTreeScan(vals, flags, math.MinInt64, func(x, y int64) int64 {
+			if x > y {
+				return x
+			}
+			return y
+		})
+		want := make([]int, n)
+		scan.SegExclusive(scan.MaxIntOp, want, ints, flags)
+		for i := range got {
+			w := int64(want[i])
+			if want[i] == scan.MaxIntOp.Id {
+				w = math.MinInt64
+			}
+			if got[i] != w {
+				t.Fatalf("n=%d index %d: tree %d, kernel %d", n, i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestSegTreeScanRejectsBadInput(t *testing.T) {
+	for name, f := range map[string]func(){
+		"length-mismatch":  func() { SegTreeScan(make([]int64, 2), make([]bool, 3), 0, func(a, b int64) int64 { return a }) },
+		"non-power-of-two": func() { SegTreeScan(make([]int64, 3), make([]bool, 3), 0, func(a, b int64) int64 { return a }) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSegHardwareLittleExtra(t *testing.T) {
+	// "Little additional hardware": the increment is linear in n, like
+	// the tree itself, and small next to the router.
+	h := SegHardwareFor(1 << 10)
+	base := NewTree(1 << 10).Hardware()
+	if h.ExtraFlipFlops != base.StateMachines {
+		t.Errorf("extra flip-flops = %d, want one per state machine (%d)", h.ExtraFlipFlops, base.StateMachines)
+	}
+	if h.ExtraWires != base.Wires {
+		t.Errorf("extra wires = %d, want one per existing wire (%d)", h.ExtraWires, base.Wires)
+	}
+}

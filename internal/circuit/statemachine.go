@@ -1,0 +1,100 @@
+// Package circuit simulates, at the logic level, the hardware
+// implementation of the two primitive scan operations described in §3 of
+// Blelloch's "Scans as Primitive Parallel Operations": the sum state
+// machine of Figure 15, the tree unit of Figure 14 (two state machines, a
+// variable-length shift register and a one-bit register), and the
+// bit-pipelined balanced binary tree of Figure 13.
+//
+// The simulation is clock-accurate: a +-scan or max-scan of n m-bit
+// values completes in m + 2 lg n - 1 clock cycles, the paper's
+// "m + 2 lg n steps" (§3.1), and the package reports the hardware
+// inventory (state machines, shift-register bits) that regenerates the
+// paper's Table 2 comparison against a routing network.
+package circuit
+
+// ScanOp selects which primitive the hardware executes: the Op control
+// signal of Figure 15.
+type ScanOp bool
+
+const (
+	// OpPlus executes a +-scan; bits enter least-significant first.
+	OpPlus ScanOp = false
+	// OpMax executes a max-scan; bits enter most-significant first.
+	OpMax ScanOp = true
+)
+
+// String names the operation.
+func (op ScanOp) String() string {
+	if op == OpMax {
+		return "max-scan"
+	}
+	return "+-scan"
+}
+
+// SumState is the sum state machine of Figure 15: three D-type flip-flops
+// (Q1, Q2, and the output register S) and the combinational logic
+//
+//	S  = Op·(B·¬Q1 + A·¬Q2) + ¬Op·(A ⊕ B ⊕ Q1)
+//	D1 = Op·(Q1 + A·¬B·¬Q2) + ¬Op·(A·B + A·Q1 + B·Q1)
+//	D2 = Op·(Q2 + ¬A·B·¬Q1)
+//
+// For +-scan, Q1 is the carry. For max-scan (bits most-significant
+// first), Q1 records "A is already known greater", Q2 "B is already
+// known greater". The zero value is the cleared machine.
+type SumState struct {
+	Q1, Q2 bool
+	// S is the registered output: the result bit computed from the
+	// inputs one clock earlier.
+	S bool
+}
+
+// Clock advances the machine one cycle with input bits a and b under
+// control signal op, returning the output bit registered *before* this
+// cycle (the machine has one cycle of latency, like any registered
+// logic).
+func (s *SumState) Clock(op ScanOp, a, b bool) (out bool) {
+	out = s.S
+	if op == OpMax {
+		s.S = (b && !s.Q1) || (a && !s.Q2)
+		q1 := s.Q1 || (a && !b && !s.Q2)
+		q2 := s.Q2 || (!a && b && !s.Q1)
+		s.Q1, s.Q2 = q1, q2
+	} else {
+		s.S = a != b != s.Q1 // A ⊕ B ⊕ Q1
+		s.Q1 = (a && b) || (a && s.Q1) || (b && s.Q1)
+		s.Q2 = false
+	}
+	return out
+}
+
+// Clear resets all three flip-flops, the Clear control line of Figure 14.
+func (s *SumState) Clear() { *s = SumState{} }
+
+// shiftReg is the variable-length shift register of Figure 14: a FIFO of
+// single bits, one shifted per clock. Length 0 is a combinational
+// pass-through (the root's register).
+type shiftReg struct {
+	bits []bool
+	head int
+}
+
+func newShiftReg(length int) *shiftReg {
+	return &shiftReg{bits: make([]bool, length)}
+}
+
+// Clock shifts in one bit and returns the bit falling off the far end.
+func (r *shiftReg) Clock(in bool) (out bool) {
+	if len(r.bits) == 0 {
+		return in
+	}
+	out = r.bits[r.head]
+	r.bits[r.head] = in
+	r.head++
+	if r.head == len(r.bits) {
+		r.head = 0
+	}
+	return out
+}
+
+// Len returns the register's length in bits.
+func (r *shiftReg) Len() int { return len(r.bits) }

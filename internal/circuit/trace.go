@@ -1,0 +1,81 @@
+package circuit
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// This file implements the word-level two-sweep tree scan of §3.1 and
+// Figure 13: the standard up sweep / down sweep algorithm on a balanced
+// binary tree for any binary associative operator. It exists to
+// reproduce the figure (including the value each unit stores in its
+// memory on the up sweep) and to cross-check the bit-serial hardware
+// simulation.
+
+// Trace records one two-sweep tree scan. Unit u (heap order, 0 = root)
+// stored Memory[u] — the value from its left child — on the up sweep,
+// received Down[u] from its parent on the down sweep, and passed Up[u]
+// upward.
+type Trace struct {
+	N      int
+	Up     []int64 // per unit: the sum passed to the parent
+	Memory []int64 // per unit: the left child's value, kept on the up sweep
+	Down   []int64 // per unit: the value received from the parent
+	Result []int64 // per leaf: the exclusive scan
+	Steps  int     // 2 lg n tree steps (§3.1)
+}
+
+// TreeScanTrace runs the Figure 13 algorithm over values with operator
+// combine and the given identity. len(values) must be a power of two.
+func TreeScanTrace(values []int64, identity int64, combine func(a, b int64) int64) Trace {
+	n := len(values)
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("circuit: TreeScanTrace: n = %d is not a positive power of two", n))
+	}
+	tr := Trace{
+		N:      n,
+		Up:     make([]int64, n-1),
+		Memory: make([]int64, n-1),
+		Down:   make([]int64, n-1),
+		Result: make([]int64, n),
+	}
+	if n == 1 {
+		tr.Result[0] = identity
+		return tr
+	}
+	// nodeUp returns the up-sweep value of heap node i (unit or leaf).
+	nodeUp := func(i int) int64 {
+		if i >= n-1 {
+			return values[i-(n-1)]
+		}
+		return tr.Up[i]
+	}
+	// Up sweep, deepest units first: each unit combines its two
+	// children and remembers the left one.
+	for u := n - 2; u >= 0; u-- {
+		l, r := nodeUp(2*u+1), nodeUp(2*u+2)
+		tr.Memory[u] = l
+		tr.Up[u] = combine(l, r)
+	}
+	// Down sweep: each unit passes its parent value to the left child
+	// and parent ⊕ memory to the right child. The root receives the
+	// identity.
+	for u := 0; u < n-1; u++ {
+		if u == 0 {
+			tr.Down[0] = identity
+		}
+		fromParent := tr.Down[u]
+		leftDown := fromParent
+		rightDown := combine(fromParent, tr.Memory[u])
+		l, r := 2*u+1, 2*u+2
+		if l >= n-1 {
+			tr.Result[l-(n-1)] = leftDown
+			tr.Result[r-(n-1)] = rightDown
+		} else {
+			tr.Down[l] = leftDown
+			tr.Down[r] = rightDown
+		}
+	}
+	tr.Steps = 2 * (bits.Len(uint(n)) - 1)
+	return tr
+}

@@ -1,0 +1,274 @@
+package circuit
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Tree is a clock-accurate simulation of the scan network of §3.2: n-1
+// units (Figure 14) wired as a balanced binary tree with two single-bit
+// unidirectional wires along every edge. Units are stored in heap order:
+// unit 0 is the root, unit u's children are 2u+1 and 2u+2, and node
+// indices n-1 .. 2n-2 are the leaves (processors).
+type Tree struct {
+	n     int // leaves; a power of two
+	depth int // lg n: number of unit levels
+	units []treeUnit
+}
+
+// treeUnit is one Figure 14 unit: two sum state machines (up sweep and
+// down sweep), a shift register whose length is twice the unit's distance
+// from the root, and a one-bit register for the left-going down value.
+type treeUnit struct {
+	up, down SumState
+	sr       *shiftReg
+	downLeft bool
+}
+
+// NewTree builds the scan network for n leaves; n must be a power of two
+// and at least 1.
+func NewTree(n int) *Tree {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("circuit: NewTree: n = %d is not a positive power of two", n))
+	}
+	t := &Tree{n: n, depth: bits.Len(uint(n)) - 1}
+	t.units = make([]treeUnit, n-1)
+	for u := range t.units {
+		d := bits.Len(uint(u+1)) - 1 // distance from the root
+		t.units[u].sr = newShiftReg(2 * d)
+	}
+	return t
+}
+
+// Leaves returns the number of leaf processors.
+func (t *Tree) Leaves() int { return t.n }
+
+// Hardware describes the gate-level inventory of a scan network, the
+// "percent of hardware" rows of Table 2.
+type Hardware struct {
+	// Units is the number of tree units: n - 1.
+	Units int
+	// StateMachines is the number of sum state machines: 2(n - 1).
+	StateMachines int
+	// ShiftRegisterBits is the total length of all shift registers.
+	ShiftRegisterBits int
+	// MaxShiftRegisterBits is the longest single register: 2(lg n - 1).
+	MaxShiftRegisterBits int
+	// Wires is the number of single-bit unidirectional wires: two per
+	// tree edge, 2(2n - 2).
+	Wires int
+}
+
+// Hardware returns the inventory of this network.
+func (t *Tree) Hardware() Hardware {
+	h := Hardware{
+		Units:         t.n - 1,
+		StateMachines: 2 * (t.n - 1),
+		Wires:         4 * (t.n - 1),
+	}
+	for _, u := range t.units {
+		l := u.sr.Len()
+		h.ShiftRegisterBits += l
+		if l > h.MaxShiftRegisterBits {
+			h.MaxShiftRegisterBits = l
+		}
+	}
+	return h
+}
+
+// Result is the outcome of a bit-pipelined scan run.
+type Result struct {
+	// Values is the exclusive scan, one result per leaf.
+	Values []uint64
+	// Cycles is the number of clock cycles the run took: m + 2 lg n - 1
+	// for m result bits, matching §3.1's "m + 2 lg n" pipeline bound.
+	Cycles int
+	// BitsPerWord is the number of result bits each leaf received.
+	BitsPerWord int
+}
+
+// Run executes one bit-pipelined scan of values (one per leaf) with m
+// significant input bits per word. For OpPlus the network is run for
+// m + lg n result bits so prefix sums cannot overflow the bit pipeline;
+// for OpMax exactly m bits. Values must fit in m bits.
+func (t *Tree) Run(op ScanOp, values []uint64, m int) Result {
+	if len(values) != t.n {
+		panic(fmt.Sprintf("circuit: Run: %d values for %d leaves", len(values), t.n))
+	}
+	if m <= 0 || m > 63 {
+		panic(fmt.Sprintf("circuit: Run: word size m = %d out of range [1,63]", m))
+	}
+	for i, v := range values {
+		if v >= 1<<uint(m) {
+			panic(fmt.Sprintf("circuit: Run: values[%d] = %d does not fit in %d bits", i, v, m))
+		}
+	}
+	outBits := m
+	if op == OpPlus {
+		outBits = m + t.depth
+		if outBits > 63 {
+			panic(fmt.Sprintf("circuit: Run: m + lg n = %d exceeds the 63-bit simulation word", outBits))
+		}
+	}
+	n := t.n
+	if n == 1 {
+		// No units: the single leaf's exclusive result is the identity.
+		return Result{Values: []uint64{0}, Cycles: 0, BitsPerWord: outBits}
+	}
+	for u := range t.units {
+		t.units[u].up.Clear()
+		t.units[u].down.Clear()
+		for i := 0; i < t.units[u].sr.Len(); i++ {
+			t.units[u].sr.Clock(false)
+		}
+		t.units[u].downLeft = false
+	}
+
+	// leafBit returns the bit leaf j presents on clock tick tick:
+	// least-significant first for +-scan, most-significant first for
+	// max-scan, zero once the word is exhausted.
+	leafBit := func(j, tick int) bool {
+		if tick >= outBits {
+			return false
+		}
+		if op == OpMax {
+			return values[j]>>uint(m-1-tick)&1 == 1
+		}
+		return values[j]>>uint(tick)&1 == 1
+	}
+
+	result := make([]uint64, n)
+	totalTicks := outBits + 2*t.depth - 1
+	upA := make([]bool, n-1)
+	upB := make([]bool, n-1)
+	downIn := make([]bool, n-1)
+	firstResultTick := 2*t.depth - 1
+
+	for tick := 0; tick < totalTicks; tick++ {
+		// Phase 1: read every registered output as it stands this cycle.
+		for u := 0; u < n-1; u++ {
+			l, r := 2*u+1, 2*u+2
+			if l >= n-1 {
+				upA[u] = leafBit(l-(n-1), tick)
+				upB[u] = leafBit(r-(n-1), tick)
+			} else {
+				upA[u] = t.units[l].up.S
+				upB[u] = t.units[r].up.S
+			}
+			if u == 0 {
+				downIn[u] = false // the root's parent input is tied low
+			} else {
+				p := (u - 1) / 2
+				if u == 2*p+1 {
+					downIn[u] = t.units[p].downLeft
+				} else {
+					downIn[u] = t.units[p].down.S
+				}
+			}
+		}
+		// Leaves latch their down-sweep bit (the scan result).
+		if tick >= firstResultTick {
+			k := tick - firstResultTick
+			for j := 0; j < n; j++ {
+				node := n - 1 + j
+				p := (node - 1) / 2
+				var bit bool
+				if node == 2*p+1 {
+					bit = t.units[p].downLeft
+				} else {
+					bit = t.units[p].down.S
+				}
+				if bit {
+					if op == OpMax {
+						result[j] |= 1 << uint(m-1-k)
+					} else {
+						result[j] |= 1 << uint(k)
+					}
+				}
+			}
+		}
+		// Phase 2: clock every register simultaneously.
+		for u := 0; u < n-1; u++ {
+			unit := &t.units[u]
+			srOut := unit.sr.Clock(upA[u])
+			unit.up.Clock(op, upA[u], upB[u])
+			unit.down.Clock(op, downIn[u], srOut)
+			unit.downLeft = downIn[u]
+		}
+	}
+	return Result{Values: result, Cycles: totalTicks, BitsPerWord: outBits}
+}
+
+// PlusScan builds a tree for len(values) leaves (padding to a power of
+// two with zeros) and runs a bit-pipelined +-scan of m-bit words,
+// returning the exclusive prefix sums of the original values.
+func PlusScan(values []uint64, m int) Result {
+	return runPadded(OpPlus, values, m)
+}
+
+// MaxScan builds a tree and runs a bit-pipelined max-scan of m-bit
+// words, returning the exclusive prefix maxima (identity 0).
+func MaxScan(values []uint64, m int) Result {
+	return runPadded(OpMax, values, m)
+}
+
+func runPadded(op ScanOp, values []uint64, m int) Result {
+	n := 1
+	for n < len(values) {
+		n *= 2
+	}
+	padded := make([]uint64, n)
+	copy(padded, values)
+	t := NewTree(n)
+	res := t.Run(op, padded, m)
+	res.Values = res.Values[:len(values)]
+	return res
+}
+
+// Cycles returns the clock-cycle count of one scan of m-bit words over n
+// processors without simulating it: the analytic m' + 2 lg n - 1 where
+// m' includes the +-scan's lg n carry growth. This is the paper's §3.3
+// "scan on a 32 bit field" calculation.
+func Cycles(op ScanOp, n, m int) int {
+	if n <= 1 {
+		return 0
+	}
+	l := bits.Len(uint(n - 1)) // ceil(lg n)
+	out := m
+	if op == OpPlus {
+		out = m + l
+	}
+	return out + 2*l - 1
+}
+
+// ExampleSystem reproduces the paper's §3.3 back-of-envelope for a real
+// machine: n processors organized as boards of boardSize leaves, each
+// board one chip acting as lg(boardSize) tree levels, one more chip
+// combining the boards, clocked at clockNs nanoseconds.
+type ExampleSystem struct {
+	N, BoardSize int
+	// BoardChips is the number of per-board tree chips; plus one
+	// combining chip.
+	BoardChips int
+	// ChipStateMachines and ChipShiftRegisters are the per-chip
+	// inventory ("such a chip would require 126 sum state machines and
+	// 63 shift registers").
+	ChipStateMachines, ChipShiftRegisters int
+	// ScanMicroseconds is the wall time of one m-bit +-scan.
+	ScanMicroseconds float64
+}
+
+// NewExampleSystem computes the §3.3 figures for an n-processor machine
+// with the given board size, word size, and clock period.
+func NewExampleSystem(n, boardSize, wordBits int, clockNs float64) ExampleSystem {
+	if n%boardSize != 0 {
+		panic(fmt.Sprintf("circuit: NewExampleSystem: %d processors do not fill %d-leaf boards", n, boardSize))
+	}
+	return ExampleSystem{
+		N: n, BoardSize: boardSize,
+		BoardChips:         n / boardSize,
+		ChipStateMachines:  2 * (boardSize - 1),
+		ChipShiftRegisters: boardSize - 1,
+		ScanMicroseconds:   float64(Cycles(OpPlus, n, wordBits)) * clockNs / 1000,
+	}
+}

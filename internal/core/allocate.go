@@ -1,0 +1,123 @@
+package core
+
+import "fmt"
+
+// Processor allocation (§2.4, Figure 8) and load balancing / pack
+// (§2.5, Figure 11).
+
+// PermuteIf performs a permute in which only the flagged processors
+// participate: dst[index[i]] = src[i] for each i with flags[i]. On an
+// EREW P-RAM a processor may always sit out a step, so this costs one
+// permute. The exclusivity check covers the participating writes.
+func PermuteIf[T any](m *Machine, dst, src []T, index []int, flags []bool) {
+	n := len(src)
+	if len(index) != n || len(flags) != n {
+		panic(fmt.Sprintf("core: PermuteIf: src %d, index %d, flags %d", n, len(index), len(flags)))
+	}
+	m.chargePermute(n)
+	if m.checkExclusive {
+		seen := make([]int32, len(dst))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for i, ix := range index {
+			if !flags[i] {
+				continue
+			}
+			if ix < 0 || ix >= len(dst) {
+				panic(fmt.Sprintf("core: PermuteIf: index[%d] = %d out of range [0,%d)", i, ix, len(dst)))
+			}
+			if seen[ix] >= 0 {
+				panic(fmt.Sprintf("core: PermuteIf: EREW violation: processors %d and %d both write location %d", seen[ix], i, ix))
+			}
+			seen[ix] = int32(i)
+		}
+	}
+	for i, ix := range index {
+		if flags[i] {
+			dst[ix] = src[i]
+		}
+	}
+}
+
+// Allocation is the result of Allocate: a fresh vector of Total elements
+// partitioned into one segment per requesting position.
+type Allocation struct {
+	// HPointers[i] is the start of position i's segment in the new
+	// vector: the +-scan of the request counts (Figure 8's Hpointers).
+	HPointers []int
+	// Flags marks the head of each allocated segment. Positions that
+	// requested zero elements own no segment and contribute no flag.
+	Flags []bool
+	// Total is the length of the allocated vector: the sum of counts.
+	Total int
+}
+
+// Allocate builds a new vector of sum(counts) elements with a contiguous
+// segment of counts[i] elements assigned to each position i (§2.4). The
+// segment-head flags are produced by permuting a flag to each segment
+// start, exactly as the paper describes; O(1) program steps.
+func Allocate(m *Machine, counts []int) Allocation {
+	m.Use(UseAllocate)
+	n := len(counts)
+	hp := make([]int, n)
+	total := PlusScan(m, hp, counts)
+	flags := make([]bool, total)
+	nonEmpty := make([]bool, n)
+	trues := make([]bool, n)
+	Par(m, n, func(i int) {
+		nonEmpty[i] = counts[i] > 0
+		trues[i] = true
+	})
+	PermuteIf(m, flags, trues, hp, nonEmpty)
+	return Allocation{HPointers: hp, Flags: flags, Total: total}
+}
+
+// Distribute copies values[i] across position i's allocated segment
+// (Figure 8's distribute): permute each value to its segment head, then
+// a segmented copy. Positions with zero-length segments are skipped.
+// counts must be the vector Allocate was called with.
+func Distribute[T any](m *Machine, a Allocation, dst []T, values []T, counts []int) {
+	n := len(values)
+	if a.Total == 0 {
+		return
+	}
+	nonEmpty := make([]bool, n)
+	Par(m, n, func(i int) { nonEmpty[i] = counts[i] > 0 })
+	tmp := make([]T, a.Total)
+	PermuteIf(m, tmp, values, a.HPointers, nonEmpty)
+	SegCopy(m, dst, tmp, a.Flags)
+}
+
+// Pack moves the flagged elements of src, in order, to the front of a
+// dense result vector and returns how many there are: the paper's pack
+// operation used for load balancing (§2.5, Figure 11): an enumerate and
+// a permute. Only dst[:count] is written. dst must not alias src.
+func Pack[T any](m *Machine, dst, src []T, flags []bool) int {
+	m.Use(UseLoadBalance)
+	n := len(src)
+	idx := make([]int, n)
+	count := Enumerate(m, idx, flags)
+	if count == 0 {
+		return 0
+	}
+	PermuteIf(m, dst[:count], src, idx, flags)
+	return count
+}
+
+// PackIndex returns, for the flagged elements in order, their original
+// indices: the inverse bookkeeping many algorithms need next to Pack.
+// It costs the same enumerate + permute.
+func PackIndex(m *Machine, dst []int, flags []bool) int {
+	m.Use(UseLoadBalance)
+	n := len(flags)
+	idx := make([]int, n)
+	count := Enumerate(m, idx, flags)
+	if count == 0 {
+		return 0
+	}
+	iota := make([]int, n)
+	Par(m, n, func(i int) { iota[i] = i })
+	PermuteIf(m, dst[:count], iota, idx, flags)
+	return count
+}

@@ -1,0 +1,62 @@
+package core
+
+import "scans/internal/scan"
+
+// Inclusive scan variants. The paper's scans are exclusive (§2.1), and
+// so are this machine's primitives; each inclusive form costs the
+// exclusive scan plus one elementwise fix-up, which is how algorithms in
+// the paper compute them. They are provided because nearly every
+// distribute-style operation wants the inclusive value at the vector's
+// (or segment's) end.
+
+// PlusScanInclusive computes dst[i] = src[0]+...+src[i] and returns the
+// total.
+func PlusScanInclusive(m *Machine, dst, src []int) int {
+	m.chargeScan(len(src))
+	scan.InclusiveParallel(scan.Add[int]{}, dst, src, m.kernelWorkers())
+	m.chargeElementwise(len(src)) // the fix-up pass the paper would run
+	if len(dst) == 0 {
+		return 0
+	}
+	return dst[len(dst)-1]
+}
+
+// MaxScanInclusive computes the running maximum including each element.
+func MaxScanInclusive(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.InclusiveParallel(scan.MaxIntOp, dst, src, m.kernelWorkers())
+	m.chargeElementwise(len(src))
+}
+
+// MinScanInclusive computes the running minimum including each element.
+func MinScanInclusive(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.InclusiveParallel(scan.MinIntOp, dst, src, m.kernelWorkers())
+	m.chargeElementwise(len(src))
+}
+
+// SegPlusScanInclusive computes the per-segment running sum including
+// each element.
+func SegPlusScanInclusive(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegInclusiveParallel(scan.Add[int]{}, dst, src, flags, m.kernelWorkers())
+	m.chargeElementwise(len(src))
+}
+
+// SegMaxScanInclusive computes the per-segment running maximum including
+// each element.
+func SegMaxScanInclusive(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegInclusiveParallel(scan.MaxIntOp, dst, src, flags, m.kernelWorkers())
+	m.chargeElementwise(len(src))
+}
+
+// SegFPlusScanInclusive is the float64 per-segment running sum.
+func SegFPlusScanInclusive(m *Machine, dst, src []float64, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegInclusiveParallel(scan.Add[float64]{}, dst, src, flags, m.kernelWorkers())
+	m.chargeElementwise(len(src))
+}

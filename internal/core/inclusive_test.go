@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestInclusiveScans(t *testing.T) {
+	m := New()
+	a := []int{2, 1, 2, 3}
+	dst := make([]int, 4)
+	if total := PlusScanInclusive(m, dst, a); total != 8 {
+		t.Errorf("total = %d, want 8", total)
+	}
+	if want := []int{2, 3, 5, 8}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("PlusScanInclusive = %v, want %v", dst, want)
+	}
+	MaxScanInclusive(m, dst, a)
+	if want := []int{2, 2, 2, 3}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("MaxScanInclusive = %v, want %v", dst, want)
+	}
+	MinScanInclusive(m, dst, a)
+	if want := []int{2, 1, 1, 1}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("MinScanInclusive = %v, want %v", dst, want)
+	}
+}
+
+func TestSegInclusiveScans(t *testing.T) {
+	m := New()
+	a := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	dst := make([]int, 5)
+	SegPlusScanInclusive(m, dst, a, flags)
+	if want := []int{1, 3, 3, 7, 12}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("SegPlusScanInclusive = %v, want %v", dst, want)
+	}
+	SegMaxScanInclusive(m, dst, a, flags)
+	if want := []int{1, 2, 3, 4, 5}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("SegMaxScanInclusive = %v, want %v", dst, want)
+	}
+	f := []float64{1, 2, 3, 4, 5}
+	fdst := make([]float64, 5)
+	SegFPlusScanInclusive(m, fdst, f, flags)
+	if want := []float64{1, 3, 3, 7, 12}; !reflect.DeepEqual(fdst, want) {
+		t.Errorf("SegFPlusScanInclusive = %v, want %v", fdst, want)
+	}
+}
+
+func TestInclusiveEmptyAndCost(t *testing.T) {
+	m := New()
+	if got := PlusScanInclusive(m, nil, nil); got != 0 {
+		t.Errorf("empty total = %d", got)
+	}
+	// Inclusive = exclusive + one elementwise pass: 2 steps on the scan
+	// model.
+	m.ResetCounters()
+	PlusScanInclusive(m, make([]int, 100), make([]int, 100))
+	if m.Steps() != 2 {
+		t.Errorf("inclusive scan cost %d steps, want 2", m.Steps())
+	}
+}

@@ -1,0 +1,294 @@
+// Package core implements the paper's abstract machine: the "scan model",
+// an EREW P-RAM whose instruction set is extended with unit-time +-scan
+// and max-scan primitives (Blelloch, "Scans as Primitive Parallel
+// Operations", ICPP 1987).
+//
+// A Machine executes data-parallel vector operations and counts *program
+// steps*, the paper's complexity measure. Each primitive — an elementwise
+// operation, a permute, or a scan — costs one program step when the
+// vector fits in the machine's processors, and ⌈n/P⌉-proportional steps
+// on longer vectors (the paper's Figure 10 "long vector" simulation).
+// The cost model is pluggable: under ModelScan a scan is one step (the
+// paper's thesis); under ModelEREW the same scan is charged the
+// 2⌈lg n⌉ steps a pure EREW P-RAM needs to simulate it with a binary
+// tree. Running one algorithm under both models reproduces the
+// asymptotic gaps of the paper's Table 1.
+//
+// The Machine also verifies the EREW contract: Permute panics if two
+// virtual processors write the same location, unless the check is
+// explicitly relaxed (the paper's line-drawing routine needs one
+// concurrent write, §2.4.1).
+//
+// Machine operations are free functions taking the machine first, not
+// methods, because several are generic over the element type and Go
+// methods cannot have type parameters.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Model selects the cost model used to charge program steps.
+type Model int
+
+const (
+	// ModelScan is the paper's scan model: scans are unit-time
+	// primitives, like any memory reference.
+	ModelScan Model = iota
+	// ModelEREW is the exclusive-read exclusive-write P-RAM without scan
+	// primitives: a scan over u elements is charged 2⌈lg u⌉ steps, the
+	// cost of the standard binary-tree simulation (Figure 13 run in
+	// software).
+	ModelEREW
+	// ModelCRCW is the concurrent-read concurrent-write P-RAM. Scans are
+	// charged as on ModelEREW (a generic CRCW P-RAM cannot scan in O(1)
+	// either), but the exclusivity check on Permute is off.
+	ModelCRCW
+)
+
+// String returns the conventional name of the model.
+func (m Model) String() string {
+	switch m {
+	case ModelScan:
+		return "Scan"
+	case ModelEREW:
+		return "EREW"
+	case ModelCRCW:
+		return "CRCW"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Usage identifies the paper's categories of scan use (Table 3). Compound
+// operations record their category so an instrumented algorithm run can
+// regenerate the table's cross-reference.
+type Usage int
+
+const (
+	// UseEnumerate numbers flagged elements (§2.2).
+	UseEnumerate Usage = iota
+	// UseCopy copies the first element across a vector (§2.2).
+	UseCopy
+	// UseDistribute distributes a sum (or max/min/or/and) across a
+	// vector (§2.2).
+	UseDistribute
+	// UseSplit packs elements by a flag, bottom/top (§2.2.1).
+	UseSplit
+	// UseSegmented marks any segmented-scan based operation (§2.3).
+	UseSegmented
+	// UseAllocate allocates processor segments from counts (§2.4).
+	UseAllocate
+	// UseLoadBalance packs surviving elements into a dense vector (§2.5).
+	UseLoadBalance
+
+	numUsage
+)
+
+// String returns the paper's name for the usage category.
+func (u Usage) String() string {
+	switch u {
+	case UseEnumerate:
+		return "Enumerating"
+	case UseCopy:
+		return "Copying"
+	case UseDistribute:
+		return "Distributing Sums"
+	case UseSplit:
+		return "Splitting"
+	case UseSegmented:
+		return "Segmented Primitives"
+	case UseAllocate:
+		return "Allocating"
+	case UseLoadBalance:
+		return "Load-Balancing"
+	}
+	return fmt.Sprintf("Usage(%d)", int(u))
+}
+
+// Usages lists every usage category in Table 3 order.
+func Usages() []Usage {
+	us := make([]Usage, numUsage)
+	for i := range us {
+		us[i] = Usage(i)
+	}
+	return us
+}
+
+// Counters accumulates the cost and usage statistics of a Machine run.
+type Counters struct {
+	// Steps is the total program-step count under the machine's model:
+	// the paper's step complexity.
+	Steps int64
+	// Elementwise, Permutes, Scans, SegScans count primitive
+	// *invocations* by class (not steps).
+	Elementwise int64
+	Permutes    int64
+	Scans       int64
+	SegScans    int64
+	// UsageCounts counts compound-operation invocations per Table 3
+	// category; index with a Usage value.
+	UsageCounts [numUsage]int64
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.Steps += other.Steps
+	c.Elementwise += other.Elementwise
+	c.Permutes += other.Permutes
+	c.Scans += other.Scans
+	c.SegScans += other.SegScans
+	for i := range c.UsageCounts {
+		c.UsageCounts[i] += other.UsageCounts[i]
+	}
+}
+
+// Machine is an instance of the scan-model abstract machine. The zero
+// value is not usable; construct with New.
+type Machine struct {
+	procs          int // simulated processors; 0 = always as many as elements
+	model          Model
+	workers        int // actual goroutines for kernel execution; <=0 = GOMAXPROCS
+	checkExclusive bool
+	c              Counters
+}
+
+// Option configures a Machine.
+type Option func(*Machine)
+
+// WithProcessors sets the number of simulated processors P. Vectors
+// longer than P are charged ⌈n/P⌉ virtual loops per primitive, per the
+// paper's Figure 10. p <= 0 (the default) means the machine always has as
+// many processors as vector elements, the paper's default assumption.
+func WithProcessors(p int) Option { return func(m *Machine) { m.procs = p } }
+
+// WithModel selects the cost model (default ModelScan).
+func WithModel(model Model) Option {
+	return func(m *Machine) {
+		m.model = model
+		if model == ModelCRCW {
+			m.checkExclusive = false
+		}
+	}
+}
+
+// WithWorkers sets the number of goroutines used to execute kernels
+// (default GOMAXPROCS; 1 forces serial execution). Worker count affects
+// wall-clock only, never step counts.
+func WithWorkers(w int) Option { return func(m *Machine) { m.workers = w } }
+
+// WithExclusiveCheck turns the EREW exclusivity verification in Permute
+// on or off. It is on by default for ModelScan and ModelEREW.
+func WithExclusiveCheck(on bool) Option {
+	return func(m *Machine) { m.checkExclusive = on }
+}
+
+// New returns a Machine with the given options applied.
+func New(opts ...Option) *Machine {
+	m := &Machine{model: ModelScan, checkExclusive: true, workers: 1}
+	for _, o := range opts {
+		o(m)
+	}
+	return m
+}
+
+// Counters returns a snapshot of the accumulated statistics.
+func (m *Machine) Counters() Counters { return m.c }
+
+// Steps returns the accumulated program-step count.
+func (m *Machine) Steps() int64 { return m.c.Steps }
+
+// ResetCounters zeroes the accumulated statistics.
+func (m *Machine) ResetCounters() { m.c = Counters{} }
+
+// Model returns the machine's cost model.
+func (m *Machine) Model() Model { return m.model }
+
+// Processors returns the configured processor count (0 = unbounded).
+func (m *Machine) Processors() int { return m.procs }
+
+// Use records one compound-operation invocation in category u.
+func (m *Machine) Use(u Usage) { m.c.UsageCounts[u]++ }
+
+// virtualLoops is ⌈n/P⌉ clamped below at 1: the number of elements each
+// simulated processor handles for an n-element vector (Figure 10).
+func (m *Machine) virtualLoops(n int) int64 {
+	if n <= 0 {
+		return 1
+	}
+	if m.procs <= 0 || n <= m.procs {
+		return 1
+	}
+	return int64((n + m.procs - 1) / m.procs)
+}
+
+// lg2ceil returns ⌈log₂ u⌉ for u >= 1.
+func lg2ceil(u int) int64 {
+	if u <= 1 {
+		return 0
+	}
+	return int64(bits.Len(uint(u - 1)))
+}
+
+// chargeElementwise charges one elementwise primitive over n elements:
+// ⌈n/P⌉ steps.
+func (m *Machine) chargeElementwise(n int) {
+	m.c.Elementwise++
+	m.c.Steps += m.virtualLoops(n)
+}
+
+// chargePermute charges one permute over n elements: ⌈n/P⌉ steps (an
+// EREW memory reference per virtual loop).
+func (m *Machine) chargePermute(n int) {
+	m.c.Permutes++
+	m.c.Steps += m.virtualLoops(n)
+}
+
+// scanCrossCost is the cost of the single cross-processor scan inside a
+// (possibly long-vector) scan: 1 step on the scan model, 2⌈lg u⌉ on a
+// P-RAM simulating the tree, where u is the number of participating
+// processors.
+func (m *Machine) scanCrossCost(n int) int64 {
+	u := n
+	if m.procs > 0 && m.procs < n {
+		u = m.procs
+	}
+	switch m.model {
+	case ModelScan:
+		return 1
+	default:
+		c := 2 * lg2ceil(u)
+		if c == 0 {
+			c = 1
+		}
+		return c
+	}
+}
+
+// chargeScan charges one scan primitive over n elements. On a long
+// vector each processor first reduces its block (⌈n/P⌉ steps), the
+// machine scans across processors (model-dependent), and each processor
+// rescans its block with the offset (⌈n/P⌉ steps); per Figure 10.
+func (m *Machine) chargeScan(n int) {
+	m.c.Scans++
+	v := m.virtualLoops(n)
+	if v > 1 {
+		m.c.Steps += 2*v + m.scanCrossCost(n)
+	} else {
+		m.c.Steps += m.scanCrossCost(n)
+	}
+}
+
+// chargeSegScan charges one segmented scan. The paper shows (§3.4) a
+// segmented scan costs at most two primitive scans plus elementwise
+// fix-up; we charge exactly that.
+func (m *Machine) chargeSegScan(n int) {
+	m.c.SegScans++
+	v := m.virtualLoops(n)
+	if v > 1 {
+		m.c.Steps += 2 * (2*v + m.scanCrossCost(n))
+	} else {
+		m.c.Steps += 2 * m.scanCrossCost(n)
+	}
+	m.c.Steps += v // fix-up pass
+}

@@ -1,0 +1,308 @@
+package core
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestModelString(t *testing.T) {
+	if ModelScan.String() != "Scan" || ModelEREW.String() != "EREW" || ModelCRCW.String() != "CRCW" {
+		t.Error("model names wrong")
+	}
+	if !strings.Contains(Model(42).String(), "42") {
+		t.Error("unknown model name not descriptive")
+	}
+}
+
+func TestUsageString(t *testing.T) {
+	want := []string{
+		"Enumerating", "Copying", "Distributing Sums", "Splitting",
+		"Segmented Primitives", "Allocating", "Load-Balancing",
+	}
+	for i, u := range Usages() {
+		if u.String() != want[i] {
+			t.Errorf("Usage(%d).String() = %q, want %q", i, u.String(), want[i])
+		}
+	}
+}
+
+func TestVirtualLoops(t *testing.T) {
+	m := New(WithProcessors(4))
+	cases := []struct{ n, want int }{
+		{0, 1}, {1, 1}, {4, 1}, {5, 2}, {8, 2}, {9, 3}, {12, 3},
+	}
+	for _, c := range cases {
+		if got := m.virtualLoops(c.n); got != int64(c.want) {
+			t.Errorf("virtualLoops(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+	unbounded := New()
+	if got := unbounded.virtualLoops(1 << 20); got != 1 {
+		t.Errorf("unbounded virtualLoops = %d, want 1", got)
+	}
+}
+
+func TestLg2Ceil(t *testing.T) {
+	cases := []struct {
+		u    int
+		want int64
+	}{{1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10}, {1025, 11}}
+	for _, c := range cases {
+		if got := lg2ceil(c.u); got != c.want {
+			t.Errorf("lg2ceil(%d) = %d, want %d", c.u, got, c.want)
+		}
+	}
+}
+
+func TestScanCostByModel(t *testing.T) {
+	n := 1024
+	src := make([]int, n)
+	dst := make([]int, n)
+
+	ms := New(WithModel(ModelScan))
+	PlusScan(ms, dst, src)
+	if got := ms.Steps(); got != 1 {
+		t.Errorf("scan model: one scan = %d steps, want 1", got)
+	}
+
+	me := New(WithModel(ModelEREW))
+	PlusScan(me, dst, src)
+	if got, want := me.Steps(), int64(2*10); got != want {
+		t.Errorf("EREW model: one scan over 1024 = %d steps, want %d", got, want)
+	}
+}
+
+func TestLongVectorScanCost(t *testing.T) {
+	// Figure 10: with p processors and n elements, a scan is two block
+	// passes plus one cross-processor scan.
+	n, p := 4096, 4
+	m := New(WithProcessors(p))
+	src := make([]int, n)
+	dst := make([]int, n)
+	PlusScan(m, dst, src)
+	want := int64(2*(n/p) + 1)
+	if got := m.Steps(); got != want {
+		t.Errorf("long-vector scan = %d steps, want %d", got, want)
+	}
+}
+
+func TestElementwiseCost(t *testing.T) {
+	m := New(WithProcessors(8))
+	Par(m, 64, func(int) {})
+	if got := m.Steps(); got != 8 {
+		t.Errorf("elementwise over 64 elems, 8 procs = %d steps, want 8", got)
+	}
+	c := m.Counters()
+	if c.Elementwise != 1 {
+		t.Errorf("Elementwise count = %d, want 1", c.Elementwise)
+	}
+}
+
+func TestResetCounters(t *testing.T) {
+	m := New()
+	Par(m, 10, func(int) {})
+	if m.Steps() == 0 {
+		t.Fatal("steps not counted")
+	}
+	m.ResetCounters()
+	if m.Steps() != 0 {
+		t.Error("ResetCounters did not zero steps")
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{Steps: 1, Scans: 2}
+	a.UsageCounts[UseSplit] = 3
+	b := Counters{Steps: 10, Scans: 20}
+	b.UsageCounts[UseSplit] = 30
+	a.Add(b)
+	if a.Steps != 11 || a.Scans != 22 || a.UsageCounts[UseSplit] != 33 {
+		t.Errorf("Counters.Add wrong: %+v", a)
+	}
+}
+
+func TestPermuteBasic(t *testing.T) {
+	// Paper §2.1 permute example.
+	m := New()
+	a := []string{"a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7"}
+	idx := []int{2, 5, 4, 3, 1, 6, 0, 7}
+	got := make([]string, 8)
+	Permute(m, got, a, idx)
+	want := []string{"a6", "a4", "a0", "a3", "a2", "a1", "a5", "a7"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Permute = %v, want %v", got, want)
+	}
+	if m.Counters().Permutes != 1 {
+		t.Error("permute not counted")
+	}
+}
+
+func TestPermuteEREWViolation(t *testing.T) {
+	m := New()
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic on duplicate index")
+		}
+		if !strings.Contains(r.(string), "EREW violation") {
+			t.Errorf("panic %v does not mention EREW violation", r)
+		}
+	}()
+	Permute(m, make([]int, 3), []int{1, 2, 3}, []int{0, 0, 1})
+}
+
+func TestPermuteOutOfRange(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-range index")
+		}
+	}()
+	Permute(m, make([]int, 2), []int{1, 2}, []int{0, 5})
+}
+
+func TestPermuteWriteAllowsCollisions(t *testing.T) {
+	m := New()
+	dst := make([]int, 2)
+	PermuteWrite(m, dst, []int{7, 8, 9}, []int{0, 1, 1})
+	if dst[0] != 7 || dst[1] != 9 {
+		t.Errorf("PermuteWrite = %v, want [7 9] (later write wins)", dst)
+	}
+}
+
+func TestCRCWModelDisablesCheck(t *testing.T) {
+	m := New(WithModel(ModelCRCW))
+	dst := make([]int, 2)
+	Permute(m, dst, []int{1, 2}, []int{0, 0})
+	if dst[0] != 2 {
+		t.Errorf("CRCW permute = %d, want 2", dst[0])
+	}
+}
+
+func TestGather(t *testing.T) {
+	m := New()
+	src := []int{10, 20, 30, 40}
+	dst := make([]int, 3)
+	Gather(m, dst, src, []int{3, 0, 2})
+	if want := []int{40, 10, 30}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("Gather = %v, want %v", dst, want)
+	}
+}
+
+func TestGatherEREWViolation(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on duplicate read")
+		}
+	}()
+	Gather(m, make([]int, 2), []int{1, 2}, []int{0, 0})
+}
+
+func TestParParallelWorkers(t *testing.T) {
+	m := New(WithWorkers(4))
+	n := 10000
+	dst := make([]int, n)
+	Par(m, n, func(i int) { dst[i] = i * 2 })
+	for i := 0; i < n; i++ {
+		if dst[i] != i*2 {
+			t.Fatalf("parallel Par wrong at %d", i)
+		}
+	}
+}
+
+func TestScanPrimitiveValues(t *testing.T) {
+	m := New()
+	a := []int{2, 1, 2, 3, 5, 8, 13, 21}
+	dst := make([]int, len(a))
+	if total := PlusScan(m, dst, a); total != 55 {
+		t.Errorf("PlusScan total = %d, want 55", total)
+	}
+	if want := []int{0, 2, 3, 5, 8, 13, 21, 34}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("PlusScan = %v, want %v", dst, want)
+	}
+	MaxScan(m, dst, a)
+	if dst[0] != MinIdentity || dst[7] != 13 {
+		t.Errorf("MaxScan = %v", dst)
+	}
+	MinScan(m, dst, a)
+	if dst[0] != MaxIdentity || dst[7] != 1 {
+		t.Errorf("MinScan = %v", dst)
+	}
+	BackPlusScan(m, dst, a)
+	if dst[7] != 0 || dst[0] != 53 {
+		t.Errorf("BackPlusScan = %v", dst)
+	}
+}
+
+func TestFloatScans(t *testing.T) {
+	m := New()
+	a := []float64{1.5, 2.5, 3}
+	dst := make([]float64, 3)
+	if total := FPlusScan(m, dst, a); total != 7 {
+		t.Errorf("FPlusScan total = %g, want 7", total)
+	}
+	FMaxScan(m, dst, a)
+	if dst[2] != 2.5 {
+		t.Errorf("FMaxScan[2] = %g, want 2.5", dst[2])
+	}
+	FMinScan(m, dst, a)
+	if dst[2] != 1.5 {
+		t.Errorf("FMinScan[2] = %g, want 1.5", dst[2])
+	}
+	FBackMaxScan(m, dst, a)
+	if dst[0] != 3 {
+		t.Errorf("FBackMaxScan[0] = %g, want 3", dst[0])
+	}
+	FBackMinScan(m, dst, a)
+	if dst[0] != 2.5 {
+		t.Errorf("FBackMinScan[0] = %g, want 2.5", dst[0])
+	}
+}
+
+func TestSegScansCharged(t *testing.T) {
+	m := New()
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	dst := make([]int, len(a))
+	SegPlusScan(m, dst, a, flags)
+	if want := []int{0, 5, 0, 3, 7, 10, 0, 2}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("SegPlusScan = %v, want %v", dst, want)
+	}
+	c := m.Counters()
+	if c.SegScans != 1 {
+		t.Errorf("SegScans = %d, want 1", c.SegScans)
+	}
+	if c.UsageCounts[UseSegmented] != 1 {
+		t.Errorf("segmented usage = %d, want 1", c.UsageCounts[UseSegmented])
+	}
+	// §3.4: a segmented scan costs at most two primitive scans (+fix-up).
+	if c.Steps > 3 {
+		t.Errorf("segmented scan charged %d steps, want <= 3", c.Steps)
+	}
+}
+
+func TestEmptyVectors(t *testing.T) {
+	m := New()
+	if got := PlusScan(m, nil, nil); got != 0 {
+		t.Errorf("PlusScan(empty) = %d", got)
+	}
+	Copy(m, []int{}, []int{})
+	if got := PlusDistribute(m, nil, nil); got != 0 {
+		t.Errorf("PlusDistribute(empty) = %d", got)
+	}
+	if MaxDistribute(m, nil, nil) != MinIdentity {
+		t.Error("MaxDistribute(empty) != identity")
+	}
+	if MinDistribute(m, nil, nil) != MaxIdentity {
+		t.Error("MinDistribute(empty) != identity")
+	}
+	a := Allocate(m, nil)
+	if a.Total != 0 || len(a.Flags) != 0 {
+		t.Error("Allocate(empty) not empty")
+	}
+	if Pack(m, nil, []int(nil), nil) != 0 {
+		t.Error("Pack(empty) != 0")
+	}
+}

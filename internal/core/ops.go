@@ -1,0 +1,264 @@
+package core
+
+import "scans/internal/scan"
+
+// Compound vector operations of §2.2 and their segmented versions (§2.3).
+// Every operation here costs O(1) program steps: a constant number of
+// scans, permutes, and elementwise passes, all of which the machine
+// charges individually.
+
+// Enumerate writes into dst the number of true flags strictly before each
+// position — "returns the integer i to the ith true element" (§2.2,
+// Figure 1) — and returns the total number of true flags. Implemented by
+// converting the flags to 0/1 and running a +-scan.
+func Enumerate(m *Machine, dst []int, flags []bool) int {
+	m.Use(UseEnumerate)
+	n := len(flags)
+	ones := make([]int, n)
+	Par(m, n, func(i int) {
+		if flags[i] {
+			ones[i] = 1
+		}
+	})
+	return PlusScan(m, dst, ones)
+}
+
+// BackEnumerate writes into dst the number of true flags strictly after
+// each position, via a backward +-scan; used by split (Figure 3).
+func BackEnumerate(m *Machine, dst []int, flags []bool) {
+	m.Use(UseEnumerate)
+	n := len(flags)
+	ones := make([]int, n)
+	Par(m, n, func(i int) {
+		if flags[i] {
+			ones[i] = 1
+		}
+	})
+	BackPlusScan(m, dst, ones)
+}
+
+// Copy copies src[0] over all of dst (§2.2, Figure 1). The paper
+// implements it by placing the identity in all but the first element and
+// scanning; the machine charges one scan plus the fix-up pass.
+func Copy[T any](m *Machine, dst, src []T) {
+	m.Use(UseCopy)
+	m.chargeScan(len(src))
+	if len(src) == 0 {
+		return
+	}
+	v := src[0]
+	Par(m, len(dst), func(i int) { dst[i] = v })
+}
+
+// backCopy copies src[n-1] over all of dst: the "backward copy" that
+// +-distribute uses (§2.2).
+func backCopy[T any](m *Machine, dst, src []T) {
+	m.chargeScan(len(src))
+	if len(src) == 0 {
+		return
+	}
+	v := src[len(src)-1]
+	Par(m, len(dst), func(i int) { dst[i] = v })
+}
+
+// PlusDistribute gives every element the sum of all elements (§2.2,
+// Figure 1) and returns that sum: a +-scan and a backward copy.
+func PlusDistribute(m *Machine, dst, src []int) int {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	total := PlusScan(m, tmp, src)
+	Par(m, len(tmp), func(i int) { tmp[i] += src[i] }) // inclusive fix-up
+	backCopy(m, dst, tmp)
+	return total
+}
+
+// MaxDistribute gives every element the maximum of all elements and
+// returns it (MinIdentity for an empty vector).
+func MaxDistribute(m *Machine, dst, src []int) int {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	MaxScan(m, tmp, src)
+	Par(m, len(tmp), func(i int) {
+		if src[i] > tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	backCopy(m, dst, tmp)
+	if len(tmp) == 0 {
+		return MinIdentity
+	}
+	return tmp[len(tmp)-1]
+}
+
+// MinDistribute gives every element the minimum of all elements and
+// returns it (MaxIdentity for an empty vector).
+func MinDistribute(m *Machine, dst, src []int) int {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	MinScan(m, tmp, src)
+	Par(m, len(tmp), func(i int) {
+		if src[i] < tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	backCopy(m, dst, tmp)
+	if len(tmp) == 0 {
+		return MaxIdentity
+	}
+	return tmp[len(tmp)-1]
+}
+
+// AndDistribute reports whether every flag is true, distributed to all
+// positions of dst (the quicksort §2.3.1 sortedness check).
+func AndDistribute(m *Machine, dst, src []bool) bool {
+	m.Use(UseDistribute)
+	tmp := make([]bool, len(src))
+	AndScan(m, tmp, src)
+	Par(m, len(tmp), func(i int) { tmp[i] = tmp[i] && src[i] })
+	backCopy(m, dst, tmp)
+	return len(tmp) == 0 || tmp[len(tmp)-1]
+}
+
+// OrDistribute reports whether any flag is true, distributed to all
+// positions of dst.
+func OrDistribute(m *Machine, dst, src []bool) bool {
+	m.Use(UseDistribute)
+	tmp := make([]bool, len(src))
+	OrScan(m, tmp, src)
+	Par(m, len(tmp), func(i int) { tmp[i] = tmp[i] || src[i] })
+	backCopy(m, dst, tmp)
+	return len(tmp) > 0 && tmp[len(tmp)-1]
+}
+
+// --- Segmented compound operations. ---
+
+// SegRank writes each element's 0-origin rank within its segment:
+// the segmented enumerate of all-true flags. One segmented scan.
+func SegRank(m *Machine, dst []int, flags []bool) {
+	m.Use(UseEnumerate)
+	n := len(flags)
+	ones := make([]int, n)
+	Par(m, n, func(i int) { ones[i] = 1 })
+	SegPlusScan(m, dst, ones, flags)
+}
+
+// SegHeadIndex writes into dst the vector index of each element's segment
+// head: i minus the element's rank within its segment. Used to copy "the
+// offset of the beginning of each segment across the segment" (§2.3.1).
+func SegHeadIndex(m *Machine, dst []int, flags []bool) {
+	SegRank(m, dst, flags)
+	Par(m, len(dst), func(i int) { dst[i] = i - dst[i] })
+}
+
+// SegEnumerate writes the per-segment count of true flags strictly before
+// each position and is the segmented version of Enumerate (§2.3.1).
+func SegEnumerate(m *Machine, dst []int, elems []bool, flags []bool) {
+	m.Use(UseEnumerate)
+	n := len(elems)
+	ones := make([]int, n)
+	Par(m, n, func(i int) {
+		if elems[i] {
+			ones[i] = 1
+		}
+	})
+	SegPlusScan(m, dst, ones, flags)
+}
+
+// SegCopy copies each segment's first element across the segment (the
+// segmented copy of §2.3.1, built on a segmented max-scan per the paper;
+// executed here as the inclusive scan of the "last head wins" monoid).
+func SegCopy[T any](m *Machine, dst, src []T, flags []bool) {
+	m.Use(UseCopy)
+	m.Use(UseSegmented)
+	m.chargeSegScan(len(src))
+	if len(src) == 0 {
+		return
+	}
+	scan.SegCopyParallel(dst, src, flags, m.kernelWorkers())
+}
+
+// SegPlusDistribute gives every element the sum of its segment (§2.3.2's
+// segmented +-distribute): a segmented scan and a backward segmented
+// copy.
+func SegPlusDistribute(m *Machine, dst, src []int, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	SegPlusScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) { tmp[i] += src[i] })
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// SegMaxDistribute gives every element the maximum of its segment.
+func SegMaxDistribute(m *Machine, dst, src []int, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	SegMaxScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) {
+		if src[i] > tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// SegMinDistribute gives every element the minimum of its segment (the
+// MST algorithm's min-edge search, §2.3.3).
+func SegMinDistribute(m *Machine, dst, src []int, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]int, len(src))
+	SegMinScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) {
+		if src[i] < tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// SegFMaxDistribute gives every element the maximum of its segment, for
+// float64 data (the quickhull farthest-point search).
+func SegFMaxDistribute(m *Machine, dst, src []float64, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]float64, len(src))
+	SegFMaxScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) {
+		if src[i] > tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// SegFMinDistribute gives every element the minimum of its segment, for
+// float64 data.
+func SegFMinDistribute(m *Machine, dst, src []float64, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]float64, len(src))
+	SegFMinScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) {
+		if src[i] < tmp[i] {
+			tmp[i] = src[i]
+		}
+	})
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// SegOrDistribute gives every element the logical or of its segment.
+func SegOrDistribute(m *Machine, dst, src []bool, flags []bool) {
+	m.Use(UseDistribute)
+	tmp := make([]bool, len(src))
+	SegOrScan(m, tmp, src, flags)
+	Par(m, len(tmp), func(i int) { tmp[i] = tmp[i] || src[i] })
+	segBackCopy(m, dst, tmp, flags)
+}
+
+// segBackCopy copies each segment's *last* element across the segment:
+// a backward segmented copy, charged as one segmented scan.
+func segBackCopy[T any](m *Machine, dst, src []T, flags []bool) {
+	m.Use(UseSegmented)
+	m.chargeSegScan(len(src))
+	if len(src) == 0 {
+		return
+	}
+	scan.SegBackCopyParallel(dst, src, flags, m.kernelWorkers())
+}

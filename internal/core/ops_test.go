@@ -1,0 +1,244 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEnumerateFig1(t *testing.T) {
+	// Figure 1: enumerate([T F F T F T T F]) = [0 1 1 1 2 2 3 4].
+	m := New()
+	flags := []bool{true, false, false, true, false, true, true, false}
+	got := make([]int, 8)
+	count := Enumerate(m, got, flags)
+	want := []int{0, 1, 1, 1, 2, 2, 3, 4}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("enumerate = %v, want %v", got, want)
+	}
+	if count != 4 {
+		t.Errorf("count = %d, want 4", count)
+	}
+	if m.Counters().UsageCounts[UseEnumerate] != 1 {
+		t.Error("enumerate usage not recorded")
+	}
+}
+
+func TestCopyFig1(t *testing.T) {
+	// Figure 1: copy([5 1 3 4 3 9 2 6]) = [5 5 5 5 5 5 5 5].
+	m := New()
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	got := make([]int, 8)
+	Copy(m, got, a)
+	for _, v := range got {
+		if v != 5 {
+			t.Fatalf("copy = %v, want all 5s", got)
+		}
+	}
+}
+
+func TestPlusDistributeFig1(t *testing.T) {
+	// Figure 1: +-distribute([1 1 2 1 1 2 1 1]) = [10 ... 10].
+	m := New()
+	b := []int{1, 1, 2, 1, 1, 2, 1, 1}
+	got := make([]int, 8)
+	total := PlusDistribute(m, got, b)
+	if total != 10 {
+		t.Errorf("total = %d, want 10", total)
+	}
+	for _, v := range got {
+		if v != 10 {
+			t.Fatalf("+-distribute = %v, want all 10s", got)
+		}
+	}
+}
+
+func TestMaxMinDistribute(t *testing.T) {
+	m := New()
+	a := []int{3, 9, 1, 7}
+	got := make([]int, 4)
+	if mx := MaxDistribute(m, got, a); mx != 9 {
+		t.Errorf("max = %d, want 9", mx)
+	}
+	if got[0] != 9 || got[3] != 9 {
+		t.Errorf("max-distribute = %v", got)
+	}
+	if mn := MinDistribute(m, got, a); mn != 1 {
+		t.Errorf("min = %d, want 1", mn)
+	}
+	if got[0] != 1 || got[3] != 1 {
+		t.Errorf("min-distribute = %v", got)
+	}
+}
+
+func TestAndOrDistribute(t *testing.T) {
+	m := New()
+	all := []bool{true, true, true}
+	some := []bool{true, false, true}
+	got := make([]bool, 3)
+	if !AndDistribute(m, got, all) {
+		t.Error("AndDistribute(all true) = false")
+	}
+	if got[1] != true {
+		t.Error("and-distribute not distributed")
+	}
+	if AndDistribute(m, got, some) {
+		t.Error("AndDistribute(mixed) = true")
+	}
+	if !OrDistribute(m, got, some) {
+		t.Error("OrDistribute(mixed) = false")
+	}
+	none := []bool{false, false}
+	if OrDistribute(m, make([]bool, 2), none) {
+		t.Error("OrDistribute(none) = true")
+	}
+}
+
+func TestBackEnumerate(t *testing.T) {
+	m := New()
+	// From the Figure 3 walk-through: Flags = [T T T T F F T F],
+	// back-enumerate = [4 3 2 1 1 1 0 0].
+	flags := []bool{true, true, true, true, false, false, true, false}
+	got := make([]int, 8)
+	BackEnumerate(m, got, flags)
+	want := []int{4, 3, 2, 1, 1, 1, 0, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("back-enumerate = %v, want %v", got, want)
+	}
+}
+
+func TestSegRankAndHeadIndex(t *testing.T) {
+	m := New()
+	flags := []bool{true, false, false, true, false}
+	rank := make([]int, 5)
+	SegRank(m, rank, flags)
+	if want := []int{0, 1, 2, 0, 1}; !reflect.DeepEqual(rank, want) {
+		t.Errorf("SegRank = %v, want %v", rank, want)
+	}
+	head := make([]int, 5)
+	SegHeadIndex(m, head, flags)
+	if want := []int{0, 0, 0, 3, 3}; !reflect.DeepEqual(head, want) {
+		t.Errorf("SegHeadIndex = %v, want %v", head, want)
+	}
+}
+
+func TestSegCopy(t *testing.T) {
+	m := New()
+	a := []int{7, 0, 0, 9, 0}
+	flags := []bool{true, false, false, true, false}
+	got := make([]int, 5)
+	SegCopy(m, got, a, flags)
+	if want := []int{7, 7, 7, 9, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegCopy = %v, want %v", got, want)
+	}
+}
+
+func TestSegCopyImplicitHead(t *testing.T) {
+	m := New()
+	a := []int{7, 0, 9, 0}
+	flags := []bool{false, false, true, false}
+	got := make([]int, 4)
+	SegCopy(m, got, a, flags)
+	if want := []int{7, 7, 9, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegCopy = %v, want %v", got, want)
+	}
+}
+
+func TestSegDistributes(t *testing.T) {
+	m := New()
+	a := []int{1, 2, 3, 10, 20}
+	flags := []bool{true, false, false, true, false}
+	sum := make([]int, 5)
+	SegPlusDistribute(m, sum, a, flags)
+	if want := []int{6, 6, 6, 30, 30}; !reflect.DeepEqual(sum, want) {
+		t.Errorf("SegPlusDistribute = %v, want %v", sum, want)
+	}
+	mx := make([]int, 5)
+	SegMaxDistribute(m, mx, a, flags)
+	if want := []int{3, 3, 3, 20, 20}; !reflect.DeepEqual(mx, want) {
+		t.Errorf("SegMaxDistribute = %v, want %v", mx, want)
+	}
+	mn := make([]int, 5)
+	SegMinDistribute(m, mn, a, flags)
+	if want := []int{1, 1, 1, 10, 10}; !reflect.DeepEqual(mn, want) {
+		t.Errorf("SegMinDistribute = %v, want %v", mn, want)
+	}
+}
+
+func TestSegFMinDistribute(t *testing.T) {
+	m := New()
+	a := []float64{2.5, 1.5, 9, 4}
+	flags := []bool{true, false, true, false}
+	got := make([]float64, 4)
+	SegFMinDistribute(m, got, a, flags)
+	if want := []float64{1.5, 1.5, 4, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegFMinDistribute = %v, want %v", got, want)
+	}
+}
+
+func TestSegOrDistribute(t *testing.T) {
+	m := New()
+	a := []bool{false, true, false, false}
+	flags := []bool{true, false, true, false}
+	got := make([]bool, 4)
+	SegOrDistribute(m, got, a, flags)
+	if want := []bool{true, true, false, false}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegOrDistribute = %v, want %v", got, want)
+	}
+}
+
+func TestSegEnumerate(t *testing.T) {
+	m := New()
+	elems := []bool{true, false, true, true, false}
+	flags := []bool{true, false, false, true, false}
+	got := make([]int, 5)
+	SegEnumerate(m, got, elems, flags)
+	if want := []int{0, 1, 1, 0, 1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("SegEnumerate = %v, want %v", got, want)
+	}
+}
+
+func TestCompoundOpsAreConstantSteps(t *testing.T) {
+	// §2.2: "These operations ... all have a step complexity of O(1)."
+	// Verify the step charge of each compound op is independent of n.
+	ops := map[string]func(m *Machine, n int){
+		"enumerate": func(m *Machine, n int) {
+			Enumerate(m, make([]int, n), make([]bool, n))
+		},
+		"copy": func(m *Machine, n int) {
+			Copy(m, make([]int, n), make([]int, n))
+		},
+		"plus-distribute": func(m *Machine, n int) {
+			PlusDistribute(m, make([]int, n), make([]int, n))
+		},
+		"split": func(m *Machine, n int) {
+			Split(m, make([]int, n), make([]int, n), make([]bool, n))
+		},
+		"allocate(all-1s)": func(m *Machine, n int) {
+			counts := make([]int, n)
+			for i := range counts {
+				counts[i] = 1
+			}
+			Allocate(m, counts)
+		},
+		"pack": func(m *Machine, n int) {
+			Pack(m, make([]int, n), make([]int, n), make([]bool, n))
+		},
+		"seg-split3": func(m *Machine, n int) {
+			SegSplit3Index(m, make([]int, n), make([]Cmp3, n), make([]bool, n))
+		},
+	}
+	for name, op := range ops {
+		m1 := New()
+		op(m1, 64)
+		s1 := m1.Steps()
+		m2 := New()
+		op(m2, 4096)
+		s2 := m2.Steps()
+		if s1 != s2 {
+			t.Errorf("%s: steps grew with n: %d (n=64) vs %d (n=4096)", name, s1, s2)
+		}
+		if s1 == 0 {
+			t.Errorf("%s: charged no steps", name)
+		}
+	}
+}

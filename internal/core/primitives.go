@@ -1,0 +1,360 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"scans/internal/scan"
+)
+
+// Par executes f(i) for every i in [0, n): one elementwise program step.
+// It is the machine's "each processor executes O(1) local work"
+// primitive; every elementwise vector operation in the paper's notation
+// (§2.1, e.g. C <- A + B) is a Par call. f must be safe to call
+// concurrently for distinct i when the machine has multiple workers.
+func Par(m *Machine, n int, f func(i int)) {
+	m.chargeElementwise(n)
+	w := m.workers
+	if w <= 0 {
+		w = scan.Workers(0)
+	}
+	if w <= 1 || n < 4096 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for b := 0; b < w; b++ {
+		lo, hi := b*n/w, (b+1)*n/w
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// kernelWorkers translates the machine's worker setting into the p
+// argument of the scan kernels (1 forces serial).
+func (m *Machine) kernelWorkers() int {
+	if m.workers == 0 {
+		return 0 // GOMAXPROCS
+	}
+	return m.workers
+}
+
+// --- Unsegmented scans (§2.1). All are exclusive, per the paper. ---
+
+// PlusScan computes dst[i] = src[0]+...+src[i-1] and returns the total
+// sum: the paper's +-scan, one of the two primitives.
+func PlusScan(m *Machine, dst, src []int) int {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.Add[int]{}, dst, src, m.kernelWorkers())
+	if len(src) == 0 {
+		return 0
+	}
+	return dst[len(dst)-1] + src[len(src)-1]
+}
+
+// MaxScan computes the exclusive max-scan of src: the paper's second
+// primitive. The identity (dst[0]) is math.MinInt.
+func MaxScan(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.MaxIntOp, dst, src, m.kernelWorkers())
+}
+
+// MinScan computes the exclusive min-scan of src; identity math.MaxInt.
+func MinScan(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.MinIntOp, dst, src, m.kernelWorkers())
+}
+
+// OrScan computes the exclusive or-scan of src.
+func OrScan(m *Machine, dst, src []bool) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.Or{}, dst, src, m.kernelWorkers())
+}
+
+// AndScan computes the exclusive and-scan of src.
+func AndScan(m *Machine, dst, src []bool) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.And{}, dst, src, m.kernelWorkers())
+}
+
+// FPlusScan computes the exclusive +-scan of float64s. The paper
+// implements floating-point scans on the integer primitives ([7]); the
+// machine charges it as one scan.
+func FPlusScan(m *Machine, dst, src []float64) float64 {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.Add[float64]{}, dst, src, m.kernelWorkers())
+	if len(src) == 0 {
+		return 0
+	}
+	return dst[len(dst)-1] + src[len(src)-1]
+}
+
+// FMulScan computes the exclusive ×-scan of float64s (identity 1):
+// Stone's powers-of-x scan from the paper's appendix.
+func FMulScan(m *Machine, dst, src []float64) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.Mul[float64]{}, dst, src, m.kernelWorkers())
+}
+
+// FMaxScan computes the exclusive max-scan of float64s; identity -Inf.
+func FMaxScan(m *Machine, dst, src []float64) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.MaxFloat64Op, dst, src, m.kernelWorkers())
+}
+
+// FMinScan computes the exclusive min-scan of float64s; identity +Inf.
+func FMinScan(m *Machine, dst, src []float64) {
+	m.chargeScan(len(src))
+	scan.ExclusiveParallel(scan.MinFloat64Op, dst, src, m.kernelWorkers())
+}
+
+// --- Backward scans (§2.1: "backward versions of each of these"). ---
+
+// BackPlusScan computes dst[i] = src[i+1]+...+src[n-1].
+func BackPlusScan(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.ExclusiveBackwardParallel(scan.Add[int]{}, dst, src, m.kernelWorkers())
+}
+
+// BackMaxScan computes the backward exclusive max-scan; identity MinInt.
+func BackMaxScan(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.ExclusiveBackwardParallel(scan.MaxIntOp, dst, src, m.kernelWorkers())
+}
+
+// BackMinScan computes the backward exclusive min-scan; identity MaxInt.
+func BackMinScan(m *Machine, dst, src []int) {
+	m.chargeScan(len(src))
+	scan.ExclusiveBackwardParallel(scan.MinIntOp, dst, src, m.kernelWorkers())
+}
+
+// FBackMaxScan computes the backward exclusive float max-scan.
+func FBackMaxScan(m *Machine, dst, src []float64) {
+	m.chargeScan(len(src))
+	scan.ExclusiveBackwardParallel(scan.MaxFloat64Op, dst, src, m.kernelWorkers())
+}
+
+// FBackMinScan computes the backward exclusive float min-scan (the
+// min-backscan of the halving merge, §2.5.1).
+func FBackMinScan(m *Machine, dst, src []float64) {
+	m.chargeScan(len(src))
+	scan.ExclusiveBackwardParallel(scan.MinFloat64Op, dst, src, m.kernelWorkers())
+}
+
+// BackMinScanInts is BackMinScan for int data (alias kept for symmetry
+// with the float variants used by the halving merge).
+func BackMinScanInts(m *Machine, dst, src []int) { BackMinScan(m, dst, src) }
+
+// --- Segmented scans (§2.3). flags[i] marks the start of a segment;
+// position 0 always starts one. ---
+
+// SegPlusScan computes the segmented exclusive +-scan.
+func SegPlusScan(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.Add[int]{}, dst, src, flags, m.kernelWorkers())
+}
+
+// SegMaxScan computes the segmented exclusive max-scan; identity MinInt.
+func SegMaxScan(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.MaxIntOp, dst, src, flags, m.kernelWorkers())
+}
+
+// SegMinScan computes the segmented exclusive min-scan; identity MaxInt.
+func SegMinScan(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.MinIntOp, dst, src, flags, m.kernelWorkers())
+}
+
+// SegOrScan computes the segmented exclusive or-scan.
+func SegOrScan(m *Machine, dst, src []bool, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.Or{}, dst, src, flags, m.kernelWorkers())
+}
+
+// SegFPlusScan computes the segmented exclusive float +-scan.
+func SegFPlusScan(m *Machine, dst, src []float64, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.Add[float64]{}, dst, src, flags, m.kernelWorkers())
+}
+
+// SegFMaxScan computes the segmented exclusive float max-scan.
+func SegFMaxScan(m *Machine, dst, src []float64, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.MaxFloat64Op, dst, src, flags, m.kernelWorkers())
+}
+
+// SegFMinScan computes the segmented exclusive float min-scan.
+func SegFMinScan(m *Machine, dst, src []float64, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveParallel(scan.MinFloat64Op, dst, src, flags, m.kernelWorkers())
+}
+
+// SegBackPlusScan computes the backward segmented exclusive +-scan.
+func SegBackPlusScan(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveBackward(scan.Add[int]{}, dst, src, flags)
+}
+
+// SegBackMaxScan computes the backward segmented exclusive max-scan.
+func SegBackMaxScan(m *Machine, dst, src []int, flags []bool) {
+	m.chargeSegScan(len(src))
+	m.Use(UseSegmented)
+	scan.SegExclusiveBackward(scan.MaxIntOp, dst, src, flags)
+}
+
+// --- Data movement. ---
+
+// Permute scatters src into dst: dst[index[i]] = src[i], the paper's
+// permute operation (§2.1). Under the EREW contract all indices must be
+// distinct and in range; the machine verifies this when its exclusivity
+// check is on and panics with the offending pair, because a collision is
+// an algorithm bug, not an input error. dst must not alias src.
+func Permute[T any](m *Machine, dst, src []T, index []int) {
+	n := len(src)
+	if len(index) != n || len(dst) < n {
+		panic(fmt.Sprintf("core: Permute: src %d, index %d, dst %d", n, len(index), len(dst)))
+	}
+	m.chargePermute(n)
+	if m.checkExclusive {
+		seen := make([]int32, len(dst))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for i, ix := range index {
+			if ix < 0 || ix >= len(dst) {
+				panic(fmt.Sprintf("core: Permute: index[%d] = %d out of range [0,%d)", i, ix, len(dst)))
+			}
+			if seen[ix] >= 0 {
+				panic(fmt.Sprintf("core: Permute: EREW violation: processors %d and %d both write location %d", seen[ix], i, ix))
+			}
+			seen[ix] = int32(i)
+		}
+	}
+	for i, ix := range index {
+		dst[ix] = src[i]
+	}
+}
+
+// PermuteWrite is Permute with the exclusivity check waived for this one
+// call: "the simplest form of concurrent-write (one of the values gets
+// written)" that the paper's line-drawing routine needs to place pixels
+// on a grid (§2.4.1). Later writes win, deterministically.
+func PermuteWrite[T any](m *Machine, dst, src []T, index []int) {
+	n := len(src)
+	if len(index) != n {
+		panic(fmt.Sprintf("core: PermuteWrite: src %d, index %d", n, len(index)))
+	}
+	m.chargePermute(n)
+	for i, ix := range index {
+		dst[ix] = src[i]
+	}
+}
+
+// Gather reads through an index vector: dst[i] = src[index[i]], an EREW
+// memory reference. Under the EREW contract all reads must be from
+// distinct locations; the machine verifies when the check is on.
+func Gather[T any](m *Machine, dst, src []T, index []int) {
+	n := len(index)
+	if len(dst) < n {
+		panic(fmt.Sprintf("core: Gather: index %d, dst %d", n, len(dst)))
+	}
+	m.chargePermute(n)
+	if m.checkExclusive {
+		seen := make([]int32, len(src))
+		for i := range seen {
+			seen[i] = -1
+		}
+		for i, ix := range index {
+			if ix < 0 || ix >= len(src) {
+				panic(fmt.Sprintf("core: Gather: index[%d] = %d out of range [0,%d)", i, ix, len(src)))
+			}
+			if seen[ix] >= 0 {
+				panic(fmt.Sprintf("core: Gather: EREW violation: processors %d and %d both read location %d", seen[ix], i, ix))
+			}
+			seen[ix] = int32(i)
+		}
+	}
+	for i, ix := range index {
+		dst[i] = src[ix]
+	}
+}
+
+// PermuteMinWrite scatters src through index resolving write collisions
+// to the minimum value: the extended concurrent-write the paper's
+// Table 1 footnote describes for the CRCW minimum-spanning-tree
+// algorithm ("if several processors write to the same location ... the
+// minimum value is written"). Only meaningful on a ModelCRCW machine;
+// it panics elsewhere so EREW algorithms cannot silently depend on it.
+func PermuteMinWrite(m *Machine, dst, src []int, index []int) {
+	if m.model != ModelCRCW {
+		panic("core: PermuteMinWrite: requires a ModelCRCW machine")
+	}
+	n := len(src)
+	if len(index) != n {
+		panic(fmt.Sprintf("core: PermuteMinWrite: src %d, index %d", n, len(index)))
+	}
+	m.chargePermute(n)
+	for i, ix := range index {
+		if src[i] < dst[ix] {
+			dst[ix] = src[i]
+		}
+	}
+}
+
+// PermuteMinWriteIf is PermuteMinWrite with per-processor participation.
+func PermuteMinWriteIf(m *Machine, dst, src []int, index []int, flags []bool) {
+	if m.model != ModelCRCW {
+		panic("core: PermuteMinWriteIf: requires a ModelCRCW machine")
+	}
+	n := len(src)
+	if len(index) != n || len(flags) != n {
+		panic(fmt.Sprintf("core: PermuteMinWriteIf: src %d, index %d, flags %d", n, len(index), len(flags)))
+	}
+	m.chargePermute(n)
+	for i, ix := range index {
+		if flags[i] && src[i] < dst[ix] {
+			dst[ix] = src[i]
+		}
+	}
+}
+
+// GatherShared reads through an index vector like Gather but without the
+// exclusive-read check: a CREW memory reference ("concurrent read"),
+// which pointer-jumping algorithms need because every list node's
+// predecessor and the tail itself read the tail's cell in the same step.
+// Charged like any memory reference.
+func GatherShared[T any](m *Machine, dst, src []T, index []int) {
+	n := len(index)
+	if len(dst) < n {
+		panic(fmt.Sprintf("core: GatherShared: index %d, dst %d", n, len(dst)))
+	}
+	m.chargePermute(n)
+	for i, ix := range index {
+		dst[i] = src[ix]
+	}
+}
+
+// MinIdentity and MaxIdentity are the identities the int scans use, so
+// algorithm code can test for "no value yet" without importing math.
+const (
+	MinIdentity = math.MinInt // identity of MaxScan
+	MaxIdentity = math.MaxInt // identity of MinScan
+)

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestBackwardIntScans(t *testing.T) {
+	m := New()
+	a := []int{3, 1, 4, 1, 5}
+	dst := make([]int, 5)
+	BackMaxScan(m, dst, a)
+	if want := []int{5, 5, 5, 5, MinIdentity}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("BackMaxScan = %v, want %v", dst, want)
+	}
+	BackMinScan(m, dst, a)
+	if want := []int{1, 1, 1, 5, MaxIdentity}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("BackMinScan = %v, want %v", dst, want)
+	}
+	BackMinScanInts(m, dst, a)
+	if dst[0] != 1 {
+		t.Errorf("BackMinScanInts = %v", dst)
+	}
+}
+
+func TestFMulScan(t *testing.T) {
+	m := New()
+	a := []float64{2, 3, 4}
+	dst := make([]float64, 3)
+	FMulScan(m, dst, a)
+	if want := []float64{1, 2, 6}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("FMulScan = %v, want %v", dst, want)
+	}
+}
+
+func TestSegmentedFloatAndBackScans(t *testing.T) {
+	m := New()
+	a := []float64{1, 2, 3, 4}
+	flags := []bool{true, false, true, false}
+	dst := make([]float64, 4)
+	SegFPlusScan(m, dst, a, flags)
+	if want := []float64{0, 1, 0, 3}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("SegFPlusScan = %v, want %v", dst, want)
+	}
+	SegFMaxScan(m, dst, a, flags)
+	if dst[1] != 1 || dst[3] != 3 {
+		t.Errorf("SegFMaxScan = %v", dst)
+	}
+	fdst := make([]float64, 4)
+	SegFMaxDistribute(m, fdst, a, flags)
+	if want := []float64{2, 2, 4, 4}; !reflect.DeepEqual(fdst, want) {
+		t.Errorf("SegFMaxDistribute = %v, want %v", fdst, want)
+	}
+	ai := []int{1, 2, 3, 4}
+	idst := make([]int, 4)
+	SegBackPlusScan(m, idst, ai, flags)
+	if want := []int{2, 0, 4, 0}; !reflect.DeepEqual(idst, want) {
+		t.Errorf("SegBackPlusScan = %v, want %v", idst, want)
+	}
+	SegBackMaxScan(m, idst, ai, flags)
+	if idst[0] != 2 || idst[1] != MinIdentity {
+		t.Errorf("SegBackMaxScan = %v", idst)
+	}
+}
+
+func TestGatherSharedAllowsDuplicates(t *testing.T) {
+	m := New()
+	src := []int{10, 20}
+	dst := make([]int, 3)
+	GatherShared(m, dst, src, []int{1, 1, 0})
+	if want := []int{20, 20, 10}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("GatherShared = %v, want %v", dst, want)
+	}
+}
+
+func TestGatherSharedSizePanics(t *testing.T) {
+	m := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	GatherShared(m, make([]int, 1), []int{1}, []int{0, 0})
+}
+
+func TestAccessors(t *testing.T) {
+	m := New(WithProcessors(7), WithModel(ModelEREW), WithExclusiveCheck(false))
+	if m.Model() != ModelEREW {
+		t.Error("Model accessor wrong")
+	}
+	if m.Processors() != 7 {
+		t.Error("Processors accessor wrong")
+	}
+	// With the check off, colliding writes are tolerated.
+	dst := make([]int, 2)
+	Permute(m, dst, []int{1, 2}, []int{0, 0})
+	if dst[0] != 2 {
+		t.Error("unchecked permute did not apply")
+	}
+}
+
+func TestPermuteMinWriteIfBounds(t *testing.T) {
+	m := New(WithModel(ModelCRCW))
+	dst := []int{9, 9, 9}
+	PermuteMinWriteIf(m, dst, []int{5, 1, 7}, []int{0, 0, 2}, []bool{true, false, true})
+	if want := []int{5, 9, 7}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("PermuteMinWriteIf = %v, want %v", dst, want)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	PermuteMinWriteIf(m, dst, []int{1}, []int{0, 1}, []bool{true})
+}
+
+func TestPermuteMinWriteLengthPanics(t *testing.T) {
+	m := New(WithModel(ModelCRCW))
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	PermuteMinWrite(m, []int{1}, []int{1, 2}, []int{0})
+}

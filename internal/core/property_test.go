@@ -1,0 +1,192 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Property: Split is a permutation — applying SplitIndex's indices to
+// iota yields each index exactly once — and sorting the flags as
+// false-then-true reproduces the boundary.
+func TestPropertySplitIsPermutation(t *testing.T) {
+	prop := func(flags []bool) bool {
+		m := New()
+		n := len(flags)
+		idx := make([]int, n)
+		SplitIndex(m, idx, flags)
+		seen := make([]bool, n)
+		for _, ix := range idx {
+			if ix < 0 || ix >= n || seen[ix] {
+				return false
+			}
+			seen[ix] = true
+		}
+		// The flags, split by themselves, must come out false* true*.
+		if n == 0 {
+			return true
+		}
+		out := make([]bool, n)
+		Permute(m, out, flags, idx)
+		boundary := 0
+		for boundary < n && !out[boundary] {
+			boundary++
+		}
+		for i := boundary; i < n; i++ {
+			if !out[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pack keeps exactly the flagged elements in order.
+func TestPropertyPackKeepsFlagged(t *testing.T) {
+	prop := func(raw []int16, rawFlags []bool) bool {
+		n := len(raw)
+		if len(rawFlags) < n {
+			n = len(rawFlags)
+		}
+		src := make([]int, n)
+		for i := 0; i < n; i++ {
+			src[i] = int(raw[i])
+		}
+		flags := rawFlags[:n]
+		m := New()
+		dst := make([]int, n)
+		count := Pack(m, dst, src, flags)
+		var want []int
+		for i, f := range flags {
+			if f {
+				want = append(want, src[i])
+			}
+		}
+		if count != len(want) {
+			return false
+		}
+		return reflect.DeepEqual(dst[:count], append([]int{}, want...))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Allocate + Distribute replicates each value exactly counts[i]
+// times, in order.
+func TestPropertyAllocateDistribute(t *testing.T) {
+	prop := func(rawCounts []uint8) bool {
+		counts := make([]int, len(rawCounts))
+		vals := make([]int, len(rawCounts))
+		for i, c := range rawCounts {
+			counts[i] = int(c % 5)
+			vals[i] = i + 1000
+		}
+		m := New()
+		a := Allocate(m, counts)
+		dst := make([]int, a.Total)
+		Distribute(m, a, dst, vals, counts)
+		var want []int
+		for i, c := range counts {
+			for k := 0; k < c; k++ {
+				want = append(want, vals[i])
+			}
+		}
+		return reflect.DeepEqual(dst, append([]int{}, want...))
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Gather after Permute with the same index vector restores the
+// source (scatter then gather through a permutation is the identity).
+func TestPropertyPermuteGatherInverse(t *testing.T) {
+	prop := func(seed int64, rawN uint8) bool {
+		n := int(rawN%64) + 1
+		rng := rand.New(rand.NewSource(seed))
+		src := make([]int, n)
+		for i := range src {
+			src[i] = rng.Int()
+		}
+		idx := rng.Perm(n)
+		m := New()
+		scattered := make([]int, n)
+		Permute(m, scattered, src, idx)
+		back := make([]int, n)
+		Gather(m, back, scattered, idx)
+		return reflect.DeepEqual(back, src)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the step charge of any primitive is invariant under the
+// worker count (parallel execution must not change the cost model).
+func TestPropertyWorkersDontChangeSteps(t *testing.T) {
+	prop := func(rawN uint16) bool {
+		n := int(rawN%5000) + 1
+		src := make([]int, n)
+		run := func(workers int) int64 {
+			m := New(WithWorkers(workers))
+			dst := make([]int, n)
+			PlusScan(m, dst, src)
+			Par(m, n, func(i int) {})
+			flags := make([]bool, n)
+			SegMaxScan(m, dst, src, flags)
+			return m.Steps()
+		}
+		return run(1) == run(0)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under ModelEREW every run charges at least as much as under
+// ModelScan (the scan primitives only ever get cheaper).
+func TestPropertyEREWDominatesScanModel(t *testing.T) {
+	prop := func(rawN uint16, flags []bool) bool {
+		n := int(rawN%2000) + 2
+		src := make([]int, n)
+		f := make([]bool, n)
+		copy(f, flags)
+		steps := func(model Model) int64 {
+			m := New(WithModel(model))
+			dst := make([]int, n)
+			PlusScan(m, dst, src)
+			SegMinScan(m, dst, src, f)
+			Enumerate(m, dst, f)
+			PlusDistribute(m, dst, src)
+			return m.Steps()
+		}
+		return steps(ModelEREW) >= steps(ModelScan)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PackIndex and Pack agree — packing iota equals the index
+// list.
+func TestPropertyPackIndexAgrees(t *testing.T) {
+	prop := func(flags []bool) bool {
+		n := len(flags)
+		m := New()
+		iota := make([]int, n)
+		Par(m, n, func(i int) { iota[i] = i })
+		a := make([]int, n)
+		ca := Pack(m, a, iota, flags)
+		b := make([]int, n)
+		cb := PackIndex(m, b, flags)
+		return ca == cb && reflect.DeepEqual(a[:ca], b[:cb])
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

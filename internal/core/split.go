@@ -1,0 +1,142 @@
+package core
+
+// The split operation (§2.2.1, Figure 3) and its segmented and three-way
+// variants (§2.3.1). All cost O(1) program steps.
+
+// SplitIndex computes the permutation indices of the split operation:
+// elements with a false flag are packed to the bottom of the vector in
+// order, elements with a true flag to the top in order (Figure 3).
+func SplitIndex(m *Machine, index []int, flags []bool) {
+	m.Use(UseSplit)
+	n := len(flags)
+	notFlags := make([]bool, n)
+	Par(m, n, func(i int) { notFlags[i] = !flags[i] })
+	iDown := make([]int, n)
+	Enumerate(m, iDown, notFlags)
+	iUp := make([]int, n)
+	BackEnumerate(m, iUp, flags)
+	Par(m, n, func(i int) {
+		if flags[i] {
+			index[i] = n - iUp[i] - 1
+		} else {
+			index[i] = iDown[i]
+		}
+	})
+}
+
+// Split permutes src so false-flagged elements come first (in order)
+// followed by true-flagged elements (in order), writing into dst. It
+// returns the number of false-flagged elements (the boundary). dst must
+// not alias src.
+func Split[T any](m *Machine, dst, src []T, flags []bool) int {
+	n := len(src)
+	index := make([]int, n)
+	SplitIndex(m, index, flags)
+	Permute(m, dst, src, index)
+	falses := 0
+	for _, f := range flags {
+		if !f {
+			falses++
+		}
+	}
+	return falses
+}
+
+// SegSplitIndex computes per-segment split indices: within each segment
+// (flags marks segment heads), false-flagged elements pack to the bottom
+// of the segment, true-flagged to the top, order preserved. Segments
+// themselves stay in place.
+func SegSplitIndex(m *Machine, index []int, elems []bool, segFlags []bool) {
+	m.Use(UseSplit)
+	n := len(elems)
+	notElems := make([]bool, n)
+	Par(m, n, func(i int) { notElems[i] = !elems[i] })
+	rankF := make([]int, n)
+	SegEnumerate(m, rankF, notElems, segFlags)
+	rankT := make([]int, n)
+	SegEnumerate(m, rankT, elems, segFlags)
+	countF := make([]int, n)
+	onesF := make([]int, n)
+	Par(m, n, func(i int) {
+		if notElems[i] {
+			onesF[i] = 1
+		}
+	})
+	SegPlusDistribute(m, countF, onesF, segFlags)
+	offset := make([]int, n)
+	SegHeadIndex(m, offset, segFlags)
+	Par(m, n, func(i int) {
+		if elems[i] {
+			index[i] = offset[i] + countF[i] + rankT[i]
+		} else {
+			index[i] = offset[i] + rankF[i]
+		}
+	})
+}
+
+// Cmp3 classifies an element for a three-way split.
+type Cmp3 int8
+
+const (
+	// Less sorts below the pivot.
+	Less Cmp3 = iota
+	// Equal sorts with the pivot.
+	Equal
+	// Greater sorts above the pivot.
+	Greater
+)
+
+// SegSplit3Index computes per-segment three-way split indices: within
+// each segment, Less elements pack first, then Equal, then Greater, each
+// group order-preserving. This is the split the parallel quicksort uses
+// (§2.3.1, "splits into three sets instead of two, and which is
+// segmented").
+func SegSplit3Index(m *Machine, index []int, cmp []Cmp3, segFlags []bool) {
+	m.Use(UseSplit)
+	n := len(cmp)
+	isL := make([]bool, n)
+	isE := make([]bool, n)
+	isG := make([]bool, n)
+	Par(m, n, func(i int) {
+		switch cmp[i] {
+		case Less:
+			isL[i] = true
+		case Equal:
+			isE[i] = true
+		default:
+			isG[i] = true
+		}
+	})
+	rankL := make([]int, n)
+	SegEnumerate(m, rankL, isL, segFlags)
+	rankE := make([]int, n)
+	SegEnumerate(m, rankE, isE, segFlags)
+	rankG := make([]int, n)
+	SegEnumerate(m, rankG, isG, segFlags)
+	onesL := make([]int, n)
+	onesE := make([]int, n)
+	Par(m, n, func(i int) {
+		if isL[i] {
+			onesL[i] = 1
+		}
+		if isE[i] {
+			onesE[i] = 1
+		}
+	})
+	countL := make([]int, n)
+	SegPlusDistribute(m, countL, onesL, segFlags)
+	countE := make([]int, n)
+	SegPlusDistribute(m, countE, onesE, segFlags)
+	offset := make([]int, n)
+	SegHeadIndex(m, offset, segFlags)
+	Par(m, n, func(i int) {
+		switch cmp[i] {
+		case Less:
+			index[i] = offset[i] + rankL[i]
+		case Equal:
+			index[i] = offset[i] + countL[i] + rankE[i]
+		default:
+			index[i] = offset[i] + countL[i] + countE[i] + rankG[i]
+		}
+	})
+}

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestSplitIndexFig3(t *testing.T) {
+	// Figure 3: A = [5 7 3 1 4 2 7 2], Flags = [T T T T F F T F],
+	// Index = [3 4 5 6 0 1 7 2], result = [4 2 2 5 7 3 1 7].
+	m := New()
+	flags := []bool{true, true, true, true, false, false, true, false}
+	idx := make([]int, 8)
+	SplitIndex(m, idx, flags)
+	if want := []int{3, 4, 5, 6, 0, 1, 7, 2}; !reflect.DeepEqual(idx, want) {
+		t.Errorf("SplitIndex = %v, want %v", idx, want)
+	}
+	a := []int{5, 7, 3, 1, 4, 2, 7, 2}
+	got := make([]int, 8)
+	falses := Split(m, got, a, flags)
+	if want := []int{4, 2, 2, 5, 7, 3, 1, 7}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Split = %v, want %v", got, want)
+	}
+	if falses != 3 {
+		t.Errorf("falses = %d, want 3", falses)
+	}
+}
+
+func TestSplitStability(t *testing.T) {
+	// Split must preserve order within both groups (the radix sort
+	// depends on it). Tag each value with its original index.
+	m := New()
+	rng := rand.New(rand.NewSource(1))
+	n := 257
+	type tagged struct{ v, orig int }
+	src := make([]tagged, n)
+	flags := make([]bool, n)
+	for i := range src {
+		src[i] = tagged{rng.Intn(2), i}
+		flags[i] = src[i].v == 1
+	}
+	dst := make([]tagged, n)
+	boundary := Split(m, dst, src, flags)
+	for i := 1; i < boundary; i++ {
+		if dst[i].orig < dst[i-1].orig {
+			t.Fatal("false group not order-preserving")
+		}
+	}
+	for i := boundary + 1; i < n; i++ {
+		if dst[i].orig < dst[i-1].orig {
+			t.Fatal("true group not order-preserving")
+		}
+	}
+	for i := 0; i < boundary; i++ {
+		if dst[i].v != 0 {
+			t.Fatal("false group contains a true element")
+		}
+	}
+}
+
+func TestSegSplitIndex(t *testing.T) {
+	m := New()
+	// Two segments: [a b c d] [e f]; flags within: [T F T F] [F T].
+	segFlags := []bool{true, false, false, false, true, false}
+	elems := []bool{true, false, true, false, false, true}
+	idx := make([]int, 6)
+	SegSplitIndex(m, idx, elems, segFlags)
+	// Segment 0: falses b(1),d(3) -> 0,1; trues a(0),c(2) -> 2,3.
+	// Segment 1: falses e(4) -> 4; trues f(5) -> 5.
+	want := []int{2, 0, 3, 1, 4, 5}
+	if !reflect.DeepEqual(idx, want) {
+		t.Errorf("SegSplitIndex = %v, want %v", idx, want)
+	}
+}
+
+func TestSegSplit3Index(t *testing.T) {
+	m := New()
+	// One segment; cmp = [G L E L G].
+	segFlags := []bool{true, false, false, false, false}
+	cmp := []Cmp3{Greater, Less, Equal, Less, Greater}
+	idx := make([]int, 5)
+	SegSplit3Index(m, idx, cmp, segFlags)
+	// L: positions 1,3 -> 0,1. E: position 2 -> 2. G: positions 0,4 -> 3,4.
+	want := []int{3, 0, 2, 1, 4}
+	if !reflect.DeepEqual(idx, want) {
+		t.Errorf("SegSplit3Index = %v, want %v", idx, want)
+	}
+}
+
+func TestSegSplit3Random(t *testing.T) {
+	// Property: applying the permutation sorts each segment by category
+	// and preserves order within a category.
+	m := New()
+	rng := rand.New(rand.NewSource(7))
+	n := 500
+	segFlags := make([]bool, n)
+	cmp := make([]Cmp3, n)
+	for i := range cmp {
+		segFlags[i] = rng.Intn(10) == 0
+		cmp[i] = Cmp3(rng.Intn(3))
+	}
+	segFlags[0] = true
+	idx := make([]int, n)
+	SegSplit3Index(m, idx, cmp, segFlags)
+	out := make([]Cmp3, n)
+	outOrig := make([]int, n)
+	orig := make([]int, n)
+	for i := range orig {
+		orig[i] = i
+	}
+	Permute(m, out, cmp, idx)
+	Permute(m, outOrig, orig, idx)
+	// Check each segment is L* E* G* and stable.
+	segStart := 0
+	for i := 1; i <= n; i++ {
+		if i == n || segFlags[i] {
+			seg := out[segStart:i]
+			if !sort.SliceIsSorted(seg, func(a, b int) bool { return seg[a] < seg[b] }) {
+				t.Fatalf("segment [%d,%d) not category-sorted: %v", segStart, i, seg)
+			}
+			for j := segStart + 1; j < i; j++ {
+				if out[j] == out[j-1] && outOrig[j] < outOrig[j-1] {
+					t.Fatalf("segment [%d,%d) not stable", segStart, i)
+				}
+			}
+			segStart = i
+		}
+	}
+}
+
+func TestAllocateFig8(t *testing.T) {
+	// Figure 8: A = [4 1 3]: Hpointers = [0 4 5],
+	// Segment-flag = [1 0 0 0 1 1 0 0],
+	// distribute([v1 v2 v3]) = [v1 v1 v1 v1 v2 v3 v3 v3].
+	m := New()
+	counts := []int{4, 1, 3}
+	a := Allocate(m, counts)
+	if a.Total != 8 {
+		t.Fatalf("Total = %d, want 8", a.Total)
+	}
+	if want := []int{0, 4, 5}; !reflect.DeepEqual(a.HPointers, want) {
+		t.Errorf("HPointers = %v, want %v", a.HPointers, want)
+	}
+	wantFlags := []bool{true, false, false, false, true, true, false, false}
+	if !reflect.DeepEqual(a.Flags, wantFlags) {
+		t.Errorf("Flags = %v, want %v", a.Flags, wantFlags)
+	}
+	dst := make([]string, 8)
+	Distribute(m, a, dst, []string{"v1", "v2", "v3"}, counts)
+	want := []string{"v1", "v1", "v1", "v1", "v2", "v3", "v3", "v3"}
+	if !reflect.DeepEqual(dst, want) {
+		t.Errorf("Distribute = %v, want %v", dst, want)
+	}
+}
+
+func TestAllocateZeroCounts(t *testing.T) {
+	m := New()
+	counts := []int{0, 3, 0, 2, 0}
+	a := Allocate(m, counts)
+	if a.Total != 5 {
+		t.Fatalf("Total = %d, want 5", a.Total)
+	}
+	wantFlags := []bool{true, false, false, true, false}
+	if !reflect.DeepEqual(a.Flags, wantFlags) {
+		t.Errorf("Flags = %v, want %v", a.Flags, wantFlags)
+	}
+	dst := make([]int, 5)
+	Distribute(m, a, dst, []int{-1, 20, -1, 30, -1}, counts)
+	if want := []int{20, 20, 20, 30, 30}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("Distribute = %v, want %v", dst, want)
+	}
+}
+
+func TestPackFig11(t *testing.T) {
+	// Figure 11 semantics: flagged elements pack densely, order kept.
+	m := New()
+	f := []bool{true, false, false, false, true, true, false, true, true, true, true, true}
+	src := make([]int, 12)
+	for i := range src {
+		src[i] = i
+	}
+	dst := make([]int, 12)
+	count := Pack(m, dst, src, f)
+	if count != 8 {
+		t.Fatalf("count = %d, want 8", count)
+	}
+	if want := []int{0, 4, 5, 7, 8, 9, 10, 11}; !reflect.DeepEqual(dst[:count], want) {
+		t.Errorf("Pack = %v, want %v", dst[:count], want)
+	}
+	if m.Counters().UsageCounts[UseLoadBalance] == 0 {
+		t.Error("load-balance usage not recorded")
+	}
+}
+
+func TestPackIndex(t *testing.T) {
+	m := New()
+	f := []bool{false, true, false, true}
+	dst := make([]int, 4)
+	count := PackIndex(m, dst, f)
+	if count != 2 || dst[0] != 1 || dst[1] != 3 {
+		t.Errorf("PackIndex = %v (count %d)", dst[:count], count)
+	}
+}
+
+func TestLongVectorSimulationFig10(t *testing.T) {
+	// Figure 10: [4 7 1 | 0 5 2 | 6 4 8 | 1 9 5] on 4 processors;
+	// +-scan = [0 4 11 | 12 12 17 | 19 25 29 | 37 38 47].
+	m := New(WithProcessors(4))
+	a := []int{4, 7, 1, 0, 5, 2, 6, 4, 8, 1, 9, 5}
+	got := make([]int, 12)
+	PlusScan(m, got, a)
+	want := []int{0, 4, 11, 12, 12, 17, 19, 25, 29, 37, 38, 47}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("long-vector +-scan = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,391 @@
+// Package figures reproduces, as printable text, every worked example
+// figure of the paper (Figures 1–16), by running the corresponding
+// operations on the step-counted machine with the paper's exact inputs.
+// cmd/scanfigures prints them; tests assert the exact vectors.
+package figures
+
+import (
+	"fmt"
+	"strings"
+
+	"scans/internal/algo/graph"
+	"scans/internal/algo/lines"
+	"scans/internal/algo/merge"
+	"scans/internal/algo/qsort"
+	"scans/internal/algo/radix"
+	"scans/internal/circuit"
+	"scans/internal/core"
+	"scans/internal/scan"
+)
+
+// Figure renders figure number fig (1–16); it panics for unknown
+// numbers.
+func Figure(fig int) string {
+	switch fig {
+	case 1:
+		return Fig1()
+	case 2:
+		return Fig2()
+	case 3:
+		return Fig3()
+	case 4:
+		return Fig4()
+	case 5:
+		return Fig5()
+	case 6:
+		return Fig6()
+	case 7:
+		return Fig7()
+	case 8:
+		return Fig8()
+	case 9:
+		return Fig9()
+	case 10:
+		return Fig10()
+	case 11:
+		return Fig11()
+	case 12:
+		return Fig12()
+	case 13:
+		return Fig13()
+	case 14, 15:
+		return Fig15()
+	case 16:
+		return Fig16()
+	}
+	panic(fmt.Sprintf("figures: no figure %d", fig))
+}
+
+// All renders every figure.
+func All() string {
+	var b strings.Builder
+	for _, f := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 15, 16} {
+		b.WriteString(Figure(f))
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func ints(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprint(x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func floats(v []float64) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("%g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func bools(v []bool) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		if x {
+			parts[i] = "T"
+		} else {
+			parts[i] = "F"
+		}
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Fig1 reproduces the enumerate / copy / +-distribute examples.
+func Fig1() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 1: enumerate, copy, +-distribute\n")
+	flags := []bool{true, false, false, true, false, true, true, false}
+	enum := make([]int, 8)
+	core.Enumerate(m, enum, flags)
+	fmt.Fprintf(&b, "  Flag              = %s\n", bools(flags))
+	fmt.Fprintf(&b, "  enumerate(Flag)   = %s\n", ints(enum))
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	cp := make([]int, 8)
+	core.Copy(m, cp, a)
+	fmt.Fprintf(&b, "  A                 = %s\n", ints(a))
+	fmt.Fprintf(&b, "  copy(A)           = %s\n", ints(cp))
+	bb := []int{1, 1, 2, 1, 1, 2, 1, 1}
+	dist := make([]int, 8)
+	core.PlusDistribute(m, dist, bb)
+	fmt.Fprintf(&b, "  B                 = %s\n", ints(bb))
+	fmt.Fprintf(&b, "  +-distribute(B)   = %s\n", ints(dist))
+	return b.String()
+}
+
+// Fig2 reproduces the split radix sort trace.
+func Fig2() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 2: split radix sort, bit by bit\n")
+	keys := []int{5, 7, 3, 1, 4, 2, 7, 2}
+	fmt.Fprintf(&b, "  A            = %s\n", ints(keys))
+	_, passes := radix.SortTrace(m, keys, 3)
+	for _, p := range passes {
+		fmt.Fprintf(&b, "  A<%d>         = %s\n", p.Bit, bools(p.Flags))
+		fmt.Fprintf(&b, "  A = split(A) = %s\n", ints(p.After))
+	}
+	return b.String()
+}
+
+// Fig3 reproduces the split operation.
+func Fig3() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 3: the split operation\n")
+	a := []int{5, 7, 3, 1, 4, 2, 7, 2}
+	flags := []bool{true, true, true, true, false, false, true, false}
+	idx := make([]int, 8)
+	core.SplitIndex(m, idx, flags)
+	out := make([]int, 8)
+	core.Split(m, out, a, flags)
+	fmt.Fprintf(&b, "  A                 = %s\n", ints(a))
+	fmt.Fprintf(&b, "  Flags             = %s\n", bools(flags))
+	fmt.Fprintf(&b, "  Index             = %s\n", ints(idx))
+	fmt.Fprintf(&b, "  permute(A, Index) = %s\n", ints(out))
+	return b.String()
+}
+
+// Fig4 reproduces the segmented scans.
+func Fig4() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 4: segmented scans\n")
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	sb := []bool{true, false, true, false, false, false, true, false}
+	sum := make([]int, 8)
+	core.SegPlusScan(m, sum, a, sb)
+	mx := make([]int, 8)
+	scan.SegExclusive(scan.Max[int]{Id: 0}, mx, a, sb)
+	fmt.Fprintf(&b, "  A                   = %s\n", ints(a))
+	fmt.Fprintf(&b, "  Sb                  = %s\n", bools(sb))
+	fmt.Fprintf(&b, "  seg-+-scan(A, Sb)   = %s\n", ints(sum))
+	fmt.Fprintf(&b, "  seg-max-scan(A, Sb) = %s\n", ints(mx))
+	return b.String()
+}
+
+// Fig5 reproduces the quicksort trace.
+func Fig5() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 5: parallel quicksort (first-element pivots)\n")
+	keys := []float64{6.4, 9.2, 3.4, 1.6, 8.7, 4.1, 9.2, 3.4}
+	fmt.Fprintf(&b, "  Key           = %s\n", floats(keys))
+	_, rounds := qsort.SortTrace(m, keys, qsort.Options{Pivot: qsort.PivotFirst})
+	for i, r := range rounds {
+		fmt.Fprintf(&b, "  -- step %d --\n", i+1)
+		fmt.Fprintf(&b, "  Pivots        = %s\n", floats(r.Pivots))
+		cmps := make([]string, len(r.Cmp))
+		for j, c := range r.Cmp {
+			cmps[j] = map[core.Cmp3]string{core.Less: "<", core.Equal: "=", core.Greater: ">"}[c]
+		}
+		fmt.Fprintf(&b, "  F             = [%s]\n", strings.Join(cmps, " "))
+		fmt.Fprintf(&b, "  Key           = %s\n", floats(r.Keys))
+		fmt.Fprintf(&b, "  Segment-Flags = %s\n", bools(r.Flags))
+	}
+	return b.String()
+}
+
+// fig6Edges is the Figure 6 graph, 0-origin.
+var fig6Edges = []graph.Edge{
+	{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 1, V: 4, W: 3},
+	{U: 2, V: 3, W: 4}, {U: 2, V: 4, W: 5}, {U: 3, V: 4, W: 6},
+}
+
+// Fig6 reproduces the segmented graph representation.
+func Fig6() string {
+	m := core.New()
+	g := graph.Build(m, 5, fig6Edges)
+	var b strings.Builder
+	b.WriteString("Figure 6: the segmented graph representation (w_k printed as k)\n")
+	fmt.Fprintf(&b, "  vertex             = %s\n", ints(g.Rep))
+	fmt.Fprintf(&b, "  segment-descriptor = %s\n", bools(g.Flags))
+	fmt.Fprintf(&b, "  cross-pointers     = %s\n", ints(g.Cross))
+	fmt.Fprintf(&b, "  weights            = %s\n", ints(g.Weight))
+	return b.String()
+}
+
+// Fig7 reproduces the star-merge example.
+func Fig7() string {
+	m := core.New()
+	g := graph.Build(m, 5, fig6Edges)
+	var b strings.Builder
+	b.WriteString("Figure 7: star merging (parents v0, v2, v4; stars on w2 and w4)\n")
+	fmt.Fprintf(&b, "  before: segment-descriptor = %s\n", bools(g.Flags))
+	fmt.Fprintf(&b, "  before: weights            = %s\n", ints(g.Weight))
+	parentSlot := graph.DistributeVertexFlag(m, g, []bool{true, false, true, false, true})
+	star := make([]bool, 12)
+	for _, s := range []int{2, 4, 5, 7} {
+		star[s] = true
+	}
+	fmt.Fprintf(&b, "  star-edge                  = %s\n", bools(star))
+	merged, _ := graph.StarMerge(m, g, parentSlot, star)
+	fmt.Fprintf(&b, "  after:  segment-descriptor = %s\n", bools(merged.Flags))
+	fmt.Fprintf(&b, "  after:  weights            = %s\n", ints(merged.Weight))
+	fmt.Fprintf(&b, "  after:  cross-pointers     = %s\n", ints(merged.Cross))
+	return b.String()
+}
+
+// Fig8 reproduces processor allocation.
+func Fig8() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 8: processor allocation\n")
+	counts := []int{4, 1, 3}
+	a := core.Allocate(m, counts)
+	dst := make([]string, a.Total)
+	core.Distribute(m, a, dst, []string{"v1", "v2", "v3"}, counts)
+	fmt.Fprintf(&b, "  A                        = %s\n", ints(counts))
+	fmt.Fprintf(&b, "  Hpointers = +-scan(A)    = %s\n", ints(a.HPointers))
+	fmt.Fprintf(&b, "  Segment-flag             = %s\n", bools(a.Flags))
+	fmt.Fprintf(&b, "  distribute(V, Hpointers) = [%s]\n", strings.Join(dst, " "))
+	return b.String()
+}
+
+// Fig9 reproduces the line-drawing pixels (see cmd/linedraw for the
+// rendered grid).
+func Fig9() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 9: line drawing; endpoints (11,2)-(23,14), (2,13)-(13,8), (16,4)-(31,4)\n")
+	ls := []lines.Line{
+		{From: lines.Point{X: 11, Y: 2}, To: lines.Point{X: 23, Y: 14}},
+		{From: lines.Point{X: 2, Y: 13}, To: lines.Point{X: 13, Y: 8}},
+		{From: lines.Point{X: 16, Y: 4}, To: lines.Point{X: 31, Y: 4}},
+	}
+	r := lines.Draw(m, ls)
+	for i := range ls {
+		end := len(r.Pixels)
+		if i+1 < len(r.Starts) {
+			end = r.Starts[i+1]
+		}
+		fmt.Fprintf(&b, "  line %d: %d pixels:", i, end-r.Starts[i])
+		for _, p := range r.Pixels[r.Starts[i]:end] {
+			fmt.Fprintf(&b, " (%d,%d)", p.X, p.Y)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  (inclusive DDA: 13/12/16 pixels; the paper's caption says 12/11/16,\n   which matches no single endpoint convention — see EXPERIMENTS.md)\n")
+	return b.String()
+}
+
+// Fig10 reproduces the long-vector scan simulation.
+func Fig10() string {
+	m := core.New(core.WithProcessors(4))
+	var b strings.Builder
+	b.WriteString("Figure 10: a +-scan over 12 elements on 4 processors\n")
+	a := []int{4, 7, 1, 0, 5, 2, 6, 4, 8, 1, 9, 5}
+	out := make([]int, 12)
+	core.PlusScan(m, out, a)
+	fmt.Fprintf(&b, "  A        = %s\n", ints(a))
+	fmt.Fprintf(&b, "  +-scan   = %s\n", ints(out))
+	fmt.Fprintf(&b, "  steps    = %d (2*(n/p) block passes + 1 cross-processor scan)\n", m.Steps())
+	return b.String()
+}
+
+// Fig11 reproduces load balancing.
+func Fig11() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 11: load balancing (pack)\n")
+	flags := []bool{true, false, false, false, true, true, false, true, true, true, true, true}
+	src := make([]int, 12)
+	for i := range src {
+		src[i] = i
+	}
+	dst := make([]int, 12)
+	cnt := core.Pack(m, dst, src, flags)
+	fmt.Fprintf(&b, "  F           = %s\n", bools(flags))
+	fmt.Fprintf(&b, "  kept ids    = %s (%d of 12; each processor now owns %d)\n", ints(dst[:cnt]), cnt, (cnt+3)/4)
+	return b.String()
+}
+
+// Fig12 reproduces the halving merge.
+func Fig12() string {
+	m := core.New()
+	var b strings.Builder
+	b.WriteString("Figure 12: the halving merge\n")
+	a := []int{1, 7, 10, 13, 15, 20}
+	bb := []int{3, 4, 9, 22, 23, 26}
+	fmt.Fprintf(&b, "  A              = %s\n", ints(a))
+	fmt.Fprintf(&b, "  B              = %s\n", ints(bb))
+	fmt.Fprintf(&b, "  A' (odd-idx)   = %s\n", ints([]int{1, 10, 15}))
+	fmt.Fprintf(&b, "  B' (odd-idx)   = %s\n", ints([]int{3, 9, 23}))
+	sub := merge.Merge(m, []int{1, 10, 15}, []int{3, 9, 23})
+	fmt.Fprintf(&b, "  merge(A', B')  = %s\n", ints(sub))
+	fl := merge.Flags(m, []int{1, 10, 15}, []int{3, 9, 23})
+	fmt.Fprintf(&b, "  merge flags    = %s\n", bools(fl))
+	out := merge.Merge(m, a, bb)
+	fmt.Fprintf(&b, "  result         = %s\n", ints(out))
+	return b.String()
+}
+
+// Fig13 reproduces the word-level tree scan with its sweep values.
+func Fig13() string {
+	values := []int64{5, 1, 3, 4, 3, 9, 2, 6}
+	tr := circuit.TreeScanTrace(values, 0, func(a, b int64) int64 { return a + b })
+	var b strings.Builder
+	b.WriteString("Figure 13: tree +-scan, up sweep then down sweep\n")
+	fmt.Fprintf(&b, "  leaves            = %v\n", values)
+	fmt.Fprintf(&b, "  unit up values    = %v\n", tr.Up)
+	fmt.Fprintf(&b, "  unit memories     = %v (left child kept on the up sweep)\n", tr.Memory)
+	fmt.Fprintf(&b, "  unit down values  = %v\n", tr.Down)
+	fmt.Fprintf(&b, "  result at leaves  = %v\n", tr.Result)
+	fmt.Fprintf(&b, "  tree steps        = %d (= 2 lg n)\n", tr.Steps)
+	return b.String()
+}
+
+// Fig15 demonstrates the sum state machine (Figures 14 and 15) by
+// bit-serially adding and maxing two words through the exact logic
+// equations.
+func Fig15() string {
+	var b strings.Builder
+	b.WriteString("Figures 14/15: the sum state machine, bit-serially\n")
+	add := func(x, y uint64) uint64 {
+		var sm circuit.SumState
+		var out uint64
+		for k := 0; k <= 9; k++ {
+			o := sm.Clock(circuit.OpPlus, x>>uint(k)&1 == 1, y>>uint(k)&1 == 1)
+			if k > 0 && o {
+				out |= 1 << uint(k-1)
+			}
+		}
+		return out
+	}
+	mx := func(x, y uint64) uint64 {
+		var sm circuit.SumState
+		var out uint64
+		for k := 0; k <= 8; k++ {
+			var xb, yb bool
+			if k < 8 {
+				xb, yb = x>>uint(7-k)&1 == 1, y>>uint(7-k)&1 == 1
+			}
+			if o := sm.Clock(circuit.OpMax, xb, yb); k > 0 && o {
+				out |= 1 << uint(8-k)
+			}
+		}
+		return out
+	}
+	fmt.Fprintf(&b, "  Op=0 (+-scan):  93 + 141 -> %d (LSB first, Q1 = carry)\n", add(93, 141))
+	fmt.Fprintf(&b, "  Op=1 (max-scan): max(93, 141) -> %d (MSB first, Q1/Q2 = who leads)\n", mx(93, 141))
+	b.WriteString("  (the exhaustive 8-bit truth-table check lives in internal/circuit's tests)\n")
+	return b.String()
+}
+
+// Fig16 reproduces the segmented max-scan built from the two primitives.
+func Fig16() string {
+	var b strings.Builder
+	b.WriteString("Figure 16: seg-max-scan from the two primitive scans\n")
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	out := make([]int, 8)
+	scan.SegMaxViaPrimitives(out, a, flags)
+	fmt.Fprintf(&b, "  A      = %s\n", ints(a))
+	fmt.Fprintf(&b, "  SFlag  = %s\n", bools(flags))
+	fmt.Fprintf(&b, "  Result = %s\n", ints(out))
+	return b.String()
+}

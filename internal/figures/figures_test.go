@@ -1,0 +1,61 @@
+package figures
+
+import (
+	"strings"
+	"testing"
+)
+
+// The exact paper vectors each figure must contain.
+var figureChecks = map[int][]string{
+	1:  {"[0 1 1 1 2 2 3 4]", "[5 5 5 5 5 5 5 5]", "[10 10 10 10 10 10 10 10]"},
+	2:  {"[4 2 2 5 7 3 1 7]", "[4 5 1 2 2 7 3 7]", "[1 2 2 3 4 5 7 7]"},
+	3:  {"[3 4 5 6 0 1 7 2]", "[4 2 2 5 7 3 1 7]"},
+	4:  {"[0 5 0 3 7 10 0 2]", "[0 5 0 3 4 4 0 2]"},
+	5:  {"[3.4 1.6 4.1 3.4 6.4 9.2 8.7 9.2]", "[1.6 3.4 3.4 4.1 6.4 8.7 9.2 9.2]"},
+	6:  {"[1 0 4 9 2 7 10 5 11 3 6 8]", "[1 1 2 3 2 4 5 4 6 3 5 6]"},
+	7:  {"[T T F F F T F F]"},
+	8:  {"[0 4 5]", "[T F F F T T F F]", "[v1 v1 v1 v1 v2 v3 v3 v3]"},
+	9:  {"(11,2)", "(23,14)", "(31,4)"},
+	10: {"[0 4 11 12 12 17 19 25 29 37 38 47]"},
+	11: {"[0 4 5 7 8 9 10 11]"},
+	12: {"[1 3 9 10 15 23]", "[F T T F F T]", "[1 3 4 7 9 10 13 15 20 22 23 26]"},
+	13: {"[0 5 6 9 13 16 25 27]"},
+	15: {"234", "141"},
+	16: {"[0 5 0 3 4 4 0 2]"},
+}
+
+func TestFiguresContainPaperVectors(t *testing.T) {
+	for fig, wants := range figureChecks {
+		out := Figure(fig)
+		for _, w := range wants {
+			if !strings.Contains(out, w) {
+				t.Errorf("figure %d output missing %q:\n%s", fig, w, out)
+			}
+		}
+	}
+}
+
+func TestAllRenders(t *testing.T) {
+	out := All()
+	for fig := 1; fig <= 16; fig++ {
+		if fig == 14 {
+			continue // merged with 15
+		}
+		want := "Figure"
+		if !strings.Contains(out, want) {
+			t.Fatalf("All() missing figures")
+		}
+	}
+	if len(out) < 2000 {
+		t.Errorf("All() suspiciously short: %d bytes", len(out))
+	}
+}
+
+func TestUnknownFigurePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for figure 99")
+		}
+	}()
+	Figure(99)
+}

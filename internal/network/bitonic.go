@@ -1,0 +1,88 @@
+package network
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Batcher's bitonic sorting network (Batcher 1968), the comparison
+// baseline of the paper's Table 4. The network is data-independent:
+// Comparators enumerates its compare-exchange stages, Sort applies them,
+// and BitCycles prices it under the same bit-serial accounting as the
+// scan tree and the omega router.
+
+// Comparator is one compare-exchange element: after it fires, position I
+// holds the smaller value and position J the larger.
+type Comparator struct{ I, J int }
+
+// Stages enumerates the comparator stages of a bitonic sorting network on
+// n = 2^k inputs. Every stage is a set of disjoint comparators that fire
+// in parallel; there are k(k+1)/2 stages.
+func Stages(n int) [][]Comparator {
+	if n < 1 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("network: Stages: n = %d is not a positive power of two", n))
+	}
+	var stages [][]Comparator
+	// Standard iterative formulation: for block size kk, sub-distance jj.
+	for kk := 2; kk <= n; kk *= 2 {
+		for jj := kk / 2; jj > 0; jj /= 2 {
+			var stage []Comparator
+			for i := 0; i < n; i++ {
+				l := i ^ jj
+				if l <= i {
+					continue
+				}
+				if i&kk == 0 {
+					stage = append(stage, Comparator{I: i, J: l})
+				} else {
+					stage = append(stage, Comparator{I: l, J: i})
+				}
+			}
+			stages = append(stages, stage)
+		}
+	}
+	return stages
+}
+
+// NumStages returns the stage count k(k+1)/2 for n = 2^k without
+// materializing the network.
+func NumStages(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	k := bits.Len(uint(n)) - 1
+	return k * (k + 1) / 2
+}
+
+// Sort runs values through the bitonic network and sorts them in place
+// (ascending). len(values) must be a power of two.
+func Sort(values []int) {
+	for _, stage := range Stages(len(values)) {
+		for _, c := range stage {
+			if values[c.I] > values[c.J] {
+				values[c.I], values[c.J] = values[c.J], values[c.I]
+			}
+		}
+	}
+}
+
+// BitCycles prices a full bitonic sort of n d-bit keys on bit-serial
+// hardware: each comparator is a one-cycle-latency bit-serial
+// compare-exchange (MSB first), the whole network is a pipeline of
+// NumStages(n) such elements, so a sort streams d bits through
+// NumStages(n) stages: d + NumStages(n) - 1 cycles. This is the paper's
+// O(d + lg² n) bit time for the bitonic sort (Table 4).
+func BitCycles(n, d int) int {
+	s := NumStages(n)
+	if s == 0 {
+		return 0
+	}
+	return d + s - 1
+}
+
+// ComparatorCount returns the total number of compare-exchange elements:
+// (n/2) · NumStages(n), the hardware cost column of Table 4's circuit
+// comparison.
+func ComparatorCount(n int) int {
+	return n / 2 * NumStages(n)
+}

@@ -1,0 +1,182 @@
+package network
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOmegaIdentityRoute(t *testing.T) {
+	o := NewOmega(16)
+	dest := make([]int, 16)
+	for i := range dest {
+		dest[i] = i
+	}
+	res := o.Route(dest, 32)
+	if res.Passes != 1 {
+		t.Errorf("identity route took %d passes, want 1", res.Passes)
+	}
+	if res.Conflicts != 0 {
+		t.Errorf("identity route had %d conflicts, want 0", res.Conflicts)
+	}
+	if res.Cycles != 2*4+32 {
+		t.Errorf("cycles = %d, want %d", res.Cycles, 2*4+32)
+	}
+}
+
+func TestOmegaUniformShiftRoutesInOnePass(t *testing.T) {
+	// Uniform shifts are a classic conflict-free class for omega networks
+	// (Lawrie 1975).
+	for _, n := range []int{8, 64} {
+		o := NewOmega(n)
+		for shift := 1; shift < n; shift *= 2 {
+			dest := make([]int, n)
+			for i := range dest {
+				dest[i] = (i + shift) % n
+			}
+			res := o.Route(dest, 8)
+			if res.Passes != 1 {
+				t.Errorf("n=%d shift=%d: took %d passes, want 1", n, shift, res.Passes)
+			}
+		}
+	}
+}
+
+func TestOmegaBitReverseNeedsMultiplePasses(t *testing.T) {
+	// Bit reversal is a classic omega-adversarial permutation.
+	n := 64
+	o := NewOmega(n)
+	dest := make([]int, n)
+	for i := range dest {
+		r := 0
+		for b := 0; b < 6; b++ {
+			r |= (i >> b & 1) << (5 - b)
+		}
+		dest[i] = r
+	}
+	res := o.Route(dest, 16)
+	if res.Passes < 2 {
+		t.Errorf("bit-reverse routed in %d passes; expected conflicts", res.Passes)
+	}
+	if res.Cycles != res.Passes*(2*6+16) {
+		t.Errorf("cycles inconsistent with passes: %+v", res)
+	}
+}
+
+func TestOmegaRandomPermutationsAllDeliver(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, n := range []int{4, 64, 1024} {
+		o := NewOmega(n)
+		for trial := 0; trial < 5; trial++ {
+			dest := rng.Perm(n)
+			res := o.Route(dest, 32)
+			if res.Passes < 1 || res.Passes > n {
+				t.Fatalf("n=%d: implausible pass count %d", n, res.Passes)
+			}
+		}
+	}
+}
+
+func TestOmegaRejectsNonPermutation(t *testing.T) {
+	o := NewOmega(4)
+	for name, dest := range map[string][]int{
+		"duplicate":    {0, 0, 1, 2},
+		"out-of-range": {0, 1, 2, 9},
+		"wrong-length": {0, 1},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			o.Route(dest, 8)
+		}()
+	}
+}
+
+func TestOmegaHardware(t *testing.T) {
+	o := NewOmega(1 << 16)
+	h := o.Hardware()
+	if h.Switches != (1<<15)*16 {
+		t.Errorf("Switches = %d, want %d", h.Switches, (1<<15)*16)
+	}
+	if o.Stages() != 16 {
+		t.Errorf("Stages = %d, want 16", o.Stages())
+	}
+}
+
+func TestBitonicStagesCount(t *testing.T) {
+	for _, c := range []struct{ n, want int }{
+		{1, 0}, {2, 1}, {4, 3}, {8, 6}, {16, 10}, {1 << 16, 136},
+	} {
+		if got := NumStages(c.n); got != c.want {
+			t.Errorf("NumStages(%d) = %d, want %d", c.n, got, c.want)
+		}
+		if c.n > 1 {
+			if got := len(Stages(c.n)); got != c.want {
+				t.Errorf("len(Stages(%d)) = %d, want %d", c.n, got, c.want)
+			}
+		}
+	}
+}
+
+func TestBitonicStagesAreDisjoint(t *testing.T) {
+	for _, stage := range Stages(32) {
+		used := map[int]bool{}
+		for _, c := range stage {
+			if used[c.I] || used[c.J] {
+				t.Fatal("comparators within a stage share a wire")
+			}
+			used[c.I], used[c.J] = true, true
+		}
+	}
+}
+
+func TestBitonicSorts(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 2, 8, 64, 1024} {
+		for trial := 0; trial < 3; trial++ {
+			v := make([]int, n)
+			for i := range v {
+				v[i] = rng.Intn(100)
+			}
+			Sort(v)
+			if !sort.IntsAreSorted(v) {
+				t.Fatalf("n=%d: bitonic network failed to sort: %v", n, v)
+			}
+		}
+	}
+}
+
+func TestBitonicZeroOnePrinciple(t *testing.T) {
+	// Exhaustive 0-1 principle check for n=8: a comparator network sorts
+	// all inputs iff it sorts all 0-1 inputs.
+	n := 8
+	for mask := 0; mask < 1<<n; mask++ {
+		v := make([]int, n)
+		for i := 0; i < n; i++ {
+			v[i] = mask >> i & 1
+		}
+		Sort(v)
+		if !sort.IntsAreSorted(v) {
+			t.Fatalf("0-1 input %b not sorted: %v", mask, v)
+		}
+	}
+}
+
+func TestBitCycles(t *testing.T) {
+	// Table 4 scale: 64K keys, 16 bits: d + stages - 1.
+	if got, want := BitCycles(1<<16, 16), 16+136-1; got != want {
+		t.Errorf("BitCycles(64K,16) = %d, want %d", got, want)
+	}
+	if BitCycles(1, 16) != 0 {
+		t.Error("BitCycles(1) != 0")
+	}
+}
+
+func TestComparatorCount(t *testing.T) {
+	if got := ComparatorCount(8); got != 4*6 {
+		t.Errorf("ComparatorCount(8) = %d, want 24", got)
+	}
+}

@@ -1,0 +1,152 @@
+// Package network simulates the interconnection hardware the paper
+// compares scans against: a multistage omega routing network standing in
+// for "a reference to a shared memory" (Table 2), and Batcher's bitonic
+// sorting network, the baseline of Table 4.
+//
+// The paper's point is architectural: an arbitrary permutation route
+// through a multistage network costs Θ(lg n) switch stages, suffers
+// conflicts that force extra passes, and needs Θ(n lg n) switch hardware,
+// while the scan tree of package circuit needs one pass through
+// 2 lg n levels of trivial units and Θ(n) hardware. This package supplies
+// the router half of that comparison.
+package network
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Omega is an n-input, n-output omega network: lg n stages of n/2
+// two-by-two switches with a perfect shuffle between stages, routed by
+// destination tag (stage s consumes destination bit lg n - 1 - s).
+type Omega struct {
+	n      int
+	stages int
+}
+
+// NewOmega builds an omega network with n inputs; n must be a power of
+// two and at least 2.
+func NewOmega(n int) *Omega {
+	if n < 2 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("network: NewOmega: n = %d is not a power of two >= 2", n))
+	}
+	return &Omega{n: n, stages: bits.Len(uint(n)) - 1}
+}
+
+// Stages returns the number of switch stages: lg n.
+func (o *Omega) Stages() int { return o.stages }
+
+// Hardware describes the router's gate-level inventory, for the Table 2
+// hardware comparison against the scan tree.
+type Hardware struct {
+	// Switches is the number of 2x2 crossbar switches: (n/2) lg n.
+	Switches int
+	// Wires is the number of single-bit links between stages: n(lg n + 1).
+	Wires int
+}
+
+// Hardware returns the inventory of this network.
+func (o *Omega) Hardware() Hardware {
+	return Hardware{
+		Switches: o.n / 2 * o.stages,
+		Wires:    o.n * (o.stages + 1),
+	}
+}
+
+// RouteResult describes the cost of routing one permutation.
+type RouteResult struct {
+	// Passes is how many times the network had to be traversed before
+	// every packet was delivered: packets losing a switch conflict wait
+	// for the next pass.
+	Passes int
+	// Cycles is the total bit-cycle count: each pass pipelines a lg n-bit
+	// destination header and an m-bit payload through lg n single-cycle
+	// stages, so a pass costs 2 lg n + m cycles.
+	Cycles int
+	// Conflicts is the total number of packets blocked by switch
+	// conflicts over all passes.
+	Conflicts int
+}
+
+// shuffle rotates the low `stages` bits of p left by one: the perfect
+// shuffle interconnection between omega stages.
+func (o *Omega) shuffle(p int) int {
+	top := p >> (o.stages - 1) & 1
+	return (p<<1 | top) & (o.n - 1)
+}
+
+// Route simulates delivering one packet from every source i to
+// destination dest[i], with m payload bits per packet. dest must be a
+// permutation; the EREW contract forbids two processors referencing the
+// same location, exactly as the paper's permute primitive does.
+func (o *Omega) Route(dest []int, m int) RouteResult {
+	if len(dest) != o.n {
+		panic(fmt.Sprintf("network: Route: %d destinations for %d inputs", len(dest), o.n))
+	}
+	seen := make([]bool, o.n)
+	for i, d := range dest {
+		if d < 0 || d >= o.n {
+			panic(fmt.Sprintf("network: Route: dest[%d] = %d out of range", i, d))
+		}
+		if seen[d] {
+			panic(fmt.Sprintf("network: Route: destination %d targeted twice; not a permutation", d))
+		}
+		seen[d] = true
+	}
+	var res RouteResult
+	pending := make([]int, 0, o.n) // source indices still undelivered
+	for i := range dest {
+		pending = append(pending, i)
+	}
+	// Reusable per-stage switch claim table: claims[output port] = pass
+	// stamp, so we can avoid clearing it each stage.
+	claims := make([]int, o.n)
+	for i := range claims {
+		claims[i] = -1
+	}
+	stamp := 0
+	type packet struct{ pos, dst, src int }
+	for len(pending) > 0 {
+		res.Passes++
+		live := make([]packet, 0, len(pending))
+		for _, src := range pending {
+			live = append(live, packet{pos: src, dst: dest[src], src: src})
+		}
+		var blocked []int
+		for s := 0; s < o.stages && len(live) > 0; s++ {
+			stamp++
+			next := live[:0]
+			for _, p := range live {
+				pos := o.shuffle(p.pos)
+				bit := p.dst >> (o.stages - 1 - s) & 1
+				port := pos&^1 | bit
+				if claims[port] == stamp {
+					// Conflict: an earlier packet claimed this switch
+					// output; this one retries next pass.
+					res.Conflicts++
+					blocked = append(blocked, p.src)
+					continue
+				}
+				claims[port] = stamp
+				p.pos = port
+				next = append(next, p)
+			}
+			live = next
+		}
+		for _, p := range live {
+			if p.pos != p.dst {
+				panic(fmt.Sprintf("network: Route: packet from %d landed at %d, want %d", p.src, p.pos, p.dst))
+			}
+		}
+		pending = blocked
+		res.Cycles += 2*o.stages + m
+		if res.Passes > 4*o.n {
+			panic("network: Route: no progress; routing livelock")
+		}
+	}
+	return res
+}
+
+// CyclesPerPass returns the pipelined bit-cycle cost of one network
+// traversal with m payload bits: 2 lg n + m.
+func (o *Omega) CyclesPerPass(m int) int { return 2*o.stages + m }

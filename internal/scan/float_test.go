@@ -1,0 +1,132 @@
+package scan
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// trickyFloats covers the IEEE edge cases of the §3.4 bit trick.
+var trickyFloats = []float64{
+	math.Inf(-1), -math.MaxFloat64, -1e10, -2.5, -1, -math.SmallestNonzeroFloat64,
+	math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1, 2.5, 1e10,
+	math.MaxFloat64, math.Inf(1),
+}
+
+func TestFloatKeyPreservesOrder(t *testing.T) {
+	for i := 0; i < len(trickyFloats); i++ {
+		for j := 0; j < len(trickyFloats); j++ {
+			a, b := trickyFloats[i], trickyFloats[j]
+			ka, kb := floatKey(a), floatKey(b)
+			if (a < b) != (ka < kb) && a != b {
+				t.Errorf("order broken: %g vs %g -> keys %d vs %d", a, b, ka, kb)
+			}
+		}
+	}
+}
+
+func TestFloatKeyRoundTrips(t *testing.T) {
+	for _, f := range trickyFloats {
+		got := keyFloat(floatKey(f))
+		if got != f && !(f == 0 && got == 0) { // -0 and +0 compare equal
+			t.Errorf("round trip %g -> %g", f, got)
+		}
+		// The bit pattern must round-trip exactly, including -0.
+		if math.Float64bits(got) != math.Float64bits(f) {
+			t.Errorf("bit round trip %x -> %x", math.Float64bits(f), math.Float64bits(got))
+		}
+	}
+}
+
+func TestFloatKeyRoundTripsQuick(t *testing.T) {
+	prop := func(bits uint64) bool {
+		f := math.Float64frombits(bits)
+		if math.IsNaN(f) {
+			return true
+		}
+		return math.Float64bits(keyFloat(floatKey(f))) == bits
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFMaxViaIntScanMatchesDirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(40))
+	for _, n := range []int{0, 1, 2, 17, 300} {
+		src := make([]float64, n)
+		for i := range src {
+			src[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(20)-10))
+			if rng.Intn(7) == 0 {
+				src[i] = -src[i]
+			}
+		}
+		want := make([]float64, n)
+		Exclusive(MaxFloat64Op, want, src)
+		got := make([]float64, n)
+		FMaxViaIntScan(got, src)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: FMaxViaIntScan differs from direct", n)
+		}
+		wantMin := make([]float64, n)
+		Exclusive(MinFloat64Op, wantMin, src)
+		gotMin := make([]float64, n)
+		FMinViaIntScan(gotMin, src)
+		if !reflect.DeepEqual(gotMin, wantMin) {
+			t.Fatalf("n=%d: FMinViaIntScan differs from direct", n)
+		}
+	}
+}
+
+func TestFMaxViaIntScanTrickyValues(t *testing.T) {
+	src := append([]float64(nil), trickyFloats...)
+	rng := rand.New(rand.NewSource(41))
+	rng.Shuffle(len(src), func(i, j int) { src[i], src[j] = src[j], src[i] })
+	want := make([]float64, len(src))
+	Exclusive(MaxFloat64Op, want, src)
+	got := make([]float64, len(src))
+	FMaxViaIntScan(got, src)
+	for i := range got {
+		if got[i] != want[i] && !(math.IsInf(got[i], -1) && math.IsInf(want[i], -1)) {
+			t.Errorf("index %d: %g vs %g", i, got[i], want[i])
+		}
+	}
+}
+
+func TestFloatViaIntScanRejectsNaN(t *testing.T) {
+	for name, f := range map[string]func(){
+		"max": func() { FMaxViaIntScan(make([]float64, 2), []float64{1, math.NaN()}) },
+		"min": func() { FMinViaIntScan(make([]float64, 2), []float64{1, math.NaN()}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on NaN", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestFloatKeySortAgreement(t *testing.T) {
+	// Sorting by key must equal sorting by value for any NaN-free set.
+	rng := rand.New(rand.NewSource(42))
+	vals := make([]float64, 500)
+	for i := range vals {
+		vals[i] = rng.NormFloat64()
+	}
+	vals = append(vals, trickyFloats...)
+	byKey := append([]float64(nil), vals...)
+	sort.Slice(byKey, func(i, j int) bool { return floatKey(byKey[i]) < floatKey(byKey[j]) })
+	byVal := append([]float64(nil), vals...)
+	sort.Float64s(byVal)
+	for i := range byVal {
+		if byKey[i] != byVal[i] && !(byKey[i] == 0 && byVal[i] == 0) {
+			t.Fatalf("index %d: key-sorted %g, value-sorted %g", i, byKey[i], byVal[i])
+		}
+	}
+}

@@ -1,0 +1,17 @@
+package scan
+
+import "math"
+
+// Ready-made instances of the explicit-identity operators for the types
+// the paper's algorithms use. MaxInt/MinInt use the extreme int values,
+// MaxFloat64/MinFloat64 use ±Inf.
+var (
+	// MaxIntOp is max over int with identity math.MinInt.
+	MaxIntOp = Max[int]{Id: math.MinInt}
+	// MinIntOp is min over int with identity math.MaxInt.
+	MinIntOp = Min[int]{Id: math.MaxInt}
+	// MaxFloat64Op is max over float64 with identity -Inf.
+	MaxFloat64Op = Max[float64]{Id: math.Inf(-1)}
+	// MinFloat64Op is min over float64 with identity +Inf.
+	MinFloat64Op = Min[float64]{Id: math.Inf(1)}
+)

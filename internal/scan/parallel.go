@@ -1,0 +1,151 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the input size below which the parallel kernels
+// fall back to the serial ones: for small inputs goroutine startup and
+// synchronization dominate the O(n) work.
+const parallelThreshold = 4096
+
+// Workers reports the number of worker goroutines the parallel kernels
+// use when the caller passes p <= 0: the GOMAXPROCS setting.
+func Workers(p int) int {
+	if p > 0 {
+		return p
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// blocks partitions [0, n) into p near-equal contiguous half-open
+// intervals and calls f(b, lo, hi) for each, concurrently. It is the
+// "assign each processor a contiguous block of elements" rule of the
+// paper's Figure 10.
+func blocks(n, p int, f func(b, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for b := 0; b < p; b++ {
+		lo := b * n / p
+		hi := (b + 1) * n / p
+		go func(b, lo, hi int) {
+			defer wg.Done()
+			f(b, lo, hi)
+		}(b, lo, hi)
+	}
+	wg.Wait()
+}
+
+// ExclusiveParallel computes the same result as Exclusive using p worker
+// goroutines (p <= 0 means GOMAXPROCS). It is the classic three-phase
+// blocked scan of the paper's Figure 10: each worker reduces its block,
+// the per-block sums are scanned serially (p is small), and each worker
+// rescans its block seeded with its offset. dst may alias src.
+func ExclusiveParallel[T any, O Op[T]](op O, dst, src []T, p int) {
+	n := len(src)
+	checkLen("ExclusiveParallel", len(dst), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		Exclusive(op, dst, src)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sums := make([]T, p)
+	blocks(n, p, func(b, lo, hi int) {
+		sums[b] = Reduce(op, src[lo:hi])
+	})
+	Exclusive(op, sums, sums)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			v := src[i]
+			dst[i] = acc
+			acc = op.Combine(acc, v)
+		}
+	})
+}
+
+// InclusiveParallel computes the same result as Inclusive using p worker
+// goroutines (p <= 0 means GOMAXPROCS). dst may alias src.
+func InclusiveParallel[T any, O Op[T]](op O, dst, src []T, p int) {
+	n := len(src)
+	checkLen("InclusiveParallel", len(dst), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		Inclusive(op, dst, src)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sums := make([]T, p)
+	blocks(n, p, func(b, lo, hi int) {
+		sums[b] = Reduce(op, src[lo:hi])
+	})
+	Exclusive(op, sums, sums)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sums[b]
+		for i := lo; i < hi; i++ {
+			acc = op.Combine(acc, src[i])
+			dst[i] = acc
+		}
+	})
+}
+
+// ExclusiveBackwardParallel computes the same result as ExclusiveBackward
+// using p worker goroutines. dst may alias src.
+func ExclusiveBackwardParallel[T any, O Op[T]](op O, dst, src []T, p int) {
+	n := len(src)
+	checkLen("ExclusiveBackwardParallel", len(dst), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		ExclusiveBackward(op, dst, src)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sums := make([]T, p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := op.Identity()
+		for i := hi - 1; i >= lo; i-- {
+			acc = op.Combine(src[i], acc)
+		}
+		sums[b] = acc
+	})
+	// Backward exclusive scan of the p block sums, serially.
+	acc := op.Identity()
+	for b := p - 1; b >= 0; b-- {
+		s := sums[b]
+		sums[b] = acc
+		acc = op.Combine(s, acc)
+	}
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sums[b]
+		for i := hi - 1; i >= lo; i-- {
+			v := src[i]
+			dst[i] = acc
+			acc = op.Combine(v, acc)
+		}
+	})
+}
+
+// ReduceParallel returns the reduction of src using p worker goroutines.
+func ReduceParallel[T any, O Op[T]](op O, src []T, p int) T {
+	n := len(src)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		return Reduce(op, src)
+	}
+	if p > n {
+		p = n
+	}
+	sums := make([]T, p)
+	blocks(n, p, func(b, lo, hi int) {
+		sums[b] = Reduce(op, src[lo:hi])
+	})
+	return Reduce(op, sums)
+}

@@ -1,0 +1,238 @@
+package scan
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randomInput returns n pseudo-random small ints (deterministic seed).
+func randomInput(n int, seed int64) []int {
+	rng := rand.New(rand.NewSource(seed))
+	a := make([]int, n)
+	for i := range a {
+		a[i] = rng.Intn(1000)
+	}
+	return a
+}
+
+// randomFlags returns n pseudo-random flags with the given density.
+func randomFlags(n int, density float64, seed int64) []bool {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]bool, n)
+	for i := range f {
+		f[i] = rng.Float64() < density
+	}
+	return f
+}
+
+var parallelSizes = []int{0, 1, 2, 3, 100, parallelThreshold - 1, parallelThreshold, parallelThreshold + 1, 10000, 65536}
+
+func TestExclusiveParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, p := range []int{0, 1, 2, 3, 7, 16} {
+			a := randomInput(n, int64(n)+int64(p))
+			want := make([]int, n)
+			Exclusive(Add[int]{}, want, a)
+			got := make([]int, n)
+			ExclusiveParallel(Add[int]{}, got, a, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: parallel exclusive sum differs from serial", n, p)
+			}
+		}
+	}
+}
+
+func TestExclusiveParallelMax(t *testing.T) {
+	for _, n := range parallelSizes {
+		a := randomInput(n, int64(n)*3+1)
+		want := make([]int, n)
+		Exclusive(MaxIntOp, want, a)
+		got := make([]int, n)
+		ExclusiveParallel(MaxIntOp, got, a, 5)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel exclusive max differs from serial", n)
+		}
+	}
+}
+
+func TestInclusiveParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		a := randomInput(n, int64(n)+42)
+		want := make([]int, n)
+		Inclusive(Add[int]{}, want, a)
+		got := make([]int, n)
+		InclusiveParallel(Add[int]{}, got, a, 4)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel inclusive differs from serial", n)
+		}
+	}
+}
+
+func TestExclusiveBackwardParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, p := range []int{1, 2, 8} {
+			a := randomInput(n, int64(n)+int64(p)*11)
+			want := make([]int, n)
+			ExclusiveBackward(Add[int]{}, want, a)
+			got := make([]int, n)
+			ExclusiveBackwardParallel(Add[int]{}, got, a, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: parallel backward differs from serial", n, p)
+			}
+		}
+	}
+}
+
+func TestExclusiveBackwardParallelNonCommutative(t *testing.T) {
+	// Backward scans over a non-commutative monoid exercise the operand
+	// order of the block combination step.
+	op := Func[string]{Id: "", F: func(a, b string) string { return a + b }}
+	n := parallelThreshold * 2
+	a := make([]string, n)
+	letters := "abcdefg"
+	for i := range a {
+		a[i] = string(letters[i%len(letters)])
+	}
+	want := make([]string, n)
+	ExclusiveBackward(op, want, a)
+	got := make([]string, n)
+	ExclusiveBackwardParallel(op, got, a, 6)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel backward over non-commutative op differs from serial")
+	}
+}
+
+func TestReduceParallel(t *testing.T) {
+	for _, n := range parallelSizes {
+		a := randomInput(n, 7)
+		if got, want := ReduceParallel(Add[int]{}, a, 4), Reduce(Add[int]{}, a); got != want {
+			t.Fatalf("n=%d: ReduceParallel = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestSegExclusiveParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, density := range []float64{0, 0.001, 0.1, 0.9, 1} {
+			a := randomInput(n, int64(n)+int64(density*100))
+			flags := randomFlags(n, density, int64(n)*2+int64(density*10))
+			want := make([]int, n)
+			SegExclusive(Add[int]{}, want, a, flags)
+			got := make([]int, n)
+			SegExclusiveParallel(Add[int]{}, got, a, flags, 5)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d density=%g: parallel segmented exclusive differs", n, density)
+			}
+		}
+	}
+}
+
+func TestSegInclusiveParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		a := randomInput(n, int64(n)+5)
+		flags := randomFlags(n, 0.05, int64(n)+6)
+		want := make([]int, n)
+		SegInclusive(MaxIntOp, want, a, flags)
+		got := make([]int, n)
+		SegInclusiveParallel(MaxIntOp, got, a, flags, 7)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: parallel segmented inclusive max differs", n)
+		}
+	}
+}
+
+func TestSegParallelSegmentSpanningBlocks(t *testing.T) {
+	// One huge segment starting in block 0 must carry across every block
+	// boundary: all flags false except position 1.
+	n := parallelThreshold * 3
+	a := make([]int, n)
+	for i := range a {
+		a[i] = 1
+	}
+	flags := make([]bool, n)
+	flags[1] = true
+	want := make([]int, n)
+	SegExclusive(Add[int]{}, want, a, flags)
+	got := make([]int, n)
+	SegExclusiveParallel(Add[int]{}, got, a, flags, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("segment spanning block boundaries mishandled")
+	}
+}
+
+func TestSegCopyParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, p := range []int{1, 4, 0} {
+			src := randomInput(n, int64(n)+21)
+			flags := randomFlags(n, 0.03, int64(n)+22)
+			want := make([]int, n)
+			var cur int
+			for i := 0; i < n; i++ {
+				if flags[i] || i == 0 {
+					cur = src[i]
+				}
+				want[i] = cur
+			}
+			got := make([]int, n)
+			SegCopyParallel(got, src, flags, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: SegCopyParallel differs", n, p)
+			}
+		}
+	}
+}
+
+func TestSegBackCopyParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, p := range []int{1, 4, 0} {
+			src := randomInput(n, int64(n)+31)
+			flags := randomFlags(n, 0.03, int64(n)+32)
+			want := make([]int, n)
+			var cur int
+			for i := n - 1; i >= 0; i-- {
+				if i == n-1 || flags[i+1] {
+					cur = src[i]
+				}
+				want[i] = cur
+			}
+			got := make([]int, n)
+			SegBackCopyParallel(got, src, flags, p)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d p=%d: SegBackCopyParallel differs", n, p)
+			}
+		}
+	}
+}
+
+func TestCopyOpsAssociative(t *testing.T) {
+	// Both copy-monoid operators must be associative for the parallel
+	// kernels; check all 2^3 tag combinations of a triple.
+	vals := []int{3, 5, 7}
+	for m := 0; m < 8; m++ {
+		var ps [3]copyPair[int]
+		for i := 0; i < 3; i++ {
+			ps[i] = copyPair[int]{set: m&(1<<i) != 0, v: vals[i]}
+		}
+		last := copyOp[int]{}
+		if l, r := last.Combine(last.Combine(ps[0], ps[1]), ps[2]), last.Combine(ps[0], last.Combine(ps[1], ps[2])); l != r {
+			t.Errorf("copyOp not associative for mask %b", m)
+		}
+		first := copyFirstOp[int]{}
+		if l, r := first.Combine(first.Combine(ps[0], ps[1]), ps[2]), first.Combine(ps[0], first.Combine(ps[1], ps[2])); l != r {
+			t.Errorf("copyFirstOp not associative for mask %b", m)
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("Workers(3) != 3")
+	}
+	if Workers(0) < 1 {
+		t.Error("Workers(0) < 1")
+	}
+	if Workers(-1) < 1 {
+		t.Error("Workers(-1) < 1")
+	}
+}

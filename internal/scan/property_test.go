@@ -1,0 +1,185 @@
+package scan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: exclusive scan shifted by one element equals inclusive scan,
+// i.e. inclusive[i] == op(exclusive[i], src[i]).
+func TestPropertyExclusiveInclusiveShift(t *testing.T) {
+	prop := func(a []int) bool {
+		exc := make([]int, len(a))
+		inc := make([]int, len(a))
+		Exclusive(Add[int]{}, exc, a)
+		Inclusive(Add[int]{}, inc, a)
+		for i := range a {
+			if inc[i] != exc[i]+a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the last inclusive element equals the reduction.
+func TestPropertyInclusiveLastIsReduce(t *testing.T) {
+	prop := func(a []int) bool {
+		if len(a) == 0 {
+			return true
+		}
+		inc := make([]int, len(a))
+		Inclusive(Add[int]{}, inc, a)
+		return inc[len(a)-1] == Reduce(Add[int]{}, a)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a +-scan is inverted by adjacent differences:
+// src[i] == inclusive[i] - exclusive[i] and
+// src[i] == exclusive[i+1] - exclusive[i].
+func TestPropertySumScanDifferences(t *testing.T) {
+	prop := func(a []int) bool {
+		exc := make([]int, len(a))
+		Exclusive(Add[int]{}, exc, a)
+		for i := 0; i+1 < len(a); i++ {
+			if exc[i+1]-exc[i] != a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: max-scan output is nondecreasing, and each prefix maximum
+// bounds every earlier element.
+func TestPropertyMaxScanMonotone(t *testing.T) {
+	prop := func(a []int) bool {
+		inc := make([]int, len(a))
+		Inclusive(MaxIntOp, inc, a)
+		for i := 1; i < len(a); i++ {
+			if inc[i] < inc[i-1] {
+				return false
+			}
+			if inc[i] < a[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: forward scan of the reversed input, reversed again, equals
+// the backward scan (the paper's §3.4 backward-scan construction).
+func TestPropertyBackwardIsReversedForward(t *testing.T) {
+	prop := func(a []int) bool {
+		direct := make([]int, len(a))
+		ExclusiveBackward(MaxIntOp, direct, a)
+		via := make([]int, len(a))
+		BackwardViaReverse(MaxIntOp, via, a)
+		for i := range a {
+			if direct[i] != via[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: segmented scan of independently generated segments equals the
+// concatenation of unsegmented scans of each segment.
+func TestPropertySegmentedIsPerSegmentScan(t *testing.T) {
+	prop := func(segs [][]int) bool {
+		var all []int
+		lengths := make([]int, 0, len(segs))
+		for _, s := range segs {
+			all = append(all, s...)
+			lengths = append(lengths, len(s))
+		}
+		flags := SegmentHeads(lengths)
+		got := make([]int, len(all))
+		SegExclusive(Add[int]{}, got, all, flags)
+		var want []int
+		for _, s := range segs {
+			part := make([]int, len(s))
+			Exclusive(Add[int]{}, part, s)
+			want = append(want, part...)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the parallel kernels agree with the serial ones on arbitrary
+// inputs (quick drives small sizes; parallel_test.go drives large ones).
+func TestPropertyParallelAgreesSerial(t *testing.T) {
+	prop := func(a []int, p uint8) bool {
+		want := make([]int, len(a))
+		Exclusive(Add[int]{}, want, a)
+		got := make([]int, len(a))
+		ExclusiveParallel(Add[int]{}, got, a, int(p%8)+1)
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the two-primitive segmented simulations agree with the direct
+// kernels on arbitrary non-negative inputs.
+func TestPropertyViaPrimitivesAgree(t *testing.T) {
+	prop := func(raw []uint16, rawFlags []bool) bool {
+		n := len(raw)
+		if len(rawFlags) < n {
+			n = len(rawFlags)
+		}
+		a := make([]int, n)
+		for i := 0; i < n; i++ {
+			a[i] = int(raw[i])
+		}
+		flags := rawFlags[:n]
+		wantMax := make([]int, n)
+		SegExclusive(Max[int]{Id: 0}, wantMax, a, flags)
+		gotMax := make([]int, n)
+		SegMaxViaPrimitives(gotMax, a, flags)
+		wantSum := make([]int, n)
+		SegExclusive(Add[int]{}, wantSum, a, flags)
+		gotSum := make([]int, n)
+		SegSumViaPrimitives(gotSum, a, flags)
+		for i := 0; i < n; i++ {
+			if gotMax[i] != wantMax[i] || gotSum[i] != wantSum[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

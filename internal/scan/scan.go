@@ -1,0 +1,99 @@
+package scan
+
+import "fmt"
+
+// checkLen panics unless dst and src have the same length. Scans are
+// length-preserving by definition, so a mismatch is a programming error.
+func checkLen(what string, dst, n int) {
+	if dst != n {
+		panic(fmt.Sprintf("scan: %s: dst length %d != src length %d", what, dst, n))
+	}
+}
+
+// Exclusive computes the exclusive scan of src into dst:
+// dst[i] = src[0] ⊕ ... ⊕ src[i-1], with dst[0] = op.Identity().
+// dst may alias src. dst must have the same length as src.
+func Exclusive[T any, O Op[T]](op O, dst, src []T) {
+	checkLen("Exclusive", len(dst), len(src))
+	acc := op.Identity()
+	for i, v := range src {
+		dst[i] = acc
+		acc = op.Combine(acc, v)
+	}
+}
+
+// Inclusive computes the inclusive scan of src into dst:
+// dst[i] = src[0] ⊕ ... ⊕ src[i]. dst may alias src.
+func Inclusive[T any, O Op[T]](op O, dst, src []T) {
+	checkLen("Inclusive", len(dst), len(src))
+	acc := op.Identity()
+	for i, v := range src {
+		acc = op.Combine(acc, v)
+		dst[i] = acc
+	}
+}
+
+// ExclusiveBackward computes the backward exclusive scan of src into dst:
+// dst[i] = src[i+1] ⊕ ... ⊕ src[n-1], with dst[n-1] = op.Identity().
+// This is the paper's "back-scan", used e.g. by back-enumerate in split
+// and by min-backscan in the halving merge. dst may alias src.
+func ExclusiveBackward[T any, O Op[T]](op O, dst, src []T) {
+	checkLen("ExclusiveBackward", len(dst), len(src))
+	acc := op.Identity()
+	for i := len(src) - 1; i >= 0; i-- {
+		v := src[i]
+		dst[i] = acc
+		acc = op.Combine(v, acc)
+	}
+}
+
+// InclusiveBackward computes the backward inclusive scan of src into dst:
+// dst[i] = src[i] ⊕ ... ⊕ src[n-1]. dst may alias src.
+func InclusiveBackward[T any, O Op[T]](op O, dst, src []T) {
+	checkLen("InclusiveBackward", len(dst), len(src))
+	acc := op.Identity()
+	for i := len(src) - 1; i >= 0; i-- {
+		acc = op.Combine(src[i], acc)
+		dst[i] = acc
+	}
+}
+
+// Reduce returns src[0] ⊕ ... ⊕ src[n-1], or the identity for an empty
+// slice.
+func Reduce[T any, O Op[T]](op O, src []T) T {
+	acc := op.Identity()
+	for _, v := range src {
+		acc = op.Combine(acc, v)
+	}
+	return acc
+}
+
+// ExclusiveSumInts is a hand-specialized exclusive +-scan over int,
+// the hot path of nearly every algorithm in the paper (enumerate,
+// allocate, split, ...). It returns the total sum (the reduction of the
+// whole input), which callers very often need alongside the scan.
+// dst may alias src.
+func ExclusiveSumInts(dst, src []int) (total int) {
+	checkLen("ExclusiveSumInts", len(dst), len(src))
+	acc := 0
+	for i, v := range src {
+		dst[i] = acc
+		acc += v
+	}
+	return acc
+}
+
+// ExclusiveMaxInts is a hand-specialized exclusive max-scan over int with
+// the given identity (a value ≤ every input). It returns the maximum of
+// the whole input (or id if empty). dst may alias src.
+func ExclusiveMaxInts(dst, src []int, id int) (max int) {
+	checkLen("ExclusiveMaxInts", len(dst), len(src))
+	acc := id
+	for i, v := range src {
+		dst[i] = acc
+		if v > acc {
+			acc = v
+		}
+	}
+	return acc
+}

@@ -1,0 +1,171 @@
+package scan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+func TestExclusiveSumPaperExample(t *testing.T) {
+	// Paper §2.1: +-scan([2 1 2 3 5 8 13 21]) = [0 2 3 5 8 13 21 34].
+	a := []int{2, 1, 2, 3, 5, 8, 13, 21}
+	want := []int{0, 2, 3, 5, 8, 13, 21, 34}
+	got := make([]int, len(a))
+	Exclusive(Add[int]{}, got, a)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Exclusive(+) = %v, want %v", got, want)
+	}
+	got2 := make([]int, len(a))
+	if total := ExclusiveSumInts(got2, a); total != 55 {
+		t.Errorf("ExclusiveSumInts total = %d, want 55", total)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("ExclusiveSumInts = %v, want %v", got2, want)
+	}
+}
+
+func TestExclusiveEmpty(t *testing.T) {
+	Exclusive(Add[int]{}, nil, nil)
+	Inclusive(Add[int]{}, nil, nil)
+	ExclusiveBackward(Add[int]{}, nil, nil)
+	InclusiveBackward(Add[int]{}, nil, nil)
+	if got := Reduce(Add[int]{}, nil); got != 0 {
+		t.Errorf("Reduce(empty) = %d, want 0", got)
+	}
+}
+
+func TestExclusiveSingle(t *testing.T) {
+	got := []int{99}
+	Exclusive(Add[int]{}, got, []int{7})
+	if got[0] != 0 {
+		t.Errorf("Exclusive single = %d, want 0", got[0])
+	}
+	Inclusive(Add[int]{}, got, []int{7})
+	if got[0] != 7 {
+		t.Errorf("Inclusive single = %d, want 7", got[0])
+	}
+}
+
+func TestExclusiveAliasing(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	Exclusive(Add[int]{}, a, a)
+	want := []int{0, 1, 3, 6, 10}
+	if !reflect.DeepEqual(a, want) {
+		t.Errorf("aliased Exclusive = %v, want %v", a, want)
+	}
+}
+
+func TestInclusive(t *testing.T) {
+	a := []int{3, 1, 4, 1, 5}
+	got := make([]int, len(a))
+	Inclusive(Add[int]{}, got, a)
+	want := []int{3, 4, 8, 9, 14}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Inclusive(+) = %v, want %v", got, want)
+	}
+}
+
+func TestMaxScan(t *testing.T) {
+	a := []int{3, 1, 4, 1, 5, 9, 2, 6}
+	got := make([]int, len(a))
+	Exclusive(MaxIntOp, got, a)
+	want := []int{math.MinInt, 3, 3, 4, 4, 5, 9, 9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Exclusive(max) = %v, want %v", got, want)
+	}
+	got2 := make([]int, len(a))
+	if m := ExclusiveMaxInts(got2, a, math.MinInt); m != 9 {
+		t.Errorf("ExclusiveMaxInts max = %d, want 9", m)
+	}
+	if !reflect.DeepEqual(got2, want) {
+		t.Errorf("ExclusiveMaxInts = %v, want %v", got2, want)
+	}
+}
+
+func TestMinScan(t *testing.T) {
+	a := []int{5, 3, 8, 1, 9}
+	got := make([]int, len(a))
+	Exclusive(MinIntOp, got, a)
+	want := []int{math.MaxInt, 5, 3, 3, 1}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Exclusive(min) = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardScans(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	got := make([]int, len(a))
+	ExclusiveBackward(Add[int]{}, got, a)
+	if want := []int{9, 7, 4, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExclusiveBackward(+) = %v, want %v", got, want)
+	}
+	InclusiveBackward(Add[int]{}, got, a)
+	if want := []int{10, 9, 7, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("InclusiveBackward(+) = %v, want %v", got, want)
+	}
+}
+
+func TestBackwardAliasing(t *testing.T) {
+	a := []int{1, 2, 3, 4}
+	ExclusiveBackward(Add[int]{}, a, a)
+	if want := []int{9, 7, 4, 0}; !reflect.DeepEqual(a, want) {
+		t.Errorf("aliased ExclusiveBackward = %v, want %v", a, want)
+	}
+}
+
+func TestOrAndScans(t *testing.T) {
+	f := []bool{false, false, true, false, false}
+	got := make([]bool, len(f))
+	Exclusive(Or{}, got, f)
+	if want := []bool{false, false, false, true, true}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Exclusive(or) = %v, want %v", got, want)
+	}
+	g := []bool{true, true, false, true}
+	got2 := make([]bool, len(g))
+	Exclusive(And{}, got2, g)
+	if want := []bool{true, true, true, false}; !reflect.DeepEqual(got2, want) {
+		t.Errorf("Exclusive(and) = %v, want %v", got2, want)
+	}
+}
+
+func TestMulScan(t *testing.T) {
+	a := []float64{2, 3, 4}
+	got := make([]float64, len(a))
+	Inclusive(Mul[float64]{}, got, a)
+	if want := []float64{2, 6, 24}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Inclusive(mul) = %v, want %v", got, want)
+	}
+}
+
+func TestFuncOp(t *testing.T) {
+	// A non-commutative monoid: string concatenation.
+	op := Func[string]{Id: "", F: func(a, b string) string { return a + b }}
+	a := []string{"a", "b", "c", "d"}
+	got := make([]string, len(a))
+	Exclusive(op, got, a)
+	if want := []string{"", "a", "ab", "abc"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Exclusive(concat) = %v, want %v", got, want)
+	}
+	ExclusiveBackward(op, got, a)
+	if want := []string{"bcd", "cd", "d", ""}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ExclusiveBackward(concat) = %v, want %v", got, want)
+	}
+}
+
+func TestReduce(t *testing.T) {
+	if got := Reduce(Add[int]{}, []int{1, 2, 3, 4}); got != 10 {
+		t.Errorf("Reduce(+) = %d, want 10", got)
+	}
+	if got := Reduce(MaxIntOp, []int{3, 9, 2}); got != 9 {
+		t.Errorf("Reduce(max) = %d, want 9", got)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on length mismatch")
+		}
+	}()
+	Exclusive(Add[int]{}, make([]int, 3), make([]int, 4))
+}

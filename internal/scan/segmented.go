@@ -1,0 +1,306 @@
+package scan
+
+// Segmented scans (paper §2.3, Figure 4) restart at the beginning of each
+// segment. Segments are described by a flag vector the same length as the
+// data: flags[i] == true marks element i as the first element of a
+// segment. Position 0 always begins a segment whether or not flags[0] is
+// set.
+
+// SegExclusive computes the segmented exclusive scan of src into dst:
+// within each segment, dst[i] is the combination of the segment's
+// elements strictly before i, and the first element of each segment gets
+// the identity. dst may alias src; flags is read-only.
+func SegExclusive[T any, O Op[T]](op O, dst, src []T, flags []bool) {
+	n := len(src)
+	checkLen("SegExclusive", len(dst), n)
+	checkLen("SegExclusive flags", len(flags), n)
+	acc := op.Identity()
+	for i, v := range src {
+		if flags[i] {
+			acc = op.Identity()
+		}
+		dst[i] = acc
+		acc = op.Combine(acc, v)
+	}
+}
+
+// SegInclusive computes the segmented inclusive scan of src into dst.
+// dst may alias src.
+func SegInclusive[T any, O Op[T]](op O, dst, src []T, flags []bool) {
+	n := len(src)
+	checkLen("SegInclusive", len(dst), n)
+	checkLen("SegInclusive flags", len(flags), n)
+	acc := op.Identity()
+	for i, v := range src {
+		if flags[i] {
+			acc = op.Identity()
+		}
+		acc = op.Combine(acc, v)
+		dst[i] = acc
+	}
+}
+
+// SegExclusiveBackward computes the backward segmented exclusive scan:
+// within each segment, dst[i] is the combination of the segment's
+// elements strictly after i, and the last element of each segment gets
+// the identity. dst may alias src.
+func SegExclusiveBackward[T any, O Op[T]](op O, dst, src []T, flags []bool) {
+	n := len(src)
+	checkLen("SegExclusiveBackward", len(dst), n)
+	checkLen("SegExclusiveBackward flags", len(flags), n)
+	acc := op.Identity()
+	for i := n - 1; i >= 0; i-- {
+		v := src[i]
+		dst[i] = acc
+		acc = op.Combine(v, acc)
+		if flags[i] {
+			// i begins a segment, so i-1 (if any) ends the previous one.
+			acc = op.Identity()
+		}
+	}
+}
+
+// SegInclusiveBackward computes the backward segmented inclusive scan.
+// dst may alias src.
+func SegInclusiveBackward[T any, O Op[T]](op O, dst, src []T, flags []bool) {
+	n := len(src)
+	checkLen("SegInclusiveBackward", len(dst), n)
+	checkLen("SegInclusiveBackward flags", len(flags), n)
+	acc := op.Identity()
+	for i := n - 1; i >= 0; i-- {
+		acc = op.Combine(src[i], acc)
+		dst[i] = acc
+		if flags[i] {
+			// i begins a segment, so i-1 (if any) ends the previous one.
+			acc = op.Identity()
+		}
+	}
+}
+
+// segPair is the element of the standard segmented-scan monoid: the value
+// accumulated since the last segment boundary, plus whether a boundary
+// has been seen.
+type segPair[T any] struct {
+	v       T
+	crossed bool
+}
+
+// segOp lifts an Op to the segmented-pair monoid. This construction makes
+// the segmented scan itself an ordinary (associative) scan, which is what
+// lets the blocked parallel kernel handle segments that span block
+// boundaries.
+type segOp[T any, O Op[T]] struct{ op O }
+
+func (s segOp[T, O]) Identity() segPair[T] {
+	return segPair[T]{v: s.op.Identity()}
+}
+
+func (s segOp[T, O]) Combine(a, b segPair[T]) segPair[T] {
+	if b.crossed {
+		return b
+	}
+	return segPair[T]{v: s.op.Combine(a.v, b.v), crossed: a.crossed}
+}
+
+// SegExclusiveParallel computes the same result as SegExclusive using p
+// worker goroutines (p <= 0 means GOMAXPROCS). dst may alias src.
+func SegExclusiveParallel[T any, O Op[T]](op O, dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegExclusiveParallel", len(dst), n)
+	checkLen("SegExclusiveParallel flags", len(flags), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		SegExclusive(op, dst, src, flags)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sop := segOp[T, O]{op}
+	carries := make([]segPair[T], p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sop.Identity()
+		for i := lo; i < hi; i++ {
+			acc = sop.Combine(acc, segPair[T]{v: src[i], crossed: flags[i]})
+		}
+		carries[b] = acc
+	})
+	Exclusive(sop, carries, carries)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := carries[b].v
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				acc = op.Identity()
+			}
+			v := src[i]
+			dst[i] = acc
+			acc = op.Combine(acc, v)
+		}
+	})
+}
+
+// SegInclusiveParallel computes the same result as SegInclusive using p
+// worker goroutines. dst may alias src.
+func SegInclusiveParallel[T any, O Op[T]](op O, dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegInclusiveParallel", len(dst), n)
+	checkLen("SegInclusiveParallel flags", len(flags), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		SegInclusive(op, dst, src, flags)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sop := segOp[T, O]{op}
+	carries := make([]segPair[T], p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sop.Identity()
+		for i := lo; i < hi; i++ {
+			acc = sop.Combine(acc, segPair[T]{v: src[i], crossed: flags[i]})
+		}
+		carries[b] = acc
+	})
+	Exclusive(sop, carries, carries)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := carries[b].v
+		for i := lo; i < hi; i++ {
+			if flags[i] {
+				acc = op.Identity()
+			}
+			acc = op.Combine(acc, src[i])
+			dst[i] = acc
+		}
+	})
+}
+
+// copyPair is the element of the copy monoid: "the most recent tagged
+// value wins". It makes the paper's copy and segmented-copy operations
+// (§2.2) ordinary scans: tag the first element (or every segment head)
+// and take the inclusive scan.
+type copyPair[T any] struct {
+	set bool
+	v   T
+}
+
+// copyOp is the associative "last tagged wins" operator (operand order:
+// a before b). Forward copies use it so each element picks up the most
+// recent head.
+type copyOp[T any] struct{}
+
+func (copyOp[T]) Identity() copyPair[T] { return copyPair[T]{} }
+
+func (copyOp[T]) Combine(a, b copyPair[T]) copyPair[T] {
+	if b.set {
+		return b
+	}
+	return a
+}
+
+// copyFirstOp is the mirror image, "first tagged wins": backward copies
+// use it so each element picks up the *nearest following* tagged value
+// (its segment's tail) rather than the last one in the vector.
+type copyFirstOp[T any] struct{}
+
+func (copyFirstOp[T]) Identity() copyPair[T] { return copyPair[T]{} }
+
+func (copyFirstOp[T]) Combine(a, b copyPair[T]) copyPair[T] {
+	if a.set {
+		return a
+	}
+	return b
+}
+
+// SegCopyParallel copies each segment's first element across the segment
+// (inclusive; the head keeps its value) using p worker goroutines: the
+// inclusive scan of the copy monoid over head-tagged elements. dst may
+// alias src.
+func SegCopyParallel[T any](dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegCopyParallel", len(dst), n)
+	checkLen("SegCopyParallel flags", len(flags), n)
+	pairs := make([]copyPair[T], n)
+	for i := range pairs {
+		pairs[i] = copyPair[T]{set: flags[i] || i == 0, v: src[i]}
+	}
+	InclusiveParallel(copyOp[T]{}, pairs, pairs, p)
+	for i := range dst {
+		dst[i] = pairs[i].v
+	}
+}
+
+// SegBackCopyParallel copies each segment's *last* element across the
+// segment using p worker goroutines: the backward inclusive copy-monoid
+// scan over tail-tagged elements. dst may alias src.
+func SegBackCopyParallel[T any](dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegBackCopyParallel", len(dst), n)
+	checkLen("SegBackCopyParallel flags", len(flags), n)
+	pairs := make([]copyPair[T], n)
+	for i := range pairs {
+		isLast := i == n-1 || flags[i+1]
+		pairs[i] = copyPair[T]{set: isLast, v: src[i]}
+	}
+	InclusiveBackwardParallel(copyFirstOp[T]{}, pairs, pairs, p)
+	for i := range dst {
+		dst[i] = pairs[i].v
+	}
+}
+
+// InclusiveBackwardParallel computes the backward inclusive scan with p
+// worker goroutines. dst may alias src. The operator need not be
+// commutative; block results combine in operand order.
+func InclusiveBackwardParallel[T any, O Op[T]](op O, dst, src []T, p int) {
+	n := len(src)
+	checkLen("InclusiveBackwardParallel", len(dst), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		InclusiveBackward(op, dst, src)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	sums := make([]T, p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := op.Identity()
+		for i := hi - 1; i >= lo; i-- {
+			acc = op.Combine(src[i], acc)
+		}
+		sums[b] = acc
+	})
+	acc := op.Identity()
+	for b := p - 1; b >= 0; b-- {
+		s := sums[b]
+		sums[b] = acc
+		acc = op.Combine(s, acc)
+	}
+	blocks(n, p, func(b, lo, hi int) {
+		acc := sums[b]
+		for i := hi - 1; i >= lo; i-- {
+			acc = op.Combine(src[i], acc)
+			dst[i] = acc
+		}
+	})
+}
+
+// SegmentHeads converts a vector of segment lengths into a flag vector of
+// total length sum(lengths) with true at the first element of each
+// segment. Zero-length segments contribute no flags (they have no
+// elements). It is a convenience for constructing segmented-scan inputs.
+func SegmentHeads(lengths []int) []bool {
+	total := 0
+	for _, l := range lengths {
+		total += l
+	}
+	flags := make([]bool, total)
+	pos := 0
+	for _, l := range lengths {
+		if l > 0 {
+			flags[pos] = true
+			pos += l
+		}
+	}
+	return flags
+}

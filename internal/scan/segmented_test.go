@@ -1,0 +1,149 @@
+package scan
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// Paper Figure 4 inputs.
+var (
+	fig4A  = []int{5, 1, 3, 4, 3, 9, 2, 6}
+	fig4Sb = []bool{true, false, true, false, false, false, true, false}
+)
+
+func TestSegExclusiveSumFig4(t *testing.T) {
+	// seg-+-scan(A, Sb) = [0 5 0 3 7 10 0 2].
+	got := make([]int, len(fig4A))
+	SegExclusive(Add[int]{}, got, fig4A, fig4Sb)
+	want := []int{0, 5, 0, 3, 7, 10, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("seg-+-scan = %v, want %v", got, want)
+	}
+}
+
+func TestSegExclusiveMaxFig4(t *testing.T) {
+	// seg-max-scan(A, Sb) = [0 5 0 3 4 4 0 2] (identity shown as 0 in the
+	// paper because the values are non-negative; we scan with identity 0
+	// to match).
+	got := make([]int, len(fig4A))
+	SegExclusive(Max[int]{Id: 0}, got, fig4A, fig4Sb)
+	want := []int{0, 5, 0, 3, 4, 4, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("seg-max-scan = %v, want %v", got, want)
+	}
+}
+
+func TestSegExclusiveImplicitFirstSegment(t *testing.T) {
+	// Position 0 starts a segment even when flags[0] is false.
+	a := []int{1, 2, 3, 4}
+	flags := []bool{false, false, true, false}
+	got := make([]int, len(a))
+	SegExclusive(Add[int]{}, got, a, flags)
+	want := []int{0, 1, 0, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegExclusive = %v, want %v", got, want)
+	}
+}
+
+func TestSegInclusive(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got := make([]int, len(a))
+	SegInclusive(Add[int]{}, got, a, flags)
+	want := []int{1, 3, 3, 7, 12}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegInclusive = %v, want %v", got, want)
+	}
+}
+
+func TestSegExclusiveBackward(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got := make([]int, len(a))
+	SegExclusiveBackward(Add[int]{}, got, a, flags)
+	// Segment [1 2]: backward exclusive = [2 0]; segment [3 4 5] = [9 5 0].
+	want := []int{2, 0, 9, 5, 0}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegExclusiveBackward = %v, want %v", got, want)
+	}
+}
+
+func TestSegInclusiveBackward(t *testing.T) {
+	a := []int{1, 2, 3, 4, 5}
+	flags := []bool{true, false, true, false, false}
+	got := make([]int, len(a))
+	SegInclusiveBackward(Add[int]{}, got, a, flags)
+	want := []int{3, 2, 12, 9, 5}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegInclusiveBackward = %v, want %v", got, want)
+	}
+}
+
+func TestSegScanSingletonSegments(t *testing.T) {
+	// Every element its own segment: exclusive scan is all identities.
+	a := []int{4, 5, 6}
+	flags := []bool{true, true, true}
+	got := make([]int, len(a))
+	SegExclusive(Add[int]{}, got, a, flags)
+	if want := []int{0, 0, 0}; !reflect.DeepEqual(got, want) {
+		t.Errorf("singleton segments = %v, want %v", got, want)
+	}
+	SegInclusive(Add[int]{}, got, a, flags)
+	if !reflect.DeepEqual(got, a) {
+		t.Errorf("singleton inclusive = %v, want %v", got, a)
+	}
+}
+
+func TestSegScanNoFlags(t *testing.T) {
+	// No flags at all: segmented scan equals the unsegmented scan.
+	a := []int{3, 1, 4, 1, 5, 9}
+	flags := make([]bool, len(a))
+	got := make([]int, len(a))
+	want := make([]int, len(a))
+	SegExclusive(Add[int]{}, got, a, flags)
+	Exclusive(Add[int]{}, want, a)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("no-flag segmented = %v, want unsegmented %v", got, want)
+	}
+}
+
+func TestSegMaxFloat(t *testing.T) {
+	a := []float64{1.5, -2, 3, 0.5}
+	flags := []bool{true, false, true, false}
+	got := make([]float64, len(a))
+	SegExclusive(MaxFloat64Op, got, a, flags)
+	want := []float64{math.Inf(-1), 1.5, math.Inf(-1), 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegExclusive(max, float) = %v, want %v", got, want)
+	}
+}
+
+func TestSegmentHeads(t *testing.T) {
+	got := SegmentHeads([]int{2, 0, 3, 1})
+	want := []bool{true, false, true, false, false, true}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SegmentHeads = %v, want %v", got, want)
+	}
+	if got := SegmentHeads(nil); len(got) != 0 {
+		t.Errorf("SegmentHeads(nil) = %v, want empty", got)
+	}
+}
+
+func TestSegOpAssociativity(t *testing.T) {
+	// The lifted segmented operator must be associative for the parallel
+	// kernel to be correct; check all 2^3 flag combinations of a triple.
+	op := segOp[int, Add[int]]{Add[int]{}}
+	vals := []int{3, 5, 7}
+	for m := 0; m < 8; m++ {
+		var ps [3]segPair[int]
+		for i := 0; i < 3; i++ {
+			ps[i] = segPair[int]{v: vals[i], crossed: m&(1<<i) != 0}
+		}
+		l := op.Combine(op.Combine(ps[0], ps[1]), ps[2])
+		r := op.Combine(ps[0], op.Combine(ps[1], ps[2]))
+		if l != r {
+			t.Errorf("segOp not associative for mask %b: %+v vs %+v", m, l, r)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package scan
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// This file implements the paper's §3.4: every scan used in the paper —
+// min-scan, or-scan, and-scan, the backward scans, and both segmented
+// scans — simulated using only the two primitive scans, integer +-scan
+// and integer max-scan. The direct kernels elsewhere in this package are
+// what production callers use; these constructions exist to validate the
+// paper's claim and are tested for exact agreement with the direct
+// kernels.
+
+// MinScanViaMax computes the exclusive min-scan of src by complementing
+// the source, running the primitive max-scan, and complementing the
+// result, exactly as §3.4 prescribes ("inverting the source, executing a
+// max-scan, and inverting the result"). Bitwise complement is
+// order-reversing on two's-complement integers, so ^max(^a, ^b) =
+// min(a, b), with no overflow cases. dst may alias src.
+func MinScanViaMax(dst, src []int) {
+	checkLen("MinScanViaMax", len(dst), len(src))
+	tmp := make([]int, len(src))
+	for i, v := range src {
+		tmp[i] = ^v
+	}
+	ExclusiveMaxInts(tmp, tmp, ^MinIntOp.Id) // ^MaxInt == MinInt, max's identity
+	for i, v := range tmp {
+		dst[i] = ^v
+	}
+}
+
+// OrScanViaMax computes the exclusive or-scan of src via a 1-bit
+// max-scan, per §3.4 ("the or-scan ... can be implemented with a 1-bit
+// max-scan").
+func OrScanViaMax(dst, src []bool) {
+	checkLen("OrScanViaMax", len(dst), len(src))
+	tmp := make([]int, len(src))
+	for i, v := range src {
+		if v {
+			tmp[i] = 1
+		}
+	}
+	ExclusiveMaxInts(tmp, tmp, 0)
+	for i, v := range tmp {
+		dst[i] = v != 0
+	}
+}
+
+// AndScanViaMin computes the exclusive and-scan of src via a 1-bit
+// min-scan (itself simulated on the max-scan primitive), per §3.4.
+func AndScanViaMin(dst, src []bool) {
+	checkLen("AndScanViaMin", len(dst), len(src))
+	tmp := make([]int, len(src))
+	for i, v := range src {
+		if v {
+			tmp[i] = 1
+		}
+	}
+	MinScanViaMax(tmp, tmp)
+	// The min-scan identity is MaxInt; clamp the leading identity to 1
+	// (and-scan's identity, true).
+	for i, v := range tmp {
+		dst[i] = v != 0
+	}
+}
+
+// segKeyBits returns the number of low bits needed to hold every value of
+// src, which must all be non-negative. The Fig 16 construction packs a
+// segment number above the value in a single machine word; callers get a
+// descriptive panic if the combination cannot fit.
+func segKeyBits(what string, src []int, flags []bool) int {
+	maxV := 0
+	for i, v := range src {
+		if v < 0 {
+			panic(fmt.Sprintf("scan: %s: value %d at index %d is negative; the two-primitive segmented simulation packs values into unsigned bit fields", what, v, i))
+		}
+		if v > maxV {
+			maxV = v
+		}
+	}
+	k := bits.Len(uint(maxV))
+	if k == 0 {
+		k = 1
+	}
+	// Segment numbers run 1..#segments <= n+1.
+	segBits := bits.Len(uint(len(src) + 1))
+	if k+segBits > 62 {
+		panic(fmt.Sprintf("scan: %s: need %d value bits + %d segment bits, exceeding one word", what, k, segBits))
+	}
+	_ = flags
+	return k
+}
+
+// SegMaxViaPrimitives computes the segmented exclusive max-scan of
+// non-negative ints using only the two primitive scans, following the
+// paper's Figure 16: number the segments with a +-scan of the flags,
+// append the segment number above each value, run one unsegmented
+// max-scan, extract the low bits, and write the identity (0) at segment
+// heads. dst may alias src.
+func SegMaxViaPrimitives(dst, src []int, flags []bool) {
+	n := len(src)
+	checkLen("SegMaxViaPrimitives", len(dst), n)
+	checkLen("SegMaxViaPrimitives flags", len(flags), n)
+	if n == 0 {
+		return
+	}
+	k := segKeyBits("SegMaxViaPrimitives", src, flags)
+	// Seg-Number <- SFlag + enumerate(SFlag): the inclusive +-scan of the
+	// flags, i.e. each element's 1-origin segment number.
+	f := make([]int, n)
+	for i, fl := range flags {
+		if fl {
+			f[i] = 1
+		}
+	}
+	segnum := make([]int, n)
+	ExclusiveSumInts(segnum, f)
+	for i := range segnum {
+		segnum[i] += f[i]
+	}
+	// B <- append(Seg-Number, A); C <- extract-bot(max-scan(B)).
+	keys := make([]int, n)
+	for i, v := range src {
+		keys[i] = segnum[i]<<uint(k) | v
+	}
+	ExclusiveMaxInts(keys, keys, 0)
+	mask := 1<<uint(k) - 1
+	for i := range dst {
+		if flags[i] || i == 0 {
+			dst[i] = 0 // the identity at each segment head
+		} else {
+			dst[i] = keys[i] & mask
+		}
+	}
+}
+
+// segCopyViaPrimitives distributes the first element of each segment of
+// src across the segment (inclusive: the head keeps its own value), built
+// on SegMaxViaPrimitives per §2.2's copy recipe: mask all but the heads
+// to the identity, scan, and put the head values back.
+func segCopyViaPrimitives(dst, src []int, flags []bool) {
+	n := len(src)
+	masked := make([]int, n)
+	for i, v := range src {
+		if flags[i] || i == 0 {
+			masked[i] = v
+		}
+	}
+	SegMaxViaPrimitives(dst, masked, flags)
+	for i := range dst {
+		if flags[i] || i == 0 {
+			dst[i] = masked[i]
+		}
+	}
+}
+
+// SegSumViaPrimitives computes the segmented exclusive +-scan of
+// non-negative ints using only the two primitive scans, per §3.4:
+// run one unsegmented +-scan, copy each segment head's prefix total
+// across its segment, and subtract. dst may alias src.
+func SegSumViaPrimitives(dst, src []int, flags []bool) {
+	n := len(src)
+	checkLen("SegSumViaPrimitives", len(dst), n)
+	checkLen("SegSumViaPrimitives flags", len(flags), n)
+	if n == 0 {
+		return
+	}
+	for i, v := range src {
+		if v < 0 {
+			panic(fmt.Sprintf("scan: SegSumViaPrimitives: value %d at index %d is negative; the two-primitive segmented simulation requires non-negative values", v, i))
+		}
+	}
+	prefix := make([]int, n)
+	ExclusiveSumInts(prefix, src)
+	headPrefix := make([]int, n)
+	segCopyViaPrimitives(headPrefix, prefix, flags)
+	for i := range dst {
+		dst[i] = prefix[i] - headPrefix[i]
+	}
+}
+
+// floatKey maps a float64 to an int64 whose signed order matches the
+// float order: §3.4's "flipping the exponent and significand if the sign
+// bit is set". IEEE 754 doubles already order like sign-magnitude
+// integers, so negatives need all bits flipped and positives just need
+// the sign bit treated as "large". NaNs have no place in a total order
+// and are rejected by the callers.
+func floatKey(f float64) int64 {
+	bits := int64(math.Float64bits(f))
+	if bits < 0 {
+		// Negative: flip exponent and significand, keeping the sign bit
+		// set so every negative sorts below every non-negative.
+		return ^bits ^ (int64(-1) << 63)
+	}
+	return bits
+}
+
+// keyFloat inverts floatKey.
+func keyFloat(k int64) float64 {
+	if k < 0 {
+		return math.Float64frombits(uint64(^(k ^ (int64(-1) << 63))))
+	}
+	return math.Float64frombits(uint64(k))
+}
+
+// FloatOrderKey exposes the §3.4 order-preserving float64→int64 mapping
+// for other packages (the float radix sort builds on it). NaN panics.
+func FloatOrderKey(f float64) int64 {
+	if math.IsNaN(f) {
+		panic("scan: FloatOrderKey: NaN has no position in the float order")
+	}
+	return floatKey(f)
+}
+
+// FloatFromOrderKey inverts FloatOrderKey.
+func FloatFromOrderKey(k int64) float64 { return keyFloat(k) }
+
+// FMaxViaIntScan computes the exclusive float64 max-scan using only the
+// integer max-scan primitive, per §3.4. The identity is -Inf. NaN inputs
+// panic: they have no position in the order the construction relies on.
+func FMaxViaIntScan(dst, src []float64) {
+	checkLen("FMaxViaIntScan", len(dst), len(src))
+	keys := make([]int64, len(src))
+	for i, f := range src {
+		if math.IsNaN(f) {
+			panic(fmt.Sprintf("scan: FMaxViaIntScan: NaN at index %d", i))
+		}
+		keys[i] = floatKey(f)
+	}
+	Exclusive(Max[int64]{Id: floatKey(math.Inf(-1))}, keys, keys)
+	for i, k := range keys {
+		dst[i] = keyFloat(k)
+	}
+}
+
+// FMinViaIntScan computes the exclusive float64 min-scan on the integer
+// max-scan primitive by negating the keys; identity +Inf.
+func FMinViaIntScan(dst, src []float64) {
+	checkLen("FMinViaIntScan", len(dst), len(src))
+	keys := make([]int64, len(src))
+	for i, f := range src {
+		if math.IsNaN(f) {
+			panic(fmt.Sprintf("scan: FMinViaIntScan: NaN at index %d", i))
+		}
+		keys[i] = ^floatKey(f)
+	}
+	Exclusive(Max[int64]{Id: ^floatKey(math.Inf(1))}, keys, keys)
+	for i, k := range keys {
+		dst[i] = keyFloat(^k)
+	}
+}
+
+// BackwardViaReverse computes the backward exclusive scan of src using a
+// forward scan over the reversed vector, per §3.4 ("the backward scans
+// can be implemented by simply reading the vector into the processors in
+// reverse order"). It exists to validate ExclusiveBackward. dst may alias
+// src.
+func BackwardViaReverse[T any, O Op[T]](op O, dst, src []T) {
+	n := len(src)
+	checkLen("BackwardViaReverse", len(dst), n)
+	rev := make([]T, n)
+	for i, v := range src {
+		rev[n-1-i] = v
+	}
+	Exclusive(op, rev, rev)
+	for i := range dst {
+		dst[i] = rev[n-1-i]
+	}
+}

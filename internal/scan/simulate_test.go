@@ -1,0 +1,145 @@
+package scan
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestMinScanViaMax(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		a := randomInput(n, int64(n)+99)
+		for i := range a {
+			a[i] -= 500 // negatives too: complement handles them
+		}
+		want := make([]int, n)
+		Exclusive(MinIntOp, want, a)
+		got := make([]int, n)
+		MinScanViaMax(got, a)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: MinScanViaMax = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestMinScanViaMaxExtremes(t *testing.T) {
+	a := []int{math.MaxInt, math.MinInt, 0}
+	want := make([]int, 3)
+	Exclusive(MinIntOp, want, a)
+	got := make([]int, 3)
+	MinScanViaMax(got, a)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("extremes: MinScanViaMax = %v, want %v", got, want)
+	}
+}
+
+func TestOrScanViaMax(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64} {
+		f := randomFlags(n, 0.3, int64(n))
+		want := make([]bool, n)
+		Exclusive(Or{}, want, f)
+		got := make([]bool, n)
+		OrScanViaMax(got, f)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: OrScanViaMax = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAndScanViaMin(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 64} {
+		f := randomFlags(n, 0.7, int64(n)+1)
+		want := make([]bool, n)
+		Exclusive(And{}, want, f)
+		got := make([]bool, n)
+		AndScanViaMin(got, f)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: AndScanViaMin = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestSegMaxViaPrimitivesFig16(t *testing.T) {
+	// Paper Figure 16: A = [5 1 3 4 3 9 2 6], SFlag = [T F T F F F T F],
+	// Result = [0 5 0 3 4 4 0 2].
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	got := make([]int, len(a))
+	SegMaxViaPrimitives(got, a, flags)
+	want := []int{0, 5, 0, 3, 4, 4, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig 16: SegMaxViaPrimitives = %v, want %v", got, want)
+	}
+}
+
+func TestSegMaxViaPrimitivesMatchesDirect(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 33, 500} {
+		a := randomInput(n, int64(n)+3)
+		flags := randomFlags(n, 0.2, int64(n)+4)
+		want := make([]int, n)
+		SegExclusive(Max[int]{Id: 0}, want, a, flags)
+		got := make([]int, n)
+		SegMaxViaPrimitives(got, a, flags)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: via-primitives differs from direct segmented max", n)
+		}
+	}
+}
+
+func TestSegSumViaPrimitivesMatchesDirect(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 33, 500} {
+		a := randomInput(n, int64(n)+13)
+		flags := randomFlags(n, 0.2, int64(n)+14)
+		want := make([]int, n)
+		SegExclusive(Add[int]{}, want, a, flags)
+		got := make([]int, n)
+		SegSumViaPrimitives(got, a, flags)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: via-primitives differs from direct segmented sum", n)
+		}
+	}
+}
+
+func TestSegSumViaPrimitivesFig4(t *testing.T) {
+	got := make([]int, len(fig4A))
+	SegSumViaPrimitives(got, fig4A, fig4Sb)
+	want := []int{0, 5, 0, 3, 7, 10, 0, 2}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Fig 4 via primitives = %v, want %v", got, want)
+	}
+}
+
+func TestSegViaPrimitivesRejectsNegative(t *testing.T) {
+	for name, f := range map[string]func(){
+		"max": func() { SegMaxViaPrimitives(make([]int, 2), []int{1, -1}, []bool{true, false}) },
+		"sum": func() { SegSumViaPrimitives(make([]int, 2), []int{1, -1}, []bool{true, false}) },
+	} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Errorf("%s: expected panic on negative value", name)
+					return
+				}
+				if msg, ok := r.(string); !ok || !strings.Contains(msg, "negative") {
+					t.Errorf("%s: panic message %v not descriptive", name, r)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBackwardViaReverse(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 256} {
+		a := randomInput(n, int64(n)+77)
+		want := make([]int, n)
+		ExclusiveBackward(Add[int]{}, want, a)
+		got := make([]int, n)
+		BackwardViaReverse(Add[int]{}, got, a)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("n=%d: BackwardViaReverse differs from direct", n)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package tables
+
+import "testing"
+
+// TestTable5Deterministic pins the harness's reproducibility: identical
+// sizes and seeds must yield identical step counts run to run (every
+// random choice flows from the seed).
+func TestTable5Deterministic(t *testing.T) {
+	a := Table5(1<<10, 5)
+	b := Table5(1<<10, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestTable1Deterministic does the same for the Table 1 harness.
+func TestTable1Deterministic(t *testing.T) {
+	a := Table1([]int{128})
+	b := Table1([]int{128})
+	for i := range a {
+		if a[i].StepsScan[0] != b[i].StepsScan[0] || a[i].StepsEREW[0] != b[i].StepsEREW[0] {
+			t.Errorf("%s differs across runs", a[i].Name)
+		}
+	}
+}

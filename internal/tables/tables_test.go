@@ -1,0 +1,180 @@
+package tables
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1SmallSizes(t *testing.T) {
+	sizes := []int{64, 256}
+	rows := Table1(sizes)
+	if len(rows) != len(Algorithms()) {
+		t.Fatalf("rows = %d, want %d", len(rows), len(Algorithms()))
+	}
+	for _, r := range rows {
+		if len(r.StepsScan) != 2 || len(r.StepsEREW) != 2 {
+			t.Fatalf("%s: missing measurements", r.Name)
+		}
+		for i := range r.StepsScan {
+			if r.StepsScan[i] <= 0 {
+				t.Errorf("%s: zero scan steps", r.Name)
+			}
+			if r.StepsEREW[i] < r.StepsScan[i] {
+				t.Errorf("%s: EREW charge (%d) below scan charge (%d)", r.Name, r.StepsEREW[i], r.StepsScan[i])
+			}
+		}
+	}
+	out := FormatTable1(sizes, rows)
+	if !strings.Contains(out, "Minimum Spanning Tree") || !strings.Contains(out, "Line of Sight") {
+		t.Error("formatted table missing rows")
+	}
+}
+
+func TestTable1ScanBeatsEREWForLgFactorRows(t *testing.T) {
+	// For rows whose claimed gap is lg n vs lg² n, the EREW charge must
+	// exceed the scan charge by a growing factor.
+	rows := Table1([]int{1024})
+	for _, r := range rows {
+		if r.Name == "Line of Sight" || r.Name == "Vector x Matrix" {
+			// O(1) scan vs O(lg n) EREW: the starkest gap.
+			ratio := float64(r.StepsEREW[0]) / float64(r.StepsScan[0])
+			if ratio < 2 {
+				t.Errorf("%s: EREW/scan ratio %.1f, want > 2", r.Name, ratio)
+			}
+		}
+	}
+}
+
+func TestTable2(t *testing.T) {
+	r := Table2(1<<16, 32, 1)
+	if r.ScanCycles != 79 {
+		t.Errorf("scan cycles = %d, want 79", r.ScanCycles)
+	}
+	if r.RouteCyclesBest != 64 {
+		t.Errorf("route cycles/pass = %d, want 64", r.RouteCyclesBest)
+	}
+	if r.RoutePasses < 2 {
+		t.Errorf("random permutation routed in %d passes; expected conflicts", r.RoutePasses)
+	}
+	// The paper's claim: a scan costs no more than a memory reference.
+	if r.ScanCycles > r.RouteCyclesPerm {
+		t.Errorf("scan (%d cycles) costs more than the measured route (%d)", r.ScanCycles, r.RouteCyclesPerm)
+	}
+	// And needs far less hardware.
+	if r.HardwareRatio > 0.5 {
+		t.Errorf("scan hardware ratio %.2f, want well below router", r.HardwareRatio)
+	}
+	out := FormatTable2(r)
+	if !strings.Contains(out, "Bit cycles") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	rows := Table3(256, 7)
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	find := func(name string) Table3Row {
+		for _, r := range rows {
+			if r.Name == name {
+				return r
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return Table3Row{}
+	}
+	// The paper's cross-reference: radix sort uses splitting; quicksort
+	// uses splitting, distributing, copying, segmented; MST uses
+	// distributing, copying, segmented; line drawing uses allocating,
+	// copying, segmented; halving merge uses allocating and
+	// load-balancing.
+	if find("Split Radix Sort").Counts[3] == 0 {
+		t.Error("radix sort did not record splitting")
+	}
+	q := find("Quicksort")
+	for _, idx := range []int{1, 2, 3, 4} {
+		if q.Counts[idx] == 0 {
+			t.Errorf("quicksort missing usage %d", idx)
+		}
+	}
+	mstRow := find("Minimum Spanning Tree")
+	for _, idx := range []int{1, 2, 4} {
+		if mstRow.Counts[idx] == 0 {
+			t.Errorf("MST missing usage %d", idx)
+		}
+	}
+	ld := find("Line Drawing")
+	for _, idx := range []int{1, 4, 5} {
+		if ld.Counts[idx] == 0 {
+			t.Errorf("line drawing missing usage %d", idx)
+		}
+	}
+	hm := find("Halving Merge")
+	for _, idx := range []int{5, 6} {
+		if hm.Counts[idx] == 0 {
+			t.Errorf("halving merge missing usage %d", idx)
+		}
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Quicksort") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestTable4(t *testing.T) {
+	r := Table4(1<<16, 16, 3)
+	if r.BitonicCircuit != 151 {
+		t.Errorf("bitonic circuit bit time = %d, want 151", r.BitonicCircuit)
+	}
+	if r.RadixCircuit <= 0 || r.RadixMachine <= 0 || r.BitonicMachine <= 0 {
+		t.Error("bit times not computed")
+	}
+	// Shape: on the machine model at d = 16 and n = 64K the two are
+	// within an order of magnitude (the paper measured 20,000 vs 19,000).
+	ratio := float64(r.RadixMachine) / float64(r.BitonicMachine)
+	if ratio > 10 || ratio < 0.1 {
+		t.Errorf("machine bit-time ratio %.1f outside a plausible band", ratio)
+	}
+	// On the machine, radix needs far fewer steps than bitonic's lg² n.
+	if r.RadixSteps >= r.BitonicSteps {
+		t.Errorf("radix steps (%d) not below bitonic steps (%d)", r.RadixSteps, r.BitonicSteps)
+	}
+	out := FormatTable4(r)
+	if !strings.Contains(out, "Split Radix") {
+		t.Error("format missing rows")
+	}
+}
+
+func TestTable4RadixScalesWithBits(t *testing.T) {
+	r8 := Table4(1<<12, 8, 3)
+	r32 := Table4(1<<12, 32, 3)
+	// Radix bit time is linear in d; the bitonic circuit pays its
+	// lg² n term once (its bit time grows by exactly the extra d).
+	if r32.RadixCircuit < 3*r8.RadixCircuit {
+		t.Errorf("radix bit time did not scale with d: %d vs %d", r8.RadixCircuit, r32.RadixCircuit)
+	}
+	if r32.BitonicCircuit-r8.BitonicCircuit != 24 {
+		t.Errorf("bitonic circuit bit time should grow by exactly d: %d vs %d", r8.BitonicCircuit, r32.BitonicCircuit)
+	}
+}
+
+func TestTable5(t *testing.T) {
+	rows := Table5(1<<10, 5)
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.StepsFull <= 0 || r.StepsFrac <= 0 {
+			t.Errorf("%s: missing steps", r.Name)
+		}
+		// With fewer processors the same run takes more steps.
+		if r.StepsFrac < r.StepsFull {
+			t.Errorf("%s: fewer processors took fewer steps", r.Name)
+		}
+	}
+	out := FormatTable5(rows)
+	if !strings.Contains(out, "Halving Merge") {
+		t.Error("format missing rows")
+	}
+}

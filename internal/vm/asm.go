@@ -1,0 +1,173 @@
+package vm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse assembles a textual program. Syntax, one instruction per line:
+//
+//	<mnemonic> <dst> <operands...>   ; comment
+//
+// Registers are written v<N> (vectors) or f<N> (flags); OpConst takes an
+// integer immediate. Blank lines and ';' comments are ignored. Parse
+// reports the first error with its line number.
+//
+// Operand shapes:
+//
+//	const    vD imm        iota     vD
+//	add|sub|mul|min|max    vD vA vB
+//	less|eq  fD vA vB      not      fD fA
+//	select   vD vA vB fC
+//	+scan|max-scan|min-scan|+backscan|max-backscan|min-backscan  vD vA
+//	seg-+scan|seg-max-scan|seg-min-scan|seg-copy                 vD vA fC
+//	enumerate vD fA        flag-heads fD vA
+//	permute|gather vD vA vB
+//	pack     vD vA fC      split    vD vA fC
+//	+distribute vD vA
+func Parse(src string) (Program, error) {
+	var prog Program
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		in, err := parseInstr(fields)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo+1, err)
+		}
+		prog = append(prog, in)
+	}
+	return prog, nil
+}
+
+// MustParse is Parse, panicking on error — for tests and embedded
+// programs.
+func MustParse(src string) Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+var mnemonics = func() map[string]OpCode {
+	m := map[string]OpCode{}
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+func parseInstr(fields []string) (Instr, error) {
+	op, ok := mnemonics[fields[0]]
+	if !ok {
+		return Instr{}, fmt.Errorf("unknown mnemonic %q", fields[0])
+	}
+	in := Instr{Op: op}
+	args := fields[1:]
+	reg := func(idx int, kind byte) (int, error) {
+		if idx >= len(args) {
+			return 0, fmt.Errorf("%s: missing operand %d", fields[0], idx+1)
+		}
+		a := args[idx]
+		if len(a) < 2 || a[0] != kind {
+			return 0, fmt.Errorf("%s: operand %q is not a %c-register", fields[0], a, kind)
+		}
+		n, err := strconv.Atoi(a[1:])
+		if err != nil || n < 0 {
+			return 0, fmt.Errorf("%s: bad register %q", fields[0], a)
+		}
+		return n, nil
+	}
+	var err error
+	setV := func(dst *int, idx int) {
+		if err == nil {
+			*dst, err = reg(idx, 'v')
+		}
+	}
+	setF := func(dst *int, idx int) {
+		if err == nil {
+			*dst, err = reg(idx, 'f')
+		}
+	}
+	switch op {
+	case OpConst:
+		setV(&in.Dst, 0)
+		if err == nil {
+			if len(args) < 2 {
+				return in, fmt.Errorf("const: missing immediate")
+			}
+			in.Imm, err = strconv.Atoi(args[1])
+		}
+	case OpIota:
+		setV(&in.Dst, 0)
+	case OpAdd, OpSub, OpMul, OpMin, OpMax, OpPermute, OpGather:
+		setV(&in.Dst, 0)
+		setV(&in.A, 1)
+		setV(&in.B, 2)
+	case OpLess, OpEq:
+		setF(&in.Dst, 0)
+		setV(&in.A, 1)
+		setV(&in.B, 2)
+	case OpNot:
+		setF(&in.Dst, 0)
+		setF(&in.A, 1)
+	case OpSelect:
+		setV(&in.Dst, 0)
+		setV(&in.A, 1)
+		setV(&in.B, 2)
+		setF(&in.Flags, 3)
+	case OpPlusScan, OpMaxScan, OpMinScan, OpBackPlusScan, OpBackMaxScan, OpBackMinScan, OpDistribute:
+		setV(&in.Dst, 0)
+		setV(&in.A, 1)
+	case OpSegPlusScan, OpSegMaxScan, OpSegMinScan, OpSegCopy, OpPack, OpSplit:
+		setV(&in.Dst, 0)
+		setV(&in.A, 1)
+		setF(&in.Flags, 2)
+	case OpEnumerate:
+		setV(&in.Dst, 0)
+		setF(&in.A, 1)
+	case OpFlagHeads:
+		setF(&in.Dst, 0)
+		setV(&in.A, 1)
+	}
+	return in, err
+}
+
+// Format disassembles a program back to assembler text.
+func Format(p Program) string {
+	var b strings.Builder
+	for _, in := range p {
+		b.WriteString(in.Op.String())
+		switch in.Op {
+		case OpConst:
+			fmt.Fprintf(&b, " v%d %d", in.Dst, in.Imm)
+		case OpIota:
+			fmt.Fprintf(&b, " v%d", in.Dst)
+		case OpAdd, OpSub, OpMul, OpMin, OpMax, OpPermute, OpGather:
+			fmt.Fprintf(&b, " v%d v%d v%d", in.Dst, in.A, in.B)
+		case OpLess, OpEq:
+			fmt.Fprintf(&b, " f%d v%d v%d", in.Dst, in.A, in.B)
+		case OpNot:
+			fmt.Fprintf(&b, " f%d f%d", in.Dst, in.A)
+		case OpSelect:
+			fmt.Fprintf(&b, " v%d v%d v%d f%d", in.Dst, in.A, in.B, in.Flags)
+		case OpPlusScan, OpMaxScan, OpMinScan, OpBackPlusScan, OpBackMaxScan, OpBackMinScan, OpDistribute:
+			fmt.Fprintf(&b, " v%d v%d", in.Dst, in.A)
+		case OpSegPlusScan, OpSegMaxScan, OpSegMinScan, OpSegCopy, OpPack, OpSplit:
+			fmt.Fprintf(&b, " v%d v%d f%d", in.Dst, in.A, in.Flags)
+		case OpEnumerate:
+			fmt.Fprintf(&b, " v%d f%d", in.Dst, in.A)
+		case OpFlagHeads:
+			fmt.Fprintf(&b, " f%d v%d", in.Dst, in.A)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

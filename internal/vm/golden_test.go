@@ -1,0 +1,104 @@
+package vm
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"scans/internal/core"
+)
+
+// TestGoldenPrograms runs every testdata/*.svm program. Inputs and
+// expected outputs are encoded in directive comments:
+//
+//	;in  v0=1,2,3     load a register before the run
+//	;out v1=0,1,3     assert a register after the run
+func TestGoldenPrograms(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.svm")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no golden programs found: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine := New(core.New())
+			type expect struct {
+				kind byte
+				reg  int
+				ints []int
+				bits []bool
+			}
+			var outs []expect
+			for lineNo, line := range strings.Split(string(src), "\n") {
+				trimmed := strings.TrimSpace(line)
+				directive := ""
+				switch {
+				case strings.HasPrefix(trimmed, ";in"):
+					directive = "in"
+				case strings.HasPrefix(trimmed, ";out"):
+					directive = "out"
+				default:
+					continue
+				}
+				spec := strings.TrimSpace(trimmed[len(";"+directive):])
+				name, vals, ok := strings.Cut(spec, "=")
+				if !ok {
+					t.Fatalf("line %d: bad directive %q", lineNo+1, trimmed)
+				}
+				reg, err := strconv.Atoi(name[1:])
+				if err != nil {
+					t.Fatalf("line %d: bad register %q", lineNo+1, name)
+				}
+				var ints []int
+				var bits []bool
+				for _, f := range strings.Split(vals, ",") {
+					f = strings.TrimSpace(f)
+					if name[0] == 'f' {
+						bits = append(bits, f == "T")
+						continue
+					}
+					x, err := strconv.Atoi(f)
+					if err != nil {
+						t.Fatalf("line %d: bad value %q", lineNo+1, f)
+					}
+					ints = append(ints, x)
+				}
+				if directive == "in" {
+					if name[0] == 'v' {
+						machine.SetV(reg, ints)
+					} else {
+						machine.SetF(reg, bits)
+					}
+					continue
+				}
+				outs = append(outs, expect{kind: name[0], reg: reg, ints: ints, bits: bits})
+			}
+			prog, err := Parse(string(src))
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine.Run(prog)
+			for _, e := range outs {
+				if e.kind == 'v' {
+					if got := machine.V(e.reg); !reflect.DeepEqual(got, e.ints) {
+						t.Errorf("v%d = %v, want %v", e.reg, got, e.ints)
+					}
+				} else {
+					if got := machine.F(e.reg); !reflect.DeepEqual(got, e.bits) {
+						t.Errorf("f%d = %v, want %v", e.reg, got, e.bits)
+					}
+				}
+			}
+			if len(outs) == 0 {
+				t.Fatalf("%s declares no expected outputs", file)
+			}
+		})
+	}
+}

@@ -1,0 +1,342 @@
+// Package vm is a small vector virtual machine in the style of PARIS,
+// the Connection Machine's parallel instruction set, where the paper's
+// two scans shipped ("are available in PARIS ... and are used in a large
+// number of applications"). Programs are straight-line sequences of
+// vector instructions — elementwise arithmetic, the scan primitives and
+// their segmented versions, permutes, packs, and processor allocation —
+// executed against the step-counted scan-model machine, so a VM program
+// has exactly the step complexity the paper's notation implies.
+//
+// The package includes a tiny assembler (see Parse) whose syntax matches
+// the paper's vector pseudo-code closely enough to transliterate its
+// figures:
+//
+//	iota    v1          ; v1 <- [0 1 2 ...]
+//	const   v2  5       ; v2 <- [5 5 5 ...]
+//	add     v3  v1 v2
+//	+scan   v4  v3
+//	seg-max v5  v3 f1
+package vm
+
+import (
+	"fmt"
+
+	"scans/internal/core"
+)
+
+// OpCode identifies a VM instruction.
+type OpCode int
+
+// The instruction set. V* registers hold int vectors, F* registers hold
+// flag (bool) vectors; all vectors in one program run share the current
+// machine width except where an instruction says otherwise.
+const (
+	// OpConst broadcasts Imm across Dst (one elementwise step).
+	OpConst OpCode = iota
+	// OpIota writes [0, 1, 2, ...] into Dst.
+	OpIota
+	// Elementwise binary: Dst[i] = A[i] ∘ B[i].
+	OpAdd
+	OpSub
+	OpMul
+	OpMin
+	OpMax
+	// OpLess writes the flag A[i] < B[i] into flag register Dst.
+	OpLess
+	// OpEq writes the flag A[i] == B[i] into flag register Dst.
+	OpEq
+	// OpNot negates flag register A into flag Dst.
+	OpNot
+	// OpSelect: Dst[i] = Flags[i] ? A[i] : B[i].
+	OpSelect
+	// Scans (exclusive, per the paper). Dst and A are vectors.
+	OpPlusScan
+	OpMaxScan
+	OpMinScan
+	// Backward scans.
+	OpBackPlusScan
+	OpBackMaxScan
+	OpBackMinScan
+	// Segmented scans; Flags names the segment-flag register.
+	OpSegPlusScan
+	OpSegMaxScan
+	OpSegMinScan
+	// OpSegCopy copies each segment head across its segment.
+	OpSegCopy
+	// OpEnumerate counts true flags (flag A) exclusively into vector Dst.
+	OpEnumerate
+	// OpPermute scatters A through index vector B.
+	OpPermute
+	// OpGather reads A through index vector B.
+	OpGather
+	// OpPack compacts A's elements flagged by Flags to the front of Dst
+	// and shrinks the machine width to the packed length.
+	OpPack
+	// OpSplit moves false-flagged elements of A down, true-flagged up.
+	OpSplit
+	// OpDistribute sums A to every element of Dst.
+	OpDistribute
+	// OpFlagHeads writes segment flags into flag Dst from the boundary
+	// vector A: Dst[i] = (i == 0 || A[i] != A[i-1]).
+	OpFlagHeads
+)
+
+var opNames = map[OpCode]string{
+	OpConst: "const", OpIota: "iota",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpMin: "min", OpMax: "max",
+	OpLess: "less", OpEq: "eq", OpNot: "not", OpSelect: "select",
+	OpPlusScan: "+scan", OpMaxScan: "max-scan", OpMinScan: "min-scan",
+	OpBackPlusScan: "+backscan", OpBackMaxScan: "max-backscan", OpBackMinScan: "min-backscan",
+	OpSegPlusScan: "seg-+scan", OpSegMaxScan: "seg-max-scan", OpSegMinScan: "seg-min-scan",
+	OpSegCopy: "seg-copy", OpEnumerate: "enumerate",
+	OpPermute: "permute", OpGather: "gather", OpPack: "pack", OpSplit: "split",
+	OpDistribute: "+distribute", OpFlagHeads: "flag-heads",
+}
+
+// String returns the assembler mnemonic.
+func (op OpCode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// Instr is one VM instruction. Registers are small integers; which of
+// Dst/A/B name vector vs flag registers depends on the opcode (see the
+// opcode docs).
+type Instr struct {
+	Op        OpCode
+	Dst, A, B int
+	Flags     int // segment/condition flag register, where used
+	Imm       int // immediate operand for OpConst
+}
+
+// Program is a straight-line vector program.
+type Program []Instr
+
+// VM executes programs against a Machine.
+type VM struct {
+	m     *core.Machine
+	vregs map[int][]int
+	fregs map[int][]bool
+	width int
+}
+
+// New returns a VM bound to machine m.
+func New(m *core.Machine) *VM {
+	return &VM{m: m, vregs: map[int][]int{}, fregs: map[int][]bool{}}
+}
+
+// SetV loads vector register r (defining the machine width if it is the
+// first vector loaded).
+func (vm *VM) SetV(r int, v []int) {
+	vm.vregs[r] = append([]int(nil), v...)
+	if vm.width == 0 {
+		vm.width = len(v)
+	}
+}
+
+// SetF loads flag register r.
+func (vm *VM) SetF(r int, f []bool) {
+	vm.fregs[r] = append([]bool(nil), f...)
+	if vm.width == 0 {
+		vm.width = len(f)
+	}
+}
+
+// V reads vector register r (nil if never written).
+func (vm *VM) V(r int) []int { return vm.vregs[r] }
+
+// F reads flag register r.
+func (vm *VM) F(r int) []bool { return vm.fregs[r] }
+
+// Steps reports the machine's accumulated program steps.
+func (vm *VM) Steps() int64 { return vm.m.Steps() }
+
+func (vm *VM) vec(r int, what string, pc int) []int {
+	v, ok := vm.vregs[r]
+	if !ok {
+		panic(fmt.Sprintf("vm: pc %d: %s reads undefined vector register v%d", pc, what, r))
+	}
+	return v
+}
+
+func (vm *VM) flg(r int, what string, pc int) []bool {
+	f, ok := vm.fregs[r]
+	if !ok {
+		panic(fmt.Sprintf("vm: pc %d: %s reads undefined flag register f%d", pc, what, r))
+	}
+	return f
+}
+
+// Run executes the program. Panics carry the program counter and
+// mnemonic for debuggability.
+func (vm *VM) Run(prog Program) {
+	for pc, in := range prog {
+		vm.step(pc, in)
+	}
+}
+
+func (vm *VM) step(pc int, in Instr) {
+	m := vm.m
+	n := vm.width
+	newV := func() []int { return make([]int, n) }
+	switch in.Op {
+	case OpConst:
+		dst := newV()
+		imm := in.Imm
+		core.Par(m, n, func(i int) { dst[i] = imm })
+		vm.vregs[in.Dst] = dst
+	case OpIota:
+		dst := newV()
+		core.Par(m, n, func(i int) { dst[i] = i })
+		vm.vregs[in.Dst] = dst
+	case OpAdd, OpSub, OpMul, OpMin, OpMax:
+		a, b := vm.vec(in.A, in.Op.String(), pc), vm.vec(in.B, in.Op.String(), pc)
+		dst := newV()
+		op := in.Op
+		core.Par(m, n, func(i int) {
+			switch op {
+			case OpAdd:
+				dst[i] = a[i] + b[i]
+			case OpSub:
+				dst[i] = a[i] - b[i]
+			case OpMul:
+				dst[i] = a[i] * b[i]
+			case OpMin:
+				if a[i] < b[i] {
+					dst[i] = a[i]
+				} else {
+					dst[i] = b[i]
+				}
+			case OpMax:
+				if a[i] > b[i] {
+					dst[i] = a[i]
+				} else {
+					dst[i] = b[i]
+				}
+			}
+		})
+		vm.vregs[in.Dst] = dst
+	case OpLess, OpEq:
+		a, b := vm.vec(in.A, in.Op.String(), pc), vm.vec(in.B, in.Op.String(), pc)
+		dst := make([]bool, n)
+		op := in.Op
+		core.Par(m, n, func(i int) {
+			if op == OpLess {
+				dst[i] = a[i] < b[i]
+			} else {
+				dst[i] = a[i] == b[i]
+			}
+		})
+		vm.fregs[in.Dst] = dst
+	case OpNot:
+		a := vm.flg(in.A, "not", pc)
+		dst := make([]bool, n)
+		core.Par(m, n, func(i int) { dst[i] = !a[i] })
+		vm.fregs[in.Dst] = dst
+	case OpSelect:
+		a, b := vm.vec(in.A, "select", pc), vm.vec(in.B, "select", pc)
+		f := vm.flg(in.Flags, "select", pc)
+		dst := newV()
+		core.Par(m, n, func(i int) {
+			if f[i] {
+				dst[i] = a[i]
+			} else {
+				dst[i] = b[i]
+			}
+		})
+		vm.vregs[in.Dst] = dst
+	case OpPlusScan:
+		dst := newV()
+		core.PlusScan(m, dst, vm.vec(in.A, "+scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpMaxScan:
+		dst := newV()
+		core.MaxScan(m, dst, vm.vec(in.A, "max-scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpMinScan:
+		dst := newV()
+		core.MinScan(m, dst, vm.vec(in.A, "min-scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpBackPlusScan:
+		dst := newV()
+		core.BackPlusScan(m, dst, vm.vec(in.A, "+backscan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpBackMaxScan:
+		dst := newV()
+		core.BackMaxScan(m, dst, vm.vec(in.A, "max-backscan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpBackMinScan:
+		dst := newV()
+		core.BackMinScan(m, dst, vm.vec(in.A, "min-backscan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpSegPlusScan:
+		dst := newV()
+		core.SegPlusScan(m, dst, vm.vec(in.A, "seg-+scan", pc), vm.flg(in.Flags, "seg-+scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpSegMaxScan:
+		dst := newV()
+		core.SegMaxScan(m, dst, vm.vec(in.A, "seg-max-scan", pc), vm.flg(in.Flags, "seg-max-scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpSegMinScan:
+		dst := newV()
+		core.SegMinScan(m, dst, vm.vec(in.A, "seg-min-scan", pc), vm.flg(in.Flags, "seg-min-scan", pc))
+		vm.vregs[in.Dst] = dst
+	case OpSegCopy:
+		dst := newV()
+		core.SegCopy(m, dst, vm.vec(in.A, "seg-copy", pc), vm.flg(in.Flags, "seg-copy", pc))
+		vm.vregs[in.Dst] = dst
+	case OpEnumerate:
+		dst := newV()
+		core.Enumerate(m, dst, vm.flg(in.A, "enumerate", pc))
+		vm.vregs[in.Dst] = dst
+	case OpPermute:
+		dst := newV()
+		core.Permute(m, dst, vm.vec(in.A, "permute", pc), vm.vec(in.B, "permute", pc))
+		vm.vregs[in.Dst] = dst
+	case OpGather:
+		dst := newV()
+		core.Gather(m, dst, vm.vec(in.A, "gather", pc), vm.vec(in.B, "gather", pc))
+		vm.vregs[in.Dst] = dst
+	case OpPack:
+		src := vm.vec(in.A, "pack", pc)
+		f := vm.flg(in.Flags, "pack", pc)
+		tmp := make([]int, n)
+		count := core.Pack(m, tmp, src, f)
+		vm.vregs[in.Dst] = tmp[:count]
+		vm.width = count
+		vm.truncateAll(count)
+	case OpSplit:
+		dst := newV()
+		core.Split(m, dst, vm.vec(in.A, "split", pc), vm.flg(in.Flags, "split", pc))
+		vm.vregs[in.Dst] = dst
+	case OpDistribute:
+		dst := newV()
+		core.PlusDistribute(m, dst, vm.vec(in.A, "+distribute", pc))
+		vm.vregs[in.Dst] = dst
+	case OpFlagHeads:
+		a := vm.vec(in.A, "flag-heads", pc)
+		dst := make([]bool, n)
+		core.Par(m, n, func(i int) { dst[i] = i == 0 || a[i] != a[i-1] })
+		vm.fregs[in.Dst] = dst
+	default:
+		panic(fmt.Sprintf("vm: pc %d: unknown opcode %d", pc, int(in.Op)))
+	}
+}
+
+// truncateAll shrinks every live register to the new width after a pack
+// (the paper's load-balancing: the machine reassigns processors to the
+// smaller vector).
+func (vm *VM) truncateAll(w int) {
+	for r, v := range vm.vregs {
+		if len(v) > w {
+			vm.vregs[r] = v[:w]
+		}
+	}
+	for r, f := range vm.fregs {
+		if len(f) > w {
+			vm.fregs[r] = f[:w]
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package scans_test
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"scans"
+)
+
+func TestQuickstartPlusScan(t *testing.T) {
+	m := scans.NewMachine()
+	data := []int{2, 1, 2, 3, 5, 8, 13, 21}
+	out := make([]int, len(data))
+	total := m.PlusScan(out, data)
+	if want := []int{0, 2, 3, 5, 8, 13, 21, 34}; !reflect.DeepEqual(out, want) {
+		t.Errorf("PlusScan = %v, want %v", out, want)
+	}
+	if total != 55 {
+		t.Errorf("total = %d, want 55", total)
+	}
+	if m.Steps() != 1 {
+		t.Errorf("one scan cost %d steps, want 1 on the scan model", m.Steps())
+	}
+}
+
+func TestModelsDiffer(t *testing.T) {
+	n := 1 << 12
+	data := make([]int, n)
+	run := func(model scans.Model) int64 {
+		m := scans.NewMachine(scans.WithModel(model))
+		m.PlusScan(make([]int, n), data)
+		return m.Steps()
+	}
+	sScan, sEREW := run(scans.ModelScan), run(scans.ModelEREW)
+	if sScan != 1 {
+		t.Errorf("scan model steps = %d, want 1", sScan)
+	}
+	if sEREW != 24 { // 2 * lg 4096
+		t.Errorf("EREW steps = %d, want 24", sEREW)
+	}
+}
+
+func TestSegmentedScansAndOps(t *testing.T) {
+	m := scans.NewMachine()
+	a := []int{5, 1, 3, 4, 3, 9, 2, 6}
+	flags := []bool{true, false, true, false, false, false, true, false}
+	out := make([]int, 8)
+	m.SegPlusScan(out, a, flags)
+	if want := []int{0, 5, 0, 3, 7, 10, 0, 2}; !reflect.DeepEqual(out, want) {
+		t.Errorf("SegPlusScan = %v, want %v", out, want)
+	}
+	cnt := m.Enumerate(out, flags)
+	if cnt != 3 {
+		t.Errorf("Enumerate count = %d, want 3", cnt)
+	}
+	if got := m.PlusDistribute(out, a); got != 33 {
+		t.Errorf("PlusDistribute = %d, want 33", got)
+	}
+	if got := m.MaxDistribute(out, a); got != 9 {
+		t.Errorf("MaxDistribute = %d, want 9", got)
+	}
+	if got := m.MinDistribute(out, a); got != 1 {
+		t.Errorf("MinDistribute = %d, want 1", got)
+	}
+}
+
+func TestGenericMovement(t *testing.T) {
+	m := scans.NewMachine()
+	src := []string{"a", "b", "c"}
+	dst := make([]string, 3)
+	scans.Permute(m, dst, src, []int{2, 0, 1})
+	if want := []string{"b", "c", "a"}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("Permute = %v", dst)
+	}
+	scans.Gather(m, dst, src, []int{2, 1, 0})
+	if want := []string{"c", "b", "a"}; !reflect.DeepEqual(dst, want) {
+		t.Errorf("Gather = %v", dst)
+	}
+	packed := make([]string, 3)
+	n := scans.Pack(m, packed, src, []bool{true, false, true})
+	if n != 2 || packed[0] != "a" || packed[1] != "c" {
+		t.Errorf("Pack = %v (%d)", packed[:n], n)
+	}
+	boundary := scans.Split(m, dst, src, []bool{true, false, false})
+	if boundary != 2 || !reflect.DeepEqual(dst, []string{"b", "c", "a"}) {
+		t.Errorf("Split = %v (%d)", dst, boundary)
+	}
+	alloc := m.Allocate([]int{2, 1})
+	out := make([]string, 3)
+	scans.Distribute(m, alloc, out, []string{"x", "y"}, []int{2, 1})
+	if want := []string{"x", "x", "y"}; !reflect.DeepEqual(out, want) {
+		t.Errorf("Distribute = %v", out)
+	}
+}
+
+func TestSortsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]int, 500)
+	for i := range keys {
+		keys[i] = rng.Intn(10000)
+	}
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	m := scans.NewMachine()
+	if got := m.RadixSort(keys); !reflect.DeepEqual(got, want) {
+		t.Error("RadixSort wrong")
+	}
+	if got := m.BitonicSort(keys); !reflect.DeepEqual(got, want) {
+		t.Error("BitonicSort wrong")
+	}
+	fkeys := make([]float64, len(keys))
+	for i, k := range keys {
+		fkeys[i] = float64(k)
+	}
+	got := m.Quicksort(fkeys, 3)
+	for i := range got {
+		if got[i] != float64(want[i]) {
+			t.Fatal("Quicksort wrong")
+		}
+	}
+	neg := []int{5, -2, 0, -9}
+	if got := m.RadixSortInts(neg); !reflect.DeepEqual(got, []int{-9, -2, 0, 5}) {
+		t.Errorf("RadixSortInts = %v", got)
+	}
+}
+
+func TestMergePublic(t *testing.T) {
+	m := scans.NewMachine()
+	got := m.Merge([]int{1, 7, 10, 13, 15, 20}, []int{3, 4, 9, 22, 23, 26})
+	want := []int{1, 3, 4, 7, 9, 10, 13, 15, 20, 22, 23, 26}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Merge = %v", got)
+	}
+}
+
+func TestGraphAlgorithmsPublic(t *testing.T) {
+	m := scans.NewMachine()
+	edges := []scans.Edge{
+		{U: 0, V: 1, W: 1}, {U: 1, V: 2, W: 2}, {U: 2, V: 3, W: 3},
+		{U: 3, V: 0, W: 10}, {U: 0, V: 2, W: 9},
+	}
+	r := m.MinimumSpanningTree(4, edges, 1)
+	if r.Weight != 6 || len(r.EdgeIDs) != 3 {
+		t.Errorf("MST = %+v", r)
+	}
+	labels := m.ConnectedComponents(5, edges, 1)
+	if labels[0] != labels[3] || labels[4] == labels[0] {
+		t.Errorf("CC labels = %v", labels)
+	}
+	set := m.MaximalIndependentSet(4, edges, 1)
+	if len(set) != 4 {
+		t.Errorf("MIS = %v", set)
+	}
+	// Biconnected components of the same graph: 0-1-2-3-0 with chord
+	// 0-2 is one block.
+	blocks := m.BiconnectedComponents(4, edges, 1)
+	for _, b := range blocks {
+		if b != blocks[0] {
+			t.Errorf("blocks = %v, want one block", blocks)
+		}
+	}
+}
+
+func TestMaxFlowPublic(t *testing.T) {
+	m := scans.NewMachine()
+	n := 4
+	capm := make([]int, n*n)
+	capm[0*n+1] = 3
+	capm[0*n+2] = 2
+	capm[1*n+3] = 2
+	capm[2*n+3] = 4
+	if got := m.MaxFlow(capm, n, 0, 3); got != 4 {
+		t.Errorf("MaxFlow = %d, want 4", got)
+	}
+}
+
+func TestGeometryPublic(t *testing.T) {
+	m := scans.NewMachine()
+	hull := m.ConvexHull([]scans.HullPoint{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}})
+	if len(hull) != 4 {
+		t.Errorf("hull = %v", hull)
+	}
+	pts := []scans.GridPoint{{0, 0}, {10, 10}, {3, 4}, {4, 4}}
+	if d := m.ClosestPair(pts); d != 1 {
+		t.Errorf("ClosestPair = %d, want 1", d)
+	}
+	kt := m.BuildKDTree(pts, 1)
+	if got := kt.NearestNeighbor(scans.GridPoint{X: 9, Y: 9}); got != 1 {
+		t.Errorf("NearestNeighbor = %d, want 1", got)
+	}
+	vis := m.LineOfSight([]float64{10, 5, 20, 5})
+	if !vis[0] || !vis[2] || vis[3] {
+		t.Errorf("LineOfSight = %v", vis)
+	}
+	pixels, starts := m.DrawLines([]scans.Line{{X1: 0, Y1: 0, X2: 3, Y2: 0}})
+	if len(pixels) != 4 || starts[0] != 0 {
+		t.Errorf("DrawLines = %v %v", pixels, starts)
+	}
+}
+
+func TestListAndTreePublic(t *testing.T) {
+	m := scans.NewMachine()
+	next := []int{1, 3, 0, 3}
+	want := []int{2, 1, 3, 0}
+	if got := m.ListRank(next, 1); !reflect.DeepEqual(got, want) {
+		t.Errorf("ListRank = %v", got)
+	}
+	if got := m.ListRankPointerJump(next); !reflect.DeepEqual(got, want) {
+		t.Errorf("ListRankPointerJump = %v", got)
+	}
+	tree := &scans.ExprTree{
+		Parent: []int{-1, 0, 0, 1, 1},
+		Left:   []int{1, 3, -1, -1, -1},
+		Right:  []int{2, 4, -1, -1, -1},
+		Ops:    []scans.ExprOp{scans.OpMul, scans.OpAdd, scans.OpAdd, scans.OpAdd, scans.OpAdd},
+		Value:  []float64{0, 0, 4, 2, 3},
+		Root:   0,
+	}
+	if got := m.EvalExpression(tree); got != 20 {
+		t.Errorf("EvalExpression = %g, want 20", got)
+	}
+}
+
+func TestSpMVPublic(t *testing.T) {
+	m := scans.NewMachine()
+	a := scans.SparseMatrix{
+		Rows: 2, Cols: 3,
+		RowStart: []int{0, 2, 3},
+		Col:      []int{0, 2, 1},
+		Val:      []float64{1, 2, 3},
+	}
+	y := m.SpMV(a, []float64{1, 2, 3})
+	if !reflect.DeepEqual(y, []float64{7, 6}) {
+		t.Errorf("SpMV = %v, want [7 6]", y)
+	}
+}
+
+func TestMatrixPublic(t *testing.T) {
+	m := scans.NewMachine()
+	y := m.VecMat([]float64{1, 2}, []float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if !reflect.DeepEqual(y, []float64{9, 12, 15}) {
+		t.Errorf("VecMat = %v", y)
+	}
+	c := m.MatMat([]float64{1, 2, 3, 4}, []float64{5, 6, 7, 8}, 2)
+	if !reflect.DeepEqual(c, []float64{19, 22, 43, 50}) {
+		t.Errorf("MatMat = %v", c)
+	}
+	x, err := m.SolveLinearSystem([]float64{2, 1, 1, -1}, []float64{5, 1}, 2)
+	if err != nil || !reflect.DeepEqual(x, []float64{2, 1}) {
+		t.Errorf("Solve = %v, %v", x, err)
+	}
+}
+
+func TestUsageCountersPublic(t *testing.T) {
+	m := scans.NewMachine()
+	m.RadixSort([]int{3, 1, 2})
+	c := m.Counters()
+	if c.UsageCounts[scans.UseSplit] == 0 || c.UsageCounts[scans.UseEnumerate] == 0 {
+		t.Error("usage counters not populated")
+	}
+	m.ResetCounters()
+	if m.Steps() != 0 {
+		t.Error("reset failed")
+	}
+	if m.Model() != scans.ModelScan {
+		t.Error("default model should be ModelScan")
+	}
+}
+
+func TestParallelWorkersMatchSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	data := make([]int, 1<<16)
+	for i := range data {
+		data[i] = rng.Intn(1000)
+	}
+	serial := scans.NewMachine(scans.WithWorkers(1))
+	parallel := scans.NewMachine(scans.WithWorkers(0))
+	a := make([]int, len(data))
+	b := make([]int, len(data))
+	serial.PlusScan(a, data)
+	parallel.PlusScan(b, data)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("worker count changed scan results")
+	}
+	if serial.Steps() != parallel.Steps() {
+		t.Error("worker count changed step accounting")
+	}
+}
+
+func TestParHelper(t *testing.T) {
+	m := scans.NewMachine()
+	out := make([]int, 100)
+	scans.Par(m, 100, func(i int) { out[i] = i * i })
+	if out[7] != 49 {
+		t.Error("Par did not apply f")
+	}
+	if m.Steps() != 1 {
+		t.Errorf("Par cost %d steps, want 1", m.Steps())
+	}
+}

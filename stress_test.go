@@ -1,0 +1,183 @@
+package scans_test
+
+// Large randomized stress tests over the public API, skipped under
+// -short. These push the probabilistic algorithms well past the unit
+// tests' sizes and cross-check everything against simple references.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"scans"
+)
+
+func TestStressSortsLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(500))
+	n := 1 << 14
+	keys := make([]int, n)
+	for i := range keys {
+		keys[i] = rng.Intn(1 << 20)
+	}
+	want := append([]int(nil), keys...)
+	sort.Ints(want)
+	m := scans.NewMachine(scans.WithWorkers(0))
+	got := m.RadixSort(keys)
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("radix mismatch at %d", i)
+		}
+	}
+	fk := make([]float64, n)
+	for i := range fk {
+		fk[i] = rng.NormFloat64()
+	}
+	qs := m.Quicksort(fk, 9)
+	if !sort.Float64sAreSorted(qs) {
+		t.Fatal("quicksort failed at scale")
+	}
+}
+
+func TestStressMergeLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(501))
+	n := 1 << 15
+	a := make([]int, n)
+	b := make([]int, n/3)
+	for i := range a {
+		a[i] = rng.Intn(1 << 24)
+	}
+	for i := range b {
+		b[i] = rng.Intn(1 << 24)
+	}
+	sort.Ints(a)
+	sort.Ints(b)
+	m := scans.NewMachine()
+	got := m.Merge(a, b)
+	if !sort.IntsAreSorted(got) || len(got) != len(a)+len(b) {
+		t.Fatal("halving merge failed at scale")
+	}
+}
+
+func TestStressGraphSuiteLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(502))
+	n := 1 << 11
+	var edges []scans.Edge
+	weights := rng.Perm(8 * n)
+	w := 0
+	for v := 1; v < n; v++ {
+		edges = append(edges, scans.Edge{U: rng.Intn(v), V: v, W: weights[w] + 1})
+		w++
+	}
+	for e := 0; e < 3*n; e++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, scans.Edge{U: u, V: v, W: weights[w] + 1})
+			w++
+		}
+	}
+	m := scans.NewMachine()
+	mstRes := m.MinimumSpanningTree(n, edges, 7)
+	if len(mstRes.EdgeIDs) != n-1 {
+		t.Fatalf("MST has %d edges for %d vertices", len(mstRes.EdgeIDs), n)
+	}
+	labels := m.ConnectedComponents(n, edges, 7)
+	for v := 1; v < n; v++ {
+		if labels[v] != labels[0] {
+			t.Fatal("connected graph split")
+		}
+	}
+	blocks := m.BiconnectedComponents(n, edges, 7)
+	if len(blocks) != len(edges) {
+		t.Fatal("missing block labels")
+	}
+	set := m.MaximalIndependentSet(n, edges, 7)
+	adj := map[[2]int]bool{}
+	for _, e := range edges {
+		adj[[2]int{e.U, e.V}] = true
+	}
+	for _, e := range edges {
+		if set[e.U] && set[e.V] {
+			t.Fatal("MIS not independent at scale")
+		}
+	}
+}
+
+func TestStressGeometryLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(503))
+	n := 1 << 13
+	grid := make([]scans.GridPoint, n)
+	hullPts := make([]scans.HullPoint, n)
+	for i := range grid {
+		grid[i] = scans.GridPoint{X: rng.Intn(1 << 18), Y: rng.Intn(1 << 18)}
+		hullPts[i] = scans.HullPoint{X: rng.Float64() * 1e6, Y: rng.Float64() * 1e6}
+	}
+	m := scans.NewMachine()
+	// Closest pair vs a cheap grid-hash check of the answer's existence.
+	d := m.ClosestPair(grid)
+	best := 1 << 62
+	for i := 0; i < 4000; i++ { // sampled brute force lower-bounds nothing; full check on a subset
+		for j := i + 1; j < 4000; j++ {
+			dx, dy := grid[i].X-grid[j].X, grid[i].Y-grid[j].Y
+			if s := dx*dx + dy*dy; s < best {
+				best = s
+			}
+		}
+	}
+	if d > best {
+		t.Fatalf("closest pair %d worse than a sampled pair %d", d, best)
+	}
+	h := m.ConvexHull(hullPts)
+	if len(h) < 3 {
+		t.Fatal("hull degenerate at scale")
+	}
+	tree := m.BuildKDTree(grid, 4)
+	for q := 0; q < 50; q++ {
+		query := scans.GridPoint{X: rng.Intn(1 << 18), Y: rng.Intn(1 << 18)}
+		got := tree.NearestNeighbor(query)
+		// Verify against brute force.
+		bestID, bestD := -1, 1<<62
+		for id, p := range grid {
+			dx, dy := p.X-query.X, p.Y-query.Y
+			if s := dx*dx + dy*dy; s < bestD {
+				bestD, bestID = s, id
+			}
+		}
+		gdx, gdy := grid[got].X-query.X, grid[got].Y-query.Y
+		if gdx*gdx+gdy*gdy != bestD {
+			t.Fatalf("NN query %d: got %d, brute %d", q, got, bestID)
+		}
+	}
+}
+
+func TestStressListAndTreeLarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	rng := rand.New(rand.NewSource(504))
+	n := 1 << 14
+	order := rng.Perm(n)
+	next := make([]int, n)
+	for i := 0; i < n-1; i++ {
+		next[order[i]] = order[i+1]
+	}
+	next[order[n-1]] = order[n-1]
+	m := scans.NewMachine()
+	ranks := m.ListRank(next, 11)
+	for i := 0; i < n; i++ {
+		if ranks[order[i]] != n-1-i {
+			t.Fatalf("rank of %d-th node = %d, want %d", i, ranks[order[i]], n-1-i)
+		}
+	}
+}
