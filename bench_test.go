@@ -24,6 +24,8 @@ import (
 	"scans/internal/core"
 	"scans/internal/figures"
 	"scans/internal/network"
+	"scans/internal/scan"
+	"scans/internal/serve"
 	"scans/internal/tables"
 )
 
@@ -338,4 +340,75 @@ func BenchmarkAblationExclusiveCheck(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkServeFusedVsSequential measures the serve subsystem's fusion
+// claim on its acceptance workload: K=1000 requests of n=256 elements
+// each. "sequential" serves them one at a time (a single closed-loop
+// client, so every request is its own dispatch and kernel pass);
+// "fused" submits them all asynchronously so the batcher coalesces them
+// into a handful of segmented kernel passes. "direct" is the bare
+// serial kernel loop with no service at all — the floor that any
+// serving layer's overhead is measured against. EXPERIMENTS.md records
+// the numbers.
+func BenchmarkServeFusedVsSequential(b *testing.B) {
+	const K, n = 1000, 256
+	rng := rand.New(rand.NewSource(11))
+	data := make([][]int64, K)
+	for i := range data {
+		data[i] = make([]int64, n)
+		for j := range data[i] {
+			data[i][j] = int64(rng.Intn(100))
+		}
+	}
+	spec := serve.Spec{Op: serve.OpSum}
+
+	b.Run("direct", func(b *testing.B) {
+		b.SetBytes(int64(K * n * 8))
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < K; k++ {
+				dst := make([]int64, n)
+				scan.Exclusive(scan.Add[int64]{}, dst, data[k])
+			}
+		}
+	})
+
+	b.Run("sequential", func(b *testing.B) {
+		s := serve.New(serve.Config{QueueLimit: 2 * K})
+		defer s.Close()
+		b.SetBytes(int64(K * n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < K; k++ {
+				if _, err := s.Submit(spec, data[k]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+
+	b.Run("fused", func(b *testing.B) {
+		s := serve.New(serve.Config{QueueLimit: 2 * K})
+		defer s.Close()
+		futures := make([]*serve.Future, K)
+		b.SetBytes(int64(K * n * 8))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for k := 0; k < K; k++ {
+				f, err := s.SubmitAsync(spec, data[k])
+				if err != nil {
+					b.Fatal(err)
+				}
+				futures[k] = f
+			}
+			for _, f := range futures {
+				if _, err := f.Wait(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		st := s.Stats()
+		b.ReportMetric(float64(st.Requests)/float64(st.Batches), "req/batch")
+	})
 }

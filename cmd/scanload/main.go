@@ -1,0 +1,144 @@
+// Command scanload is a closed-loop load generator for the batched
+// scan service: N client goroutines each issue small scans back to
+// back and the tool reports end-to-end throughput plus the server's
+// fusion statistics.
+//
+// With no -addr it benchmarks the in-process server twice — once with
+// batching enabled (fused) and once with MaxBatchRequests=1 (unfused,
+// every request is its own kernel pass) — and prints the speedup, the
+// number EXPERIMENTS.md tracks. With -addr it drives a running scansd
+// over TCP, one connection per client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"scans/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "scansd address; empty = benchmark the in-process server fused vs unfused")
+		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
+		requests = flag.Int("requests", 10000, "total requests across all clients")
+		n        = flag.Int("n", 256, "elements per scan request")
+		op       = flag.String("op", "sum", "scan operator: sum, max, min, mul")
+		kind     = flag.String("kind", "exclusive", "exclusive or inclusive")
+		dir      = flag.String("dir", "forward", "forward or backward")
+		maxWait  = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
+	)
+	flag.Parse()
+
+	spec, err := serve.ParseSpec(*op, *kind, *dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanload:", err)
+		os.Exit(1)
+	}
+
+	if *addr != "" {
+		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanload:", err)
+			os.Exit(1)
+		}
+		report("remote "+*addr, *requests, *n, elapsed)
+		return
+	}
+
+	fused := serve.Config{MaxWait: *maxWait, QueueLimit: 1 << 15}
+	unfused := fused
+	unfused.MaxBatchRequests = 1
+
+	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total\n",
+		*clients, *n, spec, *requests)
+	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n)
+	report("fused", *requests, *n, tFused)
+	fmt.Println("  ", stFused)
+	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n)
+	report("unfused", *requests, *n, tUnfused)
+	fmt.Println("  ", stUnfused)
+	fmt.Printf("fusion speedup: %.2fx\n", float64(tUnfused)/float64(tFused))
+}
+
+// driveInProcess runs one closed-loop phase against a fresh in-process
+// server and returns the elapsed time and the server's final stats.
+func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int) (time.Duration, serve.Stats) {
+	srv := serve.New(cfg)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := randomData(int64(c), n)
+			for i := 0; i < requests/clients; i++ {
+				if _, err := srv.Submit(spec, data); err != nil {
+					// Overload in a closed loop just means retry.
+					i--
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	srv.Close()
+	return elapsed, srv.Stats()
+}
+
+// driveRemote runs the closed loop over TCP, one connection per client.
+func driveRemote(addr string, clients, requests, n int, op, kind, dir string) (time.Duration, error) {
+	conns := make([]*serve.Client, clients)
+	for i := range conns {
+		c, err := serve.Dial(addr)
+		if err != nil {
+			return 0, err
+		}
+		defer c.Close()
+		conns[i] = c
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := randomData(int64(c), n)
+			for i := 0; i < requests/clients; i++ {
+				if _, err := conns[c].Scan(op, kind, dir, data); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start), firstErr
+}
+
+func randomData(seed int64, n int) []int64 {
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]int64, n)
+	for i := range data {
+		data[i] = int64(rng.Intn(100))
+	}
+	return data
+}
+
+func report(label string, requests, n int, elapsed time.Duration) {
+	rps := float64(requests) / elapsed.Seconds()
+	fmt.Printf("%-8s %8d req in %10v  →  %10.0f req/s  %12.0f elems/s\n",
+		label, requests, elapsed.Round(time.Millisecond), rps, rps*float64(n))
+}

@@ -1,0 +1,58 @@
+// Command scansd is the scan service daemon: a TCP front end over
+// internal/serve's batching server. Clients speak newline-delimited
+// JSON (one request per line, one response per line, matched by id):
+//
+//	{"id":1,"op":"sum","kind":"exclusive","dir":"forward","data":[2,1,2]}
+//	{"id":1,"result":[0,2,3]}
+//
+// Every connection's requests fuse into the same batches, so N remote
+// clients issuing small scans cost one segmented kernel pass per
+// batching window, not N passes. cmd/scanload is the matching load
+// generator.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scans/internal/serve"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7187", "TCP listen address")
+		maxElems  = flag.Int("max-batch-elems", 1<<16, "flush a batch at this many fused elements")
+		maxReqs   = flag.Int("max-batch-requests", 4096, "flush a batch at this many requests (1 = unfused)")
+		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window: how long the first request waits for company")
+		queue     = flag.Int("queue", 4096, "bounded submission queue (full queue rejects with an overload error)")
+		workers   = flag.Int("workers", 0, "goroutines per segmented kernel pass (0 = GOMAXPROCS)")
+		executors = flag.Int("executors", 0, "batch executor pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	ns, err := serve.Listen(*addr, serve.Config{
+		MaxBatchElems:    *maxElems,
+		MaxBatchRequests: *maxReqs,
+		MaxWait:          *maxWait,
+		QueueLimit:       *queue,
+		Workers:          *workers,
+		Executors:        *executors,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scansd:", err)
+		os.Exit(1)
+	}
+	fmt.Println("scansd listening on", ns.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+
+	fmt.Println("scansd: draining...")
+	ns.Close()
+	fmt.Println("scansd:", ns.Stats())
+}

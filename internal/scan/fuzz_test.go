@@ -1,0 +1,78 @@
+package scan
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzSegmentedAgainstDirect checks the paper's §3.4 claim — that the
+// segmented scans can be simulated with just the two primitive scans —
+// against the direct pair-monoid implementation on arbitrary
+// flag/value vectors. The two byte strings are the fuzz raw material:
+// one byte per element, values masked to stay within the bit budget
+// the Figure 16 packing requires, flags taken from the low bit of the
+// second string (cycled when shorter than the values).
+func FuzzSegmentedAgainstDirect(f *testing.F) {
+	// Seed corpus: the paper's Figure 4 example, degenerate shapes, and
+	// a vector long enough to cross parallel block boundaries.
+	f.Add([]byte{5, 1, 3, 4, 3, 9, 2, 6}, []byte{1, 0, 1, 0, 0, 0, 1, 0})
+	f.Add([]byte{}, []byte{})
+	f.Add([]byte{7}, []byte{0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, []byte{1, 1, 1, 1, 1, 1, 1, 1})
+	f.Add([]byte{9, 9, 9, 9}, []byte{0})
+	long := make([]byte, 3000)
+	for i := range long {
+		long[i] = byte(i * 37)
+	}
+	f.Add(long, []byte{0, 0, 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, valBytes, flagBytes []byte) {
+		n := len(valBytes)
+		values := make([]int, n)
+		for i, b := range valBytes {
+			values[i] = int(b & 0x3f) // non-negative, small: fits any packing
+		}
+		flags := make([]bool, n)
+		for i := range flags {
+			if len(flagBytes) > 0 {
+				flags[i] = flagBytes[i%len(flagBytes)]&1 == 1
+			}
+		}
+
+		// Segmented +-scan: §3.4 simulation vs direct kernel.
+		wantSum := make([]int, n)
+		SegExclusive(Add[int]{}, wantSum, values, flags)
+		gotSum := make([]int, n)
+		SegSumViaPrimitives(gotSum, values, flags)
+		if !reflect.DeepEqual(gotSum, wantSum) {
+			t.Errorf("SegSumViaPrimitives = %v, want %v (values=%v flags=%v)",
+				gotSum, wantSum, values, flags)
+		}
+
+		// Segmented max-scan: Figure 16 simulation vs direct kernel.
+		// The simulation writes the identity 0 at segment heads, which
+		// matches the direct kernel with identity 0 on non-negative data.
+		wantMax := make([]int, n)
+		SegExclusive(Max[int]{Id: 0}, wantMax, values, flags)
+		gotMax := make([]int, n)
+		SegMaxViaPrimitives(gotMax, values, flags)
+		if !reflect.DeepEqual(gotMax, wantMax) {
+			t.Errorf("SegMaxViaPrimitives = %v, want %v (values=%v flags=%v)",
+				gotMax, wantMax, values, flags)
+		}
+
+		// While we have random segmented inputs: the parallel kernels
+		// (forward and backward) must agree with the serial ones too.
+		got := make([]int, n)
+		SegExclusiveParallel(Add[int]{}, got, values, flags, 3)
+		if !reflect.DeepEqual(got, wantSum) {
+			t.Errorf("SegExclusiveParallel differs from serial (values=%v flags=%v)", values, flags)
+		}
+		wantBack := make([]int, n)
+		SegExclusiveBackward(Add[int]{}, wantBack, values, flags)
+		SegExclusiveBackwardParallel(Add[int]{}, got, values, flags, 3)
+		if !reflect.DeepEqual(got, wantBack) {
+			t.Errorf("SegExclusiveBackwardParallel differs from serial (values=%v flags=%v)", values, flags)
+		}
+	})
+}

@@ -142,6 +142,79 @@ func TestSegInclusiveParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestSegExclusiveBackwardParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, density := range []float64{0, 0.001, 0.1, 0.9, 1} {
+			for _, p := range []int{1, 2, 5, 16} {
+				a := randomInput(n, int64(n)+int64(p)+int64(density*100))
+				flags := randomFlags(n, density, int64(n)*3+int64(p))
+				want := make([]int, n)
+				SegExclusiveBackward(Add[int]{}, want, a, flags)
+				got := make([]int, n)
+				SegExclusiveBackwardParallel(Add[int]{}, got, a, flags, p)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d density=%g p=%d: parallel backward segmented exclusive differs", n, density, p)
+				}
+			}
+		}
+	}
+}
+
+func TestSegInclusiveBackwardParallelMatchesSerial(t *testing.T) {
+	for _, n := range parallelSizes {
+		for _, density := range []float64{0, 0.05, 0.5} {
+			a := randomInput(n, int64(n)+17)
+			flags := randomFlags(n, density, int64(n)+18)
+			want := make([]int, n)
+			SegInclusiveBackward(MaxIntOp, want, a, flags)
+			got := make([]int, n)
+			SegInclusiveBackwardParallel(MaxIntOp, got, a, flags, 6)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("n=%d density=%g: parallel backward segmented inclusive max differs", n, density)
+			}
+		}
+	}
+}
+
+func TestSegBackwardParallelNonCommutative(t *testing.T) {
+	// Backward segmented scans over string concatenation exercise both the
+	// operand order and the head-cutoff logic of the carry combination.
+	op := Func[string]{Id: "", F: func(a, b string) string { return a + b }}
+	n := parallelThreshold * 2
+	a := make([]string, n)
+	letters := "abcdefg"
+	for i := range a {
+		a[i] = string(letters[i%len(letters)])
+	}
+	flags := randomFlags(n, 0.3, 99)
+	want := make([]string, n)
+	SegExclusiveBackward(op, want, a, flags)
+	got := make([]string, n)
+	SegExclusiveBackwardParallel(op, got, a, flags, 7)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("parallel backward segmented scan over non-commutative op differs from serial")
+	}
+}
+
+func TestSegBackwardParallelSegmentSpanningBlocks(t *testing.T) {
+	// A single segment head near the end: every block left of it must be
+	// seeded with the suffix sum up to (not across) the head.
+	n := parallelThreshold * 3
+	a := make([]int, n)
+	for i := range a {
+		a[i] = 1
+	}
+	flags := make([]bool, n)
+	flags[n-2] = true
+	want := make([]int, n)
+	SegExclusiveBackward(Add[int]{}, want, a, flags)
+	got := make([]int, n)
+	SegExclusiveBackwardParallel(Add[int]{}, got, a, flags, 8)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("backward segment spanning block boundaries mishandled")
+	}
+}
+
 func TestSegParallelSegmentSpanningBlocks(t *testing.T) {
 	// One huge segment starting in block 0 must carry across every block
 	// boundary: all flags false except position 1.

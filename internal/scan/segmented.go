@@ -175,6 +175,103 @@ func SegInclusiveParallel[T any, O Op[T]](op O, dst, src []T, flags []bool, p in
 	})
 }
 
+// SegExclusiveBackwardParallel computes the same result as
+// SegExclusiveBackward using p worker goroutines (p <= 0 means
+// GOMAXPROCS). dst may alias src.
+//
+// The block-carry monoid mirrors segOp: each block summarizes, for a
+// reader whose accumulation is still open at the block's LEFT edge, the
+// combination of its elements up to (but excluding) its first segment
+// head, plus whether it contains a head at all.
+func SegExclusiveBackwardParallel[T any, O Op[T]](op O, dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegExclusiveBackwardParallel", len(dst), n)
+	checkLen("SegExclusiveBackwardParallel flags", len(flags), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		SegExclusiveBackward(op, dst, src, flags)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segBackwardCarries(op, src, flags, p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := carries[b].v
+		for i := hi - 1; i >= lo; i-- {
+			v := src[i]
+			dst[i] = acc
+			acc = op.Combine(v, acc)
+			if flags[i] {
+				acc = op.Identity()
+			}
+		}
+	})
+}
+
+// SegInclusiveBackwardParallel computes the same result as
+// SegInclusiveBackward using p worker goroutines. dst may alias src.
+func SegInclusiveBackwardParallel[T any, O Op[T]](op O, dst, src []T, flags []bool, p int) {
+	n := len(src)
+	checkLen("SegInclusiveBackwardParallel", len(dst), n)
+	checkLen("SegInclusiveBackwardParallel flags", len(flags), n)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		SegInclusiveBackward(op, dst, src, flags)
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segBackwardCarries(op, src, flags, p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := carries[b].v
+		for i := hi - 1; i >= lo; i-- {
+			acc = op.Combine(src[i], acc)
+			dst[i] = acc
+			if flags[i] {
+				acc = op.Identity()
+			}
+		}
+	})
+}
+
+// segBackwardCarries runs phase 1+2 of the backward segmented parallel
+// scans: per-block backward summaries, then a serial backward exclusive
+// scan of the p summaries under the backward segment monoid, leaving
+// carries[b] = the open accumulation each block should be seeded with at
+// its right edge.
+func segBackwardCarries[T any, O Op[T]](op O, src []T, flags []bool, p int) []segPair[T] {
+	n := len(src)
+	carries := make([]segPair[T], p)
+	blocks(n, p, func(b, lo, hi int) {
+		acc := op.Identity()
+		crossed := false
+		for i := hi - 1; i >= lo; i-- {
+			acc = op.Combine(src[i], acc)
+			if flags[i] {
+				crossed = true
+				acc = op.Identity()
+			}
+		}
+		carries[b] = segPair[T]{v: acc, crossed: crossed}
+	})
+	// Backward exclusive scan of the block summaries. The combine is the
+	// mirror of segOp.Combine: a head anywhere in the left operand hides
+	// everything to its right.
+	acc := segPair[T]{v: op.Identity()}
+	for b := p - 1; b >= 0; b-- {
+		s := carries[b]
+		carries[b] = acc
+		if s.crossed {
+			acc = segPair[T]{v: s.v, crossed: true}
+		} else {
+			acc = segPair[T]{v: op.Combine(s.v, acc.v), crossed: acc.crossed}
+		}
+	}
+	return carries
+}
+
 // copyPair is the element of the copy monoid: "the most recent tagged
 // value wins". It makes the paper's copy and segmented-copy operations
 // (§2.2) ordinary scans: tag the first element (or every segment head)

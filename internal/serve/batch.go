@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"math"
+
+	"scans/internal/scan"
+)
+
+// runBatch executes one fused batch: group the requests by Spec, build
+// one flat vector + segment-head flags per group, run ONE segmented
+// kernel pass per group, and hand each request a disjoint subslice of
+// the group's output vector. This is the §3 argument operationalized:
+// K small scans of the same flavor cost one primitive pass over their
+// concatenation.
+func (s *Server) runBatch(batch []*Future) {
+	// Group while preserving arrival order within each group. Batches
+	// are small (≤ MaxBatchRequests); a map of slices is fine.
+	groups := make(map[Spec][]*Future, 4)
+	order := make([]Spec, 0, 4)
+	for _, f := range batch {
+		if _, seen := groups[f.spec]; !seen {
+			order = append(order, f.spec)
+		}
+		groups[f.spec] = append(groups[f.spec], f)
+	}
+	elems := 0
+	for _, spec := range order {
+		elems += s.runGroup(spec, groups[spec])
+	}
+	s.stats.record(len(batch), len(order), elems)
+}
+
+// runGroup fuses one Spec's requests into a single segmented scan and
+// scatters the results. Returns the number of fused elements.
+func (s *Server) runGroup(spec Spec, reqs []*Future) int {
+	n := 0
+	for _, f := range reqs {
+		n += len(f.data)
+	}
+	src := make([]int64, n)
+	flags := make([]bool, n)
+	pos := 0
+	for _, f := range reqs {
+		flags[pos] = true
+		copy(src[pos:], f.data)
+		pos += len(f.data)
+	}
+	// One kernel pass for the whole group. dst aliases src: every
+	// kernel in internal/scan supports in-place operation, and the
+	// fused source is dead after the pass.
+	dst := src
+	runSegmented(spec, dst, src, flags, s.cfg.Workers)
+	pos = 0
+	for _, f := range reqs {
+		f.res = dst[pos : pos+len(f.data) : pos+len(f.data)]
+		pos += len(f.data)
+		close(f.done)
+	}
+	return n
+}
+
+// runSegmented dispatches one fused (op, kind, direction) pass to the
+// matching segmented kernel from internal/scan.
+func runSegmented(spec Spec, dst, src []int64, flags []bool, workers int) {
+	switch spec.Op {
+	case OpSum:
+		runMonoid(scan.Add[int64]{}, spec, dst, src, flags, workers)
+	case OpMul:
+		runMonoid(scan.Mul[int64]{}, spec, dst, src, flags, workers)
+	case OpMax:
+		runMonoid(scan.Max[int64]{Id: math.MinInt64}, spec, dst, src, flags, workers)
+	case OpMin:
+		runMonoid(scan.Min[int64]{Id: math.MaxInt64}, spec, dst, src, flags, workers)
+	default:
+		panic("serve: runSegmented: invalid op " + spec.Op.String())
+	}
+}
+
+// runMonoid selects the kernel for the spec's kind and direction.
+func runMonoid[O scan.Op[int64]](op O, spec Spec, dst, src []int64, flags []bool, workers int) {
+	switch {
+	case spec.Dir == Forward && spec.Kind == Exclusive:
+		scan.SegExclusiveParallel(op, dst, src, flags, workers)
+	case spec.Dir == Forward && spec.Kind == Inclusive:
+		scan.SegInclusiveParallel(op, dst, src, flags, workers)
+	case spec.Dir == Backward && spec.Kind == Exclusive:
+		scan.SegExclusiveBackwardParallel(op, dst, src, flags, workers)
+	default:
+		scan.SegInclusiveBackwardParallel(op, dst, src, flags, workers)
+	}
+}

@@ -1,0 +1,267 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"sync"
+)
+
+// maxLineBytes bounds one JSON line on the wire (a million-element
+// vector is ~8 MB of decimal digits; beyond that the connection is
+// misbehaving and gets dropped).
+const maxLineBytes = 16 << 20
+
+// NetServer is the TCP front end: a thin newline-delimited-JSON skin
+// over an in-process Server, so remote clients' requests fuse into the
+// same batches as everyone else's. cmd/scansd is a flag-parsing shell
+// around this type; tests start it in-process on a loopback port.
+type NetServer struct {
+	srv *Server
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
+// connections over the given batching config.
+func Listen(addr string, cfg Config) (*NetServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ns := &NetServer{
+		srv:   New(cfg),
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	go ns.acceptLoop()
+	return ns, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
+
+// Stats snapshots the underlying batch server's counters.
+func (ns *NetServer) Stats() Stats { return ns.srv.Stats() }
+
+// Close stops accepting, closes every live connection, and drains the
+// underlying batch server. In-flight requests whose futures were
+// already accepted still execute; their responses are lost if their
+// connection is gone, which is the standard TCP shutdown contract.
+func (ns *NetServer) Close() {
+	ns.ln.Close()
+	ns.mu.Lock()
+	for c := range ns.conns {
+		c.Close()
+	}
+	ns.mu.Unlock()
+	<-ns.done
+	ns.srv.Close()
+}
+
+// acceptLoop accepts until the listener closes.
+func (ns *NetServer) acceptLoop() {
+	defer close(ns.done)
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		conn, err := ns.ln.Accept()
+		if err != nil {
+			return
+		}
+		ns.mu.Lock()
+		ns.conns[conn] = struct{}{}
+		ns.mu.Unlock()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ns.handle(conn)
+			ns.mu.Lock()
+			delete(ns.conns, conn)
+			ns.mu.Unlock()
+		}()
+	}
+}
+
+// handle reads JSON lines off one connection, submits each to the
+// batch server, and writes responses as futures resolve. Responses are
+// written by per-request goroutines under a write mutex, so a slow
+// batch never blocks later requests from being submitted (that is the
+// whole point of the service).
+func (ns *NetServer) handle(conn net.Conn) {
+	defer conn.Close()
+	var (
+		wmu     sync.Mutex
+		pending sync.WaitGroup
+		w       = bufio.NewWriter(conn)
+	)
+	defer pending.Wait()
+	respond := func(resp WireResponse) {
+		line, err := json.Marshal(resp)
+		if err != nil {
+			line = []byte(`{"error":"marshal failure"}`)
+		}
+		wmu.Lock()
+		w.Write(line)
+		w.WriteByte('\n')
+		w.Flush()
+		wmu.Unlock()
+	}
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req WireRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			respond(WireResponse{ID: req.ID, Error: "bad json: " + err.Error()})
+			continue
+		}
+		spec, err := ParseSpec(req.Op, req.Kind, req.Dir)
+		if err != nil {
+			respond(WireResponse{ID: req.ID, Error: err.Error()})
+			continue
+		}
+		fut, err := ns.srv.SubmitAsync(spec, req.Data)
+		if err != nil {
+			respond(WireResponse{ID: req.ID, Error: err.Error()})
+			continue
+		}
+		pending.Add(1)
+		go func(id uint64, fut *Future) {
+			defer pending.Done()
+			res, err := fut.Wait()
+			if err != nil {
+				respond(WireResponse{ID: id, Error: err.Error()})
+				return
+			}
+			respond(WireResponse{ID: id, Result: res})
+		}(req.ID, fut)
+	}
+}
+
+// Client is a line-protocol client for NetServer / cmd/scansd. One
+// Client owns one TCP connection and supports any number of concurrent
+// Scan calls; a reader goroutine dispatches responses by ID.
+type Client struct {
+	conn net.Conn
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	mu      sync.Mutex
+	nextID  uint64
+	waiters map[uint64]chan WireResponse
+	readErr error
+	closed  bool
+}
+
+// Dial connects to a scansd address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		conn:    conn,
+		w:       bufio.NewWriter(conn),
+		waiters: make(map[uint64]chan WireResponse),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection; outstanding Scan calls fail.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Scan performs one synchronous round trip. op/kind/dir use the wire
+// strings ("sum", "exclusive", "forward", ...); empty kind/dir take
+// the defaults. Many goroutines may Scan concurrently on one Client —
+// their requests fuse server-side, which is the intended usage.
+func (c *Client) Scan(op, kind, dir string, data []int64) ([]int64, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return nil, err
+	}
+	c.nextID++
+	id := c.nextID
+	ch := make(chan WireResponse, 1)
+	c.waiters[id] = ch
+	c.mu.Unlock()
+
+	line, err := json.Marshal(WireRequest{ID: id, Op: op, Kind: kind, Dir: dir, Data: data})
+	if err == nil {
+		c.wmu.Lock()
+		_, err = c.w.Write(line)
+		if err == nil {
+			err = c.w.WriteByte('\n')
+		}
+		if err == nil {
+			err = c.w.Flush()
+		}
+		c.wmu.Unlock()
+	}
+	if err != nil {
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return nil, err
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.readErr
+		c.mu.Unlock()
+		if err == nil {
+			err = net.ErrClosed
+		}
+		return nil, err
+	}
+	if resp.Error != "" {
+		return nil, errors.New(resp.Error)
+	}
+	if resp.Result == nil {
+		resp.Result = []int64{}
+	}
+	return resp.Result, nil
+}
+
+// readLoop dispatches responses by ID until the connection dies, then
+// fails every outstanding waiter.
+func (c *Client) readLoop() {
+	sc := bufio.NewScanner(c.conn)
+	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	for sc.Scan() {
+		var resp WireResponse
+		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			continue
+		}
+		c.mu.Lock()
+		ch, ok := c.waiters[resp.ID]
+		delete(c.waiters, resp.ID)
+		c.mu.Unlock()
+		if ok {
+			ch <- resp
+		}
+	}
+	c.mu.Lock()
+	c.closed = true
+	c.readErr = sc.Err()
+	for id, ch := range c.waiters {
+		close(ch)
+		delete(c.waiters, id)
+	}
+	c.mu.Unlock()
+}

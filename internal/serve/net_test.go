@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startNet spins up a NetServer on a loopback port for tests.
+func startNet(t *testing.T, cfg Config) *NetServer {
+	t.Helper()
+	ns, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(ns.Close)
+	return ns
+}
+
+func TestNetRoundTripSmoke(t *testing.T) {
+	// The acceptance smoke test: server started in-process, the load
+	// generator's client dials it, scans round-trip with exact results.
+	ns := startNet(t, Config{MaxWait: 100 * time.Microsecond})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	got, err := c.Scan("sum", "", "", []int64{2, 1, 2, 3, 5, 8})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if want := []int64{0, 2, 3, 5, 8, 13}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("sum scan = %v, want %v", got, want)
+	}
+
+	got, err = c.Scan("max", "inclusive", "backward", []int64{3, 1, 4, 1, 5})
+	if err != nil {
+		t.Fatalf("backward max Scan: %v", err)
+	}
+	if want := []int64{5, 5, 5, 5, 5}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("backward inclusive max = %v, want %v", got, want)
+	}
+
+	if got, err := c.Scan("min", "", "", []int64{}); err != nil || len(got) != 0 {
+		t.Fatalf("empty scan = (%v, %v), want ([], nil)", got, err)
+	}
+
+	if st := ns.Stats(); st.Requests < 3 {
+		t.Fatalf("server stats saw %d requests, want >= 3", st.Requests)
+	}
+}
+
+func TestNetBadRequests(t *testing.T) {
+	ns := startNet(t, Config{})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Scan("xor", "", "", []int64{1}); err == nil || !strings.Contains(err.Error(), "unknown op") {
+		t.Fatalf("unknown op over the wire = %v, want unknown-op error", err)
+	}
+	// The connection must survive a bad request.
+	if _, err := c.Scan("sum", "", "", []int64{1, 1}); err != nil {
+		t.Fatalf("scan after bad request: %v", err)
+	}
+}
+
+func TestNetConcurrentClientsAgainstReference(t *testing.T) {
+	// Several connections × several goroutines each, all fusing into
+	// the same server; every response must match the serial reference.
+	ns := startNet(t, Config{MaxWait: 200 * time.Microsecond})
+	specs := allSpecs()
+	const conns, perConn, reqs = 3, 4, 25
+	var wg sync.WaitGroup
+	errs := make(chan error, conns*perConn)
+	for ci := 0; ci < conns; ci++ {
+		c, err := Dial(ns.Addr())
+		if err != nil {
+			t.Fatalf("Dial: %v", err)
+		}
+		defer c.Close()
+		for g := 0; g < perConn; g++ {
+			wg.Add(1)
+			go func(seed int64, c *Client) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(seed))
+				for i := 0; i < reqs; i++ {
+					spec := specs[rng.Intn(len(specs))]
+					data := randomData(rng, 1+rng.Intn(32))
+					if spec.Op == OpMul {
+						for j := range data {
+							data[j] = 2*(data[j]&1) - 1
+						}
+					}
+					got, err := c.Scan(spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if want := directScan(spec, data); !reflect.DeepEqual(got, want) {
+						errs <- &mismatchError{spec: spec}
+						return
+					}
+				}
+			}(int64(ci*100+g), c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+type mismatchError struct{ spec Spec }
+
+func (e *mismatchError) Error() string {
+	return "wire result differs from direct kernel for " + e.spec.String()
+}

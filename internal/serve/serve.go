@@ -1,0 +1,403 @@
+// Package serve turns the scan kernels into a concurrent scan service.
+//
+// The paper's own argument for segmented scans (§3) is that many
+// independent small scans can execute as ONE primitive pass over a
+// single flat vector. This package applies that argument to serving:
+// a Server accepts Submit requests from many goroutines, coalesces
+// whatever arrives within a batching window into one flat vector plus
+// segment-head flags, runs a single segmented-scan kernel pass per
+// (op, kind, direction) group, and scatters the results back to
+// per-request futures. Per-invocation overhead — dispatch, allocation,
+// kernel startup — is paid once per batch instead of once per request,
+// which is exactly the amortization Figure 10's long-vector rule buys
+// the hardware.
+//
+// The pipeline is: Submit → bounded queue (backpressure) → batcher
+// (one goroutine, owns the batching window) → executor pool (sized via
+// scan.Workers) → segmented kernels → futures.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"scans/internal/scan"
+)
+
+// Typed errors returned by Submit and friends. Callers branch on these
+// with errors.Is; ErrOverloaded in particular is the backpressure
+// signal — the bounded queue is full and the request was REJECTED, not
+// queued.
+var (
+	// ErrOverloaded means the server's bounded request queue is full.
+	// The request was not enqueued; the caller should back off or shed.
+	ErrOverloaded = errors.New("serve: server overloaded (request queue full)")
+	// ErrClosed means the server has been closed and accepts no new work.
+	ErrClosed = errors.New("serve: server closed")
+	// ErrBadRequest means the request's op/kind/direction was invalid.
+	ErrBadRequest = errors.New("serve: bad request")
+)
+
+// Op identifies the scan operator of a request. The service fixes the
+// element type at int64 (the wire format's integer type); the four ops
+// are the monoids the paper's algorithms lean on.
+type Op uint8
+
+const (
+	// OpSum is the +-scan, one of the paper's two primitives.
+	OpSum Op = iota
+	// OpMax is the max-scan, the paper's second primitive. Identity
+	// math.MinInt64.
+	OpMax
+	// OpMin is the min-scan (identity math.MaxInt64).
+	OpMin
+	// OpMul is the ×-scan (identity 1).
+	OpMul
+	opCount
+)
+
+// String returns the wire name of the op ("sum", "max", "min", "mul").
+func (o Op) String() string {
+	switch o {
+	case OpSum:
+		return "sum"
+	case OpMax:
+		return "max"
+	case OpMin:
+		return "min"
+	case OpMul:
+		return "mul"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Kind selects the exclusive or inclusive form of the scan.
+type Kind uint8
+
+const (
+	// Exclusive is the paper's default: dst[i] combines the elements
+	// strictly before i, dst[0] is the identity.
+	Exclusive Kind = iota
+	// Inclusive includes element i itself.
+	Inclusive
+	kindCount
+)
+
+// String returns the wire name of the kind.
+func (k Kind) String() string {
+	if k == Inclusive {
+		return "inclusive"
+	}
+	return "exclusive"
+}
+
+// Dir selects the forward or backward scan direction.
+type Dir uint8
+
+const (
+	// Forward scans left-to-right.
+	Forward Dir = iota
+	// Backward scans right-to-left (the paper's "back-scans").
+	Backward
+	dirCount
+)
+
+// String returns the wire name of the direction.
+func (d Dir) String() string {
+	if d == Backward {
+		return "backward"
+	}
+	return "forward"
+}
+
+// Spec fully identifies a scan flavor. Requests with equal Specs fuse
+// into the same segmented kernel pass.
+type Spec struct {
+	Op   Op
+	Kind Kind
+	Dir  Dir
+}
+
+// valid reports whether every field is in range.
+func (s Spec) valid() bool {
+	return s.Op < opCount && s.Kind < kindCount && s.Dir < dirCount
+}
+
+// String returns e.g. "sum/exclusive/forward".
+func (s Spec) String() string {
+	return s.Op.String() + "/" + s.Kind.String() + "/" + s.Dir.String()
+}
+
+// Config tunes a Server. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// MaxBatchElems flushes the building batch once its fused vector
+	// reaches this many elements. Default 1 << 16.
+	MaxBatchElems int
+	// MaxBatchRequests flushes the building batch once it holds this
+	// many requests. 1 disables fusion entirely (every request is its
+	// own batch — the "unfused" baseline). Default 4096.
+	MaxBatchRequests int
+	// MinBatchRequests is the batching fill target. The batcher always
+	// fuses greedily (everything already queued joins the batch); below
+	// the target it yields the processor to let runnable submitters
+	// enqueue, and flushes as soon as a yield surfaces no new request
+	// (or MaxWait is spent). Fusion therefore tracks the offered
+	// concurrency and never parks a timer: a lone request flushes after
+	// one yield. Default 256.
+	MinBatchRequests int
+	// MaxWait caps how long a below-target batch keeps yielding for
+	// stragglers before flushing anyway. <= 0 disables yielding: the
+	// queue is drained once and the batch flushes. Default 100µs.
+	MaxWait time.Duration
+	// QueueLimit caps the submission queue. A full queue rejects with
+	// ErrOverloaded instead of growing without bound. Default 4096.
+	QueueLimit int
+	// Executors sizes the batch-executor worker pool; <= 0 means
+	// scan.Workers(0), i.e. GOMAXPROCS. Multiple executors pipeline:
+	// one batch can run kernels while the batcher assembles the next.
+	Executors int
+	// Workers is the per-kernel goroutine count handed to the parallel
+	// segmented kernels; <= 0 means scan.Workers(0).
+	Workers int
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatchElems <= 0 {
+		c.MaxBatchElems = 1 << 16
+	}
+	if c.MaxBatchRequests <= 0 {
+		c.MaxBatchRequests = 4096
+	}
+	if c.MinBatchRequests <= 0 {
+		c.MinBatchRequests = 256
+	}
+	if c.MinBatchRequests > c.MaxBatchRequests {
+		c.MinBatchRequests = c.MaxBatchRequests
+	}
+	if c.MaxWait == 0 {
+		c.MaxWait = 100 * time.Microsecond
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 4096
+	}
+	c.Executors = scan.Workers(c.Executors)
+	return c
+}
+
+// Future is the handle for an in-flight request. Wait blocks until the
+// batch containing the request has executed.
+type Future struct {
+	spec Spec
+	data []int64
+	res  []int64
+	err  error
+	done chan struct{}
+}
+
+// Wait blocks until the request has been served and returns its result.
+// The result slice is owned by the caller; it aliases no other
+// request's result (each request gets a disjoint subslice of its
+// batch's output vector).
+func (f *Future) Wait() ([]int64, error) {
+	<-f.done
+	return f.res, f.err
+}
+
+// Server is an in-process batched scan service. Create with New, submit
+// from any number of goroutines, Close to drain and stop.
+type Server struct {
+	cfg    Config
+	queue  chan *Future
+	execCh chan []*Future
+
+	mu     sync.RWMutex // guards closed vs. sends on queue
+	closed bool
+
+	wg    sync.WaitGroup // batcher + executors
+	stats stats
+}
+
+// New starts a Server with the given Config (zero value for defaults).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		queue:  make(chan *Future, cfg.QueueLimit),
+		execCh: make(chan []*Future, cfg.Executors),
+	}
+	s.start()
+	return s
+}
+
+// newStopped builds a Server without starting its goroutines. Tests use
+// it to observe backpressure deterministically (nothing drains the
+// queue until start is called).
+func newStopped(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		queue:  make(chan *Future, cfg.QueueLimit),
+		execCh: make(chan []*Future, cfg.Executors),
+	}
+}
+
+// start launches the batcher and the executor pool.
+func (s *Server) start() {
+	s.wg.Add(1 + s.cfg.Executors)
+	go s.batchLoop()
+	for i := 0; i < s.cfg.Executors; i++ {
+		go s.execLoop()
+	}
+}
+
+// SubmitAsync enqueues a scan request and returns a Future. The data
+// slice is retained until the batch executes; callers must not mutate
+// it before Wait returns. Returns ErrOverloaded when the queue is full,
+// ErrClosed after Close, ErrBadRequest for an invalid Spec.
+func (s *Server) SubmitAsync(spec Spec, data []int64) (*Future, error) {
+	if !spec.valid() {
+		s.stats.rejected.Add(1)
+		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, spec)
+	}
+	f := &Future{spec: spec, data: data, done: make(chan struct{})}
+	if len(data) == 0 {
+		// Nothing to scan; resolve without a server round trip so empty
+		// requests can never occupy batch slots.
+		f.res = []int64{}
+		close(f.done)
+		s.stats.requests.Add(1)
+		return f, nil
+	}
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		s.stats.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	select {
+	case s.queue <- f:
+		s.stats.requests.Add(1)
+		return f, nil
+	default:
+		s.stats.rejected.Add(1)
+		return nil, ErrOverloaded
+	}
+}
+
+// Submit is the synchronous convenience form: SubmitAsync then Wait.
+func (s *Server) Submit(spec Spec, data []int64) ([]int64, error) {
+	f, err := s.SubmitAsync(spec, data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// Close stops accepting new requests, drains everything already queued
+// (every accepted Future resolves), waits for the batcher and executors
+// to exit, and returns. Safe to call more than once.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.closed = true
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// batchLoop is the single goroutine that owns batch assembly. The
+// policy is adaptive: fuse greedily (everything already queued joins);
+// below the fill target, yield the processor so runnable submitters
+// can enqueue, and flush once a yield surfaces nothing new or the
+// window is spent. Fusion therefore tracks the offered concurrency
+// with no timer parking — Go timer wakeups cost milliseconds on a
+// loaded box, far more than the scans being fused — while the element
+// and request caps still bound each kernel pass.
+func (s *Server) batchLoop() {
+	defer func() {
+		close(s.execCh)
+		s.wg.Done()
+	}()
+	for {
+		first, ok := <-s.queue
+		if !ok {
+			return
+		}
+		batch := []*Future{first}
+		elems := len(first.data)
+		draining := false
+		sizeAtYield := -1
+		var deadline time.Time
+	assemble:
+		for elems < s.cfg.MaxBatchElems && len(batch) < s.cfg.MaxBatchRequests {
+			// Greedy: take whatever is already queued.
+			select {
+			case f, ok := <-s.queue:
+				if !ok {
+					draining = true
+					break assemble
+				}
+				batch = append(batch, f)
+				elems += len(f.data)
+				continue
+			default:
+			}
+			// Queue empty. Flush, unless the batch is below the fill
+			// target and yielding is still making progress.
+			if len(batch) >= s.cfg.MinBatchRequests || s.cfg.MaxWait <= 0 {
+				break assemble
+			}
+			if sizeAtYield == len(batch) {
+				// The last yield surfaced nothing: no submitter is
+				// runnable, so more waiting buys occupancy only at the
+				// price of parked latency. Flush.
+				break assemble
+			}
+			now := time.Now()
+			if deadline.IsZero() {
+				deadline = now.Add(s.cfg.MaxWait)
+			} else if now.After(deadline) {
+				break assemble
+			}
+			sizeAtYield = len(batch)
+			runtime.Gosched()
+		}
+		s.execCh <- batch
+		if draining {
+			return
+		}
+	}
+}
+
+// execLoop runs batches handed over by the batcher until the channel
+// closes at shutdown.
+func (s *Server) execLoop() {
+	defer s.wg.Done()
+	for batch := range s.execCh {
+		s.runBatch(batch)
+	}
+}
+
+// identity returns the identity element of the request's monoid, which
+// exclusive results surface directly (dst[0] for forward scans).
+func identity(op Op) int64 {
+	switch op {
+	case OpMax:
+		return math.MinInt64
+	case OpMin:
+		return math.MaxInt64
+	case OpMul:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,140 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// occBuckets is the number of power-of-two histogram buckets for batch
+// occupancy (requests fused per batch). Bucket b counts batches whose
+// occupancy o satisfies bits.Len(o) == b, i.e. 2^(b-1) <= o < 2^b;
+// 64 buckets cover any int.
+const occBuckets = 64
+
+// stats is the server's internal counter block. All fields are atomics
+// so the executor pool can record concurrently.
+type stats struct {
+	requests  atomic.Uint64
+	rejected  atomic.Uint64
+	batches   atomic.Uint64
+	groups    atomic.Uint64
+	fused     atomic.Uint64
+	maxOcc    atomic.Uint64
+	occupancy [occBuckets]atomic.Uint64
+}
+
+// record accounts one executed batch.
+func (st *stats) record(occupancy, groups, elems int) {
+	st.batches.Add(1)
+	st.groups.Add(uint64(groups))
+	st.fused.Add(uint64(elems))
+	b := bits.Len(uint(occupancy))
+	if b >= occBuckets {
+		b = occBuckets - 1
+	}
+	st.occupancy[b].Add(1)
+	for {
+		cur := st.maxOcc.Load()
+		if uint64(occupancy) <= cur || st.maxOcc.CompareAndSwap(cur, uint64(occupancy)) {
+			return
+		}
+	}
+}
+
+// Stats is a point-in-time snapshot of a Server's counters, the raw
+// material for EXPERIMENTS.md's fusion-efficiency numbers.
+type Stats struct {
+	// Requests is the number of accepted requests (including empty
+	// ones resolved locally).
+	Requests uint64
+	// Rejected counts submissions refused with ErrOverloaded,
+	// ErrClosed, or ErrBadRequest.
+	Rejected uint64
+	// Batches is the number of fused batches executed.
+	Batches uint64
+	// Groups is the total number of (op, kind, direction) kernel
+	// passes across all batches; Groups/Batches is the fan-out of
+	// flavors per batch.
+	Groups uint64
+	// FusedElements is the total element count pushed through the
+	// segmented kernels.
+	FusedElements uint64
+	// P50Occupancy and P99Occupancy are the median and 99th-percentile
+	// requests-per-batch, approximated from a power-of-two histogram
+	// (reported as the bucket's upper bound clamped to MaxOccupancy, so
+	// exact for occupancies one less than a power of two and otherwise
+	// within 2×).
+	P50Occupancy int
+	P99Occupancy int
+	// MaxOccupancy is the largest batch executed so far.
+	MaxOccupancy int
+}
+
+// String renders the snapshot in one line for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d rejected=%d batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d}",
+		s.Requests, s.Rejected, s.Batches, s.Groups, s.FusedElements,
+		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy)
+}
+
+// Stats snapshots the server's counters. Safe to call concurrently
+// with traffic; the snapshot is internally consistent enough for
+// monitoring (each counter is read atomically, not the set as a whole).
+func (s *Server) Stats() Stats {
+	st := &s.stats
+	out := Stats{
+		Requests:      st.requests.Load(),
+		Rejected:      st.rejected.Load(),
+		Batches:       st.batches.Load(),
+		Groups:        st.groups.Load(),
+		FusedElements: st.fused.Load(),
+		MaxOccupancy:  int(st.maxOcc.Load()),
+	}
+	var counts [occBuckets]uint64
+	total := uint64(0)
+	for i := range counts {
+		counts[i] = st.occupancy[i].Load()
+		total += counts[i]
+	}
+	out.P50Occupancy = percentile(counts[:], total, 50)
+	out.P99Occupancy = percentile(counts[:], total, 99)
+	// Bucket upper bounds can overshoot the true maximum (occupancy 32
+	// lands in bucket [32,63], reported as 63); clamp so a percentile
+	// never reads above the observed max.
+	if out.P50Occupancy > out.MaxOccupancy {
+		out.P50Occupancy = out.MaxOccupancy
+	}
+	if out.P99Occupancy > out.MaxOccupancy {
+		out.P99Occupancy = out.MaxOccupancy
+	}
+	return out
+}
+
+// percentile returns the upper bound of the first histogram bucket at
+// which the cumulative count reaches q% of total (0 if no batches yet).
+func percentile(counts []uint64, total uint64, q uint64) int {
+	if total == 0 {
+		return 0
+	}
+	// 1-based rank of the first batch strictly above q% of the
+	// distribution, clamped into range; this makes P99 surface the tail
+	// bucket rather than rounding down to the bulk.
+	rank := total*q/100 + 1
+	if rank > total {
+		rank = total
+	}
+	cum := uint64(0)
+	for b, c := range counts {
+		cum += c
+		if cum >= rank {
+			if b == 0 {
+				return 0
+			}
+			return 1<<uint(b) - 1
+		}
+	}
+	return math.MaxInt
+}

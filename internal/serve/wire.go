@@ -1,0 +1,67 @@
+package serve
+
+import "fmt"
+
+// The wire format of cmd/scansd is newline-delimited JSON: one
+// WireRequest per line in, one WireResponse per line out. Responses
+// carry the request's id and MAY arrive out of order (requests from
+// one connection land in different batches); clients match on ID.
+// This file defines the two message types and the string forms of the
+// Spec enums so the daemon and the load generator share one vocabulary.
+
+// WireRequest is one scan request on the wire.
+type WireRequest struct {
+	// ID is echoed in the response; clients choose it (unique per
+	// connection) to match responses to requests.
+	ID uint64 `json:"id"`
+	// Op is "sum", "max", "min", or "mul".
+	Op string `json:"op"`
+	// Kind is "exclusive" (default when empty) or "inclusive".
+	Kind string `json:"kind,omitempty"`
+	// Dir is "forward" (default when empty) or "backward".
+	Dir string `json:"dir,omitempty"`
+	// Data is the input vector.
+	Data []int64 `json:"data"`
+}
+
+// WireResponse is one scan result (or error) on the wire.
+type WireResponse struct {
+	ID     uint64  `json:"id"`
+	Result []int64 `json:"result,omitempty"`
+	Error  string  `json:"error,omitempty"`
+}
+
+// ParseSpec converts the wire strings to a Spec, applying the
+// exclusive/forward defaults for empty kind/dir.
+func ParseSpec(op, kind, dir string) (Spec, error) {
+	var s Spec
+	switch op {
+	case "sum":
+		s.Op = OpSum
+	case "max":
+		s.Op = OpMax
+	case "min":
+		s.Op = OpMin
+	case "mul":
+		s.Op = OpMul
+	default:
+		return s, fmt.Errorf("%w: unknown op %q", ErrBadRequest, op)
+	}
+	switch kind {
+	case "", "exclusive":
+		s.Kind = Exclusive
+	case "inclusive":
+		s.Kind = Inclusive
+	default:
+		return s, fmt.Errorf("%w: unknown kind %q", ErrBadRequest, kind)
+	}
+	switch dir {
+	case "", "forward":
+		s.Dir = Forward
+	case "backward":
+		s.Dir = Backward
+	default:
+		return s, fmt.Errorf("%w: unknown dir %q", ErrBadRequest, dir)
+	}
+	return s, nil
+}

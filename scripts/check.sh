@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1+ gate: everything must build, vet clean, and pass the full
+# test suite UNDER THE RACE DETECTOR. The serve subsystem is
+# goroutine-heavy (batcher, executor pool, per-connection goroutines),
+# so -race is routine here, not an occasional extra.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "check.sh: all green"
