@@ -8,18 +8,74 @@
 // every request is its own kernel pass) — and prints the speedup, the
 // number EXPERIMENTS.md tracks. With -addr it drives a running scansd
 // over TCP, one connection per client.
+//
+// Every request's terminal outcome is counted separately — served,
+// rejected-overloaded, shed by queue age, deadline-expired, failed by
+// an isolated kernel panic, lost (no terminal outcome after the retry
+// budget: connection died and redials failed) — so degradation under
+// load or chaos is visible rather than averaged away. Transient
+// failures (overload, shed, kernel panic, dropped connections) are
+// retried with exponential backoff + jitter via serve.RetryPolicy;
+// scanload exits non-zero if any request is LOST, because a fault-
+// tolerant server may degrade but must never swallow a request.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"scans/internal/serve"
 )
+
+// outcomes tallies terminal per-request outcomes plus retry attempts.
+type outcomes struct {
+	success    atomic.Uint64
+	overloaded atomic.Uint64
+	shed       atomic.Uint64
+	deadline   atomic.Uint64
+	internal   atomic.Uint64
+	badReq     atomic.Uint64
+	lost       atomic.Uint64
+	retries    atomic.Uint64
+	redials    atomic.Uint64
+}
+
+// record classifies one terminal error (nil = success).
+func (o *outcomes) record(err error) {
+	switch {
+	case err == nil:
+		o.success.Add(1)
+	case errors.Is(err, serve.ErrOverloaded):
+		o.overloaded.Add(1)
+	case errors.Is(err, serve.ErrShed):
+		o.shed.Add(1)
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		o.deadline.Add(1)
+	case errors.Is(err, serve.ErrInternal):
+		o.internal.Add(1)
+	case errors.Is(err, serve.ErrBadRequest):
+		o.badReq.Add(1)
+	default:
+		// No classified response ever arrived: the request's fate is
+		// unknown. This is the one outcome a robust deployment must
+		// treat as an incident.
+		o.lost.Add(1)
+	}
+}
+
+func (o *outcomes) String() string {
+	return fmt.Sprintf(
+		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d lost=%d (retries=%d redials=%d)",
+		o.success.Load(), o.overloaded.Load(), o.shed.Load(), o.deadline.Load(),
+		o.internal.Load(), o.badReq.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
+}
 
 func main() {
 	var (
@@ -31,6 +87,8 @@ func main() {
 		kind     = flag.String("kind", "exclusive", "exclusive or inclusive")
 		dir      = flag.String("dir", "forward", "forward or backward")
 		maxWait  = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+		attempts = flag.Int("retries", 4, "retry budget per request (total attempts)")
 	)
 	flag.Parse()
 
@@ -39,14 +97,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanload:", err)
 		os.Exit(1)
 	}
+	policy := serve.RetryPolicy{MaxAttempts: *attempts}
 
 	if *addr != "" {
-		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir)
+		var out outcomes
+		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
 		report("remote "+*addr, *requests, *n, elapsed)
+		fmt.Println("  ", out.String())
+		if lost := out.lost.Load(); lost > 0 {
+			fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
+			os.Exit(1)
+		}
 		return
 	}
 
@@ -56,18 +121,26 @@ func main() {
 
 	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total\n",
 		*clients, *n, spec, *requests)
-	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n)
+	var outFused, outUnfused outcomes
+	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused)
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
-	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n)
+	fmt.Println("  ", outFused.String())
+	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n, *timeout, policy, &outUnfused)
 	report("unfused", *requests, *n, tUnfused)
 	fmt.Println("  ", stUnfused)
+	fmt.Println("  ", outUnfused.String())
 	fmt.Printf("fusion speedup: %.2fx\n", float64(tUnfused)/float64(tFused))
+	if lost := outFused.lost.Load() + outUnfused.lost.Load(); lost > 0 {
+		fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
+		os.Exit(1)
+	}
 }
 
 // driveInProcess runs one closed-loop phase against a fresh in-process
 // server and returns the elapsed time and the server's final stats.
-func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int) (time.Duration, serve.Stats) {
+func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
+	timeout time.Duration, policy serve.RetryPolicy, out *outcomes) (time.Duration, serve.Stats) {
 	srv := serve.New(cfg)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -77,10 +150,18 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int)
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
-				if _, err := srv.Submit(spec, data); err != nil {
-					// Overload in a closed loop just means retry.
-					i--
-				}
+				attempts, err := policy.Do(context.Background(), func() error {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, timeout)
+					}
+					defer cancel()
+					_, err := srv.SubmitCtx(ctx, spec, data)
+					return err
+				})
+				out.retries.Add(uint64(attempts - 1))
+				out.record(err)
 			}
 		}(c)
 	}
@@ -90,22 +171,29 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int)
 	return elapsed, srv.Stats()
 }
 
-// driveRemote runs the closed loop over TCP, one connection per client.
-func driveRemote(addr string, clients, requests, n int, op, kind, dir string) (time.Duration, error) {
+// driveRemote runs the closed loop over TCP, one connection per
+// client. A connection-level failure inside the retry loop triggers a
+// redial: scans are pure, so resubmitting on a fresh connection is
+// safe, and a request only counts as lost once the retry budget is
+// exhausted without any classified response.
+func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
+	timeout time.Duration, policy serve.RetryPolicy, out *outcomes) (time.Duration, error) {
 	conns := make([]*serve.Client, clients)
 	for i := range conns {
 		c, err := serve.Dial(addr)
 		if err != nil {
 			return 0, err
 		}
-		defer c.Close()
 		conns[i] = c
 	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
+	defer func() {
+		for _, c := range conns {
+			if c != nil {
+				c.Close()
+			}
+		}
+	}()
+	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
 		wg.Add(1)
@@ -113,19 +201,47 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string) (t
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
-				if _, err := conns[c].Scan(op, kind, dir, data); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
+				attempts, err := policy.Do(context.Background(), func() error {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, timeout)
 					}
-					mu.Unlock()
-					return
-				}
+					defer cancel()
+					_, err := conns[c].ScanCtx(ctx, op, kind, dir, data)
+					if err != nil && !policy.Retryable(err) {
+						return err
+					}
+					if err != nil && isConnError(err) {
+						// Unknown fate: the conn died. Redial so the
+						// next attempt has a live connection.
+						if fresh, derr := serve.Dial(addr); derr == nil {
+							conns[c].Close()
+							conns[c] = fresh
+							out.redials.Add(1)
+						}
+					}
+					return err
+				})
+				out.retries.Add(uint64(attempts - 1))
+				out.record(err)
 			}
 		}(c)
 	}
 	wg.Wait()
-	return time.Since(start), firstErr
+	return time.Since(start), nil
+}
+
+// isConnError reports whether err is a connection-level failure rather
+// than a typed, classified server response.
+func isConnError(err error) bool {
+	return err != nil &&
+		!errors.Is(err, serve.ErrOverloaded) &&
+		!errors.Is(err, serve.ErrShed) &&
+		!errors.Is(err, serve.ErrInternal) &&
+		!errors.Is(err, serve.ErrBadRequest) &&
+		!errors.Is(err, serve.ErrClosed) &&
+		!errors.Is(err, context.DeadlineExceeded)
 }
 
 func randomData(seed int64, n int) []int64 {

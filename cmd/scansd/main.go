@@ -9,6 +9,19 @@
 // clients issuing small scans cost one segmented kernel pass per
 // batching window, not N passes. cmd/scanload is the matching load
 // generator.
+//
+// Error responses carry a machine-readable "code" ("overloaded",
+// "shed", "deadline", "internal", ...) so clients can branch retry vs
+// give-up; requests may carry "timeout_ms" (the server drops them
+// unexecuted once expired) and "tenant" (fair-share batching domain,
+// defaulting to the connection). The -chaos flag arms fault-injection
+// points for soak testing the failure paths: a comma-separated list of
+// name:probability[:duration] triples, e.g.
+//
+//	scansd -chaos 'kernel.panic:0.001,kernel.slow:0.01:5ms,conn.drop:0.002'
+//
+// over the points kernel.slow, kernel.panic, conn.drop,
+// conn.partialwrite.
 package main
 
 import (
@@ -16,9 +29,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
+	"scans/internal/fault"
 	"scans/internal/serve"
 )
 
@@ -29,24 +45,51 @@ func main() {
 		maxReqs   = flag.Int("max-batch-requests", 4096, "flush a batch at this many requests (1 = unfused)")
 		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window: how long the first request waits for company")
 		queue     = flag.Int("queue", 4096, "bounded submission queue (full queue rejects with an overload error)")
+		queueAge  = flag.Duration("queue-age", time.Second, "shed queued requests older than this before execution (0 = never shed)")
 		workers   = flag.Int("workers", 0, "goroutines per segmented kernel pass (0 = GOMAXPROCS)")
 		executors = flag.Int("executors", 0, "batch executor pool size (0 = GOMAXPROCS)")
+
+		maxConns  = flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
+		perConn   = flag.Int("per-conn-inflight", 0, "per-connection in-flight request cap (0 = unlimited)")
+		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle this long (0 = never)")
+		wtimeout  = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
+		maxLine   = flag.Int("max-line-bytes", 16<<20, "reject request lines longer than this")
+		chaosSpec = flag.String("chaos", "", "arm fault points: name:prob[:duration],... (see package doc)")
+		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 	)
 	flag.Parse()
 
-	ns, err := serve.Listen(*addr, serve.Config{
+	faults, err := parseChaos(*chaosSpec, *chaosSeed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scansd:", err)
+		os.Exit(1)
+	}
+
+	ns, err := serve.ListenNet(*addr, serve.Config{
 		MaxBatchElems:    *maxElems,
 		MaxBatchRequests: *maxReqs,
 		MaxWait:          *maxWait,
 		QueueLimit:       *queue,
+		QueueAgeLimit:    *queueAge,
 		Workers:          *workers,
 		Executors:        *executors,
+		Faults:           faults,
+	}, serve.NetConfig{
+		MaxLineBytes:    *maxLine,
+		MaxConns:        *maxConns,
+		PerConnInflight: *perConn,
+		IdleTimeout:     *idle,
+		WriteTimeout:    *wtimeout,
+		Faults:          faults,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scansd:", err)
 		os.Exit(1)
 	}
 	fmt.Println("scansd listening on", ns.Addr())
+	if faults != nil {
+		fmt.Println("scansd: CHAOS ARMED", faults)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -55,4 +98,36 @@ func main() {
 	fmt.Println("scansd: draining...")
 	ns.Close()
 	fmt.Println("scansd:", ns.Stats())
+	if faults != nil {
+		fmt.Println("scansd:", faults)
+	}
+}
+
+// parseChaos builds a fault set from "name:prob[:duration],..." — nil
+// when the spec is empty (chaos off, zero overhead).
+func parseChaos(spec string, seed int64) (*fault.Set, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	set := fault.New(seed)
+	for _, entry := range strings.Split(spec, ",") {
+		parts := strings.Split(strings.TrimSpace(entry), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("bad -chaos entry %q (want name:prob[:duration])", entry)
+		}
+		prob, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil || prob < 0 || prob > 1 {
+			return nil, fmt.Errorf("bad -chaos probability in %q", entry)
+		}
+		if len(parts) == 3 {
+			d, err := time.ParseDuration(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("bad -chaos duration in %q: %v", entry, err)
+			}
+			set.ArmSleep(parts[0], prob, d)
+		} else {
+			set.Arm(parts[0], prob)
+		}
+	}
+	return set, nil
 }

@@ -1,0 +1,156 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilSetIsInert(t *testing.T) {
+	var s *Set
+	s.Arm(KernelPanic, 1)
+	s.ArmSleep(KernelSlow, 1, time.Second)
+	s.Disarm(KernelPanic)
+	s.DisarmAll()
+	if s.Fires(KernelPanic) != 0 {
+		t.Fatal("nil set reported fires")
+	}
+	p := s.Point(KernelPanic)
+	if p != nil {
+		t.Fatal("nil set returned a non-nil point")
+	}
+	if p.Fire() || p.Sleep() || p.Fires() != 0 || p.Name() != "" {
+		t.Fatal("nil point misbehaved")
+	}
+	if s.String() != "faults{}" {
+		t.Fatalf("nil set String = %q", s.String())
+	}
+}
+
+func TestDisarmedNeverFires(t *testing.T) {
+	s := New(1)
+	p := s.Point(KernelPanic)
+	for i := 0; i < 1000; i++ {
+		if p.Fire() {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if p.Fires() != 0 {
+		t.Fatalf("fires = %d, want 0", p.Fires())
+	}
+}
+
+func TestArmedAlwaysFires(t *testing.T) {
+	s := New(2)
+	s.Arm(ConnDrop, 1)
+	p := s.Point(ConnDrop)
+	for i := 0; i < 100; i++ {
+		if !p.Fire() {
+			t.Fatal("prob-1 point failed to fire")
+		}
+	}
+	if got := s.Fires(ConnDrop); got != 100 {
+		t.Fatalf("Fires = %d, want 100", got)
+	}
+	s.Disarm(ConnDrop)
+	if p.Fire() {
+		t.Fatal("disarmed point fired")
+	}
+	if got := s.Fires(ConnDrop); got != 100 {
+		t.Fatalf("Fires after disarm = %d, want 100 (counts survive)", got)
+	}
+}
+
+func TestProbabilityIsRoughlyHonored(t *testing.T) {
+	s := New(42)
+	s.Arm("half", 0.5)
+	p := s.Point("half")
+	const n = 20000
+	fired := 0
+	for i := 0; i < n; i++ {
+		if p.Fire() {
+			fired++
+		}
+	}
+	if fired < n/3 || fired > 2*n/3 {
+		t.Fatalf("prob-0.5 point fired %d/%d times", fired, n)
+	}
+}
+
+func TestSleepDelays(t *testing.T) {
+	s := New(3)
+	s.ArmSleep(KernelSlow, 1, 10*time.Millisecond)
+	start := time.Now()
+	if !s.Point(KernelSlow).Sleep() {
+		t.Fatal("armed sleep point did not fire")
+	}
+	if d := time.Since(start); d < 5*time.Millisecond {
+		t.Fatalf("Sleep returned after %v, want >= ~10ms", d)
+	}
+}
+
+func TestDisarmAllAndString(t *testing.T) {
+	s := New(4)
+	s.Arm(KernelPanic, 0.25)
+	s.ArmSleep(KernelSlow, 0.5, time.Millisecond)
+	s.DisarmAll()
+	for i := 0; i < 500; i++ {
+		if s.Point(KernelPanic).Fire() || s.Point(KernelSlow).Fire() {
+			t.Fatal("point fired after DisarmAll")
+		}
+	}
+	str := s.String()
+	if !strings.Contains(str, KernelPanic) || !strings.Contains(str, KernelSlow) {
+		t.Fatalf("String missing points: %q", str)
+	}
+}
+
+func TestConcurrentFire(t *testing.T) {
+	// Race-detector smoke: many goroutines firing, arming, reading.
+	s := New(5)
+	s.Arm(ConnDrop, 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p := s.Point(ConnDrop)
+			for i := 0; i < 2000; i++ {
+				p.Fire()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			s.Arm(ConnDrop, 0.25)
+			s.Fires(ConnDrop)
+			_ = s.String()
+		}
+	}()
+	wg.Wait()
+	if s.Fires(ConnDrop) == 0 {
+		t.Fatal("no fires recorded under concurrency")
+	}
+}
+
+func TestSeedsReproduce(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := New(seed)
+		s.Arm("p", 0.3)
+		p := s.Point("p")
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = p.Fire()
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

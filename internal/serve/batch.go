@@ -12,6 +12,11 @@ import (
 // the group's output vector. This is the §3 argument operationalized:
 // K small scans of the same flavor cost one primitive pass over their
 // concatenation.
+//
+// Each group's kernel pass runs behind a recover barrier: a panicking
+// kernel (or an armed fault.KernelPanic point) fails that group's
+// futures with ErrInternal and the other groups — and the server —
+// carry on.
 func (s *Server) runBatch(batch []*Future) {
 	// Group while preserving arrival order within each group. Batches
 	// are small (≤ MaxBatchRequests); a map of slices is fine.
@@ -25,14 +30,32 @@ func (s *Server) runBatch(batch []*Future) {
 	}
 	elems := 0
 	for _, spec := range order {
-		elems += s.runGroup(spec, groups[spec])
+		elems += s.runGroupSafe(spec, groups[spec])
 	}
 	s.stats.record(len(batch), len(order), elems)
+}
+
+// runGroupSafe wraps one group's kernel pass in a recover barrier so a
+// panic is confined to that group's futures.
+func (s *Server) runGroupSafe(spec Spec, reqs []*Future) (elems int) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.failBatch(reqs, r)
+		}
+	}()
+	return s.runGroup(spec, reqs)
 }
 
 // runGroup fuses one Spec's requests into a single segmented scan and
 // scatters the results. Returns the number of fused elements.
 func (s *Server) runGroup(spec Spec, reqs []*Future) int {
+	// Chaos hooks: a slow kernel stalls here (inside the executor, so
+	// queue-age shedding and deadline drops see realistic pressure); a
+	// kernel panic fires past this point and is caught by runGroupSafe.
+	s.fpSlow.Sleep()
+	if s.fpPanic.Fire() {
+		panic("fault: injected kernel panic")
+	}
 	n := 0
 	for _, f := range reqs {
 		n += len(f.data)
@@ -51,11 +74,14 @@ func (s *Server) runGroup(spec Spec, reqs []*Future) int {
 	dst := src
 	runSegmented(spec, dst, src, flags, s.cfg.Workers)
 	pos = 0
+	served := 0
 	for _, f := range reqs {
-		f.res = dst[pos : pos+len(f.data) : pos+len(f.data)]
+		if f.complete(dst[pos:pos+len(f.data):pos+len(f.data)], nil) {
+			served++
+		}
 		pos += len(f.data)
-		close(f.done)
 	}
+	s.stats.served.Add(uint64(served))
 	return n
 }
 

@@ -1,0 +1,208 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scans/internal/fault"
+)
+
+// TestChaosSoak runs the full serving path — TCP front end, admission,
+// tenant-fair batching, kernels — with every fault point armed at
+// once: slow kernels, kernel panics, dropped connections, torn
+// response lines. The invariants under fire:
+//
+//  1. No lost requests: every submitted request reaches exactly one
+//     terminal outcome (a verified-correct result or a typed error)
+//     within its retry budget.
+//  2. No corrupted or misrouted responses: every successful result
+//     matches the serial reference for that request's unique payload.
+//  3. The server survives ≥ 1 injected kernel panic and still serves
+//     cleanly after the storm.
+//  4. Server-side accounting closes: accepted = served + deadline
+//     drops + sheds + panic-failed after the drain.
+//
+// Run under -race (scripts/check.sh does) this is also the package's
+// widest data-race net.
+func TestChaosSoak(t *testing.T) {
+	const (
+		clients = 6
+		seed    = 0xC0FFEE
+	)
+	perClient := 120
+	if testing.Short() {
+		perClient = 30
+	}
+
+	faults := fault.New(seed)
+	faults.ArmSleep(fault.KernelSlow, 0.02, 2*time.Millisecond)
+	faults.Arm(fault.KernelPanic, 0.02)
+	faults.Arm(fault.ConnDrop, 0.01)
+	faults.Arm(fault.PartialWrite, 0.01)
+
+	ns := startNetCfg(t,
+		Config{
+			Faults:        faults,
+			QueueAgeLimit: 500 * time.Millisecond,
+			MaxWait:       100 * time.Microsecond,
+		},
+		NetConfig{
+			Faults:          faults,
+			PerConnInflight: 64,
+			WriteTimeout:    5 * time.Second,
+		})
+
+	policy := RetryPolicy{MaxAttempts: 10, BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+	specs := allSpecs()
+
+	type tally struct {
+		success, typedErr, lost, mismatch int
+	}
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		total   tally
+		firstWd error
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl)))
+			var local tally
+			conn, err := Dial(ns.Addr())
+			if err != nil {
+				mu.Lock()
+				firstWd = fmt.Errorf("client %d: initial dial: %w", cl, err)
+				mu.Unlock()
+				return
+			}
+			defer func() { conn.Close() }()
+			for i := 0; i < perClient; i++ {
+				spec := specs[rng.Intn(len(specs))]
+				data := randomData(rng, 1+rng.Intn(48))
+				if spec.Op == OpMul {
+					for j := range data {
+						data[j] = 2*(data[j]&1) - 1
+					}
+				}
+				want := directScan(spec, data)
+				var got []int64
+				_, err := policy.Do(context.Background(), func() error {
+					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					defer cancel()
+					res, err := conn.ScanCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
+					if err == nil {
+						got = res
+						return nil
+					}
+					if isConnLevel(err) {
+						// Unknown fate; redial before the retry.
+						if fresh, derr := Dial(ns.Addr()); derr == nil {
+							conn.Close()
+							conn = fresh
+						}
+					}
+					return err
+				})
+				switch {
+				case err == nil:
+					if !reflect.DeepEqual(got, want) {
+						local.mismatch++
+					} else {
+						local.success++
+					}
+				case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed),
+					errors.Is(err, ErrInternal), errors.Is(err, context.DeadlineExceeded):
+					local.typedErr++
+				default:
+					local.lost++
+				}
+			}
+			mu.Lock()
+			total.success += local.success
+			total.typedErr += local.typedErr
+			total.lost += local.lost
+			total.mismatch += local.mismatch
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	if firstWd != nil {
+		t.Fatal(firstWd)
+	}
+
+	if total.mismatch > 0 {
+		t.Fatalf("chaos soak: %d corrupted/misrouted responses", total.mismatch)
+	}
+	if total.lost > 0 {
+		t.Fatalf("chaos soak: %d requests lost (no terminal outcome in %d attempts)", total.lost, policy.MaxAttempts)
+	}
+	if got := total.success + total.typedErr; got != clients*perClient {
+		t.Fatalf("outcome accounting: %d outcomes for %d requests", got, clients*perClient)
+	}
+	if total.success == 0 {
+		t.Fatal("chaos soak: nothing succeeded — faults armed too hot to mean anything")
+	}
+
+	// Guarantee the acceptance condition "survives >= 1 kernel panic"
+	// even on an unlucky probabilistic run: force one.
+	faults.DisarmAll()
+	if faults.Fires(fault.KernelPanic) == 0 {
+		faults.Arm(fault.KernelPanic, 1)
+		c, err := Dial(ns.Addr())
+		if err != nil {
+			t.Fatalf("dial for forced panic: %v", err)
+		}
+		if _, err := c.Scan("sum", "", "", []int64{1, 2}); !errors.Is(err, ErrInternal) {
+			t.Fatalf("forced panic err = %v, want ErrInternal", err)
+		}
+		c.Close()
+		faults.DisarmAll()
+	}
+
+	// The server must still serve cleanly after the storm.
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("post-storm dial: %v", err)
+	}
+	defer c.Close()
+	got, err := c.Scan("sum", "inclusive", "", []int64{1, 2, 3, 4})
+	if err != nil {
+		t.Fatalf("post-storm scan: %v", err)
+	}
+	if want := []int64{1, 3, 6, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-storm scan = %v, want %v", got, want)
+	}
+
+	// Drain and check the server-side ledger: every accepted request
+	// got exactly one terminal outcome.
+	ns.Close()
+	st := ns.Stats()
+	if st.Panics < 1 {
+		t.Fatalf("stats = %v, want >= 1 recovered panic", st)
+	}
+	if got := st.Served + st.DeadlineDrops + st.Shed + st.PanicFailed; got != st.Requests {
+		t.Fatalf("server ledger broken: served+drops+shed+panicked = %d, requests = %d (%v)", got, st.Requests, st)
+	}
+	t.Logf("chaos soak: %d success, %d typed errors; server %v; %v",
+		total.success, total.typedErr, st, faults)
+}
+
+// isConnLevel reports whether err is a connection-level failure (fate
+// unknown) rather than a typed response from the server.
+func isConnLevel(err error) bool {
+	return err != nil &&
+		!errors.Is(err, ErrOverloaded) &&
+		!errors.Is(err, ErrShed) &&
+		!errors.Is(err, ErrInternal) &&
+		!errors.Is(err, ErrBadRequest) &&
+		!errors.Is(err, ErrClosed) &&
+		!errors.Is(err, context.DeadlineExceeded)
+}

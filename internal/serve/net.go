@@ -2,42 +2,106 @@ package serve
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"io"
 	"net"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"scans/internal/fault"
 )
 
-// maxLineBytes bounds one JSON line on the wire (a million-element
-// vector is ~8 MB of decimal digits; beyond that the connection is
-// misbehaving and gets dropped).
-const maxLineBytes = 16 << 20
+// NetConfig tunes the TCP front end's own failure surface — everything
+// that can go wrong between a socket and the batch server. The zero
+// value is usable: every field has a default applied by Listen.
+type NetConfig struct {
+	// MaxLineBytes bounds one JSON line on the wire. A longer line gets
+	// a structured "too_large" error response (matched to the request
+	// id when recognizable) and the connection is closed. Default
+	// 16 MiB — a million-element vector is ~8 MB of decimal digits;
+	// beyond that the client is misbehaving.
+	MaxLineBytes int
+	// MaxConns caps simultaneously-open client connections. A
+	// connection beyond the cap receives one "overloaded" error line
+	// and is closed. 0 means unlimited (default).
+	MaxConns int
+	// PerConnInflight caps one connection's unanswered requests. A
+	// request over the cap is answered immediately with "overloaded"
+	// (retryable) instead of being admitted — one flooding connection
+	// exhausts its own window, not the shared queue. 0 = unlimited.
+	PerConnInflight int
+	// IdleTimeout closes a connection that sends no byte for this
+	// long. In-flight responses still drain. Default 0 (no timeout).
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write, so one client that
+	// stops reading cannot park a response goroutine (and its buffered
+	// result) forever. Default 30s when zero; < 0 disables.
+	WriteTimeout time.Duration
+	// Faults is the chaos hook for the connection-level points
+	// (fault.ConnDrop, fault.PartialWrite). Usually the same *fault.Set
+	// as Config.Faults. nil = chaos off.
+	Faults *fault.Set
+}
+
+// withDefaults fills zero fields.
+func (c NetConfig) withDefaults() NetConfig {
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = 16 << 20
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = 30 * time.Second
+	}
+	return c
+}
 
 // NetServer is the TCP front end: a thin newline-delimited-JSON skin
 // over an in-process Server, so remote clients' requests fuse into the
 // same batches as everyone else's. cmd/scansd is a flag-parsing shell
 // around this type; tests start it in-process on a loopback port.
+//
+// Each connection is one fairness tenant by default (its remote
+// address), so the batch server's weighted round-robin keeps a
+// flooding connection inside its fair share of every batch.
 type NetServer struct {
-	srv *Server
-	ln  net.Listener
+	srv  *Server
+	ncfg NetConfig
+	ln   net.Listener
+
+	fpDrop    *fault.Point
+	fpPartial *fault.Point
+
+	nconns atomic.Int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
 	done  chan struct{}
 }
 
-// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting
-// connections over the given batching config.
+// Listen binds addr (e.g. "127.0.0.1:0") with default network limits.
 func Listen(addr string, cfg Config) (*NetServer, error) {
+	return ListenNet(addr, cfg, NetConfig{})
+}
+
+// ListenNet binds addr and starts accepting connections over the given
+// batching and network configs.
+func ListenNet(addr string, cfg Config, ncfg NetConfig) (*NetServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
+	ncfg = ncfg.withDefaults()
 	ns := &NetServer{
-		srv:   New(cfg),
-		ln:    ln,
-		conns: make(map[net.Conn]struct{}),
-		done:  make(chan struct{}),
+		srv:       New(cfg),
+		ncfg:      ncfg,
+		ln:        ln,
+		fpDrop:    ncfg.Faults.Point(fault.ConnDrop),
+		fpPartial: ncfg.Faults.Point(fault.PartialWrite),
+		conns:     make(map[net.Conn]struct{}),
+		done:      make(chan struct{}),
 	}
 	go ns.acceptLoop()
 	return ns, nil
@@ -64,7 +128,10 @@ func (ns *NetServer) Close() {
 	ns.srv.Close()
 }
 
-// acceptLoop accepts until the listener closes.
+// acceptLoop accepts until the listener closes, enforcing MaxConns: a
+// connection over the cap gets one structured "overloaded" line and an
+// immediate close, so a well-behaved client knows to back off rather
+// than seeing a silent RST.
 func (ns *NetServer) acceptLoop() {
 	defer close(ns.done)
 	var wg sync.WaitGroup
@@ -74,6 +141,19 @@ func (ns *NetServer) acceptLoop() {
 		if err != nil {
 			return
 		}
+		if max := ns.ncfg.MaxConns; max > 0 && ns.nconns.Load() >= int64(max) {
+			line, _ := json.Marshal(WireResponse{
+				Error: fmt.Sprintf("server at connection limit (%d)", max),
+				Code:  CodeOverloaded,
+			})
+			if ns.ncfg.WriteTimeout > 0 {
+				conn.SetWriteDeadline(time.Now().Add(ns.ncfg.WriteTimeout))
+			}
+			conn.Write(append(line, '\n'))
+			conn.Close()
+			continue
+		}
+		ns.nconns.Add(1)
 		ns.mu.Lock()
 		ns.conns[conn] = struct{}{}
 		ns.mu.Unlock()
@@ -84,7 +164,77 @@ func (ns *NetServer) acceptLoop() {
 			ns.mu.Lock()
 			delete(ns.conns, conn)
 			ns.mu.Unlock()
+			ns.nconns.Add(-1)
 		}()
+	}
+}
+
+// errLineTooLong reports a request line over MaxLineBytes; readLine
+// returns it together with the line's retained prefix.
+var errLineTooLong = errors.New("line exceeds maximum length")
+
+// readLine reads one newline-terminated line of at most max bytes from
+// r. An over-long line is consumed to its newline and reported as
+// (prefix, errLineTooLong) where prefix is the first chunk of the line
+// — enough for extractID to recover the request id. A final line
+// without a trailing newline (client half-closed) is returned as a
+// line, matching bufio.Scanner's behavior.
+func readLine(r *bufio.Reader, max int) ([]byte, error) {
+	trim := func(line []byte) []byte {
+		if n := len(line); n > 0 && line[n-1] == '\r' {
+			return line[:n-1]
+		}
+		return line
+	}
+	// idPrefix keeps the head of an over-long line, enough for
+	// extractID to recover the request id for the error response.
+	idPrefix := func(line []byte) []byte {
+		const keep = 1 << 10
+		if len(line) > keep {
+			return line[:keep]
+		}
+		return line
+	}
+	var buf []byte
+	for {
+		frag, err := r.ReadSlice('\n')
+		switch {
+		case err == nil:
+			line := frag[:len(frag)-1]
+			if buf != nil {
+				line = append(buf, line...)
+			}
+			line = trim(line)
+			if len(line) > max {
+				return idPrefix(line), errLineTooLong
+			}
+			return line, nil
+		case errors.Is(err, bufio.ErrBufferFull):
+			buf = append(buf, frag...)
+			if len(buf) > max {
+				// Over the limit with the newline still unseen: drain
+				// the rest of the line so the stream stays parseable
+				// for the error response, then report.
+				prefix := idPrefix(buf)
+				for {
+					_, derr := r.ReadSlice('\n')
+					if derr == nil {
+						return prefix, errLineTooLong
+					}
+					if !errors.Is(derr, bufio.ErrBufferFull) {
+						return prefix, derr
+					}
+				}
+			}
+		case errors.Is(err, io.EOF) && len(buf)+len(frag) > 0:
+			line := append(buf, frag...)
+			if len(line) > max {
+				return idPrefix(line), errLineTooLong
+			}
+			return line, nil
+		default:
+			return nil, err
+		}
 	}
 }
 
@@ -92,64 +242,127 @@ func (ns *NetServer) acceptLoop() {
 // batch server, and writes responses as futures resolve. Responses are
 // written by per-request goroutines under a write mutex, so a slow
 // batch never blocks later requests from being submitted (that is the
-// whole point of the service).
+// whole point of the service). Protocol errors — malformed JSON,
+// oversized lines, unknown specs, admission rejections — are answered
+// with a structured WireResponse carrying an error code (and the
+// request id whenever it is recoverable) rather than a silent close.
 func (ns *NetServer) handle(conn net.Conn) {
 	defer conn.Close()
 	var (
-		wmu     sync.Mutex
-		pending sync.WaitGroup
-		w       = bufio.NewWriter(conn)
+		wmu      sync.Mutex
+		pending  sync.WaitGroup
+		w        = bufio.NewWriter(conn)
+		inflight atomic.Int64
 	)
 	defer pending.Wait()
+	tenant := conn.RemoteAddr().String()
 	respond := func(resp WireResponse) {
 		line, err := json.Marshal(resp)
 		if err != nil {
-			line = []byte(`{"error":"marshal failure"}`)
+			line = []byte(`{"error":"marshal failure","code":"internal"}`)
 		}
 		wmu.Lock()
+		defer wmu.Unlock()
+		if ns.ncfg.WriteTimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(ns.ncfg.WriteTimeout))
+		}
+		if ns.fpPartial.Fire() {
+			// Chaos: tear the line mid-write and kill the connection.
+			// The client must treat the torn tail as a dead conn, never
+			// as a response.
+			w.Write(line[:len(line)/2])
+			w.Flush()
+			conn.Close()
+			return
+		}
 		w.Write(line)
 		w.WriteByte('\n')
 		w.Flush()
-		wmu.Unlock()
 	}
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
-	for sc.Scan() {
-		line := sc.Bytes()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	for {
+		if ns.ncfg.IdleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(ns.ncfg.IdleTimeout))
+		}
+		line, err := readLine(r, ns.ncfg.MaxLineBytes)
+		if errors.Is(err, errLineTooLong) {
+			respond(WireResponse{
+				ID:    extractID(line),
+				Error: fmt.Sprintf("request line exceeds %d bytes", ns.ncfg.MaxLineBytes),
+				Code:  CodeTooLarge,
+			})
+			return
+		}
+		if err != nil {
+			return
+		}
 		if len(line) == 0 {
 			continue
 		}
+		if ns.fpDrop.Fire() {
+			// Chaos: the network "fails" between two requests.
+			return
+		}
 		var req WireRequest
 		if err := json.Unmarshal(line, &req); err != nil {
-			respond(WireResponse{ID: req.ID, Error: "bad json: " + err.Error()})
+			respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
 			continue
 		}
 		spec, err := ParseSpec(req.Op, req.Kind, req.Dir)
 		if err != nil {
-			respond(WireResponse{ID: req.ID, Error: err.Error()})
+			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 			continue
 		}
-		fut, err := ns.srv.SubmitAsync(spec, req.Data)
+		if limit := ns.ncfg.PerConnInflight; limit > 0 && inflight.Add(1) > int64(limit) {
+			inflight.Add(-1)
+			respond(WireResponse{
+				ID:    req.ID,
+				Error: fmt.Sprintf("per-connection in-flight cap (%d) exceeded", limit),
+				Code:  CodeOverloaded,
+			})
+			continue
+		} else if limit <= 0 {
+			inflight.Add(1)
+		}
+		ctx := context.Background()
+		cancel := context.CancelFunc(func() {})
+		if req.TimeoutMS > 0 {
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		}
+		reqTenant := req.Tenant
+		if reqTenant == "" {
+			reqTenant = tenant
+		}
+		fut, err := ns.srv.SubmitReq(ctx, Req{Spec: spec, Data: req.Data, Tenant: reqTenant})
 		if err != nil {
-			respond(WireResponse{ID: req.ID, Error: err.Error()})
+			cancel()
+			inflight.Add(-1)
+			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 			continue
 		}
 		pending.Add(1)
-		go func(id uint64, fut *Future) {
+		go func(id uint64, fut *Future, cancel context.CancelFunc) {
 			defer pending.Done()
+			defer inflight.Add(-1)
+			defer cancel()
 			res, err := fut.Wait()
 			if err != nil {
-				respond(WireResponse{ID: id, Error: err.Error()})
+				respond(WireResponse{ID: id, Error: err.Error(), Code: codeForError(err)})
 				return
 			}
 			respond(WireResponse{ID: id, Result: res})
-		}(req.ID, fut)
+		}(req.ID, fut, cancel)
 	}
 }
 
 // Client is a line-protocol client for NetServer / cmd/scansd. One
 // Client owns one TCP connection and supports any number of concurrent
-// Scan calls; a reader goroutine dispatches responses by ID.
+// Scan calls; a reader goroutine dispatches responses by ID. Server
+// error responses come back as errors wrapping the package's typed
+// sentinels (ErrOverloaded, ErrInternal, ErrShed,
+// context.DeadlineExceeded, ...), so remote callers classify failures
+// with errors.Is exactly like in-process ones — the retry policy in
+// retry.go keys off that.
 type Client struct {
 	conn net.Conn
 
@@ -186,6 +399,21 @@ func (c *Client) Close() error { return c.conn.Close() }
 // the defaults. Many goroutines may Scan concurrently on one Client —
 // their requests fuse server-side, which is the intended usage.
 func (c *Client) Scan(op, kind, dir string, data []int64) ([]int64, error) {
+	return c.ScanCtx(context.Background(), op, kind, dir, data)
+}
+
+// ScanCtx is Scan with a lifetime: a ctx deadline is forwarded to the
+// server as the request's timeout_ms (so the server can shed the
+// request unexecuted) and also bounds the local wait for the response.
+func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64) ([]int64, error) {
+	req := WireRequest{Op: op, Kind: kind, Dir: dir, Data: data}
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms <= 0 {
+			return nil, context.DeadlineExceeded
+		}
+		req.TimeoutMS = ms
+	}
 	c.mu.Lock()
 	if c.closed {
 		err := c.readErr
@@ -200,8 +428,9 @@ func (c *Client) Scan(op, kind, dir string, data []int64) ([]int64, error) {
 	ch := make(chan WireResponse, 1)
 	c.waiters[id] = ch
 	c.mu.Unlock()
+	req.ID = id
 
-	line, err := json.Marshal(WireRequest{ID: id, Op: op, Kind: kind, Dir: dir, Data: data})
+	line, err := json.Marshal(req)
 	if err == nil {
 		c.wmu.Lock()
 		_, err = c.w.Write(line)
@@ -219,38 +448,54 @@ func (c *Client) Scan(op, kind, dir string, data []int64) ([]int64, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	resp, ok := <-ch
-	if !ok {
-		c.mu.Lock()
-		err := c.readErr
-		c.mu.Unlock()
-		if err == nil {
-			err = net.ErrClosed
+	select {
+	case resp, ok := <-ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.readErr
+			c.mu.Unlock()
+			if err == nil {
+				err = net.ErrClosed
+			}
+			return nil, err
 		}
-		return nil, err
+		if resp.Error != "" {
+			return nil, errorForCode(resp.Code, resp.Error)
+		}
+		if resp.Result == nil {
+			resp.Result = []int64{}
+		}
+		return resp.Result, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.waiters, id)
+		c.mu.Unlock()
+		return nil, ctx.Err()
 	}
-	if resp.Error != "" {
-		return nil, errors.New(resp.Error)
-	}
-	if resp.Result == nil {
-		resp.Result = []int64{}
-	}
-	return resp.Result, nil
 }
 
 // readLoop dispatches responses by ID until the connection dies, then
 // fails every outstanding waiter.
 func (c *Client) readLoop() {
 	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 64<<10), maxLineBytes)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
 	for sc.Scan() {
 		var resp WireResponse
 		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+			// A torn line (server died mid-write) is a connection
+			// failure, not a response; keep reading until EOF surfaces.
 			continue
 		}
 		c.mu.Lock()
 		ch, ok := c.waiters[resp.ID]
 		delete(c.waiters, resp.ID)
+		if !ok && resp.ID == 0 && resp.Error != "" && c.readErr == nil {
+			// A connection-scoped error (e.g. the server's MaxConns
+			// rejection) has no request id; surface it as this
+			// connection's terminal error so waiters see the typed
+			// cause instead of a bare closed-connection error.
+			c.readErr = errorForCode(resp.Code, resp.Error)
+		}
 		c.mu.Unlock()
 		if ok {
 			ch <- resp
@@ -258,7 +503,9 @@ func (c *Client) readLoop() {
 	}
 	c.mu.Lock()
 	c.closed = true
-	c.readErr = sc.Err()
+	if c.readErr == nil {
+		c.readErr = sc.Err()
+	}
 	for id, ch := range c.waiters {
 		close(ch)
 		delete(c.waiters, id)

@@ -1,23 +1,62 @@
 package serve
 
 import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
 	"math/rand"
+	"net"
 	"reflect"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"scans/internal/fault"
 )
 
 // startNet spins up a NetServer on a loopback port for tests.
 func startNet(t *testing.T, cfg Config) *NetServer {
 	t.Helper()
-	ns, err := Listen("127.0.0.1:0", cfg)
+	return startNetCfg(t, cfg, NetConfig{})
+}
+
+// startNetCfg is startNet with explicit network limits.
+func startNetCfg(t *testing.T, cfg Config, ncfg NetConfig) *NetServer {
+	t.Helper()
+	ns, err := ListenNet("127.0.0.1:0", cfg, ncfg)
 	if err != nil {
-		t.Fatalf("Listen: %v", err)
+		t.Fatalf("ListenNet: %v", err)
 	}
 	t.Cleanup(ns.Close)
 	return ns
+}
+
+// rawConn dials the server without the Client wrapper, for tests that
+// need to send broken lines and inspect raw responses.
+func rawConn(t *testing.T, addr string) (net.Conn, *bufio.Reader) {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn, bufio.NewReader(conn)
+}
+
+// readResp reads one WireResponse line off a raw connection.
+func readResp(t *testing.T, r *bufio.Reader) WireResponse {
+	t.Helper()
+	line, err := r.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	var resp WireResponse
+	if err := json.Unmarshal(line, &resp); err != nil {
+		t.Fatalf("unmarshal %q: %v", line, err)
+	}
+	return resp
 }
 
 func TestNetRoundTripSmoke(t *testing.T) {
@@ -122,4 +161,165 @@ type mismatchError struct{ spec Spec }
 
 func (e *mismatchError) Error() string {
 	return "wire result differs from direct kernel for " + e.spec.String()
+}
+
+func TestNetMalformedJSONGetsStructuredError(t *testing.T) {
+	// A malformed line must produce a structured error response carrying
+	// the recoverable request id and a machine code — and the connection
+	// must survive to serve the next request.
+	ns := startNet(t, Config{})
+	conn, r := rawConn(t, ns.Addr())
+
+	if _, err := conn.Write([]byte(`{"id":7,"op":"sum","data":[1,2` + "\n")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp := readResp(t, r)
+	if resp.ID != 7 || resp.Code != CodeBadJSON || resp.Error == "" {
+		t.Fatalf("malformed-line response = %+v, want id=7 code=%q", resp, CodeBadJSON)
+	}
+
+	if _, err := conn.Write([]byte(`{"id":8,"op":"sum","data":[1,2]}` + "\n")); err != nil {
+		t.Fatalf("write after bad line: %v", err)
+	}
+	resp = readResp(t, r)
+	if resp.ID != 8 || resp.Error != "" || !reflect.DeepEqual(resp.Result, []int64{0, 1}) {
+		t.Fatalf("request after bad line = %+v, want served result", resp)
+	}
+}
+
+func TestNetOversizedLineGetsStructuredError(t *testing.T) {
+	// A line over MaxLineBytes must be answered with a too_large error
+	// matched to the request id (recovered from the line prefix), then
+	// the connection closes.
+	ns := startNetCfg(t, Config{}, NetConfig{MaxLineBytes: 1 << 12})
+	conn, r := rawConn(t, ns.Addr())
+
+	line := []byte(`{"id":99,"op":"sum","data":[`)
+	for len(line) < 1<<14 {
+		line = append(line, []byte("1234567,")...)
+	}
+	line = append(line, []byte("1]}\n")...)
+	if _, err := conn.Write(line); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	resp := readResp(t, r)
+	if resp.ID != 99 || resp.Code != CodeTooLarge {
+		t.Fatalf("oversized-line response = %+v, want id=99 code=%q", resp, CodeTooLarge)
+	}
+	// Connection is closed after the reply.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := r.ReadBytes('\n'); err == nil {
+		t.Fatal("connection still open after oversized line")
+	}
+}
+
+func TestNetPerConnInflightCap(t *testing.T) {
+	// With a slow kernel and an in-flight cap of 1, a second request on
+	// the same connection while the first executes must be rejected with
+	// a retryable overloaded error — and served fine once the first
+	// completes.
+	faults := fault.New(1)
+	faults.ArmSleep(fault.KernelSlow, 1, 150*time.Millisecond)
+	ns := startNetCfg(t, Config{Faults: faults}, NetConfig{PerConnInflight: 1})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Scan("sum", "", "", []int64{1, 2, 3})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the first request occupy its slot
+	if _, err := c.Scan("sum", "", "", []int64{4, 5}); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("second in-flight scan err = %v, want ErrOverloaded", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("first scan: %v", err)
+	}
+	faults.DisarmAll()
+	if _, err := c.Scan("sum", "", "", []int64{4, 5}); err != nil {
+		t.Fatalf("scan after cap release: %v", err)
+	}
+}
+
+func TestNetMaxConns(t *testing.T) {
+	ns := startNetCfg(t, Config{}, NetConfig{MaxConns: 1})
+	c1, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial 1: %v", err)
+	}
+	defer c1.Close()
+	if _, err := c1.Scan("sum", "", "", []int64{1}); err != nil {
+		t.Fatalf("scan on conn 1: %v", err)
+	}
+	// Second connection: one structured overloaded line, then close.
+	conn, r := rawConn(t, ns.Addr())
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	resp := readResp(t, r)
+	if resp.Code != CodeOverloaded {
+		t.Fatalf("over-limit conn response = %+v, want code=%q", resp, CodeOverloaded)
+	}
+	if _, err := r.ReadBytes('\n'); err == nil {
+		t.Fatal("over-limit connection left open")
+	}
+	// The first connection is unaffected.
+	if _, err := c1.Scan("sum", "", "", []int64{2}); err != nil {
+		t.Fatalf("scan on conn 1 after rejection: %v", err)
+	}
+}
+
+func TestNetClientTypedErrors(t *testing.T) {
+	// The Client maps wire codes back to the package's typed errors.
+	ns := startNet(t, Config{})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Scan("xor", "", "", []int64{1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("unknown op err = %v, want ErrBadRequest", err)
+	}
+}
+
+func TestNetClientCtxDeadline(t *testing.T) {
+	// A client-side deadline bounds the wait even when the server is
+	// stalled by a slow kernel; the error is context.DeadlineExceeded
+	// whether it fires locally or is shed server-side.
+	faults := fault.New(2)
+	faults.ArmSleep(fault.KernelSlow, 1, 300*time.Millisecond)
+	ns := startNet(t, Config{Faults: faults})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = c.ScanCtx(ctx, "sum", "", "", []int64{1, 2, 3})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("ScanCtx err = %v, want DeadlineExceeded", err)
+	}
+	if d := time.Since(start); d > 3*time.Second {
+		t.Fatalf("deadline took %v to fire", d)
+	}
+}
+
+func TestNetIdleTimeoutClosesConnection(t *testing.T) {
+	ns := startNetCfg(t, Config{}, NetConfig{IdleTimeout: 50 * time.Millisecond})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	defer c.Close()
+	if _, err := c.Scan("sum", "", "", []int64{1, 2}); err != nil {
+		t.Fatalf("scan before idle: %v", err)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, err := c.Scan("sum", "", "", []int64{1, 2}); err == nil {
+		t.Fatal("scan on idle-closed connection succeeded")
+	}
 }

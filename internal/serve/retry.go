@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy is the client-side half of the failure model: capped
+// exponential backoff with jitter, applied only to errors the server
+// has classified as transient. The classification mirrors the wire
+// codes:
+//
+//   - ErrOverloaded, ErrShed — the server explicitly asked for backoff;
+//     retry after a delay.
+//   - ErrInternal — an isolated kernel panic failed the batch, the
+//     server survived; retry.
+//   - connection-level errors (torn line, dropped conn, EOF) — the
+//     request's fate is unknown; retry (the service is idempotent:
+//     scans are pure functions of their input).
+//   - ErrBadRequest, ErrClosed, context.DeadlineExceeded,
+//     context.Canceled — retrying cannot help (the request is wrong,
+//     the server is going away, or the caller's time budget is spent);
+//     fail fast.
+//
+// The zero value is usable; Do applies defaults.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries, including the first.
+	// Default 4.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; each further
+	// retry doubles it. Default 1ms.
+	BaseDelay time.Duration
+	// MaxDelay caps the (pre-jitter) backoff. Default 100ms.
+	MaxDelay time.Duration
+	// Jitter is the fraction of each delay that is randomized
+	// (0 = deterministic, 1 = full jitter over [0, delay]). Randomizing
+	// breaks retry synchronization: without it, every client that was
+	// shed by the same overloaded batch retries in lockstep and
+	// recreates the spike. Default 0.5.
+	Jitter float64
+}
+
+// withDefaults fills zero fields.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 100 * time.Millisecond
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	return p
+}
+
+// Retryable reports whether err is worth retrying under this policy.
+func (p RetryPolicy) Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrClosed),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		return false
+	}
+	// ErrOverloaded, ErrShed, ErrInternal, and anything unclassified
+	// (connection-level failures) are transient.
+	return true
+}
+
+// Backoff returns the delay before retry number attempt (attempt 1 =
+// the first retry): BaseDelay·2^(attempt-1), capped at MaxDelay, with
+// the Jitter fraction randomized.
+func (p RetryPolicy) Backoff(attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.BaseDelay << uint(attempt-1)
+	if d <= 0 || d > p.MaxDelay { // <= 0 catches shift overflow
+		d = p.MaxDelay
+	}
+	if p.Jitter > 0 {
+		jit := time.Duration(float64(d) * p.Jitter)
+		d = d - jit + time.Duration(rand.Int63n(int64(jit)+1))
+	}
+	return d
+}
+
+// Do runs fn until it succeeds, returns a non-retryable error, the
+// attempt budget is spent, or ctx expires. It returns the number of
+// attempts made alongside fn's final error, so callers can report
+// retry counts (cmd/scanload's "retried" column).
+func (p RetryPolicy) Do(ctx context.Context, fn func() error) (attempts int, err error) {
+	p = p.withDefaults()
+	for attempts = 1; ; attempts++ {
+		err = fn()
+		if err == nil || !p.Retryable(err) || attempts >= p.MaxAttempts {
+			return attempts, err
+		}
+		select {
+		case <-time.After(p.Backoff(attempts)):
+		case <-ctx.Done():
+			return attempts, err
+		}
+	}
+}

@@ -13,18 +13,30 @@
 // the hardware.
 //
 // The pipeline is: Submit → bounded queue (backpressure) → batcher
-// (one goroutine, owns the batching window) → executor pool (sized via
-// scan.Workers) → segmented kernels → futures.
+// (one goroutine, owns the batching window and the per-tenant fair
+// pick) → executor pool (sized via scan.Workers) → segmented kernels
+// → futures.
+//
+// The failure model (see DESIGN.md "Failure model") is: admission is
+// where overload is rejected (ErrOverloaded), the batcher is where
+// dead work is shed (expired contexts and over-age queue entries are
+// resolved with their error BEFORE the kernel pass — pay overhead
+// once, never on dead work), and the executor is where kernel panics
+// are isolated (the batch's futures fail with ErrInternal; the server
+// stays up). Every accepted request gets exactly one terminal outcome.
 package serve
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"scans/internal/fault"
 	"scans/internal/scan"
 )
 
@@ -40,6 +52,14 @@ var (
 	ErrClosed = errors.New("serve: server closed")
 	// ErrBadRequest means the request's op/kind/direction was invalid.
 	ErrBadRequest = errors.New("serve: bad request")
+	// ErrInternal means the request's batch hit an isolated kernel
+	// panic. The request was NOT executed (or its result is untrusted);
+	// the server itself survived and a retry is reasonable.
+	ErrInternal = errors.New("serve: internal error (kernel panic isolated)")
+	// ErrShed means the request sat in the queue longer than the
+	// server's QueueAgeLimit and was dropped before execution — stale
+	// work is shed, never run. Retrying is reasonable once load drops.
+	ErrShed = errors.New("serve: request shed (queue age limit exceeded)")
 )
 
 // Op identifies the scan operator of a request. The service fixes the
@@ -157,6 +177,20 @@ type Config struct {
 	// QueueLimit caps the submission queue. A full queue rejects with
 	// ErrOverloaded instead of growing without bound. Default 4096.
 	QueueLimit int
+	// QueueAgeLimit sheds requests that waited in the queue longer than
+	// this before reaching a kernel pass: they resolve with ErrShed
+	// instead of executing. Shedding happens at batch-assembly time —
+	// before the request's payload is ever copied into a fused vector —
+	// so under sustained overload the server spends kernel passes only
+	// on work whose caller plausibly still cares. 0 disables (default).
+	QueueAgeLimit time.Duration
+	// TenantWeights maps tenant names to batch-slot weights for the
+	// batcher's weighted round-robin pick (see Req.Tenant). Tenants not
+	// listed (including the default "" tenant) get weight 1. A tenant
+	// with weight w gets up to w consecutive batch slots per round, so
+	// a flooding tenant degrades to its fair share of each batch
+	// instead of starving everyone behind it in FIFO order.
+	TenantWeights map[string]int
 	// Executors sizes the batch-executor worker pool; <= 0 means
 	// scan.Workers(0), i.e. GOMAXPROCS. Multiple executors pipeline:
 	// one batch can run kernels while the batcher assembles the next.
@@ -164,6 +198,10 @@ type Config struct {
 	// Workers is the per-kernel goroutine count handed to the parallel
 	// segmented kernels; <= 0 means scan.Workers(0).
 	Workers int
+	// Faults is the chaos-injection hook: when non-nil, the server
+	// consults the fault.KernelSlow and fault.KernelPanic points inside
+	// each kernel pass. nil (the default) costs a nil check per batch.
+	Faults *fault.Set
 }
 
 // withDefaults fills zero fields.
@@ -190,14 +228,41 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Req is one scan request. Spec and Data are required; Tenant
+// optionally names the submitter for the batcher's weighted fair pick
+// ("" is the shared default tenant).
+type Req struct {
+	Spec   Spec
+	Data   []int64
+	Tenant string
+}
+
 // Future is the handle for an in-flight request. Wait blocks until the
-// batch containing the request has executed.
+// request has a terminal outcome: a result, a typed error, or the
+// request's own context error if it expired while queued.
 type Future struct {
-	spec Spec
-	data []int64
-	res  []int64
-	err  error
-	done chan struct{}
+	spec     Spec
+	tenant   string
+	ctx      context.Context
+	enqueued time.Time
+	data     []int64
+	res      []int64
+	err      error
+	resolved atomic.Bool
+	done     chan struct{}
+}
+
+// complete resolves the future exactly once; later calls are no-ops.
+// The single-resolution guarantee is what makes panic recovery safe:
+// a recover handler can blanket-fail a batch without double-resolving
+// futures the scatter loop already delivered.
+func (f *Future) complete(res []int64, err error) bool {
+	if !f.resolved.CompareAndSwap(false, true) {
+		return false
+	}
+	f.res, f.err = res, err
+	close(f.done)
+	return true
 }
 
 // Wait blocks until the request has been served and returns its result.
@@ -216,6 +281,11 @@ type Server struct {
 	queue  chan *Future
 	execCh chan []*Future
 
+	// Fault points resolved once at construction; nil when chaos is
+	// off, and a nil Point never fires.
+	fpSlow  *fault.Point
+	fpPanic *fault.Point
+
 	mu     sync.RWMutex // guards closed vs. sends on queue
 	closed bool
 
@@ -225,12 +295,7 @@ type Server struct {
 
 // New starts a Server with the given Config (zero value for defaults).
 func New(cfg Config) *Server {
-	cfg = cfg.withDefaults()
-	s := &Server{
-		cfg:    cfg,
-		queue:  make(chan *Future, cfg.QueueLimit),
-		execCh: make(chan []*Future, cfg.Executors),
-	}
+	s := newStopped(cfg)
 	s.start()
 	return s
 }
@@ -241,9 +306,11 @@ func New(cfg Config) *Server {
 func newStopped(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:    cfg,
-		queue:  make(chan *Future, cfg.QueueLimit),
-		execCh: make(chan []*Future, cfg.Executors),
+		cfg:     cfg,
+		queue:   make(chan *Future, cfg.QueueLimit),
+		execCh:  make(chan []*Future, cfg.Executors),
+		fpSlow:  cfg.Faults.Point(fault.KernelSlow),
+		fpPanic: cfg.Faults.Point(fault.KernelPanic),
 	}
 }
 
@@ -256,22 +323,42 @@ func (s *Server) start() {
 	}
 }
 
-// SubmitAsync enqueues a scan request and returns a Future. The data
-// slice is retained until the batch executes; callers must not mutate
-// it before Wait returns. Returns ErrOverloaded when the queue is full,
-// ErrClosed after Close, ErrBadRequest for an invalid Spec.
-func (s *Server) SubmitAsync(spec Spec, data []int64) (*Future, error) {
-	if !spec.valid() {
+// SubmitReq enqueues a scan request and returns a Future. ctx governs
+// the request's lifetime: a nil or background context means "serve
+// whenever"; a context with a deadline lets the batcher drop the
+// request unexecuted once it expires (the future resolves with the
+// context's error). An already-expired context is rejected outright.
+//
+// The data slice is retained until the batch executes; callers must
+// not mutate it before Wait returns. Returns ErrOverloaded when the
+// queue is full, ErrClosed after Close, ErrBadRequest for an invalid
+// Spec.
+func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
+	if !r.Spec.valid() {
 		s.stats.rejected.Add(1)
-		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, spec)
+		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, r.Spec)
 	}
-	f := &Future{spec: spec, data: data, done: make(chan struct{})}
-	if len(data) == 0 {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		s.stats.rejected.Add(1)
+		return nil, err
+	}
+	f := &Future{
+		spec:     r.Spec,
+		tenant:   r.Tenant,
+		ctx:      ctx,
+		enqueued: time.Now(),
+		data:     r.Data,
+		done:     make(chan struct{}),
+	}
+	if len(r.Data) == 0 {
 		// Nothing to scan; resolve without a server round trip so empty
 		// requests can never occupy batch slots.
-		f.res = []int64{}
-		close(f.done)
+		f.complete([]int64{}, nil)
 		s.stats.requests.Add(1)
+		s.stats.served.Add(1)
 		return f, nil
 	}
 	s.mu.RLock()
@@ -290,9 +377,26 @@ func (s *Server) SubmitAsync(spec Spec, data []int64) (*Future, error) {
 	}
 }
 
+// SubmitAsync enqueues a request with no deadline (background context,
+// default tenant) and returns its Future.
+func (s *Server) SubmitAsync(spec Spec, data []int64) (*Future, error) {
+	return s.SubmitReq(context.Background(), Req{Spec: spec, Data: data})
+}
+
 // Submit is the synchronous convenience form: SubmitAsync then Wait.
 func (s *Server) Submit(spec Spec, data []int64) ([]int64, error) {
 	f, err := s.SubmitAsync(spec, data)
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// SubmitCtx is the synchronous context-aware form: the request is
+// dropped unexecuted (and SubmitCtx returns the context's error) if
+// ctx expires before its batch reaches the kernels.
+func (s *Server) SubmitCtx(ctx context.Context, spec Spec, data []int64) ([]int64, error) {
+	f, err := s.SubmitReq(ctx, Req{Spec: spec, Data: data})
 	if err != nil {
 		return nil, err
 	}
@@ -315,6 +419,31 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
+// shedIfDead resolves a future whose caller has stopped caring —
+// expired/canceled context, or queued beyond QueueAgeLimit — and
+// reports whether it did. This is the batcher's admission gate into a
+// batch: dead work is dropped BEFORE its payload is copied into a
+// fused vector or a kernel pass spends cycles on it (the Figure 10
+// amortization argument applied to failure: overhead is paid once per
+// batch, and never for work nobody will read).
+func (s *Server) shedIfDead(f *Future, now time.Time) bool {
+	if err := f.ctx.Err(); err != nil {
+		if f.complete(nil, err) {
+			s.stats.deadlineDrops.Add(1)
+		}
+		return true
+	}
+	if lim := s.cfg.QueueAgeLimit; lim > 0 {
+		if age := now.Sub(f.enqueued); age > lim {
+			if f.complete(nil, fmt.Errorf("%w: queued %v, limit %v", ErrShed, age.Round(time.Microsecond), lim)) {
+				s.stats.shed.Add(1)
+			}
+			return true
+		}
+	}
+	return false
+}
+
 // batchLoop is the single goroutine that owns batch assembly. The
 // policy is adaptive: fuse greedily (everything already queued joins);
 // below the fill target, yield the processor so runnable submitters
@@ -323,68 +452,129 @@ func (s *Server) Close() {
 // with no timer parking — Go timer wakeups cost milliseconds on a
 // loaded box, far more than the scans being fused — while the element
 // and request caps still bound each kernel pass.
+//
+// Between the FIFO channel and the batch sits the per-tenant weighted
+// round-robin pick (tenantQueues): arrivals drain into per-tenant
+// FIFOs and batch slots are handed out a tenant at a time, so a tenant
+// flooding the queue fills its own FIFO while other tenants' requests
+// still land in the very next batch. Expired and over-age requests are
+// shed at pick time, before joining any batch.
 func (s *Server) batchLoop() {
 	defer func() {
 		close(s.execCh)
 		s.wg.Done()
 	}()
+	pend := newTenantQueues(s.cfg.TenantWeights)
+	open := true // queue channel still open
 	for {
-		first, ok := <-s.queue
-		if !ok {
-			return
+		if pend.empty() {
+			if !open {
+				return
+			}
+			f, ok := <-s.queue
+			if !ok {
+				return
+			}
+			pend.push(f)
 		}
-		batch := []*Future{first}
-		elems := len(first.data)
-		draining := false
-		sizeAtYield := -1
-		var deadline time.Time
-	assemble:
-		for elems < s.cfg.MaxBatchElems && len(batch) < s.cfg.MaxBatchRequests {
-			// Greedy: take whatever is already queued.
-			select {
-			case f, ok := <-s.queue:
-				if !ok {
-					draining = true
-					break assemble
-				}
-				batch = append(batch, f)
-				elems += len(f.data)
-				continue
-			default:
-			}
-			// Queue empty. Flush, unless the batch is below the fill
-			// target and yielding is still making progress.
-			if len(batch) >= s.cfg.MinBatchRequests || s.cfg.MaxWait <= 0 {
-				break assemble
-			}
-			if sizeAtYield == len(batch) {
-				// The last yield surfaced nothing: no submitter is
-				// runnable, so more waiting buys occupancy only at the
-				// price of parked latency. Flush.
-				break assemble
-			}
-			now := time.Now()
-			if deadline.IsZero() {
-				deadline = now.Add(s.cfg.MaxWait)
-			} else if now.After(deadline) {
-				break assemble
-			}
-			sizeAtYield = len(batch)
-			runtime.Gosched()
-		}
-		s.execCh <- batch
-		if draining {
-			return
+		batch := s.assemble(pend, &open)
+		if len(batch) > 0 {
+			s.execCh <- batch
 		}
 	}
 }
 
+// assemble builds one batch from the pending tenant queues, refilling
+// them greedily from the submission channel and yielding below the
+// fill target exactly as the pre-fairness batcher did.
+func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
+	var batch []*Future
+	elems := 0
+	sizeAtYield := -1
+	var deadline time.Time
+	for elems < s.cfg.MaxBatchElems && len(batch) < s.cfg.MaxBatchRequests {
+		// Greedy: move everything already queued into the tenant FIFOs.
+		if *open {
+		drain:
+			for {
+				select {
+				case f, ok := <-s.queue:
+					if !ok {
+						*open = false
+						break drain
+					}
+					pend.push(f)
+				default:
+					break drain
+				}
+			}
+		}
+		if f := pend.pop(); f != nil {
+			if s.shedIfDead(f, time.Now()) {
+				continue
+			}
+			batch = append(batch, f)
+			elems += len(f.data)
+			continue
+		}
+		// Nothing pending. Flush, unless the batch is below the fill
+		// target and yielding is still making progress.
+		if len(batch) == 0 {
+			break
+		}
+		if len(batch) >= s.cfg.MinBatchRequests || s.cfg.MaxWait <= 0 || !*open {
+			break
+		}
+		if sizeAtYield == len(batch) {
+			// The last yield surfaced nothing: no submitter is
+			// runnable, so more waiting buys occupancy only at the
+			// price of parked latency. Flush.
+			break
+		}
+		now := time.Now()
+		if deadline.IsZero() {
+			deadline = now.Add(s.cfg.MaxWait)
+		} else if now.After(deadline) {
+			break
+		}
+		sizeAtYield = len(batch)
+		runtime.Gosched()
+	}
+	return batch
+}
+
 // execLoop runs batches handed over by the batcher until the channel
-// closes at shutdown.
+// closes at shutdown. runBatch isolates kernel panics per group, so a
+// poisoned batch costs its own futures ErrInternal and nothing else;
+// as a last line of defense a panic escaping runBatch itself (batch
+// bookkeeping, stats) is caught here and the loop keeps serving.
 func (s *Server) execLoop() {
 	defer s.wg.Done()
 	for batch := range s.execCh {
-		s.runBatch(batch)
+		s.runBatchSafe(batch)
+	}
+}
+
+// runBatchSafe runs one batch, converting any panic that escapes batch
+// bookkeeping into ErrInternal on the batch's unresolved futures.
+func (s *Server) runBatchSafe(batch []*Future) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.failBatch(batch, r)
+		}
+	}()
+	s.runBatch(batch)
+}
+
+// failBatch resolves every not-yet-resolved future in a batch (or
+// group) with ErrInternal after a recovered panic.
+func (s *Server) failBatch(batch []*Future, cause any) {
+	s.stats.panics.Add(1)
+	err := fmt.Errorf("%w: %v", ErrInternal, cause)
+	for _, f := range batch {
+		if f.complete(nil, err) {
+			s.stats.panicFailed.Add(1)
+		}
 	}
 }
 

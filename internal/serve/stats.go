@@ -16,13 +16,18 @@ const occBuckets = 64
 // stats is the server's internal counter block. All fields are atomics
 // so the executor pool can record concurrently.
 type stats struct {
-	requests  atomic.Uint64
-	rejected  atomic.Uint64
-	batches   atomic.Uint64
-	groups    atomic.Uint64
-	fused     atomic.Uint64
-	maxOcc    atomic.Uint64
-	occupancy [occBuckets]atomic.Uint64
+	requests      atomic.Uint64
+	rejected      atomic.Uint64
+	served        atomic.Uint64
+	deadlineDrops atomic.Uint64
+	shed          atomic.Uint64
+	panics        atomic.Uint64
+	panicFailed   atomic.Uint64
+	batches       atomic.Uint64
+	groups        atomic.Uint64
+	fused         atomic.Uint64
+	maxOcc        atomic.Uint64
+	occupancy     [occBuckets]atomic.Uint64
 }
 
 // record accounts one executed batch.
@@ -49,9 +54,29 @@ type Stats struct {
 	// Requests is the number of accepted requests (including empty
 	// ones resolved locally).
 	Requests uint64
-	// Rejected counts submissions refused with ErrOverloaded,
-	// ErrClosed, or ErrBadRequest.
+	// Rejected counts submissions refused at admission with
+	// ErrOverloaded, ErrClosed, ErrBadRequest, or an already-expired
+	// context. Rejected requests never enter the queue and are NOT
+	// part of Requests.
 	Rejected uint64
+	// Served counts accepted requests that resolved with a result.
+	Served uint64
+	// DeadlineDrops counts accepted requests dropped unexecuted
+	// because their context expired or was canceled while they waited
+	// for a batch slot.
+	DeadlineDrops uint64
+	// Shed counts accepted requests dropped unexecuted because they
+	// out-waited QueueAgeLimit (resolved with ErrShed).
+	Shed uint64
+	// Panics counts kernel panics recovered by the executor (each one
+	// fails a single batch group and leaves the server running).
+	Panics uint64
+	// PanicFailed counts accepted requests that resolved with
+	// ErrInternal because their group's kernel pass panicked.
+	// Requests == Served + DeadlineDrops + Shed + PanicFailed once the
+	// server has drained (every accepted request gets exactly one
+	// terminal outcome).
+	PanicFailed uint64
 	// Batches is the number of fused batches executed.
 	Batches uint64
 	// Groups is the total number of (op, kind, direction) kernel
@@ -75,8 +100,10 @@ type Stats struct {
 // String renders the snapshot in one line for logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d rejected=%d batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d}",
-		s.Requests, s.Rejected, s.Batches, s.Groups, s.FusedElements,
+		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d "+
+			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d}",
+		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed,
+		s.Batches, s.Groups, s.FusedElements,
 		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy)
 }
 
@@ -88,6 +115,11 @@ func (s *Server) Stats() Stats {
 	out := Stats{
 		Requests:      st.requests.Load(),
 		Rejected:      st.rejected.Load(),
+		Served:        st.served.Load(),
+		DeadlineDrops: st.deadlineDrops.Load(),
+		Shed:          st.shed.Load(),
+		Panics:        st.panics.Load(),
+		PanicFailed:   st.panicFailed.Load(),
 		Batches:       st.batches.Load(),
 		Groups:        st.groups.Load(),
 		FusedElements: st.fused.Load(),

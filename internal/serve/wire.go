@@ -1,13 +1,20 @@
 package serve
 
-import "fmt"
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+)
 
 // The wire format of cmd/scansd is newline-delimited JSON: one
 // WireRequest per line in, one WireResponse per line out. Responses
 // carry the request's id and MAY arrive out of order (requests from
 // one connection land in different batches); clients match on ID.
-// This file defines the two message types and the string forms of the
-// Spec enums so the daemon and the load generator share one vocabulary.
+// This file defines the two message types, the string forms of the
+// Spec enums, and the error-code vocabulary that lets a remote client
+// classify failures (retryable overload vs fatal bad request) exactly
+// as an in-process caller would with errors.Is.
 
 // WireRequest is one scan request on the wire.
 type WireRequest struct {
@@ -20,6 +27,15 @@ type WireRequest struct {
 	Kind string `json:"kind,omitempty"`
 	// Dir is "forward" (default when empty) or "backward".
 	Dir string `json:"dir,omitempty"`
+	// TimeoutMS, when positive, is the request's deadline in
+	// milliseconds from server receipt: the server drops the request
+	// unexecuted (code "deadline") if it cannot reach a kernel pass in
+	// time.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Tenant optionally names the submitter for the server's weighted
+	// fair pick; empty means the connection's remote address, so one
+	// connection is one fairness domain by default.
+	Tenant string `json:"tenant,omitempty"`
 	// Data is the input vector.
 	Data []int64 `json:"data"`
 }
@@ -28,7 +44,115 @@ type WireRequest struct {
 type WireResponse struct {
 	ID     uint64  `json:"id"`
 	Result []int64 `json:"result,omitempty"`
-	Error  string  `json:"error,omitempty"`
+	// Error is the human-readable failure message; Code is its machine
+	// classification (one of the Code* constants) so clients can decide
+	// retry vs give-up without parsing English.
+	Error string `json:"error,omitempty"`
+	Code  string `json:"code,omitempty"`
+}
+
+// Error codes carried in WireResponse.Code. Clients map these back to
+// the package's typed errors (see errorForCode); unknown or empty
+// codes degrade to a plain error string.
+const (
+	// CodeBadRequest: invalid op/kind/dir. Not retryable.
+	CodeBadRequest = "bad_request"
+	// CodeBadJSON: the request line did not parse. Not retryable.
+	CodeBadJSON = "bad_json"
+	// CodeTooLarge: the request line exceeded the server's line limit.
+	// The connection is closed after this response. Not retryable.
+	CodeTooLarge = "too_large"
+	// CodeOverloaded: queue full or per-connection in-flight cap hit.
+	// Retryable with backoff.
+	CodeOverloaded = "overloaded"
+	// CodeClosed: server shutting down. Retryable against a replica.
+	CodeClosed = "closed"
+	// CodeInternal: isolated kernel panic; the request did not execute
+	// to completion. Retryable.
+	CodeInternal = "internal"
+	// CodeDeadline: the request's deadline expired before execution.
+	// Not retryable (the time budget is spent).
+	CodeDeadline = "deadline"
+	// CodeShed: dropped by queue-age shedding under overload.
+	// Retryable with backoff.
+	CodeShed = "shed"
+)
+
+// codeForError classifies a server-side error into a wire code.
+func codeForError(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return CodeBadRequest
+	case errors.Is(err, ErrOverloaded):
+		return CodeOverloaded
+	case errors.Is(err, ErrClosed):
+		return CodeClosed
+	case errors.Is(err, ErrInternal):
+		return CodeInternal
+	case errors.Is(err, ErrShed):
+		return CodeShed
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return CodeDeadline
+	}
+	return CodeInternal
+}
+
+// errorForCode converts a wire (code, message) pair back into an error
+// wrapping the matching typed sentinel, so remote callers can use
+// errors.Is exactly like in-process ones.
+func errorForCode(code, msg string) error {
+	var sentinel error
+	switch code {
+	case CodeBadRequest, CodeBadJSON, CodeTooLarge:
+		sentinel = ErrBadRequest
+	case CodeOverloaded:
+		sentinel = ErrOverloaded
+	case CodeClosed:
+		sentinel = ErrClosed
+	case CodeInternal:
+		sentinel = ErrInternal
+	case CodeShed:
+		sentinel = ErrShed
+	case CodeDeadline:
+		sentinel = context.DeadlineExceeded
+	default:
+		return errors.New(msg)
+	}
+	return fmt.Errorf("%w: %s", sentinel, msg)
+}
+
+// extractID best-effort recovers the "id" field from a request line
+// that failed to parse (malformed JSON) or was truncated (oversized
+// line), so the error response can still be matched to the request.
+// Returns 0 when no id is recognizable.
+func extractID(line []byte) uint64 {
+	i := bytes.Index(line, []byte(`"id"`))
+	if i < 0 {
+		return 0
+	}
+	rest := line[i+len(`"id"`):]
+	j := 0
+	for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t') {
+		j++
+	}
+	if j >= len(rest) || rest[j] != ':' {
+		return 0
+	}
+	j++
+	for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t') {
+		j++
+	}
+	id := uint64(0)
+	digits := 0
+	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
+		id = id*10 + uint64(rest[j]-'0')
+		digits++
+		j++
+	}
+	if digits == 0 {
+		return 0
+	}
+	return id
 }
 
 // ParseSpec converts the wire strings to a Spec, applying the

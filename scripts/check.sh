@@ -15,4 +15,10 @@ go vet ./...
 echo "== go test -race ./..."
 go test -race ./...
 
+echo "== chaos soak (short, -race)"
+go test -race -short -count=1 -run '^TestChaosSoak$' ./internal/serve/
+
+echo "== fuzz burst: FuzzSegmentedAgainstDirect (10s)"
+go test -fuzz='^FuzzSegmentedAgainstDirect$' -fuzztime=10s -run '^$' ./internal/scan/
+
 echo "check.sh: all green"
