@@ -7,7 +7,9 @@
 // batching enabled (fused) and once with MaxBatchRequests=1 (unfused,
 // every request is its own kernel pass) — and prints the speedup, the
 // number EXPERIMENTS.md tracks. With -addr it drives a running scansd
-// over TCP, one connection per client.
+// over TCP, one connection per client. With -stream each vector is
+// pushed through a streaming session in -chunk-element chunks instead
+// of a one-shot request, measuring the cross-chunk-carry path.
 //
 // Every request's terminal outcome is counted separately — served,
 // rejected-overloaded, shed by queue age, deadline-expired, failed by
@@ -89,8 +91,13 @@ func main() {
 		maxWait  = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
 		attempts = flag.Int("retries", 4, "retry budget per request (total attempts)")
+		stream   = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
+		chunk    = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
 	)
 	flag.Parse()
+	if *chunk <= 0 {
+		*chunk = serve.DefaultStreamChunk
+	}
 
 	spec, err := serve.ParseSpec(*op, *kind, *dir)
 	if err != nil {
@@ -101,12 +108,16 @@ func main() {
 
 	if *addr != "" {
 		var out outcomes
-		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out)
+		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
-		report("remote "+*addr, *requests, *n, elapsed)
+		label := "remote " + *addr
+		if *stream {
+			label += " (streamed)"
+		}
+		report(label, *requests, *n, elapsed)
 		fmt.Println("  ", out.String())
 		if lost := out.lost.Load(); lost > 0 {
 			fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
@@ -119,14 +130,18 @@ func main() {
 	unfused := fused
 	unfused.MaxBatchRequests = 1
 
-	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total\n",
-		*clients, *n, spec, *requests)
+	mode := ""
+	if *stream {
+		mode = fmt.Sprintf(" (streamed, %d-element chunks)", *chunk)
+	}
+	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total%s\n",
+		*clients, *n, spec, *requests, mode)
 	var outFused, outUnfused outcomes
-	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused)
+	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
 	fmt.Println("  ", outFused.String())
-	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n, *timeout, policy, &outUnfused)
+	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n, *timeout, policy, &outUnfused, *stream, *chunk)
 	report("unfused", *requests, *n, tUnfused)
 	fmt.Println("  ", stUnfused)
 	fmt.Println("  ", outUnfused.String())
@@ -140,7 +155,7 @@ func main() {
 // driveInProcess runs one closed-loop phase against a fresh in-process
 // server and returns the elapsed time and the server's final stats.
 func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
-	timeout time.Duration, policy serve.RetryPolicy, out *outcomes) (time.Duration, serve.Stats) {
+	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, serve.Stats) {
 	srv := serve.New(cfg)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -157,7 +172,21 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 						ctx, cancel = context.WithTimeout(ctx, timeout)
 					}
 					defer cancel()
-					_, err := srv.SubmitCtx(ctx, spec, data)
+					if !stream || len(data) <= chunk {
+						_, err := srv.SubmitCtx(ctx, spec, data)
+						return err
+					}
+					st, err := srv.OpenStream(spec, "")
+					if err != nil {
+						return err
+					}
+					for off := 0; off < len(data); off += chunk {
+						end := min(off+chunk, len(data))
+						if _, err := st.Push(ctx, data[off:end]); err != nil {
+							return err
+						}
+					}
+					_, err = st.Close()
 					return err
 				})
 				out.retries.Add(uint64(attempts - 1))
@@ -177,7 +206,7 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 // safe, and a request only counts as lost once the retry budget is
 // exhausted without any classified response.
 func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
-	timeout time.Duration, policy serve.RetryPolicy, out *outcomes) (time.Duration, error) {
+	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, error) {
 	conns := make([]*serve.Client, clients)
 	for i := range conns {
 		c, err := serve.Dial(addr)
@@ -208,7 +237,14 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 						ctx, cancel = context.WithTimeout(ctx, timeout)
 					}
 					defer cancel()
-					_, err := conns[c].ScanCtx(ctx, op, kind, dir, data)
+					var err error
+					if stream {
+						// A retried StreamScan opens a fresh session, so
+						// retrying a failed stream is safe end to end.
+						_, err = conns[c].StreamScan(ctx, op, kind, dir, data, chunk)
+					} else {
+						_, err = conns[c].ScanCtx(ctx, op, kind, dir, data)
+					}
 					if err != nil && !policy.Retryable(err) {
 						return err
 					}

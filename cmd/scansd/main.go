@@ -14,7 +14,13 @@
 // "shed", "deadline", "internal", ...) so clients can branch retry vs
 // give-up; requests may carry "timeout_ms" (the server drops them
 // unexecuted once expired) and "tenant" (fair-share batching domain,
-// defaulting to the connection). The -chaos flag arms fault-injection
+// defaulting to the connection).
+//
+// Long vectors stream: "type":"stream_open" / "stream_chunk" /
+// "stream_close" messages push one logical vector through the batcher
+// chunk by chunk, the server carrying the running prefix across chunks
+// (DESIGN.md §5). -max-streams and -stream-ttl bound the per-connection
+// session state. The -chaos flag arms fault-injection
 // points for soak testing the failure paths: a comma-separated list of
 // name:probability[:duration] triples, e.g.
 //
@@ -54,6 +60,8 @@ func main() {
 		idle      = flag.Duration("idle-timeout", 2*time.Minute, "close connections idle this long (0 = never)")
 		wtimeout  = flag.Duration("write-timeout", 30*time.Second, "per-response write deadline")
 		maxLine   = flag.Int("max-line-bytes", 16<<20, "reject request lines longer than this")
+		maxStream = flag.Int("max-streams", 64, "per-connection open streaming session cap (-1 = disable streaming)")
+		streamTTL = flag.Duration("stream-ttl", 2*time.Minute, "expire streaming sessions idle this long (-1s = never)")
 		chaosSpec = flag.String("chaos", "", "arm fault points: name:prob[:duration],... (see package doc)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 	)
@@ -80,6 +88,8 @@ func main() {
 		PerConnInflight: *perConn,
 		IdleTimeout:     *idle,
 		WriteTimeout:    *wtimeout,
+		MaxStreams:      *maxStream,
+		StreamIdleTTL:   *streamTTL,
 		Faults:          faults,
 	})
 	if err != nil {

@@ -48,6 +48,16 @@ func (s *Server) runGroupSafe(spec Spec, reqs []*Future) (elems int) {
 
 // runGroup fuses one Spec's requests into a single segmented scan and
 // scatters the results. Returns the number of fused elements.
+//
+// Carry-seeded requests (stream chunks, Future.seeded) get one extra
+// element: the stream's carry is injected at their segment head, ahead
+// of the payload. The ordinary segmented kernels then do the stitching
+// — an exclusive pass over [c, a0..an-1] yields [id, c, c⊕a0, ...] and
+// an inclusive pass yields [c, c⊕a0, ...], so in both kinds the
+// payload's outputs start one slot past the segment head and already
+// include the carry of every earlier chunk. Streams are forward-only
+// (OpenStream rejects Backward), so a seeded future never reaches a
+// backward kernel where head-injection would be wrong.
 func (s *Server) runGroup(spec Spec, reqs []*Future) int {
 	// Chaos hooks: a slow kernel stalls here (inside the executor, so
 	// queue-age shedding and deadline drops see realistic pressure); a
@@ -58,13 +68,17 @@ func (s *Server) runGroup(spec Spec, reqs []*Future) int {
 	}
 	n := 0
 	for _, f := range reqs {
-		n += len(f.data)
+		n += f.nelems()
 	}
 	src := make([]int64, n)
 	flags := make([]bool, n)
 	pos := 0
 	for _, f := range reqs {
 		flags[pos] = true
+		if f.seeded {
+			src[pos] = f.carry
+			pos++
+		}
 		copy(src[pos:], f.data)
 		pos += len(f.data)
 	}
@@ -76,6 +90,9 @@ func (s *Server) runGroup(spec Spec, reqs []*Future) int {
 	pos = 0
 	served := 0
 	for _, f := range reqs {
+		if f.seeded {
+			pos++ // skip the injected carry slot
+		}
 		if f.complete(dst[pos:pos+len(f.data):pos+len(f.data)], nil) {
 			served++
 		}

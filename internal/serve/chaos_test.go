@@ -27,6 +27,10 @@ import (
 //     cleanly after the storm.
 //  4. Server-side accounting closes: accepted = served + deadline
 //     drops + sheds + panic-failed after the drain.
+//  5. No leaked stream sessions: a third of the traffic rides streaming
+//     sessions, so conn.drop regularly tears connections mid-stream;
+//     after the drain the active-stream gauge must be zero and the
+//     stream ledger must close (opened = closed + failed + expired).
 //
 // Run under -race (scripts/check.sh does) this is also the package's
 // widest data-race net.
@@ -93,11 +97,24 @@ func TestChaosSoak(t *testing.T) {
 					}
 				}
 				want := directScan(spec, data)
+				// A third of forward requests go through a streaming
+				// session in small chunks, so conn.drop keeps killing
+				// connections with streams open mid-flight. A retry
+				// opens a fresh session, so full-request retries stay
+				// safe.
+				streamed := spec.Dir == Forward && i%3 == 0
 				var got []int64
 				_, err := policy.Do(context.Background(), func() error {
 					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 					defer cancel()
-					res, err := conn.ScanCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
+					var res []int64
+					var err error
+					if streamed {
+						res, err = conn.StreamScan(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(),
+							data, 1+rng.Intn(16))
+					} else {
+						res, err = conn.ScanCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
+					}
 					if err == nil {
 						got = res
 						return nil
@@ -119,7 +136,8 @@ func TestChaosSoak(t *testing.T) {
 						local.success++
 					}
 				case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed),
-					errors.Is(err, ErrInternal), errors.Is(err, context.DeadlineExceeded):
+					errors.Is(err, ErrInternal), errors.Is(err, context.DeadlineExceeded),
+					errors.Is(err, ErrNoStream), errors.Is(err, ErrStreamFailed):
 					local.typedErr++
 				default:
 					local.lost++
@@ -191,6 +209,21 @@ func TestChaosSoak(t *testing.T) {
 	if got := st.Served + st.DeadlineDrops + st.Shed + st.PanicFailed; got != st.Requests {
 		t.Fatalf("server ledger broken: served+drops+shed+panicked = %d, requests = %d (%v)", got, st.Requests, st)
 	}
+	// Zero leaked stream sessions: every connection is torn down by now
+	// (ns.Close waits for the handlers), so every session opened during
+	// the storm — including those whose connection was chaos-dropped
+	// mid-stream — must have reached a terminal state and freed its
+	// carry.
+	if st.StreamsOpened == 0 {
+		t.Fatal("chaos soak: no streams opened — streaming leg of the soak did not run")
+	}
+	if st.StreamsActive != 0 {
+		t.Fatalf("chaos soak: %d stream sessions leaked after full teardown (%v)", st.StreamsActive, st)
+	}
+	if st.StreamsOpened != st.StreamsClosed+st.StreamsFailed+st.StreamsExpired {
+		t.Fatalf("stream ledger does not close: opened %d != closed %d + failed %d + expired %d",
+			st.StreamsOpened, st.StreamsClosed, st.StreamsFailed, st.StreamsExpired)
+	}
 	t.Logf("chaos soak: %d success, %d typed errors; server %v; %v",
 		total.success, total.typedErr, st, faults)
 }
@@ -204,5 +237,7 @@ func isConnLevel(err error) bool {
 		!errors.Is(err, ErrInternal) &&
 		!errors.Is(err, ErrBadRequest) &&
 		!errors.Is(err, ErrClosed) &&
+		!errors.Is(err, ErrNoStream) &&
+		!errors.Is(err, ErrStreamFailed) &&
 		!errors.Is(err, context.DeadlineExceeded)
 }

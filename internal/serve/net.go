@@ -15,15 +15,25 @@ import (
 	"scans/internal/fault"
 )
 
+// DefaultMaxLineBytes is the default cap on one JSON line in either
+// direction: NetConfig.MaxLineBytes server-side, and the baseline for
+// the client's read buffer (Dial adds headroom on top). Vectors whose
+// request or worst-case RESPONSE would exceed the budget must use a
+// streaming session instead of a one-shot scan.
+const DefaultMaxLineBytes = 16 << 20
+
 // NetConfig tunes the TCP front end's own failure surface — everything
 // that can go wrong between a socket and the batch server. The zero
 // value is usable: every field has a default applied by Listen.
 type NetConfig struct {
-	// MaxLineBytes bounds one JSON line on the wire. A longer line gets
-	// a structured "too_large" error response (matched to the request
-	// id when recognizable) and the connection is closed. Default
-	// 16 MiB — a million-element vector is ~8 MB of decimal digits;
-	// beyond that the client is misbehaving.
+	// MaxLineBytes bounds one JSON line on the wire, in BOTH
+	// directions. A longer request line gets a structured "too_large"
+	// error response (matched to the request id when recognizable) and
+	// the connection is closed. A well-formed request whose worst-case
+	// response would exceed the same budget (prefix sums have more
+	// digits than their inputs) is refused with "too_large" — the
+	// connection survives, and a streaming session is the escape hatch.
+	// Default DefaultMaxLineBytes (16 MiB).
 	MaxLineBytes int
 	// MaxConns caps simultaneously-open client connections. A
 	// connection beyond the cap receives one "overloaded" error line
@@ -41,6 +51,16 @@ type NetConfig struct {
 	// stops reading cannot park a response goroutine (and its buffered
 	// result) forever. Default 30s when zero; < 0 disables.
 	WriteTimeout time.Duration
+	// MaxStreams caps one connection's simultaneously-open streaming
+	// scan sessions (each holds a carry and a worker goroutine). An
+	// open over the cap is refused with "overloaded". Default 64; < 0
+	// disables streaming on this server entirely.
+	MaxStreams int
+	// StreamIdleTTL expires a stream session that receives no chunk for
+	// this long: its carry is freed and later chunks get "no_stream".
+	// Keeps abandoned sessions from pinning state on long-lived
+	// connections. Default 2 minutes; < 0 disables expiry.
+	StreamIdleTTL time.Duration
 	// Faults is the chaos hook for the connection-level points
 	// (fault.ConnDrop, fault.PartialWrite). Usually the same *fault.Set
 	// as Config.Faults. nil = chaos off.
@@ -50,13 +70,27 @@ type NetConfig struct {
 // withDefaults fills zero fields.
 func (c NetConfig) withDefaults() NetConfig {
 	if c.MaxLineBytes <= 0 {
-		c.MaxLineBytes = 16 << 20
+		c.MaxLineBytes = DefaultMaxLineBytes
 	}
 	if c.WriteTimeout == 0 {
 		c.WriteTimeout = 30 * time.Second
 	}
+	if c.MaxStreams == 0 {
+		c.MaxStreams = 64
+	}
+	if c.StreamIdleTTL == 0 {
+		c.StreamIdleTTL = 2 * time.Minute
+	}
 	return c
 }
+
+// maxRespBytes is the worst-case encoded size of a result line for n
+// elements: each int64 is at most 20 characters (sign included) plus a
+// comma, and the {"id":...,"result":[...]} envelope plus newline stays
+// under 48. The server refuses any scan (one-shot or chunk) whose
+// worst case exceeds MaxLineBytes, so a response can never outgrow the
+// line budget a client's reader is sized for.
+func maxRespBytes(n int) int { return 48 + 21*n }
 
 // NetServer is the TCP front end: a thin newline-delimited-JSON skin
 // over an in-process Server, so remote clients' requests fuse into the
@@ -246,6 +280,13 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 // oversized lines, unknown specs, admission rejections — are answered
 // with a structured WireResponse carrying an error code (and the
 // request id whenever it is recoverable) rather than a silent close.
+//
+// Stream messages (type stream_open/stream_chunk/stream_close) are
+// routed to the connection's session table; each open stream has one
+// worker goroutine serializing its chunks (chunk k+1's carry is chunk
+// k's output). Whatever ends the connection — clean close, idle
+// timeout, a chaos conn.drop — the deferred closeAll tears every
+// session down, so dropped connections leak no stream state.
 func (ns *NetServer) handle(conn net.Conn) {
 	defer conn.Close()
 	var (
@@ -279,6 +320,8 @@ func (ns *NetServer) handle(conn net.Conn) {
 		w.WriteByte('\n')
 		w.Flush()
 	}
+	cs := newConnStreams(ns, respond, tenant)
+	defer cs.closeAll()
 	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
 		if ns.ncfg.IdleTimeout > 0 {
@@ -308,9 +351,39 @@ func (ns *NetServer) handle(conn net.Conn) {
 			respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
 			continue
 		}
+		switch req.Type {
+		case "":
+			// One-shot scan: falls through to the submit path below.
+		case "stream_open":
+			cs.open(req)
+			continue
+		case "stream_chunk":
+			cs.chunk(req)
+			continue
+		case "stream_close":
+			cs.closeStream(req)
+			continue
+		default:
+			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown message type %q", req.Type), Code: CodeBadRequest})
+			continue
+		}
 		spec, err := ParseSpec(req.Op, req.Kind, req.Dir)
 		if err != nil {
 			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
+			continue
+		}
+		if worst := maxRespBytes(len(req.Data)); worst > ns.ncfg.MaxLineBytes {
+			// The request line fit, but its RESPONSE might not (prefix
+			// sums have more digits than inputs). Refuse rather than
+			// blow up the client's line reader; unlike an oversized
+			// request line the stream is still in sync, so the
+			// connection survives. Streaming is the escape hatch.
+			respond(WireResponse{
+				ID: req.ID,
+				Error: fmt.Sprintf("worst-case response (%d bytes for %d elements) exceeds the %d-byte line budget; use a streaming session",
+					worst, len(req.Data), ns.ncfg.MaxLineBytes),
+				Code: CodeTooLarge,
+			})
 			continue
 		}
 		if limit := ns.ncfg.PerConnInflight; limit > 0 && inflight.Add(1) > int64(limit) {
@@ -364,29 +437,47 @@ func (ns *NetServer) handle(conn net.Conn) {
 // with errors.Is exactly like in-process ones — the retry policy in
 // retry.go keys off that.
 type Client struct {
-	conn net.Conn
+	conn    net.Conn
+	maxLine int
 
 	wmu sync.Mutex
 	w   *bufio.Writer
 
 	mu      sync.Mutex
 	nextID  uint64
+	nextSID uint64
 	waiters map[uint64]chan WireResponse
 	readErr error
 	closed  bool
 }
 
-// Dial connects to a scansd address.
+// Dial connects to a scansd address. The client's response reader is
+// sized for a server running the default line budget; against a server
+// with a larger MaxLineBytes, use DialMaxLine with the same value.
 func Dial(addr string) (*Client, error) {
+	return DialMaxLine(addr, DefaultMaxLineBytes)
+}
+
+// DialMaxLine is Dial with an explicit line budget: maxLineBytes must
+// be at least the server's MaxLineBytes, or large responses will kill
+// the connection client-side (bufio.Scanner: token too long) even
+// though the server sent them happily. The reader gets headroom on top
+// of the nominal budget so a response at exactly the server's limit
+// still fits.
+func DialMaxLine(addr string, maxLineBytes int) (*Client, error) {
+	if maxLineBytes <= 0 {
+		maxLineBytes = DefaultMaxLineBytes
+	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c := &Client{
 		conn:    conn,
-		w:       bufio.NewWriter(conn),
+		maxLine: maxLineBytes + 64<<10,
 		waiters: make(map[uint64]chan WireResponse),
 	}
+	c.w = bufio.NewWriter(conn)
 	go c.readLoop()
 	return c, nil
 }
@@ -402,15 +493,45 @@ func (c *Client) Scan(op, kind, dir string, data []int64) ([]int64, error) {
 	return c.ScanCtx(context.Background(), op, kind, dir, data)
 }
 
+// deadlineMS converts a remaining time budget to the wire's timeout_ms,
+// rounding UP to a whole millisecond. Truncation is the wrong direction
+// here: a live 999µs budget truncates to 0, which on the wire means "no
+// timeout" — a sub-millisecond deadline silently became no deadline at
+// all. Returns 0 (no wire timeout) for a spent budget; callers reject
+// that case before sending.
+func deadlineMS(d time.Duration) int64 {
+	if d <= 0 {
+		return 0
+	}
+	return int64((d + time.Millisecond - 1) / time.Millisecond)
+}
+
 // ScanCtx is Scan with a lifetime: a ctx deadline is forwarded to the
 // server as the request's timeout_ms (so the server can shed the
 // request unexecuted) and also bounds the local wait for the response.
 func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64) ([]int64, error) {
 	req := WireRequest{Op: op, Kind: kind, Dir: dir, Data: data}
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		resp.Result = []int64{}
+	}
+	return resp.Result, nil
+}
+
+// roundTrip sends one request (stamping its ID and, when ctx carries a
+// deadline, its timeout_ms) and waits for the matching response, which
+// may arrive out of order relative to other in-flight requests. A
+// response with an error set is returned as a typed error via
+// errorForCode.
+func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, error) {
+	var zero WireResponse
 	if dl, ok := ctx.Deadline(); ok {
-		ms := time.Until(dl).Milliseconds()
+		ms := deadlineMS(time.Until(dl))
 		if ms <= 0 {
-			return nil, context.DeadlineExceeded
+			return zero, context.DeadlineExceeded
 		}
 		req.TimeoutMS = ms
 	}
@@ -421,7 +542,7 @@ func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64
 		if err == nil {
 			err = net.ErrClosed
 		}
-		return nil, err
+		return zero, err
 	}
 	c.nextID++
 	id := c.nextID
@@ -446,7 +567,7 @@ func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64
 		c.mu.Lock()
 		delete(c.waiters, id)
 		c.mu.Unlock()
-		return nil, err
+		return zero, err
 	}
 	select {
 	case resp, ok := <-ch:
@@ -457,20 +578,17 @@ func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64
 			if err == nil {
 				err = net.ErrClosed
 			}
-			return nil, err
+			return zero, err
 		}
 		if resp.Error != "" {
-			return nil, errorForCode(resp.Code, resp.Error)
+			return zero, errorForCode(resp.Code, resp.Error)
 		}
-		if resp.Result == nil {
-			resp.Result = []int64{}
-		}
-		return resp.Result, nil
+		return resp, nil
 	case <-ctx.Done():
 		c.mu.Lock()
 		delete(c.waiters, id)
 		c.mu.Unlock()
-		return nil, ctx.Err()
+		return zero, ctx.Err()
 	}
 }
 
@@ -478,7 +596,10 @@ func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64
 // fails every outstanding waiter.
 func (c *Client) readLoop() {
 	sc := bufio.NewScanner(c.conn)
-	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	// Sized from the dial-time line budget (server limit + headroom),
+	// not a constant: a response near the server's MaxLineBytes must
+	// never kill the connection with "token too long" client-side.
+	sc.Buffer(make([]byte, 64<<10), c.maxLine)
 	for sc.Scan() {
 		var resp WireResponse
 		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
@@ -511,4 +632,125 @@ func (c *Client) readLoop() {
 		delete(c.waiters, id)
 	}
 	c.mu.Unlock()
+}
+
+// DefaultStreamChunk is the chunk size (in elements) StreamScan uses
+// when the caller passes chunkElems <= 0: large enough to amortize the
+// per-chunk round trip, small enough that a chunk's worst-case response
+// (maxRespBytes) stays far inside any sane line budget.
+const DefaultStreamChunk = 1 << 15
+
+// ClientStream is one streaming scan session: Send pushes a chunk and
+// returns its prefix-scan seeded with everything sent before; Close
+// ends the session and returns the fold of the whole stream. A failed
+// Send kills the session (the server freed its carry); the error is
+// sticky and Close returns it too. Sends are serialized — a stream is
+// one logical vector arriving in order, so concurrent Sends would be
+// meaningless.
+type ClientStream struct {
+	c   *Client
+	sid uint64
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// OpenStream starts a streaming session for op/kind/dir (wire strings,
+// forward only — the server refuses backward specs with
+// ErrStreamUnsupported, because a backward carry depends on chunks that
+// have not arrived yet).
+func (c *Client) OpenStream(ctx context.Context, op, kind, dir string) (*ClientStream, error) {
+	c.mu.Lock()
+	c.nextSID++
+	sid := c.nextSID
+	c.mu.Unlock()
+	_, err := c.roundTrip(ctx, WireRequest{Type: "stream_open", Stream: sid, Op: op, Kind: kind, Dir: dir})
+	if err != nil {
+		return nil, err
+	}
+	return &ClientStream{c: c, sid: sid}, nil
+}
+
+// Send pushes one chunk and returns its scan, seeded with the carry of
+// every prior chunk. On error the session is dead server-side; opening
+// a fresh stream and resending from the first chunk is the only
+// recovery.
+func (s *ClientStream) Send(ctx context.Context, chunk []int64) ([]int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed {
+		return nil, fmt.Errorf("%w: stream already closed", ErrNoStream)
+	}
+	resp, err := s.c.roundTrip(ctx, WireRequest{Type: "stream_chunk", Stream: s.sid, Data: chunk})
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	if resp.Result == nil {
+		resp.Result = []int64{}
+	}
+	return resp.Result, nil
+}
+
+// Close ends the session and returns the stream total: the fold of
+// every element sent, regardless of kind (for an exclusive scan the
+// total is NOT the last result element — it includes the final chunk's
+// last input). Closing an already-failed stream returns the sticky
+// error.
+func (s *ClientStream) Close(ctx context.Context) (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.closed {
+		return 0, fmt.Errorf("%w: stream already closed", ErrNoStream)
+	}
+	s.closed = true
+	resp, err := s.c.roundTrip(ctx, WireRequest{Type: "stream_close", Stream: s.sid})
+	if err != nil {
+		s.err = err
+		return 0, err
+	}
+	if resp.Total == nil {
+		return 0, fmt.Errorf("%w: stream_close response missing total", ErrInternal)
+	}
+	return *resp.Total, nil
+}
+
+// StreamScan scans data by streaming it through the server in chunks
+// of chunkElems elements (DefaultStreamChunk when <= 0), reassembling
+// the chunk results into the full prefix scan — bit-identical to a
+// one-shot ScanCtx, but with a bounded per-message footprint, so it
+// works for vectors whose one-shot response would blow the line budget
+// (the server refuses those with code "too_large"). Vectors that fit in
+// a single chunk just take the one-shot path.
+func (c *Client) StreamScan(ctx context.Context, op, kind, dir string, data []int64, chunkElems int) ([]int64, error) {
+	if chunkElems <= 0 {
+		chunkElems = DefaultStreamChunk
+	}
+	if len(data) <= chunkElems {
+		return c.ScanCtx(ctx, op, kind, dir, data)
+	}
+	s, err := c.OpenStream(ctx, op, kind, dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(data))
+	for off := 0; off < len(data); off += chunkElems {
+		end := min(off+chunkElems, len(data))
+		res, err := s.Send(ctx, data[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	if _, err := s.Close(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
 }

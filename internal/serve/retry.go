@@ -78,14 +78,21 @@ func (p RetryPolicy) Retryable(err error) bool {
 // Backoff returns the delay before retry number attempt (attempt 1 =
 // the first retry): BaseDelay·2^(attempt-1), capped at MaxDelay, with
 // the Jitter fraction randomized.
+//
+// The cap is applied BEFORE the shift is trusted: BaseDelay<<shift can
+// wrap to an arbitrary int64 at high attempt counts — negative, zero,
+// or (worst) a small positive value that a post-hoc `d <= 0` check
+// waves through, collapsing backoff into a hot retry loop. The shift
+// is therefore only performed when it provably fits under MaxDelay
+// (BaseDelay <= MaxDelay>>shift); every other attempt is the cap.
 func (p RetryPolicy) Backoff(attempt int) time.Duration {
 	p = p.withDefaults()
 	if attempt < 1 {
 		attempt = 1
 	}
-	d := p.BaseDelay << uint(attempt-1)
-	if d <= 0 || d > p.MaxDelay { // <= 0 catches shift overflow
-		d = p.MaxDelay
+	d := p.MaxDelay
+	if shift := uint(attempt - 1); shift < 63 && p.BaseDelay <= p.MaxDelay>>shift {
+		d = p.BaseDelay << shift
 	}
 	if p.Jitter > 0 {
 		jit := time.Duration(float64(d) * p.Jitter)

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"math/rand"
 	"reflect"
 	"testing"
 	"time"
@@ -370,6 +371,23 @@ func TestExtractID(t *testing.T) {
 		`garbage`:                    0,
 		`{"id":"notanumber"}`:        0,
 		`{"id":18446744073709551615`: 18446744073709551615,
+
+		// A string VALUE spelled "id" is not the id key: the old scanner
+		// matched the first `"id"` it saw anywhere and read the neighbor
+		// of an unrelated field (9 here, or garbage after a tenant named
+		// "id"). Only a top-level key followed by a colon counts.
+		`{"tenant":"id","id":9}`:       9,
+		`{"tenant":"id","seq":3}`:      0,
+		`{"x":"\"id\":7","id":6}`:      6, // escaped quotes inside a value
+		`{"meta":{"id":5},"id":8}`:     8, // nested object's id is not ours
+		`{"meta":{"id":5},"op":"sum"`:  0,
+		`[{"id":5}]`:                   0, // top level is an array, not our envelope
+		`{"data":[1,2,3],"id":4`:       4,
+		`{"id":99999999999999999999`:   0, // > MaxUint64: reject, don't wrap
+		`{"id":184467440737095516150`:  0, // MaxUint64*10: the wraparound case
+		`{"id":}`:                      0, // key present, no digits
+		`{"op":"truncated mid-str`:     0, // unterminated string: nothing after it is trustworthy
+		`{"op":"sum","id":0,"data":[]`: 0, // explicit id 0 is indistinguishable from absent, by protocol
 	}
 	for line, want := range cases {
 		if got := extractID([]byte(line)); got != want {
@@ -394,5 +412,159 @@ func TestWireErrorCodeRoundTrip(t *testing.T) {
 	}
 	if !errors.Is(errorForCode(CodeBadJSON, "x"), ErrBadRequest) {
 		t.Error("bad_json code did not map to ErrBadRequest")
+	}
+}
+
+// TestRetryPolicyBackoffShiftOverflow is the regression for the shift
+// overflow: BaseDelay<<(attempt-1) wraps at high attempt counts, and
+// the wrapped value can land on a SMALL POSITIVE duration that the old
+// `d <= 0 || d > MaxDelay` check waved through — collapsing capped
+// backoff into a near-hot retry loop exactly when a long outage has
+// pushed attempts high. Every delay past the cap point must be exactly
+// MaxDelay.
+func TestRetryPolicyBackoffShiftOverflow(t *testing.T) {
+	// (1<<40)+1 ns shifted by 24 wraps to exactly 1<<24 ns ≈ 16.8ms:
+	// positive, under MaxDelay, and completely wrong. Pre-fix code
+	// returned it; the fix proves the shift fits before performing it.
+	p := RetryPolicy{BaseDelay: (1 << 40) + 1, MaxDelay: 100 * time.Millisecond, Jitter: -1}
+	if got := p.Backoff(25); got != p.MaxDelay {
+		t.Fatalf("Backoff(25) = %v, want MaxDelay %v (wrapped shift escaped the cap)", got, p.MaxDelay)
+	}
+	for _, attempt := range []int{2, 10, 24, 26, 62, 63, 64, 100, 1000, 1 << 30} {
+		if got := p.Backoff(attempt); got != p.MaxDelay {
+			t.Fatalf("Backoff(%d) = %v, want MaxDelay %v", attempt, got, p.MaxDelay)
+		}
+	}
+	// Jittered delays stay in (0, MaxDelay] at the same attempt counts.
+	jittered := RetryPolicy{BaseDelay: (1 << 40) + 1, MaxDelay: 100 * time.Millisecond, Jitter: 0.5}
+	for _, attempt := range []int{25, 63, 64, 1000} {
+		if got := jittered.Backoff(attempt); got <= 0 || got > jittered.MaxDelay {
+			t.Fatalf("jittered Backoff(%d) = %v, outside (0, MaxDelay]", attempt, got)
+		}
+	}
+	// Sanity below the cap: the exponential ramp is untouched.
+	small := RetryPolicy{BaseDelay: time.Millisecond, MaxDelay: time.Hour, Jitter: -1}
+	if got := small.Backoff(11); got != 1024*time.Millisecond {
+		t.Fatalf("Backoff(11) = %v, want 1.024s", got)
+	}
+}
+
+// TestDeadlineMSRoundsUp is the regression for the sub-millisecond
+// truncation: a live 999µs budget used to truncate to timeout_ms=0,
+// which on the wire means NO timeout — the tightest deadlines were the
+// ones silently dropped. The conversion must round up.
+func TestDeadlineMSRoundsUp(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int64
+	}{
+		{999 * time.Microsecond, 1},
+		{time.Microsecond, 1},
+		{time.Millisecond, 1},
+		{time.Millisecond + 500*time.Microsecond, 2},
+		{2 * time.Millisecond, 2},
+		{0, 0},
+		{-5 * time.Millisecond, 0},
+	}
+	for _, c := range cases {
+		if got := deadlineMS(c.d); got != c.want {
+			t.Errorf("deadlineMS(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+// TestTenantQueuesPropertyRandomized drives random push/pop
+// interleavings through the fairness structure and checks the ring and
+// credit invariants the batcher depends on:
+//
+//  1. Conservation: every pushed future pops exactly once (no
+//     duplicates, no losses), and a full drain empties the structure.
+//  2. Per-tenant FIFO: a tenant's futures pop in push order.
+//  3. Coherence: empty() agrees with the outstanding count at every
+//     step, and pop on empty returns nil.
+//  4. Bounded starvation: a continuously-pending tenant is served at
+//     least once per total-weight pops — WRR's whole point.
+func TestTenantQueuesPropertyRandomized(t *testing.T) {
+	tenants := []string{"a", "b", "c", "d", "e"}
+	weights := map[string]int{"a": 1, "b": 2, "c": 3} // d, e default to 1
+	totalWeight := 0
+	for _, tn := range tenants {
+		totalWeight += max(weights[tn], 1)
+	}
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		q := newTenantQueues(weights)
+		var (
+			pushed  = map[string][]*Future{}
+			nPopped = map[string]int{}
+			seen    = map[*Future]bool{}
+			// starve[tn] counts pops of OTHER tenants since tn was last
+			// served while tn had work pending.
+			starve  = map[string]int{}
+			pending = 0
+		)
+		checkPop := func() {
+			f := q.pop()
+			if f == nil {
+				t.Fatalf("trial %d: pop = nil with %d pending", trial, pending)
+			}
+			if seen[f] {
+				t.Fatalf("trial %d: future popped twice (tenant %q)", trial, f.tenant)
+			}
+			seen[f] = true
+			if want := pushed[f.tenant][nPopped[f.tenant]]; f != want {
+				t.Fatalf("trial %d: tenant %q popped out of FIFO order", trial, f.tenant)
+			}
+			nPopped[f.tenant]++
+			pending--
+			starve[f.tenant] = 0
+			for tn := range starve {
+				if tn == f.tenant {
+					continue
+				}
+				if nPopped[tn] == len(pushed[tn]) {
+					delete(starve, tn) // drained; counter restarts on re-entry
+					continue
+				}
+				starve[tn]++
+				if starve[tn] > totalWeight {
+					t.Fatalf("trial %d: tenant %q starved — %d consecutive pops of others (total weight %d)",
+						trial, tn, starve[tn], totalWeight)
+				}
+			}
+		}
+		for step := 0; step < 500; step++ {
+			if pending == 0 || rng.Intn(2) == 0 {
+				tn := tenants[rng.Intn(len(tenants))]
+				f := &Future{tenant: tn, done: make(chan struct{})}
+				q.push(f)
+				pushed[tn] = append(pushed[tn], f)
+				pending++
+				if _, ok := starve[tn]; !ok {
+					starve[tn] = 0
+				}
+			} else {
+				checkPop()
+			}
+			if q.empty() != (pending == 0) {
+				t.Fatalf("trial %d: empty() = %v with %d pending", trial, q.empty(), pending)
+			}
+		}
+		for pending > 0 {
+			checkPop()
+		}
+		if q.pop() != nil || !q.empty() {
+			t.Fatalf("trial %d: structure not empty after full drain", trial)
+		}
+		total := 0
+		for tn, futs := range pushed {
+			if nPopped[tn] != len(futs) {
+				t.Fatalf("trial %d: tenant %q lost futures: pushed %d, popped %d", trial, tn, len(futs), nPopped[tn])
+			}
+			total += len(futs)
+		}
+		if len(seen) != total {
+			t.Fatalf("trial %d: conservation broken: %d unique pops for %d pushes", trial, len(seen), total)
+		}
 	}
 }

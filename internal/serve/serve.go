@@ -60,6 +60,24 @@ var (
 	// server's QueueAgeLimit and was dropped before execution — stale
 	// work is shed, never run. Retrying is reasonable once load drops.
 	ErrShed = errors.New("serve: request shed (queue age limit exceeded)")
+	// ErrNoStream means a streaming operation named a stream that is
+	// unknown, already closed, or expired by the idle TTL. The carry is
+	// gone; the caller must open a fresh stream and resubmit from the
+	// first chunk.
+	ErrNoStream = errors.New("serve: unknown, closed, or expired stream")
+	// ErrStreamFailed means an earlier chunk of this stream did not
+	// complete (deadline, shed, panic, overload), so the carry is
+	// untrusted and the stream's state has been freed. The failing
+	// chunk itself got the underlying typed error; later operations on
+	// the dead stream get ErrStreamFailed. Recovery = a fresh stream.
+	ErrStreamFailed = errors.New("serve: stream failed (an earlier chunk did not complete)")
+	// ErrStreamUnsupported rejects OpenStream for backward specs: a
+	// back-scan's carry depends on chunks that have not arrived yet, so
+	// results could only be delivered at close after buffering the whole
+	// vector — exactly what streaming exists to avoid. Submit backward
+	// scans as one-shot requests (or reverse client-side). Wraps
+	// ErrBadRequest: not retryable.
+	ErrStreamUnsupported = fmt.Errorf("%w: backward scans cannot stream (the carry depends on later chunks)", ErrBadRequest)
 )
 
 // Op identifies the scan operator of a request. The service fixes the
@@ -235,6 +253,13 @@ type Req struct {
 	Spec   Spec
 	Data   []int64
 	Tenant string
+
+	// seeded/carry mark a stream chunk: the kernel pass sees the carry
+	// injected ahead of Data at the segment head, so the chunk's result
+	// continues the stream's running prefix (Figure 10's block-sum
+	// stitch applied across time). Set only by Stream.Push.
+	seeded bool
+	carry  int64
 }
 
 // Future is the handle for an in-flight request. Wait blocks until the
@@ -246,10 +271,21 @@ type Future struct {
 	ctx      context.Context
 	enqueued time.Time
 	data     []int64
+	seeded   bool  // stream chunk: inject carry at the segment head
+	carry    int64 // running prefix of all prior chunks (when seeded)
 	res      []int64
 	err      error
 	resolved atomic.Bool
 	done     chan struct{}
+}
+
+// nelems is the request's footprint in a fused vector: its payload
+// plus the injected carry element for stream chunks.
+func (f *Future) nelems() int {
+	if f.seeded {
+		return len(f.data) + 1
+	}
+	return len(f.data)
 }
 
 // complete resolves the future exactly once; later calls are no-ops.
@@ -351,6 +387,8 @@ func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
 		ctx:      ctx,
 		enqueued: time.Now(),
 		data:     r.Data,
+		seeded:   r.seeded,
+		carry:    r.carry,
 		done:     make(chan struct{}),
 	}
 	if len(r.Data) == 0 {
@@ -514,7 +552,7 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 				continue
 			}
 			batch = append(batch, f)
-			elems += len(f.data)
+			elems += f.nelems()
 			continue
 		}
 		// Nothing pending. Flush, unless the batch is below the fill
@@ -578,8 +616,11 @@ func (s *Server) failBatch(batch []*Future, cause any) {
 	}
 }
 
-// identity returns the identity element of the request's monoid, which
-// exclusive results surface directly (dst[0] for forward scans).
+// identity returns the identity element of the op's monoid: the value
+// exclusive results surface directly (dst[0] for forward scans), and
+// the initial carry of a fresh stream (OpenStream) — seeding the first
+// chunk with the identity makes every chunk take the same carry-seeded
+// kernel path.
 func identity(op Op) int64 {
 	switch op {
 	case OpMax:

@@ -28,6 +28,15 @@ type stats struct {
 	fused         atomic.Uint64
 	maxOcc        atomic.Uint64
 	occupancy     [occBuckets]atomic.Uint64
+
+	// Streaming session ledger (see stream.go): every opened stream
+	// reaches exactly one of closed/failed/expired, and active is the
+	// gauge of open ones — zero once every connection has torn down.
+	streamsOpened  atomic.Uint64
+	streamsClosed  atomic.Uint64
+	streamsFailed  atomic.Uint64
+	streamsExpired atomic.Uint64
+	streamsActive  atomic.Int64
 }
 
 // record accounts one executed batch.
@@ -95,16 +104,30 @@ type Stats struct {
 	P99Occupancy int
 	// MaxOccupancy is the largest batch executed so far.
 	MaxOccupancy int
+	// StreamsOpened counts streaming sessions ever opened; each reaches
+	// exactly one of Closed (clean stream_close), Failed (a chunk's
+	// typed error or a dropped connection), or Expired (idle TTL), so
+	// Opened == Closed + Failed + Expired once all connections are torn
+	// down — the no-leaked-sessions ledger TestChaosSoak closes.
+	StreamsOpened  uint64
+	StreamsClosed  uint64
+	StreamsFailed  uint64
+	StreamsExpired uint64
+	// StreamsActive is the gauge of currently-open sessions (0 after a
+	// full drain; a positive value with no live connections is a leak).
+	StreamsActive int64
 }
 
 // String renders the snapshot in one line for logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
 		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d "+
-			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d}",
+			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d} "+
+			"streams{open=%d closed=%d failed=%d expired=%d active=%d}",
 		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed,
 		s.Batches, s.Groups, s.FusedElements,
-		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy)
+		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy,
+		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive)
 }
 
 // Stats snapshots the server's counters. Safe to call concurrently
@@ -124,6 +147,12 @@ func (s *Server) Stats() Stats {
 		Groups:        st.groups.Load(),
 		FusedElements: st.fused.Load(),
 		MaxOccupancy:  int(st.maxOcc.Load()),
+
+		StreamsOpened:  st.streamsOpened.Load(),
+		StreamsClosed:  st.streamsClosed.Load(),
+		StreamsFailed:  st.streamsFailed.Load(),
+		StreamsExpired: st.streamsExpired.Load(),
+		StreamsActive:  st.streamsActive.Load(),
 	}
 	var counts [occBuckets]uint64
 	total := uint64(0)

@@ -53,7 +53,17 @@ func newTenantQueues(weights map[string]int) *tenantQueues {
 func (t *tenantQueues) empty() bool { return t.n == 0 }
 
 // push appends a future to its tenant's FIFO, adding the tenant to the
-// pick ring when it transitions from idle to pending.
+// pick ring when it transitions from idle to pending. The tenant joins
+// the ring at the tail of the CURRENT ROUND — inserted just before the
+// pick position — not at the end of the array. Appending at the array
+// end is subtly unfair: when the pick pointer sits near the end,
+// tenants that drain and re-enter keep landing in the slot under the
+// pointer, so the wrap back to position 0 can be postponed indefinitely
+// and the tenants parked there starve without bound
+// (TestTenantQueuesPropertyRandomized catches this). Joining behind the
+// pointer means a newcomer waits at most one full round, and every
+// continuously-pending tenant is served at least once per total-weight
+// pops.
 func (t *tenantQueues) push(f *Future) {
 	q := t.qs[f.tenant]
 	if q == nil {
@@ -65,7 +75,13 @@ func (t *tenantQueues) push(f *Future) {
 		t.qs[f.tenant] = q
 	}
 	if q.len() == 0 {
-		t.ring = append(t.ring, q)
+		if t.idx >= len(t.ring) {
+			t.idx = 0
+		}
+		t.ring = append(t.ring, nil)
+		copy(t.ring[t.idx+1:], t.ring[t.idx:])
+		t.ring[t.idx] = q
+		t.idx++
 	}
 	q.futs = append(q.futs, f)
 	t.n++

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // The wire format of cmd/scansd is newline-delimited JSON: one
@@ -21,6 +22,16 @@ type WireRequest struct {
 	// ID is echoed in the response; clients choose it (unique per
 	// connection) to match responses to requests.
 	ID uint64 `json:"id"`
+	// Type selects the message kind. Empty (the default) is a one-shot
+	// scan. "stream_open" starts a streaming session for the message's
+	// op/kind/dir (forward only), "stream_chunk" pushes Data through it
+	// seeded with the carry of all prior chunks, and "stream_close"
+	// ends it, answering with the total. Stream messages name their
+	// session via Stream; see DESIGN.md §5 for the protocol.
+	Type string `json:"type,omitempty"`
+	// Stream is the client-chosen stream id for stream_* messages,
+	// unique among the connection's simultaneously-open streams.
+	Stream uint64 `json:"stream,omitempty"`
 	// Op is "sum", "max", "min", or "mul".
 	Op string `json:"op"`
 	// Kind is "exclusive" (default when empty) or "inclusive".
@@ -44,6 +55,10 @@ type WireRequest struct {
 type WireResponse struct {
 	ID     uint64  `json:"id"`
 	Result []int64 `json:"result,omitempty"`
+	// Total is set on a stream_close acknowledgement: the fold of every
+	// element the stream carried (a pointer so a legitimate zero total
+	// survives omitempty).
+	Total *int64 `json:"total,omitempty"`
 	// Error is the human-readable failure message; Code is its machine
 	// classification (one of the Code* constants) so clients can decide
 	// retry vs give-up without parsing English.
@@ -76,11 +91,30 @@ const (
 	// CodeShed: dropped by queue-age shedding under overload.
 	// Retryable with backoff.
 	CodeShed = "shed"
+	// CodeNoStream: a stream_chunk/stream_close named a stream that is
+	// unknown, already closed, or expired by the idle TTL. Retrying the
+	// same stream cannot help; open a fresh one.
+	CodeNoStream = "no_stream"
+	// CodeStreamFailed: an earlier chunk of the stream failed (its own
+	// response carried the underlying code), so the session was freed.
+	// Recovery is a fresh stream from the first chunk.
+	CodeStreamFailed = "stream_failed"
+	// CodeStreamUnsupported: stream_open for a backward spec — the
+	// carry would depend on chunks not yet arrived. Not retryable.
+	CodeStreamUnsupported = "stream_unsupported"
 )
 
-// codeForError classifies a server-side error into a wire code.
+// codeForError classifies a server-side error into a wire code. The
+// stream errors are checked before their wrapped sentinels so a remote
+// caller sees the most specific classification.
 func codeForError(err error) string {
 	switch {
+	case errors.Is(err, ErrStreamUnsupported):
+		return CodeStreamUnsupported
+	case errors.Is(err, ErrNoStream):
+		return CodeNoStream
+	case errors.Is(err, ErrStreamFailed):
+		return CodeStreamFailed
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
 	case errors.Is(err, ErrOverloaded):
@@ -113,6 +147,12 @@ func errorForCode(code, msg string) error {
 		sentinel = ErrInternal
 	case CodeShed:
 		sentinel = ErrShed
+	case CodeNoStream:
+		sentinel = ErrNoStream
+	case CodeStreamFailed:
+		sentinel = ErrStreamFailed
+	case CodeStreamUnsupported:
+		sentinel = ErrStreamUnsupported
 	case CodeDeadline:
 		sentinel = context.DeadlineExceeded
 	default:
@@ -125,34 +165,69 @@ func errorForCode(code, msg string) error {
 // that failed to parse (malformed JSON) or was truncated (oversized
 // line), so the error response can still be matched to the request.
 // Returns 0 when no id is recognizable.
+//
+// Only a top-level "id" KEY matches: strings are skipped whole (with
+// escape handling) and nesting depth is tracked, so a tenant named
+// `{"id":9` or a nested object's id can never be mistaken for the
+// request id. The value must be an unquoted number that fits uint64;
+// an overflowing id is rejected (0) rather than silently wrapped.
 func extractID(line []byte) uint64 {
-	i := bytes.Index(line, []byte(`"id"`))
-	if i < 0 {
-		return 0
+	depth := 0
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '{', '[':
+			depth++
+		case '}', ']':
+			depth--
+		case '"':
+			// Scan the whole string (key or value). Truncated lines can
+			// cut a string short; nothing after an unterminated string
+			// is trustworthy.
+			start := i
+			i++
+			for i < len(line) && line[i] != '"' {
+				if line[i] == '\\' {
+					i++
+				}
+				i++
+			}
+			if i >= len(line) {
+				return 0
+			}
+			if depth != 1 || !bytes.Equal(line[start:i+1], []byte(`"id"`)) {
+				continue
+			}
+			// Top-level "id" string: it is the key only if a colon
+			// follows; otherwise it was a string VALUE spelled "id" and
+			// the scan continues.
+			j := i + 1
+			for j < len(line) && (line[j] == ' ' || line[j] == '\t') {
+				j++
+			}
+			if j >= len(line) || line[j] != ':' {
+				continue
+			}
+			j++
+			for j < len(line) && (line[j] == ' ' || line[j] == '\t') {
+				j++
+			}
+			id, digits := uint64(0), 0
+			for j < len(line) && line[j] >= '0' && line[j] <= '9' {
+				d := uint64(line[j] - '0')
+				if id > (math.MaxUint64-d)/10 {
+					return 0 // id overflows uint64: reject, don't wrap
+				}
+				id = id*10 + d
+				digits++
+				j++
+			}
+			if digits == 0 {
+				return 0
+			}
+			return id
+		}
 	}
-	rest := line[i+len(`"id"`):]
-	j := 0
-	for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t') {
-		j++
-	}
-	if j >= len(rest) || rest[j] != ':' {
-		return 0
-	}
-	j++
-	for j < len(rest) && (rest[j] == ' ' || rest[j] == '\t') {
-		j++
-	}
-	id := uint64(0)
-	digits := 0
-	for j < len(rest) && rest[j] >= '0' && rest[j] <= '9' {
-		id = id*10 + uint64(rest[j]-'0')
-		digits++
-		j++
-	}
-	if digits == 0 {
-		return 0
-	}
-	return id
+	return 0
 }
 
 // ParseSpec converts the wire strings to a Spec, applying the

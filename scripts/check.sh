@@ -21,4 +21,7 @@ go test -race -short -count=1 -run '^TestChaosSoak$' ./internal/serve/
 echo "== fuzz burst: FuzzSegmentedAgainstDirect (10s)"
 go test -fuzz='^FuzzSegmentedAgainstDirect$' -fuzztime=10s -run '^$' ./internal/scan/
 
+echo "== fuzz burst: FuzzStreamedScanMatchesOneShot (10s)"
+go test -fuzz='^FuzzStreamedScanMatchesOneShot$' -fuzztime=10s -run '^$' ./internal/serve/
+
 echo "check.sh: all green"
