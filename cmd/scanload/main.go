@@ -20,6 +20,14 @@
 // retried with exponential backoff + jitter via serve.RetryPolicy;
 // scanload exits non-zero if any request is LOST, because a fault-
 // tolerant server may degrade but must never swallow a request.
+//
+// With -workers N (N >= 1) scanload instead stands up a full in-process
+// cluster topology — N scansd workers on loopback TCP plus a sharding
+// coordinator (internal/cluster) — and drives the coordinator directly.
+// Scans split into per-worker shards exactly as in a multi-host
+// deployment; EXPERIMENTS.md uses this mode for the 1-vs-2-vs-4-worker
+// scaling table. Coordinator failures surface in their own
+// shard_failed outcome bucket.
 package main
 
 import (
@@ -33,20 +41,22 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scans/internal/cluster"
 	"scans/internal/serve"
 )
 
 // outcomes tallies terminal per-request outcomes plus retry attempts.
 type outcomes struct {
-	success    atomic.Uint64
-	overloaded atomic.Uint64
-	shed       atomic.Uint64
-	deadline   atomic.Uint64
-	internal   atomic.Uint64
-	badReq     atomic.Uint64
-	lost       atomic.Uint64
-	retries    atomic.Uint64
-	redials    atomic.Uint64
+	success     atomic.Uint64
+	overloaded  atomic.Uint64
+	shed        atomic.Uint64
+	deadline    atomic.Uint64
+	internal    atomic.Uint64
+	badReq      atomic.Uint64
+	shardFailed atomic.Uint64
+	lost        atomic.Uint64
+	retries     atomic.Uint64
+	redials     atomic.Uint64
 }
 
 // record classifies one terminal error (nil = success).
@@ -54,6 +64,11 @@ func (o *outcomes) record(err error) {
 	switch {
 	case err == nil:
 		o.success.Add(1)
+	// shard_failed is checked first: the coordinator's wrapper keeps the
+	// last per-worker error in its chain, which may itself match a more
+	// generic sentinel below.
+	case errors.Is(err, serve.ErrShardFailed):
+		o.shardFailed.Add(1)
 	case errors.Is(err, serve.ErrOverloaded):
 		o.overloaded.Add(1)
 	case errors.Is(err, serve.ErrShed):
@@ -74,9 +89,9 @@ func (o *outcomes) record(err error) {
 
 func (o *outcomes) String() string {
 	return fmt.Sprintf(
-		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d lost=%d (retries=%d redials=%d)",
+		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d shard_failed=%d lost=%d (retries=%d redials=%d)",
 		o.success.Load(), o.overloaded.Load(), o.shed.Load(), o.deadline.Load(),
-		o.internal.Load(), o.badReq.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
+		o.internal.Load(), o.badReq.Load(), o.shardFailed.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
 }
 
 func main() {
@@ -93,6 +108,7 @@ func main() {
 		attempts = flag.Int("retries", 4, "retry budget per request (total attempts)")
 		stream   = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
 		chunk    = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
+		workersN = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
 	)
 	flag.Parse()
 	if *chunk <= 0 {
@@ -105,6 +121,29 @@ func main() {
 		os.Exit(1)
 	}
 	policy := serve.RetryPolicy{MaxAttempts: *attempts}
+
+	if *workersN > 0 {
+		if *addr != "" {
+			fmt.Fprintln(os.Stderr, "scanload: -workers and -addr are mutually exclusive")
+			os.Exit(1)
+		}
+		var out outcomes
+		fmt.Printf("cluster: %d workers, %d clients × %d-element %s scans, %d requests total\n",
+			*workersN, *clients, *n, spec, *requests)
+		elapsed, cst, err := driveCluster(*workersN, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scanload:", err)
+			os.Exit(1)
+		}
+		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
+		fmt.Println("  ", cst)
+		fmt.Println("  ", out.String())
+		if lost := out.lost.Load(); lost > 0 {
+			fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *addr != "" {
 		var out outcomes
@@ -277,7 +316,82 @@ func isConnError(err error) bool {
 		!errors.Is(err, serve.ErrInternal) &&
 		!errors.Is(err, serve.ErrBadRequest) &&
 		!errors.Is(err, serve.ErrClosed) &&
+		!errors.Is(err, serve.ErrShardFailed) &&
 		!errors.Is(err, context.DeadlineExceeded)
+}
+
+// driveCluster stands up nWorkers scansd workers on loopback TCP plus a
+// sharding coordinator, then runs the closed loop against the
+// coordinator. Giant scans split into per-worker shards exactly as they
+// would across hosts; the coordinator's own retry/hedge machinery is
+// live, and its stats are returned for the report.
+func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
+	maxWait, timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
+	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
+	workers := make([]*serve.NetServer, 0, nWorkers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	addrs := make([]string, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		ns, err := serve.ListenNet("127.0.0.1:0", wcfg, serve.NetConfig{})
+		if err != nil {
+			return 0, cluster.Stats{}, fmt.Errorf("worker %d: %w", i, err)
+		}
+		workers = append(workers, ns)
+		addrs = append(addrs, ns.Addr())
+	}
+	coord, err := cluster.New(cluster.Config{
+		Workers: addrs,
+		Retry:   serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+	})
+	if err != nil {
+		return 0, cluster.Stats{}, err
+	}
+	defer coord.Close()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := randomData(int64(c), n)
+			tenant := fmt.Sprintf("client-%d", c)
+			for i := 0; i < requests/clients; i++ {
+				attempts, err := policy.Do(context.Background(), func() error {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, timeout)
+					}
+					defer cancel()
+					if !stream || len(data) <= chunk {
+						_, err := coord.Scan(ctx, spec, data, tenant)
+						return err
+					}
+					st, err := coord.OpenScanStream(spec, tenant)
+					if err != nil {
+						return err
+					}
+					for off := 0; off < len(data); off += chunk {
+						end := min(off+chunk, len(data))
+						if _, err := st.Push(ctx, data[off:end]); err != nil {
+							return err
+						}
+					}
+					_, err = st.Close()
+					return err
+				})
+				out.retries.Add(uint64(attempts - 1))
+				out.record(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start), coord.Stats(), nil
 }
 
 func randomData(seed int64, n int) []int64 {

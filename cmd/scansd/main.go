@@ -27,7 +27,20 @@
 //	scansd -chaos 'kernel.panic:0.001,kernel.slow:0.01:5ms,conn.drop:0.002'
 //
 // over the points kernel.slow, kernel.panic, conn.drop,
-// conn.partialwrite.
+// conn.partialwrite, exec.stall, and queue.corrupt-detect (plus
+// cluster.worker.slow and cluster.worker.drop in coordinator mode).
+//
+// With -coordinator, scansd is instead a cluster COORDINATOR: it speaks
+// the same wire protocol on the same -addr, but executes nothing
+// locally — each scan is split into weight-proportional shards
+// dispatched concurrently to the scansd workers named by -workers, with
+// per-shard retries, hedging, and health-based ejection (DESIGN.md §6):
+//
+//	scansd -addr :7187 &                          # worker A
+//	scansd -addr :7188 &                          # worker B
+//	scansd -coordinator -addr :7190 -workers 127.0.0.1:7187,127.0.0.1:7188
+//
+// Results are bit-identical to a single worker serving the same scan.
 package main
 
 import (
@@ -40,6 +53,7 @@ import (
 	"syscall"
 	"time"
 
+	"scans/internal/cluster"
 	"scans/internal/fault"
 	"scans/internal/serve"
 )
@@ -52,8 +66,17 @@ func main() {
 		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window: how long the first request waits for company")
 		queue     = flag.Int("queue", 4096, "bounded submission queue (full queue rejects with an overload error)")
 		queueAge  = flag.Duration("queue-age", time.Second, "shed queued requests older than this before execution (0 = never shed)")
-		workers   = flag.Int("workers", 0, "goroutines per segmented kernel pass (0 = GOMAXPROCS)")
+		kworkers  = flag.Int("kernel-workers", 0, "goroutines per segmented kernel pass (0 = GOMAXPROCS)")
 		executors = flag.Int("executors", 0, "batch executor pool size (0 = GOMAXPROCS)")
+
+		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker")
+		workerAddrs = flag.String("workers", "", "coordinator: comma-separated worker addresses (host:port,...)")
+		weights     = flag.String("worker-weights", "", "coordinator: comma-separated relative worker weights (default: equal)")
+		minShard    = flag.Int("min-shard", 4096, "coordinator: don't split scans into shards smaller than this")
+		maxPiece    = flag.Int("max-piece", 0, "coordinator: max elements per dispatched piece (0 = line-budget default)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard on another worker after this long (0 = off)")
+		ejectAfter  = flag.Int("eject-after", 3, "coordinator: eject a worker after this many consecutive connection failures")
+		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: probe ejected workers this often")
 
 		maxConns  = flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
 		perConn   = flag.Int("per-conn-inflight", 0, "per-connection in-flight request cap (0 = unlimited)")
@@ -73,16 +96,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	ns, err := serve.ListenNet(*addr, serve.Config{
-		MaxBatchElems:    *maxElems,
-		MaxBatchRequests: *maxReqs,
-		MaxWait:          *maxWait,
-		QueueLimit:       *queue,
-		QueueAgeLimit:    *queueAge,
-		Workers:          *workers,
-		Executors:        *executors,
-		Faults:           faults,
-	}, serve.NetConfig{
+	ncfg := serve.NetConfig{
 		MaxLineBytes:    *maxLine,
 		MaxConns:        *maxConns,
 		PerConnInflight: *perConn,
@@ -91,12 +105,62 @@ func main() {
 		MaxStreams:      *maxStream,
 		StreamIdleTTL:   *streamTTL,
 		Faults:          faults,
-	})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "scansd:", err)
-		os.Exit(1)
 	}
-	fmt.Println("scansd listening on", ns.Addr())
+
+	var (
+		ns    *serve.NetServer
+		coord *cluster.Coordinator
+	)
+	if *coordinator {
+		addrs := splitNonEmpty(*workerAddrs)
+		if len(addrs) == 0 {
+			fmt.Fprintln(os.Stderr, "scansd: -coordinator requires -workers host:port,...")
+			os.Exit(1)
+		}
+		ws, err := parseWeights(*weights, len(addrs))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scansd:", err)
+			os.Exit(1)
+		}
+		coord, err = cluster.New(cluster.Config{
+			Workers:       addrs,
+			Weights:       ws,
+			MinShardElems: *minShard,
+			MaxPieceElems: *maxPiece,
+			MaxLineBytes:  *maxLine,
+			Retry:         serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+			HedgeAfter:    *hedgeAfter,
+			EjectAfter:    *ejectAfter,
+			ProbeInterval: *probeEvery,
+			Faults:        faults,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scansd:", err)
+			os.Exit(1)
+		}
+		ns, err = serve.ListenBackend(*addr, coord, ncfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scansd:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("scansd coordinator listening on %s, sharding over %d workers %v\n", ns.Addr(), len(addrs), addrs)
+	} else {
+		ns, err = serve.ListenNet(*addr, serve.Config{
+			MaxBatchElems:    *maxElems,
+			MaxBatchRequests: *maxReqs,
+			MaxWait:          *maxWait,
+			QueueLimit:       *queue,
+			QueueAgeLimit:    *queueAge,
+			Workers:          *kworkers,
+			Executors:        *executors,
+			Faults:           faults,
+		}, ncfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "scansd:", err)
+			os.Exit(1)
+		}
+		fmt.Println("scansd listening on", ns.Addr())
+	}
 	if faults != nil {
 		fmt.Println("scansd: CHAOS ARMED", faults)
 	}
@@ -107,10 +171,47 @@ func main() {
 
 	fmt.Println("scansd: draining...")
 	ns.Close()
-	fmt.Println("scansd:", ns.Stats())
+	if coord != nil {
+		fmt.Println("scansd coordinator:", coord.Stats())
+	} else {
+		fmt.Println("scansd:", ns.Stats())
+	}
 	if faults != nil {
 		fmt.Println("scansd:", faults)
 	}
+}
+
+// splitNonEmpty splits a comma-separated list, trimming whitespace and
+// dropping empty entries.
+func splitNonEmpty(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// parseWeights parses -worker-weights into n positive floats; empty
+// means equal weights (nil).
+func parseWeights(s string, n int) ([]float64, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := splitNonEmpty(s)
+	if len(parts) != n {
+		return nil, fmt.Errorf("-worker-weights has %d entries for %d workers", len(parts), n)
+	}
+	ws := make([]float64, len(parts))
+	for i, p := range parts {
+		w, err := strconv.ParseFloat(p, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -worker-weights entry %q (want a positive number)", p)
+		}
+		ws[i] = w
+	}
+	return ws, nil
 }
 
 // parseChaos builds a fault set from "name:prob[:duration],..." — nil

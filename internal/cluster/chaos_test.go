@@ -1,0 +1,256 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scans/internal/fault"
+	"scans/internal/serve"
+)
+
+// TestClusterChaosSoak is the cluster's survival exam, mirroring
+// serve's TestChaosSoak one level up. Three real TCP workers serve a
+// coordinator whose chaos points are hot (cluster.worker.slow stretches
+// dispatches into the hedging window, cluster.worker.drop kills worker
+// connections mid-flight), worker 2 is murdered outright mid-soak and
+// resurrected on the same address, and hedged retries run the whole
+// time. Invariants under fire:
+//
+//  1. No lost requests: every scan reaches exactly one terminal outcome
+//     — a result or a typed error (shard_failed / deadline).
+//  2. No corrupted results: every success is bit-identical to the
+//     serial segmented reference, regardless of which workers computed
+//     which pieces, how often they died, or which hedges won.
+//  3. The health model works both ways: the murdered worker is ejected
+//     (Ejections >= 1) and, once resurrected, probed back in
+//     (Readmissions >= 1), after which scans succeed again.
+//  4. The coordinator ledger closes after the drain:
+//     Requests == Served + ShardFailed + Deadline, and the stream
+//     ledger has no leaked sessions.
+//
+// scripts/check.sh runs this under -race.
+func TestClusterChaosSoak(t *testing.T) {
+	const (
+		nWorkers = 3
+		clients  = 6
+		seed     = 0xD1CE
+	)
+	perClient := 100
+	if testing.Short() {
+		perClient = 25
+	}
+
+	workerCfg := serve.Config{MaxWait: 50 * time.Microsecond, QueueAgeLimit: 500 * time.Millisecond}
+	workers := make([]*serve.NetServer, nWorkers)
+	addrs := make([]string, nWorkers)
+	for i := range workers {
+		ns, err := serve.ListenNet("127.0.0.1:0", workerCfg, serve.NetConfig{})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = ns
+		addrs[i] = ns.Addr()
+	}
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
+
+	faults := fault.New(seed)
+	faults.ArmSleep(fault.ClusterWorkerSlow, 0.05, 2*time.Millisecond)
+	faults.Arm(fault.ClusterWorkerDrop, 0.02)
+
+	coord, err := New(Config{
+		Workers:       addrs,
+		MinShardElems: 64,
+		MaxPieceElems: 128,
+		Retry:         serve.RetryPolicy{MaxAttempts: 8, BaseDelay: 500 * time.Microsecond, MaxDelay: 10 * time.Millisecond},
+		HedgeAfter:    3 * time.Millisecond,
+		EjectAfter:    3,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+		Faults:        faults,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer coord.Close()
+
+	specs := clusterSpecs()
+	type tally struct {
+		success, shardFailed, deadline, lost, mismatch int
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total tally
+	)
+	// Worker 2 dies a third of the way in and is resurrected on the same
+	// address two thirds in; the soak spans both transitions.
+	var lifecycle sync.WaitGroup
+	lifecycle.Add(1)
+	killAt := clients * perClient / 3
+	reviveAt := 2 * clients * perClient / 3
+	var progress sync.Map // per-client progress for the lifecycle goroutine
+	go func() {
+		defer lifecycle.Done()
+		sum := func() int {
+			s := 0
+			progress.Range(func(_, v any) bool { s += v.(int); return true })
+			return s
+		}
+		for sum() < killAt {
+			time.Sleep(2 * time.Millisecond)
+		}
+		workers[2].Close()
+		workers[2] = nil
+		for sum() < reviveAt {
+			time.Sleep(2 * time.Millisecond)
+		}
+		ns, err := serve.ListenNet(addrs[2], workerCfg, serve.NetConfig{})
+		if err != nil {
+			t.Errorf("resurrect worker 2: %v", err)
+			return
+		}
+		workers[2] = ns
+	}()
+
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl) + 100))
+			var local tally
+			ctx := context.Background()
+			for i := 0; i < perClient; i++ {
+				progress.Store(cl, i)
+				spec := specs[rng.Intn(len(specs))]
+				n := 1 + rng.Intn(1500)
+				data := randVec(rng, spec.Op, n)
+				flags := randFlags(rng, n, []float64{0, 0.01, 0.2}[rng.Intn(3)])
+				want := directSeg(spec, data, flags)
+				sctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				var got []int64
+				var err error
+				if spec.Dir == serve.Forward && flags == nil && i%7 == 0 {
+					// Streaming leg: the cross-chunk carry composes with
+					// the cross-worker carry, both under fire.
+					got, err = streamScanCoord(sctx, coord, spec, data, 1+rng.Intn(300), fmt.Sprintf("client-%d", cl))
+				} else {
+					got, err = coord.ScanSegmented(sctx, spec, data, flags, fmt.Sprintf("client-%d", cl))
+				}
+				cancel()
+				switch {
+				case err == nil:
+					if !reflect.DeepEqual(got, want) {
+						local.mismatch++
+					} else {
+						local.success++
+					}
+				case errors.Is(err, ErrShardFailed):
+					local.shardFailed++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					local.deadline++
+				default:
+					t.Errorf("client %d scan %d: untyped error %v", cl, i, err)
+					local.lost++
+				}
+			}
+			progress.Store(cl, perClient)
+			mu.Lock()
+			total.success += local.success
+			total.shardFailed += local.shardFailed
+			total.deadline += local.deadline
+			total.lost += local.lost
+			total.mismatch += local.mismatch
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	lifecycle.Wait()
+
+	if total.mismatch > 0 {
+		t.Fatalf("chaos soak: %d corrupted results", total.mismatch)
+	}
+	if total.lost > 0 {
+		t.Fatalf("chaos soak: %d requests without a typed terminal outcome", total.lost)
+	}
+	if got := total.success + total.shardFailed + total.deadline; got != clients*perClient {
+		t.Fatalf("outcome accounting: %d outcomes for %d scans", got, clients*perClient)
+	}
+	if total.success == 0 {
+		t.Fatal("chaos soak: nothing succeeded — chaos too hot to mean anything")
+	}
+
+	// The murdered worker must have been ejected, and — now that it is
+	// back — readmitted. Readmission may lag the last scan; poll.
+	deadline := time.Now().Add(5 * time.Second)
+	for coord.Stats().Readmissions == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	st := coord.Stats()
+	if st.Ejections == 0 {
+		t.Fatalf("worker 2 died but nothing was ejected: %v", st)
+	}
+	if st.Readmissions == 0 {
+		t.Fatalf("worker 2 came back but was never readmitted: %v", st)
+	}
+
+	// Post-storm sanity: with the fleet healed and chaos off, scans are
+	// exact again.
+	faults.DisarmAll()
+	got, err := coord.Scan(context.Background(), serve.Spec{Op: serve.OpSum, Kind: serve.Inclusive}, []int64{1, 2, 3, 4}, "")
+	if err != nil {
+		t.Fatalf("post-storm scan: %v", err)
+	}
+	if want := []int64{1, 3, 6, 10}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("post-storm scan = %v, want %v", got, want)
+	}
+
+	// Closing ledger: every accepted request reached exactly one
+	// terminal outcome, server side, matching what the clients saw.
+	st = coord.Stats()
+	if st.Requests != st.Served+st.ShardFailed+st.Deadline {
+		t.Fatalf("coordinator ledger broken: requests=%d served=%d shard_failed=%d deadline=%d (%v)",
+			st.Requests, st.Served, st.ShardFailed, st.Deadline, st)
+	}
+	if st.StreamsOpened == 0 {
+		t.Fatal("streaming leg never ran")
+	}
+	if st.StreamsActive != 0 || st.StreamsOpened != st.StreamsClosed+st.StreamsFailed {
+		t.Fatalf("stream ledger broken: %v", st)
+	}
+	t.Logf("cluster chaos soak: %+v; %v; %v", total, st, faults)
+}
+
+// streamScanCoord scans data through a coordinator streaming session in
+// chunks, reassembling the full result — the in-process twin of
+// serve.Client.StreamScan.
+func streamScanCoord(ctx context.Context, c *Coordinator, spec serve.Spec, data []int64, chunk int, tenant string) ([]int64, error) {
+	st, err := c.OpenScanStream(spec, tenant)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int64, 0, len(data))
+	for off := 0; off < len(data); off += chunk {
+		end := min(off+chunk, len(data))
+		res, err := st.Push(ctx, data[off:end])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res...)
+	}
+	if _, err := st.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

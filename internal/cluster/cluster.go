@@ -1,0 +1,464 @@
+// Package cluster shards giant scans across scansd workers. It is the
+// paper's Figure 10 block-sum decomposition applied across MACHINES:
+// split the vector into per-worker shards, scan each shard remotely,
+// run the small exclusive scan over the shard totals locally, and seed
+// every shard with the prefix of everything to its left. The seeding
+// rides the same phantom-element mechanism the streaming layer uses
+// across time (serve/stream.go, DESIGN.md §5): a seeded piece is sent
+// as [carry, data...] and the carry's output position is dropped, so
+// workers need no protocol extension at all — a coordinator shard is
+// just another wire request.
+//
+// Because int64 +, ×, max, and min are exactly associative (Go defines
+// signed wraparound), the decomposition is BIT-IDENTICAL to a
+// single-node scan: same results for every input, op, kind, direction,
+// and segment layout, regardless of worker count or where the splits
+// land. Segment boundaries constrain only the carry math (a segment
+// head resets the running prefix), not the plan.
+//
+// The Coordinator implements serve.Backend, so serve's TCP front end
+// (serve.ListenBackend) gives it the whole wire protocol — framing,
+// error codes, line budgets, float64 element mapping, streaming session
+// tables — for free. cmd/scansd -coordinator is a flag shell around
+// exactly that composition.
+//
+// Failure model: each piece retries under serve.RetryPolicy (scans are
+// pure, so re-execution is always safe), optionally hedging a second
+// worker after Config.HedgeAfter. Workers that fail at the CONNECTION
+// level Config.EjectAfter times in a row are ejected from planning and
+// probed back in by a background prober; typed server errors (overload,
+// shed, deadline) prove liveness and never eject. A request whose piece
+// exhausts its retry budget fails with serve.ErrShardFailed (wire code
+// "shard_failed") — that request alone fails, the coordinator and the
+// rest of the fleet keep serving.
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scans/internal/fault"
+	"scans/internal/serve"
+)
+
+// ErrShardFailed re-exports serve.ErrShardFailed, the sentinel wrapped
+// by every scan that lost a shard to retry exhaustion. It lives in
+// package serve because serve owns the wire's code↔error vocabulary.
+var ErrShardFailed = serve.ErrShardFailed
+
+// Config tunes a Coordinator. Workers is required; every other field
+// has a default applied by New.
+type Config struct {
+	// Workers is the scansd worker fleet, as dialable "host:port"
+	// addresses. Required, at least one.
+	Workers []string
+	// Weights optionally gives each worker a capacity weight for the
+	// proportional shard split (len(Weights) == len(Workers)); a bigger
+	// weight draws a proportionally bigger shard. Values <= 0 and a nil
+	// slice mean 1 (equal split).
+	Weights []float64
+	// MinShardElems is the floor under shard size: a scan of n elements
+	// uses at most n/MinShardElems workers, so tiny scans are not
+	// scattered across the fleet for nothing. Default 4096.
+	MinShardElems int
+	// MaxPieceElems caps one wire request's element count. Shards larger
+	// than this are cut into several pieces (all to the shard's worker,
+	// where the batcher fuses them back into one kernel pass); the cap
+	// keeps every piece's worst-case RESPONSE inside the wire line
+	// budget. Default 1<<19, clamped so a response always fits
+	// MaxLineBytes.
+	MaxPieceElems int
+	// MaxLineBytes is the wire line budget used when dialing workers;
+	// must match the workers' own NetConfig.MaxLineBytes. Default
+	// serve.DefaultMaxLineBytes.
+	MaxLineBytes int
+	// Retry is the per-piece retry policy (serve.RetryPolicy's zero
+	// value: 4 attempts, exponential backoff, jitter). Retries after the
+	// first attempt prefer a different healthy worker.
+	Retry serve.RetryPolicy
+	// HedgeAfter, when positive, launches a duplicate of a piece on a
+	// second healthy worker if the first has not answered within this
+	// delay; the first success wins. Scans are pure, so duplicate
+	// execution is harmless. 0 disables hedging.
+	HedgeAfter time.Duration
+	// EjectAfter ejects a worker from planning after this many
+	// CONSECUTIVE connection-level failures (dial errors, dropped
+	// connections, torn lines — not typed server errors, which prove the
+	// worker is alive). Default 3.
+	EjectAfter int
+	// ProbeInterval is how often the background prober re-dials ejected
+	// workers; a successful probe scan readmits the worker. Default 1s.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds one probe's round trip. Default 500ms.
+	ProbeTimeout time.Duration
+	// Faults is the chaos hook for the coordinator-side points
+	// (fault.ClusterWorkerSlow, fault.ClusterWorkerDrop). nil = off.
+	Faults *fault.Set
+}
+
+// withDefaults fills zero fields and clamps MaxPieceElems to the line
+// budget (worst-case response bytes per element mirrors serve's
+// maxRespBytes: 21 bytes per int64 plus envelope, and a seeded piece
+// carries one phantom element).
+func (c Config) withDefaults() Config {
+	if c.MinShardElems <= 0 {
+		c.MinShardElems = 4096
+	}
+	if c.MaxPieceElems <= 0 {
+		c.MaxPieceElems = 1 << 19
+	}
+	if c.MaxLineBytes <= 0 {
+		c.MaxLineBytes = serve.DefaultMaxLineBytes
+	}
+	if budget := (c.MaxLineBytes-64)/21 - 2; c.MaxPieceElems > budget {
+		c.MaxPieceElems = budget
+	}
+	if c.EjectAfter <= 0 {
+		c.EjectAfter = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.ProbeTimeout <= 0 {
+		c.ProbeTimeout = 500 * time.Millisecond
+	}
+	return c
+}
+
+// Coordinator splits scans across a scansd worker fleet. It implements
+// serve.Backend; front it with serve.ListenBackend to serve the wire
+// protocol, or call Scan/ScanSegmented/OpenScanStream in process.
+type Coordinator struct {
+	cfg   Config
+	reg   *registry
+	stats coordStats
+
+	fpSlow *fault.Point
+	fpDrop *fault.Point
+
+	rr     atomic.Uint64 // rotates shard→worker assignment across scans
+	closed atomic.Bool
+}
+
+var _ serve.Backend = (*Coordinator)(nil)
+
+// New builds a Coordinator over cfg.Workers. The workers are dialed
+// lazily on first use, so New succeeds even while the fleet is still
+// coming up — the first scans simply retry/eject until probes find it.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("cluster: no workers configured")
+	}
+	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Workers) {
+		return nil, fmt.Errorf("cluster: %d weights for %d workers", len(cfg.Weights), len(cfg.Workers))
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:    cfg,
+		fpSlow: cfg.Faults.Point(fault.ClusterWorkerSlow),
+		fpDrop: cfg.Faults.Point(fault.ClusterWorkerDrop),
+	}
+	c.reg = newRegistry(cfg, &c.stats)
+	return c, nil
+}
+
+// Close stops the prober and closes every worker connection. In-flight
+// scans see their connections die and fail with shard_failed; call
+// Close only after traffic has drained (the TCP front end's Close does
+// exactly that ordering).
+func (c *Coordinator) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	c.reg.close()
+}
+
+// Scan shards one unsegmented scan across the fleet and returns the
+// full result, bit-identical to a single-node scan of data. Implements
+// serve.Backend.
+func (c *Coordinator) Scan(ctx context.Context, spec serve.Spec, data []int64, tenant string) ([]int64, error) {
+	return c.scanRoot(ctx, spec, data, nil, tenant)
+}
+
+// ScanSegmented is Scan over a segmented vector: flags[i] marks the
+// start of a segment (position 0 always starts one, flagged or not),
+// and the scan restarts at every segment head — the semantics of the
+// serving layer's fused batches and the paper's segmented primitives.
+// Segment boundaries do NOT constrain the shard split: a segment may
+// span any number of shards, and only the carry chain respects the
+// resets.
+func (c *Coordinator) ScanSegmented(ctx context.Context, spec serve.Spec, data []int64, flags []bool, tenant string) ([]int64, error) {
+	if flags != nil && len(flags) != len(data) {
+		c.stats.rejected.Add(1)
+		return nil, fmt.Errorf("%w: %d flags for %d elements", serve.ErrBadRequest, len(flags), len(data))
+	}
+	return c.scanRoot(ctx, spec, data, flags, tenant)
+}
+
+// scanRoot is the admission + ledger wrapper: every accepted request
+// reaches exactly one of served / shard_failed / deadline.
+func (c *Coordinator) scanRoot(ctx context.Context, spec serve.Spec, data []int64, flags []bool, tenant string) ([]int64, error) {
+	if c.closed.Load() {
+		c.stats.rejected.Add(1)
+		return nil, serve.ErrClosed
+	}
+	if !spec.Valid() {
+		c.stats.rejected.Add(1)
+		return nil, fmt.Errorf("%w: invalid spec %+v", serve.ErrBadRequest, spec)
+	}
+	c.stats.requests.Add(1)
+	res, err := c.scanSeeded(ctx, spec, data, flags, 0, false, tenant)
+	if err != nil {
+		return nil, c.finish(err)
+	}
+	c.stats.served.Add(1)
+	return res, nil
+}
+
+// finish classifies a failed request's terminal outcome and wraps
+// non-deadline causes in ErrShardFailed.
+func (c *Coordinator) finish(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		c.stats.deadline.Add(1)
+		return err
+	}
+	c.stats.shardFailed.Add(1)
+	if !errors.Is(err, serve.ErrShardFailed) {
+		err = fmt.Errorf("%w: %v", serve.ErrShardFailed, err)
+	}
+	return err
+}
+
+// scanSeeded is the core: plan shards, cut pieces, compute every
+// piece's carry locally, dispatch all pieces concurrently, reassemble.
+// carry/seeded prepend a cross-request prefix (the streaming path).
+func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []int64, flags []bool, carry int64, seeded bool, tenant string) ([]int64, error) {
+	n := len(data)
+	if n == 0 {
+		return []int64{}, nil
+	}
+	ws := c.reg.healthyWorkers()
+	if len(ws) == 0 {
+		// Every worker is ejected. Refusing outright would turn a
+		// transient all-down blip (one bad network moment can burst-fail
+		// every shared connection at once) into guaranteed request
+		// failure; instead plan over the full fleet and let the
+		// per-piece retries probe reality, while the background prober
+		// readmits in parallel. A genuinely dead fleet still fails — with
+		// shard_failed, after the retry budget.
+		ws = c.reg.workers
+	}
+	shards := planShards(n, ws, int(c.rr.Add(1)-1), c.cfg.MinShardElems)
+	pieces := cutPieces(shards, flags, c.cfg.MaxPieceElems)
+	c.stats.shards.Add(uint64(len(shards)))
+	c.stats.pieces.Add(uint64(len(pieces)))
+	seedPieces(spec, data, flags, pieces, carry, seeded)
+
+	// All pieces are pre-seeded, so they dispatch CONCURRENTLY — the
+	// carry chain cost was paid locally above, in parallel piece folds
+	// plus a chain as long as the piece count (the paper's "scan of the
+	// block sums", tiny by construction).
+	out := make([]int64, n)
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	for i := range pieces {
+		pc := &pieces[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := c.runPiece(dctx, spec, data, pc, tenant)
+			if err != nil {
+				once.Do(func() { firstErr = err; cancel() })
+				return
+			}
+			copy(out[pc.off:pc.end], res)
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runPiece executes one piece to completion: build the (possibly
+// phantom-seeded) payload, retry under the policy — preferring a
+// different healthy worker after the first failure — and strip the
+// phantom position from the response.
+func (c *Coordinator) runPiece(ctx context.Context, spec serve.Spec, data []int64, pc *piece, tenant string) ([]int64, error) {
+	seg := data[pc.off:pc.end]
+	payload := seg
+	if pc.seeded {
+		payload = make([]int64, 0, len(seg)+1)
+		if spec.Dir == serve.Forward {
+			payload = append(append(payload, pc.seed), seg...)
+		} else {
+			payload = append(append(payload, seg...), pc.seed)
+		}
+	}
+	var (
+		res     []int64
+		attempt int
+	)
+	attempts, err := c.cfg.Retry.Do(ctx, func() error {
+		attempt++
+		w := pc.w
+		if attempt > 1 {
+			if alt := c.reg.pickHealthyNot(pc.w); alt != nil {
+				w = alt
+			}
+		}
+		r, rerr := c.attemptHedged(ctx, spec, payload, tenant, w)
+		if rerr != nil {
+			return rerr
+		}
+		res = r
+		return nil
+	})
+	if attempts > 1 {
+		c.stats.retries.Add(uint64(attempts - 1))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("piece [%d:%d) of %s via %s failed after %d attempts: %w",
+			pc.off, pc.end, spec, pc.w.addr, attempts, err)
+	}
+	want := len(seg)
+	if pc.seeded {
+		want++
+	}
+	if len(res) != want {
+		return nil, fmt.Errorf("%w: worker returned %d elements for a %d-element piece",
+			serve.ErrInternal, len(res), want)
+	}
+	if pc.seeded {
+		if spec.Dir == serve.Forward {
+			res = res[1:] // drop the phantom head's output
+		} else {
+			res = res[:len(res)-1] // drop the phantom tail's output
+		}
+	}
+	return res, nil
+}
+
+// attemptHedged runs one attempt, racing a duplicate on a second
+// healthy worker if the primary has not answered within HedgeAfter.
+// First success wins; with both failed, the primary's error stands.
+func (c *Coordinator) attemptHedged(ctx context.Context, spec serve.Spec, payload []int64, tenant string, w *worker) ([]int64, error) {
+	if c.cfg.HedgeAfter <= 0 {
+		return c.attemptOn(ctx, spec, payload, tenant, w)
+	}
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the loser
+	type result struct {
+		res   []int64
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(lw *worker, hedge bool) {
+		go func() {
+			r, e := c.attemptOn(actx, spec, payload, tenant, lw)
+			ch <- result{r, e, hedge}
+		}()
+	}
+	launch(w, false)
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	inflight, hedged := 1, false
+	var primaryErr error
+	for {
+		select {
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					c.stats.hedgeWins.Add(1)
+				}
+				return r.res, nil
+			}
+			if !r.hedge {
+				primaryErr = r.err
+			}
+			if inflight == 0 {
+				if primaryErr != nil {
+					return nil, primaryErr
+				}
+				return nil, r.err
+			}
+		case <-timer.C:
+			if hedged {
+				continue
+			}
+			if alt := c.reg.pickHealthyNot(w); alt != nil {
+				hedged = true
+				inflight++
+				c.stats.hedges.Add(1)
+				launch(alt, true)
+			}
+		}
+	}
+}
+
+// attemptOn runs one wire round trip against one worker, firing the
+// chaos points and feeding the health model: connection-level failures
+// count toward ejection, typed server errors prove liveness and reset
+// the streak, and the caller's own cancellation says nothing either
+// way.
+func (c *Coordinator) attemptOn(ctx context.Context, spec serve.Spec, payload []int64, tenant string, w *worker) ([]int64, error) {
+	c.fpSlow.Sleep()
+	cli, err := w.client()
+	if err != nil {
+		c.reg.noteConnFail(w)
+		return nil, err
+	}
+	if c.fpDrop.Fire() {
+		// Chaos: the worker "dies" with this piece in flight — its
+		// connection (shared by every concurrent piece on this worker)
+		// drops mid-round-trip.
+		go cli.Close()
+	}
+	res, err := cli.ScanTenantCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), tenant, payload)
+	switch {
+	case err == nil:
+		c.reg.noteOK(w)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Our own deadline/cancel: no health signal.
+	case connLevel(err):
+		w.dropConn(cli)
+		c.reg.noteConnFail(w)
+	default:
+		c.reg.noteOK(w) // typed server error: the worker is alive
+	}
+	return res, err
+}
+
+// connLevel reports whether err is a connection-level failure — the
+// kind that counts toward ejection. Typed server errors prove the
+// worker processed the request; serve.ErrClosed means the worker is
+// shutting down, which for planning purposes IS a dead worker.
+func connLevel(err error) bool {
+	switch {
+	case err == nil,
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, serve.ErrBadRequest),
+		errors.Is(err, serve.ErrOverloaded),
+		errors.Is(err, serve.ErrShed),
+		errors.Is(err, serve.ErrInternal),
+		errors.Is(err, serve.ErrShardFailed),
+		errors.Is(err, serve.ErrNoStream),
+		errors.Is(err, serve.ErrStreamFailed),
+		errors.Is(err, serve.ErrStreamUnsupported):
+		return false
+	}
+	return true // dial failure, EOF, torn line, net.ErrClosed, serve.ErrClosed
+}

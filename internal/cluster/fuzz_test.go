@@ -1,0 +1,123 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scans/internal/fault"
+	"scans/internal/serve"
+)
+
+// fuzzFleet is a five-worker scansd fleet shared by every iteration of
+// FuzzShardedScanMatchesSingleNode. Fuzzing runs thousands of
+// iterations per process; starting TCP servers per iteration would
+// dominate the budget, so the fleet is started once and left to die
+// with the process.
+var fuzzFleet struct {
+	once  sync.Once
+	addrs []string
+	err   error
+}
+
+func fuzzAddrs() ([]string, error) {
+	fuzzFleet.once.Do(func() {
+		cfg := serve.Config{MaxWait: 20 * time.Microsecond}
+		for i := 0; i < 5; i++ {
+			ns, err := serve.ListenNet("127.0.0.1:0", cfg, serve.NetConfig{})
+			if err != nil {
+				fuzzFleet.err = err
+				return
+			}
+			fuzzFleet.addrs = append(fuzzFleet.addrs, ns.Addr())
+		}
+	})
+	return fuzzFleet.addrs, fuzzFleet.err
+}
+
+// FuzzShardedScanMatchesSingleNode is the cluster's core contract as a
+// fuzz target: for ANY vector, op/kind/dir, segment layout, worker
+// count (1–5), shard/piece geometry, and injected worker-connection
+// deaths, a sharded scan either returns a result bit-identical to the
+// serial single-node reference or fails with a typed error
+// (shard_failed / deadline) — never a wrong answer, never an untyped
+// error. scripts/check.sh runs a timed burst of this.
+func FuzzShardedScanMatchesSingleNode(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(2), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{0, 0, 1})
+	f.Add(uint8(1), uint8(0), uint8(1), uint8(4), uint8(0), []byte{255, 0, 17, 3, 200, 9}, []byte{})
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(0), uint8(3), []byte{128, 64, 32}, []byte{1})
+	f.Add(uint8(3), uint8(0), uint8(0), uint8(1), uint8(4), []byte{7, 7, 7, 7, 7, 7, 7}, []byte{0, 1})
+	f.Fuzz(func(t *testing.T, opB, kindB, dirB, nwB, faultB uint8, raw, flagPat []byte) {
+		addrs, err := fuzzAddrs()
+		if err != nil {
+			t.Skipf("fleet: %v", err)
+		}
+		spec := serve.Spec{
+			Op:   []serve.Op{serve.OpSum, serve.OpMax, serve.OpMin, serve.OpMul}[opB%4],
+			Kind: []serve.Kind{serve.Exclusive, serve.Inclusive}[kindB%2],
+			Dir:  []serve.Dir{serve.Forward, serve.Backward}[dirB%2],
+		}
+		// Cap the vector so a worst case (2-element pieces, drops armed,
+		// retries + hedges) stays well under a second per iteration.
+		if len(raw) > 512 {
+			raw = raw[:512]
+		}
+		data := make([]int64, len(raw))
+		for i, b := range raw {
+			data[i] = int64(int8(b))
+			if spec.Op == serve.OpMul {
+				// Keep products in range: ±1 only.
+				data[i] = 2*int64(b&1) - 1
+			}
+		}
+		var flags []bool
+		if len(flagPat) > 0 {
+			flags = make([]bool, len(data))
+			for i := range flags {
+				flags[i] = flagPat[i%len(flagPat)]&1 == 1
+			}
+		}
+
+		// faultB drives both the shard geometry and whether worker
+		// connections die mid-scan.
+		faults := fault.New(int64(faultB) + 1)
+		dropping := faultB%4 == 0
+		if dropping {
+			faults.Arm(fault.ClusterWorkerDrop, 0.05)
+		}
+		nw := 1 + int(nwB)%5
+		coord, err := New(Config{
+			Workers:       addrs[:nw],
+			MinShardElems: 1 + int(faultB%7),
+			MaxPieceElems: 2 + int(faultB%13),
+			Retry:         serve.RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+			HedgeAfter:    5 * time.Millisecond,
+			EjectAfter:    2,
+			ProbeInterval: 5 * time.Millisecond,
+			ProbeTimeout:  200 * time.Millisecond,
+			Faults:        faults,
+		})
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		defer coord.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		got, err := coord.ScanSegmented(ctx, spec, data, flags, "fuzz")
+		if err != nil {
+			if dropping && (errors.Is(err, ErrShardFailed) || errors.Is(err, context.DeadlineExceeded)) {
+				return // typed failure under injected deaths: allowed
+			}
+			t.Fatalf("spec=%+v n=%d nw=%d dropping=%v: %v", spec, len(data), nw, dropping, err)
+		}
+		want := directSeg(spec, data, flags)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("spec=%+v n=%d nw=%d flags=%v: sharded result diverges from single-node\n got %v\nwant %v",
+				spec, len(data), nw, flags != nil, got, want)
+		}
+	})
+}

@@ -1,0 +1,176 @@
+package cluster
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"scans/internal/serve"
+)
+
+// Planning: a scan of n elements becomes SHARDS (one contiguous range
+// per selected worker, sized by weight) and each shard becomes PIECES
+// (the wire requests actually sent). Pieces are cut at two kinds of
+// boundary: MaxPieceElems (so a piece's worst-case response fits the
+// line budget) and interior segment heads (so every piece lies within
+// one segment and its carry is a single value the phantom element can
+// express). All of a shard's pieces go to the shard's worker, whose own
+// batcher fuses them back into one segmented kernel pass — the cut
+// costs wire messages, not kernel passes.
+
+// shard is one worker's contiguous slice of the vector.
+type shard struct {
+	start, end int
+	w          *worker
+}
+
+// piece is one wire request: a sub-range of a shard with its carry
+// seed. headAt records whether the piece's first element starts a
+// segment (such pieces are never seeded — the scan restarts there).
+type piece struct {
+	off, end int
+	w        *worker
+	headAt   bool
+	seeded   bool
+	seed     int64
+}
+
+// planShards splits [0,n) across the healthy workers,
+// weight-proportionally. The worker count is capped at n/minShard so
+// small scans stay on few machines (a shard below the floor costs more
+// in round trips than it saves in kernel time), and the selection
+// rotates by rot so successive small scans spread across the fleet
+// instead of always loading worker 0.
+func planShards(n int, ws []*worker, rot, minShard int) []shard {
+	k := n / minShard
+	if k < 1 {
+		k = 1
+	}
+	if k > len(ws) {
+		k = len(ws)
+	}
+	sel := make([]*worker, k)
+	for i := range sel {
+		sel[i] = ws[(rot+i)%len(ws)]
+	}
+	var total float64
+	for _, w := range sel {
+		total += w.weight
+	}
+	shards := make([]shard, 0, k)
+	prev, cum := 0, 0.0
+	for i, w := range sel {
+		cum += w.weight
+		end := n
+		if i < k-1 {
+			end = int(math.Round(float64(n) * cum / total))
+			if end < prev {
+				end = prev
+			}
+			if end > n {
+				end = n
+			}
+		}
+		if end > prev {
+			shards = append(shards, shard{start: prev, end: end, w: w})
+		}
+		prev = end
+	}
+	return shards
+}
+
+// cutPieces cuts every shard at MaxPieceElems and at interior segment
+// heads. Each returned piece is non-empty, contains no segment head
+// except possibly at its own first position, and inherits its shard's
+// worker. Total cost O(n) — every element is examined once.
+func cutPieces(shards []shard, flags []bool, maxPiece int) []piece {
+	var pieces []piece
+	for _, sh := range shards {
+		for j := sh.start; j < sh.end; {
+			e := j + maxPiece
+			if e > sh.end {
+				e = sh.end
+			}
+			if flags != nil {
+				for t := j + 1; t < e; t++ {
+					if flags[t] {
+						e = t
+						break
+					}
+				}
+			}
+			pieces = append(pieces, piece{off: j, end: e, w: sh.w, headAt: flags != nil && flags[j]})
+			j = e
+		}
+	}
+	return pieces
+}
+
+// seedPieces computes every piece's carry: the paper's "scan of the
+// block sums", done locally so all pieces can dispatch concurrently.
+// Phase 1 folds each piece in parallel (pieces have no interior heads,
+// so a plain fold is the piece's segmented sum). Phase 2 chains the
+// folds — forward left-to-right, backward right-to-left — resetting at
+// segment heads, which is the ONLY place segment structure enters the
+// cluster math.
+//
+// A piece is seeded unless the scan (re)starts at its first position:
+// forward, that is a segment head or the true start of an unseeded
+// request; backward, the mirror — the vector's end or a segment
+// boundary immediately after the piece.
+func seedPieces(spec serve.Spec, data []int64, flags []bool, pieces []piece, carry int64, seeded bool) {
+	op := spec.Op
+	folds := make([]int64, len(pieces))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for k := range pieces {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(k int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			acc := serve.Identity(op)
+			for _, v := range data[pieces[k].off:pieces[k].end] {
+				acc = serve.Combine(op, acc, v)
+			}
+			folds[k] = acc
+		}(k)
+	}
+	wg.Wait()
+
+	n := len(data)
+	if spec.Dir == serve.Forward {
+		accv := serve.Identity(op)
+		if seeded {
+			accv = carry
+		}
+		for k := range pieces {
+			pc := &pieces[k]
+			if pc.headAt {
+				// The scan restarts here: no seed, and the running
+				// prefix after this piece is the piece's own fold.
+				accv = folds[k]
+				continue
+			}
+			pc.seeded = pc.off > 0 || seeded
+			pc.seed = accv
+			accv = serve.Combine(op, accv, folds[k])
+		}
+	} else {
+		// Backward mirror: the carry is the fold of everything to the
+		// RIGHT up to the next segment head, built right-to-left. When a
+		// piece starts a segment, positions left of it get a fresh carry
+		// (the backward kernels reset AFTER the flagged element).
+		accv := serve.Identity(op)
+		for k := len(pieces) - 1; k >= 0; k-- {
+			pc := &pieces[k]
+			pc.seeded = pc.end < n && (flags == nil || !flags[pc.end])
+			pc.seed = accv
+			if pc.headAt {
+				accv = serve.Identity(op)
+			} else {
+				accv = serve.Combine(op, folds[k], accv)
+			}
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scans/internal/serve"
+)
+
+// worker is one fleet member: its address, capacity weight, lazily
+// dialed shared client (one multiplexed connection carries every
+// concurrent piece bound for this worker), and health state.
+type worker struct {
+	addr    string
+	weight  float64
+	maxLine int
+
+	healthy atomic.Bool
+	consec  atomic.Int64 // consecutive connection-level failures
+
+	mu  sync.Mutex
+	cli *serve.Client
+}
+
+// client returns the worker's shared connection, dialing on first use
+// (and after any dropConn).
+func (w *worker) client() (*serve.Client, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.cli != nil {
+		return w.cli, nil
+	}
+	cli, err := serve.DialMaxLine(w.addr, w.maxLine)
+	if err != nil {
+		return nil, err
+	}
+	w.cli = cli
+	return cli, nil
+}
+
+// dropConn discards a connection that failed at the connection level,
+// so the next attempt re-dials. Only the exact failed client is
+// dropped — a concurrent attempt may already have replaced it.
+func (w *worker) dropConn(cli *serve.Client) {
+	w.mu.Lock()
+	if w.cli == cli {
+		w.cli = nil
+	}
+	w.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+}
+
+// closeConn tears down the cached connection at coordinator shutdown.
+func (w *worker) closeConn() {
+	w.mu.Lock()
+	cli := w.cli
+	w.cli = nil
+	w.mu.Unlock()
+	if cli != nil {
+		cli.Close()
+	}
+}
+
+// registry is the coordinator's fleet view: the fixed worker list, the
+// ejection policy, and the background prober that readmits ejected
+// workers once they answer again.
+type registry struct {
+	workers      []*worker
+	ejectAfter   int
+	probeEvery   time.Duration
+	probeTimeout time.Duration
+	stats        *coordStats
+
+	pick atomic.Uint64 // rotates retry/hedge worker selection
+
+	quit chan struct{}
+	done chan struct{}
+}
+
+func newRegistry(cfg Config, stats *coordStats) *registry {
+	r := &registry{
+		workers:      make([]*worker, len(cfg.Workers)),
+		ejectAfter:   cfg.EjectAfter,
+		probeEvery:   cfg.ProbeInterval,
+		probeTimeout: cfg.ProbeTimeout,
+		stats:        stats,
+		quit:         make(chan struct{}),
+		done:         make(chan struct{}),
+	}
+	for i, addr := range cfg.Workers {
+		weight := 1.0
+		if cfg.Weights != nil && cfg.Weights[i] > 0 {
+			weight = cfg.Weights[i]
+		}
+		w := &worker{addr: addr, weight: weight, maxLine: cfg.MaxLineBytes}
+		w.healthy.Store(true)
+		r.workers[i] = w
+	}
+	go r.probeLoop()
+	return r
+}
+
+// healthyWorkers returns the current in-plan fleet, in registry order
+// (planShards rotates over it, so stable order here keeps the rotation
+// meaningful).
+func (r *registry) healthyWorkers() []*worker {
+	out := make([]*worker, 0, len(r.workers))
+	for _, w := range r.workers {
+		if w.healthy.Load() {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// pickHealthyNot returns a healthy worker, preferring one different
+// from `not` (retries and hedges want a second opinion). Falls back to
+// `not` itself when it is the only healthy worker; nil when none are.
+func (r *registry) pickHealthyNot(not *worker) *worker {
+	ws := r.healthyWorkers()
+	if len(ws) == 0 {
+		return nil
+	}
+	start := int(r.pick.Add(1)-1) % len(ws)
+	for i := range ws {
+		if w := ws[(start+i)%len(ws)]; w != not {
+			return w
+		}
+	}
+	return ws[start]
+}
+
+// noteOK records proof of liveness: the consecutive-failure streak
+// resets. (Readmission of an EJECTED worker is the prober's job — a
+// stale in-flight success must not re-plan a worker the prober has not
+// re-verified.)
+func (r *registry) noteOK(w *worker) {
+	w.consec.Store(0)
+}
+
+// noteConnFail records one connection-level failure; the EjectAfter-th
+// consecutive one ejects the worker from planning.
+func (r *registry) noteConnFail(w *worker) {
+	if int(w.consec.Add(1)) >= r.ejectAfter && w.healthy.CompareAndSwap(true, false) {
+		r.stats.ejections.Add(1)
+	}
+}
+
+// probeLoop periodically re-dials ejected workers; a worker that
+// answers a probe scan is readmitted. Runs until close().
+func (r *registry) probeLoop() {
+	defer close(r.done)
+	tick := time.NewTicker(r.probeEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-r.quit:
+			return
+		case <-tick.C:
+			for _, w := range r.workers {
+				if !w.healthy.Load() {
+					r.probe(w)
+				}
+			}
+		}
+	}
+}
+
+// probe sends one tiny scan to an ejected worker. Any answer — even a
+// typed error like overloaded — proves the worker is back; only
+// connection-level failure keeps it ejected.
+func (r *registry) probe(w *worker) {
+	cli, err := w.client()
+	if err != nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), r.probeTimeout)
+	defer cancel()
+	_, err = cli.ScanCtx(ctx, "sum", "", "", []int64{0})
+	if err != nil && (connLevel(err) || ctx.Err() != nil) {
+		w.dropConn(cli)
+		return
+	}
+	w.consec.Store(0)
+	if w.healthy.CompareAndSwap(false, true) {
+		r.stats.readmissions.Add(1)
+	}
+}
+
+// close stops the prober and closes every worker connection.
+func (r *registry) close() {
+	close(r.quit)
+	<-r.done
+	for _, w := range r.workers {
+		w.closeConn()
+	}
+}

@@ -1,0 +1,111 @@
+package cluster
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// coordStats is the coordinator's internal counter block.
+type coordStats struct {
+	requests    atomic.Uint64
+	rejected    atomic.Uint64
+	served      atomic.Uint64
+	shardFailed atomic.Uint64
+	deadline    atomic.Uint64
+
+	shards    atomic.Uint64
+	pieces    atomic.Uint64
+	retries   atomic.Uint64
+	hedges    atomic.Uint64
+	hedgeWins atomic.Uint64
+
+	ejections    atomic.Uint64
+	readmissions atomic.Uint64
+
+	streamsOpened atomic.Uint64
+	streamsClosed atomic.Uint64
+	streamsFailed atomic.Uint64
+	streamsActive atomic.Int64
+}
+
+// Stats is a point-in-time snapshot of a Coordinator's counters. The
+// request ledger mirrors serve.Stats: once traffic has drained,
+// Requests == Served + ShardFailed + Deadline — every accepted request
+// reaches exactly one terminal outcome, which is the invariant
+// TestClusterChaosSoak closes.
+type Stats struct {
+	// Requests counts accepted scans (one per Scan/ScanSegmented call
+	// and per stream chunk pushed).
+	Requests uint64
+	// Rejected counts submissions refused at admission (bad spec, closed
+	// coordinator); NOT part of Requests.
+	Rejected uint64
+	// Served counts requests that returned a full result.
+	Served uint64
+	// ShardFailed counts requests that failed with ErrShardFailed: some
+	// piece exhausted its retry budget, or no workers were healthy.
+	ShardFailed uint64
+	// Deadline counts requests whose caller's context expired or was
+	// canceled before every piece landed.
+	Deadline uint64
+	// Shards and Pieces count planned work: shards are per-worker
+	// ranges, pieces the wire requests they were cut into.
+	Shards uint64
+	Pieces uint64
+	// Retries counts re-attempts after a failed piece attempt (the first
+	// try of each piece is not a retry).
+	Retries uint64
+	// Hedges counts duplicate piece dispatches launched after
+	// HedgeAfter; HedgeWins counts the hedges that answered first.
+	Hedges    uint64
+	HedgeWins uint64
+	// Ejections counts workers removed from planning after EjectAfter
+	// consecutive connection-level failures; Readmissions counts
+	// successful probe-driven returns. A worker may be ejected and
+	// readmitted many times.
+	Ejections    uint64
+	Readmissions uint64
+	// Stream session ledger: Opened == Closed + Failed once every
+	// session is torn down, and Active is the gauge of open ones.
+	// (Idle-TTL expiry lives in the wire layer and surfaces here as
+	// Failed via Expire.)
+	StreamsOpened uint64
+	StreamsClosed uint64
+	StreamsFailed uint64
+	StreamsActive int64
+}
+
+// String renders the snapshot in one line for logs.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"requests=%d rejected=%d served=%d shard_failed=%d deadline=%d "+
+			"shards=%d pieces=%d retries=%d hedges=%d hedge_wins=%d "+
+			"ejections=%d readmissions=%d streams{open=%d closed=%d failed=%d active=%d}",
+		s.Requests, s.Rejected, s.Served, s.ShardFailed, s.Deadline,
+		s.Shards, s.Pieces, s.Retries, s.Hedges, s.HedgeWins,
+		s.Ejections, s.Readmissions,
+		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsActive)
+}
+
+// Stats snapshots the coordinator's counters; safe under traffic.
+func (c *Coordinator) Stats() Stats {
+	st := &c.stats
+	return Stats{
+		Requests:      st.requests.Load(),
+		Rejected:      st.rejected.Load(),
+		Served:        st.served.Load(),
+		ShardFailed:   st.shardFailed.Load(),
+		Deadline:      st.deadline.Load(),
+		Shards:        st.shards.Load(),
+		Pieces:        st.pieces.Load(),
+		Retries:       st.retries.Load(),
+		Hedges:        st.hedges.Load(),
+		HedgeWins:     st.hedgeWins.Load(),
+		Ejections:     st.ejections.Load(),
+		Readmissions:  st.readmissions.Load(),
+		StreamsOpened: st.streamsOpened.Load(),
+		StreamsClosed: st.streamsClosed.Load(),
+		StreamsFailed: st.streamsFailed.Load(),
+		StreamsActive: st.streamsActive.Load(),
+	}
+}

@@ -1,0 +1,138 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"scans/internal/serve"
+)
+
+// Streaming through the coordinator: a coordStream holds the carry of
+// everything pushed so far — Figure 10's block-sum decomposition across
+// TIME — and each chunk is itself sharded across the fleet seeded with
+// that carry, the decomposition across SPACE. The two compose because
+// both are the same carry algebra: scanSeeded treats the stream carry
+// exactly like a piece seed one level up.
+//
+// Failure model matches serve.Stream: any failed chunk fails the whole
+// stream (a skipped chunk would corrupt the carry); backward specs are
+// rejected at open because their carry depends on chunks not yet
+// arrived.
+
+// coordStream is one streaming session over the cluster. It implements
+// serve.ScanStream, so serve's wire session table drives it unchanged.
+type coordStream struct {
+	c      *Coordinator
+	spec   serve.Spec
+	tenant string
+
+	mu      sync.Mutex
+	state   int // 0 open, 1 closed, 2 failed
+	failErr error
+	carry   int64
+}
+
+const (
+	csOpen = iota
+	csClosed
+	csFailed
+)
+
+// OpenScanStream starts a streaming session for spec (forward only).
+// Implements serve.Backend.
+func (c *Coordinator) OpenScanStream(spec serve.Spec, tenant string) (serve.ScanStream, error) {
+	if c.closed.Load() {
+		c.stats.rejected.Add(1)
+		return nil, serve.ErrClosed
+	}
+	if !spec.Valid() {
+		c.stats.rejected.Add(1)
+		return nil, fmt.Errorf("%w: invalid spec %+v", serve.ErrBadRequest, spec)
+	}
+	if spec.Dir == serve.Backward {
+		c.stats.rejected.Add(1)
+		return nil, serve.ErrStreamUnsupported
+	}
+	c.stats.streamsOpened.Add(1)
+	c.stats.streamsActive.Add(1)
+	return &coordStream{c: c, spec: spec, tenant: tenant, carry: serve.Identity(spec.Op)}, nil
+}
+
+// Push shards one chunk across the fleet, seeded with the carry of all
+// prior chunks, and returns the chunk's slice of the overall scan. Any
+// error fails the stream permanently.
+func (st *coordStream) Push(ctx context.Context, chunk []int64) ([]int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch st.state {
+	case csClosed:
+		return nil, serve.ErrNoStream
+	case csFailed:
+		return nil, fmt.Errorf("%w: %v", serve.ErrStreamFailed, st.failErr)
+	}
+	if len(chunk) == 0 {
+		return []int64{}, nil
+	}
+	st.c.stats.requests.Add(1)
+	res, err := st.c.scanSeeded(ctx, st.spec, chunk, nil, st.carry, true, st.tenant)
+	if err != nil {
+		err = st.c.finish(err)
+		st.failLocked(err)
+		return nil, err
+	}
+	st.c.stats.served.Add(1)
+	// New carry = fold of everything so far (same trick as
+	// serve.Stream.Push: the exclusive form's last output stops one
+	// element short of the fold).
+	last := res[len(res)-1]
+	if st.spec.Kind == serve.Exclusive {
+		last = serve.Combine(st.spec.Op, last, chunk[len(chunk)-1])
+	}
+	st.carry = last
+	return res, nil
+}
+
+// Close ends the stream and returns the fold of everything pushed.
+func (st *coordStream) Close() (int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch st.state {
+	case csClosed:
+		return 0, serve.ErrNoStream
+	case csFailed:
+		return 0, fmt.Errorf("%w: %v", serve.ErrStreamFailed, st.failErr)
+	}
+	st.state = csClosed
+	st.c.stats.streamsClosed.Add(1)
+	st.c.stats.streamsActive.Add(-1)
+	return st.carry, nil
+}
+
+// Abort fails an open stream without running anything (connection
+// teardown). Safe on any state.
+func (st *coordStream) Abort(cause error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.state != csOpen {
+		return
+	}
+	if cause == nil {
+		cause = serve.ErrStreamFailed
+	}
+	st.failLocked(cause)
+}
+
+// Expire is Abort for the wire layer's idle TTL; the coordinator ledger
+// folds expiries into StreamsFailed.
+func (st *coordStream) Expire() {
+	st.Abort(serve.ErrNoStream)
+}
+
+// failLocked transitions open → failed exactly once (st.mu held).
+func (st *coordStream) failLocked(cause error) {
+	st.state = csFailed
+	st.failErr = cause
+	st.c.stats.streamsFailed.Add(1)
+	st.c.stats.streamsActive.Add(-1)
+}

@@ -36,6 +36,24 @@ const (
 	// PartialWrite truncates a response line mid-write and closes the
 	// connection, leaving the client a torn line.
 	PartialWrite = "conn.partialwrite"
+	// ExecStall delays an executor between taking a batch off the
+	// channel and running it, simulating a descheduled or page-faulting
+	// executor: queued work ages (queue-age shedding and deadlines see
+	// realistic pressure) while the batcher keeps assembling.
+	ExecStall = "exec.stall"
+	// QueueCorrupt simulates DETECTED queue corruption: a request pulled
+	// from the queue at batch-assembly time is treated as damaged and
+	// failed with a typed internal error instead of executing. The point
+	// models a fail-safe integrity check, so firing it must never
+	// corrupt a result — only convert a would-be success into a clean,
+	// retryable failure.
+	QueueCorrupt = "queue.corrupt-detect"
+	// ClusterWorkerSlow delays a coordinator's shard dispatch to a
+	// worker, stretching the window in which hedged requests fire.
+	ClusterWorkerSlow = "cluster.worker.slow"
+	// ClusterWorkerDrop kills the coordinator's connection to a worker
+	// while a shard is in flight, simulating a worker dying mid-scan.
+	ClusterWorkerDrop = "cluster.worker.drop"
 )
 
 // Set is an independent collection of fault points sharing one seeded

@@ -1,0 +1,47 @@
+package serve
+
+import "context"
+
+// Backend is what the TCP front end (NetServer) fronts: anything that
+// can run one scan to completion and host streaming sessions. Two
+// implementations exist — *Server, the in-process batching engine, and
+// cluster.Coordinator, which shards each scan across remote scansd
+// workers — so the whole wire layer (framing, error codes, line
+// budgets, float64 mapping, stream session tables) is written once and
+// serves both single-node and cluster deployments.
+type Backend interface {
+	// Scan runs one scan over data and returns the full result vector.
+	// Errors wrap this package's typed sentinels (ErrOverloaded,
+	// ErrBadRequest, ErrShardFailed, ...) so the wire layer can code
+	// them.
+	Scan(ctx context.Context, spec Spec, data []int64, tenant string) ([]int64, error)
+	// OpenScanStream starts a streaming session for spec (forward specs
+	// only; backward opens fail with ErrStreamUnsupported).
+	OpenScanStream(spec Spec, tenant string) (ScanStream, error)
+	// Close drains the backend; in-flight work resolves, new work is
+	// refused with ErrClosed.
+	Close()
+}
+
+// ScanStream is one streaming scan session as the wire session table
+// (netstream.go) drives it: Push chunks in order, then exactly one of
+// Close (clean, returns the total), Abort (connection teardown), or
+// Expire (idle TTL).
+type ScanStream interface {
+	Push(ctx context.Context, chunk []int64) ([]int64, error)
+	Close() (int64, error)
+	Abort(cause error)
+	Expire()
+}
+
+// OpenScanStream adapts OpenStream to the Backend interface. The
+// indirection (rather than returning *Stream directly) keeps a nil
+// *Stream from becoming a non-nil ScanStream interface on the error
+// path.
+func (s *Server) OpenScanStream(spec Spec, tenant string) (ScanStream, error) {
+	st, err := s.OpenStream(spec, tenant)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}

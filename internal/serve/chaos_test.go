@@ -49,6 +49,8 @@ func TestChaosSoak(t *testing.T) {
 	faults.Arm(fault.KernelPanic, 0.02)
 	faults.Arm(fault.ConnDrop, 0.01)
 	faults.Arm(fault.PartialWrite, 0.01)
+	faults.ArmSleep(fault.ExecStall, 0.02, 2*time.Millisecond)
+	faults.Arm(fault.QueueCorrupt, 0.01)
 
 	ns := startNetCfg(t,
 		Config{
@@ -206,8 +208,8 @@ func TestChaosSoak(t *testing.T) {
 	if st.Panics < 1 {
 		t.Fatalf("stats = %v, want >= 1 recovered panic", st)
 	}
-	if got := st.Served + st.DeadlineDrops + st.Shed + st.PanicFailed; got != st.Requests {
-		t.Fatalf("server ledger broken: served+drops+shed+panicked = %d, requests = %d (%v)", got, st.Requests, st)
+	if got := st.Served + st.DeadlineDrops + st.Shed + st.PanicFailed + st.CorruptDrops; got != st.Requests {
+		t.Fatalf("server ledger broken: served+drops+shed+panicked+corrupt = %d, requests = %d (%v)", got, st.Requests, st)
 	}
 	// Zero leaked stream sessions: every connection is torn down by now
 	// (ns.Close waits for the handlers), so every session opened during

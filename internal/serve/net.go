@@ -101,7 +101,8 @@ func maxRespBytes(n int) int { return 48 + 21*n }
 // address), so the batch server's weighted round-robin keeps a
 // flooding connection inside its fair share of every batch.
 type NetServer struct {
-	srv  *Server
+	be   Backend
+	srv  *Server // non-nil only when be is an in-process Server (Stats)
 	ncfg NetConfig
 	ln   net.Listener
 
@@ -121,15 +122,29 @@ func Listen(addr string, cfg Config) (*NetServer, error) {
 }
 
 // ListenNet binds addr and starts accepting connections over the given
-// batching and network configs.
+// batching and network configs, fronting a fresh in-process Server.
 func ListenNet(addr string, cfg Config, ncfg NetConfig) (*NetServer, error) {
+	srv := New(cfg)
+	ns, err := ListenBackend(addr, srv, ncfg)
+	if err != nil {
+		srv.Close()
+		return nil, err
+	}
+	ns.srv = srv
+	return ns, nil
+}
+
+// ListenBackend binds addr and serves the wire protocol over an
+// arbitrary Backend — an in-process Server or a cluster Coordinator.
+// Closing the NetServer closes the backend.
+func ListenBackend(addr string, be Backend, ncfg NetConfig) (*NetServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	ncfg = ncfg.withDefaults()
 	ns := &NetServer{
-		srv:       New(cfg),
+		be:        be,
 		ncfg:      ncfg,
 		ln:        ln,
 		fpDrop:    ncfg.Faults.Point(fault.ConnDrop),
@@ -144,13 +159,20 @@ func ListenNet(addr string, cfg Config, ncfg NetConfig) (*NetServer, error) {
 // Addr returns the bound listen address (useful with port 0).
 func (ns *NetServer) Addr() string { return ns.ln.Addr().String() }
 
-// Stats snapshots the underlying batch server's counters.
-func (ns *NetServer) Stats() Stats { return ns.srv.Stats() }
+// Stats snapshots the underlying batch server's counters. For a
+// non-Server backend (ListenBackend) it returns the zero Stats; ask the
+// backend for its own ledger instead.
+func (ns *NetServer) Stats() Stats {
+	if ns.srv == nil {
+		return Stats{}
+	}
+	return ns.srv.Stats()
+}
 
 // Close stops accepting, closes every live connection, and drains the
-// underlying batch server. In-flight requests whose futures were
-// already accepted still execute; their responses are lost if their
-// connection is gone, which is the standard TCP shutdown contract.
+// backend. In-flight requests whose futures were already accepted still
+// execute; their responses are lost if their connection is gone, which
+// is the standard TCP shutdown contract.
 func (ns *NetServer) Close() {
 	ns.ln.Close()
 	ns.mu.Lock()
@@ -159,7 +181,7 @@ func (ns *NetServer) Close() {
 	}
 	ns.mu.Unlock()
 	<-ns.done
-	ns.srv.Close()
+	ns.be.Close()
 }
 
 // acceptLoop accepts until the listener closes, enforcing MaxConns: a
@@ -300,7 +322,9 @@ func (ns *NetServer) handle(conn net.Conn) {
 	respond := func(resp WireResponse) {
 		line, err := json.Marshal(resp)
 		if err != nil {
-			line = []byte(`{"error":"marshal failure","code":"internal"}`)
+			// Keep the ID: an unmatchable error line would leave the
+			// client's round trip waiting forever.
+			line = []byte(fmt.Sprintf(`{"id":%d,"error":"response marshal failure","code":"internal"}`, resp.ID))
 		}
 		wmu.Lock()
 		defer wmu.Unlock()
@@ -372,7 +396,20 @@ func (ns *NetServer) handle(conn net.Conn) {
 			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 			continue
 		}
-		if worst := maxRespBytes(len(req.Data)); worst > ns.ncfg.MaxLineBytes {
+		var isFloat bool
+		switch req.Elem {
+		case "", ElemInt64:
+		case ElemFloat64:
+			isFloat = true
+		default:
+			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown elem %q", req.Elem), Code: CodeBadRequest})
+			continue
+		}
+		worst := maxRespBytes(len(req.Data))
+		if isFloat {
+			worst = maxRespBytesFloat(len(req.FData))
+		}
+		if worst > ns.ncfg.MaxLineBytes {
 			// The request line fit, but its RESPONSE might not (prefix
 			// sums have more digits than inputs). Refuse rather than
 			// blow up the client's line reader; unlike an oversized
@@ -380,8 +417,8 @@ func (ns *NetServer) handle(conn net.Conn) {
 			// connection survives. Streaming is the escape hatch.
 			respond(WireResponse{
 				ID: req.ID,
-				Error: fmt.Sprintf("worst-case response (%d bytes for %d elements) exceeds the %d-byte line budget; use a streaming session",
-					worst, len(req.Data), ns.ncfg.MaxLineBytes),
+				Error: fmt.Sprintf("worst-case response (%d bytes) exceeds the %d-byte line budget; use a streaming session",
+					worst, ns.ncfg.MaxLineBytes),
 				Code: CodeTooLarge,
 			})
 			continue
@@ -406,25 +443,34 @@ func (ns *NetServer) handle(conn net.Conn) {
 		if reqTenant == "" {
 			reqTenant = tenant
 		}
-		fut, err := ns.srv.SubmitReq(ctx, Req{Spec: spec, Data: req.Data, Tenant: reqTenant})
-		if err != nil {
-			cancel()
-			inflight.Add(-1)
-			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
-			continue
-		}
 		pending.Add(1)
-		go func(id uint64, fut *Future, cancel context.CancelFunc) {
+		go func(req WireRequest, cancel context.CancelFunc) {
 			defer pending.Done()
 			defer inflight.Add(-1)
 			defer cancel()
-			res, err := fut.Wait()
+			data := req.Data
+			if isFloat {
+				keys, err := floatKeys(spec.Op, req.FData)
+				if err != nil {
+					respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
+					return
+				}
+				data = keys
+			}
+			res, err := ns.be.Scan(ctx, spec, data, reqTenant)
 			if err != nil {
-				respond(WireResponse{ID: id, Error: err.Error(), Code: codeForError(err)})
+				respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 				return
 			}
-			respond(WireResponse{ID: id, Result: res})
-		}(req.ID, fut, cancel)
+			if isFloat {
+				respond(WireResponse{ID: req.ID, FResult: floatResults(spec.Op, res)})
+				return
+			}
+			if res == nil {
+				res = []int64{}
+			}
+			respond(WireResponse{ID: req.ID, Result: res})
+		}(req, cancel)
 	}
 }
 
@@ -510,7 +556,15 @@ func deadlineMS(d time.Duration) int64 {
 // server as the request's timeout_ms (so the server can shed the
 // request unexecuted) and also bounds the local wait for the response.
 func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64) ([]int64, error) {
-	req := WireRequest{Op: op, Kind: kind, Dir: dir, Data: data}
+	return c.ScanTenantCtx(ctx, op, kind, dir, "", data)
+}
+
+// ScanTenantCtx is ScanCtx with an explicit fairness tenant, so a
+// coordinator relaying many clients' shards through one worker
+// connection can preserve each origin's fair-share identity instead of
+// collapsing them all into the connection's remote address.
+func (c *Client) ScanTenantCtx(ctx context.Context, op, kind, dir, tenant string, data []int64) ([]int64, error) {
+	req := WireRequest{Op: op, Kind: kind, Dir: dir, Tenant: tenant, Data: data}
 	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
 		return nil, err
@@ -519,6 +573,23 @@ func (c *Client) ScanCtx(ctx context.Context, op, kind, dir string, data []int64
 		resp.Result = []int64{}
 	}
 	return resp.Result, nil
+}
+
+// ScanFloats performs one float64 scan round trip (elem "float64" on
+// the wire). Supported ops and the exactness contract are documented in
+// wirefloat.go: max/min over any non-NaN floats, sum over
+// exactly-representable integers; mul and NaN are refused with
+// ErrBadRequest.
+func (c *Client) ScanFloats(ctx context.Context, op, kind, dir string, data []float64) ([]float64, error) {
+	req := WireRequest{Op: op, Kind: kind, Dir: dir, Elem: ElemFloat64, FData: data}
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.FResult == nil {
+		resp.FResult = []float64{}
+	}
+	return resp.FResult, nil
 }
 
 // roundTrip sends one request (stamping its ID and, when ctx carries a

@@ -182,7 +182,7 @@ func TestNetMalformedJSONGetsStructuredError(t *testing.T) {
 		t.Fatalf("write after bad line: %v", err)
 	}
 	resp = readResp(t, r)
-	if resp.ID != 8 || resp.Error != "" || !reflect.DeepEqual(resp.Result, []int64{0, 1}) {
+	if resp.ID != 8 || resp.Error != "" || !reflect.DeepEqual([]int64(resp.Result), []int64{0, 1}) {
 		t.Fatalf("request after bad line = %+v, want served result", resp)
 	}
 }

@@ -48,7 +48,7 @@ type streamMsg struct {
 // further messages are enqueued and the worker drains what remains.
 type netStream struct {
 	sid  uint64
-	st   *Stream
+	st   ScanStream
 	ch   chan streamMsg
 	quit chan struct{}
 	dead bool
@@ -81,6 +81,13 @@ func (cs *connStreams) open(req WireRequest) {
 		fail(CodeBadRequest, "streaming disabled on this server")
 		return
 	}
+	if req.Elem != "" && req.Elem != ElemInt64 {
+		// Float streams would need the carry tracked in the float domain
+		// across chunks; not supported — chunk float data client-side and
+		// map each chunk, or use int64 streams.
+		fail(CodeBadRequest, fmt.Sprintf("streaming supports int64 elements only, not %q", req.Elem))
+		return
+	}
 	spec, err := ParseSpec(req.Op, req.Kind, req.Dir)
 	if err != nil {
 		fail(codeForError(err), err.Error())
@@ -101,7 +108,7 @@ func (cs *connStreams) open(req WireRequest) {
 		fail(CodeOverloaded, fmt.Sprintf("per-connection stream cap (%d) reached", cs.ns.ncfg.MaxStreams))
 		return
 	}
-	st, err := cs.ns.srv.OpenStream(spec, tenant)
+	st, err := cs.ns.be.OpenScanStream(spec, tenant)
 	if err != nil {
 		cs.mu.Unlock()
 		fail(codeForError(err), err.Error())
@@ -251,7 +258,7 @@ func (cs *connStreams) run(sess *netStream) {
 			return
 		case <-expired:
 			cs.remove(sess)
-			sess.st.expire()
+			sess.st.Expire()
 			cs.drain(sess, CodeNoStream, ErrNoStream.Error())
 			return
 		case m := <-sess.ch:

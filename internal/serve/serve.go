@@ -71,6 +71,17 @@ var (
 	// chunk itself got the underlying typed error; later operations on
 	// the dead stream get ErrStreamFailed. Recovery = a fresh stream.
 	ErrStreamFailed = errors.New("serve: stream failed (an earlier chunk did not complete)")
+	// ErrShardFailed means a cluster coordinator (internal/cluster)
+	// could not complete one of this request's shards within the
+	// per-shard retry budget — worker deaths, sustained worker
+	// overload, or no healthy workers left. Only this request failed;
+	// the coordinator itself survived and other requests were
+	// unaffected. Retryable: the fleet may have healed (a probe
+	// re-admitted a worker) by the next attempt. The sentinel lives
+	// here, next to the rest of the wire-error vocabulary, because
+	// serve owns the code↔error mapping; cluster wraps it with shard
+	// detail.
+	ErrShardFailed = errors.New("serve: shard failed (a coordinator shard exhausted its retries)")
 	// ErrStreamUnsupported rejects OpenStream for backward specs: a
 	// back-scan's carry depends on chunks that have not arrived yet, so
 	// results could only be delivered at close after buffering the whole
@@ -164,6 +175,10 @@ type Spec struct {
 func (s Spec) valid() bool {
 	return s.Op < opCount && s.Kind < kindCount && s.Dir < dirCount
 }
+
+// Valid reports whether every field is in range, for Backend
+// implementations that accept Specs built outside ParseSpec.
+func (s Spec) Valid() bool { return s.valid() }
 
 // String returns e.g. "sum/exclusive/forward".
 func (s Spec) String() string {
@@ -319,8 +334,10 @@ type Server struct {
 
 	// Fault points resolved once at construction; nil when chaos is
 	// off, and a nil Point never fires.
-	fpSlow  *fault.Point
-	fpPanic *fault.Point
+	fpSlow    *fault.Point
+	fpPanic   *fault.Point
+	fpStall   *fault.Point
+	fpCorrupt *fault.Point
 
 	mu     sync.RWMutex // guards closed vs. sends on queue
 	closed bool
@@ -342,11 +359,13 @@ func New(cfg Config) *Server {
 func newStopped(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:     cfg,
-		queue:   make(chan *Future, cfg.QueueLimit),
-		execCh:  make(chan []*Future, cfg.Executors),
-		fpSlow:  cfg.Faults.Point(fault.KernelSlow),
-		fpPanic: cfg.Faults.Point(fault.KernelPanic),
+		cfg:       cfg,
+		queue:     make(chan *Future, cfg.QueueLimit),
+		execCh:    make(chan []*Future, cfg.Executors),
+		fpSlow:    cfg.Faults.Point(fault.KernelSlow),
+		fpPanic:   cfg.Faults.Point(fault.KernelPanic),
+		fpStall:   cfg.Faults.Point(fault.ExecStall),
+		fpCorrupt: cfg.Faults.Point(fault.QueueCorrupt),
 	}
 }
 
@@ -435,6 +454,17 @@ func (s *Server) Submit(spec Spec, data []int64) ([]int64, error) {
 // ctx expires before its batch reaches the kernels.
 func (s *Server) SubmitCtx(ctx context.Context, spec Spec, data []int64) ([]int64, error) {
 	f, err := s.SubmitReq(ctx, Req{Spec: spec, Data: data})
+	if err != nil {
+		return nil, err
+	}
+	return f.Wait()
+}
+
+// Scan runs one scan to completion under the given tenant. It is the
+// Backend method the TCP front end calls for every one-shot request,
+// shared by this in-process Server and a cluster Coordinator.
+func (s *Server) Scan(ctx context.Context, spec Spec, data []int64, tenant string) ([]int64, error) {
+	f, err := s.SubmitReq(ctx, Req{Spec: spec, Data: data, Tenant: tenant})
 	if err != nil {
 		return nil, err
 	}
@@ -551,6 +581,16 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 			if s.shedIfDead(f, time.Now()) {
 				continue
 			}
+			if s.fpCorrupt.Fire() {
+				// Chaos: the integrity check "detects" a corrupted queue
+				// entry. The request fails typed and retryable instead of
+				// executing on damaged state — the fail-safe contract a
+				// real detector would honor.
+				if f.complete(nil, fmt.Errorf("%w: queue corruption detected (injected fault)", ErrInternal)) {
+					s.stats.corruptDrops.Add(1)
+				}
+				continue
+			}
 			batch = append(batch, f)
 			elems += f.nelems()
 			continue
@@ -589,6 +629,10 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 func (s *Server) execLoop() {
 	defer s.wg.Done()
 	for batch := range s.execCh {
+		// Chaos: a stalled executor ages everything still queued behind
+		// this batch, which is what queue-age shedding and deadline
+		// drops exist to absorb.
+		s.fpStall.Sleep()
 		s.runBatchSafe(batch)
 	}
 }
@@ -616,12 +660,13 @@ func (s *Server) failBatch(batch []*Future, cause any) {
 	}
 }
 
-// identity returns the identity element of the op's monoid: the value
-// exclusive results surface directly (dst[0] for forward scans), and
-// the initial carry of a fresh stream (OpenStream) — seeding the first
+// Identity returns the identity element of the op's monoid: the value
+// exclusive results surface directly (dst[0] for forward scans), the
+// initial carry of a fresh stream (OpenStream) — seeding the first
 // chunk with the identity makes every chunk take the same carry-seeded
-// kernel path.
-func identity(op Op) int64 {
+// kernel path — and the seed of a cluster shard that starts a segment.
+// Exported because the carry math is shared with internal/cluster.
+func Identity(op Op) int64 {
 	switch op {
 	case OpMax:
 		return math.MinInt64

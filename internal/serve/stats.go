@@ -23,6 +23,7 @@ type stats struct {
 	shed          atomic.Uint64
 	panics        atomic.Uint64
 	panicFailed   atomic.Uint64
+	corruptDrops  atomic.Uint64
 	batches       atomic.Uint64
 	groups        atomic.Uint64
 	fused         atomic.Uint64
@@ -82,10 +83,14 @@ type Stats struct {
 	Panics uint64
 	// PanicFailed counts accepted requests that resolved with
 	// ErrInternal because their group's kernel pass panicked.
-	// Requests == Served + DeadlineDrops + Shed + PanicFailed once the
-	// server has drained (every accepted request gets exactly one
-	// terminal outcome).
+	// Requests == Served + DeadlineDrops + Shed + PanicFailed +
+	// CorruptDrops once the server has drained (every accepted request
+	// gets exactly one terminal outcome).
 	PanicFailed uint64
+	// CorruptDrops counts accepted requests failed at batch-assembly
+	// time by the queue.corrupt-detect fault point (the fail-safe
+	// integrity-check path): resolved with ErrInternal, never executed.
+	CorruptDrops uint64
 	// Batches is the number of fused batches executed.
 	Batches uint64
 	// Groups is the total number of (op, kind, direction) kernel
@@ -121,10 +126,10 @@ type Stats struct {
 // String renders the snapshot in one line for logs.
 func (s Stats) String() string {
 	return fmt.Sprintf(
-		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d "+
+		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d corrupt_drops=%d "+
 			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d} "+
 			"streams{open=%d closed=%d failed=%d expired=%d active=%d}",
-		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed,
+		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed, s.CorruptDrops,
 		s.Batches, s.Groups, s.FusedElements,
 		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy,
 		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive)
@@ -143,6 +148,7 @@ func (s *Server) Stats() Stats {
 		Shed:          st.shed.Load(),
 		Panics:        st.panics.Load(),
 		PanicFailed:   st.panicFailed.Load(),
+		CorruptDrops:  st.corruptDrops.Load(),
 		Batches:       st.batches.Load(),
 		Groups:        st.groups.Load(),
 		FusedElements: st.fused.Load(),

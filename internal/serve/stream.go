@@ -51,7 +51,7 @@ type Stream struct {
 	mu      sync.Mutex
 	state   streamState
 	failErr error
-	carry   int64 // fold of all chunks so far; starts at identity(op)
+	carry   int64 // fold of all chunks so far; starts at Identity(op)
 }
 
 // OpenStream starts a streaming session for spec. Backward specs are
@@ -76,7 +76,7 @@ func (s *Server) OpenStream(spec Spec, tenant string) (*Stream, error) {
 	}
 	s.stats.streamsOpened.Add(1)
 	s.stats.streamsActive.Add(1)
-	return &Stream{srv: s, spec: spec, tenant: tenant, carry: identity(spec.Op)}, nil
+	return &Stream{srv: s, spec: spec, tenant: tenant, carry: Identity(spec.Op)}, nil
 }
 
 // Spec returns the stream's scan flavor.
@@ -123,7 +123,7 @@ func (st *Stream) Push(ctx context.Context, chunk []int64) ([]int64, error) {
 	// one element short, so fold the last input back in.
 	last := res[len(res)-1]
 	if st.spec.Kind == Exclusive {
-		last = combine(st.spec.Op, last, chunk[len(chunk)-1])
+		last = Combine(st.spec.Op, last, chunk[len(chunk)-1])
 	}
 	st.carry = last
 	return res, nil
@@ -163,9 +163,10 @@ func (st *Stream) Abort(cause error) {
 	st.failLocked(cause)
 }
 
-// expire is Abort for the idle TTL, counted separately so leaked-vs-
-// expired sessions are distinguishable in the ledger.
-func (st *Stream) expire() {
+// Expire is Abort for the idle TTL, counted separately so leaked-vs-
+// expired sessions are distinguishable in the ledger. Exported as part
+// of the ScanStream interface the wire session table drives.
+func (st *Stream) Expire() {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if st.state != streamOpen {
@@ -186,8 +187,9 @@ func (st *Stream) failLocked(cause error) {
 	st.srv.stats.streamsActive.Add(-1)
 }
 
-// combine applies op's monoid operation — the carry stitch itself.
-func combine(op Op, a, b int64) int64 {
+// Combine applies op's monoid operation — the carry stitch itself,
+// shared with internal/cluster's cross-machine stitch.
+func Combine(op Op, a, b int64) int64 {
 	switch op {
 	case OpMax:
 		return max(a, b)

@@ -17,9 +17,9 @@ import (
 // fold computes the reference stream total: the op applied across all
 // of data (identity for an empty stream).
 func fold(op Op, data []int64) int64 {
-	acc := identity(op)
+	acc := Identity(op)
 	for _, v := range data {
-		acc = combine(op, acc, v)
+		acc = Combine(op, acc, v)
 	}
 	return acc
 }

@@ -3,10 +3,110 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"math"
+	"strconv"
 )
+
+// Int64Vec is a []int64 with a hand-rolled JSON codec. encoding/json's
+// reflection path costs ~1µs per element both ways, which at cluster
+// scale (multi-million-element shards moving between coordinator and
+// workers) turns the wire into the bottleneck — an order of magnitude
+// slower than the scan kernels it feeds. The fast path parses the
+// `[-123,456,...]` byte form directly with no per-element allocation;
+// anything it does not recognize (whitespace variants from non-Go
+// clients, null, malformed input) falls back to encoding/json, so
+// accepted inputs and error behavior match the standard decoder
+// exactly.
+type Int64Vec []int64
+
+// MarshalJSON implements json.Marshaler.
+func (v Int64Vec) MarshalJSON() ([]byte, error) {
+	b := make([]byte, 0, 2+21*len(v))
+	b = append(b, '[')
+	for i, x := range v {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = strconv.AppendInt(b, x, 10)
+	}
+	return append(b, ']'), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Int64Vec) UnmarshalJSON(b []byte) error {
+	out, ok := parseInt64Array(b)
+	if !ok {
+		// Graceful degradation: let encoding/json handle whitespace,
+		// exponent forms, null, and error reporting.
+		var tmp []int64
+		if err := json.Unmarshal(b, &tmp); err != nil {
+			return err
+		}
+		*v = tmp
+		return nil
+	}
+	*v = out
+	return nil
+}
+
+// parseInt64Array is the allocation-light fast path for the exact byte
+// form Int64Vec.MarshalJSON (and any compact JSON encoder) produces:
+// '[' integer (',' integer)* ']' with no interior whitespace. Returns
+// ok=false on ANY deviation — including overflow — so the caller can
+// fall back to the standard decoder.
+func parseInt64Array(b []byte) ([]int64, bool) {
+	if len(b) < 2 || b[0] != '[' || b[len(b)-1] != ']' {
+		return nil, false
+	}
+	body := b[1 : len(b)-1]
+	if len(body) == 0 {
+		return []int64{}, true
+	}
+	// Sizing guess: average "d," is 2 bytes; the append below fixes up.
+	out := make([]int64, 0, len(body)/2+1)
+	i := 0
+	for {
+		neg := false
+		if i < len(body) && body[i] == '-' {
+			neg = true
+			i++
+		}
+		start := i
+		var n uint64
+		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
+			d := uint64(body[i] - '0')
+			if n > (math.MaxUint64-d)/10 {
+				return nil, false
+			}
+			n = n*10 + d
+			i++
+		}
+		if i == start {
+			return nil, false // empty digits: ",,", "]", non-numeric...
+		}
+		if neg {
+			if n > uint64(math.MaxInt64)+1 {
+				return nil, false
+			}
+			out = append(out, -int64(n))
+		} else {
+			if n > uint64(math.MaxInt64) {
+				return nil, false
+			}
+			out = append(out, int64(n))
+		}
+		if i == len(body) {
+			return out, true
+		}
+		if body[i] != ',' {
+			return nil, false
+		}
+		i++
+	}
+}
 
 // The wire format of cmd/scansd is newline-delimited JSON: one
 // WireRequest per line in, one WireResponse per line out. Responses
@@ -38,6 +138,12 @@ type WireRequest struct {
 	Kind string `json:"kind,omitempty"`
 	// Dir is "forward" (default when empty) or "backward".
 	Dir string `json:"dir,omitempty"`
+	// Elem is the element kind: "int64" (default when empty) or
+	// "float64". Float64 requests carry their vector in FData and are
+	// answered in FResult; on the server they ride the SAME int64
+	// kernels through the §3.4 order-preserving float↔int key mapping
+	// (max/min) or the exact integral path (sum) — see wirefloat.go.
+	Elem string `json:"elem,omitempty"`
 	// TimeoutMS, when positive, is the request's deadline in
 	// milliseconds from server receipt: the server drops the request
 	// unexecuted (code "deadline") if it cannot reach a kernel pass in
@@ -47,14 +153,20 @@ type WireRequest struct {
 	// fair pick; empty means the connection's remote address, so one
 	// connection is one fairness domain by default.
 	Tenant string `json:"tenant,omitempty"`
-	// Data is the input vector.
-	Data []int64 `json:"data"`
+	// Data is the input vector for int64 requests.
+	Data Int64Vec `json:"data"`
+	// FData is the input vector for Elem == "float64" requests. NaN has
+	// no position in the float order and is rejected with bad_request.
+	FData FloatVec `json:"fdata,omitempty"`
 }
 
 // WireResponse is one scan result (or error) on the wire.
 type WireResponse struct {
-	ID     uint64  `json:"id"`
-	Result []int64 `json:"result,omitempty"`
+	ID     uint64   `json:"id"`
+	Result Int64Vec `json:"result,omitempty"`
+	// FResult is the result vector of an Elem == "float64" request,
+	// mapped back from the int64 kernel domain.
+	FResult FloatVec `json:"fresult,omitempty"`
 	// Total is set on a stream_close acknowledgement: the fold of every
 	// element the stream carried (a pointer so a legitimate zero total
 	// survives omitempty).
@@ -102,6 +214,12 @@ const (
 	// CodeStreamUnsupported: stream_open for a backward spec — the
 	// carry would depend on chunks not yet arrived. Not retryable.
 	CodeStreamUnsupported = "stream_unsupported"
+	// CodeShardFailed: a cluster coordinator could not complete one of
+	// the request's shards within its per-shard retry budget (worker
+	// deaths, sustained worker overload, or no healthy workers). Only
+	// this request failed; the coordinator survived. Retryable — the
+	// fleet may have healed by the next attempt.
+	CodeShardFailed = "shard_failed"
 )
 
 // codeForError classifies a server-side error into a wire code. The
@@ -115,6 +233,8 @@ func codeForError(err error) string {
 		return CodeNoStream
 	case errors.Is(err, ErrStreamFailed):
 		return CodeStreamFailed
+	case errors.Is(err, ErrShardFailed):
+		return CodeShardFailed
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
 	case errors.Is(err, ErrOverloaded):
@@ -153,6 +273,8 @@ func errorForCode(code, msg string) error {
 		sentinel = ErrStreamFailed
 	case CodeStreamUnsupported:
 		sentinel = ErrStreamUnsupported
+	case CodeShardFailed:
+		sentinel = ErrShardFailed
 	case CodeDeadline:
 		sentinel = context.DeadlineExceeded
 	default:

@@ -1,0 +1,72 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestInt64VecCodec: the fast array codec round-trips any vector, and
+// the fallback accepts standard-JSON forms the fast path rejects.
+func TestInt64VecCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 500; trial++ {
+		n := rng.Intn(200)
+		v := make(Int64Vec, n)
+		for i := range v {
+			v[i] = rng.Int63() - rng.Int63()
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Int64Vec
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %q: %v", b, err)
+		}
+		if !reflect.DeepEqual([]int64(back), []int64(v)) {
+			t.Fatalf("round trip: %v != %v", back, v)
+		}
+	}
+
+	// Extremes round-trip through the fast path.
+	edge := Int64Vec{math.MinInt64, math.MaxInt64, 0, -1, 1}
+	b, _ := json.Marshal(edge)
+	var back Int64Vec
+	if err := json.Unmarshal(b, &back); err != nil || !reflect.DeepEqual([]int64(back), []int64(edge)) {
+		t.Fatalf("edge round trip %q -> %v (%v)", b, back, err)
+	}
+
+	// Standard-JSON forms the fast path rejects must still decode via
+	// the fallback (non-Go clients may send them).
+	fallback := map[string][]int64{
+		`[ 1 , 2 ]`: {1, 2},
+		`null`:      nil,
+	}
+	for in, want := range fallback {
+		var v Int64Vec
+		if err := json.Unmarshal([]byte(in), &v); err != nil {
+			t.Fatalf("fallback %q: %v", in, err)
+		}
+		if !reflect.DeepEqual([]int64(v), want) {
+			t.Fatalf("fallback %q = %v, want %v", in, v, want)
+		}
+	}
+
+	// Garbage still errors.
+	for _, in := range []string{`[1,2,"x"]`, `{"a":1}`, `[1,2,3.5]`, `[1e2]`} {
+		var v Int64Vec
+		if err := json.Unmarshal([]byte(in), &v); err == nil {
+			t.Fatalf("unmarshal %q unexpectedly succeeded: %v", in, v)
+		}
+	}
+
+	// Overflow falls back and is rejected there too (out of int64
+	// range), not silently wrapped by the fast path.
+	var v Int64Vec
+	if err := json.Unmarshal([]byte(`[9223372036854775808]`), &v); err == nil {
+		t.Fatalf("overflowing element unexpectedly accepted: %v", v)
+	}
+}

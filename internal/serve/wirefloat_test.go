@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"scans/internal/scan"
+)
+
+// TestFloatKeyRoundTrip: the §3.4 order-preserving bijection survives a
+// round trip for every finite float, and preserves order across random
+// pairs — the property that lets max/min ride the int64 kernels.
+func TestFloatKeyRoundTrip(t *testing.T) {
+	specials := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+		math.Inf(1), math.Inf(-1),
+		math.MaxFloat64, -math.MaxFloat64,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		2.2250738585072014e-308, // smallest normal
+	}
+	rng := rand.New(rand.NewSource(7))
+	vals := append([]float64{}, specials...)
+	for i := 0; i < 5000; i++ {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) {
+			continue
+		}
+		vals = append(vals, f)
+	}
+	for _, f := range vals {
+		k := scan.FloatOrderKey(f)
+		back := scan.FloatFromOrderKey(k)
+		// -0 and +0 share a total-order position either way; compare bits
+		// for everything else.
+		if back != f && !(f == 0 && back == 0) {
+			t.Fatalf("round trip %v -> %d -> %v", f, k, back)
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := vals[rng.Intn(len(vals))], vals[rng.Intn(len(vals))]
+		ka, kb := scan.FloatOrderKey(a), scan.FloatOrderKey(b)
+		if (a < b) != (ka < kb) && a != b {
+			t.Fatalf("order not preserved: %v vs %v -> %d vs %d", a, b, ka, kb)
+		}
+	}
+}
+
+// TestScanFloatsGolden drives float64 scans through the real TCP front
+// end and pins results against hand-computed vectors, including the
+// exclusive-head identity (∓Inf) and ±Inf inputs.
+func TestScanFloatsGolden(t *testing.T) {
+	ns := startNet(t, Config{})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+
+	cases := []struct {
+		name          string
+		op, kind, dir string
+		in, want      []float64
+	}{
+		{"max inclusive", "max", "inclusive", "", []float64{1.5, -2, 7.25, 3}, []float64{1.5, 1.5, 7.25, 7.25}},
+		{"max exclusive identity head", "max", "exclusive", "", []float64{1.5, -2, 7.25}, []float64{math.Inf(-1), 1.5, 1.5}},
+		{"min exclusive identity head", "min", "exclusive", "", []float64{1.5, -2, 7.25}, []float64{math.Inf(1), 1.5, -2}},
+		{"min inclusive with -Inf", "min", "inclusive", "", []float64{3, math.Inf(-1), 5}, []float64{3, math.Inf(-1), math.Inf(-1)}},
+		{"max inclusive with +Inf", "max", "inclusive", "", []float64{3, math.Inf(1), 5}, []float64{3, math.Inf(1), math.Inf(1)}},
+		{"max backward", "max", "inclusive", "backward", []float64{1, 9.5, 2}, []float64{9.5, 9.5, 2}},
+		{"sum inclusive exact ints", "sum", "inclusive", "", []float64{1, -2, 4, 1 << 40}, []float64{1, -1, 3, 3 + (1 << 40)}},
+		{"sum exclusive", "sum", "exclusive", "", []float64{5, 7}, []float64{0, 5}},
+		{"min over negatives and -0", "min", "inclusive", "", []float64{math.Copysign(0, -1), 0.25, -0.25}, []float64{math.Copysign(0, -1), math.Copysign(0, -1), -0.25}},
+	}
+	for _, tc := range cases {
+		got, err := c.ScanFloats(ctx, tc.op, tc.kind, tc.dir, tc.in)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, tc.want) {
+			t.Fatalf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+
+	// Random max/min agreement with a serial float reference.
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		in := make([]float64, n)
+		for i := range in {
+			in[i] = math.Float64frombits(rng.Uint64())
+			if math.IsNaN(in[i]) {
+				in[i] = 0
+			}
+		}
+		got, err := c.ScanFloats(ctx, "max", "inclusive", "", in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		run := math.Inf(-1)
+		for i, f := range in {
+			run = math.Max(run, f)
+			if got[i] != run {
+				t.Fatalf("trial %d elem %d: got %v want %v", trial, i, got[i], run)
+			}
+		}
+	}
+}
+
+// TestScanFloatsRejections: inputs outside the exactness contract come
+// back as bad_request, both via floatKeys directly and over the wire.
+func TestScanFloatsRejections(t *testing.T) {
+	direct := []struct {
+		name string
+		op   Op
+		in   []float64
+	}{
+		{"NaN max", OpMax, []float64{1, math.NaN()}},
+		{"NaN min", OpMin, []float64{math.NaN()}},
+		{"NaN sum", OpSum, []float64{math.NaN()}},
+		{"fractional sum", OpSum, []float64{1.5}},
+		{"sum above 2^53", OpSum, []float64{float64(maxExactFloatInt) * 2}},
+		{"sum +Inf", OpSum, []float64{math.Inf(1)}},
+		{"sum -Inf", OpSum, []float64{math.Inf(-1)}},
+		{"mul has no mapping", OpMul, []float64{1, 1}},
+	}
+	for _, tc := range direct {
+		if _, err := floatKeys(tc.op, tc.in); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("%s: err = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	// Boundary: exactly ±2^53 is representable and accepted.
+	if _, err := floatKeys(OpSum, []float64{maxExactFloatInt, -maxExactFloatInt}); err != nil {
+		t.Fatalf("±2^53 should be accepted: %v", err)
+	}
+
+	ns := startNet(t, Config{})
+	c, err := Dial(ns.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	wire := []struct {
+		name, op string
+		in       []float64
+	}{
+		{"wire fractional sum", "sum", []float64{0.5}},
+		{"wire NaN max", "max", []float64{math.NaN()}},
+		{"wire mul", "mul", []float64{1}},
+	}
+	for _, tc := range wire {
+		if _, err := c.ScanFloats(ctx, tc.op, "inclusive", "", tc.in); !errors.Is(err, ErrBadRequest) {
+			t.Fatalf("%s: err = %v, want ErrBadRequest", tc.name, err)
+		}
+	}
+	// A bad-request float scan must not poison the connection.
+	if got, err := c.ScanFloats(ctx, "sum", "inclusive", "", []float64{1, 2}); err != nil || got[1] != 3 {
+		t.Fatalf("follow-up scan after rejection: %v %v", got, err)
+	}
+}

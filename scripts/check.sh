@@ -18,10 +18,19 @@ go test -race ./...
 echo "== chaos soak (short, -race)"
 go test -race -short -count=1 -run '^TestChaosSoak$' ./internal/serve/
 
+echo "== cluster chaos soak (short, -race)"
+# Fails on any lost/corrupted scan or a coordinator ledger imbalance
+# (requests != served + shard_failed + deadline) — the test asserts
+# both after the drain.
+go test -race -short -count=1 -run '^TestClusterChaosSoak$' ./internal/cluster/
+
 echo "== fuzz burst: FuzzSegmentedAgainstDirect (10s)"
 go test -fuzz='^FuzzSegmentedAgainstDirect$' -fuzztime=10s -run '^$' ./internal/scan/
 
 echo "== fuzz burst: FuzzStreamedScanMatchesOneShot (10s)"
 go test -fuzz='^FuzzStreamedScanMatchesOneShot$' -fuzztime=10s -run '^$' ./internal/serve/
+
+echo "== fuzz burst: FuzzShardedScanMatchesSingleNode (10s)"
+go test -fuzz='^FuzzShardedScanMatchesSingleNode$' -fuzztime=10s -run '^$' ./internal/cluster/
 
 echo "check.sh: all green"
