@@ -32,15 +32,19 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scans/internal/arena"
 	"scans/internal/cluster"
 	"scans/internal/serve"
 )
@@ -94,6 +98,126 @@ func (o *outcomes) String() string {
 		o.internal.Load(), o.badReq.Load(), o.shardFailed.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
 }
 
+// counts renders the tallies as a map for the -bench-json report.
+func (o *outcomes) counts() map[string]uint64 {
+	return map[string]uint64{
+		"success": o.success.Load(), "overloaded": o.overloaded.Load(),
+		"shed": o.shed.Load(), "deadline": o.deadline.Load(),
+		"internal": o.internal.Load(), "bad_request": o.badReq.Load(),
+		"shard_failed": o.shardFailed.Load(), "lost": o.lost.Load(),
+		"retries": o.retries.Load(), "redials": o.redials.Load(),
+	}
+}
+
+// latRec collects per-request end-to-end latencies across all client
+// goroutines for the -bench-json percentile report.
+type latRec struct {
+	mu sync.Mutex
+	ds []time.Duration
+}
+
+var benchLat latRec
+
+func (l *latRec) add(d time.Duration) {
+	l.mu.Lock()
+	l.ds = append(l.ds, d)
+	l.mu.Unlock()
+}
+
+// percentiles returns the p-th percentile latencies in milliseconds.
+func (l *latRec) percentiles(ps ...int) []float64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]float64, len(ps))
+	if len(l.ds) == 0 {
+		return out
+	}
+	sort.Slice(l.ds, func(i, j int) bool { return l.ds[i] < l.ds[j] })
+	for i, p := range ps {
+		idx := len(l.ds) * p / 100
+		if idx >= len(l.ds) {
+			idx = len(l.ds) - 1
+		}
+		out[i] = float64(l.ds[idx]) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// benchReport is the BENCH_serve.json schema: one measured load phase —
+// throughput, latency percentiles, per-request allocation cost from
+// runtime.MemStats deltas (whole process: clients AND server), the
+// outcome tallies, and the arena gauges showing what the pools
+// absorbed. EXPERIMENTS.md documents the fields.
+type benchReport struct {
+	Mode             string            `json:"mode"`
+	Requests         int               `json:"requests"`
+	Clients          int               `json:"clients"`
+	ElemsPerRequest  int               `json:"elems_per_request"`
+	ElapsedSeconds   float64           `json:"elapsed_seconds"`
+	RequestsPerSec   float64           `json:"requests_per_sec"`
+	ElemsPerSec      float64           `json:"elems_per_sec"`
+	P50LatencyMs     float64           `json:"p50_latency_ms"`
+	P99LatencyMs     float64           `json:"p99_latency_ms"`
+	AllocsPerRequest float64           `json:"allocs_per_request"`
+	AllocBytesPerReq float64           `json:"alloc_bytes_per_request"`
+	ArenaBytesPooled uint64            `json:"arena_bytes_pooled"`
+	ArenaMisses      uint64            `json:"arena_misses"`
+	FusionSpeedup    float64           `json:"fusion_speedup,omitempty"`
+	Outcomes         map[string]uint64 `json:"outcomes"`
+}
+
+// memSnap snapshots the allocator after a GC settles the heap, so two
+// snapshots bracket a phase's true allocation traffic.
+func memSnap() runtime.MemStats {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	return m
+}
+
+func (r *benchReport) fillMem(m0, m1 runtime.MemStats, requests int) {
+	r.AllocsPerRequest = float64(m1.Mallocs-m0.Mallocs) / float64(requests)
+	r.AllocBytesPerReq = float64(m1.TotalAlloc-m0.TotalAlloc) / float64(requests)
+	ac := arena.Stats()
+	r.ArenaBytesPooled = ac.BytesPooled
+	r.ArenaMisses = ac.Misses
+}
+
+// benchPhase assembles one measured phase's report from the latency
+// recorder, the pre-phase allocator snapshot, and the outcome tallies.
+func benchPhase(mode string, clients, requests, n int, elapsed time.Duration, m0 runtime.MemStats, out *outcomes) benchReport {
+	var m1 runtime.MemStats
+	runtime.ReadMemStats(&m1)
+	ps := benchLat.percentiles(50, 99)
+	rps := float64(requests) / elapsed.Seconds()
+	r := benchReport{
+		Mode:            mode,
+		Requests:        requests,
+		Clients:         clients,
+		ElemsPerRequest: n,
+		ElapsedSeconds:  elapsed.Seconds(),
+		RequestsPerSec:  rps,
+		ElemsPerSec:     rps * float64(n),
+		P50LatencyMs:    ps[0],
+		P99LatencyMs:    ps[1],
+		Outcomes:        out.counts(),
+	}
+	r.fillMem(m0, m1, requests)
+	return r
+}
+
+func writeBenchJSON(path string, r benchReport) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err == nil {
+		err = os.WriteFile(path, append(b, '\n'), 0o644)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scanload: -bench-json:", err)
+		os.Exit(1)
+	}
+	fmt.Println("bench report written to", path)
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "", "scansd address; empty = benchmark the in-process server fused vs unfused")
@@ -108,7 +232,8 @@ func main() {
 		attempts = flag.Int("retries", 4, "retry budget per request (total attempts)")
 		stream   = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
 		chunk    = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
-		workersN = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
+		workersN  = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
+		benchPath = flag.String("bench-json", "", "write a machine-readable bench report (throughput, p50/p99 latency, outcome counts, allocs/request) to this path")
 	)
 	flag.Parse()
 	if *chunk <= 0 {
@@ -130,10 +255,15 @@ func main() {
 		var out outcomes
 		fmt.Printf("cluster: %d workers, %d clients × %d-element %s scans, %d requests total\n",
 			*workersN, *clients, *n, spec, *requests)
+		m0 := memSnap()
 		elapsed, cst, err := driveCluster(*workersN, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
+		}
+		if *benchPath != "" {
+			writeBenchJSON(*benchPath, benchPhase(fmt.Sprintf("cluster-%dw", *workersN),
+				*clients, *requests, *n, elapsed, m0, &out))
 		}
 		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
 		fmt.Println("  ", cst)
@@ -147,6 +277,7 @@ func main() {
 
 	if *addr != "" {
 		var out outcomes
+		m0 := memSnap()
 		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
@@ -155,6 +286,9 @@ func main() {
 		label := "remote " + *addr
 		if *stream {
 			label += " (streamed)"
+		}
+		if *benchPath != "" {
+			writeBenchJSON(*benchPath, benchPhase(label, *clients, *requests, *n, elapsed, m0, &out))
 		}
 		report(label, *requests, *n, elapsed)
 		fmt.Println("  ", out.String())
@@ -176,7 +310,11 @@ func main() {
 	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total%s\n",
 		*clients, *n, spec, *requests, mode)
 	var outFused, outUnfused outcomes
+	m0 := memSnap()
 	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
+	// The bench report covers the fused phase only (the production
+	// config); the unfused phase below exists to price fusion.
+	rep := benchPhase("in-process-fused", *clients, *requests, *n, tFused, m0, &outFused)
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
 	fmt.Println("  ", outFused.String())
@@ -185,6 +323,10 @@ func main() {
 	fmt.Println("  ", stUnfused)
 	fmt.Println("  ", outUnfused.String())
 	fmt.Printf("fusion speedup: %.2fx\n", float64(tUnfused)/float64(tFused))
+	if *benchPath != "" {
+		rep.FusionSpeedup = float64(tUnfused) / float64(tFused)
+		writeBenchJSON(*benchPath, rep)
+	}
 	if lost := outFused.lost.Load() + outUnfused.lost.Load(); lost > 0 {
 		fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
 		os.Exit(1)
@@ -204,6 +346,7 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
+				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
 					cancel := context.CancelFunc(func() {})
@@ -212,7 +355,8 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 					}
 					defer cancel()
 					if !stream || len(data) <= chunk {
-						_, err := srv.SubmitCtx(ctx, spec, data)
+						res, err := srv.SubmitCtx(ctx, spec, data)
+						releaseResult(res)
 						return err
 					}
 					st, err := srv.OpenStream(spec, "")
@@ -221,13 +365,16 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 					}
 					for off := 0; off < len(data); off += chunk {
 						end := min(off+chunk, len(data))
-						if _, err := st.Push(ctx, data[off:end]); err != nil {
+						res, err := st.Push(ctx, data[off:end])
+						releaseResult(res)
+						if err != nil {
 							return err
 						}
 					}
 					_, err = st.Close()
 					return err
 				})
+				benchLat.add(time.Since(t0))
 				out.retries.Add(uint64(attempts - 1))
 				out.record(err)
 			}
@@ -269,6 +416,7 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
+				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
 					cancel := context.CancelFunc(func() {})
@@ -276,14 +424,16 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 						ctx, cancel = context.WithTimeout(ctx, timeout)
 					}
 					defer cancel()
+					var res []int64
 					var err error
 					if stream {
 						// A retried StreamScan opens a fresh session, so
 						// retrying a failed stream is safe end to end.
-						_, err = conns[c].StreamScan(ctx, op, kind, dir, data, chunk)
+						res, err = conns[c].StreamScan(ctx, op, kind, dir, data, chunk)
 					} else {
-						_, err = conns[c].ScanCtx(ctx, op, kind, dir, data)
+						res, err = conns[c].ScanCtx(ctx, op, kind, dir, data)
 					}
+					releaseResult(res)
 					if err != nil && !policy.Retryable(err) {
 						return err
 					}
@@ -298,6 +448,7 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 					}
 					return err
 				})
+				benchLat.add(time.Since(t0))
 				out.retries.Add(uint64(attempts - 1))
 				out.record(err)
 			}
@@ -305,6 +456,16 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 	}
 	wg.Wait()
 	return time.Since(start), nil
+}
+
+// releaseResult returns a scan result to the arena. Every non-empty
+// result from serve/cluster — in-process or decoded off the wire — is
+// arena-backed and owned by the caller; a load generator that never
+// recycled them would starve the pools and overstate allocation cost.
+func releaseResult(res []int64) {
+	if len(res) > 0 {
+		arena.PutInt64s(res)
+	}
 }
 
 // isConnError reports whether err is a connection-level failure rather
@@ -361,6 +522,7 @@ func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
 			data := randomData(int64(c), n)
 			tenant := fmt.Sprintf("client-%d", c)
 			for i := 0; i < requests/clients; i++ {
+				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
 					cancel := context.CancelFunc(func() {})
@@ -369,7 +531,8 @@ func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
 					}
 					defer cancel()
 					if !stream || len(data) <= chunk {
-						_, err := coord.Scan(ctx, spec, data, tenant)
+						res, err := coord.Scan(ctx, spec, data, tenant)
+						releaseResult(res)
 						return err
 					}
 					st, err := coord.OpenScanStream(spec, tenant)
@@ -378,13 +541,16 @@ func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
 					}
 					for off := 0; off < len(data); off += chunk {
 						end := min(off+chunk, len(data))
-						if _, err := st.Push(ctx, data[off:end]); err != nil {
+						res, err := st.Push(ctx, data[off:end])
+						releaseResult(res)
+						if err != nil {
 							return err
 						}
 					}
 					_, err = st.Close()
 					return err
 				})
+				benchLat.add(time.Since(t0))
 				out.retries.Add(uint64(attempts - 1))
 				out.record(err)
 			}

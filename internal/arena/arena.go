@@ -1,0 +1,144 @@
+// Package arena provides size-classed, sync.Pool-backed buffers for the
+// serving hot path. The zero-copy pipeline (wire decode → kernel pass →
+// response encode) recycles every transient []int64 and []byte through
+// this package, so a steady-state request allocates nothing: buffers
+// circulate between the pools and the connection handlers.
+//
+// Ownership protocol (see DESIGN.md "Arena ownership"): every Get must
+// be paired with exactly one Put of the SAME slice (any length, but the
+// original backing array — do not re-slice the base away), and nothing
+// may touch a buffer after putting it. A leak-checking ledger counts
+// gets and puts globally; chaos tests assert they balance, which is how
+// buffer leaks through panic/deadline/shed paths are caught.
+//
+// Buffers are pooled in power-of-two element-count classes from 1<<minBits
+// up to 1<<maxBits; larger requests fall through to plain make (counted
+// as a get+miss, and their Put is counted then dropped, so the ledger
+// stays balanced without pinning huge buffers in memory).
+package arena
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+const (
+	minBits = 6  // smallest pooled class: 64 elements
+	maxBits = 22 // largest pooled class: 4Mi elements
+	classes = maxBits - minBits + 1
+)
+
+// ledger is the global leak-checking ledger.
+var ledger struct {
+	gets        atomic.Uint64
+	puts        atomic.Uint64
+	misses      atomic.Uint64
+	bytesPooled atomic.Uint64
+}
+
+// Counters is a snapshot of the arena ledger.
+type Counters struct {
+	// Gets and Puts count buffer checkouts and returns; they are equal
+	// exactly when no checked-out buffer is outstanding.
+	Gets, Puts uint64
+	// Misses counts gets served by a fresh allocation (cold pool or
+	// over-max size) rather than a recycled buffer.
+	Misses uint64
+	// BytesPooled totals the payload bytes served from recycled
+	// buffers — the allocation traffic the arena absorbed.
+	BytesPooled uint64
+}
+
+// Stats returns the current ledger counters.
+func Stats() Counters {
+	return Counters{
+		Gets:        ledger.gets.Load(),
+		Puts:        ledger.puts.Load(),
+		Misses:      ledger.misses.Load(),
+		BytesPooled: ledger.bytesPooled.Load(),
+	}
+}
+
+// pools holds one sync.Pool per size class plus a pool of recycled
+// slice headers: Put boxes the slice into a *[]T to store it, and
+// reusing those headers keeps the steady-state Get/Put cycle itself
+// allocation-free.
+type pools[T any] struct {
+	classes [classes]sync.Pool
+	headers sync.Pool
+}
+
+var (
+	int64Pools pools[int64]
+	bytePools  pools[byte]
+)
+
+// classFor returns the class index whose buffers hold at least n
+// elements. n must be in (0, 1<<maxBits].
+func classFor(n int) int {
+	b := bits.Len(uint(n - 1))
+	if b < minBits {
+		return 0
+	}
+	return b - minBits
+}
+
+// get returns a buffer of length n (capacity = class size), elemSize is
+// for the bytes-pooled accounting.
+func (p *pools[T]) get(n, elemSize int) []T {
+	if n <= 0 {
+		return nil
+	}
+	ledger.gets.Add(1)
+	if n > 1<<maxBits {
+		ledger.misses.Add(1)
+		return make([]T, n)
+	}
+	c := classFor(n)
+	if hp, _ := p.classes[c].Get().(*[]T); hp != nil {
+		s := *hp
+		*hp = nil
+		p.headers.Put(hp)
+		ledger.bytesPooled.Add(uint64(n) * uint64(elemSize))
+		return s[:n]
+	}
+	ledger.misses.Add(1)
+	return make([]T, n, 1<<(classFor(n)+minBits))
+}
+
+// put returns a buffer obtained from get. Foreign or over-max buffers
+// are counted and dropped (the GC takes them); class-sized ones are
+// recycled.
+func (p *pools[T]) put(s []T) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	ledger.puts.Add(1)
+	if c < 1<<minBits || c > 1<<maxBits || c&(c-1) != 0 {
+		return
+	}
+	hp, _ := p.headers.Get().(*[]T)
+	if hp == nil {
+		hp = new([]T)
+	}
+	*hp = s[:c]
+	p.classes[classFor(c)].Put(hp)
+}
+
+// GetInt64s returns an int64 buffer of length n (n <= 0 returns nil,
+// uncounted). The capacity may exceed n; callers must not assume
+// cap == len.
+func GetInt64s(n int) []int64 { return int64Pools.get(n, 8) }
+
+// PutInt64s returns a buffer obtained from GetInt64s to its pool. The
+// caller must not touch the buffer afterwards. Safe only for buffers
+// that came from GetInt64s (the ledger counts every put).
+func PutInt64s(s []int64) { int64Pools.put(s) }
+
+// GetBytes returns a byte buffer of length n (n <= 0 returns nil).
+func GetBytes(n int) []byte { return bytePools.get(n, 1) }
+
+// PutBytes returns a buffer obtained from GetBytes to its pool.
+func PutBytes(s []byte) { bytePools.put(s) }

@@ -1,0 +1,132 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+)
+
+// delta runs f and returns the ledger movement it caused.
+func delta(f func()) Counters {
+	before := Stats()
+	f()
+	after := Stats()
+	return Counters{
+		Gets:        after.Gets - before.Gets,
+		Puts:        after.Puts - before.Puts,
+		Misses:      after.Misses - before.Misses,
+		BytesPooled: after.BytesPooled - before.BytesPooled,
+	}
+}
+
+func TestLedgerBalancesAcrossSizes(t *testing.T) {
+	d := delta(func() {
+		for _, n := range []int{1, 63, 64, 65, 1000, 1 << 16, 1<<22 + 1} {
+			s := GetInt64s(n)
+			if len(s) != n {
+				t.Fatalf("GetInt64s(%d): len %d", n, len(s))
+			}
+			PutInt64s(s)
+			b := GetBytes(n)
+			if len(b) != n {
+				t.Fatalf("GetBytes(%d): len %d", n, len(b))
+			}
+			PutBytes(b)
+		}
+	})
+	if d.Gets != d.Puts {
+		t.Fatalf("ledger unbalanced: %d gets, %d puts", d.Gets, d.Puts)
+	}
+	if d.Gets != 14 {
+		t.Fatalf("expected 14 gets, got %d", d.Gets)
+	}
+}
+
+func TestZeroAndNegativeUncounted(t *testing.T) {
+	d := delta(func() {
+		if GetInt64s(0) != nil || GetInt64s(-3) != nil || GetBytes(0) != nil {
+			t.Fatal("zero-size get should return nil")
+		}
+		PutInt64s(nil)
+		PutBytes(nil)
+	})
+	if d.Gets != 0 || d.Puts != 0 {
+		t.Fatalf("zero-size ops moved the ledger: %+v", d)
+	}
+}
+
+func TestReuseServesFromPool(t *testing.T) {
+	// A put buffer should come back on the next same-class get. sync.Pool
+	// may drop items under GC pressure, so allow a few attempts.
+	reused := false
+	for attempt := 0; attempt < 10 && !reused; attempt++ {
+		s := GetInt64s(100)
+		s[0] = 42
+		base := &s[0]
+		PutInt64s(s)
+		g := GetInt64s(80) // same class (128)
+		reused = &g[0] == base
+		PutInt64s(g)
+	}
+	if !reused {
+		t.Fatal("pool never served a recycled buffer")
+	}
+}
+
+func TestOversizedRoundTripBalances(t *testing.T) {
+	d := delta(func() {
+		s := GetInt64s(1<<22 + 5)
+		PutInt64s(s) // dropped, but counted
+	})
+	if d.Gets != 1 || d.Puts != 1 || d.Misses != 1 {
+		t.Fatalf("oversized round trip: %+v", d)
+	}
+}
+
+func TestConcurrentChurnBalances(t *testing.T) {
+	d := delta(func() {
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 500; i++ {
+					n := (g*131+i*7)%5000 + 1
+					s := GetInt64s(n)
+					s[n/2] = int64(i)
+					b := GetBytes(n)
+					b[n/2] = byte(i)
+					PutBytes(b)
+					PutInt64s(s)
+				}
+			}(g)
+		}
+		wg.Wait()
+	})
+	if d.Gets != d.Puts {
+		t.Fatalf("ledger unbalanced under churn: %d gets, %d puts", d.Gets, d.Puts)
+	}
+	if d.Gets != 8000 {
+		t.Fatalf("expected 8000 gets, got %d", d.Gets)
+	}
+}
+
+// TestSteadyStateAllocFree pins the header-recycling trick: once warm,
+// a Get/Put cycle performs zero heap allocations.
+func TestSteadyStateAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-mode sync.Pool drops puts; alloc-free steady state cannot hold")
+	}
+	for i := 0; i < 32; i++ { // warm the class and header pools
+		PutInt64s(GetInt64s(256))
+		PutBytes(GetBytes(256))
+	}
+	avg := testing.AllocsPerRun(200, func() {
+		s := GetInt64s(256)
+		PutInt64s(s)
+		b := GetBytes(256)
+		PutBytes(b)
+	})
+	if avg > 0.1 {
+		t.Fatalf("steady-state Get/Put allocates: %.2f allocs/run", avg)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package arena
+
+// raceEnabled reports that this test binary was built with the race
+// detector, under which sync.Pool deliberately drops a fraction of Puts
+// — allocation-free steady state cannot hold there.
+const raceEnabled = true

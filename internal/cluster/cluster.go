@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scans/internal/arena"
 	"scans/internal/fault"
 	"scans/internal/serve"
 )
@@ -261,8 +262,10 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 	// All pieces are pre-seeded, so they dispatch CONCURRENTLY — the
 	// carry chain cost was paid locally above, in parallel piece folds
 	// plus a chain as long as the piece count (the paper's "scan of the
-	// block sums", tiny by construction).
-	out := make([]int64, n)
+	// block sums", tiny by construction). The assembled result is an
+	// arena buffer (owned by the caller; the TCP front end returns it
+	// after encoding) and each piece copies its window in place.
+	out := arena.GetInt64s(n)
 	dctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	var (
@@ -275,16 +278,14 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := c.runPiece(dctx, spec, data, pc, tenant)
-			if err != nil {
+			if err := c.runPiece(dctx, spec, data, out[pc.off:pc.end], pc, tenant); err != nil {
 				once.Do(func() { firstErr = err; cancel() })
-				return
 			}
-			copy(out[pc.off:pc.end], res)
 		}()
 	}
 	wg.Wait()
 	if firstErr != nil {
+		arena.PutInt64s(out)
 		return nil, firstErr
 	}
 	return out, nil
@@ -292,17 +293,24 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 
 // runPiece executes one piece to completion: build the (possibly
 // phantom-seeded) payload, retry under the policy — preferring a
-// different healthy worker after the first failure — and strip the
-// phantom position from the response.
-func (c *Coordinator) runPiece(ctx context.Context, spec serve.Spec, data []int64, pc *piece, tenant string) ([]int64, error) {
+// different healthy worker after the first failure — and copy the
+// response (minus the phantom position) into dst, the piece's window
+// of the caller's output buffer. Both the seeded payload and the
+// decoded response live in arena buffers that circulate back here; the
+// raw response is copied rather than trimmed in place because res[1:]
+// would lose the Put-able base pointer.
+func (c *Coordinator) runPiece(ctx context.Context, spec serve.Spec, data []int64, dst []int64, pc *piece, tenant string) error {
 	seg := data[pc.off:pc.end]
 	payload := seg
 	if pc.seeded {
-		payload = make([]int64, 0, len(seg)+1)
+		payload = arena.GetInt64s(len(seg) + 1)
+		defer arena.PutInt64s(payload)
 		if spec.Dir == serve.Forward {
-			payload = append(append(payload, pc.seed), seg...)
+			payload[0] = pc.seed
+			copy(payload[1:], seg)
 		} else {
-			payload = append(append(payload, seg...), pc.seed)
+			copy(payload, seg)
+			payload[len(seg)] = pc.seed
 		}
 	}
 	var (
@@ -328,25 +336,29 @@ func (c *Coordinator) runPiece(ctx context.Context, spec serve.Spec, data []int6
 		c.stats.retries.Add(uint64(attempts - 1))
 	}
 	if err != nil {
-		return nil, fmt.Errorf("piece [%d:%d) of %s via %s failed after %d attempts: %w",
+		return fmt.Errorf("piece [%d:%d) of %s via %s failed after %d attempts: %w",
 			pc.off, pc.end, spec, pc.w.addr, attempts, err)
+	}
+	if len(res) > 0 {
+		defer arena.PutInt64s(res)
 	}
 	want := len(seg)
 	if pc.seeded {
 		want++
 	}
 	if len(res) != want {
-		return nil, fmt.Errorf("%w: worker returned %d elements for a %d-element piece",
+		return fmt.Errorf("%w: worker returned %d elements for a %d-element piece",
 			serve.ErrInternal, len(res), want)
 	}
-	if pc.seeded {
-		if spec.Dir == serve.Forward {
-			res = res[1:] // drop the phantom head's output
-		} else {
-			res = res[:len(res)-1] // drop the phantom tail's output
-		}
+	switch {
+	case pc.seeded && spec.Dir == serve.Forward:
+		copy(dst, res[1:]) // drop the phantom head's output
+	case pc.seeded:
+		copy(dst, res[:len(res)-1]) // drop the phantom tail's output
+	default:
+		copy(dst, res)
 	}
-	return res, nil
+	return nil
 }
 
 // attemptHedged runs one attempt, racing a duplicate on a second
@@ -382,6 +394,17 @@ func (c *Coordinator) attemptHedged(ctx context.Context, spec serve.Spec, payloa
 			if r.err == nil {
 				if r.hedge {
 					c.stats.hedgeWins.Add(1)
+				}
+				// Reel the loser in BEFORE returning: its round trip is
+				// still reading payload, which the caller recycles the
+				// moment we return — and a duplicate success carries an
+				// arena-backed result that must circulate, not leak.
+				cancel()
+				for ; inflight > 0; inflight-- {
+					lr := <-ch
+					if lr.err == nil && len(lr.res) > 0 {
+						arena.PutInt64s(lr.res)
+					}
 				}
 				return r.res, nil
 			}

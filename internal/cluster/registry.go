@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scans/internal/arena"
 	"scans/internal/serve"
 )
 
@@ -180,7 +181,10 @@ func (r *registry) probe(w *worker) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), r.probeTimeout)
 	defer cancel()
-	_, err = cli.ScanCtx(ctx, "sum", "", "", []int64{0})
+	res, err := cli.ScanCtx(ctx, "sum", "", "", []int64{0})
+	if len(res) > 0 {
+		arena.PutInt64s(res) // probe results are arena-backed and discarded
+	}
 	if err != nil && (connLevel(err) || ctx.Err() != nil) {
 		w.dropConn(cli)
 		return

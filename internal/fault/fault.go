@@ -54,6 +54,13 @@ const (
 	// ClusterWorkerDrop kills the coordinator's connection to a worker
 	// while a shard is in flight, simulating a worker dying mid-scan.
 	ClusterWorkerDrop = "cluster.worker.drop"
+	// ClockSkew perturbs the serving layer's deadline clock: an admitted
+	// request's enqueue timestamp is aged backward by the armed duration,
+	// as if the submitting machine's clock had jumped. Queue-age shedding
+	// then sees an ancient request and must fail it typed (ErrShed)
+	// rather than misbehave — the fault checks that time-based policies
+	// degrade cleanly under clock trouble.
+	ClockSkew = "clock.skew"
 )
 
 // Set is an independent collection of fault points sharing one seeded
@@ -233,6 +240,17 @@ func (p *Point) Sleep() bool {
 		time.Sleep(d)
 	}
 	return true
+}
+
+// Delay fires the point and, when it fires, returns the armed duration
+// WITHOUT sleeping — for faults that feed the duration into time math
+// (e.g. fault.ClockSkew skewing a timestamp) instead of stalling the
+// caller. Returns 0 when the point does not fire (or is nil/disarmed).
+func (p *Point) Delay() time.Duration {
+	if !p.Fire() {
+		return 0
+	}
+	return time.Duration(p.delayNs.Load())
 }
 
 // Fires returns how many times this point has fired.

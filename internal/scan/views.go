@@ -1,0 +1,379 @@
+package scan
+
+// View-based segmented scans: the gather-free form of the segmented
+// kernels. A fused batch is a list of Views — each one request's
+// payload, living in its own (request-owned) buffer — and each view is
+// one segment. The kernels below run the same three-phase blocked pass
+// as SegExclusiveParallel and friends directly over the views'
+// concatenated index space: block boundaries may fall anywhere
+// (including mid-view), per-block summaries combine under the
+// segmented-pair monoid, and the serial scan of the p summaries
+// stitches blocks exactly like Figure 10's block sums. No flat src/flags
+// vectors are ever materialized, which is what makes the serving path
+// zero-copy (see internal/serve/batch.go).
+//
+// A seeded view continues a running prefix (a stream chunk's carry, or
+// a cluster shard's locally-computed seed): its accumulation starts
+// from Carry instead of the identity, at the head for forward scans and
+// at the tail for backward scans. This is algebraically identical to
+// the phantom-element injection the flat path used — an exclusive scan
+// of [c, a0, a1, ...] restarted at the head yields [id, c, c⊕a0, ...],
+// whose payload slots are exactly the exclusive scan of [a0, a1, ...]
+// seeded with c — but costs no extra slot.
+//
+// Zero-length views contribute no elements and no segment boundary;
+// they are skipped entirely.
+
+// View describes one segment of a fused batch: dst receives the scan of
+// src (they may alias each other, but must not overlap any other
+// view's buffers), and Carry seeds the accumulation when Seeded is set.
+type View[T any] struct {
+	Dst, Src []T
+	Carry    T
+	Seeded   bool
+}
+
+// seed returns the accumulator a view's segment starts from.
+func viewSeed[T any, O Op[T]](op O, vw *View[T]) T {
+	if vw.Seeded {
+		return vw.Carry
+	}
+	return op.Identity()
+}
+
+// viewsTotal validates every view (len(Dst) == len(Src)) and returns
+// the total element count across views.
+func viewsTotal[T any](name string, views []View[T]) int {
+	n := 0
+	for i := range views {
+		checkLen(name, len(views[i].Dst), len(views[i].Src))
+		n += len(views[i].Src)
+	}
+	return n
+}
+
+// locateViewStart returns the index vi of the (non-empty) view
+// containing global element g, plus the global index of that view's
+// first element. g must be < the total element count.
+func locateViewStart[T any](views []View[T], g int) (vi, viewStart int) {
+	for g >= viewStart+len(views[vi].Src) {
+		viewStart += len(views[vi].Src)
+		vi++
+	}
+	return vi, viewStart
+}
+
+// SegScanViewsExclusive computes, for each view independently, the
+// exclusive scan of Src into Dst (seeded views start from Carry), using
+// p worker goroutines over the concatenated index space (p <= 0 means
+// GOMAXPROCS). Equivalent to flattening the views into one vector with
+// a segment head per view and running SegExclusiveParallel.
+func SegScanViewsExclusive[T any, O Op[T]](op O, views []View[T], p int) {
+	n := viewsTotal("SegScanViewsExclusive", views)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		for i := range views {
+			vw := &views[i]
+			acc := viewSeed(op, vw)
+			for k, v := range vw.Src {
+				vw.Dst[k] = acc
+				acc = op.Combine(acc, v)
+			}
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segViewCarriesForward(op, views, n, p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, lo)
+		acc := carries[b].v
+		for g := lo; g < hi; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi++
+				continue
+			}
+			s := g - viewStart
+			e := len(vw.Src)
+			if viewStart+e > hi {
+				e = hi - viewStart
+			}
+			if s == 0 {
+				acc = viewSeed(op, vw)
+			}
+			for k := s; k < e; k++ {
+				v := vw.Src[k]
+				vw.Dst[k] = acc
+				acc = op.Combine(acc, v)
+			}
+			g = viewStart + e
+			viewStart += len(vw.Src)
+			vi++
+		}
+	})
+}
+
+// SegScanViewsInclusive is the inclusive form of SegScanViewsExclusive.
+func SegScanViewsInclusive[T any, O Op[T]](op O, views []View[T], p int) {
+	n := viewsTotal("SegScanViewsInclusive", views)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		for i := range views {
+			vw := &views[i]
+			acc := viewSeed(op, vw)
+			for k, v := range vw.Src {
+				acc = op.Combine(acc, v)
+				vw.Dst[k] = acc
+			}
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segViewCarriesForward(op, views, n, p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, lo)
+		acc := carries[b].v
+		for g := lo; g < hi; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi++
+				continue
+			}
+			s := g - viewStart
+			e := len(vw.Src)
+			if viewStart+e > hi {
+				e = hi - viewStart
+			}
+			if s == 0 {
+				acc = viewSeed(op, vw)
+			}
+			for k := s; k < e; k++ {
+				acc = op.Combine(acc, vw.Src[k])
+				vw.Dst[k] = acc
+			}
+			g = viewStart + e
+			viewStart += len(vw.Src)
+			vi++
+		}
+	})
+}
+
+// SegScanViewsExclusiveBackward computes, for each view independently,
+// the backward exclusive scan of Src into Dst: within a view, Dst[i]
+// combines the elements strictly after i, and a seeded view's carry
+// enters at the tail (the phantom-appended-element model of the flat
+// path, without the slot).
+func SegScanViewsExclusiveBackward[T any, O Op[T]](op O, views []View[T], p int) {
+	n := viewsTotal("SegScanViewsExclusiveBackward", views)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		for i := range views {
+			vw := &views[i]
+			acc := viewSeed(op, vw)
+			for k := len(vw.Src) - 1; k >= 0; k-- {
+				v := vw.Src[k]
+				vw.Dst[k] = acc
+				acc = op.Combine(v, acc)
+			}
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segViewCarriesBackward(op, views, n, p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, hi-1)
+		acc := carries[b].v
+		for g := hi; g > lo; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi--
+				viewStart -= len(views[vi].Src)
+				continue
+			}
+			s := lo - viewStart
+			if s < 0 {
+				s = 0
+			}
+			e := g - viewStart
+			if e == len(vw.Src) && vw.Seeded {
+				// Entering the view at its tail: fold the carry in, as
+				// if a phantom element held it just past the last slot.
+				acc = op.Combine(vw.Carry, acc)
+			}
+			for k := e - 1; k >= s; k-- {
+				v := vw.Src[k]
+				vw.Dst[k] = acc
+				acc = op.Combine(v, acc)
+			}
+			if s == 0 {
+				acc = op.Identity()
+			}
+			g = viewStart + s
+			vi--
+			if vi >= 0 {
+				viewStart -= len(views[vi].Src)
+			}
+		}
+	})
+}
+
+// SegScanViewsInclusiveBackward is the inclusive form of
+// SegScanViewsExclusiveBackward.
+func SegScanViewsInclusiveBackward[T any, O Op[T]](op O, views []View[T], p int) {
+	n := viewsTotal("SegScanViewsInclusiveBackward", views)
+	p = Workers(p)
+	if p <= 1 || n < parallelThreshold {
+		for i := range views {
+			vw := &views[i]
+			acc := viewSeed(op, vw)
+			for k := len(vw.Src) - 1; k >= 0; k-- {
+				acc = op.Combine(vw.Src[k], acc)
+				vw.Dst[k] = acc
+			}
+		}
+		return
+	}
+	if p > n {
+		p = n
+	}
+	carries := segViewCarriesBackward(op, views, n, p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, hi-1)
+		acc := carries[b].v
+		for g := hi; g > lo; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi--
+				viewStart -= len(views[vi].Src)
+				continue
+			}
+			s := lo - viewStart
+			if s < 0 {
+				s = 0
+			}
+			e := g - viewStart
+			if e == len(vw.Src) && vw.Seeded {
+				acc = op.Combine(vw.Carry, acc)
+			}
+			for k := e - 1; k >= s; k-- {
+				acc = op.Combine(vw.Src[k], acc)
+				vw.Dst[k] = acc
+			}
+			if s == 0 {
+				acc = op.Identity()
+			}
+			g = viewStart + s
+			vi--
+			if vi >= 0 {
+				viewStart -= len(views[vi].Src)
+			}
+		}
+	})
+}
+
+// segViewCarriesForward runs phases 1+2 of the forward view scans: each
+// block folds its elements under the segmented-pair monoid (a view head
+// inside the block restarts the fold from the view's seed and marks the
+// summary crossed), then the p summaries are scanned exclusively,
+// leaving carries[b] = the accumulation open at block b's left edge.
+func segViewCarriesForward[T any, O Op[T]](op O, views []View[T], n, p int) []segPair[T] {
+	sop := segOp[T, O]{op}
+	carries := make([]segPair[T], p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, lo)
+		acc := sop.Identity()
+		for g := lo; g < hi; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi++
+				continue
+			}
+			s := g - viewStart
+			e := len(vw.Src)
+			if viewStart+e > hi {
+				e = hi - viewStart
+			}
+			if s == 0 {
+				a := viewSeed(op, vw)
+				for k := 0; k < e; k++ {
+					a = op.Combine(a, vw.Src[k])
+				}
+				acc = segPair[T]{v: a, crossed: true}
+			} else {
+				a := vw.Src[s]
+				for k := s + 1; k < e; k++ {
+					a = op.Combine(a, vw.Src[k])
+				}
+				acc = segPair[T]{v: op.Combine(acc.v, a), crossed: acc.crossed}
+			}
+			g = viewStart + e
+			viewStart += len(vw.Src)
+			vi++
+		}
+		carries[b] = acc
+	})
+	Exclusive(sop, carries, carries)
+	return carries
+}
+
+// segViewCarriesBackward is the backward mirror: per-block backward
+// folds (a seeded view's carry joins when the block covers the view's
+// tail; a view head inside the block restarts and marks crossed), then
+// the serial backward exclusive scan of the summaries under the mirror
+// combine — a head anywhere in the left operand hides everything to its
+// right — leaving carries[b] = the accumulation open at block b's RIGHT
+// edge.
+func segViewCarriesBackward[T any, O Op[T]](op O, views []View[T], n, p int) []segPair[T] {
+	carries := make([]segPair[T], p)
+	blocks(n, p, func(b, lo, hi int) {
+		vi, viewStart := locateViewStart(views, hi-1)
+		acc := op.Identity()
+		crossed := false
+		for g := hi; g > lo; {
+			vw := &views[vi]
+			if len(vw.Src) == 0 {
+				vi--
+				viewStart -= len(views[vi].Src)
+				continue
+			}
+			s := lo - viewStart
+			if s < 0 {
+				s = 0
+			}
+			e := g - viewStart
+			if e == len(vw.Src) && vw.Seeded {
+				acc = op.Combine(vw.Carry, acc)
+			}
+			for k := e - 1; k >= s; k-- {
+				acc = op.Combine(vw.Src[k], acc)
+			}
+			if s == 0 {
+				crossed = true
+				acc = op.Identity()
+			}
+			g = viewStart + s
+			vi--
+			if vi >= 0 {
+				viewStart -= len(views[vi].Src)
+			}
+		}
+		carries[b] = segPair[T]{v: acc, crossed: crossed}
+	})
+	acc := segPair[T]{v: op.Identity()}
+	for b := p - 1; b >= 0; b-- {
+		s := carries[b]
+		carries[b] = acc
+		if s.crossed {
+			acc = segPair[T]{v: s.v, crossed: true}
+		} else {
+			acc = segPair[T]{v: op.Combine(s.v, acc.v), crossed: acc.crossed}
+		}
+	}
+	return carries
+}

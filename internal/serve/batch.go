@@ -3,65 +3,176 @@ package serve
 import (
 	"math"
 
+	"scans/internal/arena"
 	"scans/internal/scan"
 )
 
-// runBatch executes one fused batch: group the requests by Spec, build
-// one flat vector + segment-head flags per group, run ONE segmented
-// kernel pass per group, and hand each request a disjoint subslice of
-// the group's output vector. This is the §3 argument operationalized:
+// runBatch executes one fused batch: group the requests by Spec and run
+// ONE segmented kernel pass per group, handing each request its own
+// arena-backed output buffer. This is the §3 argument operationalized:
 // K small scans of the same flavor cost one primitive pass over their
 // concatenation.
+//
+// The zero-copy path never materializes that concatenation. Each
+// request's payload becomes a scan.View — {Dst, Src, Carry, Seeded} —
+// and the view kernels run the blocked parallel pass directly over the
+// request-owned buffers, stitching per-view carries exactly as Figure
+// 10's block sums stitch blocks. Compared to the flatten path this PR
+// replaced (kept below as runGroupFlatten for benchmarking), the fused
+// src/flags staging copies and their allocations are gone; the only
+// per-request buffer is the result the caller receives, and that comes
+// from the arena.
 //
 // Each group's kernel pass runs behind a recover barrier: a panicking
 // kernel (or an armed fault.KernelPanic point) fails that group's
 // futures with ErrInternal and the other groups — and the server —
 // carry on.
-func (s *Server) runBatch(batch []*Future) {
-	// Group while preserving arrival order within each group. Batches
-	// are small (≤ MaxBatchRequests); a map of slices is fine.
-	groups := make(map[Spec][]*Future, 4)
-	order := make([]Spec, 0, 4)
+func (s *Server) runBatch(sc *execScratch, batch []*Future) {
+	// Group while preserving arrival order within each group. The
+	// scratch map and order slice are owned by this executor and reused
+	// batch to batch; per-spec slices keep their capacity across resets.
+	sc.order = sc.order[:0]
 	for _, f := range batch {
-		if _, seen := groups[f.spec]; !seen {
-			order = append(order, f.spec)
+		g := sc.groups[f.spec]
+		if len(g) == 0 {
+			sc.order = append(sc.order, f.spec)
 		}
-		groups[f.spec] = append(groups[f.spec], f)
+		sc.groups[f.spec] = append(g, f)
 	}
 	elems := 0
-	for _, spec := range order {
-		elems += s.runGroupSafe(spec, groups[spec])
+	for _, spec := range sc.order {
+		reqs := sc.groups[spec]
+		elems += s.runGroupSafe(sc, spec, reqs)
+		clear(reqs) // drop future pointers so recycled futures aren't pinned
+		sc.groups[spec] = reqs[:0]
 	}
-	s.stats.record(len(batch), len(order), elems)
+	s.stats.record(len(batch), len(sc.order), elems)
+}
+
+// execScratch is one executor's reusable batch-assembly state: the
+// spec-grouping map, the group order, and the view list handed to the
+// kernels. Hoisting these out of runBatch keeps steady-state batches
+// allocation-free.
+type execScratch struct {
+	groups map[Spec][]*Future
+	order  []Spec
+	views  []scan.View[int64]
+}
+
+func newExecScratch() *execScratch {
+	return &execScratch{groups: make(map[Spec][]*Future, 8)}
 }
 
 // runGroupSafe wraps one group's kernel pass in a recover barrier so a
-// panic is confined to that group's futures.
-func (s *Server) runGroupSafe(spec Spec, reqs []*Future) (elems int) {
+// panic is confined to that group's futures. Output buffers already
+// staged in the scratch views go back to the arena — none were
+// delivered, because the scatter loop only runs after the whole kernel
+// pass succeeds.
+func (s *Server) runGroupSafe(sc *execScratch, spec Spec, reqs []*Future) (elems int) {
 	defer func() {
 		if r := recover(); r != nil {
+			for i := range sc.views {
+				arena.PutInt64s(sc.views[i].Dst)
+			}
+			clear(sc.views)
+			sc.views = sc.views[:0]
 			s.failBatch(reqs, r)
 		}
 	}()
-	return s.runGroup(spec, reqs)
+	if s.cfg.legacyFlatten {
+		return s.runGroupFlatten(spec, reqs)
+	}
+	return s.runGroup(sc, spec, reqs)
 }
 
-// runGroup fuses one Spec's requests into a single segmented scan and
+// runGroup fuses one Spec's requests into a single view-kernel pass and
 // scatters the results. Returns the number of fused elements.
 //
-// Carry-seeded requests (stream chunks, Future.seeded) get one extra
-// element: the stream's carry is injected at their segment head, ahead
-// of the payload. The ordinary segmented kernels then do the stitching
-// — an exclusive pass over [c, a0..an-1] yields [id, c, c⊕a0, ...] and
-// an inclusive pass yields [c, c⊕a0, ...], so in both kinds the
-// payload's outputs start one slot past the segment head and already
-// include the carry of every earlier chunk. Streams are forward-only
-// (OpenStream rejects Backward), so a seeded future never reaches a
-// backward kernel where head-injection would be wrong.
-func (s *Server) runGroup(spec Spec, reqs []*Future) int {
+// Carry-seeded requests (stream chunks, Future.seeded) set the view's
+// Carry/Seeded fields; the view kernels fold the carry in algebraically
+// at the segment head (or tail, for backward scans), which is exactly
+// equivalent to the old path's injected phantom element — without the
+// extra slot. Streams are forward-only (OpenStream rejects Backward),
+// so a seeded future never reaches a backward kernel.
+func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	// Chaos hooks: a slow kernel stalls here (inside the executor, so
 	// queue-age shedding and deadline drops see realistic pressure); a
 	// kernel panic fires past this point and is caught by runGroupSafe.
+	s.fpSlow.Sleep()
+	if s.fpPanic.Fire() {
+		panic("fault: injected kernel panic")
+	}
+	n := 0
+	sc.views = sc.views[:0]
+	for _, f := range reqs {
+		n += f.nelems()
+		sc.views = append(sc.views, scan.View[int64]{
+			Dst:    arena.GetInt64s(len(f.data)),
+			Src:    f.data,
+			Carry:  f.carry,
+			Seeded: f.seeded,
+		})
+	}
+	// One kernel pass for the whole group, straight over the request
+	// payloads (Src) into per-request arena buffers (Dst): no fused
+	// vector, no flags, no copies.
+	runSegmentedViews(spec, sc.views, s.cfg.Workers)
+	served := 0
+	for i, f := range reqs {
+		if f.complete(sc.views[i].Dst, nil) {
+			served++
+		} else {
+			// Already resolved (shed/failed elsewhere): nobody will read
+			// this buffer, so it goes straight back.
+			arena.PutInt64s(sc.views[i].Dst)
+		}
+	}
+	clear(sc.views) // release Dst/Src references; buffers now owned by waiters
+	sc.views = sc.views[:0]
+	s.stats.served.Add(uint64(served))
+	return n
+}
+
+// runSegmentedViews dispatches one fused (op, kind, direction) pass to
+// the matching view kernel from internal/scan.
+func runSegmentedViews(spec Spec, views []scan.View[int64], workers int) {
+	switch spec.Op {
+	case OpSum:
+		runMonoidViews(scan.Add[int64]{}, spec, views, workers)
+	case OpMul:
+		runMonoidViews(scan.Mul[int64]{}, spec, views, workers)
+	case OpMax:
+		runMonoidViews(scan.Max[int64]{Id: math.MinInt64}, spec, views, workers)
+	case OpMin:
+		runMonoidViews(scan.Min[int64]{Id: math.MaxInt64}, spec, views, workers)
+	default:
+		panic("serve: runSegmentedViews: invalid op " + spec.Op.String())
+	}
+}
+
+// runMonoidViews selects the view kernel for the spec's kind and
+// direction.
+func runMonoidViews[O scan.Op[int64]](op O, spec Spec, views []scan.View[int64], workers int) {
+	switch {
+	case spec.Dir == Forward && spec.Kind == Exclusive:
+		scan.SegScanViewsExclusive(op, views, workers)
+	case spec.Dir == Forward && spec.Kind == Inclusive:
+		scan.SegScanViewsInclusive(op, views, workers)
+	case spec.Dir == Backward && spec.Kind == Exclusive:
+		scan.SegScanViewsExclusiveBackward(op, views, workers)
+	default:
+		scan.SegScanViewsInclusiveBackward(op, views, workers)
+	}
+}
+
+// runGroupFlatten is the pre-zero-copy group path, kept verbatim as the
+// benchmark baseline (Config.legacyFlatten, in-process benchmarks only
+// — its results are NOT arena-backed, so it must never serve the TCP
+// front end, whose handlers return every result to the arena): build
+// one flat vector + segment-head flags per group, run the flat
+// segmented kernel, and hand each request a disjoint subslice of the
+// group's output.
+func (s *Server) runGroupFlatten(spec Spec, reqs []*Future) int {
 	s.fpSlow.Sleep()
 	if s.fpPanic.Fire() {
 		panic("fault: injected kernel panic")
@@ -103,7 +214,7 @@ func (s *Server) runGroup(spec Spec, reqs []*Future) int {
 }
 
 // runSegmented dispatches one fused (op, kind, direction) pass to the
-// matching segmented kernel from internal/scan.
+// matching flat segmented kernel from internal/scan (legacy path).
 func runSegmented(spec Spec, dst, src []int64, flags []bool, workers int) {
 	switch spec.Op {
 	case OpSum:
@@ -119,7 +230,7 @@ func runSegmented(spec Spec, dst, src []int64, flags []bool, workers int) {
 	}
 }
 
-// runMonoid selects the kernel for the spec's kind and direction.
+// runMonoid selects the flat kernel for the spec's kind and direction.
 func runMonoid[O scan.Op[int64]](op O, spec Spec, dst, src []int64, flags []bool, workers int) {
 	switch {
 	case spec.Dir == Forward && spec.Kind == Exclusive:

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"scans/internal/arena"
 	"scans/internal/fault"
 )
 
@@ -31,6 +32,11 @@ import (
 //     sessions, so conn.drop regularly tears connections mid-stream;
 //     after the drain the active-stream gauge must be zero and the
 //     stream ledger must close (opened = closed + failed + expired).
+//  6. No leaked arena buffers: the zero-copy path checks out pooled
+//     buffers for every decoded payload, kernel output, and response
+//     line; after the drain every checkout must have been returned
+//     (gets == puts on the arena ledger delta), with every fault —
+//     including clock.skew shedding admitted requests — armed.
 //
 // Run under -race (scripts/check.sh does) this is also the package's
 // widest data-race net.
@@ -44,6 +50,8 @@ func TestChaosSoak(t *testing.T) {
 		perClient = 30
 	}
 
+	arenaBefore := arena.Stats()
+
 	faults := fault.New(seed)
 	faults.ArmSleep(fault.KernelSlow, 0.02, 2*time.Millisecond)
 	faults.Arm(fault.KernelPanic, 0.02)
@@ -51,6 +59,10 @@ func TestChaosSoak(t *testing.T) {
 	faults.Arm(fault.PartialWrite, 0.01)
 	faults.ArmSleep(fault.ExecStall, 0.02, 2*time.Millisecond)
 	faults.Arm(fault.QueueCorrupt, 0.01)
+	// Clock skew ages an admitted request past QueueAgeLimit (500ms), so
+	// the age-based shedder must fail it with a typed ErrShed — and the
+	// shed path must still recycle the request's payload buffer.
+	faults.ArmSleep(fault.ClockSkew, 0.02, time.Second)
 
 	ns := startNetCfg(t,
 		Config{
@@ -137,6 +149,9 @@ func TestChaosSoak(t *testing.T) {
 					} else {
 						local.success++
 					}
+					if len(got) > 0 {
+						arena.PutInt64s(got) // results are arena-backed, caller-owned
+					}
 				case errors.Is(err, ErrOverloaded), errors.Is(err, ErrShed),
 					errors.Is(err, ErrInternal), errors.Is(err, context.DeadlineExceeded),
 					errors.Is(err, ErrNoStream), errors.Is(err, ErrStreamFailed):
@@ -200,6 +215,7 @@ func TestChaosSoak(t *testing.T) {
 	if want := []int64{1, 3, 6, 10}; !reflect.DeepEqual(got, want) {
 		t.Fatalf("post-storm scan = %v, want %v", got, want)
 	}
+	arena.PutInt64s(got)
 
 	// Drain and check the server-side ledger: every accepted request
 	// got exactly one terminal outcome.
@@ -226,8 +242,17 @@ func TestChaosSoak(t *testing.T) {
 		t.Fatalf("stream ledger does not close: opened %d != closed %d + failed %d + expired %d",
 			st.StreamsOpened, st.StreamsClosed, st.StreamsFailed, st.StreamsExpired)
 	}
-	t.Logf("chaos soak: %d success, %d typed errors; server %v; %v",
-		total.success, total.typedErr, st, faults)
+	// Arena ledger closes: every buffer checked out during the storm —
+	// decoded payloads, kernel outputs, response lines, stream chunks,
+	// including those on shed/panic/drop/skew error paths — was returned.
+	arenaAfter := arena.Stats()
+	gets := arenaAfter.Gets - arenaBefore.Gets
+	puts := arenaAfter.Puts - arenaBefore.Puts
+	if gets != puts {
+		t.Fatalf("arena ledger does not close: %d gets != %d puts (leaked %d buffers)", gets, puts, gets-puts)
+	}
+	t.Logf("chaos soak: %d success, %d typed errors; server %v; arena gets=puts=%d; %v",
+		total.success, total.typedErr, st, gets, faults)
 }
 
 // isConnLevel reports whether err is a connection-level failure (fate

@@ -8,12 +8,24 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"scans/internal/arena"
 	"scans/internal/fault"
 )
+
+// releaseData returns a wire-decoded (or kernel-produced) int64 buffer
+// to the arena. Non-empty decoded vectors and scan results are always
+// arena-backed (Int64Vec.UnmarshalJSON, Server.Scan); empty ones are
+// never pooled and are skipped.
+func releaseData(data []int64) {
+	if len(data) > 0 {
+		arena.PutInt64s(data)
+	}
+}
 
 // DefaultMaxLineBytes is the default cap on one JSON line in either
 // direction: NetConfig.MaxLineBytes server-side, and the baseline for
@@ -320,12 +332,42 @@ func (ns *NetServer) handle(conn net.Conn) {
 	defer pending.Wait()
 	tenant := conn.RemoteAddr().String()
 	respond := func(resp WireResponse) {
-		line, err := json.Marshal(resp)
-		if err != nil {
-			// Keep the ID: an unmatchable error line would leave the
-			// client's round trip waiting forever.
-			line = []byte(fmt.Sprintf(`{"id":%d,"error":"response marshal failure","code":"internal"}`, resp.ID))
+		var line []byte
+		var pooled []byte
+		if resp.Error == "" && resp.Code == "" && resp.FResult == nil && resp.Total == nil {
+			// Hot path: a pure int64 result line. Encode with AppendInt
+			// into an arena buffer sized by maxRespBytes — byte-identical
+			// to what encoding/json produces for this shape (omitempty
+			// drops an empty result), with zero steady-state allocation.
+			pooled = arena.GetBytes(maxRespBytes(len(resp.Result)))[:0]
+			pooled = append(pooled, `{"id":`...)
+			pooled = strconv.AppendUint(pooled, resp.ID, 10)
+			if len(resp.Result) > 0 {
+				pooled = append(pooled, `,"result":[`...)
+				for i, x := range resp.Result {
+					if i > 0 {
+						pooled = append(pooled, ',')
+					}
+					pooled = strconv.AppendInt(pooled, x, 10)
+				}
+				pooled = append(pooled, ']')
+			}
+			pooled = append(pooled, '}')
+			line = pooled
+		} else {
+			var err error
+			line, err = json.Marshal(resp)
+			if err != nil {
+				// Keep the ID: an unmatchable error line would leave the
+				// client's round trip waiting forever.
+				line = []byte(fmt.Sprintf(`{"id":%d,"error":"response marshal failure","code":"internal"}`, resp.ID))
+			}
 		}
+		defer func() {
+			if pooled != nil {
+				arena.PutBytes(pooled)
+			}
+		}()
 		wmu.Lock()
 		defer wmu.Unlock()
 		if ns.ncfg.WriteTimeout > 0 {
@@ -372,6 +414,9 @@ func (ns *NetServer) handle(conn net.Conn) {
 		}
 		var req WireRequest
 		if err := json.Unmarshal(line, &req); err != nil {
+			// A failed decode can still have populated Data (the error
+			// came from a later field); its buffer goes back.
+			releaseData(req.Data)
 			respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
 			continue
 		}
@@ -379,20 +424,24 @@ func (ns *NetServer) handle(conn net.Conn) {
 		case "":
 			// One-shot scan: falls through to the submit path below.
 		case "stream_open":
+			releaseData(req.Data) // opens carry no payload
 			cs.open(req)
 			continue
 		case "stream_chunk":
-			cs.chunk(req)
+			cs.chunk(req) // ownership of req.Data passes to the session
 			continue
 		case "stream_close":
+			releaseData(req.Data)
 			cs.closeStream(req)
 			continue
 		default:
+			releaseData(req.Data)
 			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown message type %q", req.Type), Code: CodeBadRequest})
 			continue
 		}
 		spec, err := ParseSpec(req.Op, req.Kind, req.Dir)
 		if err != nil {
+			releaseData(req.Data)
 			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 			continue
 		}
@@ -402,6 +451,7 @@ func (ns *NetServer) handle(conn net.Conn) {
 		case ElemFloat64:
 			isFloat = true
 		default:
+			releaseData(req.Data)
 			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown elem %q", req.Elem), Code: CodeBadRequest})
 			continue
 		}
@@ -415,6 +465,7 @@ func (ns *NetServer) handle(conn net.Conn) {
 			// blow up the client's line reader; unlike an oversized
 			// request line the stream is still in sync, so the
 			// connection survives. Streaming is the escape hatch.
+			releaseData(req.Data)
 			respond(WireResponse{
 				ID: req.ID,
 				Error: fmt.Sprintf("worst-case response (%d bytes) exceeds the %d-byte line budget; use a streaming session",
@@ -425,6 +476,7 @@ func (ns *NetServer) handle(conn net.Conn) {
 		}
 		if limit := ns.ncfg.PerConnInflight; limit > 0 && inflight.Add(1) > int64(limit) {
 			inflight.Add(-1)
+			releaseData(req.Data)
 			respond(WireResponse{
 				ID:    req.ID,
 				Error: fmt.Sprintf("per-connection in-flight cap (%d) exceeded", limit),
@@ -450,6 +502,7 @@ func (ns *NetServer) handle(conn net.Conn) {
 			defer cancel()
 			data := req.Data
 			if isFloat {
+				releaseData(req.Data) // float payload rides FData
 				keys, err := floatKeys(spec.Op, req.FData)
 				if err != nil {
 					respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
@@ -458,18 +511,24 @@ func (ns *NetServer) handle(conn net.Conn) {
 				data = keys
 			}
 			res, err := ns.be.Scan(ctx, spec, data, reqTenant)
+			// Any return from Scan — result or error — means the future
+			// is resolved, so the pipeline is done reading the payload
+			// and its buffer can circulate (DESIGN.md "Arena ownership").
+			releaseData(data)
 			if err != nil {
 				respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 				return
 			}
 			if isFloat {
 				respond(WireResponse{ID: req.ID, FResult: floatResults(spec.Op, res)})
+				releaseData(res)
 				return
 			}
 			if res == nil {
 				res = []int64{}
 			}
 			respond(WireResponse{ID: req.ID, Result: res})
+			releaseData(res)
 		}(req, cancel)
 	}
 }
@@ -635,9 +694,7 @@ func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, 
 		c.wmu.Unlock()
 	}
 	if err != nil {
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
+		c.abandonWaiter(id, ch)
 		return zero, err
 	}
 	select {
@@ -656,11 +713,28 @@ func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, 
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.mu.Lock()
-		delete(c.waiters, id)
-		c.mu.Unlock()
+		c.abandonWaiter(id, ch)
 		return zero, ctx.Err()
 	}
+}
+
+// abandonWaiter retracts a round trip's response slot (ctx expiry or a
+// failed send). The lock covers both the map delete and the channel
+// drain: readLoop hands responses off under the same lock, so either
+// the delete wins (a late response is released by readLoop) or the
+// handoff already happened and the drain here owns the buffer — a
+// response can never slip into an abandoned channel unreleased.
+func (c *Client) abandonWaiter(id uint64, ch chan WireResponse) {
+	c.mu.Lock()
+	delete(c.waiters, id)
+	select {
+	case resp, ok := <-ch:
+		if ok {
+			releaseData(resp.Result)
+		}
+	default:
+	}
+	c.mu.Unlock()
 }
 
 // readLoop dispatches responses by ID until the connection dies, then
@@ -688,9 +762,18 @@ func (c *Client) readLoop() {
 			// cause instead of a bare closed-connection error.
 			c.readErr = errorForCode(resp.Code, resp.Error)
 		}
-		c.mu.Unlock()
 		if ok {
+			// Hand off under the lock (the channel has capacity 1, so
+			// this never blocks): a round trip abandoning its waiter on
+			// ctx expiry holds the same lock while draining, so exactly
+			// one side ends up owning the decoded result buffer.
 			ch <- resp
+		}
+		c.mu.Unlock()
+		if !ok {
+			// Nobody is waiting (late response after a ctx expiry already
+			// drained, or a stray id): the decoded buffer goes back.
+			releaseData(resp.Result)
 		}
 	}
 	c.mu.Lock()
@@ -811,16 +894,22 @@ func (c *Client) StreamScan(ctx context.Context, op, kind, dir string, data []in
 	if err != nil {
 		return nil, err
 	}
-	out := make([]int64, 0, len(data))
+	// Reassemble into one arena buffer, recycling each chunk's decoded
+	// result as it lands — so like every client scan result, the
+	// returned slice is arena-backed and owned by the caller.
+	out := arena.GetInt64s(len(data))[:0]
 	for off := 0; off < len(data); off += chunkElems {
 		end := min(off+chunkElems, len(data))
 		res, err := s.Send(ctx, data[off:end])
 		if err != nil {
+			arena.PutInt64s(out)
 			return nil, err
 		}
 		out = append(out, res...)
+		releaseData(res)
 	}
 	if _, err := s.Close(ctx); err != nil {
+		arena.PutInt64s(out)
 		return nil, err
 	}
 	return out, nil

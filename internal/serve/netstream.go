@@ -134,6 +134,7 @@ func (cs *connStreams) chunk(req WireRequest) {
 	if worst := maxRespBytes(len(req.Data)); worst > cs.ns.ncfg.MaxLineBytes {
 		// Refusing the chunk but continuing the stream would corrupt
 		// the carry, so an oversized chunk fails the stream.
+		releaseData(req.Data)
 		cs.kill(req.Stream)
 		cs.respond(WireResponse{
 			ID: req.ID,
@@ -160,6 +161,7 @@ func (cs *connStreams) dispatch(req WireRequest, msg streamMsg) {
 	sess := cs.m[req.Stream]
 	if sess == nil || sess.dead {
 		cs.mu.Unlock()
+		releaseData(msg.data)
 		cs.respond(WireResponse{ID: req.ID, Error: ErrNoStream.Error(), Code: CodeNoStream})
 		return
 	}
@@ -171,6 +173,7 @@ func (cs *connStreams) dispatch(req WireRequest, msg streamMsg) {
 		delete(cs.m, sess.sid)
 		cs.mu.Unlock()
 		close(sess.quit) // worker tears down and drains the mailbox
+		releaseData(msg.data)
 		cs.respond(WireResponse{
 			ID:    req.ID,
 			Error: fmt.Sprintf("stream %d chunk queue full (%d pending); stream failed", req.Stream, streamQueueDepth),
@@ -288,6 +291,9 @@ func (cs *connStreams) run(sess *netStream) {
 				ctx, cancel = context.WithTimeout(ctx, time.Duration(m.timeoutMS)*time.Millisecond)
 			}
 			res, err := sess.st.Push(ctx, m.data)
+			// Push has consumed the chunk (it reads the carry off res
+			// before returning), so its buffer circulates now.
+			releaseData(m.data)
 			cancel()
 			if err != nil {
 				// The failing chunk reports the underlying typed error;
@@ -299,6 +305,7 @@ func (cs *connStreams) run(sess *netStream) {
 				return
 			}
 			cs.respond(WireResponse{ID: m.id, Result: res})
+			releaseData(res)
 		}
 	}
 }
@@ -309,6 +316,7 @@ func (cs *connStreams) drain(sess *netStream, code, msg string) {
 	for {
 		select {
 		case m := <-sess.ch:
+			releaseData(m.data)
 			cs.respond(WireResponse{ID: m.id, Error: msg, Code: code})
 		default:
 			return

@@ -1,0 +1,9 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports that this test binary was built with -race. The
+// race detector's sync.Pool implementation deliberately drops a
+// fraction of Puts to shake out lifetime bugs, so tests asserting
+// alloc-free pooling must skip under it (mirrors internal/arena).
+const raceEnabled = true

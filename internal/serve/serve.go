@@ -235,6 +235,13 @@ type Config struct {
 	// consults the fault.KernelSlow and fault.KernelPanic points inside
 	// each kernel pass. nil (the default) costs a nil check per batch.
 	Faults *fault.Set
+
+	// legacyFlatten selects the pre-zero-copy group path (flatten into a
+	// fused src/flags vector, results as subslices of a fresh output).
+	// Benchmark baseline only: its results are not arena-backed, so it
+	// must never sit behind the TCP front end, whose handlers return
+	// every result buffer to the arena.
+	legacyFlatten bool
 }
 
 // withDefaults fills zero fields.
@@ -280,6 +287,16 @@ type Req struct {
 // Future is the handle for an in-flight request. Wait blocks until the
 // request has a terminal outcome: a result, a typed error, or the
 // request's own context error if it expired while queued.
+//
+// Futures created by the public Submit* entry points live until the GC
+// takes them. The internal synchronous paths (Scan, Submit, SubmitCtx,
+// Stream.Push — everything that waits inline and never leaks the
+// handle) instead recycle futures through a sync.Pool: poolable is set,
+// refs counts the two parties that can still touch the future (the
+// inline waiter and the batch pipeline), and whoever releases last
+// returns it to the pool. That keeps the steady-state request path free
+// of the per-request future+channel allocations that would otherwise
+// dominate the zero-copy serving profile.
 type Future struct {
 	spec     Spec
 	tenant   string
@@ -291,7 +308,58 @@ type Future struct {
 	res      []int64
 	err      error
 	resolved atomic.Bool
+	// done is a one-token completion channel (capacity 1): complete
+	// sends the single token, Wait consumes it. Non-poolable futures
+	// re-send the token after each Wait so repeated/concurrent Waits all
+	// return; the poolable single-waiter path leaves it consumed.
 	done     chan struct{}
+	poolable bool
+	// refs is the 2-party release count for poolable futures: one ref
+	// for the inline waiter, one for the batch pipeline (batcher or
+	// executor — whichever resolves the future releases it). The last
+	// release recycles the future.
+	refs atomic.Int32
+}
+
+// futurePool recycles poolable futures (see Future doc).
+var futurePool = sync.Pool{
+	New: func() any { return &Future{done: make(chan struct{}, 1)} },
+}
+
+// getFuture checks a poolable future out of the pool.
+func getFuture() *Future {
+	f := futurePool.Get().(*Future)
+	f.poolable = true
+	return f
+}
+
+// putFuture scrubs and recycles a future. Only the last release path
+// calls this; by then the token has been consumed and no other party
+// holds a reference.
+func putFuture(f *Future) {
+	select {
+	case <-f.done: // enqueue-failure path: token never consumed
+	default:
+	}
+	f.spec = Spec{}
+	f.tenant = ""
+	f.ctx = nil
+	f.data = nil
+	f.res = nil
+	f.err = nil
+	f.seeded = false
+	f.carry = 0
+	f.resolved.Store(false)
+	futurePool.Put(f)
+}
+
+// release drops one party's reference to a poolable future, recycling
+// it when the count hits zero. A no-op for non-poolable futures (their
+// refs never reach zero and the GC owns them).
+func (f *Future) release() {
+	if f.refs.Add(-1) == 0 && f.poolable {
+		putFuture(f)
+	}
 }
 
 // nelems is the request's footprint in a fused vector: its payload
@@ -312,17 +380,24 @@ func (f *Future) complete(res []int64, err error) bool {
 		return false
 	}
 	f.res, f.err = res, err
-	close(f.done)
+	f.done <- struct{}{} // cap 1, sent at most once: never blocks
 	return true
 }
 
 // Wait blocks until the request has been served and returns its result.
 // The result slice is owned by the caller; it aliases no other
-// request's result (each request gets a disjoint subslice of its
-// batch's output vector).
+// request's result (each request gets its own output buffer from the
+// arena). Results obtained through the synchronous entry points flow
+// back to the arena via the caller (see DESIGN.md "Arena ownership").
 func (f *Future) Wait() ([]int64, error) {
 	<-f.done
-	return f.res, f.err
+	res, err := f.res, f.err
+	if !f.poolable {
+		// Re-arm so repeated or concurrent Waits on a long-lived future
+		// all return (they serialize through the token).
+		f.done <- struct{}{}
+	}
+	return res, err
 }
 
 // Server is an in-process batched scan service. Create with New, submit
@@ -338,6 +413,7 @@ type Server struct {
 	fpPanic   *fault.Point
 	fpStall   *fault.Point
 	fpCorrupt *fault.Point
+	fpSkew    *fault.Point
 
 	mu     sync.RWMutex // guards closed vs. sends on queue
 	closed bool
@@ -366,6 +442,7 @@ func newStopped(cfg Config) *Server {
 		fpPanic:   cfg.Faults.Point(fault.KernelPanic),
 		fpStall:   cfg.Faults.Point(fault.ExecStall),
 		fpCorrupt: cfg.Faults.Point(fault.QueueCorrupt),
+		fpSkew:    cfg.Faults.Point(fault.ClockSkew),
 	}
 }
 
@@ -389,6 +466,13 @@ func (s *Server) start() {
 // queue is full, ErrClosed after Close, ErrBadRequest for an invalid
 // Spec.
 func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
+	return s.submitReq(ctx, r, false)
+}
+
+// submitReq is the shared admission path. poolable futures (internal
+// synchronous callers only) are recycled after their single Wait; see
+// the Future doc for the reference-count protocol.
+func (s *Server) submitReq(ctx context.Context, r Req, poolable bool) (*Future, error) {
 	if !r.Spec.valid() {
 		s.stats.rejected.Add(1)
 		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, r.Spec)
@@ -400,28 +484,42 @@ func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
 		s.stats.rejected.Add(1)
 		return nil, err
 	}
-	f := &Future{
-		spec:     r.Spec,
-		tenant:   r.Tenant,
-		ctx:      ctx,
-		enqueued: time.Now(),
-		data:     r.Data,
-		seeded:   r.seeded,
-		carry:    r.carry,
-		done:     make(chan struct{}),
+	var f *Future
+	if poolable {
+		f = getFuture()
+	} else {
+		f = &Future{done: make(chan struct{}, 1)}
+	}
+	f.spec = r.Spec
+	f.tenant = r.Tenant
+	f.ctx = ctx
+	f.enqueued = time.Now()
+	f.data = r.Data
+	f.seeded = r.seeded
+	f.carry = r.carry
+	if d := s.fpSkew.Delay(); d > 0 {
+		// Chaos: the submitter's clock "jumped" — the request looks like
+		// it has been queued for d already, so age-based shedding fires.
+		f.enqueued = f.enqueued.Add(-d)
 	}
 	if len(r.Data) == 0 {
 		// Nothing to scan; resolve without a server round trip so empty
-		// requests can never occupy batch slots.
+		// requests can never occupy batch slots. Only the waiter holds a
+		// reference — the batch pipeline never sees this future.
+		f.refs.Store(1)
 		f.complete([]int64{}, nil)
 		s.stats.requests.Add(1)
 		s.stats.served.Add(1)
 		return f, nil
 	}
+	f.refs.Store(2) // waiter + batch pipeline
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	if s.closed {
 		s.stats.rejected.Add(1)
+		if poolable {
+			putFuture(f) // never enqueued: we own both refs
+		}
 		return nil, ErrClosed
 	}
 	select {
@@ -430,8 +528,25 @@ func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
 		return f, nil
 	default:
 		s.stats.rejected.Add(1)
+		if poolable {
+			putFuture(f)
+		}
 		return nil, ErrOverloaded
 	}
+}
+
+// scanReq is the pooled synchronous path shared by Submit, SubmitCtx,
+// Scan, and Stream.Push: submit, wait inline, release the waiter ref so
+// the future recycles. The returned result buffer is arena-backed and
+// owned by the caller (Put it when done — see DESIGN.md).
+func (s *Server) scanReq(ctx context.Context, r Req) ([]int64, error) {
+	f, err := s.submitReq(ctx, r, true)
+	if err != nil {
+		return nil, err
+	}
+	res, werr := f.Wait()
+	f.release()
+	return res, werr
 }
 
 // SubmitAsync enqueues a request with no deadline (background context,
@@ -440,35 +555,26 @@ func (s *Server) SubmitAsync(spec Spec, data []int64) (*Future, error) {
 	return s.SubmitReq(context.Background(), Req{Spec: spec, Data: data})
 }
 
-// Submit is the synchronous convenience form: SubmitAsync then Wait.
+// Submit is the synchronous convenience form of SubmitAsync + Wait,
+// riding the pooled future path.
 func (s *Server) Submit(spec Spec, data []int64) ([]int64, error) {
-	f, err := s.SubmitAsync(spec, data)
-	if err != nil {
-		return nil, err
-	}
-	return f.Wait()
+	return s.scanReq(context.Background(), Req{Spec: spec, Data: data})
 }
 
 // SubmitCtx is the synchronous context-aware form: the request is
 // dropped unexecuted (and SubmitCtx returns the context's error) if
 // ctx expires before its batch reaches the kernels.
 func (s *Server) SubmitCtx(ctx context.Context, spec Spec, data []int64) ([]int64, error) {
-	f, err := s.SubmitReq(ctx, Req{Spec: spec, Data: data})
-	if err != nil {
-		return nil, err
-	}
-	return f.Wait()
+	return s.scanReq(ctx, Req{Spec: spec, Data: data})
 }
 
 // Scan runs one scan to completion under the given tenant. It is the
 // Backend method the TCP front end calls for every one-shot request,
-// shared by this in-process Server and a cluster Coordinator.
+// shared by this in-process Server and a cluster Coordinator. The
+// result buffer is arena-backed; the front end returns it to the arena
+// after encoding the response.
 func (s *Server) Scan(ctx context.Context, spec Spec, data []int64, tenant string) ([]int64, error) {
-	f, err := s.SubmitReq(ctx, Req{Spec: spec, Data: data, Tenant: tenant})
-	if err != nil {
-		return nil, err
-	}
-	return f.Wait()
+	return s.scanReq(ctx, Req{Spec: spec, Data: data, Tenant: tenant})
 }
 
 // Close stops accepting new requests, drains everything already queued
@@ -548,6 +654,8 @@ func (s *Server) batchLoop() {
 		batch := s.assemble(pend, &open)
 		if len(batch) > 0 {
 			s.execCh <- batch
+		} else {
+			batchSlicePool.Put(&batch)
 		}
 	}
 }
@@ -555,8 +663,12 @@ func (s *Server) batchLoop() {
 // assemble builds one batch from the pending tenant queues, refilling
 // them greedily from the submission channel and yielding below the
 // fill target exactly as the pre-fairness batcher did.
+// batchSlicePool recycles the []*Future batch slices that flow from the
+// batcher to the executors, so steady-state assembly allocates nothing.
+var batchSlicePool = sync.Pool{New: func() any { return new([]*Future) }}
+
 func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
-	var batch []*Future
+	batch := (*batchSlicePool.Get().(*[]*Future))[:0]
 	elems := 0
 	sizeAtYield := -1
 	var deadline time.Time
@@ -579,6 +691,7 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 		}
 		if f := pend.pop(); f != nil {
 			if s.shedIfDead(f, time.Now()) {
+				f.release() // batch pipeline's ref: f never reaches an executor
 				continue
 			}
 			if s.fpCorrupt.Fire() {
@@ -589,6 +702,7 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 				if f.complete(nil, fmt.Errorf("%w: queue corruption detected (injected fault)", ErrInternal)) {
 					s.stats.corruptDrops.Add(1)
 				}
+				f.release()
 				continue
 			}
 			batch = append(batch, f)
@@ -628,24 +742,35 @@ func (s *Server) assemble(pend *tenantQueues, open *bool) []*Future {
 // bookkeeping, stats) is caught here and the loop keeps serving.
 func (s *Server) execLoop() {
 	defer s.wg.Done()
+	sc := newExecScratch()
 	for batch := range s.execCh {
 		// Chaos: a stalled executor ages everything still queued behind
 		// this batch, which is what queue-age shedding and deadline
 		// drops exist to absorb.
 		s.fpStall.Sleep()
-		s.runBatchSafe(batch)
+		s.runBatchSafe(sc, batch)
+		// The executor's reference on every future in the batch: by now
+		// each one is resolved (scatter or failBatch), so the pipeline is
+		// done touching them and poolable ones may recycle once their
+		// waiter is done too. Then recycle the batch slice itself.
+		for i, f := range batch {
+			f.release()
+			batch[i] = nil
+		}
+		batch = batch[:0]
+		batchSlicePool.Put(&batch)
 	}
 }
 
 // runBatchSafe runs one batch, converting any panic that escapes batch
 // bookkeeping into ErrInternal on the batch's unresolved futures.
-func (s *Server) runBatchSafe(batch []*Future) {
+func (s *Server) runBatchSafe(sc *execScratch, batch []*Future) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.failBatch(batch, r)
 		}
 	}()
-	s.runBatch(batch)
+	s.runBatch(sc, batch)
 }
 
 // failBatch resolves every not-yet-resolved future in a batch (or

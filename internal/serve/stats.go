@@ -5,6 +5,8 @@ import (
 	"math"
 	"math/bits"
 	"sync/atomic"
+
+	"scans/internal/arena"
 )
 
 // occBuckets is the number of power-of-two histogram buckets for batch
@@ -121,6 +123,15 @@ type Stats struct {
 	// StreamsActive is the gauge of currently-open sessions (0 after a
 	// full drain; a positive value with no live connections is a leak).
 	StreamsActive int64
+	// BytesPooled totals the payload bytes the zero-copy path served
+	// from recycled arena buffers instead of fresh allocations — the
+	// allocation traffic the arena absorbed. Process-wide (the arena
+	// ledger is global), not per-server.
+	BytesPooled uint64
+	// ArenaMisses counts arena checkouts served by a fresh allocation
+	// (cold pool or over-max size). A high miss rate under steady load
+	// means buffers are leaking instead of circulating. Process-wide.
+	ArenaMisses uint64
 }
 
 // String renders the snapshot in one line for logs.
@@ -128,11 +139,13 @@ func (s Stats) String() string {
 	return fmt.Sprintf(
 		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d corrupt_drops=%d "+
 			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d} "+
-			"streams{open=%d closed=%d failed=%d expired=%d active=%d}",
+			"streams{open=%d closed=%d failed=%d expired=%d active=%d} "+
+			"arena{bytes_pooled=%d misses=%d}",
 		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed, s.CorruptDrops,
 		s.Batches, s.Groups, s.FusedElements,
 		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy,
-		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive)
+		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive,
+		s.BytesPooled, s.ArenaMisses)
 }
 
 // Stats snapshots the server's counters. Safe to call concurrently
@@ -160,6 +173,9 @@ func (s *Server) Stats() Stats {
 		StreamsExpired: st.streamsExpired.Load(),
 		StreamsActive:  st.streamsActive.Load(),
 	}
+	ac := arena.Stats()
+	out.BytesPooled = ac.BytesPooled
+	out.ArenaMisses = ac.Misses
 	var counts [occBuckets]uint64
 	total := uint64(0)
 	for i := range counts {

@@ -86,7 +86,8 @@ func (st *Stream) Spec() Spec { return st.spec }
 // carry of all prior chunks, and returns the chunk's slice of the
 // overall scan — exactly what a one-shot scan of the concatenated
 // chunks would contain at these positions. ctx bounds this chunk like
-// any SubmitCtx request. An empty chunk is a no-op.
+// any SubmitCtx request. An empty chunk is a no-op. A non-empty result
+// is arena-backed and owned by the caller (Put it when done).
 //
 // Any error — admission (ErrOverloaded), deadline, ErrShed,
 // ErrInternal — fails the stream permanently and frees its state; the
@@ -103,17 +104,13 @@ func (st *Stream) Push(ctx context.Context, chunk []int64) ([]int64, error) {
 	if len(chunk) == 0 {
 		return []int64{}, nil
 	}
-	f, err := st.srv.SubmitReq(ctx, Req{
+	res, err := st.srv.scanReq(ctx, Req{
 		Spec:   st.spec,
 		Data:   chunk,
 		Tenant: st.tenant,
 		seeded: true,
 		carry:  st.carry,
 	})
-	var res []int64
-	if err == nil {
-		res, err = f.Wait()
-	}
 	if err != nil {
 		st.failLocked(err)
 		return nil, err

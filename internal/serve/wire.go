@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+
+	"scans/internal/arena"
 )
 
 // Int64Vec is a []int64 with a hand-rolled JSON codec. encoding/json's
@@ -35,7 +37,11 @@ func (v Int64Vec) MarshalJSON() ([]byte, error) {
 	return append(b, ']'), nil
 }
 
-// UnmarshalJSON implements json.Unmarshaler.
+// UnmarshalJSON implements json.Unmarshaler. Every non-empty decoded
+// vector is arena-backed — the fast path parses straight into an arena
+// buffer, and the fallback copies into one — so the wire layer can
+// return request payloads to the arena uniformly (empty vectors are the
+// shared literal and are never Put). See DESIGN.md "Arena ownership".
 func (v *Int64Vec) UnmarshalJSON(b []byte) error {
 	out, ok := parseInt64Array(b)
 	if !ok {
@@ -45,8 +51,12 @@ func (v *Int64Vec) UnmarshalJSON(b []byte) error {
 		if err := json.Unmarshal(b, &tmp); err != nil {
 			return err
 		}
-		*v = tmp
-		return nil
+		if len(tmp) == 0 {
+			*v = tmp
+			return nil
+		}
+		out = arena.GetInt64s(len(tmp))
+		copy(out, tmp)
 	}
 	*v = out
 	return nil
@@ -65,8 +75,14 @@ func parseInt64Array(b []byte) ([]int64, bool) {
 	if len(body) == 0 {
 		return []int64{}, true
 	}
-	// Sizing guess: average "d," is 2 bytes; the append below fixes up.
-	out := make([]int64, 0, len(body)/2+1)
+	// k elements need at least 2k-1 body bytes ("d,d,...,d"), so
+	// len/2+1 bounds the element count: the appends below never outgrow
+	// the arena buffer's length-n backing.
+	out := arena.GetInt64s(len(body)/2 + 1)[:0]
+	fail := func() ([]int64, bool) {
+		arena.PutInt64s(out)
+		return nil, false
+	}
 	i := 0
 	for {
 		neg := false
@@ -79,22 +95,22 @@ func parseInt64Array(b []byte) ([]int64, bool) {
 		for i < len(body) && body[i] >= '0' && body[i] <= '9' {
 			d := uint64(body[i] - '0')
 			if n > (math.MaxUint64-d)/10 {
-				return nil, false
+				return fail()
 			}
 			n = n*10 + d
 			i++
 		}
 		if i == start {
-			return nil, false // empty digits: ",,", "]", non-numeric...
+			return fail() // empty digits: ",,", "]", non-numeric...
 		}
 		if neg {
 			if n > uint64(math.MaxInt64)+1 {
-				return nil, false
+				return fail()
 			}
 			out = append(out, -int64(n))
 		} else {
 			if n > uint64(math.MaxInt64) {
-				return nil, false
+				return fail()
 			}
 			out = append(out, int64(n))
 		}
@@ -102,7 +118,7 @@ func parseInt64Array(b []byte) ([]int64, bool) {
 			return out, true
 		}
 		if body[i] != ',' {
-			return nil, false
+			return fail()
 		}
 		i++
 	}

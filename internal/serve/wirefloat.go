@@ -6,6 +6,7 @@ import (
 	"math"
 	"strconv"
 
+	"scans/internal/arena"
 	"scans/internal/scan"
 )
 
@@ -126,13 +127,18 @@ func maxRespBytesFloat(n int) int { return 48 + 25*n }
 
 // floatKeys maps a float64 request vector into the int64 kernel domain
 // for op, or rejects the request with an error wrapping ErrBadRequest.
+// A non-empty key vector is arena-backed and owned by the caller.
 func floatKeys(op Op, fdata []float64) ([]int64, error) {
-	keys := make([]int64, len(fdata))
+	keys := arena.GetInt64s(len(fdata))
+	fail := func(err error) ([]int64, error) {
+		arena.PutInt64s(keys)
+		return nil, err
+	}
 	switch op {
 	case OpMax, OpMin:
 		for i, f := range fdata {
 			if math.IsNaN(f) {
-				return nil, fmt.Errorf("%w: float64 element %d is NaN, which has no position in the float order", ErrBadRequest, i)
+				return fail(fmt.Errorf("%w: float64 element %d is NaN, which has no position in the float order", ErrBadRequest, i))
 			}
 			keys[i] = scan.FloatOrderKey(f)
 		}
@@ -140,12 +146,12 @@ func floatKeys(op Op, fdata []float64) ([]int64, error) {
 		for i, f := range fdata {
 			// f != Trunc(f) also catches NaN (NaN != NaN); Abs catches ±Inf.
 			if f != math.Trunc(f) || math.Abs(f) > maxExactFloatInt {
-				return nil, fmt.Errorf("%w: float64 sum requires exactly-representable integers (|v| <= 2^53, no fraction); element %d is %v", ErrBadRequest, i, f)
+				return fail(fmt.Errorf("%w: float64 sum requires exactly-representable integers (|v| <= 2^53, no fraction); element %d is %v", ErrBadRequest, i, f))
 			}
 			keys[i] = int64(f)
 		}
 	default:
-		return nil, fmt.Errorf("%w: op has no float64 mapping (mul is neither order-preserving nor exact over floats)", ErrBadRequest)
+		return fail(fmt.Errorf("%w: op has no float64 mapping (mul is neither order-preserving nor exact over floats)", ErrBadRequest))
 	}
 	return keys, nil
 }

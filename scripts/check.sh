@@ -24,8 +24,18 @@ echo "== cluster chaos soak (short, -race)"
 # both after the drain.
 go test -race -short -count=1 -run '^TestClusterChaosSoak$' ./internal/cluster/
 
+echo "== alloc-regression gate (no -race: its sync.Pool drops Puts by design)"
+# Pins steady-state allocations on the zero-copy serving path and the
+# arena's recycled checkouts; fails if a copy or per-request allocation
+# creeps back in.
+go test -count=1 -run '^TestAllocsSteadyStateScan$' ./internal/serve/
+go test -count=1 -run '^TestSteadyStateAllocFree$' ./internal/arena/
+
 echo "== fuzz burst: FuzzSegmentedAgainstDirect (10s)"
 go test -fuzz='^FuzzSegmentedAgainstDirect$' -fuzztime=10s -run '^$' ./internal/scan/
+
+echo "== fuzz burst: FuzzViewKernelsMatchFlattened (10s)"
+go test -fuzz='^FuzzViewKernelsMatchFlattened$' -fuzztime=10s -run '^$' ./internal/scan/
 
 echo "== fuzz burst: FuzzStreamedScanMatchesOneShot (10s)"
 go test -fuzz='^FuzzStreamedScanMatchesOneShot$' -fuzztime=10s -run '^$' ./internal/serve/
