@@ -21,6 +21,14 @@
 // scanload exits non-zero if any request is LOST, because a fault-
 // tolerant server may degrade but must never swallow a request.
 //
+// -proto selects the wire protocol for remote and cluster modes: json
+// (the legacy newline-JSON baseline) or bin (the internal/binwire
+// length-prefixed binary protocol — raw little-endian payloads, no
+// per-element parsing, multiplexed request ids). The -bench-json
+// report records it in a "wire" field, so a sweep over both protocols
+// (-bench-append accumulates phases into one file) yields the json-vs-
+// bin table EXPERIMENTS.md tracks.
+//
 // With -workers N (N >= 1) scanload instead stands up a full in-process
 // cluster topology — N scansd workers on loopback TCP plus a sharding
 // coordinator (internal/cluster) — and drives the coordinator directly.
@@ -150,6 +158,7 @@ func (l *latRec) percentiles(ps ...int) []float64 {
 // absorbed. EXPERIMENTS.md documents the fields.
 type benchReport struct {
 	Mode             string            `json:"mode"`
+	Wire             string            `json:"wire"`
 	Requests         int               `json:"requests"`
 	Clients          int               `json:"clients"`
 	ElemsPerRequest  int               `json:"elems_per_request"`
@@ -185,13 +194,16 @@ func (r *benchReport) fillMem(m0, m1 runtime.MemStats, requests int) {
 
 // benchPhase assembles one measured phase's report from the latency
 // recorder, the pre-phase allocator snapshot, and the outcome tallies.
-func benchPhase(mode string, clients, requests, n int, elapsed time.Duration, m0 runtime.MemStats, out *outcomes) benchReport {
+// wire names the protocol the phase's scan payloads traveled over:
+// "json", "bin", or "none" for in-process phases with no wire at all.
+func benchPhase(mode, wire string, clients, requests, n int, elapsed time.Duration, m0 runtime.MemStats, out *outcomes) benchReport {
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	ps := benchLat.percentiles(50, 99)
 	rps := float64(requests) / elapsed.Seconds()
 	r := benchReport{
 		Mode:            mode,
+		Wire:            wire,
 		Requests:        requests,
 		Clients:         clients,
 		ElemsPerRequest: n,
@@ -206,10 +218,32 @@ func benchPhase(mode string, clients, requests, n int, elapsed time.Duration, m0
 	return r
 }
 
-func writeBenchJSON(path string, r benchReport) {
-	b, err := json.MarshalIndent(r, "", "  ")
+// writeBenchJSON writes the report file: always a JSON ARRAY of phase
+// reports, so one benchmark sweep (e.g. json vs bin × worker counts)
+// accumulates into a single machine-readable file. With appendTo set,
+// an existing file's reports are kept and the new phase is appended
+// (a legacy single-object file is absorbed as a one-element array);
+// otherwise the file is started fresh.
+func writeBenchJSON(path string, r benchReport, appendTo bool) {
+	var reports []json.RawMessage
+	if appendTo {
+		if prev, err := os.ReadFile(path); err == nil {
+			if json.Unmarshal(prev, &reports) != nil {
+				var single json.RawMessage
+				if json.Unmarshal(prev, &single) == nil && len(single) > 0 && single[0] == '{' {
+					reports = []json.RawMessage{single}
+				}
+			}
+		}
+	}
+	b, err := json.Marshal(r)
 	if err == nil {
-		err = os.WriteFile(path, append(b, '\n'), 0o644)
+		reports = append(reports, json.RawMessage(b))
+		var out []byte
+		out, err = json.MarshalIndent(reports, "", "  ")
+		if err == nil {
+			err = os.WriteFile(path, append(out, '\n'), 0o644)
+		}
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanload: -bench-json:", err)
@@ -220,20 +254,22 @@ func writeBenchJSON(path string, r benchReport) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "", "scansd address; empty = benchmark the in-process server fused vs unfused")
-		clients  = flag.Int("clients", 32, "concurrent closed-loop clients")
-		requests = flag.Int("requests", 10000, "total requests across all clients")
-		n        = flag.Int("n", 256, "elements per scan request")
-		op       = flag.String("op", "sum", "scan operator: sum, max, min, mul")
-		kind     = flag.String("kind", "exclusive", "exclusive or inclusive")
-		dir      = flag.String("dir", "forward", "forward or backward")
-		maxWait  = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
-		attempts = flag.Int("retries", 4, "retry budget per request (total attempts)")
-		stream   = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
-		chunk    = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
+		addr      = flag.String("addr", "", "scansd address; empty = benchmark the in-process server fused vs unfused")
+		clients   = flag.Int("clients", 32, "concurrent closed-loop clients")
+		requests  = flag.Int("requests", 10000, "total requests across all clients")
+		n         = flag.Int("n", 256, "elements per scan request")
+		op        = flag.String("op", "sum", "scan operator: sum, max, min, mul")
+		kind      = flag.String("kind", "exclusive", "exclusive or inclusive")
+		dir       = flag.String("dir", "forward", "forward or backward")
+		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
+		timeout   = flag.Duration("timeout", 5*time.Second, "per-request deadline (0 = none)")
+		attempts  = flag.Int("retries", 4, "retry budget per request (total attempts)")
+		stream    = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
+		chunk     = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
 		workersN  = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
+		proto     = flag.String("proto", serve.ProtoJSON, "wire protocol for remote and cluster modes: json or bin")
 		benchPath = flag.String("bench-json", "", "write a machine-readable bench report (throughput, p50/p99 latency, outcome counts, allocs/request) to this path")
+		benchApp  = flag.Bool("bench-append", false, "append this phase to an existing -bench-json file instead of starting it fresh")
 	)
 	flag.Parse()
 	if *chunk <= 0 {
@@ -253,17 +289,17 @@ func main() {
 			os.Exit(1)
 		}
 		var out outcomes
-		fmt.Printf("cluster: %d workers, %d clients × %d-element %s scans, %d requests total\n",
-			*workersN, *clients, *n, spec, *requests)
+		fmt.Printf("cluster: %d workers (%s wire), %d clients × %d-element %s scans, %d requests total\n",
+			*workersN, *proto, *clients, *n, spec, *requests)
 		m0 := memSnap()
-		elapsed, cst, err := driveCluster(*workersN, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
+		elapsed, cst, err := driveCluster(*workersN, *proto, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
 		if *benchPath != "" {
-			writeBenchJSON(*benchPath, benchPhase(fmt.Sprintf("cluster-%dw", *workersN),
-				*clients, *requests, *n, elapsed, m0, &out))
+			writeBenchJSON(*benchPath, benchPhase(fmt.Sprintf("cluster-%dw", *workersN), *proto,
+				*clients, *requests, *n, elapsed, m0, &out), *benchApp)
 		}
 		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
 		fmt.Println("  ", cst)
@@ -278,7 +314,7 @@ func main() {
 	if *addr != "" {
 		var out outcomes
 		m0 := memSnap()
-		elapsed, err := driveRemote(*addr, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out, *stream, *chunk)
+		elapsed, err := driveRemote(*addr, *proto, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
@@ -288,7 +324,7 @@ func main() {
 			label += " (streamed)"
 		}
 		if *benchPath != "" {
-			writeBenchJSON(*benchPath, benchPhase(label, *clients, *requests, *n, elapsed, m0, &out))
+			writeBenchJSON(*benchPath, benchPhase(label, *proto, *clients, *requests, *n, elapsed, m0, &out), *benchApp)
 		}
 		report(label, *requests, *n, elapsed)
 		fmt.Println("  ", out.String())
@@ -314,7 +350,7 @@ func main() {
 	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
 	// The bench report covers the fused phase only (the production
 	// config); the unfused phase below exists to price fusion.
-	rep := benchPhase("in-process-fused", *clients, *requests, *n, tFused, m0, &outFused)
+	rep := benchPhase("in-process-fused", "none", *clients, *requests, *n, tFused, m0, &outFused)
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
 	fmt.Println("  ", outFused.String())
@@ -325,7 +361,7 @@ func main() {
 	fmt.Printf("fusion speedup: %.2fx\n", float64(tUnfused)/float64(tFused))
 	if *benchPath != "" {
 		rep.FusionSpeedup = float64(tUnfused) / float64(tFused)
-		writeBenchJSON(*benchPath, rep)
+		writeBenchJSON(*benchPath, rep, *benchApp)
 	}
 	if lost := outFused.lost.Load() + outUnfused.lost.Load(); lost > 0 {
 		fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
@@ -391,11 +427,11 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 // redial: scans are pure, so resubmitting on a fresh connection is
 // safe, and a request only counts as lost once the retry budget is
 // exhausted without any classified response.
-func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
+func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir string,
 	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, error) {
 	conns := make([]*serve.Client, clients)
 	for i := range conns {
-		c, err := serve.Dial(addr)
+		c, err := serve.DialProto(addr, proto)
 		if err != nil {
 			return 0, err
 		}
@@ -440,7 +476,7 @@ func driveRemote(addr string, clients, requests, n int, op, kind, dir string,
 					if err != nil && isConnError(err) {
 						// Unknown fate: the conn died. Redial so the
 						// next attempt has a live connection.
-						if fresh, derr := serve.Dial(addr); derr == nil {
+						if fresh, derr := serve.DialProto(addr, proto); derr == nil {
 							conns[c].Close()
 							conns[c] = fresh
 							out.redials.Add(1)
@@ -486,7 +522,7 @@ func isConnError(err error) bool {
 // coordinator. Giant scans split into per-worker shards exactly as they
 // would across hosts; the coordinator's own retry/hedge machinery is
 // live, and its stats are returned for the report.
-func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
+func driveCluster(nWorkers int, proto string, spec serve.Spec, clients, requests, n int,
 	maxWait, timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
 	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
 	workers := make([]*serve.NetServer, 0, nWorkers)
@@ -506,6 +542,7 @@ func driveCluster(nWorkers int, spec serve.Spec, clients, requests, n int,
 	}
 	coord, err := cluster.New(cluster.Config{
 		Workers: addrs,
+		Proto:   proto,
 		Retry:   serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
 	})
 	if err != nil {

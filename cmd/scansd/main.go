@@ -10,6 +10,16 @@
 // batching window, not N passes. cmd/scanload is the matching load
 // generator.
 //
+// A connection may instead negotiate the length-prefixed BINARY
+// protocol (internal/binwire) by opening with the "\x00bin/1\n"
+// preamble: payload vectors travel as raw little-endian words with no
+// per-element parsing, and any number of requests multiplex in flight
+// on one connection. The server answers the preamble in kind and
+// speaks binary for the rest of the connection; legacy clients that
+// never send it get newline-JSON exactly as before. serve.DialBin (and
+// scanload -proto bin) speak it; a binary-first client degrades to
+// JSON per connection against a pre-binwire server.
+//
 // Error responses carry a machine-readable "code" ("overloaded",
 // "shed", "deadline", "internal", ...) so clients can branch retry vs
 // give-up; requests may carry "timeout_ms" (the server drops them
@@ -77,6 +87,7 @@ func main() {
 		hedgeAfter  = flag.Duration("hedge-after", 0, "coordinator: duplicate a slow shard on another worker after this long (0 = off)")
 		ejectAfter  = flag.Int("eject-after", 3, "coordinator: eject a worker after this many consecutive connection failures")
 		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: probe ejected workers this often")
+		workerProto = flag.String("worker-proto", serve.ProtoBin, "coordinator: wire protocol to workers (bin or json; bin degrades per connection against pre-binwire workers)")
 
 		maxConns  = flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
 		perConn   = flag.Int("per-conn-inflight", 0, "per-connection in-flight request cap (0 = unlimited)")
@@ -128,6 +139,7 @@ func main() {
 			MinShardElems: *minShard,
 			MaxPieceElems: *maxPiece,
 			MaxLineBytes:  *maxLine,
+			Proto:         *workerProto,
 			Retry:         serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
 			HedgeAfter:    *hedgeAfter,
 			EjectAfter:    *ejectAfter,

@@ -1,0 +1,261 @@
+package binwire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"math/rand"
+	"testing"
+
+	"scans/internal/arena"
+)
+
+// readOne frames-up a buffer and reads one payload back.
+func readOne(t *testing.T, frame []byte, max int) ([]byte, error) {
+	t.Helper()
+	return ReadFrame(bufio.NewReader(bytes.NewReader(frame)), max)
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 3, 64, 1000} {
+		data := make([]int64, n)
+		for i := range data {
+			data[i] = rng.Int63() - rng.Int63()
+		}
+		frame := AppendScan(nil, 42, 1, 0, 1, ElemInt64, 2500, "tenant-a", data, nil)
+		if len(frame) != ScanFrameBytes("tenant-a", n) {
+			t.Fatalf("n=%d: frame size %d, ScanFrameBytes says %d", n, len(frame), ScanFrameBytes("tenant-a", n))
+		}
+		payload, err := readOne(t, frame, len(frame))
+		if err != nil {
+			t.Fatalf("n=%d: ReadFrame: %v", n, err)
+		}
+		req, err := ParseRequest(payload)
+		arena.PutBytes(payload)
+		if err != nil {
+			t.Fatalf("n=%d: ParseRequest: %v", n, err)
+		}
+		if req.Type != FScan || req.ID != 42 || req.Op != 1 || req.Kind != 0 || req.Dir != 1 ||
+			req.Elem != ElemInt64 || req.TimeoutMS != 2500 || req.Tenant != "tenant-a" {
+			t.Fatalf("n=%d: header mismatch: %+v", n, req)
+		}
+		if len(req.Data) != n {
+			t.Fatalf("n=%d: got %d elements", n, len(req.Data))
+		}
+		for i := range data {
+			if req.Data[i] != data[i] {
+				t.Fatalf("n=%d: element %d: got %d want %d", n, i, req.Data[i], data[i])
+			}
+		}
+		if len(req.Data) > 0 {
+			arena.PutInt64s(req.Data)
+		}
+	}
+}
+
+func TestFloatScanRoundTrip(t *testing.T) {
+	fdata := []float64{1.5, math.Inf(1), math.Inf(-1), math.NaN(), -0.0, math.MaxFloat64, math.SmallestNonzeroFloat64}
+	frame := AppendScan(nil, 9, 0, 1, 0, ElemFloat64, 0, "", nil, fdata)
+	payload, err := readOne(t, frame, len(frame))
+	if err != nil {
+		t.Fatalf("ReadFrame: %v", err)
+	}
+	req, err := ParseRequest(payload)
+	arena.PutBytes(payload)
+	if err != nil {
+		t.Fatalf("ParseRequest: %v", err)
+	}
+	if req.Elem != ElemFloat64 || len(req.FData) != len(fdata) {
+		t.Fatalf("decoded %+v", req)
+	}
+	for i, f := range fdata {
+		// Bitwise identity: NaN payloads and signed zeros must survive.
+		if math.Float64bits(req.FData[i]) != math.Float64bits(f) {
+			t.Fatalf("element %d: got %x want %x", i, math.Float64bits(req.FData[i]), math.Float64bits(f))
+		}
+	}
+}
+
+func TestStreamFramesRoundTrip(t *testing.T) {
+	var buf []byte
+	buf = AppendStreamOpen(buf, 1, 77, 0, 1, 0, ElemInt64)
+	buf = AppendStreamChunk(buf, 2, 77, 1000, []int64{5, -6, 7})
+	buf = AppendStreamClose(buf, 3, 77)
+	r := bufio.NewReader(bytes.NewReader(buf))
+
+	p1, err := ReadFrame(r, 1<<20)
+	if err != nil {
+		t.Fatalf("frame 1: %v", err)
+	}
+	open, err := ParseRequest(p1)
+	arena.PutBytes(p1)
+	if err != nil || open.Type != FStreamOpen || open.ID != 1 || open.Stream != 77 || open.Kind != 1 {
+		t.Fatalf("open decode: %+v err=%v", open, err)
+	}
+
+	p2, err := ReadFrame(r, 1<<20)
+	if err != nil {
+		t.Fatalf("frame 2: %v", err)
+	}
+	chunk, err := ParseRequest(p2)
+	arena.PutBytes(p2)
+	if err != nil || chunk.Type != FStreamChunk || chunk.ID != 2 || chunk.Stream != 77 ||
+		chunk.TimeoutMS != 1000 || len(chunk.Data) != 3 || chunk.Data[1] != -6 {
+		t.Fatalf("chunk decode: %+v err=%v", chunk, err)
+	}
+	arena.PutInt64s(chunk.Data)
+
+	p3, err := ReadFrame(r, 1<<20)
+	if err != nil {
+		t.Fatalf("frame 3: %v", err)
+	}
+	cl, err := ParseRequest(p3)
+	arena.PutBytes(p3)
+	if err != nil || cl.Type != FStreamClose || cl.ID != 3 || cl.Stream != 77 {
+		t.Fatalf("close decode: %+v err=%v", cl, err)
+	}
+}
+
+func TestResponseRoundTrips(t *testing.T) {
+	cases := []struct {
+		name  string
+		frame []byte
+		check func(t *testing.T, resp Response)
+	}{
+		{"result", AppendResult(nil, 4, []int64{1, -2, math.MaxInt64, math.MinInt64}), func(t *testing.T, resp Response) {
+			if resp.Type != FResult || resp.ID != 4 || len(resp.Result) != 4 || resp.Result[3] != math.MinInt64 {
+				t.Fatalf("got %+v", resp)
+			}
+			arena.PutInt64s(resp.Result)
+		}},
+		{"empty-result", AppendResult(nil, 5, nil), func(t *testing.T, resp Response) {
+			if resp.Type != FResult || resp.ID != 5 || len(resp.Result) != 0 {
+				t.Fatalf("got %+v", resp)
+			}
+		}},
+		{"fresult", AppendFloatResult(nil, 6, []float64{math.Inf(-1), 2.25}), func(t *testing.T, resp Response) {
+			if resp.Type != FFloatResult || resp.ID != 6 || len(resp.FResult) != 2 || !math.IsInf(resp.FResult[0], -1) || resp.FResult[1] != 2.25 {
+				t.Fatalf("got %+v", resp)
+			}
+		}},
+		{"total", AppendTotal(nil, 7, -12345), func(t *testing.T, resp Response) {
+			if resp.Type != FTotal || resp.ID != 7 || resp.Total != -12345 {
+				t.Fatalf("got %+v", resp)
+			}
+		}},
+		{"error", AppendError(nil, 8, "overloaded", "queue full"), func(t *testing.T, resp Response) {
+			if resp.Type != FError || resp.ID != 8 || resp.Code != "overloaded" || resp.Error != "queue full" {
+				t.Fatalf("got %+v", resp)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		payload, err := readOne(t, tc.frame, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: ReadFrame: %v", tc.name, err)
+		}
+		resp, err := ParseResponse(payload)
+		arena.PutBytes(payload)
+		if err != nil {
+			t.Fatalf("%s: ParseResponse: %v", tc.name, err)
+		}
+		tc.check(t, resp)
+	}
+}
+
+func TestReadFrameTooBig(t *testing.T) {
+	frame := AppendScan(nil, 123456, 0, 0, 0, ElemInt64, 0, "", make([]int64, 100), nil)
+	payload, err := readOne(t, frame, 64)
+	if !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("want ErrFrameTooBig, got %v", err)
+	}
+	// The salvaged prefix recovers the id for the error response.
+	if id := RequestID(payload); id != 123456 {
+		t.Fatalf("RequestID on prefix: got %d want 123456", id)
+	}
+}
+
+func TestReadFrameZeroLength(t *testing.T) {
+	if _, err := readOne(t, []byte{0, 0, 0, 0}, 1<<20); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame for zero-length frame, got %v", err)
+	}
+}
+
+func TestReadFrameTruncatedBody(t *testing.T) {
+	frame := AppendResult(nil, 1, []int64{1, 2, 3})
+	_, err := readOne(t, frame[:len(frame)-5], 1<<20)
+	if err == nil || errors.Is(err, ErrBadFrame) || errors.Is(err, ErrFrameTooBig) {
+		// A half-delivered frame is an io error (connection died), not a
+		// structural verdict about a frame we never saw whole.
+		t.Fatalf("want io error for truncated body, got %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+// TestParseRejectsMalformed drives structurally-damaged payloads
+// through both parsers: every case must fail with ErrBadFrame, never
+// panic, and never leak (the arena ledger is balanced around the loop).
+func TestParseRejectsMalformed(t *testing.T) {
+	before := arena.Stats()
+	good := AppendScan(nil, 1, 0, 0, 0, ElemInt64, 0, "t", []int64{1, 2}, nil)[4:]
+	cases := map[string][]byte{
+		"empty":              {},
+		"unknown-type":       {0x7F, 0, 0, 0, 0, 0, 0, 0, 0},
+		"short-scan":         good[:10],
+		"count-over-payload": append(append([]byte{}, good[:len(good)-16]...), 0xFF, 0xFF),
+		"trailing-garbage":   append(append([]byte{}, good...), 0xEE),
+	}
+	for name, payload := range cases {
+		if _, err := ParseRequest(payload); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("ParseRequest(%s): want ErrBadFrame, got %v", name, err)
+		}
+	}
+	respCases := map[string][]byte{
+		"empty":         {},
+		"request-type":  good,
+		"short-result":  {FResult, 1, 2, 3},
+		"count-lies":    {FResult, 0, 0, 0, 0, 0, 0, 0, 0, 9, 0, 0, 0},
+		"error-lengths": {FError, 0, 0, 0, 0, 0, 0, 0, 0, 200},
+	}
+	for name, payload := range respCases {
+		if _, err := ParseResponse(payload); !errors.Is(err, ErrBadFrame) {
+			t.Fatalf("ParseResponse(%s): want ErrBadFrame, got %v", name, err)
+		}
+	}
+	after := arena.Stats()
+	if gets, puts := after.Gets-before.Gets, after.Puts-before.Puts; gets != puts {
+		t.Fatalf("malformed-frame parsing leaked buffers: %d gets vs %d puts", gets, puts)
+	}
+}
+
+// TestFrameSizeHelpers pins the sizing helpers to the encoders — the
+// arena-backed hot paths size buffers with them, so drift would mean
+// reallocation (or worse, short buffers) on every request.
+func TestFrameSizeHelpers(t *testing.T) {
+	if got := len(AppendStreamOpen(nil, 1, 2, 0, 0, 0, 0)); got != StreamOpenFrameBytes() {
+		t.Fatalf("StreamOpenFrameBytes: %d vs %d", got, StreamOpenFrameBytes())
+	}
+	if got := len(AppendStreamChunk(nil, 1, 2, 3, make([]int64, 17))); got != StreamChunkFrameBytes(17) {
+		t.Fatalf("StreamChunkFrameBytes: %d vs %d", got, StreamChunkFrameBytes(17))
+	}
+	if got := len(AppendStreamClose(nil, 1, 2)); got != StreamCloseFrameBytes() {
+		t.Fatalf("StreamCloseFrameBytes: %d vs %d", got, StreamCloseFrameBytes())
+	}
+	if got := len(AppendResult(nil, 1, make([]int64, 9))); got != ResultFrameBytes(9) {
+		t.Fatalf("ResultFrameBytes: %d vs %d", got, ResultFrameBytes(9))
+	}
+	if got := len(AppendFloatResult(nil, 1, make([]float64, 9))); got != ResultFrameBytes(9) {
+		t.Fatalf("ResultFrameBytes(float): %d vs %d", got, ResultFrameBytes(9))
+	}
+	if got := len(AppendTotal(nil, 1, 2)); got != TotalFrameBytes() {
+		t.Fatalf("TotalFrameBytes: %d vs %d", got, TotalFrameBytes())
+	}
+	if got := len(AppendError(nil, 1, "code", "message")); got != ErrorFrameBytes("code", "message") {
+		t.Fatalf("ErrorFrameBytes: %d vs %d", got, ErrorFrameBytes("code", "message"))
+	}
+}

@@ -77,6 +77,17 @@ type Config struct {
 	// must match the workers' own NetConfig.MaxLineBytes. Default
 	// serve.DefaultMaxLineBytes.
 	MaxLineBytes int
+	// Proto selects the coordinator↔worker wire protocol:
+	// serve.ProtoBin (the default) or serve.ProtoJSON. Binary moves
+	// shard payloads as raw little-endian words — no per-element
+	// formatting on the way out, no per-element parsing on the way back
+	// — which is where a coordinator spends most of its CPU at large n.
+	// A ProtoBin dial degrades per connection against a pre-binwire
+	// worker, so a mixed-generation fleet still works. The piece-size
+	// clamp stays at JSON's 21-bytes-per-element worst case either way:
+	// conservative for binary, but it keeps pieces response-safe even on
+	// a connection that degraded to JSON mid-fleet.
+	Proto string
 	// Retry is the per-piece retry policy (serve.RetryPolicy's zero
 	// value: 4 attempts, exponential backoff, jitter). Retries after the
 	// first attempt prefer a different healthy worker.
@@ -114,6 +125,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxLineBytes <= 0 {
 		c.MaxLineBytes = serve.DefaultMaxLineBytes
+	}
+	if c.Proto == "" {
+		c.Proto = serve.ProtoBin
 	}
 	if budget := (c.MaxLineBytes-64)/21 - 2; c.MaxPieceElems > budget {
 		c.MaxPieceElems = budget
@@ -156,6 +170,11 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Workers) {
 		return nil, fmt.Errorf("cluster: %d weights for %d workers", len(cfg.Weights), len(cfg.Workers))
+	}
+	switch cfg.Proto {
+	case "", serve.ProtoBin, serve.ProtoJSON:
+	default:
+		return nil, fmt.Errorf("cluster: unknown worker protocol %q", cfg.Proto)
 	}
 	cfg = cfg.withDefaults()
 	c := &Coordinator{

@@ -89,8 +89,16 @@ func FuzzShardedScanMatchesSingleNode(f *testing.F) {
 			faults.Arm(fault.ClusterWorkerDrop, 0.05)
 		}
 		nw := 1 + int(nwB)%5
+		// The worker protocol is a fuzz dimension too: shard math must be
+		// transport-blind, so JSON and binary coordinators face the same
+		// single-node reference.
+		proto := serve.ProtoBin
+		if faultB%2 == 1 {
+			proto = serve.ProtoJSON
+		}
 		coord, err := New(Config{
 			Workers:       addrs[:nw],
+			Proto:         proto,
 			MinShardElems: 1 + int(faultB%7),
 			MaxPieceElems: 2 + int(faultB%13),
 			Retry:         serve.RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},

@@ -17,6 +17,7 @@ type worker struct {
 	addr    string
 	weight  float64
 	maxLine int
+	proto   string
 
 	healthy atomic.Bool
 	consec  atomic.Int64 // consecutive connection-level failures
@@ -33,7 +34,7 @@ func (w *worker) client() (*serve.Client, error) {
 	if w.cli != nil {
 		return w.cli, nil
 	}
-	cli, err := serve.DialMaxLine(w.addr, w.maxLine)
+	cli, err := serve.DialMaxLineProto(w.addr, w.maxLine, w.proto)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +98,7 @@ func newRegistry(cfg Config, stats *coordStats) *registry {
 		if cfg.Weights != nil && cfg.Weights[i] > 0 {
 			weight = cfg.Weights[i]
 		}
-		w := &worker{addr: addr, weight: weight, maxLine: cfg.MaxLineBytes}
+		w := &worker{addr: addr, weight: weight, maxLine: cfg.MaxLineBytes, proto: cfg.Proto}
 		w.healthy.Store(true)
 		r.workers[i] = w
 	}

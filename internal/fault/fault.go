@@ -54,6 +54,17 @@ const (
 	// ClusterWorkerDrop kills the coordinator's connection to a worker
 	// while a shard is in flight, simulating a worker dying mid-scan.
 	ClusterWorkerDrop = "cluster.worker.drop"
+	// WireTruncate cuts a binary-protocol response frame in half and
+	// closes the connection — the frame-level analogue of PartialWrite.
+	// A binary stream has no resync point, so the client must treat the
+	// torn frame as a dead connection, never as a response.
+	WireTruncate = "wire.truncate"
+	// WireCorruptLen flips bits in a binary response frame's length
+	// prefix before writing it, then closes the connection: the client's
+	// framing layer must detect the damage (absurd length, short read,
+	// or a payload that fails structural validation) and kill the
+	// connection rather than deliver garbage.
+	WireCorruptLen = "wire.corrupt-len"
 	// ClockSkew perturbs the serving layer's deadline clock: an admitted
 	// request's enqueue timestamp is aged backward by the armed duration,
 	// as if the submitting machine's clock had jumped. Queue-age shedding

@@ -63,6 +63,13 @@ func TestChaosSoak(t *testing.T) {
 	// the age-based shedder must fail it with a typed ErrShed — and the
 	// shed path must still recycle the request's payload buffer.
 	faults.ArmSleep(fault.ClockSkew, 0.02, time.Second)
+	// Frame-level chaos for the binary half of the client fleet: torn
+	// frames and corrupted length prefixes mid-response. Both kill the
+	// connection server-side; the client must classify them as
+	// conn-level (fate unknown) and the arena ledger must still close —
+	// the writer goroutine recycles frames even after the conn dies.
+	faults.Arm(fault.WireTruncate, 0.01)
+	faults.Arm(fault.WireCorruptLen, 0.01)
 
 	ns := startNetCfg(t,
 		Config{
@@ -94,7 +101,15 @@ func TestChaosSoak(t *testing.T) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(cl)))
 			var local tally
-			conn, err := Dial(ns.Addr())
+			// Odd-indexed clients speak the binary protocol, so the soak
+			// exercises both codecs (and both chaos families) on one server.
+			dial := func() (*Client, error) {
+				if cl%2 == 1 {
+					return DialProto(ns.Addr(), ProtoBin)
+				}
+				return Dial(ns.Addr())
+			}
+			conn, err := dial()
 			if err != nil {
 				mu.Lock()
 				firstWd = fmt.Errorf("client %d: initial dial: %w", cl, err)
@@ -135,7 +150,7 @@ func TestChaosSoak(t *testing.T) {
 					}
 					if isConnLevel(err) {
 						// Unknown fate; redial before the retry.
-						if fresh, derr := Dial(ns.Addr()); derr == nil {
+						if fresh, derr := dial(); derr == nil {
 							conn.Close()
 							conn = fresh
 						}

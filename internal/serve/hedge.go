@@ -1,0 +1,191 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// Client-side hedging against ONE server across TWO connections — the
+// single-server analogue of the cluster coordinator's cross-worker
+// hedging (cluster.attemptHedged). The failure this buys out of is not
+// a dead server but a dead or degraded CONNECTION: a response frame
+// torn by wire chaos, a stalled socket buffer, or a head-of-line batch
+// monopolizing one connection's writer. The two connections are
+// independent TCP streams (and independently negotiated, so they hedge
+// identically over binary or JSON framing); a request that has not
+// answered within HedgeAfter is duplicated on the second connection
+// and the first success wins.
+//
+// Scans are idempotent reads, so duplicating one is semantically free;
+// the costs are the duplicate's server work and the arena discipline:
+// a duplicate SUCCESS carries an arena-backed result that must be
+// recycled, and a still-running loser is reading the caller's payload,
+// which the caller is entitled to reuse the moment we return. Both are
+// paid in one place: the winner reels the loser in (cancel + drain)
+// before returning — never leaving a goroutine behind that touches the
+// payload, mirroring the coordinator's rule.
+
+// HedgedClient wraps two Clients dialed to the same address. Safe for
+// concurrent use, like Client. Zero value is not usable; dial with
+// DialHedged.
+type HedgedClient struct {
+	primary    *Client
+	secondary  *Client
+	hedgeAfter time.Duration
+
+	hedges    atomic.Uint64 // duplicates launched
+	hedgeWins atomic.Uint64 // races the duplicate won
+}
+
+// HedgeStats is a snapshot of a HedgedClient's counters.
+type HedgeStats struct {
+	Hedges    uint64 // duplicate requests launched
+	HedgeWins uint64 // races won by the duplicate
+}
+
+// DefaultHedgeAfter is the hedge trigger when DialHedged is given a
+// non-positive one: long enough that a healthy round trip answers
+// first (loopback scans run well under a millisecond), short enough to
+// matter against a multi-second stall.
+const DefaultHedgeAfter = 20 * time.Millisecond
+
+// DialHedged opens two connections to addr with the given protocol
+// (ProtoJSON, ProtoBin, or empty for JSON) and hedges any scan still
+// unanswered after hedgeAfter (non-positive means DefaultHedgeAfter).
+func DialHedged(addr, proto string, hedgeAfter time.Duration) (*HedgedClient, error) {
+	if hedgeAfter <= 0 {
+		hedgeAfter = DefaultHedgeAfter
+	}
+	primary, err := DialMaxLineProto(addr, DefaultMaxLineBytes, proto)
+	if err != nil {
+		return nil, err
+	}
+	secondary, err := DialMaxLineProto(addr, DefaultMaxLineBytes, proto)
+	if err != nil {
+		primary.Close()
+		return nil, err
+	}
+	return &HedgedClient{primary: primary, secondary: secondary, hedgeAfter: hedgeAfter}, nil
+}
+
+// Close tears down both connections; outstanding scans fail.
+func (h *HedgedClient) Close() error {
+	err := h.primary.Close()
+	if serr := h.secondary.Close(); err == nil {
+		err = serr
+	}
+	return err
+}
+
+// Stats snapshots the hedge counters.
+func (h *HedgedClient) Stats() HedgeStats {
+	return HedgeStats{Hedges: h.hedges.Load(), HedgeWins: h.hedgeWins.Load()}
+}
+
+// Scan is Client.Scan with hedging.
+func (h *HedgedClient) Scan(op, kind, dir string, data []int64) ([]int64, error) {
+	return h.ScanCtx(context.Background(), op, kind, dir, data)
+}
+
+// ScanCtx is Client.ScanCtx with hedging: if the primary connection
+// has not answered within HedgeAfter (or fails outright with a
+// connection-level error), the request is duplicated on the secondary
+// and the first success wins. Request-level rejections (bad_request,
+// overloaded, ...) are NOT hedged — the duplicate would hit the same
+// server and be rejected the same way, so they fail fast.
+func (h *HedgedClient) ScanCtx(ctx context.Context, op, kind, dir string, data []int64) ([]int64, error) {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel() // reels in the loser
+	type result struct {
+		res   []int64
+		err   error
+		hedge bool
+	}
+	ch := make(chan result, 2)
+	launch := func(c *Client, hedge bool) {
+		go func() {
+			r, e := c.ScanCtx(actx, op, kind, dir, data)
+			ch <- result{r, e, hedge}
+		}()
+	}
+	launch(h.primary, false)
+	timer := time.NewTimer(h.hedgeAfter)
+	defer timer.Stop()
+	inflight, hedged := 1, false
+	var primaryErr error
+	for {
+		select {
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				h.hedges.Add(1)
+				inflight++
+				launch(h.secondary, true)
+			}
+		case r := <-ch:
+			inflight--
+			if r.err == nil {
+				if r.hedge {
+					h.hedgeWins.Add(1)
+				}
+				// Reel the loser in BEFORE returning: its round trip is
+				// still reading data, which the caller may recycle the
+				// moment we return — and a duplicate success carries an
+				// arena-backed result that must circulate, not leak.
+				cancel()
+				for ; inflight > 0; inflight-- {
+					lr := <-ch
+					releaseData(lr.res)
+				}
+				return r.res, nil
+			}
+			if !r.hedge {
+				primaryErr = r.err
+			}
+			// A typed request-level rejection is the server's verdict on
+			// this request, delivered over a healthy connection; the
+			// duplicate hits the same server and gets the same answer, so
+			// fail fast instead of racing or waiting it out.
+			if requestLevel(r.err) {
+				cancel()
+				for ; inflight > 0; inflight-- {
+					lr := <-ch
+					releaseData(lr.res)
+				}
+				return nil, r.err
+			}
+			// A connection-level failure before the timer fired: promote
+			// the hedge immediately rather than waiting out a timer
+			// against a connection already known dead.
+			if !hedged {
+				hedged = true
+				h.hedges.Add(1)
+				inflight++
+				launch(h.secondary, true)
+			}
+			if inflight == 0 {
+				if primaryErr != nil {
+					return nil, primaryErr
+				}
+				return nil, r.err
+			}
+		}
+	}
+}
+
+// requestLevel reports whether err is a server's typed verdict on THIS
+// request (same answer guaranteed on a retry or duplicate) rather than
+// a transport failure worth racing a second connection against.
+func requestLevel(err error) bool {
+	for _, sentinel := range []error{
+		ErrBadRequest, ErrOverloaded, ErrShed, ErrNoStream,
+		ErrStreamFailed, context.DeadlineExceeded, context.Canceled,
+	} {
+		if errors.Is(err, sentinel) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,164 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestHedgedClientFastPath: against a healthy server the hedge timer
+// never fires — results are correct and no duplicates launch.
+func TestHedgedClientFastPath(t *testing.T) {
+	ns := startNet(t, Config{})
+	for _, proto := range []string{ProtoJSON, ProtoBin} {
+		hc, err := DialHedged(ns.Addr(), proto, 2*time.Second)
+		if err != nil {
+			t.Fatalf("%s: DialHedged: %v", proto, err)
+		}
+		res, err := hc.Scan("sum", "inclusive", "forward", []int64{1, 2, 3})
+		if err != nil {
+			t.Fatalf("%s: Scan: %v", proto, err)
+		}
+		if len(res) != 3 || res[2] != 6 {
+			t.Fatalf("%s: got %v", proto, res)
+		}
+		releaseData(res)
+		if s := hc.Stats(); s.Hedges != 0 || s.HedgeWins != 0 {
+			t.Fatalf("%s: healthy round trip hedged: %+v", proto, s)
+		}
+		hc.Close()
+	}
+}
+
+// hedgeTestServer is a fake JSON server whose FIRST accepted connection
+// misbehaves (per breakFirst) while later connections serve normally.
+// DialHedged dials primary then secondary in order, so the primary
+// lands on the broken connection deterministically.
+func hedgeTestServer(t *testing.T, breakFirst func(conn net.Conn, r *bufio.Reader)) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		first := true
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			broken := first
+			first = false
+			go func() {
+				defer conn.Close()
+				r := bufio.NewReader(conn)
+				if broken {
+					breakFirst(conn, r)
+					return
+				}
+				for {
+					line, err := r.ReadString('\n')
+					if err != nil {
+						return
+					}
+					var req WireRequest
+					if json.Unmarshal([]byte(line), &req) != nil {
+						return
+					}
+					res := make([]int64, len(req.Data))
+					var acc int64
+					for i, v := range req.Data {
+						acc += v
+						res[i] = acc
+					}
+					out, _ := json.Marshal(WireResponse{ID: req.ID, Result: res})
+					conn.Write(append(out, '\n'))
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestHedgedClientWinsOnStall: the primary connection swallows requests
+// without answering; after HedgeAfter the duplicate on the secondary
+// must win, and the stalled loser is reeled in before Scan returns.
+func TestHedgedClientWinsOnStall(t *testing.T) {
+	addr := hedgeTestServer(t, func(conn net.Conn, r *bufio.Reader) {
+		// Read requests forever, answer nothing: a stalled server thread.
+		for {
+			if _, err := r.ReadString('\n'); err != nil {
+				return
+			}
+		}
+	})
+	hc, err := DialHedged(addr, ProtoJSON, 10*time.Millisecond)
+	if err != nil {
+		t.Fatalf("DialHedged: %v", err)
+	}
+	defer hc.Close()
+	res, err := hc.Scan("sum", "inclusive", "forward", []int64{4, 5})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(res) != 2 || res[0] != 4 || res[1] != 9 {
+		t.Fatalf("got %v", res)
+	}
+	releaseData(res)
+	if s := hc.Stats(); s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Fatalf("want one hedge and one hedge win, got %+v", s)
+	}
+}
+
+// TestHedgedClientHedgesOnConnDeath: the primary connection dies
+// outright; the hedge must be promoted immediately (no timer wait) and
+// the duplicate's success returned.
+func TestHedgedClientHedgesOnConnDeath(t *testing.T) {
+	addr := hedgeTestServer(t, func(conn net.Conn, r *bufio.Reader) {
+		// Die on first contact: the first request's round trip fails at
+		// the connection level.
+		r.ReadString('\n')
+	})
+	// A long HedgeAfter proves the conn-death path doesn't wait for it.
+	hc, err := DialHedged(addr, ProtoJSON, time.Hour)
+	if err != nil {
+		t.Fatalf("DialHedged: %v", err)
+	}
+	defer hc.Close()
+	start := time.Now()
+	res, err := hc.Scan("sum", "inclusive", "forward", []int64{7})
+	if err != nil {
+		t.Fatalf("Scan: %v", err)
+	}
+	if len(res) != 1 || res[0] != 7 {
+		t.Fatalf("got %v", res)
+	}
+	releaseData(res)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("conn-death hedge waited %v (timer path, not promotion)", elapsed)
+	}
+	if s := hc.Stats(); s.Hedges != 1 || s.HedgeWins != 1 {
+		t.Fatalf("want one promoted hedge win, got %+v", s)
+	}
+}
+
+// TestHedgedClientRequestLevelFailsFast: a typed server rejection is
+// authoritative — no duplicate launches for it.
+func TestHedgedClientRequestLevelFailsFast(t *testing.T) {
+	ns := startNet(t, Config{})
+	hc, err := DialHedged(ns.Addr(), ProtoBin, time.Hour)
+	if err != nil {
+		t.Fatalf("DialHedged: %v", err)
+	}
+	defer hc.Close()
+	if _, err := hc.Scan("bogus", "inclusive", "forward", []int64{1}); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("got %v, want ErrBadRequest", err)
+	}
+	if s := hc.Stats(); s.Hedges != 0 {
+		t.Fatalf("request-level rejection hedged: %+v", s)
+	}
+}

@@ -8,12 +8,12 @@ import (
 	"fmt"
 	"io"
 	"net"
-	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scans/internal/arena"
+	"scans/internal/binwire"
 	"scans/internal/fault"
 )
 
@@ -118,8 +118,10 @@ type NetServer struct {
 	ncfg NetConfig
 	ln   net.Listener
 
-	fpDrop    *fault.Point
-	fpPartial *fault.Point
+	fpDrop        *fault.Point
+	fpPartial     *fault.Point
+	fpWireTrunc   *fault.Point
+	fpWireCorrupt *fault.Point
 
 	nconns atomic.Int64
 
@@ -156,13 +158,15 @@ func ListenBackend(addr string, be Backend, ncfg NetConfig) (*NetServer, error) 
 	}
 	ncfg = ncfg.withDefaults()
 	ns := &NetServer{
-		be:        be,
-		ncfg:      ncfg,
-		ln:        ln,
-		fpDrop:    ncfg.Faults.Point(fault.ConnDrop),
-		fpPartial: ncfg.Faults.Point(fault.PartialWrite),
-		conns:     make(map[net.Conn]struct{}),
-		done:      make(chan struct{}),
+		be:            be,
+		ncfg:          ncfg,
+		ln:            ln,
+		fpDrop:        ncfg.Faults.Point(fault.ConnDrop),
+		fpPartial:     ncfg.Faults.Point(fault.PartialWrite),
+		fpWireTrunc:   ncfg.Faults.Point(fault.WireTruncate),
+		fpWireCorrupt: ncfg.Faults.Point(fault.WireCorruptLen),
+		conns:         make(map[net.Conn]struct{}),
+		done:          make(chan struct{}),
 	}
 	go ns.acceptLoop()
 	return ns, nil
@@ -306,14 +310,180 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 	}
 }
 
-// handle reads JSON lines off one connection, submits each to the
-// batch server, and writes responses as futures resolve. Responses are
-// written by per-request goroutines under a write mutex, so a slow
-// batch never blocks later requests from being submitted (that is the
-// whole point of the service). Protocol errors — malformed JSON,
-// oversized lines, unknown specs, admission rejections — are answered
-// with a structured WireResponse carrying an error code (and the
-// request id whenever it is recoverable) rather than a silent close.
+// connCodec abstracts one connection's wire encoding, selected by the
+// negotiation preamble (see negotiate): the legacy newline-JSON codec
+// or the binwire binary codec. The request-dispatch state machine in
+// serveConn — spec parsing, admission, streams, ownership — is shared;
+// only the byte encoding differs.
+type connCodec interface {
+	// readRequest blocks for the next request. Protocol-level failures
+	// that keep the stream in sync (bad JSON, bad frame payload) are
+	// answered and skipped internally; a returned error means the
+	// connection is done (any error response was already sent).
+	readRequest() (WireRequest, error)
+	// respond writes one response. Safe for concurrent use by the
+	// per-request goroutines and stream workers.
+	respond(WireResponse)
+	// worstResp / worstRespFloat bound the encoded size of an n-element
+	// result, for the response-budget admission gate. The JSON codec's
+	// bounds are digit worst cases; the binary codec's are exact.
+	worstResp(n int) int
+	worstRespFloat(n int) int
+	// finish stops the codec's writer. Called after every responder
+	// (pending requests, stream workers) has finished.
+	finish()
+}
+
+// negotiate routes a new connection to its codec by peeking one byte:
+// the binwire Magic's leading NUL can never begin a JSON line, so a NUL
+// means a binary client (consume the preamble, echo it as the ack);
+// anything else is the legacy JSON protocol, byte-untouched. The peek
+// runs under the same idle deadline as any other read.
+func (ns *NetServer) negotiate(conn net.Conn, r *bufio.Reader) (bin bool, err error) {
+	if ns.ncfg.IdleTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(ns.ncfg.IdleTimeout))
+	}
+	first, err := r.Peek(1)
+	if err != nil {
+		return false, err
+	}
+	if first[0] != binwire.Magic[0] {
+		return false, nil
+	}
+	buf := make([]byte, len(binwire.Magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return false, err
+	}
+	if string(buf) != binwire.Magic {
+		return false, fmt.Errorf("bad negotiation preamble %q", buf)
+	}
+	if ns.ncfg.WriteTimeout > 0 {
+		conn.SetWriteDeadline(time.Now().Add(ns.ncfg.WriteTimeout))
+	}
+	if _, err := conn.Write([]byte(binwire.Magic)); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// handle negotiates one connection's codec and serves it.
+func (ns *NetServer) handle(conn net.Conn) {
+	defer conn.Close()
+	r := bufio.NewReaderSize(conn, 64<<10)
+	bin, err := ns.negotiate(conn, r)
+	if err != nil {
+		return
+	}
+	var codec connCodec
+	if bin {
+		codec = newBinConn(ns, conn, r)
+	} else {
+		codec = &jsonConn{ns: ns, conn: conn, r: r, w: bufio.NewWriter(conn)}
+	}
+	ns.serveConn(conn, codec)
+}
+
+// jsonConn is the legacy newline-JSON codec: one request line in, one
+// response line out, responses written by per-request goroutines under
+// a write mutex.
+type jsonConn struct {
+	ns   *NetServer
+	conn net.Conn
+	r    *bufio.Reader
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+}
+
+func (j *jsonConn) worstResp(n int) int      { return maxRespBytes(n) }
+func (j *jsonConn) worstRespFloat(n int) int { return maxRespBytesFloat(n) }
+func (j *jsonConn) finish()                  {}
+
+func (j *jsonConn) respond(resp WireResponse) {
+	var line []byte
+	var pooled []byte
+	// Hot path: success responses encode with strconv into an arena
+	// buffer — byte-identical to encoding/json for these shapes
+	// (wire_fast_test.go), with zero steady-state allocation.
+	buf := arena.GetBytes(fastRespSize(resp))[:0]
+	if out, ok := appendWireResponse(buf, resp); ok {
+		pooled, line = out, out
+	} else {
+		arena.PutBytes(buf)
+		var err error
+		line, err = json.Marshal(resp)
+		if err != nil {
+			// Keep the ID: an unmatchable error line would leave the
+			// client's round trip waiting forever.
+			line = []byte(fmt.Sprintf(`{"id":%d,"error":"response marshal failure","code":"internal"}`, resp.ID))
+		}
+	}
+	defer func() {
+		if pooled != nil {
+			arena.PutBytes(pooled)
+		}
+	}()
+	j.wmu.Lock()
+	defer j.wmu.Unlock()
+	if j.ns.ncfg.WriteTimeout > 0 {
+		j.conn.SetWriteDeadline(time.Now().Add(j.ns.ncfg.WriteTimeout))
+	}
+	if j.ns.fpPartial.Fire() {
+		// Chaos: tear the line mid-write and kill the connection.
+		// The client must treat the torn tail as a dead conn, never
+		// as a response.
+		j.w.Write(line[:len(line)/2])
+		j.w.Flush()
+		j.conn.Close()
+		return
+	}
+	j.w.Write(line)
+	j.w.WriteByte('\n')
+	j.w.Flush()
+}
+
+func (j *jsonConn) readRequest() (WireRequest, error) {
+	for {
+		if j.ns.ncfg.IdleTimeout > 0 {
+			j.conn.SetReadDeadline(time.Now().Add(j.ns.ncfg.IdleTimeout))
+		}
+		line, err := readLine(j.r, j.ns.ncfg.MaxLineBytes)
+		if errors.Is(err, errLineTooLong) {
+			j.respond(WireResponse{
+				ID:    extractID(line),
+				Error: fmt.Sprintf("request line exceeds %d bytes", j.ns.ncfg.MaxLineBytes),
+				Code:  CodeTooLarge,
+			})
+			return WireRequest{}, err
+		}
+		if err != nil {
+			return WireRequest{}, err
+		}
+		if len(line) == 0 {
+			continue
+		}
+		var req WireRequest
+		if err := json.Unmarshal(line, &req); err != nil {
+			// A failed decode can still have populated Data (the error
+			// came from a later field); its buffer goes back.
+			releaseData(req.Data)
+			j.respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
+			continue
+		}
+		return req, nil
+	}
+}
+
+// serveConn reads requests off one negotiated connection, submits each
+// to the batch server, and responds as futures resolve. Responses are
+// written as the codec dictates (JSON: per-request goroutines under a
+// write mutex; binary: one writer goroutine interleaving frames), so a
+// slow batch never blocks later requests from being submitted (that is
+// the whole point of the service). Protocol errors — malformed input,
+// oversized requests, unknown specs, admission rejections — are
+// answered with a structured WireResponse carrying an error code (and
+// the request id whenever it is recoverable) rather than a silent
+// close.
 //
 // Stream messages (type stream_open/stream_chunk/stream_close) are
 // routed to the connection's session table; each open stream has one
@@ -321,104 +491,29 @@ func readLine(r *bufio.Reader, max int) ([]byte, error) {
 // k's output). Whatever ends the connection — clean close, idle
 // timeout, a chaos conn.drop — the deferred closeAll tears every
 // session down, so dropped connections leak no stream state.
-func (ns *NetServer) handle(conn net.Conn) {
-	defer conn.Close()
+func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 	var (
-		wmu      sync.Mutex
 		pending  sync.WaitGroup
-		w        = bufio.NewWriter(conn)
 		inflight atomic.Int64
 	)
+	// LIFO teardown: stream workers (closeAll), then request goroutines
+	// (pending.Wait), and only then the codec's writer — every responder
+	// is done before finish stops accepting responses.
+	defer codec.finish()
 	defer pending.Wait()
 	tenant := conn.RemoteAddr().String()
-	respond := func(resp WireResponse) {
-		var line []byte
-		var pooled []byte
-		if resp.Error == "" && resp.Code == "" && resp.FResult == nil && resp.Total == nil {
-			// Hot path: a pure int64 result line. Encode with AppendInt
-			// into an arena buffer sized by maxRespBytes — byte-identical
-			// to what encoding/json produces for this shape (omitempty
-			// drops an empty result), with zero steady-state allocation.
-			pooled = arena.GetBytes(maxRespBytes(len(resp.Result)))[:0]
-			pooled = append(pooled, `{"id":`...)
-			pooled = strconv.AppendUint(pooled, resp.ID, 10)
-			if len(resp.Result) > 0 {
-				pooled = append(pooled, `,"result":[`...)
-				for i, x := range resp.Result {
-					if i > 0 {
-						pooled = append(pooled, ',')
-					}
-					pooled = strconv.AppendInt(pooled, x, 10)
-				}
-				pooled = append(pooled, ']')
-			}
-			pooled = append(pooled, '}')
-			line = pooled
-		} else {
-			var err error
-			line, err = json.Marshal(resp)
-			if err != nil {
-				// Keep the ID: an unmatchable error line would leave the
-				// client's round trip waiting forever.
-				line = []byte(fmt.Sprintf(`{"id":%d,"error":"response marshal failure","code":"internal"}`, resp.ID))
-			}
-		}
-		defer func() {
-			if pooled != nil {
-				arena.PutBytes(pooled)
-			}
-		}()
-		wmu.Lock()
-		defer wmu.Unlock()
-		if ns.ncfg.WriteTimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(ns.ncfg.WriteTimeout))
-		}
-		if ns.fpPartial.Fire() {
-			// Chaos: tear the line mid-write and kill the connection.
-			// The client must treat the torn tail as a dead conn, never
-			// as a response.
-			w.Write(line[:len(line)/2])
-			w.Flush()
-			conn.Close()
-			return
-		}
-		w.Write(line)
-		w.WriteByte('\n')
-		w.Flush()
-	}
-	cs := newConnStreams(ns, respond, tenant)
+	respond := codec.respond
+	cs := newConnStreams(ns, codec, tenant)
 	defer cs.closeAll()
-	r := bufio.NewReaderSize(conn, 64<<10)
 	for {
-		if ns.ncfg.IdleTimeout > 0 {
-			conn.SetReadDeadline(time.Now().Add(ns.ncfg.IdleTimeout))
-		}
-		line, err := readLine(r, ns.ncfg.MaxLineBytes)
-		if errors.Is(err, errLineTooLong) {
-			respond(WireResponse{
-				ID:    extractID(line),
-				Error: fmt.Sprintf("request line exceeds %d bytes", ns.ncfg.MaxLineBytes),
-				Code:  CodeTooLarge,
-			})
-			return
-		}
+		req, err := codec.readRequest()
 		if err != nil {
 			return
 		}
-		if len(line) == 0 {
-			continue
-		}
 		if ns.fpDrop.Fire() {
 			// Chaos: the network "fails" between two requests.
-			return
-		}
-		var req WireRequest
-		if err := json.Unmarshal(line, &req); err != nil {
-			// A failed decode can still have populated Data (the error
-			// came from a later field); its buffer goes back.
 			releaseData(req.Data)
-			respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
-			continue
+			return
 		}
 		switch req.Type {
 		case "":
@@ -455,9 +550,9 @@ func (ns *NetServer) handle(conn net.Conn) {
 			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown elem %q", req.Elem), Code: CodeBadRequest})
 			continue
 		}
-		worst := maxRespBytes(len(req.Data))
+		worst := codec.worstResp(len(req.Data))
 		if isFloat {
-			worst = maxRespBytesFloat(len(req.FData))
+			worst = codec.worstRespFloat(len(req.FData))
 		}
 		if worst > ns.ncfg.MaxLineBytes {
 			// The request line fit, but its RESPONSE might not (prefix
@@ -544,6 +639,8 @@ func (ns *NetServer) handle(conn net.Conn) {
 type Client struct {
 	conn    net.Conn
 	maxLine int
+	bin     bool
+	r       *bufio.Reader
 
 	wmu sync.Mutex
 	w   *bufio.Writer
@@ -556,22 +653,65 @@ type Client struct {
 	closed  bool
 }
 
-// Dial connects to a scansd address. The client's response reader is
-// sized for a server running the default line budget; against a server
-// with a larger MaxLineBytes, use DialMaxLine with the same value.
+// Wire protocol names for DialProto and the cluster/cmd configs.
+const (
+	// ProtoJSON is the legacy newline-delimited-JSON protocol.
+	ProtoJSON = "json"
+	// ProtoBin is the binwire length-prefixed binary protocol.
+	ProtoBin = "bin"
+)
+
+// Dial connects to a scansd address speaking the legacy JSON protocol.
+// The client's response reader is sized for a server running the
+// default line budget; against a server with a larger MaxLineBytes, use
+// DialMaxLine with the same value.
 func Dial(addr string) (*Client, error) {
 	return DialMaxLine(addr, DefaultMaxLineBytes)
 }
 
+// DialBin connects speaking the binary protocol (degrading to JSON
+// against a pre-binwire server; see DialMaxLineProto).
+func DialBin(addr string) (*Client, error) {
+	return DialMaxLineProto(addr, DefaultMaxLineBytes, ProtoBin)
+}
+
+// DialProto is Dial with an explicit protocol (ProtoJSON or ProtoBin;
+// empty means JSON).
+func DialProto(addr, proto string) (*Client, error) {
+	return DialMaxLineProto(addr, DefaultMaxLineBytes, proto)
+}
+
 // DialMaxLine is Dial with an explicit line budget: maxLineBytes must
 // be at least the server's MaxLineBytes, or large responses will kill
-// the connection client-side (bufio.Scanner: token too long) even
-// though the server sent them happily. The reader gets headroom on top
-// of the nominal budget so a response at exactly the server's limit
-// still fits.
+// the connection client-side (token too long) even though the server
+// sent them happily. The reader gets headroom on top of the nominal
+// budget so a response at exactly the server's limit still fits.
 func DialMaxLine(addr string, maxLineBytes int) (*Client, error) {
+	return DialMaxLineProto(addr, maxLineBytes, ProtoJSON)
+}
+
+// negotiateTimeout bounds the binary handshake round trip so a dial
+// against a server that accepts but never answers cannot hang forever.
+const negotiateTimeout = 10 * time.Second
+
+// DialMaxLineProto is DialMaxLine with an explicit protocol. For
+// ProtoBin the client sends the binwire Magic preamble and waits for
+// the echo; a legacy server instead answers the preamble with a
+// bad_json error line, which the client consumes and degrades on —
+// the same connection continues in JSON, so a binary-first client
+// works against any server generation. A connection-scoped rejection
+// (the server's MaxConns limit) surfaces as the dial error.
+func DialMaxLineProto(addr string, maxLineBytes int, proto string) (*Client, error) {
 	if maxLineBytes <= 0 {
 		maxLineBytes = DefaultMaxLineBytes
+	}
+	var bin bool
+	switch proto {
+	case "", ProtoJSON:
+	case ProtoBin:
+		bin = true
+	default:
+		return nil, fmt.Errorf("%w: unknown wire protocol %q", ErrBadRequest, proto)
 	}
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -582,10 +722,69 @@ func DialMaxLine(addr string, maxLineBytes int) (*Client, error) {
 		maxLine: maxLineBytes + 64<<10,
 		waiters: make(map[uint64]chan WireResponse),
 	}
+	c.r = bufio.NewReaderSize(conn, 64<<10)
 	c.w = bufio.NewWriter(conn)
+	if bin {
+		if err := c.negotiate(); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
 	go c.readLoop()
 	return c, nil
 }
+
+// negotiate runs the client half of the binary handshake (see
+// NetServer.negotiate). On return with nil error the connection speaks
+// c.bin's protocol; any other outcome closes the dial.
+func (c *Client) negotiate() error {
+	c.conn.SetDeadline(time.Now().Add(negotiateTimeout))
+	defer c.conn.SetDeadline(time.Time{})
+	if _, err := c.conn.Write([]byte(binwire.Magic)); err != nil {
+		return err
+	}
+	first, err := c.r.Peek(1)
+	if err != nil {
+		return err
+	}
+	if first[0] == binwire.Magic[0] {
+		buf := make([]byte, len(binwire.Magic))
+		if _, err := io.ReadFull(c.r, buf); err != nil {
+			return err
+		}
+		if string(buf) != binwire.Magic {
+			return fmt.Errorf("bad negotiation ack %q", buf)
+		}
+		c.bin = true
+		return nil
+	}
+	// Not a binary ack: a legacy server treated the preamble as a
+	// garbage line. Its bad_json error line means "JSON only here" —
+	// degrade on the same connection. Anything else (e.g. the MaxConns
+	// overloaded rejection, which is sent before negotiation) is this
+	// connection's terminal error.
+	line, err := readLine(c.r, c.maxLine)
+	if err != nil {
+		return err
+	}
+	var resp WireResponse
+	if jerr := json.Unmarshal(line, &resp); jerr != nil {
+		return fmt.Errorf("garbled negotiation response %q", line)
+	}
+	releaseData(resp.Result)
+	if resp.Code == CodeBadJSON {
+		return nil
+	}
+	if resp.Error != "" {
+		return errorForCode(resp.Code, resp.Error)
+	}
+	return fmt.Errorf("unexpected negotiation response %q", line)
+}
+
+// Bin reports whether the connection negotiated the binary protocol
+// (false for a ProtoBin dial that degraded to JSON against a legacy
+// server).
+func (c *Client) Bin() bool { return c.bin }
 
 // Close tears down the connection; outstanding Scan calls fail.
 func (c *Client) Close() error { return c.conn.Close() }
@@ -681,17 +880,23 @@ func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, 
 	c.mu.Unlock()
 	req.ID = id
 
-	line, err := json.Marshal(req)
-	if err == nil {
-		c.wmu.Lock()
-		_, err = c.w.Write(line)
+	var err error
+	if c.bin {
+		err = c.sendBin(req)
+	} else {
+		var line []byte
+		line, err = json.Marshal(req)
 		if err == nil {
-			err = c.w.WriteByte('\n')
+			c.wmu.Lock()
+			_, err = c.w.Write(line)
+			if err == nil {
+				err = c.w.WriteByte('\n')
+			}
+			if err == nil {
+				err = c.w.Flush()
+			}
+			c.wmu.Unlock()
 		}
-		if err == nil {
-			err = c.w.Flush()
-		}
-		c.wmu.Unlock()
 	}
 	if err != nil {
 		c.abandonWaiter(id, ch)
@@ -737,49 +942,143 @@ func (c *Client) abandonWaiter(id uint64, ch chan WireResponse) {
 	c.mu.Unlock()
 }
 
-// readLoop dispatches responses by ID until the connection dies, then
-// fails every outstanding waiter.
-func (c *Client) readLoop() {
-	sc := bufio.NewScanner(c.conn)
-	// Sized from the dial-time line budget (server limit + headroom),
-	// not a constant: a response near the server's MaxLineBytes must
-	// never kill the connection with "token too long" client-side.
-	sc.Buffer(make([]byte, 64<<10), c.maxLine)
-	for sc.Scan() {
+// sendBin encodes one request as a binwire frame (into an arena buffer
+// — zero steady-state allocation) and writes it under the send mutex.
+func (c *Client) sendBin(req WireRequest) error {
+	var frame []byte
+	switch req.Type {
+	case "":
+		n := len(req.Data)
+		if req.Elem == ElemFloat64 {
+			n = len(req.FData)
+		}
+		frame = arena.GetBytes(binwire.ScanFrameBytes(req.Tenant, n))[:0]
+		frame = binwire.AppendScan(frame, req.ID,
+			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem),
+			req.TimeoutMS, req.Tenant, req.Data, req.FData)
+	case "stream_open":
+		frame = arena.GetBytes(binwire.StreamOpenFrameBytes())[:0]
+		frame = binwire.AppendStreamOpen(frame, req.ID, req.Stream,
+			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem))
+	case "stream_chunk":
+		frame = arena.GetBytes(binwire.StreamChunkFrameBytes(len(req.Data)))[:0]
+		frame = binwire.AppendStreamChunk(frame, req.ID, req.Stream, req.TimeoutMS, req.Data)
+	case "stream_close":
+		frame = arena.GetBytes(binwire.StreamCloseFrameBytes())[:0]
+		frame = binwire.AppendStreamClose(frame, req.ID, req.Stream)
+	default:
+		return fmt.Errorf("%w: unknown message type %q", ErrBadRequest, req.Type)
+	}
+	c.wmu.Lock()
+	_, err := c.w.Write(frame)
+	if err == nil {
+		err = c.w.Flush()
+	}
+	c.wmu.Unlock()
+	arena.PutBytes(frame)
+	return err
+}
+
+// dispatch hands one decoded response to its waiter (shared by both
+// protocol read loops).
+func (c *Client) dispatch(resp WireResponse) {
+	c.mu.Lock()
+	ch, ok := c.waiters[resp.ID]
+	delete(c.waiters, resp.ID)
+	if !ok && resp.ID == 0 && resp.Error != "" && c.readErr == nil {
+		// A connection-scoped error (e.g. the server's MaxConns
+		// rejection) has no request id; surface it as this
+		// connection's terminal error so waiters see the typed
+		// cause instead of a bare closed-connection error.
+		c.readErr = errorForCode(resp.Code, resp.Error)
+	}
+	if ok {
+		// Hand off under the lock (the channel has capacity 1, so
+		// this never blocks): a round trip abandoning its waiter on
+		// ctx expiry holds the same lock while draining, so exactly
+		// one side ends up owning the decoded result buffer.
+		ch <- resp
+	}
+	c.mu.Unlock()
+	if !ok {
+		// Nobody is waiting (late response after a ctx expiry already
+		// drained, or a stray id): the decoded buffer goes back.
+		releaseData(resp.Result)
+	}
+}
+
+// readLines drains the JSON protocol until the connection dies.
+func (c *Client) readLines() error {
+	for {
+		line, err := readLine(c.r, c.maxLine)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			// Sized from the dial-time line budget (server limit +
+			// headroom): a response near the server's MaxLineBytes must
+			// never kill the connection as over-long client-side.
+			return err
+		}
+		if len(line) == 0 {
+			continue
+		}
 		var resp WireResponse
-		if err := json.Unmarshal(sc.Bytes(), &resp); err != nil {
+		if err := json.Unmarshal(line, &resp); err != nil {
 			// A torn line (server died mid-write) is a connection
 			// failure, not a response; keep reading until EOF surfaces.
 			continue
 		}
-		c.mu.Lock()
-		ch, ok := c.waiters[resp.ID]
-		delete(c.waiters, resp.ID)
-		if !ok && resp.ID == 0 && resp.Error != "" && c.readErr == nil {
-			// A connection-scoped error (e.g. the server's MaxConns
-			// rejection) has no request id; surface it as this
-			// connection's terminal error so waiters see the typed
-			// cause instead of a bare closed-connection error.
-			c.readErr = errorForCode(resp.Code, resp.Error)
+		c.dispatch(resp)
+	}
+}
+
+// readFrames drains the binary protocol until the connection dies. Any
+// structural damage — bad length prefix, unparseable payload — is a
+// connection failure (a binary stream has no resync point), never a
+// delivered response.
+func (c *Client) readFrames() error {
+	for {
+		payload, err := binwire.ReadFrame(c.r, c.maxLine)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil
+			}
+			return err
 		}
-		if ok {
-			// Hand off under the lock (the channel has capacity 1, so
-			// this never blocks): a round trip abandoning its waiter on
-			// ctx expiry holds the same lock while draining, so exactly
-			// one side ends up owning the decoded result buffer.
-			ch <- resp
+		bresp, perr := binwire.ParseResponse(payload)
+		arena.PutBytes(payload)
+		if perr != nil {
+			return perr
 		}
-		c.mu.Unlock()
-		if !ok {
-			// Nobody is waiting (late response after a ctx expiry already
-			// drained, or a stray id): the decoded buffer goes back.
-			releaseData(resp.Result)
+		resp := WireResponse{ID: bresp.ID, Result: bresp.Result, Error: bresp.Error, Code: bresp.Code}
+		switch bresp.Type {
+		case binwire.FFloatResult:
+			if bresp.FResult == nil {
+				bresp.FResult = []float64{}
+			}
+			resp.FResult = bresp.FResult
+		case binwire.FTotal:
+			total := bresp.Total
+			resp.Total = &total
 		}
+		c.dispatch(resp)
+	}
+}
+
+// readLoop dispatches responses by ID until the connection dies, then
+// fails every outstanding waiter.
+func (c *Client) readLoop() {
+	var err error
+	if c.bin {
+		err = c.readFrames()
+	} else {
+		err = c.readLines()
 	}
 	c.mu.Lock()
 	c.closed = true
 	if c.readErr == nil {
-		c.readErr = sc.Err()
+		c.readErr = err
 	}
 	for id, ch := range c.waiters {
 		close(ch)

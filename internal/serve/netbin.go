@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+
+	"scans/internal/arena"
+	"scans/internal/binwire"
+)
+
+// The binary codec: serve's side of the internal/binwire protocol.
+// This file maps between the wire-string vocabulary the shared dispatch
+// (serveConn, ParseSpec, connStreams) speaks and binwire's compact
+// frames, and implements the server's per-connection writer goroutine —
+// the mux half of the protocol: responses from any number of in-flight
+// requests and stream workers funnel through one channel and are
+// interleaved onto the socket in completion order.
+
+// Enum byte mappings. Encoders map unknown strings to binwire.Invalid
+// and decoders map unknown bytes to strings no Parse accepts, so a bad
+// spec from a binary client is rejected SERVER-side with the same
+// bad_request code a JSON client's would be — validation lives in one
+// place (ParseSpec), not per codec.
+
+func binOpByte(op string) byte {
+	switch op {
+	case "sum":
+		return 0
+	case "max":
+		return 1
+	case "min":
+		return 2
+	case "mul":
+		return 3
+	}
+	return binwire.Invalid
+}
+
+func binOpString(b byte) string {
+	switch b {
+	case 0:
+		return "sum"
+	case 1:
+		return "max"
+	case 2:
+		return "min"
+	case 3:
+		return "mul"
+	}
+	return fmt.Sprintf("bin:0x%02x", b)
+}
+
+func binKindByte(kind string) byte {
+	switch kind {
+	case "", "exclusive":
+		return 0
+	case "inclusive":
+		return 1
+	}
+	return binwire.Invalid
+}
+
+func binKindString(b byte) string {
+	switch b {
+	case 0:
+		return "exclusive"
+	case 1:
+		return "inclusive"
+	}
+	return fmt.Sprintf("bin:0x%02x", b)
+}
+
+func binDirByte(dir string) byte {
+	switch dir {
+	case "", "forward":
+		return 0
+	case "backward":
+		return 1
+	}
+	return binwire.Invalid
+}
+
+func binDirString(b byte) string {
+	switch b {
+	case 0:
+		return "forward"
+	case 1:
+		return "backward"
+	}
+	return fmt.Sprintf("bin:0x%02x", b)
+}
+
+func binElemByte(elem string) byte {
+	switch elem {
+	case "", ElemInt64:
+		return binwire.ElemInt64
+	case ElemFloat64:
+		return binwire.ElemFloat64
+	}
+	return binwire.Invalid
+}
+
+func binElemString(b byte) string {
+	switch b {
+	case binwire.ElemInt64:
+		return ElemInt64
+	case binwire.ElemFloat64:
+		return ElemFloat64
+	}
+	return fmt.Sprintf("bin:0x%02x", b)
+}
+
+// wireFromBin lifts a decoded binary request into the WireRequest form
+// the shared dispatch consumes. Ownership of the arena-backed Data
+// moves with it.
+func wireFromBin(q binwire.Request) WireRequest {
+	req := WireRequest{
+		ID:        q.ID,
+		Stream:    q.Stream,
+		TimeoutMS: q.TimeoutMS,
+		Tenant:    q.Tenant,
+		Data:      q.Data,
+		FData:     q.FData,
+	}
+	switch q.Type {
+	case binwire.FScan:
+		req.Type = ""
+	case binwire.FStreamOpen:
+		req.Type = "stream_open"
+	case binwire.FStreamChunk:
+		req.Type = "stream_chunk"
+	case binwire.FStreamClose:
+		req.Type = "stream_close"
+	}
+	if q.Type == binwire.FScan || q.Type == binwire.FStreamOpen {
+		req.Op = binOpString(q.Op)
+		req.Kind = binKindString(q.Kind)
+		req.Dir = binDirString(q.Dir)
+		req.Elem = binElemString(q.Elem)
+	}
+	return req
+}
+
+// binRespQueueDepth buffers the writer's channel: deep enough that the
+// common burst of completions (a fused batch resolving many of this
+// connection's futures at once) rarely blocks a responder on the
+// socket, shallow enough to bound per-connection memory.
+const binRespQueueDepth = 64
+
+// binConn is the binary codec for one server connection.
+type binConn struct {
+	ns   *NetServer
+	conn net.Conn
+	r    *bufio.Reader
+
+	out   chan []byte // encoded arena-backed frames, closed by finish
+	wdone chan struct{}
+}
+
+func newBinConn(ns *NetServer, conn net.Conn, r *bufio.Reader) *binConn {
+	b := &binConn{
+		ns:    ns,
+		conn:  conn,
+		r:     r,
+		out:   make(chan []byte, binRespQueueDepth),
+		wdone: make(chan struct{}),
+	}
+	go b.writeLoop()
+	return b
+}
+
+// Binary results are 8 bytes per element plus a fixed header — exact,
+// not a digit worst case. A response can therefore never outgrow a
+// budget its request fit inside, so unlike the JSON codec the
+// too_large response gate effectively never fires for binary one-shots.
+func (b *binConn) worstResp(n int) int      { return binwire.ResultFrameBytes(n) }
+func (b *binConn) worstRespFloat(n int) int { return binwire.ResultFrameBytes(n) }
+
+// respond encodes one response into an arena buffer and hands it to the
+// writer goroutine. Never blocks indefinitely on a dead connection: the
+// writer drains the channel unconditionally until finish closes it.
+func (b *binConn) respond(resp WireResponse) {
+	var frame []byte
+	switch {
+	case resp.Error != "" || resp.Code != "":
+		frame = arena.GetBytes(binwire.ErrorFrameBytes(resp.Code, resp.Error))[:0]
+		frame = binwire.AppendError(frame, resp.ID, resp.Code, resp.Error)
+	case resp.Total != nil:
+		frame = arena.GetBytes(binwire.TotalFrameBytes())[:0]
+		frame = binwire.AppendTotal(frame, resp.ID, *resp.Total)
+	case resp.FResult != nil:
+		frame = arena.GetBytes(binwire.ResultFrameBytes(len(resp.FResult)))[:0]
+		frame = binwire.AppendFloatResult(frame, resp.ID, resp.FResult)
+	default:
+		frame = arena.GetBytes(binwire.ResultFrameBytes(len(resp.Result)))[:0]
+		frame = binwire.AppendResult(frame, resp.ID, resp.Result)
+	}
+	b.out <- frame
+}
+
+// writeLoop is the connection's single writer: it interleaves response
+// frames in completion order, applies the write deadline, and hosts the
+// frame-level chaos points. After any write failure (or a fired chaos
+// kill) it keeps draining the channel and recycling buffers, so
+// responders never block on a dead connection and the arena ledger
+// still closes.
+func (b *binConn) writeLoop() {
+	defer close(b.wdone)
+	w := bufio.NewWriterSize(b.conn, 64<<10)
+	dead := false
+	for frame := range b.out {
+		if dead {
+			arena.PutBytes(frame)
+			continue
+		}
+		if b.ns.ncfg.WriteTimeout > 0 {
+			b.conn.SetWriteDeadline(time.Now().Add(b.ns.ncfg.WriteTimeout))
+		}
+		switch {
+		case b.ns.fpWireCorrupt.Fire():
+			// Chaos: flip bits in the length prefix, emit the damaged
+			// frame, and kill the connection (the declared length now
+			// lies, so leaving the conn open could strand the client
+			// mid-ReadFull waiting for bytes that will never come).
+			frame[0] ^= 0xA5
+			frame[3] ^= 0x11
+			w.Write(frame)
+			w.Flush()
+			b.conn.Close()
+			dead = true
+		case b.ns.fpWireTrunc.Fire() || b.ns.fpPartial.Fire():
+			// Chaos: tear the frame mid-write and kill the connection —
+			// the binary analogue of conn.partialwrite, which also fires
+			// here so existing chaos configs cover both codecs.
+			w.Write(frame[:len(frame)/2])
+			w.Flush()
+			b.conn.Close()
+			dead = true
+		default:
+			_, err := w.Write(frame)
+			if err == nil {
+				err = w.Flush()
+			}
+			if err != nil {
+				b.conn.Close()
+				dead = true
+			}
+		}
+		arena.PutBytes(frame)
+	}
+}
+
+// finish closes the writer channel and waits for the writer to drain.
+// serveConn calls it after every responder is done, so no send can race
+// the close.
+func (b *binConn) finish() {
+	close(b.out)
+	<-b.wdone
+}
+
+// readRequest reads and decodes the next frame. Payload-level damage
+// inside an intact frame is answered bad_frame and skipped (framing is
+// still in sync — the analogue of bad_json); length-level damage or an
+// over-budget frame is answered (id recovered when possible) and kills
+// the connection, because a binary stream cannot resynchronize.
+func (b *binConn) readRequest() (WireRequest, error) {
+	for {
+		if b.ns.ncfg.IdleTimeout > 0 {
+			b.conn.SetReadDeadline(time.Now().Add(b.ns.ncfg.IdleTimeout))
+		}
+		payload, err := binwire.ReadFrame(b.r, b.ns.ncfg.MaxLineBytes)
+		if err != nil {
+			switch {
+			case errors.Is(err, binwire.ErrFrameTooBig):
+				b.respond(WireResponse{
+					ID:    binwire.RequestID(payload),
+					Error: fmt.Sprintf("request frame exceeds %d bytes", b.ns.ncfg.MaxLineBytes),
+					Code:  CodeTooLarge,
+				})
+			case errors.Is(err, binwire.ErrBadFrame):
+				b.respond(WireResponse{Error: err.Error(), Code: CodeBadFrame})
+			}
+			return WireRequest{}, err
+		}
+		id := binwire.RequestID(payload)
+		breq, perr := binwire.ParseRequest(payload)
+		arena.PutBytes(payload)
+		if perr != nil {
+			b.respond(WireResponse{ID: id, Error: perr.Error(), Code: CodeBadFrame})
+			continue
+		}
+		return wireFromBin(breq), nil
+	}
+}

@@ -57,18 +57,22 @@ type netStream struct {
 // connStreams is the per-connection session table (see the file
 // comment for the ownership rules).
 type connStreams struct {
-	ns      *NetServer
-	respond func(WireResponse)
-	tenant  string
+	ns     *NetServer
+	codec  connCodec
+	tenant string
 
 	mu sync.Mutex
 	m  map[uint64]*netStream
 	wg sync.WaitGroup
 }
 
-func newConnStreams(ns *NetServer, respond func(WireResponse), tenant string) *connStreams {
-	return &connStreams{ns: ns, respond: respond, tenant: tenant, m: make(map[uint64]*netStream)}
+func newConnStreams(ns *NetServer, codec connCodec, tenant string) *connStreams {
+	return &connStreams{ns: ns, codec: codec, tenant: tenant, m: make(map[uint64]*netStream)}
 }
+
+// respond forwards to the connection's codec (responses ride the same
+// writer as every other response on the connection).
+func (cs *connStreams) respond(resp WireResponse) { cs.codec.respond(resp) }
 
 // open handles stream_open: admission (streaming enabled, unique sid,
 // under the per-connection cap), then a Stream plus worker. The ack
@@ -131,7 +135,7 @@ func (cs *connStreams) open(req WireRequest) {
 // must fit the line budget like any other response), then an ordered
 // non-blocking handoff to the stream's worker.
 func (cs *connStreams) chunk(req WireRequest) {
-	if worst := maxRespBytes(len(req.Data)); worst > cs.ns.ncfg.MaxLineBytes {
+	if worst := cs.codec.worstResp(len(req.Data)); worst > cs.ns.ncfg.MaxLineBytes {
 		// Refusing the chunk but continuing the stream would corrupt
 		// the carry, so an oversized chunk fails the stream.
 		releaseData(req.Data)

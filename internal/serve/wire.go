@@ -230,6 +230,13 @@ const (
 	// CodeStreamUnsupported: stream_open for a backward spec — the
 	// carry would depend on chunks not yet arrived. Not retryable.
 	CodeStreamUnsupported = "stream_unsupported"
+	// CodeBadFrame: a binary-protocol frame was structurally invalid
+	// (unknown type, declared lengths inconsistent with the payload).
+	// The binary analogue of bad_json. When only the payload was damaged
+	// the connection survives (framing stayed in sync); length-prefix
+	// damage closes it (a binary stream has no resync point — see
+	// internal/binwire). Not retryable.
+	CodeBadFrame = "bad_frame"
 	// CodeShardFailed: a cluster coordinator could not complete one of
 	// the request's shards within its per-shard retry budget (worker
 	// deaths, sustained worker overload, or no healthy workers). Only
@@ -273,7 +280,7 @@ func codeForError(err error) string {
 func errorForCode(code, msg string) error {
 	var sentinel error
 	switch code {
-	case CodeBadRequest, CodeBadJSON, CodeTooLarge:
+	case CodeBadRequest, CodeBadJSON, CodeTooLarge, CodeBadFrame:
 		sentinel = ErrBadRequest
 	case CodeOverloaded:
 		sentinel = ErrOverloaded
@@ -297,6 +304,78 @@ func errorForCode(code, msg string) error {
 		return errors.New(msg)
 	}
 	return fmt.Errorf("%w: %s", sentinel, msg)
+}
+
+// appendWireResponse is the strconv fast path for encoding a success
+// response: byte-identical to what encoding/json produces (field order,
+// omitempty on empty vectors, FloatVec's non-finite tokens) with zero
+// steady-state allocation — the caller passes an arena buffer. It
+// covers every shape the success hot paths emit: a bare id (stream-open
+// ack, empty result), an id plus exactly one of result / fresult /
+// total. Anything else — errors, or field combinations no server path
+// produces — returns ok=false and the caller falls back to
+// json.Marshal, so the fast path can never silently diverge on a shape
+// it was not written for. Golden-tested against encoding/json in
+// wire_fast_test.go.
+func appendWireResponse(dst []byte, resp WireResponse) ([]byte, bool) {
+	if resp.Error != "" || resp.Code != "" {
+		return dst, false
+	}
+	set := 0
+	if len(resp.Result) > 0 {
+		set++
+	}
+	if len(resp.FResult) > 0 {
+		set++
+	}
+	if resp.Total != nil {
+		set++
+	}
+	if set > 1 {
+		return dst, false
+	}
+	dst = append(dst, `{"id":`...)
+	dst = strconv.AppendUint(dst, resp.ID, 10)
+	switch {
+	case len(resp.Result) > 0:
+		dst = append(dst, `,"result":[`...)
+		for i, x := range resp.Result {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = strconv.AppendInt(dst, x, 10)
+		}
+		dst = append(dst, ']')
+	case len(resp.FResult) > 0:
+		dst = append(dst, `,"fresult":[`...)
+		for i, f := range resp.FResult {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			switch {
+			case math.IsInf(f, 1):
+				dst = append(dst, `"+Inf"`...)
+			case math.IsInf(f, -1):
+				dst = append(dst, `"-Inf"`...)
+			case math.IsNaN(f):
+				dst = append(dst, `"NaN"`...)
+			default:
+				dst = strconv.AppendFloat(dst, f, 'g', -1, 64)
+			}
+		}
+		dst = append(dst, ']')
+	case resp.Total != nil:
+		dst = append(dst, `,"total":`...)
+		dst = strconv.AppendInt(dst, *resp.Total, 10)
+	}
+	return append(dst, '}'), true
+}
+
+// fastRespSize bounds appendWireResponse's output for arena sizing: the
+// per-element worst cases of maxRespBytes / maxRespBytesFloat plus the
+// total field's 21 characters.
+func fastRespSize(resp WireResponse) int {
+	return 69 + 21*len(resp.Result) + 25*len(resp.FResult)
 }
 
 // extractID best-effort recovers the "id" field from a request line

@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendWireResponseGolden pins the strconv fast path to
+// encoding/json byte for byte: for every shape the fast path claims
+// (ok=true) the bytes must be identical to json.Marshal, so a client
+// can never observe which encoder served it.
+func TestAppendWireResponseGolden(t *testing.T) {
+	total := int64(-987654321)
+	zero := int64(0)
+	cases := []struct {
+		name string
+		resp WireResponse
+		fast bool // fast path must claim it
+	}{
+		{"bare-ack", WireResponse{ID: 1}, true},
+		{"id-zero", WireResponse{ID: 0}, true},
+		{"id-max", WireResponse{ID: math.MaxUint64}, true},
+		{"result", WireResponse{ID: 7, Result: []int64{1, -2, 0, math.MaxInt64, math.MinInt64}}, true},
+		{"result-single", WireResponse{ID: 8, Result: []int64{42}}, true},
+		{"empty-result", WireResponse{ID: 9, Result: []int64{}}, true},
+		{"fresult", WireResponse{ID: 10, FResult: []float64{1.5, -0.25, 1e300, 5e-324, -0.0}}, true},
+		{"fresult-nonfinite", WireResponse{ID: 11, FResult: []float64{math.Inf(1), math.Inf(-1), math.NaN(), 2.5}}, true},
+		{"fresult-shortest", WireResponse{ID: 12, FResult: []float64{0.1, 1.0 / 3.0, math.MaxFloat64, math.SmallestNonzeroFloat64}}, true},
+		{"total", WireResponse{ID: 13, Total: &total}, true},
+		{"total-zero", WireResponse{ID: 14, Total: &zero}, true},
+		{"error", WireResponse{ID: 15, Error: "boom", Code: CodeInternal}, false},
+		{"result-and-total", WireResponse{ID: 16, Result: []int64{1}, Total: &total}, false},
+	}
+	for _, tc := range cases {
+		want, err := json.Marshal(tc.resp)
+		if err != nil {
+			t.Fatalf("%s: json.Marshal: %v", tc.name, err)
+		}
+		got, ok := appendWireResponse(nil, tc.resp)
+		if ok != tc.fast {
+			t.Fatalf("%s: fast path claimed=%v, want %v", tc.name, ok, tc.fast)
+		}
+		if !ok {
+			continue
+		}
+		if string(got) != string(want) {
+			t.Fatalf("%s:\nfast: %s\njson: %s", tc.name, got, want)
+		}
+		if size := fastRespSize(tc.resp); len(got) > size {
+			t.Fatalf("%s: encoded %d bytes, fastRespSize budgeted %d", tc.name, len(got), size)
+		}
+	}
+}
+
+// TestAppendWireResponseGoldenRandom hammers the identity with random
+// vectors — including floats built from random bit patterns, which is
+// where shortest-round-trip formatting has its edge cases.
+func TestAppendWireResponseGoldenRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for iter := 0; iter < 2000; iter++ {
+		resp := WireResponse{ID: rng.Uint64()}
+		switch iter % 3 {
+		case 0:
+			resp.Result = make([]int64, rng.Intn(20))
+			for i := range resp.Result {
+				resp.Result[i] = rng.Int63() - rng.Int63()
+			}
+		case 1:
+			resp.FResult = make([]float64, rng.Intn(20))
+			for i := range resp.FResult {
+				f := math.Float64frombits(rng.Uint64())
+				if math.IsNaN(f) {
+					// Normalize: json round-trips only the canonical NaN.
+					f = math.NaN()
+				}
+				resp.FResult[i] = f
+			}
+		case 2:
+			v := rng.Int63() - rng.Int63()
+			resp.Total = &v
+		}
+		want, err := json.Marshal(resp)
+		if err != nil {
+			t.Fatalf("iter %d: json.Marshal: %v", iter, err)
+		}
+		got, ok := appendWireResponse(nil, resp)
+		if !ok {
+			t.Fatalf("iter %d: fast path refused %+v", iter, resp)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("iter %d:\nfast: %s\njson: %s", iter, got, want)
+		}
+		if size := fastRespSize(resp); len(got) > size {
+			t.Fatalf("iter %d: encoded %d bytes, fastRespSize budgeted %d", iter, len(got), size)
+		}
+	}
+}

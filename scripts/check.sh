@@ -40,7 +40,33 @@ go test -fuzz='^FuzzViewKernelsMatchFlattened$' -fuzztime=10s -run '^$' ./intern
 echo "== fuzz burst: FuzzStreamedScanMatchesOneShot (10s)"
 go test -fuzz='^FuzzStreamedScanMatchesOneShot$' -fuzztime=10s -run '^$' ./internal/serve/
 
+echo "== fuzz burst: FuzzBinwireMatchesJSON (10s, -race)"
+# Codec parity under the race detector: the same fuzzed traffic through
+# the binary and JSON codecs must produce identical results and error
+# codes, and raw hostile frames must never wedge or crash the server.
+go test -race -fuzz='^FuzzBinwireMatchesJSON$' -fuzztime=10s -run '^$' ./internal/serve/
+
 echo "== fuzz burst: FuzzShardedScanMatchesSingleNode (10s)"
 go test -fuzz='^FuzzShardedScanMatchesSingleNode$' -fuzztime=10s -run '^$' ./internal/cluster/
+
+echo "== wire alloc-parity gate (no -race)"
+# The binary protocol's reason to exist is zero-parse payloads: if bin
+# ever allocates more per request than JSON, the decode path has grown
+# a copy. Run the same load through both protocols and compare.
+alloc_tmp="$(mktemp -d)"
+trap 'rm -rf "$alloc_tmp"' EXIT
+go run ./cmd/scanload -requests 3000 -n 4096 -clients 8 -workers 1 \
+	-proto json -bench-json "$alloc_tmp/json.json" >/dev/null
+go run ./cmd/scanload -requests 3000 -n 4096 -clients 8 -workers 1 \
+	-proto bin -bench-json "$alloc_tmp/bin.json" >/dev/null
+awk_alloc() { grep -o '"allocs_per_request": [0-9.]*' "$1" | head -1 | awk '{print $2}'; }
+awk_bytes() { grep -o '"alloc_bytes_per_request": [0-9.]*' "$1" | head -1 | awk '{print $2}'; }
+ja="$(awk_alloc "$alloc_tmp/json.json")" ba="$(awk_alloc "$alloc_tmp/bin.json")"
+jb="$(awk_bytes "$alloc_tmp/json.json")" bb="$(awk_bytes "$alloc_tmp/bin.json")"
+echo "   json: $ja allocs/req, $jb B/req   bin: $ba allocs/req, $bb B/req"
+awk -v ja="$ja" -v ba="$ba" -v jb="$jb" -v bb="$bb" 'BEGIN {
+	if (ba > ja) { print "FAIL: bin allocates more per request than JSON (" ba " > " ja ")"; exit 1 }
+	if (bb > jb) { print "FAIL: bin allocates more bytes per request than JSON (" bb " > " jb ")"; exit 1 }
+}'
 
 echo "check.sh: all green"
