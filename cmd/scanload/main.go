@@ -58,6 +58,9 @@ import (
 )
 
 // outcomes tallies terminal per-request outcomes plus retry attempts.
+// resumed and failedOver are failover-mode extras: streams re-attached
+// by resume token, and requests (one-shot or streamed) that completed
+// against a non-primary coordinator.
 type outcomes struct {
 	success     atomic.Uint64
 	overloaded  atomic.Uint64
@@ -69,6 +72,8 @@ type outcomes struct {
 	lost        atomic.Uint64
 	retries     atomic.Uint64
 	redials     atomic.Uint64
+	resumed     atomic.Uint64
+	failedOver  atomic.Uint64
 }
 
 // record classifies one terminal error (nil = success).
@@ -100,10 +105,14 @@ func (o *outcomes) record(err error) {
 }
 
 func (o *outcomes) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d shard_failed=%d lost=%d (retries=%d redials=%d)",
 		o.success.Load(), o.overloaded.Load(), o.shed.Load(), o.deadline.Load(),
 		o.internal.Load(), o.badReq.Load(), o.shardFailed.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
+	if r, f := o.resumed.Load(), o.failedOver.Load(); r > 0 || f > 0 {
+		s += fmt.Sprintf(" resumed=%d failed_over=%d", r, f)
+	}
+	return s
 }
 
 // counts renders the tallies as a map for the -bench-json report.
@@ -114,6 +123,7 @@ func (o *outcomes) counts() map[string]uint64 {
 		"internal": o.internal.Load(), "bad_request": o.badReq.Load(),
 		"shard_failed": o.shardFailed.Load(), "lost": o.lost.Load(),
 		"retries": o.retries.Load(), "redials": o.redials.Load(),
+		"resumed": o.resumed.Load(), "failed_over": o.failedOver.Load(),
 	}
 }
 
@@ -172,7 +182,11 @@ type benchReport struct {
 	ArenaBytesPooled uint64            `json:"arena_bytes_pooled"`
 	ArenaMisses      uint64            `json:"arena_misses"`
 	FusionSpeedup    float64           `json:"fusion_speedup,omitempty"`
-	Outcomes         map[string]uint64 `json:"outcomes"`
+	// FailoverGapMs (failover mode) is the time from killing the primary
+	// coordinator to the first request completed via the standby — the
+	// client-observed outage window.
+	FailoverGapMs float64           `json:"failover_gap_ms,omitempty"`
+	Outcomes      map[string]uint64 `json:"outcomes"`
 }
 
 // memSnap snapshots the allocator after a GC settles the heap, so two
@@ -267,6 +281,7 @@ func main() {
 		stream    = flag.Bool("stream", false, "use streaming sessions: push each vector through the server in -chunk-element chunks")
 		chunk     = flag.Int("chunk", 0, "stream chunk size in elements (0 = serve.DefaultStreamChunk)")
 		workersN  = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
+		killAfter = flag.Duration("kill-coordinator-after", 0, "cluster mode: kill the primary coordinator's front end after this long; clients fail over to a replicated standby (0 = off)")
 		proto     = flag.String("proto", serve.ProtoJSON, "wire protocol for remote and cluster modes: json or bin")
 		benchPath = flag.String("bench-json", "", "write a machine-readable bench report (throughput, p50/p99 latency, outcome counts, allocs/request) to this path")
 		benchApp  = flag.Bool("bench-append", false, "append this phase to an existing -bench-json file instead of starting it fresh")
@@ -283,12 +298,45 @@ func main() {
 	}
 	policy := serve.RetryPolicy{MaxAttempts: *attempts}
 
+	if *killAfter > 0 && *workersN <= 0 {
+		fmt.Fprintln(os.Stderr, "scanload: -kill-coordinator-after needs cluster mode (-workers N)")
+		os.Exit(1)
+	}
+
 	if *workersN > 0 {
 		if *addr != "" {
 			fmt.Fprintln(os.Stderr, "scanload: -workers and -addr are mutually exclusive")
 			os.Exit(1)
 		}
 		var out outcomes
+		if *killAfter > 0 {
+			fmt.Printf("cluster failover: %d workers (%s wire), primary+standby coordinators, kill primary after %v, %d clients × %d-element %s scans, %d requests total\n",
+				*workersN, *proto, *killAfter, *clients, *n, spec, *requests)
+			m0 := memSnap()
+			elapsed, cst, gapMs, err := driveFailover(*workersN, *proto, spec, *op, *kind, *dir,
+				*clients, *requests, *n, *maxWait, *timeout, *killAfter, policy, &out, *stream, *chunk)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scanload:", err)
+				os.Exit(1)
+			}
+			if *benchPath != "" {
+				rep := benchPhase(fmt.Sprintf("cluster-%dw-failover", *workersN), *proto,
+					*clients, *requests, *n, elapsed, m0, &out)
+				rep.FailoverGapMs = gapMs
+				writeBenchJSON(*benchPath, rep, *benchApp)
+			}
+			report(fmt.Sprintf("%dw-fo", *workersN), *requests, *n, elapsed)
+			fmt.Println("  ", cst)
+			fmt.Println("  ", out.String())
+			if gapMs > 0 {
+				fmt.Printf("   failover gap: %.1fms (primary killed → first standby-served request)\n", gapMs)
+			}
+			if lost := out.lost.Load(); lost > 0 {
+				fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
+				os.Exit(1)
+			}
+			return
+		}
 		fmt.Printf("cluster: %d workers (%s wire), %d clients × %d-element %s scans, %d requests total\n",
 			*workersN, *proto, *clients, *n, spec, *requests)
 		m0 := memSnap()
@@ -595,6 +643,141 @@ func driveCluster(nWorkers int, proto string, spec serve.Spec, clients, requests
 	}
 	wg.Wait()
 	return time.Since(start), coord.Stats(), nil
+}
+
+// driveFailover is driveCluster with a control-plane murder scheduled:
+// the fleet sits behind TWO coordinators — a primary publishing its
+// stream-session records and a standby mirroring them — and after
+// killAfter the primary's TCP front end is killed mid-load. Clients use
+// serve.FailoverClient, so one-shots re-issue on the standby and
+// in-flight streams resume by token, bit-identically. Returns the
+// standby's stats (the coordinator that finishes the run) and the
+// failover gap in ms: primary killed → first standby-served request.
+func driveFailover(nWorkers int, proto string, spec serve.Spec, op, kind, dir string,
+	clients, requests, n int, maxWait, timeout, killAfter time.Duration,
+	policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, float64, error) {
+	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
+	workers := make([]*serve.NetServer, 0, nWorkers)
+	defer func() {
+		for _, w := range workers {
+			w.Close()
+		}
+	}()
+	addrs := make([]string, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		ns, err := serve.ListenNet("127.0.0.1:0", wcfg, serve.NetConfig{})
+		if err != nil {
+			return 0, cluster.Stats{}, 0, fmt.Errorf("worker %d: %w", i, err)
+		}
+		workers = append(workers, ns)
+		addrs = append(addrs, ns.Addr())
+	}
+	retry := serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond}
+	primary, err := cluster.New(cluster.Config{
+		Workers: addrs, Proto: proto, Retry: retry, ReplListen: "127.0.0.1:0",
+	})
+	if err != nil {
+		return 0, cluster.Stats{}, 0, err
+	}
+	defer primary.Close()
+	primNS, err := serve.ListenBackend("127.0.0.1:0", primary, serve.NetConfig{})
+	if err != nil {
+		return 0, cluster.Stats{}, 0, err
+	}
+	standby, err := cluster.New(cluster.Config{
+		Workers: addrs, Proto: proto, Retry: retry, Follow: primary.ReplAddr(),
+	})
+	if err != nil {
+		primNS.Close()
+		return 0, cluster.Stats{}, 0, err
+	}
+	stbyNS, err := serve.ListenBackend("127.0.0.1:0", standby, serve.NetConfig{})
+	if err != nil {
+		primNS.Close()
+		standby.Close()
+		return 0, cluster.Stats{}, 0, err
+	}
+
+	fcs := make([]*serve.FailoverClient, clients)
+	for c := range fcs {
+		fc, err := serve.DialFailover(proto, 0, primNS.Addr(), stbyNS.Addr())
+		if err != nil {
+			primNS.Close()
+			stbyNS.Close()
+			return 0, cluster.Stats{}, 0, err
+		}
+		fcs[c] = fc
+	}
+
+	var killTime atomic.Int64
+	killer := time.AfterFunc(killAfter, func() {
+		killTime.Store(time.Now().UnixNano())
+		// Kill, not Close: slam the listener and every live connection
+		// with no drain — the impolite death failover exists for. The
+		// primary's backend (and its replication feed) dies right after.
+		primNS.Kill()
+		go primary.Close()
+	})
+	defer killer.Stop()
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			data := randomData(int64(c), n)
+			for i := 0; i < requests/clients; i++ {
+				t0 := time.Now()
+				attempts, err := policy.Do(context.Background(), func() error {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if timeout > 0 {
+						ctx, cancel = context.WithTimeout(ctx, timeout)
+					}
+					defer cancel()
+					var res []int64
+					var err error
+					if stream {
+						res, err = fcs[c].StreamScan(ctx, op, kind, dir, data, chunk)
+					} else {
+						res, err = fcs[c].ScanCtx(ctx, op, kind, dir, data)
+					}
+					releaseResult(res)
+					return err
+				})
+				benchLat.add(time.Since(t0))
+				out.retries.Add(uint64(attempts - 1))
+				out.record(err)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	gapMs := 0.0
+	if kt := killTime.Load(); kt > 0 {
+		firstAlt := int64(0)
+		for _, fc := range fcs {
+			if t := fc.FirstFailoverAt(); !t.IsZero() {
+				if ns := t.UnixNano(); firstAlt == 0 || ns < firstAlt {
+					firstAlt = ns
+				}
+			}
+		}
+		if firstAlt > kt {
+			gapMs = float64(firstAlt-kt) / float64(time.Millisecond)
+		}
+	}
+	for _, fc := range fcs {
+		out.resumed.Add(fc.Resumed())
+		out.failedOver.Add(fc.FailedOver())
+		fc.Close()
+	}
+	stbyNS.Close()
+	cst := standby.Stats()
+	primNS.Close()
+	return elapsed, cst, gapMs, nil
 }
 
 func randomData(seed int64, n int) []int64 {

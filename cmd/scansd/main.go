@@ -51,9 +51,28 @@
 //	scansd -coordinator -addr :7190 -workers 127.0.0.1:7187,127.0.0.1:7188
 //
 // Results are bit-identical to a single worker serving the same scan.
+//
+// The control plane is dynamic and fault tolerant:
+//
+//   - Worker auto-discovery: a worker started with -announce
+//     <coordinator-addr> heartbeats its own address into the
+//     coordinator every -heartbeat interval and joins the live fleet
+//     within one interval, no coordinator restart. A worker whose
+//     heartbeats stop is ejected after -heartbeat-ttl; in-flight pieces
+//     retry on the rest of the fleet. -workers may be empty on a pure
+//     announce-driven coordinator.
+//   - Coordinator standby failover: a coordinator with -repl-listen
+//     publishes its stream-session records; a second coordinator with
+//     -follow <primary-repl-addr> mirrors them and can serve resumed
+//     streams (by the resume token clients get at stream-open) after
+//     the primary dies — bit-identically. See DESIGN.md §9.
+//   - Adaptive shard weights: per-worker latency EWMAs scale each
+//     worker's planned share (bounded below by -weight-floor), so a
+//     slow worker sheds load and earns it back when it recovers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -80,7 +99,7 @@ func main() {
 		executors = flag.Int("executors", 0, "batch executor pool size (0 = GOMAXPROCS)")
 
 		coordinator = flag.Bool("coordinator", false, "run as a cluster coordinator instead of a worker")
-		workerAddrs = flag.String("workers", "", "coordinator: comma-separated worker addresses (host:port,...)")
+		workerAddrs = flag.String("workers", "", "coordinator: comma-separated worker addresses (host:port,...; may be empty with announce-driven discovery)")
 		weights     = flag.String("worker-weights", "", "coordinator: comma-separated relative worker weights (default: equal)")
 		minShard    = flag.Int("min-shard", 4096, "coordinator: don't split scans into shards smaller than this")
 		maxPiece    = flag.Int("max-piece", 0, "coordinator: max elements per dispatched piece (0 = line-budget default)")
@@ -88,6 +107,16 @@ func main() {
 		ejectAfter  = flag.Int("eject-after", 3, "coordinator: eject a worker after this many consecutive connection failures")
 		probeEvery  = flag.Duration("probe-interval", time.Second, "coordinator: probe ejected workers this often")
 		workerProto = flag.String("worker-proto", serve.ProtoBin, "coordinator: wire protocol to workers (bin or json; bin degrades per connection against pre-binwire workers)")
+		beatTTL     = flag.Duration("heartbeat-ttl", 2*time.Second, "coordinator: eject announced workers silent this long")
+		weightFloor = flag.Float64("weight-floor", 0.1, "coordinator: adaptive weight floor as a fraction of a worker's base weight (0..1]")
+		replListen  = flag.String("repl-listen", "", "coordinator: publish the stream-session replication feed on this address (for standbys)")
+		follow      = flag.String("follow", "", "coordinator: mirror a primary's replication feed from this address (standby mode)")
+		resumeTTL   = flag.Duration("resume-ttl", 2*time.Minute, "coordinator: keep detached stream sessions resumable this long")
+
+		announce       = flag.String("announce", "", "worker: heartbeat into this coordinator address to join its fleet")
+		announceAddr   = flag.String("announce-addr", "", "worker: address to advertise in heartbeats (default: the bound -addr)")
+		announceWeight = flag.Float64("announce-weight", 1, "worker: capacity weight to advertise")
+		beatEvery      = flag.Duration("heartbeat", 500*time.Millisecond, "worker: heartbeat interval for -announce")
 
 		maxConns  = flag.Int("max-conns", 0, "max simultaneous client connections (0 = unlimited)")
 		perConn   = flag.Int("per-conn-inflight", 0, "per-connection in-flight request cap (0 = unlimited)")
@@ -124,9 +153,8 @@ func main() {
 	)
 	if *coordinator {
 		addrs := splitNonEmpty(*workerAddrs)
-		if len(addrs) == 0 {
-			fmt.Fprintln(os.Stderr, "scansd: -coordinator requires -workers host:port,...")
-			os.Exit(1)
+		if len(addrs) == 0 && *announce == "" && *follow == "" {
+			fmt.Fprintln(os.Stderr, "scansd: -coordinator with no -workers serves nothing until workers -announce themselves")
 		}
 		ws, err := parseWeights(*weights, len(addrs))
 		if err != nil {
@@ -144,6 +172,11 @@ func main() {
 			HedgeAfter:    *hedgeAfter,
 			EjectAfter:    *ejectAfter,
 			ProbeInterval: *probeEvery,
+			HeartbeatTTL:  *beatTTL,
+			WeightFloor:   *weightFloor,
+			ReplListen:    *replListen,
+			Follow:        *follow,
+			ResumeTTL:     *resumeTTL,
 			Faults:        faults,
 		})
 		if err != nil {
@@ -156,6 +189,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("scansd coordinator listening on %s, sharding over %d workers %v\n", ns.Addr(), len(addrs), addrs)
+		if ra := coord.ReplAddr(); ra != "" {
+			fmt.Println("scansd coordinator replicating sessions on", ra)
+		}
+		if *follow != "" {
+			fmt.Println("scansd coordinator standing by for", *follow)
+		}
 	} else {
 		ns, err = serve.ListenNet(*addr, serve.Config{
 			MaxBatchElems:    *maxElems,
@@ -177,11 +216,25 @@ func main() {
 		fmt.Println("scansd: CHAOS ARMED", faults)
 	}
 
+	var beatQuit chan struct{}
+	if *announce != "" && !*coordinator {
+		advertised := *announceAddr
+		if advertised == "" {
+			advertised = ns.Addr()
+		}
+		beatQuit = make(chan struct{})
+		go announceLoop(*announce, advertised, *announceWeight, *maxLine, *beatEvery, beatQuit)
+		fmt.Printf("scansd announcing %s to coordinator %s every %v\n", advertised, *announce, *beatEvery)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 
 	fmt.Println("scansd: draining...")
+	if beatQuit != nil {
+		close(beatQuit)
+	}
 	ns.Close()
 	if coord != nil {
 		fmt.Println("scansd coordinator:", coord.Stats())
@@ -190,6 +243,47 @@ func main() {
 	}
 	if faults != nil {
 		fmt.Println("scansd:", faults)
+	}
+}
+
+// announceLoop heartbeats this worker into a coordinator until quit:
+// dial (lazily, redialing after any error), send one heartbeat per
+// interval. The coordinator admits us on the first beat it hears and
+// ejects us -heartbeat-ttl after the last, so joining and leaving the
+// fleet are both just this loop's lifecycle.
+func announceLoop(coordAddr, selfAddr string, weight float64, maxLine int, every time.Duration, quit chan struct{}) {
+	if every <= 0 {
+		every = 500 * time.Millisecond
+	}
+	var cli *serve.Client
+	defer func() {
+		if cli != nil {
+			cli.Close()
+		}
+	}()
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		if cli == nil {
+			c, err := serve.DialMaxLineProto(coordAddr, 0, serve.ProtoBin)
+			if err == nil {
+				cli = c
+			}
+		}
+		if cli != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), every)
+			err := cli.Heartbeat(ctx, selfAddr, weight, serve.ProtoBin, maxLine)
+			cancel()
+			if err != nil {
+				cli.Close()
+				cli = nil
+			}
+		}
+		select {
+		case <-quit:
+			return
+		case <-tick.C:
+		}
 	}
 }
 

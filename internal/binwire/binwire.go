@@ -31,6 +31,10 @@
 //	FStreamOpen  u64 id | u64 stream | u8 op | u8 kind | u8 dir | u8 elem
 //	FStreamChunk u64 id | u64 stream | u64 timeout_ms | u32 n | n × 8
 //	FStreamClose u64 id | u64 stream
+//	FHeartbeat   u64 id | u64 weight bits | u32 maxLine | u8 wproto |
+//	             u16 addrLen | addr
+//	FStreamResume u64 id | u64 stream | u64 acked | u8 tokLen | token
+//	FStreamOpen2 (same body as FStreamOpen; requests an FAck answer)
 //
 // Response bodies (server → client):
 //
@@ -38,6 +42,7 @@
 //	FFloatResult u64 id | u32 n | n × 8-byte float64 bits
 //	FTotal       u64 id | i64 total
 //	FError       u64 id | u8 codeLen | code | u16 msgLen | msg
+//	FAck         u64 id | u64 seq | u32 window | u8 tokLen | token
 //
 // Every frame carries the request id, so one connection multiplexes any
 // number of in-flight requests: the server's per-connection writer
@@ -82,6 +87,21 @@ const (
 	FStreamChunk = 0x03
 	// FStreamClose closes a stream, answering with FTotal.
 	FStreamClose = 0x04
+	// FHeartbeat announces a worker to a coordinator: its dialable
+	// address, capacity weight, preferred wire protocol, and line
+	// budget. Answered with an empty FResult ack (or FError against a
+	// server that is not a coordinator).
+	FHeartbeat = 0x05
+	// FStreamResume re-attaches to a resumable stream by token after a
+	// connection (or coordinator) death. Answered with FAck carrying the
+	// 1-based index of the next chunk the server expects.
+	FStreamResume = 0x06
+	// FStreamOpen2 is FStreamOpen from a client that understands FAck:
+	// the server acks it with FAck (resume token + flow-control window)
+	// instead of an empty FResult. A pre-FAck server rejects the unknown
+	// type with a payload-level bad_frame — the connection survives and
+	// the client falls back to FStreamOpen.
+	FStreamOpen2 = 0x07
 	// FResult is a successful int64 result (also the empty ack of a
 	// stream open or an empty scan).
 	FResult = 0x81
@@ -92,6 +112,11 @@ const (
 	// FError is a structured error: a machine code plus a message,
 	// mirroring the JSON protocol's error/code fields.
 	FError = 0x84
+	// FAck is the extended stream acknowledgement (open2/resume): the
+	// resume token, the flow-control window (how many chunks the client
+	// may hold in flight), and — for resumes — the 1-based index of the
+	// next chunk the server expects (0 means "not a resume").
+	FAck = 0x85
 )
 
 // Element kinds carried in the elem byte of FScan/FStreamOpen.
@@ -138,6 +163,15 @@ type Request struct {
 	Tenant    string
 	Data      []int64
 	FData     []float64
+	// Heartbeat fields (FHeartbeat).
+	Addr    string
+	Weight  float64
+	MaxLine int
+	WProto  byte
+	// Resume fields (FStreamResume): the token and the client's chunk
+	// high-water mark.
+	Token string
+	Acked uint64
 }
 
 // Response is one decoded server→client message. Result is arena-backed
@@ -150,6 +184,10 @@ type Response struct {
 	Total   int64
 	Code    string
 	Error   string
+	// Ack fields (FAck).
+	Seq    uint64
+	Window int
+	Token  string
 }
 
 // le is the protocol's byte order.
@@ -289,6 +327,59 @@ func AppendStreamClose(dst []byte, id, stream uint64) []byte {
 	return dst
 }
 
+// HeartbeatFrameBytes and StreamResumeFrameBytes size the control-plane
+// request frames.
+func HeartbeatFrameBytes(addr string) int     { return 4 + 24 + len(addr) }
+func StreamResumeFrameBytes(token string) int { return 4 + 26 + len(token) }
+
+// AppendHeartbeat encodes a worker announcement frame.
+func AppendHeartbeat(dst []byte, id uint64, addr string, weight float64, maxLine int, wproto byte) []byte {
+	if len(addr) > math.MaxUint16 {
+		addr = addr[:math.MaxUint16]
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FHeartbeat)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, math.Float64bits(weight))
+	dst = le.AppendUint32(dst, uint32(maxLine))
+	dst = append(dst, wproto)
+	dst = le.AppendUint16(dst, uint16(len(addr)))
+	dst = append(dst, addr...)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// AppendStreamResume encodes a stream resume request frame.
+func AppendStreamResume(dst []byte, id, stream, acked uint64, token string) []byte {
+	if len(token) > 255 {
+		token = token[:255]
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FStreamResume)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, stream)
+	dst = le.AppendUint64(dst, acked)
+	dst = append(dst, byte(len(token)))
+	dst = append(dst, token...)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// AppendStreamOpen2 encodes an FStreamOpen2 request frame — identical
+// body to FStreamOpen, but asks the server to answer with FAck.
+func AppendStreamOpen2(dst []byte, id, stream uint64, op, kind, dir, elem byte) []byte {
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FStreamOpen2)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, stream)
+	dst = append(dst, op, kind, dir, elem)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
 // ResultFrameBytes is the exact encoded size of an n-element
 // FResult/FFloatResult frame — the binary analogue of the JSON path's
 // maxRespBytes worst case, except here it is exact, not worst-case.
@@ -358,6 +449,26 @@ func AppendError(dst []byte, id uint64, code, msg string) []byte {
 	dst = append(dst, code...)
 	dst = le.AppendUint16(dst, uint16(len(msg)))
 	dst = append(dst, msg...)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// AckFrameBytes sizes an FAck frame.
+func AckFrameBytes(token string) int { return 4 + 22 + len(token) }
+
+// AppendAck encodes an extended stream acknowledgement frame.
+func AppendAck(dst []byte, id, seq uint64, window int, token string) []byte {
+	if len(token) > 255 {
+		token = token[:255]
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FAck)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, seq)
+	dst = le.AppendUint32(dst, uint32(window))
+	dst = append(dst, byte(len(token)))
+	dst = append(dst, token...)
 	patchFrameLen(dst[start:])
 	return dst
 }
@@ -481,13 +592,24 @@ func ParseRequest(payload []byte) (Request, error) {
 		} else {
 			req.Data = r.ints(n)
 		}
-	case FStreamOpen:
+	case FStreamOpen, FStreamOpen2:
 		req.ID = r.u64()
 		req.Stream = r.u64()
 		req.Op = r.u8()
 		req.Kind = r.u8()
 		req.Dir = r.u8()
 		req.Elem = r.u8()
+	case FHeartbeat:
+		req.ID = r.u64()
+		req.Weight = math.Float64frombits(r.u64())
+		req.MaxLine = int(r.u32())
+		req.WProto = r.u8()
+		req.Addr = r.str(int(r.u16()))
+	case FStreamResume:
+		req.ID = r.u64()
+		req.Stream = r.u64()
+		req.Acked = r.u64()
+		req.Token = r.str(int(r.u8()))
 	case FStreamChunk:
 		req.ID = r.u64()
 		req.Stream = r.u64()
@@ -540,6 +662,11 @@ func ParseResponse(payload []byte) (Response, error) {
 		resp.ID = r.u64()
 		resp.Code = r.str(int(r.u8()))
 		resp.Error = r.str(int(r.u16()))
+	case FAck:
+		resp.ID = r.u64()
+		resp.Seq = r.u64()
+		resp.Window = int(r.u32())
+		resp.Token = r.str(int(r.u8()))
 	default:
 		return Response{}, fmt.Errorf("%w: unknown response type 0x%02x", ErrBadFrame, resp.Type)
 	}

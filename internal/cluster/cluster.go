@@ -107,8 +107,39 @@ type Config struct {
 	ProbeInterval time.Duration
 	// ProbeTimeout bounds one probe's round trip. Default 500ms.
 	ProbeTimeout time.Duration
+	// HeartbeatTTL ejects an ANNOUNCED worker (one that joined via
+	// heartbeat rather than the static Workers list) when its last
+	// heartbeat is older than this. Static workers are unaffected —
+	// their liveness stays connection-failure driven. Default 2s.
+	HeartbeatTTL time.Duration
+	// WeightFloor bounds how far the adaptive latency scaling can shrink
+	// a worker's planned share: effective weight ≥ WeightFloor × base
+	// weight, so a slow worker keeps receiving (floor-sized) work and
+	// its EWMA can observe the recovery. Default 0.1.
+	WeightFloor float64
+	// ReplListen, when non-empty, publishes the stream-session
+	// replication feed on this TCP address for standby coordinators;
+	// ReplAddr reports the bound address ("host:0" is resolved).
+	ReplListen string
+	// Follow, when non-empty, mirrors a primary's replication feed from
+	// this address — standby mode. The follower redials forever, so a
+	// standby may start before its primary and survives the primary's
+	// death (which is the point).
+	Follow string
+	// ResumeTTL is how long a detached stream session (its carrying
+	// connection died) stays resumable before the janitor reaps it.
+	// Default 2m.
+	ResumeTTL time.Duration
+	// CrashHook, when non-nil, is called (once, in its own goroutine)
+	// the first time fault.ClusterCoordCrash fires on the serving path.
+	// Test harnesses install a hook that kills the TCP front end, so
+	// "the coordinator dies mid-request" is a scriptable event. nil
+	// leaves the point inert.
+	CrashHook func()
 	// Faults is the chaos hook for the coordinator-side points
-	// (fault.ClusterWorkerSlow, fault.ClusterWorkerDrop). nil = off.
+	// (fault.ClusterWorkerSlow, fault.ClusterWorkerDrop,
+	// fault.ClusterCoordCrash, fault.ClusterHeartbeatDrop,
+	// fault.ClusterJoinStorm). nil = off.
 	Faults *fault.Set
 }
 
@@ -141,6 +172,15 @@ func (c Config) withDefaults() Config {
 	if c.ProbeTimeout <= 0 {
 		c.ProbeTimeout = 500 * time.Millisecond
 	}
+	if c.HeartbeatTTL <= 0 {
+		c.HeartbeatTTL = 2 * time.Second
+	}
+	if c.WeightFloor <= 0 || c.WeightFloor > 1 {
+		c.WeightFloor = 0.1
+	}
+	if c.ResumeTTL <= 0 {
+		c.ResumeTTL = 2 * time.Minute
+	}
 	return c
 }
 
@@ -148,26 +188,35 @@ func (c Config) withDefaults() Config {
 // serve.Backend; front it with serve.ListenBackend to serve the wire
 // protocol, or call Scan/ScanSegmented/OpenScanStream in process.
 type Coordinator struct {
-	cfg   Config
-	reg   *registry
-	stats coordStats
+	cfg      Config
+	reg      *registry
+	sessions *sessionTable
+	repl     *replServer // non-nil when cfg.ReplListen is set
+	follow   *follower   // non-nil when cfg.Follow is set
+	stats    coordStats
 
-	fpSlow *fault.Point
-	fpDrop *fault.Point
+	fpSlow      *fault.Point
+	fpDrop      *fault.Point
+	fpCrash     *fault.Point
+	fpBeatDrop  *fault.Point
+	fpJoinStorm *fault.Point
+	crashOnce   sync.Once
 
 	rr     atomic.Uint64 // rotates shard→worker assignment across scans
 	closed atomic.Bool
 }
 
 var _ serve.Backend = (*Coordinator)(nil)
+var _ serve.Announcer = (*Coordinator)(nil)
+var _ serve.StreamResumer = (*Coordinator)(nil)
 
 // New builds a Coordinator over cfg.Workers. The workers are dialed
 // lazily on first use, so New succeeds even while the fleet is still
 // coming up — the first scans simply retry/eject until probes find it.
+// An EMPTY Workers list is allowed: the fleet can be populated entirely
+// by worker announcements (scansd -announce); scans before the first
+// join fail with shard_failed.
 func New(cfg Config) (*Coordinator, error) {
-	if len(cfg.Workers) == 0 {
-		return nil, errors.New("cluster: no workers configured")
-	}
 	if cfg.Weights != nil && len(cfg.Weights) != len(cfg.Workers) {
 		return nil, fmt.Errorf("cluster: %d weights for %d workers", len(cfg.Weights), len(cfg.Workers))
 	}
@@ -178,23 +227,152 @@ func New(cfg Config) (*Coordinator, error) {
 	}
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
-		cfg:    cfg,
-		fpSlow: cfg.Faults.Point(fault.ClusterWorkerSlow),
-		fpDrop: cfg.Faults.Point(fault.ClusterWorkerDrop),
+		cfg:         cfg,
+		fpSlow:      cfg.Faults.Point(fault.ClusterWorkerSlow),
+		fpDrop:      cfg.Faults.Point(fault.ClusterWorkerDrop),
+		fpCrash:     cfg.Faults.Point(fault.ClusterCoordCrash),
+		fpBeatDrop:  cfg.Faults.Point(fault.ClusterHeartbeatDrop),
+		fpJoinStorm: cfg.Faults.Point(fault.ClusterJoinStorm),
 	}
 	c.reg = newRegistry(cfg, &c.stats)
+	c.sessions = newSessionTable(cfg.ResumeTTL, &c.stats)
+	if cfg.ReplListen != "" {
+		rs, err := startReplServer(cfg.ReplListen, c.sessions)
+		if err != nil {
+			c.reg.close()
+			c.sessions.close()
+			return nil, fmt.Errorf("cluster: repl listen: %w", err)
+		}
+		c.repl = rs
+	}
+	if cfg.Follow != "" {
+		c.follow = startFollower(cfg.Follow, c.sessions)
+	}
 	return c, nil
 }
 
-// Close stops the prober and closes every worker connection. In-flight
-// scans see their connections die and fail with shard_failed; call
-// Close only after traffic has drained (the TCP front end's Close does
-// exactly that ordering).
+// ReplAddr returns the bound replication-feed address ("" when
+// ReplListen was not configured). Standbys pass it as Config.Follow.
+func (c *Coordinator) ReplAddr() string {
+	if c.repl == nil {
+		return ""
+	}
+	return c.repl.addr()
+}
+
+// Close stops the liveness loop, the session janitor, the replication
+// endpoints, and every worker connection. In-flight scans see their
+// connections die and fail with shard_failed; call Close only after
+// traffic has drained (the TCP front end's Close does exactly that
+// ordering).
 func (c *Coordinator) Close() {
 	if !c.closed.CompareAndSwap(false, true) {
 		return
 	}
+	if c.follow != nil {
+		c.follow.close()
+	}
+	if c.repl != nil {
+		c.repl.close()
+	} else {
+		c.sessions.close()
+	}
 	c.reg.close()
+}
+
+// Announce implements serve.Announcer: one worker heartbeat. Unknown
+// addresses join the fleet live, known ones refresh weight and beat
+// clock, ejected ones are readmitted (see registry.admit). The chaos
+// points model a lossy control plane: a fired heartbeat.drop is
+// acknowledged but never reaches the registry, and a fired joinstorm
+// re-admits the same worker from many goroutines at once.
+func (c *Coordinator) Announce(addr string, weight float64, proto string, maxLine int) error {
+	if c.closed.Load() {
+		return serve.ErrClosed
+	}
+	if addr == "" {
+		return fmt.Errorf("%w: heartbeat with empty worker address", serve.ErrBadRequest)
+	}
+	switch proto {
+	case "":
+		proto = c.cfg.Proto
+	case serve.ProtoBin, serve.ProtoJSON:
+	default:
+		return fmt.Errorf("%w: unknown worker protocol %q", serve.ErrBadRequest, proto)
+	}
+	if weight <= 0 {
+		weight = 1
+	}
+	if maxLine <= 0 {
+		maxLine = c.cfg.MaxLineBytes
+	}
+	c.stats.heartbeats.Add(1)
+	if c.fpBeatDrop.Fire() {
+		return nil // chaos: the beat is lost inside the coordinator
+	}
+	if c.fpJoinStorm.Fire() {
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				c.reg.admit(addr, weight, proto, maxLine)
+			}()
+		}
+		wg.Wait()
+		return nil
+	}
+	c.reg.admit(addr, weight, proto, maxLine)
+	return nil
+}
+
+// WorkerStat is one worker's row in the coordinator's fleet view:
+// identity, base and effective (latency-adjusted) weight, health, and
+// the adaptive-planning inputs, for operators and the acceptance tests
+// that assert a slowed worker's share actually drops.
+type WorkerStat struct {
+	Addr      string
+	Announced bool
+	Healthy   bool
+	// Weight is the configured/announced base weight; EffWeight is what
+	// planning actually uses after latency scaling (≥ WeightFloor ×
+	// Weight).
+	Weight    float64
+	EffWeight float64
+	// LatencyEWMANs is the smoothed observed cost in ns per element
+	// (0 until the first successful attempt).
+	LatencyEWMANs float64
+	// PlannedElems is the cumulative element count planned onto this
+	// worker.
+	PlannedElems uint64
+	// LastBeatAge is the time since the last heartbeat (0 for static
+	// workers, which do not beat).
+	LastBeatAge time.Duration
+}
+
+// WorkerStats snapshots the fleet, in join order; safe under traffic.
+func (c *Coordinator) WorkerStats() []WorkerStat {
+	ws := c.reg.snapshot()
+	eff := effectiveWeights(ws, c.cfg.WeightFloor)
+	out := make([]WorkerStat, len(ws))
+	now := time.Now()
+	for i, w := range ws {
+		var age time.Duration
+		if lb := w.lastBeat.Load(); lb > 0 {
+			age = now.Sub(time.Unix(0, lb))
+		}
+		out[i] = WorkerStat{
+			Addr:          w.addr,
+			Announced:     w.announced,
+			Healthy:       w.healthy.Load(),
+			Weight:        w.weight(),
+			EffWeight:     eff[i],
+			LatencyEWMANs: w.latencyNs(),
+			PlannedElems:  w.planned.Load(),
+			LastBeatAge:   age,
+		}
+	}
+	return out
 }
 
 // Scan shards one unsegmented scan across the fleet and returns the
@@ -230,6 +408,7 @@ func (c *Coordinator) scanRoot(ctx context.Context, spec serve.Spec, data []int6
 		c.stats.rejected.Add(1)
 		return nil, fmt.Errorf("%w: invalid spec %+v", serve.ErrBadRequest, spec)
 	}
+	c.crashPoint()
 	c.stats.requests.Add(1)
 	res, err := c.scanSeeded(ctx, spec, data, flags, 0, false, tenant)
 	if err != nil {
@@ -237,6 +416,21 @@ func (c *Coordinator) scanRoot(ctx context.Context, spec serve.Spec, data []int6
 	}
 	c.stats.served.Add(1)
 	return res, nil
+}
+
+// crashPoint fires fault.ClusterCoordCrash: the first fire invokes
+// CrashHook — typically "kill my TCP front end" — in a fresh goroutine,
+// so the crash lands while this request (and its siblings) are in
+// flight, exactly the window failover must cover. The request itself
+// proceeds; the dying front end is what kills it.
+func (c *Coordinator) crashPoint() {
+	if c.fpCrash.Fire() {
+		c.crashOnce.Do(func() {
+			if hook := c.cfg.CrashHook; hook != nil {
+				go hook()
+			}
+		})
+	}
 }
 
 // finish classifies a failed request's terminal outcome and wraps
@@ -267,13 +461,21 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 		// transient all-down blip (one bad network moment can burst-fail
 		// every shared connection at once) into guaranteed request
 		// failure; instead plan over the full fleet and let the
-		// per-piece retries probe reality, while the background prober
+		// per-piece retries probe reality, while the liveness loop
 		// readmits in parallel. A genuinely dead fleet still fails — with
 		// shard_failed, after the retry budget.
-		ws = c.reg.workers
+		ws = c.reg.snapshot()
 	}
-	shards := planShards(n, ws, int(c.rr.Add(1)-1), c.cfg.MinShardElems)
+	if len(ws) == 0 {
+		// Nothing has ever joined (announce-only fleet before the first
+		// heartbeat).
+		return nil, errors.New("no workers in fleet")
+	}
+	shards := planShards(n, ws, effectiveWeights(ws, c.cfg.WeightFloor), int(c.rr.Add(1)-1), c.cfg.MinShardElems)
 	pieces := cutPieces(shards, flags, c.cfg.MaxPieceElems)
+	for i := range shards {
+		shards[i].w.planned.Add(uint64(shards[i].end - shards[i].start))
+	}
 	c.stats.shards.Add(uint64(len(shards)))
 	c.stats.pieces.Add(uint64(len(pieces)))
 	seedPieces(spec, data, flags, pieces, carry, seeded)
@@ -454,9 +656,14 @@ func (c *Coordinator) attemptHedged(ctx context.Context, spec serve.Spec, payloa
 // chaos points and feeding the health model: connection-level failures
 // count toward ejection, typed server errors prove liveness and reset
 // the streak, and the caller's own cancellation says nothing either
-// way.
+// way. Successful attempts also feed the worker's latency EWMA —
+// measured around the WHOLE attempt, chaos sleeps included, so an
+// armed slow point is indistinguishable from a genuinely slow worker
+// and the adaptive planner reacts to both the same way.
 func (c *Coordinator) attemptOn(ctx context.Context, spec serve.Spec, payload []int64, tenant string, w *worker) ([]int64, error) {
+	start := time.Now()
 	c.fpSlow.Sleep()
+	w.fpSlow.Sleep() // targeted per-worker point: ClusterWorkerSlow + ":" + addr
 	cli, err := w.client()
 	if err != nil {
 		c.reg.noteConnFail(w)
@@ -472,6 +679,11 @@ func (c *Coordinator) attemptOn(ctx context.Context, spec serve.Spec, payload []
 	switch {
 	case err == nil:
 		c.reg.noteOK(w)
+		elems := len(payload)
+		if elems < 1 {
+			elems = 1
+		}
+		w.recordLatency(float64(time.Since(start)) / float64(elems))
 	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 		// Our own deadline/cancel: no health signal.
 	case connLevel(err):

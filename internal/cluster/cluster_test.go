@@ -157,11 +157,8 @@ func TestClusterMatchesSingleNode(t *testing.T) {
 // TestClusterWeights checks the proportional split: a worker with
 // triple weight gets roughly triple the elements.
 func TestClusterWeights(t *testing.T) {
-	ws := []*worker{
-		{addr: "a", weight: 3},
-		{addr: "b", weight: 1},
-	}
-	shards := planShards(4000, ws, 0, 100)
+	ws := testWorkers(3, 1)
+	shards := baseShards(4000, ws, 0, 100)
 	if len(shards) != 2 {
 		t.Fatalf("got %d shards, want 2", len(shards))
 	}

@@ -1,0 +1,892 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scans/internal/arena"
+	"scans/internal/fault"
+	"scans/internal/serve"
+)
+
+// TestCoordinatorFailoverSoak is the control-plane survival exam: a
+// primary coordinator replicating its stream sessions to a live
+// standby is murdered (fault.ClusterCoordCrash → NetServer.Kill, the
+// kill -9 stand-in: no drain, no goodbye) a third of the way through a
+// mixed soak, and every client — half of them mid-stream — must finish
+// on the standby. Invariants:
+//
+//  1. Zero lost traffic: every request reaches success, through the
+//     primary before the kill or the standby after it.
+//  2. Zero corruption: every result — including streams that were
+//     resumed by token halfway through — is bit-identical to the
+//     serial reference.
+//  3. Resume really happened: at least one stream re-attached by token
+//     (Resumed ≥ 1 client-side, Resumes ≥ 1 on the standby), and at
+//     least one request was served by the standby (FailedOver ≥ 1).
+//  4. Both coordinators' stream ledgers close: on each,
+//     Opened == Closed + Failed and Active == 0 — the killed primary's
+//     orphaned attachments all fail, the standby's resumed ones all
+//     close.
+//  5. The arena ledger closes: gets == puts once everything is torn
+//     down — failover leaks no pooled buffers.
+//
+// scripts/check.sh runs this under -race.
+func TestCoordinatorFailoverSoak(t *testing.T) {
+	const (
+		nWorkers = 2
+		clients  = 6
+		seed     = 0xFA11
+	)
+	perClient := 60
+	if testing.Short() {
+		perClient = 20
+	}
+	arenaBefore := arena.Stats()
+
+	workerCfg := serve.Config{MaxWait: 50 * time.Microsecond}
+	workers := make([]*serve.NetServer, nWorkers)
+	addrs := make([]string, nWorkers)
+	for i := range workers {
+		ns, err := serve.ListenNet("127.0.0.1:0", workerCfg, serve.NetConfig{})
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = ns
+		addrs[i] = ns.Addr()
+	}
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
+
+	// The primary gets the crash point (armed mid-soak by the lifecycle
+	// goroutine below); the standby shares nothing with it but the
+	// replication feed.
+	faults := fault.New(seed)
+	var (
+		primNS  *serve.NetServer
+		primary *Coordinator
+		killed  = make(chan struct{})
+		killerr error
+	)
+	primary, err := New(Config{
+		Workers:       addrs,
+		MinShardElems: 64,
+		MaxPieceElems: 256,
+		Retry:         serve.RetryPolicy{MaxAttempts: 6, BaseDelay: 500 * time.Microsecond, MaxDelay: 10 * time.Millisecond},
+		ReplListen:    "127.0.0.1:0",
+		Faults:        faults,
+		CrashHook: func() {
+			primNS.Kill()
+			primary.Close()
+			close(killed)
+		},
+	})
+	if err != nil {
+		t.Fatalf("primary: %v", err)
+	}
+	primNS, err = serve.ListenBackend("127.0.0.1:0", primary, serve.NetConfig{})
+	if err != nil {
+		t.Fatalf("primary front end: %v", err)
+	}
+
+	standby, err := New(Config{
+		Workers:       addrs,
+		MinShardElems: 64,
+		MaxPieceElems: 256,
+		Retry:         serve.RetryPolicy{MaxAttempts: 6, BaseDelay: 500 * time.Microsecond, MaxDelay: 10 * time.Millisecond},
+		Follow:        primary.ReplAddr(),
+	})
+	if err != nil {
+		t.Fatalf("standby: %v", err)
+	}
+	stbyNS, err := serve.ListenBackend("127.0.0.1:0", standby, serve.NetConfig{})
+	if err != nil {
+		t.Fatalf("standby front end: %v", err)
+	}
+
+	// Lifecycle: arm the crash point once a third of the soak is done, so
+	// the very next request through the primary pulls the trigger.
+	var progress sync.Map
+	killAt := clients * perClient / 3
+	var lifecycle sync.WaitGroup
+	lifecycle.Add(1)
+	go func() {
+		defer lifecycle.Done()
+		for {
+			s := 0
+			progress.Range(func(_, v any) bool { s += v.(int); return true })
+			if s >= killAt {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		faults.Arm(fault.ClusterCoordCrash, 1)
+		select {
+		case <-killed:
+		case <-time.After(10 * time.Second):
+			killerr = errors.New("crash point armed but the primary never died")
+		}
+	}()
+
+	specs := clusterSpecs()
+	fcs := make([]*serve.FailoverClient, clients)
+	for c := range fcs {
+		fc, err := serve.DialFailover(serve.ProtoBin, 0, primNS.Addr(), stbyNS.Addr())
+		if err != nil {
+			t.Fatalf("DialFailover: %v", err)
+		}
+		fcs[c] = fc
+	}
+
+	type tally struct{ success, mismatch, failed, streamed int }
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total tally
+	)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl) + 7))
+			fc := fcs[cl]
+			var local tally
+			for i := 0; i < perClient; i++ {
+				progress.Store(cl, i)
+				sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+				var (
+					spec serve.Spec
+					data []int64
+					got  []int64
+					err  error
+				)
+				if i%2 == 0 {
+					// Streamed leg (half the traffic): small chunks force many
+					// round trips, so the kill reliably lands mid-stream for
+					// somebody and their resume token gets used in anger.
+					spec = specs[rng.Intn(len(specs))]
+					spec.Dir = serve.Forward
+					data = randVec(rng, spec.Op, 600+rng.Intn(1200))
+					got, err = fc.StreamScan(sctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data, 48+rng.Intn(80))
+					local.streamed++
+				} else {
+					spec = specs[rng.Intn(len(specs))]
+					data = randVec(rng, spec.Op, 1+rng.Intn(1500))
+					got, err = fc.ScanCtx(sctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
+				}
+				cancel()
+				if err != nil {
+					t.Errorf("client %d request %d (%s): %v", cl, i, spec, err)
+					local.failed++
+					continue
+				}
+				if want := directSeg(spec, data, nil); !reflect.DeepEqual(got, want) {
+					local.mismatch++
+				} else {
+					local.success++
+				}
+				if len(got) > 0 {
+					arena.PutInt64s(got) // results are arena-backed, caller-owned
+				}
+			}
+			progress.Store(cl, perClient)
+			mu.Lock()
+			total.success += local.success
+			total.mismatch += local.mismatch
+			total.failed += local.failed
+			total.streamed += local.streamed
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	lifecycle.Wait()
+	if killerr != nil {
+		t.Fatal(killerr)
+	}
+
+	if total.mismatch > 0 {
+		t.Fatalf("failover soak: %d corrupted results", total.mismatch)
+	}
+	if total.failed > 0 {
+		t.Fatalf("failover soak: %d lost requests (want zero — failover must be invisible)", total.failed)
+	}
+	if total.success != clients*perClient {
+		t.Fatalf("accounting: %d successes for %d requests", total.success, clients*perClient)
+	}
+	if 3*total.streamed < clients*perClient {
+		t.Fatalf("only %d/%d requests streamed; the soak needs ≥ 1/3", total.streamed, clients*perClient)
+	}
+
+	var resumed, failedOver uint64
+	for _, fc := range fcs {
+		resumed += fc.Resumed()
+		failedOver += fc.FailedOver()
+		fc.Close()
+	}
+	if failedOver == 0 {
+		t.Fatal("primary died but nothing was served by the standby")
+	}
+	if resumed == 0 {
+		t.Fatal("primary died mid-soak but no stream resumed by token — the kill missed every stream window")
+	}
+
+	// Standby ledger: every session it served — fresh or resumed — must
+	// have reached a terminal state once its front end drains.
+	stbyNS.Close()
+	sst := standby.Stats()
+	if sst.Resumes == 0 {
+		t.Fatalf("clients resumed %d streams but the standby recorded none: %v", resumed, sst)
+	}
+	if sst.StreamsActive != 0 || sst.StreamsOpened != sst.StreamsClosed+sst.StreamsFailed {
+		t.Fatalf("standby stream ledger broken: %v", sst)
+	}
+
+	// Primary ledger: Close (after the Kill) waits out every orphaned
+	// connection handler, each of which aborts its streams — so the
+	// attachments the kill stranded all show up as Failed.
+	primNS.Close()
+	pst := primary.Stats()
+	if pst.StreamsActive != 0 || pst.StreamsOpened != pst.StreamsClosed+pst.StreamsFailed {
+		t.Fatalf("primary stream ledger broken: %v", pst)
+	}
+
+	// Arena ledger: with both fleets and all clients torn down, every
+	// pooled buffer checked out anywhere in the soak came back.
+	for i, w := range workers {
+		w.Close()
+		workers[i] = nil
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	var gets, puts uint64
+	for {
+		aa := arena.Stats()
+		gets, puts = aa.Gets-arenaBefore.Gets, aa.Puts-arenaBefore.Puts
+		if gets == puts || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if gets != puts {
+		t.Fatalf("arena ledger does not close: %d gets != %d puts (leaked %d buffers)", gets, puts, gets-puts)
+	}
+	t.Logf("failover soak: %+v; client resumed=%d failed_over=%d; primary %v; standby %v; arena gets=puts=%d",
+		total, resumed, failedOver, pst, sst, gets)
+}
+
+// TestAdaptiveWeightsProperties pins the adaptive planner's weight
+// model as properties over random fleets:
+//
+//   - an effective weight never exceeds its base and never drops below
+//     floor × base (the measurement-trickle guarantee);
+//   - the fastest measured worker always plans at full base weight;
+//   - two measured workers above the floor split in inverse-latency
+//     proportion (a k×-slower worker plans at 1/k weight);
+//   - unmeasured workers (EWMA empty) plan at full base weight;
+//   - after repeated observations of stable latencies the EWMA — and so
+//     the weights — CONVERGE to those proportions from any start.
+func TestAdaptiveWeightsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		nw := 1 + rng.Intn(6)
+		floor := []float64{0.05, 0.1, 0.3, 0.9}[rng.Intn(4)]
+		ws := make([]*worker, nw)
+		lats := make([]float64, nw)
+		minLat := 0.0
+		for i := range ws {
+			w := &worker{addr: fmt.Sprintf("w%d", i)}
+			w.setWeight([]float64{0.25, 1, 1, 2, 8}[rng.Intn(5)])
+			if rng.Intn(4) > 0 {
+				lats[i] = float64(1 + rng.Intn(10_000))
+				w.ewmaNs.Store(math.Float64bits(lats[i]))
+				if minLat == 0 || lats[i] < minLat {
+					minLat = lats[i]
+				}
+			}
+			ws[i] = w
+		}
+		eff := effectiveWeights(ws, floor)
+		for i, w := range ws {
+			base := w.weight()
+			if eff[i] > base*(1+1e-12) {
+				t.Fatalf("trial %d: eff[%d]=%g exceeds base %g", trial, i, eff[i], base)
+			}
+			if eff[i] < floor*base*(1-1e-12) {
+				t.Fatalf("trial %d: eff[%d]=%g below floor %g×%g", trial, i, eff[i], floor, base)
+			}
+			switch {
+			case lats[i] == 0, lats[i] == minLat:
+				if eff[i] != base {
+					t.Fatalf("trial %d: unmeasured/fastest worker %d scaled to %g (base %g)", trial, i, eff[i], base)
+				}
+			default:
+				want := minLat / lats[i]
+				if want < floor {
+					want = floor
+				}
+				if got := eff[i] / base; math.Abs(got-want) > 1e-9 {
+					t.Fatalf("trial %d: eff[%d]/base=%g, want inverse-latency %g", trial, i, got, want)
+				}
+			}
+		}
+	}
+
+	// Convergence: whatever the EWMA starts at, feeding stable latencies
+	// drives the weight ratio to the inverse-latency ratio.
+	fast, slow := testWorkers(1, 1)[0], testWorkers(1, 1)[1]
+	fast.ewmaNs.Store(math.Float64bits(5000)) // starts looking slow
+	for i := 0; i < 100; i++ {
+		fast.recordLatency(100)
+		slow.recordLatency(1000)
+	}
+	eff := effectiveWeights([]*worker{fast, slow}, 0.01)
+	if eff[0] != 1 {
+		t.Fatalf("fast worker did not converge to full weight: %g", eff[0])
+	}
+	if math.Abs(eff[1]-0.1) > 0.01 {
+		t.Fatalf("10×-slower worker converged to %g, want ≈ 0.1", eff[1])
+	}
+	// And the floor still binds after convergence.
+	eff = effectiveWeights([]*worker{fast, slow}, 0.5)
+	if eff[1] != 0.5 {
+		t.Fatalf("floor 0.5 should clamp the slow worker's weight: got %g", eff[1])
+	}
+}
+
+// TestAdaptiveWeightsReactToSlowWorker is the acceptance check: slow
+// one worker 10× via its TARGETED chaos point
+// (fault.ClusterWorkerSlow + ":" + addr), and the coordinator's planned
+// share for it must drop measurably — visible in WorkerStats — then
+// recover after the point is disarmed, because the weight floor kept a
+// trickle of work (and therefore measurements) flowing.
+func TestAdaptiveWeightsReactToSlowWorker(t *testing.T) {
+	addrs := startWorkers(t, 2, serve.Config{MaxWait: 50 * time.Microsecond})
+	faults := fault.New(5)
+	c := newCoord(t, Config{
+		Workers:       addrs,
+		MinShardElems: 64,
+		MaxPieceElems: 1 << 14,
+		WeightFloor:   0.1,
+		Faults:        faults,
+	})
+	ctx := context.Background()
+	spec := serve.Spec{Op: serve.OpSum, Kind: serve.Inclusive}
+	data := make([]int64, 8000)
+	for i := range data {
+		data[i] = int64(i % 17)
+	}
+	run := func(k int) {
+		t.Helper()
+		for i := 0; i < k; i++ {
+			res, err := c.Scan(ctx, spec, data, "")
+			if err != nil {
+				t.Fatalf("scan: %v", err)
+			}
+			arena.PutInt64s(res)
+		}
+	}
+	share := func(since []WorkerStat) float64 {
+		ws := c.WorkerStats()
+		d0 := ws[0].PlannedElems - since[0].PlannedElems
+		d1 := ws[1].PlannedElems - since[1].PlannedElems
+		return float64(d1) / float64(d0+d1)
+	}
+
+	run(10) // warm both EWMAs at equal speed
+	before := c.WorkerStats()
+	run(20)
+	if s := share(before); s < 0.3 || s > 0.7 {
+		t.Fatalf("healthy fleet split %.2f, want ≈ 0.5", s)
+	}
+
+	// Slow worker 1 only: every attempt on it eats a 3ms sleep, 10×+ its
+	// real service time at this size.
+	faults.ArmSleep(fault.ClusterWorkerSlow+":"+addrs[1], 1, 3*time.Millisecond)
+	run(30) // let the EWMA see the new reality
+	before = c.WorkerStats()
+	run(20)
+	slowShare := share(before)
+	if slowShare >= 0.25 {
+		t.Fatalf("slowed worker still drawing %.2f of planned elements, want a measurable drop below 0.25", slowShare)
+	}
+	if slowShare <= 0 {
+		t.Fatal("slowed worker starved outright — the weight floor must keep a trickle flowing")
+	}
+	ws := c.WorkerStats()
+	if ws[1].EffWeight >= ws[1].Weight*0.5 {
+		t.Fatalf("slowed worker's effective weight %.3f did not drop (base %.3f)", ws[1].EffWeight, ws[1].Weight)
+	}
+	if ws[1].EffWeight < ws[1].Weight*0.1*(1-1e-9) {
+		t.Fatalf("effective weight %.3f fell through the 0.1 floor", ws[1].EffWeight)
+	}
+
+	// Disarm: the floor trickle keeps measuring, so the EWMA recovers
+	// and the share climbs back.
+	faults.Disarm(fault.ClusterWorkerSlow + ":" + addrs[1])
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		run(10)
+		ws = c.WorkerStats()
+		if ws[1].EffWeight > ws[1].Weight*0.7 {
+			recovered = true
+			break
+		}
+	}
+	if !recovered {
+		t.Fatalf("slowed worker never recovered after disarm: eff=%.3f base=%.3f", ws[1].EffWeight, ws[1].Weight)
+	}
+	before = c.WorkerStats()
+	run(20)
+	if s := share(before); s < 0.3 {
+		t.Fatalf("recovered worker's share %.2f did not climb back toward fair", s)
+	}
+}
+
+// TestAnnounceJoinAndBeatEjection walks a worker through the
+// auto-discovery lifecycle over the real wire: join a live fleet by
+// heartbeat (no coordinator restart) and start drawing shards within a
+// heartbeat interval; die and be ejected by heartbeat silence while
+// in-flight pieces retry elsewhere; come back, beat again, and be
+// readmitted.
+func TestAnnounceJoinAndBeatEjection(t *testing.T) {
+	const beatTTL = 150 * time.Millisecond
+	staticAddrs := startWorkers(t, 1, serve.Config{MaxWait: 50 * time.Microsecond})
+	c := newCoord(t, Config{
+		Workers:       staticAddrs,
+		MinShardElems: 64,
+		MaxPieceElems: 1 << 14,
+		HeartbeatTTL:  beatTTL,
+		// EjectAfter is cranked up so the dead joiner can only leave via
+		// HEARTBEAT silence — the path under test — while the scans that
+		// keep hitting its corpse retry elsewhere without ejecting it.
+		EjectAfter: 10_000,
+		Retry:      serve.RetryPolicy{MaxAttempts: 6, BaseDelay: 500 * time.Microsecond, MaxDelay: 5 * time.Millisecond},
+	})
+	ns, err := serve.ListenBackend("127.0.0.1:0", c, serve.NetConfig{})
+	if err != nil {
+		t.Fatalf("front end: %v", err)
+	}
+	defer ns.Close()
+
+	// The second worker starts OUTSIDE the fleet and announces itself
+	// over the wire, exactly like scansd -announce.
+	joiner, err := serve.ListenNet("127.0.0.1:0", serve.Config{MaxWait: 50 * time.Microsecond}, serve.NetConfig{})
+	if err != nil {
+		t.Fatalf("joiner: %v", err)
+	}
+	defer func() {
+		if joiner != nil {
+			joiner.Close()
+		}
+	}()
+	cli, err := serve.DialMaxLineProto(ns.Addr(), 0, serve.ProtoBin)
+	if err != nil {
+		t.Fatalf("dial coordinator: %v", err)
+	}
+	defer cli.Close()
+	beat := func() {
+		t.Helper()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		if err := cli.Heartbeat(ctx, joiner.Addr(), 1, serve.ProtoBin, 0); err != nil {
+			t.Fatalf("heartbeat: %v", err)
+		}
+	}
+
+	ctx := context.Background()
+	spec := serve.Spec{Op: serve.OpSum, Kind: serve.Inclusive}
+	data := make([]int64, 6000)
+	for i := range data {
+		data[i] = int64(i % 13)
+	}
+	scanOK := func() {
+		t.Helper()
+		res, err := c.Scan(ctx, spec, data, "")
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		arena.PutInt64s(res)
+	}
+	scanOK()
+	if got := len(c.WorkerStats()); got != 1 {
+		t.Fatalf("fleet before join: %d workers, want 1", got)
+	}
+
+	// Join: one heartbeat admits the worker, and shards reach it on the
+	// very next plans — well inside one heartbeat interval.
+	beat()
+	ws := c.WorkerStats()
+	if len(ws) != 2 || !ws[1].Announced || !ws[1].Healthy {
+		t.Fatalf("fleet after announce: %+v", ws)
+	}
+	if st := c.Stats(); st.Joins != 1 {
+		t.Fatalf("joins=%d after one announce, want 1", st.Joins)
+	}
+	joinDeadline := time.Now().Add(beatTTL)
+	for c.WorkerStats()[1].PlannedElems == 0 {
+		if time.Now().After(joinDeadline) {
+			t.Fatal("announced worker drew no shards within one heartbeat interval")
+		}
+		scanOK()
+	}
+
+	// Death: kill the joiner and stop beating. Scans keep succeeding the
+	// whole way through — pieces planned onto the corpse fail at the
+	// connection level and retry on the static worker — and heartbeat
+	// silence ejects it.
+	joinerAddr := joiner.Addr()
+	joiner.Close()
+	joiner = nil
+	ejectDeadline := time.Now().Add(10 * beatTTL)
+	for c.WorkerStats()[1].Healthy {
+		if time.Now().After(ejectDeadline) {
+			t.Fatal("silent announced worker was never ejected")
+		}
+		scanOK()
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st := c.Stats(); st.BeatEjections == 0 {
+		t.Fatalf("ejection happened but BeatEjections=0: %v", st)
+	}
+	scanOK() // post-ejection sanity: plans route around the corpse
+
+	// Rebirth on the same address: the next heartbeat IS the readmission.
+	joiner, err = serve.ListenNet(joinerAddr, serve.Config{MaxWait: 50 * time.Microsecond}, serve.NetConfig{})
+	if err != nil {
+		t.Fatalf("resurrect joiner: %v", err)
+	}
+	beat()
+	ws = c.WorkerStats()
+	if !ws[1].Healthy {
+		t.Fatalf("worker beat again but stayed ejected: %+v", ws)
+	}
+	if st := c.Stats(); st.Readmissions == 0 {
+		t.Fatalf("readmission not counted: %v", st)
+	}
+	scanOK()
+}
+
+// TestHeartbeatFaultPoints exercises the lossy-control-plane chaos
+// points: a fired cluster.heartbeat.drop eats the announcement inside
+// the coordinator (acknowledged, never admitted), and a fired
+// cluster.worker.joinstorm turns one announcement into eight concurrent
+// admits that must collapse to exactly one registry entry.
+func TestHeartbeatFaultPoints(t *testing.T) {
+	faults := fault.New(9)
+	c := newCoord(t, Config{Faults: faults}) // announce-only fleet
+
+	faults.Arm(fault.ClusterHeartbeatDrop, 1)
+	if err := c.Announce("127.0.0.1:9999", 1, "", 0); err != nil {
+		t.Fatalf("dropped heartbeat must still ack: %v", err)
+	}
+	if got := len(c.WorkerStats()); got != 0 {
+		t.Fatalf("dropped heartbeat admitted a worker: %d in fleet", got)
+	}
+	st := c.Stats()
+	if st.Heartbeats != 1 || st.Joins != 0 {
+		t.Fatalf("after dropped beat: heartbeats=%d joins=%d, want 1/0", st.Heartbeats, st.Joins)
+	}
+	faults.Disarm(fault.ClusterHeartbeatDrop)
+
+	faults.Arm(fault.ClusterJoinStorm, 1)
+	for i := 0; i < 3; i++ {
+		if err := c.Announce("127.0.0.1:9999", 2, "", 0); err != nil {
+			t.Fatalf("storm announce %d: %v", i, err)
+		}
+	}
+	ws := c.WorkerStats()
+	if len(ws) != 1 {
+		t.Fatalf("join storm created %d registry entries for one address", len(ws))
+	}
+	if ws[0].Weight != 2 || !ws[0].Announced {
+		t.Fatalf("stormed worker state wrong: %+v", ws[0])
+	}
+	if st := c.Stats(); st.Joins != 1 {
+		t.Fatalf("join storm counted %d joins, want exactly 1", st.Joins)
+	}
+
+	// An announce-only fleet before its first join refuses scans typed.
+	c2 := newCoord(t, Config{})
+	if _, err := c2.Scan(context.Background(), serve.Spec{Op: serve.OpSum, Kind: serve.Inclusive}, []int64{1}, ""); !errors.Is(err, ErrShardFailed) {
+		t.Fatalf("empty fleet scan: %v, want shard_failed", err)
+	}
+}
+
+// TestStreamResumeRollback pins the session table's resume semantics
+// in-process, case by case: exact re-attach, record rollback through
+// the carry ring (client acks < record seq), standby-lag resume (client
+// acks > record seq), theft (the displaced attachment's next push fails
+// without touching the thief's record), rollback beyond the ring, abort
+// vs close (detach vs delete), and TTL expiry of detached records —
+// each ending in a bit-identical recomputation where one is possible.
+func TestStreamResumeRollback(t *testing.T) {
+	addrs := startWorkers(t, 2, serve.Config{MaxWait: 50 * time.Microsecond})
+	c := newCoord(t, Config{Workers: addrs, MinShardElems: 32, MaxPieceElems: 128, ResumeTTL: 200 * time.Millisecond})
+	ctx := context.Background()
+	spec := serve.Spec{Op: serve.OpSum, Kind: serve.Inclusive, Dir: serve.Forward}
+	rng := rand.New(rand.NewSource(21))
+	const chunkN = 100
+	const nChunks = ringSize + 4 // enough pushes to evict seq 0 from the ring
+	data := randVec(rng, spec.Op, nChunks*chunkN)
+	want := directSeg(spec, data, nil)
+	chunk := func(k int) []int64 { return data[(k-1)*chunkN : k*chunkN] } // 1-based
+	wantChunk := func(k int) []int64 { return want[(k-1)*chunkN : k*chunkN] }
+	push := func(st serve.ScanStream, k int) []int64 {
+		t.Helper()
+		res, err := st.Push(ctx, chunk(k))
+		if err != nil {
+			t.Fatalf("push chunk %d: %v", k, err)
+		}
+		return res
+	}
+
+	st, err := c.OpenScanStream(spec, "")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	token := st.(serve.TokenStream).ResumeToken()
+	if token == "" {
+		t.Fatal("coordinator stream advertised no resume token")
+	}
+	for k := 1; k <= 3; k++ {
+		push(st, k)
+	}
+
+	// Exact resume at the record's seq: continues at chunk 4 and STEALS
+	// the session — the old attachment's next push must fail typed
+	// without disturbing the thief.
+	st2, from, err := c.ResumeScanStream(token, 3)
+	if err != nil {
+		t.Fatalf("resume@3: %v", err)
+	}
+	if from != 4 {
+		t.Fatalf("resume@3: from=%d, want 4", from)
+	}
+	if _, err := st.Push(ctx, chunk(4)); !errors.Is(err, serve.ErrStreamFailed) {
+		t.Fatalf("displaced attachment push: %v, want stream_failed", err)
+	}
+	if got := push(st2, 4); !reflect.DeepEqual(got, wantChunk(4)) {
+		t.Fatalf("chunk 4 after theft diverged from reference")
+	}
+
+	// Record rollback: the client lost acks 4 (just computed) — resume
+	// with lastAcked=3 rolls the record back through the ring and chunk 4
+	// recomputes bit-identically.
+	st3, from, err := c.ResumeScanStream(token, 3)
+	if err != nil {
+		t.Fatalf("resume rollback: %v", err)
+	}
+	if from != 4 {
+		t.Fatalf("rollback resume: from=%d, want 4", from)
+	}
+	if got := push(st3, 4); !reflect.DeepEqual(got, wantChunk(4)) {
+		t.Fatalf("rolled-back chunk 4 diverged from reference")
+	}
+
+	// Standby lag: the client claims MORE acks than the record has seen
+	// (this replica missed the tail of the feed). The server resumes from
+	// its own seq; the client rewinds and resends.
+	st4, from, err := c.ResumeScanStream(token, 9)
+	if err != nil {
+		t.Fatalf("lag resume: %v", err)
+	}
+	if from != 5 {
+		t.Fatalf("lag resume: from=%d, want server's seq+1=5", from)
+	}
+	for k := 5; k <= nChunks; k++ {
+		if got := push(st4, k); !reflect.DeepEqual(got, wantChunk(k)) {
+			t.Fatalf("chunk %d diverged from reference", k)
+		}
+	}
+
+	// Rollback beyond the ring: after nChunks > ringSize pushes the
+	// (seq 0) entry has been evicted, so lastAcked=0 must refuse typed
+	// rather than corrupt the carry.
+	if _, _, err := c.ResumeScanStream(token, 0); !errors.Is(err, serve.ErrNoStream) {
+		t.Fatalf("resume beyond ring: %v, want no_stream", err)
+	}
+	if st := c.Stats(); st.ResumeMisses == 0 {
+		t.Fatalf("ring-miss not counted: %v", st)
+	}
+
+	// Clean close deletes the record: the token is dead.
+	if _, err := st4.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if _, _, err := c.ResumeScanStream(token, nChunks); !errors.Is(err, serve.ErrNoStream) {
+		t.Fatalf("resume after close: %v, want no_stream", err)
+	}
+
+	// Abort detaches instead of deleting: the record survives for
+	// ResumeTTL, then the janitor reaps it.
+	st5, err := c.OpenScanStream(spec, "")
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	token5 := st5.(serve.TokenStream).ResumeToken()
+	push(st5, 1)
+	st5.Abort(errors.New("connection died"))
+	st6, from, err := c.ResumeScanStream(token5, 1)
+	if err != nil {
+		t.Fatalf("resume after abort: %v", err)
+	}
+	if from != 2 {
+		t.Fatalf("resume after abort: from=%d, want 2", from)
+	}
+	if got := push(st6, 2); !reflect.DeepEqual(got, wantChunk(2)) {
+		t.Fatalf("post-abort chunk 2 diverged from reference")
+	}
+	st6.Abort(errors.New("connection died again"))
+	// Poll the table directly — a probe resume would re-attach the record
+	// and reset its clock, which is exactly the behavior under test.
+	expireDeadline := time.Now().Add(5 * time.Second)
+	for {
+		c.sessions.mu.Lock()
+		_, present := c.sessions.recs[token5]
+		c.sessions.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(expireDeadline) {
+			t.Fatal("detached record never expired past ResumeTTL")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if _, _, err := c.ResumeScanStream(token5, 2); !errors.Is(err, serve.ErrNoStream) {
+		t.Fatalf("resume after expiry: %v, want no_stream", err)
+	}
+}
+
+// TestReplicationMirrorsSessions drives the replication feed directly:
+// a standby following a primary converges to the primary's session
+// records (puts and upds), a resume ON THE STANDBY picks up exactly
+// where the primary's stream left off with bit-identical output, and a
+// clean close on the primary deletes the record everywhere.
+func TestReplicationMirrorsSessions(t *testing.T) {
+	addrs := startWorkers(t, 2, serve.Config{MaxWait: 50 * time.Microsecond})
+	primary := newCoord(t, Config{Workers: addrs, MinShardElems: 32, MaxPieceElems: 128, ReplListen: "127.0.0.1:0"})
+	standby := newCoord(t, Config{Workers: addrs, MinShardElems: 32, MaxPieceElems: 128, Follow: primary.ReplAddr()})
+
+	ctx := context.Background()
+	spec := serve.Spec{Op: serve.OpMul, Kind: serve.Exclusive, Dir: serve.Forward}
+	rng := rand.New(rand.NewSource(31))
+	const chunkN = 80
+	data := randVec(rng, spec.Op, 6*chunkN)
+	want := directSeg(spec, data, nil)
+
+	st, err := primary.OpenScanStream(spec, "tenant-r")
+	if err != nil {
+		t.Fatalf("open on primary: %v", err)
+	}
+	token := st.(serve.TokenStream).ResumeToken()
+	for k := 0; k < 3; k++ {
+		if _, err := st.Push(ctx, data[k*chunkN:(k+1)*chunkN]); err != nil {
+			t.Fatalf("push %d: %v", k, err)
+		}
+	}
+
+	// The standby's replica must converge to (seq=3, primary's carry).
+	waitReplica := func(wantSeq uint64) *sessionRecord {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			standby.sessions.mu.Lock()
+			rec := standby.sessions.recs[token]
+			var seq uint64
+			if rec != nil {
+				seq = rec.seq
+			}
+			standby.sessions.mu.Unlock()
+			if rec != nil && seq == wantSeq {
+				return rec
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("standby never converged to seq %d for token %s", wantSeq, token)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	rec := waitReplica(3)
+	standby.sessions.mu.Lock()
+	gotSpec, gotTenant := rec.spec, rec.tenant
+	standby.sessions.mu.Unlock()
+	if gotSpec != spec || gotTenant != "tenant-r" {
+		t.Fatalf("replica record mangled: spec=%v tenant=%q", gotSpec, gotTenant)
+	}
+
+	// Resume on the standby: the remaining chunks come out bit-identical
+	// to the unbroken reference.
+	st2, from, err := standby.ResumeScanStream(token, 3)
+	if err != nil {
+		t.Fatalf("resume on standby: %v", err)
+	}
+	if from != 4 {
+		t.Fatalf("standby resume: from=%d, want 4", from)
+	}
+	for k := 3; k < 6; k++ {
+		got, err := st2.Push(ctx, data[k*chunkN:(k+1)*chunkN])
+		if err != nil {
+			t.Fatalf("standby push %d: %v", k, err)
+		}
+		if !reflect.DeepEqual(got, want[k*chunkN:(k+1)*chunkN]) {
+			t.Fatalf("standby chunk %d diverged from reference", k)
+		}
+	}
+	if _, err := st2.Close(); err != nil {
+		t.Fatalf("standby close: %v", err)
+	}
+	if sst := standby.Stats(); sst.Resumes != 1 {
+		t.Fatalf("standby resume not counted: %v", sst)
+	}
+
+	// A fresh primary session closed cleanly must vanish from the standby
+	// (the del replicates).
+	st3, err := primary.OpenScanStream(spec, "")
+	if err != nil {
+		t.Fatalf("open 2: %v", err)
+	}
+	token3 := st3.(serve.TokenStream).ResumeToken()
+	if _, err := st3.Push(ctx, data[:chunkN]); err != nil {
+		t.Fatalf("push: %v", err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		standby.sessions.mu.Lock()
+		_, present := standby.sessions.recs[token3]
+		standby.sessions.mu.Unlock()
+		if present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("second record never replicated")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := st3.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	for {
+		standby.sessions.mu.Lock()
+		_, present := standby.sessions.recs[token3]
+		standby.sessions.mu.Unlock()
+		if !present {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("closed record never deleted from the standby")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

@@ -35,13 +35,46 @@ type piece struct {
 	seed     int64
 }
 
-// planShards splits [0,n) across the healthy workers,
-// weight-proportionally. The worker count is capped at n/minShard so
-// small scans stay on few machines (a shard below the floor costs more
-// in round trips than it saves in kernel time), and the selection
-// rotates by rot so successive small scans spread across the fleet
-// instead of always loading worker 0.
-func planShards(n int, ws []*worker, rot, minShard int) []shard {
+// effectiveWeights maps each worker's base weight through the adaptive
+// latency model: a worker whose per-element EWMA is k× the fleet's best
+// plans at 1/k of its base weight, clamped below at floor × base. The
+// floor keeps every worker in the plan — a starved worker would never
+// run another piece, so its EWMA could never observe a recovery; the
+// floor-sized trickle is the measurement budget. Workers with no data
+// yet plan at full base weight (new joiners earn their discount only by
+// being observed slow).
+func effectiveWeights(ws []*worker, floor float64) []float64 {
+	if floor <= 0 || floor > 1 {
+		floor = 1 // no adaptive scaling without a sane floor
+	}
+	minLat := 0.0
+	for _, w := range ws {
+		if l := w.latencyNs(); l > 0 && (minLat == 0 || l < minLat) {
+			minLat = l
+		}
+	}
+	out := make([]float64, len(ws))
+	for i, w := range ws {
+		f := 1.0
+		if l := w.latencyNs(); l > 0 && minLat > 0 && l > minLat {
+			f = minLat / l
+			if f < floor {
+				f = floor
+			}
+		}
+		out[i] = w.weight() * f
+	}
+	return out
+}
+
+// planShards splits [0,n) across the given workers proportionally to
+// effW (effW[i] is ws[i]'s effective weight — see effectiveWeights).
+// The worker count is capped at n/minShard so small scans stay on few
+// machines (a shard below the floor costs more in round trips than it
+// saves in kernel time), and the selection rotates by rot so successive
+// small scans spread across the fleet instead of always loading
+// worker 0.
+func planShards(n int, ws []*worker, effW []float64, rot, minShard int) []shard {
 	k := n / minShard
 	if k < 1 {
 		k = 1
@@ -50,17 +83,21 @@ func planShards(n int, ws []*worker, rot, minShard int) []shard {
 		k = len(ws)
 	}
 	sel := make([]*worker, k)
-	for i := range sel {
-		sel[i] = ws[(rot+i)%len(ws)]
-	}
+	selW := make([]float64, k)
 	var total float64
-	for _, w := range sel {
-		total += w.weight
+	for i := range sel {
+		j := (rot + i) % len(ws)
+		sel[i] = ws[j]
+		selW[i] = effW[j]
+		if selW[i] <= 0 {
+			selW[i] = 1
+		}
+		total += selW[i]
 	}
 	shards := make([]shard, 0, k)
 	prev, cum := 0, 0.0
 	for i, w := range sel {
-		cum += w.weight
+		cum += selW[i]
 		end := n
 		if i < k-1 {
 			end = int(math.Round(float64(n) * cum / total))

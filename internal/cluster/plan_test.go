@@ -10,9 +10,19 @@ import (
 func testWorkers(weights ...float64) []*worker {
 	ws := make([]*worker, len(weights))
 	for i, wt := range weights {
-		ws[i] = &worker{addr: string(rune('a' + i)), weight: wt}
+		w := &worker{addr: string(rune('a' + i))}
+		w.setWeight(wt)
+		w.healthy.Store(true)
+		ws[i] = w
 	}
 	return ws
+}
+
+// baseShards plans with every worker at its base weight (floor 1
+// disables the adaptive latency scaling), which is what the pure
+// planner-geometry tests want.
+func baseShards(n int, ws []*worker, rot, minShard int) []shard {
+	return planShards(n, ws, effectiveWeights(ws, 1), rot, minShard)
 }
 
 // TestPlanShardsProperties fuzzes the planner's invariants: shards
@@ -29,7 +39,7 @@ func TestPlanShardsProperties(t *testing.T) {
 		}
 		minShard := 1 + rng.Intn(8192)
 		rot := rng.Intn(1000)
-		shards := planShards(n, testWorkers(weights...), rot, minShard)
+		shards := baseShards(n, testWorkers(weights...), rot, minShard)
 		if len(shards) == 0 {
 			t.Fatalf("n=%d: no shards", n)
 		}
@@ -55,7 +65,7 @@ func TestPlanShardsRotation(t *testing.T) {
 	ws := testWorkers(1, 1, 1)
 	seen := map[string]bool{}
 	for rot := 0; rot < 3; rot++ {
-		shards := planShards(10, ws, rot, 4096)
+		shards := baseShards(10, ws, rot, 4096)
 		if len(shards) != 1 {
 			t.Fatalf("rot %d: %d shards for a tiny scan, want 1", rot, len(shards))
 		}
@@ -81,7 +91,7 @@ func TestCutPiecesProperties(t *testing.T) {
 			}
 		}
 		ws := testWorkers(1, 1)
-		shards := planShards(n, ws, trial, 100)
+		shards := baseShards(n, ws, trial, 100)
 		pieces := cutPieces(shards, flags, maxPiece)
 		prev := 0
 		for _, pc := range pieces {
@@ -113,7 +123,7 @@ func TestCutPiecesProperties(t *testing.T) {
 // both directions, including a segment boundary landing mid-piece
 // chain and a stream carry.
 func TestSeedChain(t *testing.T) {
-	w := &worker{addr: "w", weight: 1}
+	w := testWorkers(1)[0]
 	mk := func(bounds ...int) []piece {
 		ps := make([]piece, len(bounds)-1)
 		for i := range ps {

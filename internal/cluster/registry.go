@@ -2,28 +2,87 @@ package cluster
 
 import (
 	"context"
+	"math"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scans/internal/arena"
+	"scans/internal/fault"
 	"scans/internal/serve"
 )
 
 // worker is one fleet member: its address, capacity weight, lazily
 // dialed shared client (one multiplexed connection carries every
-// concurrent piece bound for this worker), and health state.
+// concurrent piece bound for this worker), and health + performance
+// state. Workers come from two sources — the static Config.Workers
+// list, and heartbeat announcements (announced == true) — and the two
+// differ only in liveness policy: announced workers are ejected when
+// their heartbeats stop, static ones only on consecutive
+// connection-level failures, and only static ones are probe-readmitted
+// (an announced worker's return is its next heartbeat).
 type worker struct {
 	addr    string
-	weight  float64
 	maxLine int
 	proto   string
+
+	announced  bool          // joined via heartbeat; liveness = heartbeat freshness
+	weightBits atomic.Uint64 // float64 bits of the base capacity weight
+	lastBeat   atomic.Int64  // unixnano of the last heartbeat (announced only)
+	ewmaNs     atomic.Uint64 // float64 bits: EWMA of observed ns per element, 0 = no data
+	planned    atomic.Uint64 // total elements planned onto this worker
+	nextProbe  atomic.Int64  // unixnano before which the prober leaves this worker alone
 
 	healthy atomic.Bool
 	consec  atomic.Int64 // consecutive connection-level failures
 
+	// fpSlow is this worker's TARGETED slow point,
+	// fault.ClusterWorkerSlow + ":" + addr — armed by tests that need to
+	// slow one specific worker (the adaptive-weight acceptance check)
+	// where the generic point would slow the whole fleet.
+	fpSlow *fault.Point
+
 	mu  sync.Mutex
 	cli *serve.Client
+}
+
+func (w *worker) weight() float64     { return math.Float64frombits(w.weightBits.Load()) }
+func (w *worker) setWeight(v float64) { w.weightBits.Store(math.Float64bits(v)) }
+
+// ewmaAlpha is the latency filter's smoothing factor: heavy enough that
+// a 10×-slowed worker's estimate moves within a handful of pieces,
+// light enough that one GC pause does not reshape the plan.
+const ewmaAlpha = 0.3
+
+// recordLatency folds one successful attempt's per-element cost into
+// the worker's EWMA. Lock-free CAS loop; the clamp keeps the stored
+// bits nonzero (0 is the "no data yet" sentinel).
+func (w *worker) recordLatency(nsPerElem float64) {
+	if nsPerElem < 1 {
+		nsPerElem = 1
+	}
+	for {
+		old := w.ewmaNs.Load()
+		next := nsPerElem
+		if old != 0 {
+			prev := math.Float64frombits(old)
+			next = prev + ewmaAlpha*(nsPerElem-prev)
+		}
+		if w.ewmaNs.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// latencyNs returns the EWMA of ns per element, 0 when no attempt has
+// completed yet.
+func (w *worker) latencyNs() float64 {
+	bits := w.ewmaNs.Load()
+	if bits == 0 {
+		return 0
+	}
+	return math.Float64frombits(bits)
 }
 
 // client returns the worker's shared connection, dialing on first use
@@ -67,15 +126,23 @@ func (w *worker) closeConn() {
 	}
 }
 
-// registry is the coordinator's fleet view: the fixed worker list, the
-// ejection policy, and the background prober that readmits ejected
-// workers once they answer again.
+// registry is the coordinator's fleet view: the mutable worker list
+// (static seed + heartbeat joins), the ejection policies, and the
+// background liveness loop that ejects silent announced workers and
+// probes ejected static ones back in.
 type registry struct {
-	workers      []*worker
 	ejectAfter   int
 	probeEvery   time.Duration
 	probeTimeout time.Duration
+	beatTTL      time.Duration
+	maxLine      int
+	proto        string
+	faults       *fault.Set
 	stats        *coordStats
+
+	mu      sync.RWMutex
+	workers []*worker // append-only under mu; snapshot() for readers
+	byAddr  map[string]*worker
 
 	pick atomic.Uint64 // rotates retry/hedge worker selection
 
@@ -85,11 +152,16 @@ type registry struct {
 
 func newRegistry(cfg Config, stats *coordStats) *registry {
 	r := &registry{
-		workers:      make([]*worker, len(cfg.Workers)),
 		ejectAfter:   cfg.EjectAfter,
 		probeEvery:   cfg.ProbeInterval,
 		probeTimeout: cfg.ProbeTimeout,
+		beatTTL:      cfg.HeartbeatTTL,
+		maxLine:      cfg.MaxLineBytes,
+		proto:        cfg.Proto,
+		faults:       cfg.Faults,
 		stats:        stats,
+		workers:      make([]*worker, 0, len(cfg.Workers)),
+		byAddr:       make(map[string]*worker, len(cfg.Workers)),
 		quit:         make(chan struct{}),
 		done:         make(chan struct{}),
 	}
@@ -98,20 +170,81 @@ func newRegistry(cfg Config, stats *coordStats) *registry {
 		if cfg.Weights != nil && cfg.Weights[i] > 0 {
 			weight = cfg.Weights[i]
 		}
-		w := &worker{addr: addr, weight: weight, maxLine: cfg.MaxLineBytes, proto: cfg.Proto}
-		w.healthy.Store(true)
-		r.workers[i] = w
+		w := r.newWorker(addr, weight, cfg.Proto, cfg.MaxLineBytes, false)
+		r.workers = append(r.workers, w)
+		r.byAddr[addr] = w
 	}
-	go r.probeLoop()
+	go r.livenessLoop()
 	return r
+}
+
+func (r *registry) newWorker(addr string, weight float64, proto string, maxLine int, announced bool) *worker {
+	w := &worker{
+		addr:      addr,
+		maxLine:   maxLine,
+		proto:     proto,
+		announced: announced,
+		fpSlow:    r.faults.Point(fault.ClusterWorkerSlow + ":" + addr),
+	}
+	w.setWeight(weight)
+	w.healthy.Store(true)
+	return w
+}
+
+// snapshot returns the full fleet (healthy or not) in stable join
+// order. The slice is append-only under mu, so the copy is cheap and
+// the *worker entries stay live forever — a departed announced worker
+// is ejected, never removed, so its EWMA and identity survive a
+// rejoin.
+func (r *registry) snapshot() []*worker {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*worker, len(r.workers))
+	copy(out, r.workers)
+	return out
+}
+
+// admit processes one heartbeat: an unknown address joins the fleet
+// immediately (no coordinator restart), a known one refreshes its
+// weight and beat clock, and an ejected one is readmitted on the spot —
+// the heartbeat IS the liveness proof, so there is nothing to wait for.
+// Safe under concurrent heartbeats for the same address (the join-storm
+// chaos point hammers exactly this path).
+func (r *registry) admit(addr string, weight float64, proto string, maxLine int) {
+	now := time.Now().UnixNano()
+	r.mu.RLock()
+	w := r.byAddr[addr]
+	r.mu.RUnlock()
+	if w == nil {
+		r.mu.Lock()
+		if w = r.byAddr[addr]; w == nil {
+			w = r.newWorker(addr, weight, proto, maxLine, true)
+			w.lastBeat.Store(now)
+			r.workers = append(r.workers, w)
+			r.byAddr[addr] = w
+			r.mu.Unlock()
+			r.stats.joins.Add(1)
+			return
+		}
+		r.mu.Unlock()
+	}
+	if weight > 0 {
+		w.setWeight(weight)
+	}
+	w.lastBeat.Store(now)
+	w.consec.Store(0)
+	if w.healthy.CompareAndSwap(false, true) {
+		r.stats.readmissions.Add(1)
+	}
 }
 
 // healthyWorkers returns the current in-plan fleet, in registry order
 // (planShards rotates over it, so stable order here keeps the rotation
 // meaningful).
 func (r *registry) healthyWorkers() []*worker {
-	out := make([]*worker, 0, len(r.workers))
-	for _, w := range r.workers {
+	all := r.snapshot()
+	out := make([]*worker, 0, len(all))
+	for _, w := range all {
 		if w.healthy.Load() {
 			out = append(out, w)
 		}
@@ -137,35 +270,73 @@ func (r *registry) pickHealthyNot(not *worker) *worker {
 }
 
 // noteOK records proof of liveness: the consecutive-failure streak
-// resets. (Readmission of an EJECTED worker is the prober's job — a
-// stale in-flight success must not re-plan a worker the prober has not
-// re-verified.)
+// resets. (Readmission of an EJECTED worker is the prober's — or, for
+// announced workers, the next heartbeat's — job; a stale in-flight
+// success must not re-plan a worker nothing has re-verified.)
 func (r *registry) noteOK(w *worker) {
 	w.consec.Store(0)
 }
 
 // noteConnFail records one connection-level failure; the EjectAfter-th
-// consecutive one ejects the worker from planning.
+// consecutive one ejects the worker from planning and schedules its
+// first probe at a jittered offset, so a burst that ejects many workers
+// at once does not re-probe them in lockstep.
 func (r *registry) noteConnFail(w *worker) {
 	if int(w.consec.Add(1)) >= r.ejectAfter && w.healthy.CompareAndSwap(true, false) {
 		r.stats.ejections.Add(1)
+		w.nextProbe.Store(time.Now().UnixNano() + r.jitteredProbe())
 	}
 }
 
-// probeLoop periodically re-dials ejected workers; a worker that
-// answers a probe scan is readmitted. Runs until close().
-func (r *registry) probeLoop() {
+// jitteredProbe is the gap to the next probe of an ejected worker:
+// ProbeInterval ±50%, uniformly. Ejections cluster (one network blip
+// fails the whole fleet's connections together); the jitter spreads the
+// recovery probes so they do not all slam the returning fleet — or the
+// coordinator's dialer — on the same tick.
+func (r *registry) jitteredProbe() int64 {
+	d := int64(r.probeEvery)
+	return d/2 + rand.Int63n(d)
+}
+
+// livenessLoop is the registry's background policy driver. Each tick it
+// (a) ejects announced workers whose last heartbeat is older than
+// HeartbeatTTL — a worker that stopped announcing is gone, no matter
+// what its socket says — and (b) probes ejected STATIC workers whose
+// jittered next-probe time has arrived. Announced workers are never
+// probed: their readmission path is the next heartbeat, which proves
+// liveness more cheaply and resets the beat clock at the same time.
+func (r *registry) livenessLoop() {
 	defer close(r.done)
-	tick := time.NewTicker(r.probeEvery)
+	period := r.probeEvery
+	if r.beatTTL < period {
+		period = r.beatTTL
+	}
+	period /= 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	tick := time.NewTicker(period)
 	defer tick.Stop()
 	for {
 		select {
 		case <-r.quit:
 			return
 		case <-tick.C:
-			for _, w := range r.workers {
-				if !w.healthy.Load() {
+			now := time.Now().UnixNano()
+			for _, w := range r.snapshot() {
+				if w.healthy.Load() {
+					if w.announced && now-w.lastBeat.Load() > int64(r.beatTTL) {
+						if w.healthy.CompareAndSwap(true, false) {
+							r.stats.ejections.Add(1)
+							r.stats.beatEjections.Add(1)
+							w.nextProbe.Store(now + r.jitteredProbe())
+						}
+					}
+					continue
+				}
+				if !w.announced && now >= w.nextProbe.Load() {
 					r.probe(w)
+					w.nextProbe.Store(time.Now().UnixNano() + r.jitteredProbe())
 				}
 			}
 		}
@@ -196,11 +367,11 @@ func (r *registry) probe(w *worker) {
 	}
 }
 
-// close stops the prober and closes every worker connection.
+// close stops the liveness loop and closes every worker connection.
 func (r *registry) close() {
 	close(r.quit)
 	<-r.done
-	for _, w := range r.workers {
+	for _, w := range r.snapshot() {
 		w.closeConn()
 	}
 }

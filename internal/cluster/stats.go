@@ -22,10 +22,17 @@ type coordStats struct {
 	ejections    atomic.Uint64
 	readmissions atomic.Uint64
 
+	heartbeats    atomic.Uint64
+	joins         atomic.Uint64
+	beatEjections atomic.Uint64
+
 	streamsOpened atomic.Uint64
 	streamsClosed atomic.Uint64
 	streamsFailed atomic.Uint64
 	streamsActive atomic.Int64
+
+	resumes      atomic.Uint64
+	resumeMisses atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of a Coordinator's counters. The
@@ -65,14 +72,29 @@ type Stats struct {
 	// readmitted many times.
 	Ejections    uint64
 	Readmissions uint64
+	// Heartbeats counts accepted worker announcements (including ones a
+	// fired heartbeat.drop point discarded); Joins counts the ones that
+	// admitted a previously unknown worker. BeatEjections counts
+	// announced workers ejected for heartbeat silence (a subset of
+	// Ejections).
+	Heartbeats    uint64
+	Joins         uint64
+	BeatEjections uint64
 	// Stream session ledger: Opened == Closed + Failed once every
 	// session is torn down, and Active is the gauge of open ones.
-	// (Idle-TTL expiry lives in the wire layer and surfaces here as
-	// Failed via Expire.)
+	// A resumed attachment counts as Opened (and its dead predecessor as
+	// Failed, wherever it ran), so the invariant holds per coordinator
+	// even across failover. (Idle-TTL expiry lives in the wire layer and
+	// surfaces here as Failed via Expire.)
 	StreamsOpened uint64
 	StreamsClosed uint64
 	StreamsFailed uint64
 	StreamsActive int64
+	// Resumes counts successful stream re-attachments by token;
+	// ResumeMisses counts resume attempts that found no usable record
+	// (unknown/expired token, or a rollback point beyond the ring).
+	Resumes      uint64
+	ResumeMisses uint64
 }
 
 // String renders the snapshot in one line for logs.
@@ -80,11 +102,13 @@ func (s Stats) String() string {
 	return fmt.Sprintf(
 		"requests=%d rejected=%d served=%d shard_failed=%d deadline=%d "+
 			"shards=%d pieces=%d retries=%d hedges=%d hedge_wins=%d "+
-			"ejections=%d readmissions=%d streams{open=%d closed=%d failed=%d active=%d}",
+			"ejections=%d readmissions=%d heartbeats=%d joins=%d beat_ejections=%d "+
+			"streams{open=%d closed=%d failed=%d active=%d} resumes=%d resume_misses=%d",
 		s.Requests, s.Rejected, s.Served, s.ShardFailed, s.Deadline,
 		s.Shards, s.Pieces, s.Retries, s.Hedges, s.HedgeWins,
-		s.Ejections, s.Readmissions,
-		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsActive)
+		s.Ejections, s.Readmissions, s.Heartbeats, s.Joins, s.BeatEjections,
+		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsActive,
+		s.Resumes, s.ResumeMisses)
 }
 
 // Stats snapshots the coordinator's counters; safe under traffic.
@@ -103,9 +127,14 @@ func (c *Coordinator) Stats() Stats {
 		HedgeWins:     st.hedgeWins.Load(),
 		Ejections:     st.ejections.Load(),
 		Readmissions:  st.readmissions.Load(),
+		Heartbeats:    st.heartbeats.Load(),
+		Joins:         st.joins.Load(),
+		BeatEjections: st.beatEjections.Load(),
 		StreamsOpened: st.streamsOpened.Load(),
 		StreamsClosed: st.streamsClosed.Load(),
 		StreamsFailed: st.streamsFailed.Load(),
 		StreamsActive: st.streamsActive.Load(),
+		Resumes:       st.resumes.Load(),
+		ResumeMisses:  st.resumeMisses.Load(),
 	}
 }

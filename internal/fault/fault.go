@@ -72,6 +72,21 @@ const (
 	// rather than misbehave — the fault checks that time-based policies
 	// degrade cleanly under clock trouble.
 	ClockSkew = "clock.skew"
+	// ClusterCoordCrash kills the primary coordinator's front end
+	// mid-request (via cluster.Config.CrashHook), the chaos stand-in for
+	// kill -9. Clients holding stream resume tokens must re-attach to
+	// the standby and continue bit-identically.
+	ClusterCoordCrash = "cluster.coord.crash"
+	// ClusterHeartbeatDrop silently discards a worker heartbeat at the
+	// coordinator, simulating a lossy control plane: a worker whose
+	// beats are eaten long enough is ejected by liveness even though it
+	// is healthy, and must be readmitted when beats get through again.
+	ClusterHeartbeatDrop = "cluster.heartbeat.drop"
+	// ClusterJoinStorm amplifies a single worker announcement into many
+	// concurrent ones, simulating a fleet-wide restart where every
+	// worker re-announces at once. Admission must stay idempotent: one
+	// registry entry per address, no duplicate shards.
+	ClusterJoinStorm = "cluster.worker.joinstorm"
 )
 
 // Set is an independent collection of fault points sharing one seeded

@@ -34,6 +34,38 @@ type ScanStream interface {
 	Expire()
 }
 
+// Announcer is the optional backend extension behind the "heartbeat"
+// wire message: a backend that maintains a dynamic worker fleet (the
+// cluster coordinator). addr is the worker's dialable address, weight
+// its relative capacity, proto the wire protocol to dial it with
+// ("json"/"bin", "" = the backend's default), maxLine its line budget
+// (0 = default). A backend that does not implement Announcer answers
+// heartbeats with bad_request.
+type Announcer interface {
+	Announce(addr string, weight float64, proto string, maxLine int) error
+}
+
+// StreamResumer is the optional backend extension behind the
+// "stream_resume" wire message: a backend whose stream sessions survive
+// their carrying connection (the cluster coordinator, whose session
+// records also replicate to a standby). lastAcked is the count of chunk
+// responses the client has received; the backend rolls the session back
+// to that point and returns the re-attached stream plus resumeFrom, the
+// 1-based index of the next chunk it expects (≤ lastAcked+1 — strictly
+// smaller when the backend is a standby whose replica lagged the
+// primary's acks, in which case the client must rewind and resend).
+type StreamResumer interface {
+	ResumeScanStream(token string, lastAcked uint64) (st ScanStream, resumeFrom uint64, err error)
+}
+
+// TokenStream is the optional ScanStream extension marking a session as
+// resumable: the wire layer puts the token in the stream-open ack so the
+// client can re-attach via StreamResumer after a failure. Plain *Server
+// streams are not resumable (their carry dies with the server).
+type TokenStream interface {
+	ResumeToken() string
+}
+
 // OpenScanStream adapts OpenStream to the Backend interface. The
 // indirection (rather than returning *Stream directly) keeps a nil
 // *Stream from becoming a non-nil ScanStream interface on the error

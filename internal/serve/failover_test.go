@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"scans/internal/arena"
+)
+
+// TestFailoverClientScan: a FailoverClient over two plain servers keeps
+// serving one-shot scans when the first dies — the killed address's
+// requests rotate to the second and FailedOver counts them.
+func TestFailoverClientScan(t *testing.T) {
+	cfg := Config{MaxWait: 50 * time.Microsecond}
+	a, err := ListenNet("127.0.0.1:0", cfg, NetConfig{})
+	if err != nil {
+		t.Fatalf("server a: %v", err)
+	}
+	b, err := ListenNet("127.0.0.1:0", cfg, NetConfig{})
+	if err != nil {
+		t.Fatalf("server b: %v", err)
+	}
+	defer b.Close()
+
+	fc, err := DialFailover(ProtoBin, 0, a.Addr(), b.Addr())
+	if err != nil {
+		t.Fatalf("DialFailover: %v", err)
+	}
+	defer fc.Close()
+
+	ctx := context.Background()
+	data := []int64{1, 2, 3, 4, 5}
+	want := []int64{1, 3, 6, 10, 15}
+	got, err := fc.ScanCtx(ctx, "sum", "inclusive", "", data)
+	if err != nil {
+		t.Fatalf("scan via primary: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("primary scan = %v, want %v", got, want)
+	}
+	arena.PutInt64s(got)
+	if fc.FailedOver() != 0 {
+		t.Fatalf("healthy primary but FailedOver=%d", fc.FailedOver())
+	}
+
+	a.Kill() // no drain — the connection just dies
+	got, err = fc.ScanCtx(ctx, "sum", "inclusive", "", data)
+	if err != nil {
+		t.Fatalf("scan after primary kill: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("failover scan = %v, want %v", got, want)
+	}
+	arena.PutInt64s(got)
+	if fc.FailedOver() == 0 {
+		t.Fatal("served by the standby but FailedOver=0")
+	}
+	if fc.FirstFailoverAt().IsZero() {
+		t.Fatal("FirstFailoverAt not stamped")
+	}
+	a.Close()
+
+	// Typed server answers must NOT fail over: a bad request is a bad
+	// request on every coordinator.
+	if _, err := fc.ScanCtx(ctx, "no-such-op", "", "", data); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("bad op: %v, want bad_request (no rotation)", err)
+	}
+}
+
+// TestStreamFlowControlWindow pins the windowed-credit handshake: a
+// new server grants StreamWindow chunks of credit at open, the client
+// surfaces it, and a long pipelined StreamScan through that window is
+// bit-identical to the serial scan.
+func TestStreamFlowControlWindow(t *testing.T) {
+	ns, err := ListenNet("127.0.0.1:0", Config{MaxWait: 50 * time.Microsecond}, NetConfig{})
+	if err != nil {
+		t.Fatalf("server: %v", err)
+	}
+	defer ns.Close()
+	cli, err := DialMaxLineProto(ns.Addr(), 0, ProtoBin)
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer cli.Close()
+
+	ctx := context.Background()
+	s, err := cli.OpenStream(ctx, "sum", "inclusive", "forward")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if s.Window() != StreamWindow {
+		t.Fatalf("granted window %d, want %d", s.Window(), StreamWindow)
+	}
+	// Plain *Server sessions are not resumable; no token is advertised.
+	if s.ResumeToken() != "" {
+		t.Fatalf("plain server advertised resume token %q", s.ResumeToken())
+	}
+	if _, err := s.Close(ctx); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	// Far more chunks than the window: the pipelined pump must stay
+	// inside its credit and still reassemble exactly.
+	n := (3*StreamWindow + 5) * 64
+	data := make([]int64, n)
+	want := make([]int64, n)
+	var run int64
+	for i := range data {
+		data[i] = int64(i%23 - 11)
+		run += data[i]
+		want[i] = run
+	}
+	got, err := cli.StreamScan(ctx, "sum", "inclusive", "", data, 64)
+	if err != nil {
+		t.Fatalf("StreamScan: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("pipelined stream diverged from serial scan")
+	}
+	arena.PutInt64s(got)
+
+	// Resume against a backend with no session durability is a typed
+	// no — never a hang or a connection death.
+	if _, _, err := cli.ResumeStream(ctx, "deadbeef", 0); err == nil || !connSafeTyped(err) {
+		t.Fatalf("resume on plain server: %v, want a typed refusal", err)
+	}
+	// Heartbeats need an Announcer backend; a plain server refuses typed.
+	if err := cli.Heartbeat(ctx, "127.0.0.1:1", 1, "", 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("heartbeat on plain server: %v, want bad_request", err)
+	}
+	// The connection survived both refusals.
+	got, err = cli.ScanCtx(ctx, "sum", "inclusive", "", []int64{7})
+	if err != nil {
+		t.Fatalf("scan after typed refusals: %v", err)
+	}
+	arena.PutInt64s(got)
+}
+
+// connSafeTyped reports whether err is one of the typed stream answers
+// a resume refusal may legally carry.
+func connSafeTyped(err error) bool {
+	return errors.Is(err, ErrNoStream) || errors.Is(err, ErrStreamUnsupported) || errors.Is(err, ErrBadRequest)
+}

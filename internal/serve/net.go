@@ -200,6 +200,22 @@ func (ns *NetServer) Close() {
 	ns.be.Close()
 }
 
+// Kill is the chaos stand-in for kill -9: it slams the listener and
+// every live connection and returns immediately — no drain, no waiting,
+// and crucially no backend Close, so a coordinator backend's session
+// records keep feeding its replication log until the process truly
+// dies. Safe to call from within a request handler (Close would
+// deadlock there: it waits for the very goroutine calling it). A later
+// Close remains valid and performs the graceful half.
+func (ns *NetServer) Kill() {
+	ns.ln.Close()
+	ns.mu.Lock()
+	for c := range ns.conns {
+		c.Close()
+	}
+	ns.mu.Unlock()
+}
+
 // acceptLoop accepts until the listener closes, enforcing MaxConns: a
 // connection over the cap gets one structured "overloaded" line and an
 // immediate close, so a well-behaved client knows to back off rather
@@ -470,6 +486,10 @@ func (j *jsonConn) readRequest() (WireRequest, error) {
 			j.respond(WireResponse{ID: extractID(line), Error: "bad json: " + err.Error(), Code: CodeBadJSON})
 			continue
 		}
+		// Every JSON stream_open gets the extended ack: old JSON clients
+		// ignore unknown response fields, so no opt-in frame is needed
+		// (the binary codec needs FStreamOpen2 for the same effect).
+		req.WantAck = req.Type == "stream_open"
 		return req, nil
 	}
 }
@@ -528,6 +548,22 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 		case "stream_close":
 			releaseData(req.Data)
 			cs.closeStream(req)
+			continue
+		case "stream_resume":
+			releaseData(req.Data)
+			cs.resume(req)
+			continue
+		case "heartbeat":
+			releaseData(req.Data)
+			if ann, ok := ns.be.(Announcer); ok {
+				if err := ann.Announce(req.Addr, req.Weight, req.WProto, req.MaxLine); err != nil {
+					respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
+				} else {
+					respond(WireResponse{ID: req.ID})
+				}
+			} else {
+				respond(WireResponse{ID: req.ID, Error: "backend does not accept worker announcements", Code: CodeBadRequest})
+			}
 			continue
 		default:
 			releaseData(req.Data)
@@ -651,6 +687,11 @@ type Client struct {
 	waiters map[uint64]chan WireResponse
 	readErr error
 	closed  bool
+
+	// legacyOpen latches once a resumable stream open (FStreamOpen2) was
+	// rejected by a pre-FAck binary server, so later opens skip the
+	// doomed attempt. JSON connections never set it.
+	legacyOpen atomic.Bool
 }
 
 // Wire protocol names for DialProto and the cluster/cmd configs.
@@ -856,7 +897,27 @@ func (c *Client) ScanFloats(ctx context.Context, op, kind, dir string, data []fl
 // response with an error set is returned as a typed error via
 // errorForCode.
 func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, error) {
-	var zero WireResponse
+	p, err := c.startRequest(ctx, req)
+	if err != nil {
+		return WireResponse{}, err
+	}
+	return c.awaitResponse(ctx, p)
+}
+
+// pendingResp is one in-flight request's response slot: the send half of
+// a round trip (startRequest) returns it, the wait half (awaitResponse)
+// consumes it. Splitting the round trip lets the windowed stream pump
+// keep several chunks in flight while still issuing their sends in
+// order from one goroutine (chunk order is the stream's semantics).
+type pendingResp struct {
+	id uint64
+	ch chan WireResponse
+}
+
+// startRequest stamps the request's id (and timeout from ctx), registers
+// its waiter, and writes it. On error nothing is in flight.
+func (c *Client) startRequest(ctx context.Context, req WireRequest) (pendingResp, error) {
+	var zero pendingResp
 	if dl, ok := ctx.Deadline(); ok {
 		ms := deadlineMS(time.Until(dl))
 		if ms <= 0 {
@@ -902,8 +963,15 @@ func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, 
 		c.abandonWaiter(id, ch)
 		return zero, err
 	}
+	return pendingResp{id: id, ch: ch}, nil
+}
+
+// awaitResponse waits for a started request's response. An error-coded
+// response comes back as a typed error via errorForCode.
+func (c *Client) awaitResponse(ctx context.Context, p pendingResp) (WireResponse, error) {
+	var zero WireResponse
 	select {
-	case resp, ok := <-ch:
+	case resp, ok := <-p.ch:
 		if !ok {
 			c.mu.Lock()
 			err := c.readErr
@@ -918,7 +986,7 @@ func (c *Client) roundTrip(ctx context.Context, req WireRequest) (WireResponse, 
 		}
 		return resp, nil
 	case <-ctx.Done():
-		c.abandonWaiter(id, ch)
+		c.abandonWaiter(p.id, p.ch)
 		return zero, ctx.Err()
 	}
 }
@@ -958,14 +1026,25 @@ func (c *Client) sendBin(req WireRequest) error {
 			req.TimeoutMS, req.Tenant, req.Data, req.FData)
 	case "stream_open":
 		frame = arena.GetBytes(binwire.StreamOpenFrameBytes())[:0]
-		frame = binwire.AppendStreamOpen(frame, req.ID, req.Stream,
-			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem))
+		if req.WantAck {
+			frame = binwire.AppendStreamOpen2(frame, req.ID, req.Stream,
+				binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem))
+		} else {
+			frame = binwire.AppendStreamOpen(frame, req.ID, req.Stream,
+				binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem))
+		}
 	case "stream_chunk":
 		frame = arena.GetBytes(binwire.StreamChunkFrameBytes(len(req.Data)))[:0]
 		frame = binwire.AppendStreamChunk(frame, req.ID, req.Stream, req.TimeoutMS, req.Data)
 	case "stream_close":
 		frame = arena.GetBytes(binwire.StreamCloseFrameBytes())[:0]
 		frame = binwire.AppendStreamClose(frame, req.ID, req.Stream)
+	case "stream_resume":
+		frame = arena.GetBytes(binwire.StreamResumeFrameBytes(req.Resume))[:0]
+		frame = binwire.AppendStreamResume(frame, req.ID, req.Stream, req.Seq, req.Resume)
+	case "heartbeat":
+		frame = arena.GetBytes(binwire.HeartbeatFrameBytes(req.Addr))[:0]
+		frame = binwire.AppendHeartbeat(frame, req.ID, req.Addr, req.Weight, req.MaxLine, binProtoByte(req.WProto))
 	default:
 		return fmt.Errorf("%w: unknown message type %q", ErrBadRequest, req.Type)
 	}
@@ -1061,6 +1140,15 @@ func (c *Client) readFrames() error {
 		case binwire.FTotal:
 			total := bresp.Total
 			resp.Total = &total
+		case binwire.FAck:
+			resp.Resume = bresp.Token
+			resp.Window = bresp.Window
+			if bresp.Seq > 0 {
+				// A resume ack; seq 0 on the wire means "plain open ack"
+				// (resumeFrom is 1-based, so 0 is never a real value).
+				seq := bresp.Seq
+				resp.Seq = &seq
+			}
 		}
 		c.dispatch(resp)
 	}
@@ -1103,26 +1191,95 @@ const DefaultStreamChunk = 1 << 15
 type ClientStream struct {
 	c   *Client
 	sid uint64
+	// token is the resume token from the extended open ack ("" against a
+	// server or backend without resumable streams); window is the
+	// flow-control credit (0 = none advertised, callers treat as 1).
+	token  string
+	window int
 
 	mu     sync.Mutex
 	closed bool
 	err    error
 }
 
+// ResumeToken returns the stream's resume token, or "" when the server
+// did not offer one (plain in-process backend, or a pre-resume server).
+func (s *ClientStream) ResumeToken() string { return s.token }
+
+// Window returns the server's flow-control credit: how many chunk
+// requests may be in flight at once (0 when the server did not
+// advertise one; treat as 1).
+func (s *ClientStream) Window() int { return s.window }
+
 // OpenStream starts a streaming session for op/kind/dir (wire strings,
 // forward only — the server refuses backward specs with
 // ErrStreamUnsupported, because a backward carry depends on chunks that
-// have not arrived yet).
+// have not arrived yet). When the server supports it, the open's ack
+// carries a resume token and a flow-control window (see ResumeToken /
+// Window); against an older server the stream still works, just without
+// either.
 func (c *Client) OpenStream(ctx context.Context, op, kind, dir string) (*ClientStream, error) {
 	c.mu.Lock()
 	c.nextSID++
 	sid := c.nextSID
 	c.mu.Unlock()
-	_, err := c.roundTrip(ctx, WireRequest{Type: "stream_open", Stream: sid, Op: op, Kind: kind, Dir: dir})
+	req := WireRequest{Type: "stream_open", Stream: sid, Op: op, Kind: kind, Dir: dir}
+	// Ask for the extended ack unless this binary connection has already
+	// learned its server predates FAck (JSON servers of any generation
+	// just ignore the extra response fields, so JSON always asks).
+	req.WantAck = !c.bin || !c.legacyOpen.Load()
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil && c.bin && req.WantAck && errors.Is(err, ErrBadRequest) {
+		// Possibly a pre-FAck server rejecting the unknown FStreamOpen2
+		// frame (payload-level bad_frame: the connection survives). Retry
+		// with the legacy frame; only a SUCCESS latches legacy mode, so a
+		// genuinely bad spec — which fails both ways — never downgrades
+		// the connection.
+		legacy := req
+		legacy.WantAck = false
+		if lresp, lerr := c.roundTrip(ctx, legacy); lerr == nil {
+			c.legacyOpen.Store(true)
+			resp, err = lresp, nil
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	return &ClientStream{c: c, sid: sid}, nil
+	return &ClientStream{c: c, sid: sid, token: resp.Resume, window: resp.Window}, nil
+}
+
+// ResumeStream re-attaches to a resumable stream (by the token its open
+// ack carried) after a connection or coordinator failure — typically on
+// a NEW client dialed at a standby. lastAcked is the count of chunk
+// responses the caller received. Returns the re-attached stream and
+// resumeFrom, the 1-based index of the next chunk the server expects:
+// normally lastAcked+1, but smaller when a standby's replica lagged the
+// dead primary's acks — the caller must rewind its output to chunk
+// resumeFrom-1 and resend from there (recomputation is bit-identical).
+func (c *Client) ResumeStream(ctx context.Context, token string, lastAcked uint64) (*ClientStream, uint64, error) {
+	c.mu.Lock()
+	c.nextSID++
+	sid := c.nextSID
+	c.mu.Unlock()
+	resp, err := c.roundTrip(ctx, WireRequest{Type: "stream_resume", Stream: sid, Resume: token, Seq: lastAcked})
+	if err != nil {
+		return nil, 0, err
+	}
+	if resp.Seq == nil || *resp.Seq == 0 || *resp.Seq > lastAcked+1 {
+		return nil, 0, fmt.Errorf("%w: stream_resume ack missing or invalid resume point", ErrInternal)
+	}
+	return &ClientStream{c: c, sid: sid, token: token, window: resp.Window}, *resp.Seq, nil
+}
+
+// Heartbeat announces a worker to a coordinator: addr is the worker's
+// dialable address, weight its relative capacity, proto the wire
+// protocol the coordinator should dial it with ("json"/"bin", "" = the
+// coordinator's default), maxLine its line budget (0 = default). Plain
+// servers answer bad_request; scansd's -announce loop sends one of
+// these per heartbeat interval.
+func (c *Client) Heartbeat(ctx context.Context, addr string, weight float64, proto string, maxLine int) error {
+	_, err := c.roundTrip(ctx, WireRequest{Type: "heartbeat", Addr: addr, Weight: weight, WProto: proto, MaxLine: maxLine})
+	return err
 }
 
 // Send pushes one chunk and returns its scan, seeded with the carry of
@@ -1175,13 +1332,77 @@ func (s *ClientStream) Close(ctx context.Context) (int64, error) {
 	return *resp.Total, nil
 }
 
+// pump drives a windowed streamed scan over the open stream: chunks
+// [from, nchunks) of data are cut at chunkElems and sent with up to
+// Window() chunk round trips in flight — the sends issue in order from
+// this one goroutine (chunk order IS the stream's semantics), the acks
+// come back in the same order, and the client blocks once the window is
+// full, so a fast producer can never overrun the server's per-stream
+// mailbox. Results append to out in order. Returns the grown out, the
+// count of chunks whose responses were received (the caller's new
+// lastAcked high-water mark), and the first error; on error every
+// still-in-flight chunk is awaited (the server's stream teardown — or
+// the dead connection — resolves them) so no response buffer leaks.
+func (s *ClientStream) pump(ctx context.Context, data []int64, chunkElems, from int, out []int64) ([]int64, int, error) {
+	nch := (len(data) + chunkElems - 1) / chunkElems
+	w := s.window
+	if w <= 0 {
+		w = 1 // no advertised credit: degrade to the lock-step protocol
+	}
+	var pend []pendingResp
+	done, next := from, from
+	var firstErr error
+	for done < nch {
+		for firstErr == nil && next < nch && next-done < w {
+			off := next * chunkElems
+			end := min(off+chunkElems, len(data))
+			p, err := s.c.startRequest(ctx, WireRequest{Type: "stream_chunk", Stream: s.sid, Data: data[off:end]})
+			if err != nil {
+				firstErr = err
+				break
+			}
+			pend = append(pend, p)
+			next++
+		}
+		if len(pend) == 0 {
+			break
+		}
+		resp, err := s.c.awaitResponse(ctx, pend[0])
+		pend = pend[1:]
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			break
+		}
+		out = append(out, resp.Result...)
+		releaseData(resp.Result)
+		done++
+	}
+	for _, p := range pend {
+		if resp, err := s.c.awaitResponse(ctx, p); err == nil {
+			releaseData(resp.Result)
+		}
+	}
+	if firstErr != nil {
+		s.mu.Lock()
+		if s.err == nil {
+			s.err = firstErr
+		}
+		s.mu.Unlock()
+	}
+	return out, done, firstErr
+}
+
 // StreamScan scans data by streaming it through the server in chunks
 // of chunkElems elements (DefaultStreamChunk when <= 0), reassembling
 // the chunk results into the full prefix scan — bit-identical to a
 // one-shot ScanCtx, but with a bounded per-message footprint, so it
 // works for vectors whose one-shot response would blow the line budget
 // (the server refuses those with code "too_large"). Vectors that fit in
-// a single chunk just take the one-shot path.
+// a single chunk just take the one-shot path. Chunks are pipelined up
+// to the server's advertised flow-control window (lock-step against a
+// server without one).
 func (c *Client) StreamScan(ctx context.Context, op, kind, dir string, data []int64, chunkElems int) ([]int64, error) {
 	if chunkElems <= 0 {
 		chunkElems = DefaultStreamChunk
@@ -1197,15 +1418,10 @@ func (c *Client) StreamScan(ctx context.Context, op, kind, dir string, data []in
 	// result as it lands — so like every client scan result, the
 	// returned slice is arena-backed and owned by the caller.
 	out := arena.GetInt64s(len(data))[:0]
-	for off := 0; off < len(data); off += chunkElems {
-		end := min(off+chunkElems, len(data))
-		res, err := s.Send(ctx, data[off:end])
-		if err != nil {
-			arena.PutInt64s(out)
-			return nil, err
-		}
-		out = append(out, res...)
-		releaseData(res)
+	out, _, err = s.pump(ctx, data, chunkElems, 0, out)
+	if err != nil {
+		arena.PutInt64s(out)
+		return nil, err
 	}
 	if _, err := s.Close(ctx); err != nil {
 		arena.PutInt64s(out)

@@ -113,6 +113,26 @@ func binElemString(b byte) string {
 	return fmt.Sprintf("bin:0x%02x", b)
 }
 
+func binProtoByte(proto string) byte {
+	switch proto {
+	case "", ProtoJSON:
+		return 0
+	case ProtoBin:
+		return 1
+	}
+	return binwire.Invalid
+}
+
+func binProtoString(b byte) string {
+	switch b {
+	case 0:
+		return ProtoJSON
+	case 1:
+		return ProtoBin
+	}
+	return fmt.Sprintf("bin:0x%02x", b)
+}
+
 // wireFromBin lifts a decoded binary request into the WireRequest form
 // the shared dispatch consumes. Ownership of the arena-backed Data
 // moves with it.
@@ -130,12 +150,25 @@ func wireFromBin(q binwire.Request) WireRequest {
 		req.Type = ""
 	case binwire.FStreamOpen:
 		req.Type = "stream_open"
+	case binwire.FStreamOpen2:
+		req.Type = "stream_open"
+		req.WantAck = true
 	case binwire.FStreamChunk:
 		req.Type = "stream_chunk"
 	case binwire.FStreamClose:
 		req.Type = "stream_close"
+	case binwire.FStreamResume:
+		req.Type = "stream_resume"
+		req.Resume = q.Token
+		req.Seq = q.Acked
+	case binwire.FHeartbeat:
+		req.Type = "heartbeat"
+		req.Addr = q.Addr
+		req.Weight = q.Weight
+		req.WProto = binProtoString(q.WProto)
+		req.MaxLine = q.MaxLine
 	}
-	if q.Type == binwire.FScan || q.Type == binwire.FStreamOpen {
+	if q.Type == binwire.FScan || q.Type == binwire.FStreamOpen || q.Type == binwire.FStreamOpen2 {
 		req.Op = binOpString(q.Op)
 		req.Kind = binKindString(q.Kind)
 		req.Dir = binDirString(q.Dir)
@@ -188,6 +221,17 @@ func (b *binConn) respond(resp WireResponse) {
 	case resp.Error != "" || resp.Code != "":
 		frame = arena.GetBytes(binwire.ErrorFrameBytes(resp.Code, resp.Error))[:0]
 		frame = binwire.AppendError(frame, resp.ID, resp.Code, resp.Error)
+	case resp.Resume != "" || resp.Seq != nil || resp.Window != 0:
+		// Extended stream ack. Only reaches the wire for clients that
+		// opted in (FStreamOpen2 / FStreamResume set req.WantAck); a plain
+		// FStreamOpen still gets the empty-FResult ack below, so old
+		// binary clients never see an FAck they cannot parse.
+		var seq uint64
+		if resp.Seq != nil {
+			seq = *resp.Seq
+		}
+		frame = arena.GetBytes(binwire.AckFrameBytes(resp.Resume))[:0]
+		frame = binwire.AppendAck(frame, resp.ID, seq, resp.Window, resp.Resume)
 	case resp.Total != nil:
 		frame = arena.GetBytes(binwire.TotalFrameBytes())[:0]
 		frame = binwire.AppendTotal(frame, resp.ID, *resp.Total)

@@ -25,10 +25,17 @@ import (
 // loop — but because a SKIPPED chunk would silently corrupt the carry,
 // a full queue fails the stream rather than dropping the chunk.
 
+// StreamWindow is the flow-control credit a resumable stream-open ack
+// advertises: how many chunk requests a client may hold in flight on
+// one stream before blocking on acks. It equals the worker's mailbox
+// depth, so a client honoring the window can never hit the
+// full-mailbox stream failure — the credit IS the mailbox.
+const StreamWindow = 16
+
 // streamQueueDepth bounds how many chunks may wait on one stream's
 // worker. Chunks serialize through the kernel anyway (chunk k+1 is
 // seeded by chunk k's output), so a deep queue buys nothing but memory.
-const streamQueueDepth = 16
+const streamQueueDepth = StreamWindow
 
 // errConnTeardown is the Abort cause for streams still open when their
 // connection dies (clean close, idle timeout, or a chaos conn.drop).
@@ -128,7 +135,67 @@ func (cs *connStreams) open(req WireRequest) {
 	cs.wg.Add(1)
 	go cs.run(sess)
 	cs.mu.Unlock()
-	cs.respond(WireResponse{ID: req.ID})
+	ack := WireResponse{ID: req.ID}
+	if req.WantAck {
+		ack.Window = StreamWindow
+		if ts, ok := st.(TokenStream); ok {
+			ack.Resume = ts.ResumeToken()
+		}
+	}
+	cs.respond(ack)
+}
+
+// resume handles stream_resume: the same admission as open (cap, unique
+// sid), but the session comes from the backend's resume table instead
+// of a fresh open. The ack carries resumeFrom — the 1-based index of
+// the next chunk the server expects — so the client knows how far to
+// rewind (resumeFrom ≤ lastAcked+1; strictly smaller when a standby's
+// replica lagged the dead primary's acks).
+func (cs *connStreams) resume(req WireRequest) {
+	fail := func(code, msg string) {
+		cs.respond(WireResponse{ID: req.ID, Error: msg, Code: code})
+	}
+	if cs.ns.ncfg.MaxStreams < 0 {
+		fail(CodeBadRequest, "streaming disabled on this server")
+		return
+	}
+	rb, ok := cs.ns.be.(StreamResumer)
+	if !ok {
+		// no_stream (not bad_request): the client's recovery — restart
+		// the stream from the first chunk — is exactly the no_stream one.
+		fail(CodeNoStream, "backend does not support stream resume")
+		return
+	}
+	// No tenant handling: the resumed session keeps the tenant recorded
+	// at open time.
+	cs.mu.Lock()
+	if _, dup := cs.m[req.Stream]; dup {
+		cs.mu.Unlock()
+		fail(CodeBadRequest, fmt.Sprintf("stream %d already open on this connection", req.Stream))
+		return
+	}
+	if len(cs.m) >= cs.ns.ncfg.MaxStreams {
+		cs.mu.Unlock()
+		fail(CodeOverloaded, fmt.Sprintf("per-connection stream cap (%d) reached", cs.ns.ncfg.MaxStreams))
+		return
+	}
+	st, from, err := rb.ResumeScanStream(req.Resume, req.Seq)
+	if err != nil {
+		cs.mu.Unlock()
+		fail(codeForError(err), err.Error())
+		return
+	}
+	sess := &netStream{
+		sid:  req.Stream,
+		st:   st,
+		ch:   make(chan streamMsg, streamQueueDepth),
+		quit: make(chan struct{}),
+	}
+	cs.m[req.Stream] = sess
+	cs.wg.Add(1)
+	go cs.run(sess)
+	cs.mu.Unlock()
+	cs.respond(WireResponse{ID: req.ID, Resume: req.Resume, Seq: &from, Window: StreamWindow})
 }
 
 // chunk handles stream_chunk: the response-size gate (a chunk's result

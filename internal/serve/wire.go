@@ -174,6 +174,27 @@ type WireRequest struct {
 	// FData is the input vector for Elem == "float64" requests. NaN has
 	// no position in the float order and is rejected with bad_request.
 	FData FloatVec `json:"fdata,omitempty"`
+	// Resume is the stream resume token for "stream_resume": the opaque
+	// token a resumable stream_open ack carried. Seq is the count of
+	// chunks whose responses the client has received (its high-water
+	// mark); the server rolls its session carry back to that point and
+	// answers with the 1-based index of the next chunk it expects.
+	Resume string `json:"resume,omitempty"`
+	Seq    uint64 `json:"seq,omitempty"`
+	// Heartbeat fields ("heartbeat" messages): the announcing worker's
+	// dialable address, relative capacity weight, wire protocol the
+	// coordinator should dial it with ("json"/"bin"), and line budget
+	// (0 = the coordinator's default).
+	Addr    string  `json:"addr,omitempty"`
+	Weight  float64 `json:"weight,omitempty"`
+	WProto  string  `json:"wproto,omitempty"`
+	MaxLine int     `json:"max_line,omitempty"`
+	// WantAck marks a stream_open whose sender understands extended acks
+	// (resume token + flow-control window). Never serialized: the JSON
+	// decoder sets it for every stream_open (unknown response fields are
+	// ignored by old JSON clients), the binary decoder only for the
+	// FStreamOpen2 frame (old binary clients would choke on FAck).
+	WantAck bool `json:"-"`
 }
 
 // WireResponse is one scan result (or error) on the wire.
@@ -192,6 +213,15 @@ type WireResponse struct {
 	// retry vs give-up without parsing English.
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`
+	// Resume is the stream resume token on a resumable stream_open /
+	// stream_resume ack; Seq on a stream_resume ack is the 1-based index
+	// of the next chunk the server expects (a pointer so the field is
+	// distinguishable from absent); Window is the flow-control credit:
+	// how many chunk requests the client may hold in flight on the
+	// stream before blocking on acks.
+	Resume string  `json:"resume,omitempty"`
+	Seq    *uint64 `json:"seq,omitempty"`
+	Window int     `json:"window,omitempty"`
 }
 
 // Error codes carried in WireResponse.Code. Clients map these back to
@@ -319,6 +349,12 @@ func errorForCode(code, msg string) error {
 // wire_fast_test.go.
 func appendWireResponse(dst []byte, resp WireResponse) ([]byte, bool) {
 	if resp.Error != "" || resp.Code != "" {
+		return dst, false
+	}
+	if resp.Resume != "" || resp.Seq != nil || resp.Window != 0 {
+		// Extended stream acks are rare (one per stream) and their field
+		// set grows with the protocol; keep them on encoding/json rather
+		// than risk the fast path silently dropping a field.
 		return dst, false
 	}
 	set := 0

@@ -24,6 +24,19 @@ echo "== cluster chaos soak (short, -race)"
 # both after the drain.
 go test -race -short -count=1 -run '^TestClusterChaosSoak$' ./internal/cluster/
 
+echo "== coordinator failover soak (short, -race)"
+# Murders the primary coordinator mid-soak (half the traffic streamed)
+# and fails on any lost or corrupted request, any stream that did not
+# resume bit-identically on the standby, or a stream/arena ledger that
+# does not close on either coordinator.
+go test -race -short -count=1 -run '^TestCoordinatorFailoverSoak$' ./internal/cluster/
+
+echo "== registry heartbeat-liveness gate (-race)"
+# Walks a worker through announce → shards within one heartbeat
+# interval → silent death → beat ejection (scans retried elsewhere
+# throughout) → rebirth → heartbeat readmission.
+go test -race -count=1 -run '^TestAnnounceJoinAndBeatEjection$' ./internal/cluster/
+
 echo "== alloc-regression gate (no -race: its sync.Pool drops Puts by design)"
 # Pins steady-state allocations on the zero-copy serving path and the
 # arena's recycled checkouts; fails if a copy or per-request allocation
@@ -68,5 +81,15 @@ awk -v ja="$ja" -v ba="$ba" -v jb="$jb" -v bb="$bb" 'BEGIN {
 	if (ba > ja) { print "FAIL: bin allocates more per request than JSON (" ba " > " ja ")"; exit 1 }
 	if (bb > jb) { print "FAIL: bin allocates more bytes per request than JSON (" bb " > " jb ")"; exit 1 }
 }'
+
+echo "== failover gap gate"
+# Kills the primary coordinator under streamed load and requires (a) a
+# zero-loss run and (b) a recorded failover_gap_ms in the bench report —
+# the metric BENCH_serve.json tracks for the control-plane failure model.
+go run ./cmd/scanload -workers 2 -clients 8 -requests 400 -n 100000 \
+	-stream -chunk 8192 -proto bin -kill-coordinator-after 200ms -timeout 30s \
+	-bench-json "$alloc_tmp/failover.json" | tee "$alloc_tmp/failover.out"
+grep -q 'success=400' "$alloc_tmp/failover.out" || { echo "FAIL: failover run lost requests"; exit 1; }
+grep -q '"failover_gap_ms":' "$alloc_tmp/failover.json" || { echo "FAIL: bench report missing failover_gap_ms"; exit 1; }
 
 echo "check.sh: all green"
