@@ -74,6 +74,11 @@ type outcomes struct {
 	redials     atomic.Uint64
 	resumed     atomic.Uint64
 	failedOver  atomic.Uint64
+	// xchgFallback is a cluster-mode extra: scans the exchange data
+	// plane abandoned mid-exchange and re-ran on the star plane (taken
+	// from the coordinator's ledger after the run, not per-request — the
+	// fallback is invisible to the caller by design).
+	xchgFallback atomic.Uint64
 }
 
 // record classifies one terminal error (nil = success).
@@ -112,6 +117,9 @@ func (o *outcomes) String() string {
 	if r, f := o.resumed.Load(), o.failedOver.Load(); r > 0 || f > 0 {
 		s += fmt.Sprintf(" resumed=%d failed_over=%d", r, f)
 	}
+	if x := o.xchgFallback.Load(); x > 0 {
+		s += fmt.Sprintf(" exchange_fallback=%d", x)
+	}
 	return s
 }
 
@@ -124,6 +132,7 @@ func (o *outcomes) counts() map[string]uint64 {
 		"shard_failed": o.shardFailed.Load(), "lost": o.lost.Load(),
 		"retries": o.retries.Load(), "redials": o.redials.Load(),
 		"resumed": o.resumed.Load(), "failed_over": o.failedOver.Load(),
+		"exchange_fallback": o.xchgFallback.Load(),
 	}
 }
 
@@ -283,6 +292,7 @@ func main() {
 		workersN  = flag.Int("workers", 0, "run an in-process cluster: this many scansd workers behind a sharding coordinator (0 = off)")
 		killAfter = flag.Duration("kill-coordinator-after", 0, "cluster mode: kill the primary coordinator's front end after this long; clients fail over to a replicated standby (0 = off)")
 		proto     = flag.String("proto", serve.ProtoJSON, "wire protocol for remote and cluster modes: json or bin")
+		dataPlane = flag.String("data-plane", cluster.DataPlaneStar, "cluster mode: carry data plane (star or exchange)")
 		benchPath = flag.String("bench-json", "", "write a machine-readable bench report (throughput, p50/p99 latency, outcome counts, allocs/request) to this path")
 		benchApp  = flag.Bool("bench-append", false, "append this phase to an existing -bench-json file instead of starting it fresh")
 	)
@@ -337,16 +347,20 @@ func main() {
 			}
 			return
 		}
-		fmt.Printf("cluster: %d workers (%s wire), %d clients × %d-element %s scans, %d requests total\n",
-			*workersN, *proto, *clients, *n, spec, *requests)
+		fmt.Printf("cluster: %d workers (%s wire, %s data plane), %d clients × %d-element %s scans, %d requests total\n",
+			*workersN, *proto, *dataPlane, *clients, *n, spec, *requests)
 		m0 := memSnap()
-		elapsed, cst, err := driveCluster(*workersN, *proto, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
+		elapsed, cst, err := driveCluster(*workersN, *proto, *dataPlane, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
 		if *benchPath != "" {
-			writeBenchJSON(*benchPath, benchPhase(fmt.Sprintf("cluster-%dw", *workersN), *proto,
+			phase := fmt.Sprintf("cluster-%dw", *workersN)
+			if *dataPlane == cluster.DataPlaneExchange {
+				phase += "-exchange"
+			}
+			writeBenchJSON(*benchPath, benchPhase(phase, *proto,
 				*clients, *requests, *n, elapsed, m0, &out), *benchApp)
 		}
 		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
@@ -570,7 +584,7 @@ func isConnError(err error) bool {
 // coordinator. Giant scans split into per-worker shards exactly as they
 // would across hosts; the coordinator's own retry/hedge machinery is
 // live, and its stats are returned for the report.
-func driveCluster(nWorkers int, proto string, spec serve.Spec, clients, requests, n int,
+func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, clients, requests, n int,
 	maxWait, timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
 	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
 	workers := make([]*serve.NetServer, 0, nWorkers)
@@ -589,9 +603,10 @@ func driveCluster(nWorkers int, proto string, spec serve.Spec, clients, requests
 		addrs = append(addrs, ns.Addr())
 	}
 	coord, err := cluster.New(cluster.Config{
-		Workers: addrs,
-		Proto:   proto,
-		Retry:   serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
+		Workers:   addrs,
+		Proto:     proto,
+		DataPlane: dataPlane,
+		Retry:     serve.RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond},
 	})
 	if err != nil {
 		return 0, cluster.Stats{}, err
@@ -642,7 +657,9 @@ func driveCluster(nWorkers int, proto string, spec serve.Spec, clients, requests
 		}(c)
 	}
 	wg.Wait()
-	return time.Since(start), coord.Stats(), nil
+	cst := coord.Stats()
+	out.xchgFallback.Store(cst.XchgFallbacks)
+	return time.Since(start), cst, nil
 }
 
 // driveFailover is driveCluster with a control-plane murder scheduled:

@@ -88,6 +88,20 @@ type Config struct {
 	// conservative for binary, but it keeps pieces response-safe even on
 	// a connection that degraded to JSON mid-fleet.
 	Proto string
+	// DataPlane selects how per-piece carry seeds are computed:
+	//
+	//   "star" (the default): the coordinator folds the data itself
+	//   while seeding pieces — O(n) sequential work per scan at the
+	//   coordinator, the classic hub-and-spoke shape.
+	//
+	//   "exchange": the coordinator ships RAW, un-seeded pieces; each
+	//   worker folds its own piece locally and the workers run a
+	//   round-efficient exclusive scan over the block sums among
+	//   themselves (the carry_xchg wire op, ⌈log2 k⌉ rounds). The
+	//   coordinator's per-scan work drops to O(#pieces). Results are
+	//   bit-identical to star; any peer-round failure falls back to a
+	//   star re-run of the same scan automatically.
+	DataPlane string
 	// Retry is the per-piece retry policy (serve.RetryPolicy's zero
 	// value: 4 attempts, exponential backoff, jitter). Retries after the
 	// first attempt prefer a different healthy worker.
@@ -160,6 +174,9 @@ func (c Config) withDefaults() Config {
 	if c.Proto == "" {
 		c.Proto = serve.ProtoBin
 	}
+	if c.DataPlane == "" {
+		c.DataPlane = DataPlaneStar
+	}
 	if budget := (c.MaxLineBytes-64)/21 - 2; c.MaxPieceElems > budget {
 		c.MaxPieceElems = budget
 	}
@@ -204,6 +221,13 @@ type Coordinator struct {
 
 	rr     atomic.Uint64 // rotates shard→worker assignment across scans
 	closed atomic.Bool
+
+	// Exchange-plane group ids: base is fixed at construction from the
+	// wall clock, seq increments per exchange, so ids are unique across
+	// coordinator restarts (stale mailbox deposits from a previous
+	// incarnation can never match a live group).
+	xchgBase uint64
+	xchgSeq  atomic.Uint64
 }
 
 var _ serve.Backend = (*Coordinator)(nil)
@@ -225,6 +249,11 @@ func New(cfg Config) (*Coordinator, error) {
 	default:
 		return nil, fmt.Errorf("cluster: unknown worker protocol %q", cfg.Proto)
 	}
+	switch cfg.DataPlane {
+	case "", DataPlaneStar, DataPlaneExchange:
+	default:
+		return nil, fmt.Errorf("cluster: unknown data plane %q", cfg.DataPlane)
+	}
 	cfg = cfg.withDefaults()
 	c := &Coordinator{
 		cfg:         cfg,
@@ -233,6 +262,7 @@ func New(cfg Config) (*Coordinator, error) {
 		fpCrash:     cfg.Faults.Point(fault.ClusterCoordCrash),
 		fpBeatDrop:  cfg.Faults.Point(fault.ClusterHeartbeatDrop),
 		fpJoinStorm: cfg.Faults.Point(fault.ClusterJoinStorm),
+		xchgBase:    uint64(time.Now().UnixNano()) << 20,
 	}
 	c.reg = newRegistry(cfg, &c.stats)
 	c.sessions = newSessionTable(cfg.ResumeTTL, &c.stats)
@@ -478,6 +508,23 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 	}
 	c.stats.shards.Add(uint64(len(shards)))
 	c.stats.pieces.Add(uint64(len(pieces)))
+
+	if c.cfg.DataPlane == DataPlaneExchange {
+		res, err := c.runExchange(ctx, spec, data, flags, pieces, carry, seeded, tenant)
+		if err == nil {
+			return res, nil
+		}
+		if ctx.Err() != nil {
+			return nil, err // caller gone; a star re-run would fail the same way
+		}
+		// Any mid-exchange failure (a peer died, a round timed out, a
+		// worker predates the scan_xchg op) degrades this one scan to the
+		// star plane. runExchange never mutates data or pieces, so the
+		// fall-through below sees exactly the inputs it always has.
+		c.stats.xchgFallbacks.Add(1)
+	}
+
+	c.stats.carryPrescanElems.Add(uint64(n))
 	seedPieces(spec, data, flags, pieces, carry, seeded)
 
 	// All pieces are pre-seeded, so they dispatch CONCURRENTLY — the
@@ -711,7 +758,8 @@ func connLevel(err error) bool {
 		errors.Is(err, serve.ErrShardFailed),
 		errors.Is(err, serve.ErrNoStream),
 		errors.Is(err, serve.ErrStreamFailed),
-		errors.Is(err, serve.ErrStreamUnsupported):
+		errors.Is(err, serve.ErrStreamUnsupported),
+		errors.Is(err, serve.ErrXchgFailed):
 		return false
 	}
 	return true // dial failure, EOF, torn line, net.ErrClosed, serve.ErrClosed

@@ -380,3 +380,23 @@ func TestClusterHedging(t *testing.T) {
 		t.Fatalf("hedging never fired/won: %v (elapsed %v)", st, time.Since(start))
 	}
 }
+
+// TestJitteredProbeZeroInterval is a regression test: jitteredProbe
+// feeds ProbeInterval to rand.Int63n, which panics on non-positive
+// arguments. Config.withDefaults clamps the interval on the New path,
+// but a registry built directly (as embedders and tests do) used to
+// crash its liveness loop the moment a worker was ejected. The clamp
+// must make a zero or negative interval mean "probe immediately", not
+// "panic".
+func TestJitteredProbeZeroInterval(t *testing.T) {
+	var stats coordStats
+	for _, probe := range []time.Duration{0, -time.Second, time.Nanosecond, time.Second} {
+		r := newRegistry(Config{Workers: []string{"127.0.0.1:1"}, ProbeInterval: probe}, &stats)
+		for i := 0; i < 100; i++ {
+			if d := r.jitteredProbe(); d < 0 {
+				t.Fatalf("ProbeInterval=%v: negative probe gap %d", probe, d)
+			}
+		}
+		r.close()
+	}
+}

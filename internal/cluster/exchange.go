@@ -1,0 +1,153 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"scans/internal/arena"
+	"scans/internal/serve"
+)
+
+// The exchange data plane: the coordinator's half of the worker↔worker
+// carry exchange (the serve side — mailbox, hypercube rounds, the
+// carry_xchg wire op — lives in internal/serve/exchange.go).
+//
+// On the star plane the coordinator computes every piece's carry seed
+// itself, which means folding all n elements sequentially per scan. On
+// the exchange plane it ships RAW pieces tagged with a group id, a rank
+// and the full rank→address map, and the workers run the exclusive scan
+// over block sums among themselves in ⌈log2 k⌉ rounds. The coordinator
+// touches O(#pieces) values per scan, not O(n) — the difference
+// CarryPrescanElems makes observable.
+//
+// Failure model: one attempt per piece, no retries and no hedging. A
+// retry inside a live exchange is useless — the group's other
+// participants have already timed out their rounds — so ANY piece error
+// aborts the whole exchange and scanSeeded re-runs the scan on the star
+// plane, whose retry/hedge machinery then applies. Typed xchg_failed
+// errors prove the worker is alive (its listener parsed and answered),
+// so they do not count toward ejection; genuine connection failures do.
+
+// Data-plane names for Config.DataPlane.
+const (
+	// DataPlaneStar: the coordinator pre-seeds every piece itself.
+	DataPlaneStar = "star"
+	// DataPlaneExchange: workers exchange block sums among themselves;
+	// the coordinator only plans and reassembles.
+	DataPlaneExchange = "exchange"
+)
+
+// runExchange dispatches every piece on the exchange plane and
+// reassembles the result. It never mutates data, flags or pieces: on
+// any error the caller falls back to the star plane over the same
+// inputs. Rank order is scan order — piece index for forward scans,
+// reversed for backward — so rank 0 is always the piece the scan
+// enters first and the exchanged exclusive scan is exactly the block-
+// sum prescan of the paper's Fig 10 decomposition.
+func (c *Coordinator) runExchange(ctx context.Context, spec serve.Spec, data []int64, flags []bool, pieces []piece, carry int64, seeded bool, tenant string) ([]int64, error) {
+	c.stats.xchgRequests.Add(1)
+	n := len(data)
+	k := len(pieces)
+	forward := spec.Dir == serve.Forward
+	rankOf := func(i int) int {
+		if forward {
+			return i
+		}
+		return k - 1 - i
+	}
+	peers := make([]string, k)
+	for i := range pieces {
+		peers[rankOf(i)] = pieces[i].w.addr
+	}
+	init := serve.Identity(spec.Op)
+	if forward && seeded {
+		init = carry
+	}
+	group := c.xchgBase + c.xchgSeq.Add(1)
+
+	out := arena.GetInt64s(n)
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		once     sync.Once
+		firstErr error
+	)
+	for i := range pieces {
+		pc := &pieces[i]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			x := serve.XchgPiece{
+				Group: group,
+				Rank:  rankOf(i),
+				Peers: peers,
+				Head:  pc.headAt,
+				Init:  init,
+			}
+			// Does the exchanged carry apply to this piece? Mirrors
+			// seedPieces' seeding rule: a forward piece is seeded unless
+			// it opens a segment (headAt) or is the very first piece of an
+			// unseeded request; a backward piece is seeded unless the
+			// element just past its end starts a segment (the scan
+			// restarts there) or it is the last piece.
+			if forward {
+				x.Seeded = !pc.headAt && (pc.off > 0 || seeded)
+			} else {
+				x.Seeded = pc.end < n && (flags == nil || !flags[pc.end])
+			}
+			if err := c.runXchgPiece(dctx, spec, data, out[pc.off:pc.end], pc, x, tenant); err != nil {
+				once.Do(func() { firstErr = err; cancel() })
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		arena.PutInt64s(out)
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// runXchgPiece runs one exchange-mode piece: a single attempt against
+// the piece's planned worker, feeding the health model the same way
+// attemptOn does but with no retry, hedge or latency sample (an
+// exchange round trip measures the SLOWEST participant, not this
+// worker, so it would poison the adaptive weights).
+func (c *Coordinator) runXchgPiece(ctx context.Context, spec serve.Spec, data, dst []int64, pc *piece, x serve.XchgPiece, tenant string) error {
+	w := pc.w
+	cli, err := w.client()
+	if err != nil {
+		c.reg.noteConnFail(w)
+		return fmt.Errorf("xchg piece [%d:%d) of %s via %s: dial: %w", pc.off, pc.end, spec, w.addr, err)
+	}
+	seg := data[pc.off:pc.end]
+	res, err := cli.ScanXchg(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), tenant, seg, x)
+	switch {
+	case err == nil:
+		c.reg.noteOK(w)
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		// Our own cancel (often a sibling piece aborting the group): no
+		// health signal.
+	case connLevel(err):
+		w.dropConn(cli)
+		c.reg.noteConnFail(w)
+	default:
+		c.reg.noteOK(w) // typed server error (incl. xchg_failed): alive
+	}
+	if err != nil {
+		return fmt.Errorf("xchg piece [%d:%d) of %s via %s (rank %d/%d): %w",
+			pc.off, pc.end, spec, w.addr, x.Rank, len(x.Peers), err)
+	}
+	if len(res) > 0 {
+		defer arena.PutInt64s(res)
+	}
+	if len(res) != len(seg) {
+		return fmt.Errorf("%w: worker returned %d elements for a %d-element xchg piece",
+			serve.ErrInternal, len(res), len(seg))
+	}
+	copy(dst, res)
+	return nil
+}

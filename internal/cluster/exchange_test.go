@@ -1,0 +1,467 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scans/internal/fault"
+	"scans/internal/serve"
+)
+
+// startXchgWorkers is startWorkers with a non-default NetConfig — the
+// exchange tests need each worker's own fault.Set (to kill carry
+// rounds server-side) and a short round timeout (so an armed drop
+// costs milliseconds, not the 2s production default).
+func startXchgWorkers(t *testing.T, n int, cfg serve.Config, ncfg serve.NetConfig) ([]string, []*fault.Set) {
+	t.Helper()
+	addrs := make([]string, n)
+	sets := make([]*fault.Set, n)
+	for i := range addrs {
+		wcfg := ncfg
+		wcfg.Faults = fault.New(int64(i) + 1)
+		sets[i] = wcfg.Faults
+		ns, err := serve.ListenNet("127.0.0.1:0", cfg, wcfg)
+		if err != nil {
+			t.Fatalf("worker %d: ListenNet: %v", i, err)
+		}
+		t.Cleanup(ns.Close)
+		addrs[i] = ns.Addr()
+	}
+	return addrs, sets
+}
+
+// TestExchangeMatchesSingleNode is the exchange plane's core contract:
+// the same spec × size × segment-layout sweep as the star plane's
+// TestClusterMatchesSingleNode, but with DataPlane "exchange" — every
+// result bit-identical to the serial reference, every scan carried by
+// the worker↔worker exchange (zero fallbacks), and the coordinator
+// folding ZERO elements (CarryPrescanElems == 0, the whole point).
+func TestExchangeMatchesSingleNode(t *testing.T) {
+	addrs := startWorkers(t, 3, serve.Config{MaxWait: 50 * time.Microsecond})
+	c := newCoord(t, Config{Workers: addrs, MinShardElems: 64, MaxPieceElems: 96, DataPlane: DataPlaneExchange})
+	rng := rand.New(rand.NewSource(11))
+	ctx := context.Background()
+	for _, spec := range clusterSpecs() {
+		for _, n := range []int{1, 2, 63, 64, 191, 777, 2048} {
+			for _, density := range []float64{0, 0.02, 0.3} {
+				data := randVec(rng, spec.Op, n)
+				flags := randFlags(rng, n, density)
+				want := directSeg(spec, data, flags)
+				got, err := c.ScanSegmented(ctx, spec, data, flags, "test")
+				if err != nil {
+					t.Fatalf("%v n=%d density=%g: %v", spec, n, density, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%v n=%d density=%g: exchange result diverges from single-node\n got %v\nwant %v",
+						spec, n, density, got, want)
+				}
+			}
+		}
+	}
+	st := c.Stats()
+	if st.XchgRequests == 0 {
+		t.Fatalf("exchange plane never engaged: %v", st)
+	}
+	if st.XchgFallbacks != 0 {
+		t.Fatalf("healthy fleet fell back to star %d times: %v", st.XchgFallbacks, st)
+	}
+	if st.CarryPrescanElems != 0 {
+		t.Fatalf("exchange mode still pre-folded %d elements at the coordinator: %v", st.CarryPrescanElems, st)
+	}
+	if st.Requests != st.Served {
+		t.Fatalf("healthy-fleet sweep had failures: %v", st)
+	}
+}
+
+// TestExchangeStreamCarry checks the seeded path: a streamed scan's
+// cross-chunk carry must thread through the exchange as rank 0's Init
+// and come out bit-identical to a one-shot of the concatenated data.
+func TestExchangeStreamCarry(t *testing.T) {
+	addrs := startWorkers(t, 3, serve.Config{MaxWait: 50 * time.Microsecond})
+	c := newCoord(t, Config{Workers: addrs, MinShardElems: 32, MaxPieceElems: 64, DataPlane: DataPlaneExchange})
+	rng := rand.New(rand.NewSource(13))
+	ctx := context.Background()
+	for _, spec := range []serve.Spec{
+		{Op: serve.OpSum, Kind: serve.Inclusive, Dir: serve.Forward},
+		{Op: serve.OpSum, Kind: serve.Exclusive, Dir: serve.Forward},
+		{Op: serve.OpMax, Kind: serve.Inclusive, Dir: serve.Forward},
+		{Op: serve.OpMul, Kind: serve.Exclusive, Dir: serve.Forward},
+	} {
+		data := randVec(rng, spec.Op, 700)
+		want := directSeg(spec, data, nil)
+		got, err := streamScanCoord(ctx, c, spec, data, 1+rng.Intn(200), "stream")
+		if err != nil {
+			t.Fatalf("%v: %v", spec, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: streamed exchange scan diverges\n got %v\nwant %v", spec, got, want)
+		}
+	}
+	if st := c.Stats(); st.XchgFallbacks != 0 || st.CarryPrescanElems != 0 {
+		t.Fatalf("streamed exchange leaked onto the star plane: %v", st)
+	}
+}
+
+// TestExchangePeerDeathFallsBack arms cluster.xchg.drop at probability
+// 1 on every worker: every carry round dies, every exchange fails
+// typed, and every scan must still answer — correctly — via the star
+// fallback. The stats must show the failure was paid for (fallbacks
+// recorded, coordinator prescan work resumed) and the workers must
+// never have been ejected (xchg_failed proves liveness).
+func TestExchangePeerDeathFallsBack(t *testing.T) {
+	addrs, sets := startXchgWorkers(t, 3,
+		serve.Config{MaxWait: 50 * time.Microsecond},
+		serve.NetConfig{XchgRoundTimeout: 50 * time.Millisecond})
+	for _, fs := range sets {
+		fs.Arm(fault.ClusterXchgDrop, 1)
+	}
+	c := newCoord(t, Config{Workers: addrs, MinShardElems: 32, MaxPieceElems: 64, DataPlane: DataPlaneExchange})
+	rng := rand.New(rand.NewSource(17))
+	ctx := context.Background()
+	for _, spec := range clusterSpecs() {
+		data := randVec(rng, spec.Op, 500)
+		flags := randFlags(rng, 500, 0.05)
+		want := directSeg(spec, data, flags)
+		got, err := c.ScanSegmented(ctx, spec, data, flags, "test")
+		if err != nil {
+			t.Fatalf("%v: scan failed instead of falling back: %v", spec, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("%v: fallback result diverges from single-node", spec)
+		}
+	}
+	st := c.Stats()
+	if st.XchgFallbacks == 0 {
+		t.Fatalf("every exchange was sabotaged yet nothing fell back: %v", st)
+	}
+	if st.CarryPrescanElems == 0 {
+		t.Fatalf("star fallback ran but recorded no prescan work: %v", st)
+	}
+	if st.Ejections != 0 {
+		t.Fatalf("typed xchg_failed errors must not eject workers: %v", st)
+	}
+	if st.Requests != st.Served {
+		t.Fatalf("fallback sweep had failures: %v", st)
+	}
+}
+
+// TestExchangePeerMurderSoak is the exchange plane's survival exam:
+// concurrent clients on an exchange-mode coordinator while one worker
+// is murdered outright mid-soak (dead TCP endpoint — its peers' carry
+// sends fail, its own pieces vanish) and later resurrected, with
+// cluster.xchg.drop simmering on the survivors. Invariants: no lost
+// requests, no corrupted results, the coordinator ledger closes, and
+// the storm actually forced star fallbacks. scripts/check.sh runs this
+// under -race.
+func TestExchangePeerMurderSoak(t *testing.T) {
+	const (
+		nWorkers = 3
+		clients  = 4
+		seed     = 0xCAFE
+	)
+	perClient := 60
+	if testing.Short() {
+		perClient = 20
+	}
+
+	workerCfg := serve.Config{MaxWait: 50 * time.Microsecond, QueueAgeLimit: 500 * time.Millisecond}
+	workerNcfg := serve.NetConfig{XchgRoundTimeout: 100 * time.Millisecond}
+	workers := make([]*serve.NetServer, nWorkers)
+	addrs := make([]string, nWorkers)
+	for i := range workers {
+		ncfg := workerNcfg
+		ncfg.Faults = fault.New(seed + int64(i))
+		ncfg.Faults.Arm(fault.ClusterXchgDrop, 0.02)
+		ns, err := serve.ListenNet("127.0.0.1:0", workerCfg, ncfg)
+		if err != nil {
+			t.Fatalf("worker %d: %v", i, err)
+		}
+		workers[i] = ns
+		addrs[i] = ns.Addr()
+	}
+	defer func() {
+		for _, w := range workers {
+			if w != nil {
+				w.Close()
+			}
+		}
+	}()
+
+	coord, err := New(Config{
+		Workers:       addrs,
+		MinShardElems: 64,
+		MaxPieceElems: 128,
+		DataPlane:     DataPlaneExchange,
+		Retry:         serve.RetryPolicy{MaxAttempts: 8, BaseDelay: 500 * time.Microsecond, MaxDelay: 10 * time.Millisecond},
+		HedgeAfter:    3 * time.Millisecond,
+		EjectAfter:    3,
+		ProbeInterval: 20 * time.Millisecond,
+		ProbeTimeout:  250 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer coord.Close()
+
+	specs := clusterSpecs()
+	type tally struct {
+		success, shardFailed, deadline, lost, mismatch int
+	}
+	var (
+		wg    sync.WaitGroup
+		mu    sync.Mutex
+		total tally
+	)
+	var lifecycle sync.WaitGroup
+	lifecycle.Add(1)
+	killAt := clients * perClient / 3
+	reviveAt := 2 * clients * perClient / 3
+	var progress sync.Map
+	go func() {
+		defer lifecycle.Done()
+		sum := func() int {
+			s := 0
+			progress.Range(func(_, v any) bool { s += v.(int); return true })
+			return s
+		}
+		for sum() < killAt {
+			time.Sleep(2 * time.Millisecond)
+		}
+		workers[2].Close()
+		workers[2] = nil
+		for sum() < reviveAt {
+			time.Sleep(2 * time.Millisecond)
+		}
+		ncfg := workerNcfg
+		ncfg.Faults = fault.New(seed + 99)
+		ns, err := serve.ListenNet(addrs[2], workerCfg, ncfg)
+		if err != nil {
+			t.Errorf("resurrect worker 2: %v", err)
+			return
+		}
+		workers[2] = ns
+	}()
+
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(cl) + 400))
+			var local tally
+			for i := 0; i < perClient; i++ {
+				progress.Store(cl, i)
+				spec := specs[rng.Intn(len(specs))]
+				n := 1 + rng.Intn(1500)
+				data := randVec(rng, spec.Op, n)
+				flags := randFlags(rng, n, []float64{0, 0.01, 0.2}[rng.Intn(3)])
+				want := directSeg(spec, data, flags)
+				sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				got, err := coord.ScanSegmented(sctx, spec, data, flags, fmt.Sprintf("client-%d", cl))
+				cancel()
+				switch {
+				case err == nil:
+					if !reflect.DeepEqual(got, want) {
+						local.mismatch++
+					} else {
+						local.success++
+					}
+				case errors.Is(err, ErrShardFailed):
+					local.shardFailed++
+				case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+					local.deadline++
+				default:
+					t.Errorf("client %d scan %d: untyped error %v", cl, i, err)
+					local.lost++
+				}
+			}
+			progress.Store(cl, perClient)
+			mu.Lock()
+			total.success += local.success
+			total.shardFailed += local.shardFailed
+			total.deadline += local.deadline
+			total.lost += local.lost
+			total.mismatch += local.mismatch
+			mu.Unlock()
+		}(cl)
+	}
+	wg.Wait()
+	lifecycle.Wait()
+
+	if total.mismatch > 0 {
+		t.Fatalf("exchange soak: %d corrupted results", total.mismatch)
+	}
+	if total.lost > 0 {
+		t.Fatalf("exchange soak: %d requests without a typed terminal outcome", total.lost)
+	}
+	if got := total.success + total.shardFailed + total.deadline; got != clients*perClient {
+		t.Fatalf("outcome accounting: %d outcomes for %d scans", got, clients*perClient)
+	}
+	if total.success == 0 {
+		t.Fatal("exchange soak: nothing succeeded — storm too hot to mean anything")
+	}
+	st := coord.Stats()
+	if st.XchgRequests == 0 {
+		t.Fatalf("exchange plane never engaged: %v", st)
+	}
+	if st.XchgFallbacks == 0 {
+		t.Fatalf("a murdered peer plus armed xchg.drop forced no fallbacks: %v", st)
+	}
+	if st.Requests != st.Served+st.ShardFailed+st.Deadline {
+		t.Fatalf("coordinator ledger broken: %v", st)
+	}
+	t.Logf("exchange soak: success=%d shard_failed=%d deadline=%d xchg=%d fallbacks=%d",
+		total.success, total.shardFailed, total.deadline, st.XchgRequests, st.XchgFallbacks)
+}
+
+// xchgFuzzFleet mirrors fuzzFleet for the exchange fuzz target: five
+// workers started once per process, each with its own fault.Set so an
+// iteration can arm cluster.xchg.drop on a subset of peers, and a short
+// round timeout so a sabotaged exchange fails in milliseconds.
+var xchgFuzzFleet struct {
+	once  sync.Once
+	addrs []string
+	sets  []*fault.Set
+	err   error
+}
+
+func xchgFuzzAddrs() ([]string, []*fault.Set, error) {
+	xchgFuzzFleet.once.Do(func() {
+		cfg := serve.Config{MaxWait: 20 * time.Microsecond}
+		for i := 0; i < 5; i++ {
+			fs := fault.New(int64(i) + 21)
+			ns, err := serve.ListenNet("127.0.0.1:0", cfg, serve.NetConfig{
+				XchgRoundTimeout: 30 * time.Millisecond,
+				Faults:           fs,
+			})
+			if err != nil {
+				xchgFuzzFleet.err = err
+				return
+			}
+			xchgFuzzFleet.addrs = append(xchgFuzzFleet.addrs, ns.Addr())
+			xchgFuzzFleet.sets = append(xchgFuzzFleet.sets, fs)
+		}
+	})
+	return xchgFuzzFleet.addrs, xchgFuzzFleet.sets, xchgFuzzFleet.err
+}
+
+// FuzzExchangeMatchesStar is the exchange plane's contract as a fuzz
+// target: for ANY vector, op/kind/dir, segment layout, worker count
+// (1–5), shard/piece geometry, wire protocol, and injected carry-round
+// deaths, an exchange-mode scan returns a result bit-identical to BOTH
+// a star-mode scan over the same fleet and the serial single-node
+// reference. Sabotaged exchanges must degrade to star invisibly — the
+// workers are alive, so the scan itself may never fail (the only
+// allowed escape is the iteration deadline). scripts/check.sh runs a
+// timed burst of this under -race.
+func FuzzExchangeMatchesStar(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint8(0), uint8(2), uint8(1), []byte{1, 2, 3, 4, 5, 6, 7, 8, 9}, []byte{0, 0, 1})
+	f.Add(uint8(1), uint8(0), uint8(1), uint8(4), uint8(0), []byte{255, 0, 17, 3, 200, 9}, []byte{})
+	f.Add(uint8(2), uint8(1), uint8(1), uint8(0), uint8(3), []byte{128, 64, 32}, []byte{1})
+	f.Add(uint8(3), uint8(0), uint8(0), uint8(1), uint8(4), []byte{7, 7, 7, 7, 7, 7, 7}, []byte{0, 1})
+	f.Fuzz(func(t *testing.T, opB, kindB, dirB, nwB, faultB uint8, raw, flagPat []byte) {
+		addrs, sets, err := xchgFuzzAddrs()
+		if err != nil {
+			t.Skipf("fleet: %v", err)
+		}
+		spec := serve.Spec{
+			Op:   []serve.Op{serve.OpSum, serve.OpMax, serve.OpMin, serve.OpMul}[opB%4],
+			Kind: []serve.Kind{serve.Exclusive, serve.Inclusive}[kindB%2],
+			Dir:  []serve.Dir{serve.Forward, serve.Backward}[dirB%2],
+		}
+		// Cap tighter than the star fuzz: a sabotaged exchange pays the
+		// round timeout per surviving round, and piece count scales with
+		// the vector, so huge vectors would starve the fuzz budget.
+		if len(raw) > 256 {
+			raw = raw[:256]
+		}
+		data := make([]int64, len(raw))
+		for i, b := range raw {
+			data[i] = int64(int8(b))
+			if spec.Op == serve.OpMul {
+				data[i] = 2*int64(b&1) - 1
+			}
+		}
+		var flags []bool
+		if len(flagPat) > 0 {
+			flags = make([]bool, len(data))
+			for i := range flags {
+				flags[i] = flagPat[i%len(flagPat)]&1 == 1
+			}
+		}
+
+		// faultB drives shard geometry, the wire protocol, and whether a
+		// subset of workers sabotages carry rounds this iteration.
+		if faultB%4 == 0 {
+			for i, fs := range sets {
+				if i%2 == int(faultB/4)%2 {
+					fs.Arm(fault.ClusterXchgDrop, 0.2)
+				}
+			}
+			defer func() {
+				for _, fs := range sets {
+					fs.DisarmAll()
+				}
+			}()
+		}
+		nw := 1 + int(nwB)%5
+		proto := serve.ProtoBin
+		if faultB%2 == 1 {
+			proto = serve.ProtoJSON
+		}
+		base := Config{
+			Workers:       addrs[:nw],
+			Proto:         proto,
+			MinShardElems: 1 + int(faultB%7),
+			MaxPieceElems: 2 + int(faultB%13),
+			Retry:         serve.RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, MaxDelay: time.Millisecond},
+			EjectAfter:    4,
+			ProbeInterval: 5 * time.Millisecond,
+			ProbeTimeout:  200 * time.Millisecond,
+		}
+		xcfg := base
+		xcfg.DataPlane = DataPlaneExchange
+		xcoord, err := New(xcfg)
+		if err != nil {
+			t.Fatalf("New(exchange): %v", err)
+		}
+		defer xcoord.Close()
+		scoord, err := New(base)
+		if err != nil {
+			t.Fatalf("New(star): %v", err)
+		}
+		defer scoord.Close()
+
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		got, err := xcoord.ScanSegmented(ctx, spec, data, flags, "fuzz")
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return
+			}
+			t.Fatalf("spec=%+v n=%d nw=%d: exchange scan failed (fallback must absorb peer deaths): %v",
+				spec, len(data), nw, err)
+		}
+		want := directSeg(spec, data, flags)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("spec=%+v n=%d nw=%d flags=%v: exchange diverges from single-node\n got %v\nwant %v",
+				spec, len(data), nw, flags != nil, got, want)
+		}
+		star, err := scoord.ScanSegmented(ctx, spec, data, flags, "fuzz")
+		if err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return
+			}
+			t.Fatalf("spec=%+v n=%d nw=%d: star scan failed on a healthy fleet: %v", spec, len(data), nw, err)
+		}
+		if !reflect.DeepEqual(got, star) {
+			t.Fatalf("spec=%+v n=%d nw=%d: exchange and star disagree\n xchg %v\n star %v",
+				spec, len(data), nw, got, star)
+		}
+	})
+}

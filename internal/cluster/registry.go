@@ -295,6 +295,13 @@ func (r *registry) noteConnFail(w *worker) {
 // coordinator's dialer — on the same tick.
 func (r *registry) jitteredProbe() int64 {
 	d := int64(r.probeEvery)
+	if d < 1 {
+		// rand.Int63n panics on d <= 0. Config.withDefaults clamps
+		// ProbeInterval, but a registry built directly (tests, embedders)
+		// may carry a zero or negative interval; probe immediately rather
+		// than crash the liveness loop.
+		d = 1
+	}
 	return d/2 + rand.Int63n(d)
 }
 

@@ -3,7 +3,9 @@ package serve
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -143,4 +145,243 @@ func TestStreamFlowControlWindow(t *testing.T) {
 // a resume refusal may legally carry.
 func connSafeTyped(err error) bool {
 	return errors.Is(err, ErrNoStream) || errors.Is(err, ErrStreamUnsupported) || errors.Is(err, ErrBadRequest)
+}
+
+// TestChunkPrefixLen pins the resume-rewind arithmetic, in particular
+// the final-short-chunk cases: a rewind point at or past the last
+// (short) chunk must clamp to n — out[:chunkPrefixLen(...)] may only
+// ever truncate, never grow past the data it covers.
+func TestChunkPrefixLen(t *testing.T) {
+	cases := []struct {
+		k, chunkElems, n, want int
+	}{
+		{0, 64, 1000, 0},       // rewind to scratch
+		{1, 64, 1000, 64},      // one full chunk
+		{15, 64, 1000, 960},    // last full chunk before the short tail
+		{16, 64, 1000, 1000},   // rewind point INSIDE the final short chunk: clamp to n
+		{17, 64, 1000, 1000},   // acked beyond the stream's own chunk count: still n
+		{1000, 64, 1000, 1000}, // absurd ack from a stale stream: still n
+		{3, 64, 192, 192},      // exact multiple: k covers everything
+		{4, 64, 192, 192},      // one past an exact multiple
+		{2, 1, 5, 2},           // degenerate chunking
+		{5, 1000, 3, 3},        // chunk bigger than the vector
+	}
+	for _, c := range cases {
+		if got := chunkPrefixLen(c.k, c.chunkElems, c.n); got != c.want {
+			t.Errorf("chunkPrefixLen(%d,%d,%d) = %d, want %d", c.k, c.chunkElems, c.n, got, c.want)
+		}
+	}
+	// Monotonicity: a resume with from ≤ acked+1 can only truncate.
+	for k := 0; k < 40; k++ {
+		if chunkPrefixLen(k, 7, 100) > chunkPrefixLen(k+1, 7, 100) {
+			t.Fatalf("chunkPrefixLen not monotone at k=%d", k)
+		}
+	}
+}
+
+// scriptedBackend is an in-memory resumable Backend for pinning the
+// CLIENT side of stream failover deterministically: it computes forward
+// sum scans serially, keeps per-session carry history so any rollback
+// recomputes bit-identically, and lets a test trigger a front-end kill
+// at an exact protocol point (a given chunk's Push, or Close) and
+// script the resume answer (a lagging seq, or a typed no_stream).
+type scriptedBackend struct {
+	mu       sync.Mutex
+	sessions map[string]*scriptedSession
+	nextID   int
+
+	kill        func() // typically primaryNS.Kill; fired at most once
+	killOnPush  int    // 1-based chunk seq whose Push fires kill (0 = off)
+	killOnClose bool   // Close fires kill
+	// resumeSeq scripts ResumeScanStream's rollback point: the record
+	// rolls back to this seq regardless of lastAcked (-1 = answer
+	// ErrNoStream, as a coordinator whose record did not survive).
+	resumeSeq int
+
+	pushes []int // every chunk seq pushed, across all attachments
+}
+
+type scriptedSession struct {
+	b     *scriptedBackend
+	token string
+	// carries[k] is the running carry after k chunks; rollback to seq k
+	// truncates to k+1 entries and recomputation is bit-identical.
+	carries []int64
+}
+
+func newScriptedBackend() *scriptedBackend {
+	return &scriptedBackend{sessions: make(map[string]*scriptedSession), resumeSeq: -1}
+}
+
+func (b *scriptedBackend) Scan(ctx context.Context, spec Spec, data []int64, tenant string) ([]int64, error) {
+	return nil, ErrBadRequest // streams only; keeps StreamScan off the one-shot shortcut
+}
+
+func (b *scriptedBackend) OpenScanStream(spec Spec, tenant string) (ScanStream, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.nextID++
+	s := &scriptedSession{b: b, token: fmt.Sprintf("scripted-%d", b.nextID), carries: []int64{0}}
+	b.sessions[s.token] = s
+	return s, nil
+}
+
+func (b *scriptedBackend) ResumeScanStream(token string, lastAcked uint64) (ScanStream, uint64, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	s := b.sessions[token]
+	if s == nil || b.resumeSeq < 0 {
+		return nil, 0, ErrNoStream
+	}
+	seq := b.resumeSeq
+	if seq >= len(s.carries) {
+		seq = len(s.carries) - 1
+	}
+	s.carries = s.carries[:seq+1]
+	return s, uint64(seq) + 1, nil
+}
+
+func (b *scriptedBackend) Close() {}
+
+func (s *scriptedSession) ResumeToken() string { return s.token }
+
+func (s *scriptedSession) Push(ctx context.Context, chunk []int64) ([]int64, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	seq := len(s.carries) // 1-based seq of this chunk
+	s.b.pushes = append(s.b.pushes, seq)
+	if s.b.killOnPush == seq && s.b.kill != nil {
+		k := s.b.kill
+		s.b.kill = nil
+		k() // NetServer.Kill is safe from inside a handler
+	}
+	carry := s.carries[len(s.carries)-1]
+	out := make([]int64, len(chunk))
+	for i, v := range chunk {
+		carry += v
+		out[i] = carry
+	}
+	s.carries = append(s.carries, carry)
+	return out, nil
+}
+
+func (s *scriptedSession) Close() (int64, error) {
+	s.b.mu.Lock()
+	defer s.b.mu.Unlock()
+	if s.b.killOnClose && s.b.kill != nil {
+		k := s.b.kill
+		s.b.kill = nil
+		k()
+	}
+	return s.carries[len(s.carries)-1], nil
+}
+
+func (s *scriptedSession) Abort(cause error) {} // detach; record survives for resume
+func (s *scriptedSession) Expire()           {}
+
+// failoverRewindHarness runs one scripted failover StreamScan: two
+// front ends over ONE scripted backend, the primary killed at the
+// scripted point, and the result checked bit-for-bit against the serial
+// sum. n is chosen so the FINAL CHUNK IS SHORT — the rewind arithmetic
+// the sweep is pinning.
+func failoverRewindHarness(t *testing.T, b *scriptedBackend, n, chunkElems int) (*scriptedBackend, *FailoverClient) {
+	t.Helper()
+	a, err := ListenBackend("127.0.0.1:0", b, NetConfig{})
+	if err != nil {
+		t.Fatalf("front end a: %v", err)
+	}
+	t.Cleanup(a.Kill)
+	bNS, err := ListenBackend("127.0.0.1:0", b, NetConfig{})
+	if err != nil {
+		t.Fatalf("front end b: %v", err)
+	}
+	t.Cleanup(bNS.Kill)
+	b.kill = a.Kill
+
+	fc, err := DialFailover(ProtoBin, 0, a.Addr(), bNS.Addr())
+	if err != nil {
+		t.Fatalf("DialFailover: %v", err)
+	}
+	t.Cleanup(fc.Close)
+
+	data := make([]int64, n)
+	want := make([]int64, n)
+	var run int64
+	for i := range data {
+		data[i] = int64(i%13 - 6)
+		run += data[i]
+		want[i] = run
+	}
+	got, err := fc.StreamScan(context.Background(), "sum", "inclusive", "", data, chunkElems)
+	if err != nil {
+		t.Fatalf("StreamScan: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("failover stream diverged from serial reference")
+	}
+	arena.PutInt64s(got)
+	if fc.FailedOver() == 0 {
+		t.Fatal("primary was killed but FailedOver=0")
+	}
+	return b, fc
+}
+
+// TestFailoverStreamRewindIntoShortChunk: the primary dies during
+// Close, so the client holds acks for EVERY chunk — including the final
+// short one — and the scripted standby's record lags. The client must
+// rewind `out` to the resume point and resend; when the rewind point is
+// the short chunk itself, chunkPrefixLen's clamp keeps the truncation
+// inside the vector (without it, out[:k*chunkElems] panics).
+func TestFailoverStreamRewindIntoShortChunk(t *testing.T) {
+	const chunkElems = 64
+	const n = 4*chunkElems + 17 // 5 chunks, final one short
+	for _, tc := range []struct {
+		name      string
+		resumeSeq int
+	}{
+		{"lag-before-short-chunk", 4}, // resend just the short tail
+		{"lag-mid-stream", 2},         // resend chunks 3..5
+		{"no-lag-all-acked", 5},       // rewind point INSIDE the short chunk: pure clamp
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b := newScriptedBackend()
+			b.killOnClose = true
+			b.resumeSeq = tc.resumeSeq
+			b, fc := failoverRewindHarness(t, b, n, chunkElems)
+			if fc.Resumed() == 0 {
+				t.Fatal("scripted resume never happened")
+			}
+			// Chunks 1..5 once, then the resent suffix after the rollback.
+			want := []int{1, 2, 3, 4, 5}
+			for k := tc.resumeSeq + 1; k <= 5; k++ {
+				want = append(want, k)
+			}
+			if !reflect.DeepEqual(b.pushes, want) {
+				t.Fatalf("push sequence %v, want %v", b.pushes, want)
+			}
+		})
+	}
+}
+
+// TestFailoverStreamRestartAfterNoStream: the primary dies mid-stream
+// and the resume answers no_stream (the record did not survive), so the
+// client must restart from scratch — its stale ack count, which can
+// exceed anything the fresh stream has seen, must reset along with the
+// output prefix. The scan still completes bit-identically.
+func TestFailoverStreamRestartAfterNoStream(t *testing.T) {
+	const chunkElems = 64
+	const n = 4*chunkElems + 17
+	b := newScriptedBackend()
+	b.killOnPush = 4 // die mid-stream, acks 1..3 (at most) delivered
+	b.resumeSeq = -1 // scripted: resume answers no_stream
+	b, fc := failoverRewindHarness(t, b, n, chunkElems)
+	if fc.Resumed() != 0 {
+		t.Fatalf("no_stream must not count as a resume: %d", fc.Resumed())
+	}
+	// The first attachment got chunks 1..4 (kill fired during 4's push);
+	// the fresh stream must start over at chunk 1 and run to the end.
+	want := []int{1, 2, 3, 4, 1, 2, 3, 4, 5}
+	if !reflect.DeepEqual(b.pushes, want) {
+		t.Fatalf("push sequence %v, want %v", b.pushes, want)
+	}
 }

@@ -73,6 +73,12 @@ type NetConfig struct {
 	// Keeps abandoned sessions from pinning state on long-lived
 	// connections. Default 2 minutes; < 0 disables expiry.
 	StreamIdleTTL time.Duration
+	// XchgRoundTimeout bounds one round of the worker↔worker carry
+	// exchange (scan_xchg): how long a participant waits for its
+	// partner's carry message before declaring the exchange failed
+	// (typed xchg_failed; the coordinator falls back to the star data
+	// plane). Default 2s.
+	XchgRoundTimeout time.Duration
 	// Faults is the chaos hook for the connection-level points
 	// (fault.ConnDrop, fault.PartialWrite). Usually the same *fault.Set
 	// as Config.Faults. nil = chaos off.
@@ -92,6 +98,9 @@ func (c NetConfig) withDefaults() NetConfig {
 	}
 	if c.StreamIdleTTL == 0 {
 		c.StreamIdleTTL = 2 * time.Minute
+	}
+	if c.XchgRoundTimeout <= 0 {
+		c.XchgRoundTimeout = 2 * time.Second
 	}
 	return c
 }
@@ -122,6 +131,13 @@ type NetServer struct {
 	fpPartial     *fault.Point
 	fpWireTrunc   *fault.Point
 	fpWireCorrupt *fault.Point
+	fpXchgDrop    *fault.Point
+	fpXchgSlow    *fault.Point
+
+	// xchg is the carry-exchange mailbox and peers the worker↔worker
+	// connection pool (exchange data plane; see exchange.go).
+	xchg  *exchangeTable
+	peers *peerPool
 
 	nconns atomic.Int64
 
@@ -165,6 +181,10 @@ func ListenBackend(addr string, be Backend, ncfg NetConfig) (*NetServer, error) 
 		fpPartial:     ncfg.Faults.Point(fault.PartialWrite),
 		fpWireTrunc:   ncfg.Faults.Point(fault.WireTruncate),
 		fpWireCorrupt: ncfg.Faults.Point(fault.WireCorruptLen),
+		fpXchgDrop:    ncfg.Faults.Point(fault.ClusterXchgDrop),
+		fpXchgSlow:    ncfg.Faults.Point(fault.ClusterXchgSlow),
+		xchg:          newExchangeTable(),
+		peers:         newPeerPool(ncfg.MaxLineBytes),
 		conns:         make(map[net.Conn]struct{}),
 		done:          make(chan struct{}),
 	}
@@ -196,6 +216,7 @@ func (ns *NetServer) Close() {
 		c.Close()
 	}
 	ns.mu.Unlock()
+	ns.peers.close()
 	<-ns.done
 	ns.be.Close()
 }
@@ -214,6 +235,7 @@ func (ns *NetServer) Kill() {
 		c.Close()
 	}
 	ns.mu.Unlock()
+	ns.peers.close()
 }
 
 // acceptLoop accepts until the listener closes, enforcing MaxConns: a
@@ -538,6 +560,21 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 		switch req.Type {
 		case "":
 			// One-shot scan: falls through to the submit path below.
+		case "scan_xchg":
+			// Exchange-mode piece: same admission as a one-shot (spec
+			// parse, response budget, in-flight cap), then routed to the
+			// exchange handler in the request goroutine below.
+		case "carry_xchg":
+			// Peer carry message: deposit in the mailbox and ack inline —
+			// a control message, not admitted work. The send-then-await
+			// order of every participant plus this inline ack is what
+			// keeps the exchange deadlock-free.
+			releaseData(req.Data)
+			ns.xchg.deposit(
+				xchgKey{group: req.Group, rank: uint32(req.Rank), round: uint32(req.Round)},
+				xchgMsg{val: req.XVal, reset: req.XReset})
+			respond(WireResponse{ID: req.ID})
+			continue
 		case "stream_open":
 			releaseData(req.Data) // opens carry no payload
 			cs.open(req)
@@ -631,6 +668,25 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 			defer pending.Done()
 			defer inflight.Add(-1)
 			defer cancel()
+			if req.Type == "scan_xchg" {
+				if isFloat {
+					releaseData(req.Data)
+					respond(WireResponse{ID: req.ID, Error: "scan_xchg carries int64 keys only (floats are re-keyed coordinator-side)", Code: CodeBadRequest})
+					return
+				}
+				res, err := ns.serveXchgPiece(ctx, spec, req, reqTenant)
+				releaseData(req.Data)
+				if err != nil {
+					respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
+					return
+				}
+				if res == nil {
+					res = []int64{}
+				}
+				respond(WireResponse{ID: req.ID, Result: res})
+				releaseData(res)
+				return
+			}
 			data := req.Data
 			if isFloat {
 				releaseData(req.Data) // float payload rides FData
@@ -1045,6 +1101,15 @@ func (c *Client) sendBin(req WireRequest) error {
 	case "heartbeat":
 		frame = arena.GetBytes(binwire.HeartbeatFrameBytes(req.Addr))[:0]
 		frame = binwire.AppendHeartbeat(frame, req.ID, req.Addr, req.Weight, req.MaxLine, binProtoByte(req.WProto))
+	case "scan_xchg":
+		frame = arena.GetBytes(binwire.ScanXchgFrameBytes(req.Tenant, req.Peers, len(req.Data)))[:0]
+		frame = binwire.AppendScanXchg(frame, req.ID,
+			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir),
+			req.TimeoutMS, req.Tenant, req.Group, req.Rank, req.Peers,
+			req.XHead, req.XSeed, req.Init, req.Data)
+	case "carry_xchg":
+		frame = arena.GetBytes(binwire.CarryXchgFrameBytes())[:0]
+		frame = binwire.AppendCarryXchg(frame, req.ID, req.Group, req.Round, req.From, req.Rank, req.XVal, req.XReset)
 	default:
 		return fmt.Errorf("%w: unknown message type %q", ErrBadRequest, req.Type)
 	}

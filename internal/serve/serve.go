@@ -89,6 +89,14 @@ var (
 	// scans as one-shot requests (or reverse client-side). Wraps
 	// ErrBadRequest: not retryable.
 	ErrStreamUnsupported = fmt.Errorf("%w: backward scans cannot stream (the carry depends on later chunks)", ErrBadRequest)
+	// ErrXchgFailed means an exchange-mode piece could not finish its
+	// worker↔worker carry exchange: a peer round timed out, a peer
+	// answered with an error, or the exchange was canceled because a
+	// sibling piece failed. The worker itself is alive (this is a typed
+	// answer, not a connection failure); the coordinator reacts by
+	// re-running the whole request on the star data plane, which has no
+	// peer dependencies.
+	ErrXchgFailed = errors.New("serve: exchange failed (a peer carry-exchange round did not complete)")
 )
 
 // Op identifies the scan operator of a request. The service fixes the

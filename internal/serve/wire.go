@@ -189,6 +189,26 @@ type WireRequest struct {
 	Weight  float64 `json:"weight,omitempty"`
 	WProto  string  `json:"wproto,omitempty"`
 	MaxLine int     `json:"max_line,omitempty"`
+	// Exchange fields ("scan_xchg" / "carry_xchg" messages, the
+	// worker↔worker data plane of DESIGN.md's exchange protocol). Group
+	// names one carry exchange; Rank is the receiver's rank in it
+	// (scan_xchg: the piece's own rank; carry_xchg: the destination
+	// rank); Peers lists every rank's worker address in rank order.
+	// XHead marks a piece that opens with a segment head, XSeed tells
+	// the worker to apply the exchanged carry to its piece, Init seeds
+	// rank 0 (a stream chunk's running carry; the op identity
+	// otherwise). Round/From/XVal/XReset are one carry_xchg message: the
+	// sender's running (value, reset) pair for that exchange round.
+	Group  uint64   `json:"group,omitempty"`
+	Rank   int      `json:"rank,omitempty"`
+	Peers  []string `json:"peers,omitempty"`
+	XHead  bool     `json:"xhead,omitempty"`
+	XSeed  bool     `json:"xseed,omitempty"`
+	Init   int64    `json:"init,omitempty"`
+	Round  int      `json:"round,omitempty"`
+	From   int      `json:"from,omitempty"`
+	XVal   int64    `json:"xval,omitempty"`
+	XReset bool     `json:"xreset,omitempty"`
 	// WantAck marks a stream_open whose sender understands extended acks
 	// (resume token + flow-control window). Never serialized: the JSON
 	// decoder sets it for every stream_open (unknown response fields are
@@ -273,6 +293,12 @@ const (
 	// this request failed; the coordinator survived. Retryable — the
 	// fleet may have healed by the next attempt.
 	CodeShardFailed = "shard_failed"
+	// CodeXchgFailed: an exchange-mode piece could not complete its
+	// worker↔worker carry exchange (a peer round timed out or a sibling
+	// piece failed). A typed answer — the worker is alive. The
+	// coordinator retries the request on the star data plane rather than
+	// retrying the piece.
+	CodeXchgFailed = "xchg_failed"
 )
 
 // codeForError classifies a server-side error into a wire code. The
@@ -288,6 +314,8 @@ func codeForError(err error) string {
 		return CodeStreamFailed
 	case errors.Is(err, ErrShardFailed):
 		return CodeShardFailed
+	case errors.Is(err, ErrXchgFailed):
+		return CodeXchgFailed
 	case errors.Is(err, ErrBadRequest):
 		return CodeBadRequest
 	case errors.Is(err, ErrOverloaded):
@@ -328,6 +356,8 @@ func errorForCode(code, msg string) error {
 		sentinel = ErrStreamUnsupported
 	case CodeShardFailed:
 		sentinel = ErrShardFailed
+	case CodeXchgFailed:
+		sentinel = ErrXchgFailed
 	case CodeDeadline:
 		sentinel = context.DeadlineExceeded
 	default:

@@ -62,6 +62,19 @@ go test -race -fuzz='^FuzzBinwireMatchesJSON$' -fuzztime=10s -run '^$' ./interna
 echo "== fuzz burst: FuzzShardedScanMatchesSingleNode (10s)"
 go test -fuzz='^FuzzShardedScanMatchesSingleNode$' -fuzztime=10s -run '^$' ./internal/cluster/
 
+echo "== fuzz burst: FuzzExchangeMatchesStar (10s, -race)"
+# Data-plane parity: the same fuzzed scan through the exchange plane
+# (workers trade block sums among themselves) and the star plane
+# (coordinator pre-seeds) must be bit-identical — including iterations
+# where fault injection sabotages peer rounds and forces the fallback.
+go test -race -fuzz='^FuzzExchangeMatchesStar$' -fuzztime=10s -run '^$' ./internal/cluster/
+
+echo "== exchange peer-murder soak (-race)"
+# Kills a worker mid-exchange under drop-injected peer rounds and
+# requires every request to land (exchange success or star fallback)
+# with zero lost/corrupted results and a closed ledger.
+go test -race -count=1 -run '^TestExchangePeerMurderSoak$' ./internal/cluster/
+
 echo "== wire alloc-parity gate (no -race)"
 # The binary protocol's reason to exist is zero-parse payloads: if bin
 # ever allocates more per request than JSON, the decode path has grown
@@ -91,5 +104,18 @@ go run ./cmd/scanload -workers 2 -clients 8 -requests 400 -n 100000 \
 	-bench-json "$alloc_tmp/failover.json" | tee "$alloc_tmp/failover.out"
 grep -q 'success=400' "$alloc_tmp/failover.out" || { echo "FAIL: failover run lost requests"; exit 1; }
 grep -q '"failover_gap_ms":' "$alloc_tmp/failover.json" || { echo "FAIL: bench report missing failover_gap_ms"; exit 1; }
+
+echo "== exchange data-plane O(#workers) gate"
+# In exchange mode the coordinator must not fold carries element-by-
+# element: carry_prescan counts exactly the elements the coordinator
+# touched pre-seeding on the star plane, so a clean exchange run must
+# report 0 (and no fallbacks, which would re-run scans on star).
+# n=16384 across 2 workers forces real multi-rank exchanges
+# (MinShardElems defaults to 4096, so each scan spans both workers).
+go run ./cmd/scanload -workers 2 -clients 8 -requests 400 -n 16384 \
+	-proto bin -data-plane exchange | tee "$alloc_tmp/xchg.out"
+grep -q 'success=400' "$alloc_tmp/xchg.out" || { echo "FAIL: exchange run lost requests"; exit 1; }
+grep -q 'xchg_fallbacks=0 carry_prescan=0' "$alloc_tmp/xchg.out" || {
+	echo "FAIL: coordinator did O(n) carry pre-scan work in exchange mode"; exit 1; }
 
 echo "check.sh: all green"
