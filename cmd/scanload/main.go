@@ -48,12 +48,14 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"scans/internal/arena"
 	"scans/internal/cluster"
+	"scans/internal/combine"
 	"scans/internal/serve"
 )
 
@@ -68,6 +70,7 @@ type outcomes struct {
 	deadline    atomic.Uint64
 	internal    atomic.Uint64
 	badReq      atomic.Uint64
+	badOp       atomic.Uint64
 	shardFailed atomic.Uint64
 	lost        atomic.Uint64
 	retries     atomic.Uint64
@@ -86,9 +89,15 @@ func (o *outcomes) record(err error) {
 	switch {
 	case err == nil:
 		o.success.Add(1)
-	// shard_failed is checked first: the coordinator's wrapper keeps the
-	// last per-worker error in its chain, which may itself match a more
-	// generic sentinel below.
+	// User-op failures are checked before shard_failed: a cluster wraps
+	// them in ErrShardFailed for its ledger, but the op being wrong
+	// (rejected registration, step budget, hash skew) is the story the
+	// operator needs, not which shard carried the bad news.
+	case errors.Is(err, serve.ErrBadOp), errors.Is(err, serve.ErrOpBudget), errors.Is(err, serve.ErrOpHash):
+		o.badOp.Add(1)
+	// shard_failed is checked before the generic sentinels: the
+	// coordinator's wrapper keeps the last per-worker error in its
+	// chain, which may itself match a more generic sentinel below.
 	case errors.Is(err, serve.ErrShardFailed):
 		o.shardFailed.Add(1)
 	case errors.Is(err, serve.ErrOverloaded):
@@ -111,9 +120,9 @@ func (o *outcomes) record(err error) {
 
 func (o *outcomes) String() string {
 	s := fmt.Sprintf(
-		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d shard_failed=%d lost=%d (retries=%d redials=%d)",
+		"outcomes: success=%d overloaded=%d shed=%d deadline=%d internal=%d bad_request=%d bad_op=%d shard_failed=%d lost=%d (retries=%d redials=%d)",
 		o.success.Load(), o.overloaded.Load(), o.shed.Load(), o.deadline.Load(),
-		o.internal.Load(), o.badReq.Load(), o.shardFailed.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
+		o.internal.Load(), o.badReq.Load(), o.badOp.Load(), o.shardFailed.Load(), o.lost.Load(), o.retries.Load(), o.redials.Load())
 	if r, f := o.resumed.Load(), o.failedOver.Load(); r > 0 || f > 0 {
 		s += fmt.Sprintf(" resumed=%d failed_over=%d", r, f)
 	}
@@ -129,6 +138,7 @@ func (o *outcomes) counts() map[string]uint64 {
 		"success": o.success.Load(), "overloaded": o.overloaded.Load(),
 		"shed": o.shed.Load(), "deadline": o.deadline.Load(),
 		"internal": o.internal.Load(), "bad_request": o.badReq.Load(),
+		"bad_op": o.badOp.Load(),
 		"shard_failed": o.shardFailed.Load(), "lost": o.lost.Load(),
 		"retries": o.retries.Load(), "redials": o.redials.Load(),
 		"resumed": o.resumed.Load(), "failed_over": o.failedOver.Load(),
@@ -178,6 +188,9 @@ func (l *latRec) percentiles(ps ...int) []float64 {
 type benchReport struct {
 	Mode             string            `json:"mode"`
 	Wire             string            `json:"wire"`
+	// Op is the scan operator the phase drove ("sum", "user:gcd", ...),
+	// so a native-vs-VM sweep yields distinguishable rows.
+	Op               string            `json:"op,omitempty"`
 	Requests         int               `json:"requests"`
 	Clients          int               `json:"clients"`
 	ElemsPerRequest  int               `json:"elems_per_request"`
@@ -281,7 +294,8 @@ func main() {
 		clients   = flag.Int("clients", 32, "concurrent closed-loop clients")
 		requests  = flag.Int("requests", 10000, "total requests across all clients")
 		n         = flag.Int("n", 256, "elements per scan request")
-		op        = flag.String("op", "sum", "scan operator: sum, max, min, mul")
+		op        = flag.String("op", "sum", "scan operator: sum, max, min, mul, or user:<name> (see -register)")
+		register  = flag.String("register", "", "combine-op source for -op user:<name>: a file path, or example:<name> for a built-in example monoid (gcd, bor, band, satadd, argmax); registered before the run")
 		kind      = flag.String("kind", "exclusive", "exclusive or inclusive")
 		dir       = flag.String("dir", "forward", "forward or backward")
 		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
@@ -306,10 +320,35 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanload:", err)
 		os.Exit(1)
 	}
+	opName, opSrc := "", ""
+	if *register != "" {
+		var ok bool
+		if opName, ok = strings.CutPrefix(*op, "user:"); !ok || opName == "" {
+			fmt.Fprintln(os.Stderr, "scanload: -register needs -op user:<name>")
+			os.Exit(1)
+		}
+		if ex, ok := strings.CutPrefix(*register, "example:"); ok {
+			if opSrc, ok = combine.Examples[ex]; !ok {
+				fmt.Fprintf(os.Stderr, "scanload: unknown example monoid %q\n", ex)
+				os.Exit(1)
+			}
+		} else {
+			b, err := os.ReadFile(*register)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "scanload: -register:", err)
+				os.Exit(1)
+			}
+			opSrc = string(b)
+		}
+	}
 	policy := serve.RetryPolicy{MaxAttempts: *attempts}
 
 	if *killAfter > 0 && *workersN <= 0 {
 		fmt.Fprintln(os.Stderr, "scanload: -kill-coordinator-after needs cluster mode (-workers N)")
+		os.Exit(1)
+	}
+	if *killAfter > 0 && opSrc != "" {
+		fmt.Fprintln(os.Stderr, "scanload: -register is not supported in failover mode")
 		os.Exit(1)
 	}
 
@@ -350,7 +389,7 @@ func main() {
 		fmt.Printf("cluster: %d workers (%s wire, %s data plane), %d clients × %d-element %s scans, %d requests total\n",
 			*workersN, *proto, *dataPlane, *clients, *n, spec, *requests)
 		m0 := memSnap()
-		elapsed, cst, err := driveCluster(*workersN, *proto, *dataPlane, spec, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
+		elapsed, cst, err := driveCluster(*workersN, *proto, *dataPlane, spec, opName, opSrc, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
@@ -360,8 +399,9 @@ func main() {
 			if *dataPlane == cluster.DataPlaneExchange {
 				phase += "-exchange"
 			}
-			writeBenchJSON(*benchPath, benchPhase(phase, *proto,
-				*clients, *requests, *n, elapsed, m0, &out), *benchApp)
+			rep := benchPhase(phase, *proto, *clients, *requests, *n, elapsed, m0, &out)
+			rep.Op = *op
+			writeBenchJSON(*benchPath, rep, *benchApp)
 		}
 		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
 		fmt.Println("  ", cst)
@@ -376,7 +416,7 @@ func main() {
 	if *addr != "" {
 		var out outcomes
 		m0 := memSnap()
-		elapsed, err := driveRemote(*addr, *proto, *clients, *requests, *n, *op, *kind, *dir, *timeout, policy, &out, *stream, *chunk)
+		elapsed, err := driveRemote(*addr, *proto, *clients, *requests, *n, *op, *kind, *dir, opName, opSrc, *timeout, policy, &out, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
@@ -386,7 +426,9 @@ func main() {
 			label += " (streamed)"
 		}
 		if *benchPath != "" {
-			writeBenchJSON(*benchPath, benchPhase(label, *proto, *clients, *requests, *n, elapsed, m0, &out), *benchApp)
+			rep := benchPhase(label, *proto, *clients, *requests, *n, elapsed, m0, &out)
+			rep.Op = *op
+			writeBenchJSON(*benchPath, rep, *benchApp)
 		}
 		report(label, *requests, *n, elapsed)
 		fmt.Println("  ", out.String())
@@ -409,14 +451,15 @@ func main() {
 		*clients, *n, spec, *requests, mode)
 	var outFused, outUnfused outcomes
 	m0 := memSnap()
-	tFused, stFused := driveInProcess(fused, spec, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
+	tFused, stFused := driveInProcess(fused, spec, opName, opSrc, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
 	// The bench report covers the fused phase only (the production
 	// config); the unfused phase below exists to price fusion.
 	rep := benchPhase("in-process-fused", "none", *clients, *requests, *n, tFused, m0, &outFused)
+	rep.Op = *op
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
 	fmt.Println("  ", outFused.String())
-	tUnfused, stUnfused := driveInProcess(unfused, spec, *clients, *requests, *n, *timeout, policy, &outUnfused, *stream, *chunk)
+	tUnfused, stUnfused := driveInProcess(unfused, spec, opName, opSrc, *clients, *requests, *n, *timeout, policy, &outUnfused, *stream, *chunk)
 	report("unfused", *requests, *n, tUnfused)
 	fmt.Println("  ", stUnfused)
 	fmt.Println("  ", outUnfused.String())
@@ -433,9 +476,16 @@ func main() {
 
 // driveInProcess runs one closed-loop phase against a fresh in-process
 // server and returns the elapsed time and the server's final stats.
-func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
+func driveInProcess(cfg serve.Config, spec serve.Spec, opName, opSrc string, clients, requests, n int,
 	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, serve.Stats) {
 	srv := serve.New(cfg)
+	if opSrc != "" {
+		// In-process requests run under the "" tenant; register there.
+		if _, err := srv.RegisterScanOp("", opName, opSrc); err != nil {
+			fmt.Fprintln(os.Stderr, "scanload: register:", err)
+			os.Exit(1)
+		}
+	}
 	var wg sync.WaitGroup
 	start := time.Now()
 	for c := 0; c < clients; c++ {
@@ -489,7 +539,7 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, clients, requests, n int,
 // redial: scans are pure, so resubmitting on a fresh connection is
 // safe, and a request only counts as lost once the retry budget is
 // exhausted without any classified response.
-func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir string,
+func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir, opName, opSrc string,
 	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, error) {
 	conns := make([]*serve.Client, clients)
 	for i := range conns {
@@ -498,6 +548,13 @@ func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir str
 			return 0, err
 		}
 		conns[i] = c
+		if opSrc != "" {
+			// Scans and streams run under each connection's default
+			// tenant, so the op is registered once per connection.
+			if _, err := c.RegisterOp(context.Background(), "", opName, opSrc); err != nil {
+				return 0, fmt.Errorf("register %q: %w", opName, err)
+			}
+		}
 	}
 	defer func() {
 		for _, c := range conns {
@@ -584,7 +641,7 @@ func isConnError(err error) bool {
 // coordinator. Giant scans split into per-worker shards exactly as they
 // would across hosts; the coordinator's own retry/hedge machinery is
 // live, and its stats are returned for the report.
-func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, clients, requests, n int,
+func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName, opSrc string, clients, requests, n int,
 	maxWait, timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
 	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
 	workers := make([]*serve.NetServer, 0, nWorkers)
@@ -612,6 +669,15 @@ func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, client
 		return 0, cluster.Stats{}, err
 	}
 	defer coord.Close()
+	if opSrc != "" {
+		// Each closed-loop client scans under its own fairness tenant,
+		// and user-op registries are tenant-scoped.
+		for c := 0; c < clients; c++ {
+			if _, err := coord.RegisterScanOp(fmt.Sprintf("client-%d", c), opName, opSrc); err != nil {
+				return 0, cluster.Stats{}, fmt.Errorf("register %q: %w", opName, err)
+			}
+		}
+	}
 
 	var wg sync.WaitGroup
 	start := time.Now()

@@ -126,7 +126,8 @@ func main() {
 		maxLine   = flag.Int("max-line-bytes", 16<<20, "reject request lines longer than this")
 		maxStream = flag.Int("max-streams", 64, "per-connection open streaming session cap (-1 = disable streaming)")
 		streamTTL = flag.Duration("stream-ttl", 2*time.Minute, "expire streaming sessions idle this long (-1s = never)")
-		chaosSpec = flag.String("chaos", "", "arm fault points: name:prob[:duration],... (see package doc)")
+		opCap     = flag.Int("op-cap", 0, "per-tenant cap on registered user combine ops (0 = default)")
+	chaosSpec = flag.String("chaos", "", "arm fault points: name:prob[:duration],... (see package doc)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 		xchgRound = flag.Duration("xchg-round-timeout", 2*time.Second, "worker: per-round deadline for the exchange data plane's carry rounds")
 	)
@@ -181,6 +182,7 @@ func main() {
 			ReplListen:    *replListen,
 			Follow:        *follow,
 			ResumeTTL:     *resumeTTL,
+			OpCap:         *opCap,
 			Faults:        faults,
 		})
 		if err != nil {
@@ -208,6 +210,7 @@ func main() {
 			QueueAgeLimit:    *queueAge,
 			Workers:          *kworkers,
 			Executors:        *executors,
+			OpCap:            *opCap,
 			Faults:           faults,
 		}, ncfg)
 		if err != nil {

@@ -41,6 +41,15 @@
 //	             u64 init bits | u32 n | n × 8-byte element
 //	FCarryXchg   u64 id | u64 group | u32 round | u32 from | u32 to |
 //	             u64 value bits | u8 reset
+//	FRegisterOp  u64 id | u16 tenantLen | tenant | u16 nameLen | name |
+//	             u32 srcLen | source
+//
+// When the op byte of FScan / FStreamOpen / FStreamOpen2 / FScanXchg is
+// OpUser, the fixed enum bytes are followed immediately by the user-op
+// fields `u16 nameLen | name | u64 hash` (hash 0 = unpinned). They sit
+// BEFORE the trailing element array — the array must exactly end the
+// payload — and builtin frames carry no such fields, so every
+// pre-existing frame stays byte-identical.
 //
 // Response bodies (server → client):
 //
@@ -49,6 +58,7 @@
 //	FTotal       u64 id | i64 total
 //	FError       u64 id | u8 codeLen | code | u16 msgLen | msg
 //	FAck         u64 id | u64 seq | u32 window | u8 tokLen | token
+//	FOpAck       u64 id | u64 hash
 //
 // Every frame carries the request id, so one connection multiplexes any
 // number of in-flight requests: the server's per-connection writer
@@ -120,6 +130,11 @@ const (
 	// to rank `to` of exchange group `group`. Acked with an empty
 	// FResult; the payload lands in the receiver's exchange mailbox.
 	FCarryXchg = 0x09
+	// FRegisterOp registers a user combine op: tenant, op name, and the
+	// bytecode assembly source. Answered with FOpAck carrying the
+	// registration's content hash, or FError (bad_op on rejection,
+	// bad_request against a server with no registry).
+	FRegisterOp = 0x0A
 	// FResult is a successful int64 result (also the empty ack of a
 	// stream open or an empty scan).
 	FResult = 0x81
@@ -135,7 +150,19 @@ const (
 	// may hold in flight), and — for resumes — the 1-based index of the
 	// next chunk the server expects (0 means "not a resume").
 	FAck = 0x85
+	// FOpAck acknowledges an FRegisterOp with the registration's content
+	// hash — the value a client may pin later scans to.
+	FOpAck = 0x86
 )
+
+// OpUser is the op-byte value marking a user combine op in
+// FScan/FStreamOpen/FStreamOpen2/FScanXchg. It is the only op byte that
+// changes a frame's layout: the user-op fields (name + pinned hash)
+// follow the fixed enum bytes. Decoders surface the name as the
+// "user:<name>" wire string, so an unknown or empty name is rejected
+// server-side by ParseSpec with bad_request — never bad_frame — exactly
+// like an unknown builtin byte.
+const OpUser = 4
 
 // Element kinds carried in the elem byte of FScan/FStreamOpen.
 const (
@@ -207,6 +234,12 @@ type Request struct {
 	From    int
 	XVal    int64
 	XReset  bool
+	// User-op fields. Name/OpHash ride scan and stream-open frames whose
+	// op byte is OpUser (hash 0 = unpinned); Name/Source are the
+	// FRegisterOp body.
+	Name   string
+	OpHash uint64
+	Source string
 }
 
 // Response is one decoded server→client message. Result is arena-backed
@@ -223,6 +256,8 @@ type Response struct {
 	Seq    uint64
 	Window int
 	Token  string
+	// OpHash is the FOpAck payload: the registered op's content hash.
+	OpHash uint64
 }
 
 // le is the protocol's byte order.
@@ -311,6 +346,44 @@ func AppendScan(dst []byte, id uint64, op, kind, dir, elem byte, timeoutMS int64
 		for _, v := range data {
 			dst = le.AppendUint64(dst, uint64(v))
 		}
+	}
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// UserOpBytes is the extra encoded size of the user-op fields (name +
+// pinned hash) a frame pays when its op byte is OpUser; add it to the
+// builtin frame size (ScanFrameBytes etc.) when sizing a user-op frame.
+func UserOpBytes(name string) int { return 2 + len(name) + 8 }
+
+// appendUserOp encodes the conditional user-op fields that follow the
+// fixed enum bytes when the op byte is OpUser.
+func appendUserOp(dst []byte, name string, hash uint64) []byte {
+	if len(name) > math.MaxUint16 {
+		name = name[:math.MaxUint16]
+	}
+	dst = le.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = le.AppendUint64(dst, hash)
+	return dst
+}
+
+// AppendScanUser encodes a one-shot scan request frame for a user
+// combine op (int64 elements only — user ops fold int64 words). hash 0
+// means unpinned: the server resolves whatever registration is current.
+func AppendScanUser(dst []byte, id uint64, kind, dir byte, name string, hash uint64, timeoutMS int64, tenant string, data []int64) []byte {
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FScan)
+	dst = le.AppendUint64(dst, id)
+	dst = append(dst, OpUser, kind, dir, ElemInt64)
+	dst = appendUserOp(dst, name, hash)
+	dst = le.AppendUint64(dst, uint64(timeoutMS))
+	dst = le.AppendUint16(dst, uint16(len(tenant)))
+	dst = append(dst, tenant...)
+	dst = le.AppendUint32(dst, uint32(len(data)))
+	for _, v := range data {
+		dst = le.AppendUint64(dst, uint64(v))
 	}
 	patchFrameLen(dst[start:])
 	return dst
@@ -415,6 +488,24 @@ func AppendStreamOpen2(dst []byte, id, stream uint64, op, kind, dir, elem byte) 
 	return dst
 }
 
+// AppendStreamOpenUser encodes a stream-open request frame for a user
+// combine op. open2 selects FStreamOpen2 (FAck answer) over FStreamOpen.
+func AppendStreamOpenUser(dst []byte, id, stream uint64, kind, dir byte, name string, hash uint64, open2 bool) []byte {
+	typ := byte(FStreamOpen)
+	if open2 {
+		typ = FStreamOpen2
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, typ)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, stream)
+	dst = append(dst, OpUser, kind, dir, ElemInt64)
+	dst = appendUserOp(dst, name, hash)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
 // ScanXchgFrameBytes and CarryXchgFrameBytes size the exchange request
 // frames for arena allocation.
 func ScanXchgFrameBytes(tenant string, peers []string, n int) int {
@@ -456,6 +547,70 @@ func AppendScanXchg(dst []byte, id uint64, op, kind, dir byte, timeoutMS int64, 
 	for _, v := range data {
 		dst = le.AppendUint64(dst, uint64(v))
 	}
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// AppendScanXchgUser encodes an exchange-mode piece scan request frame
+// for a user combine op. The user-op fields follow the dir byte, ahead
+// of everything variable-length, mirroring AppendScanUser.
+func AppendScanXchgUser(dst []byte, id uint64, kind, dir byte, name string, hash uint64, timeoutMS int64, tenant string,
+	group uint64, rank int, peers []string, head, seeded bool, init int64, data []int64) []byte {
+	if len(tenant) > math.MaxUint16 {
+		tenant = tenant[:math.MaxUint16]
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FScanXchg)
+	dst = le.AppendUint64(dst, id)
+	dst = append(dst, OpUser, kind, dir)
+	dst = appendUserOp(dst, name, hash)
+	dst = le.AppendUint64(dst, uint64(timeoutMS))
+	dst = le.AppendUint16(dst, uint16(len(tenant)))
+	dst = append(dst, tenant...)
+	dst = le.AppendUint64(dst, group)
+	dst = le.AppendUint32(dst, uint32(rank))
+	dst = le.AppendUint32(dst, uint32(len(peers)))
+	for _, p := range peers {
+		if len(p) > math.MaxUint16 {
+			p = p[:math.MaxUint16]
+		}
+		dst = le.AppendUint16(dst, uint16(len(p)))
+		dst = append(dst, p...)
+	}
+	dst = append(dst, boolByte(head), boolByte(seeded))
+	dst = le.AppendUint64(dst, uint64(init))
+	dst = le.AppendUint32(dst, uint32(len(data)))
+	for _, v := range data {
+		dst = le.AppendUint64(dst, uint64(v))
+	}
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// RegisterOpFrameBytes sizes an FRegisterOp frame.
+func RegisterOpFrameBytes(tenant, name, source string) int {
+	return 4 + 9 + 2 + len(tenant) + 2 + len(name) + 4 + len(source)
+}
+
+// AppendRegisterOp encodes a user-op registration request frame.
+func AppendRegisterOp(dst []byte, id uint64, tenant, name, source string) []byte {
+	if len(tenant) > math.MaxUint16 {
+		tenant = tenant[:math.MaxUint16]
+	}
+	if len(name) > math.MaxUint16 {
+		name = name[:math.MaxUint16]
+	}
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FRegisterOp)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint16(dst, uint16(len(tenant)))
+	dst = append(dst, tenant...)
+	dst = le.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = le.AppendUint32(dst, uint32(len(source)))
+	dst = append(dst, source...)
 	patchFrameLen(dst[start:])
 	return dst
 }
@@ -552,6 +707,20 @@ func AppendError(dst []byte, id uint64, code, msg string) []byte {
 	dst = append(dst, code...)
 	dst = le.AppendUint16(dst, uint16(len(msg)))
 	dst = append(dst, msg...)
+	patchFrameLen(dst[start:])
+	return dst
+}
+
+// OpAckFrameBytes sizes an FOpAck frame.
+func OpAckFrameBytes() int { return 4 + 17 }
+
+// AppendOpAck encodes a registration acknowledgement frame.
+func AppendOpAck(dst []byte, id, hash uint64) []byte {
+	start := len(dst)
+	dst = appendFrameHeader(dst)
+	dst = append(dst, FOpAck)
+	dst = le.AppendUint64(dst, id)
+	dst = le.AppendUint64(dst, hash)
 	patchFrameLen(dst[start:])
 	return dst
 }
@@ -684,6 +853,10 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Kind = r.u8()
 		req.Dir = r.u8()
 		req.Elem = r.u8()
+		if req.Op == OpUser {
+			req.Name = r.str(int(r.u16()))
+			req.OpHash = r.u64()
+		}
 		req.TimeoutMS = int64(r.u64())
 		req.Tenant = r.str(int(r.u16()))
 		n := int(r.u32())
@@ -702,6 +875,10 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Kind = r.u8()
 		req.Dir = r.u8()
 		req.Elem = r.u8()
+		if req.Op == OpUser {
+			req.Name = r.str(int(r.u16()))
+			req.OpHash = r.u64()
+		}
 	case FHeartbeat:
 		req.ID = r.u64()
 		req.Weight = math.Float64frombits(r.u64())
@@ -730,6 +907,10 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Op = r.u8()
 		req.Kind = r.u8()
 		req.Dir = r.u8()
+		if req.Op == OpUser {
+			req.Name = r.str(int(r.u16()))
+			req.OpHash = r.u64()
+		}
 		req.TimeoutMS = int64(r.u64())
 		req.Tenant = r.str(int(r.u16()))
 		req.Group = r.u64()
@@ -760,6 +941,15 @@ func ParseRequest(payload []byte) (Request, error) {
 		req.Rank = int(r.u32())
 		req.XVal = int64(r.u64())
 		req.XReset = r.u8() != 0
+	case FRegisterOp:
+		req.ID = r.u64()
+		req.Tenant = r.str(int(r.u16()))
+		req.Name = r.str(int(r.u16()))
+		n := int(r.u32())
+		if r.bad || n < 0 || n > len(r.b)-r.off {
+			return Request{}, fmt.Errorf("%w: truncated register_op header", ErrBadFrame)
+		}
+		req.Source = r.str(n)
 	default:
 		return Request{}, fmt.Errorf("%w: unknown request type 0x%02x", ErrBadFrame, req.Type)
 	}
@@ -805,6 +995,9 @@ func ParseResponse(payload []byte) (Response, error) {
 		resp.Seq = r.u64()
 		resp.Window = int(r.u32())
 		resp.Token = r.str(int(r.u8()))
+	case FOpAck:
+		resp.ID = r.u64()
+		resp.OpHash = r.u64()
 	default:
 		return Response{}, fmt.Errorf("%w: unknown response type 0x%02x", ErrBadFrame, resp.Type)
 	}

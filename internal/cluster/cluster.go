@@ -102,6 +102,10 @@ type Config struct {
 	//   bit-identical to star; any peer-round failure falls back to a
 	//   star re-run of the same scan automatically.
 	DataPlane string
+	// OpCap caps how many user combine ops one tenant may hold in the
+	// coordinator's registry (register_op). 0 = internal/combine's
+	// default cap.
+	OpCap int
 	// Retry is the per-piece retry policy (serve.RetryPolicy's zero
 	// value: 4 attempts, exponential backoff, jitter). Retries after the
 	// first attempt prefer a different healthy worker.
@@ -208,6 +212,7 @@ type Coordinator struct {
 	cfg      Config
 	reg      *registry
 	sessions *sessionTable
+	userOps  *userOps    // tenant-scoped combine ops + per-worker push cache
 	repl     *replServer // non-nil when cfg.ReplListen is set
 	follow   *follower   // non-nil when cfg.Follow is set
 	stats    coordStats
@@ -265,6 +270,7 @@ func New(cfg Config) (*Coordinator, error) {
 		xchgBase:    uint64(time.Now().UnixNano()) << 20,
 	}
 	c.reg = newRegistry(cfg, &c.stats)
+	c.userOps = newUserOps(cfg.OpCap)
 	c.sessions = newSessionTable(cfg.ResumeTTL, &c.stats)
 	if cfg.ReplListen != "" {
 		rs, err := startReplServer(cfg.ReplListen, c.sessions)
@@ -438,6 +444,31 @@ func (c *Coordinator) scanRoot(ctx context.Context, spec serve.Spec, data []int6
 		c.stats.rejected.Add(1)
 		return nil, fmt.Errorf("%w: invalid spec %+v", serve.ErrBadRequest, spec)
 	}
+	spec, rerr := c.resolveSpec(spec, tenant)
+	if rerr != nil {
+		c.stats.rejected.Add(1)
+		return nil, rerr
+	}
+	if w := spec.Width(); w > 1 {
+		// Tuple monoids: the scalar carry plan cannot thread a
+		// tuple-valued seed through a phantom element, so a wide user
+		// scan dispatches as ONE unsplit piece (see scanSeeded) — which
+		// bounds it to a single wire request and a single segment.
+		switch {
+		case len(data)%w != 0:
+			c.stats.rejected.Add(1)
+			return nil, fmt.Errorf("%w: op %q combines width-%d tuples; %d elements is not a whole number of tuples",
+				serve.ErrBadRequest, spec.User, w, len(data))
+		case flags != nil:
+			c.stats.rejected.Add(1)
+			return nil, fmt.Errorf("%w: segmented scans with width-%d user ops are not cluster-dispatchable",
+				serve.ErrBadRequest, w)
+		case len(data) > c.cfg.MaxPieceElems:
+			c.stats.rejected.Add(1)
+			return nil, fmt.Errorf("%w: width-%d user scans dispatch as one piece; %d elements exceeds the %d-element piece budget",
+				serve.ErrBadRequest, w, len(data), c.cfg.MaxPieceElems)
+		}
+	}
 	c.crashPoint()
 	c.stats.requests.Add(1)
 	res, err := c.scanSeeded(ctx, spec, data, flags, 0, false, tenant)
@@ -472,7 +503,11 @@ func (c *Coordinator) finish(err error) error {
 	}
 	c.stats.shardFailed.Add(1)
 	if !errors.Is(err, serve.ErrShardFailed) {
-		err = fmt.Errorf("%w: %v", serve.ErrShardFailed, err)
+		// Both %w: the shard ledger needs ErrShardFailed, but a typed
+		// user-op cause (op_budget, op_hash, bad_op) must survive the
+		// wrap — codeForError checks the op errors first, so the wire
+		// reports the specific code, not shard_failed.
+		err = fmt.Errorf("%w: %w", serve.ErrShardFailed, err)
 	}
 	return err
 }
@@ -501,6 +536,22 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 		// heartbeat).
 		return nil, errors.New("no workers in fleet")
 	}
+	if spec.Width() > 1 {
+		// Wide user op: one unsplit, unseeded piece on one worker (its
+		// batcher runs the op's tuple view pass). scanRoot already
+		// rejected anything that cannot ship this way.
+		pc := piece{off: 0, end: n, w: ws[int(c.rr.Add(1)-1)%len(ws)]}
+		pc.w.planned.Add(uint64(n))
+		c.stats.shards.Add(1)
+		c.stats.pieces.Add(1)
+		out := arena.GetInt64s(n)
+		if err := c.runPiece(ctx, spec, data, out, &pc, tenant); err != nil {
+			arena.PutInt64s(out)
+			return nil, err
+		}
+		return out, nil
+	}
+
 	shards := planShards(n, ws, effectiveWeights(ws, c.cfg.WeightFloor), int(c.rr.Add(1)-1), c.cfg.MinShardElems)
 	pieces := cutPieces(shards, flags, c.cfg.MaxPieceElems)
 	for i := range shards {
@@ -509,7 +560,12 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 	c.stats.shards.Add(uint64(len(shards)))
 	c.stats.pieces.Add(uint64(len(pieces)))
 
-	if c.cfg.DataPlane == DataPlaneExchange {
+	// Backward user ops skip the exchange plane by construction, not by
+	// fallback: the exchange's ⊗ folds on the right while the backward
+	// star chain folds on the left, and user monoids need not be
+	// commutative (serve/exchange.go's package comment).
+	if c.cfg.DataPlane == DataPlaneExchange &&
+		!(spec.Op == serve.OpUser && spec.Dir == serve.Backward) {
 		res, err := c.runExchange(ctx, spec, data, flags, pieces, carry, seeded, tenant)
 		if err == nil {
 			return res, nil
@@ -525,7 +581,9 @@ func (c *Coordinator) scanSeeded(ctx context.Context, spec serve.Spec, data []in
 	}
 
 	c.stats.carryPrescanElems.Add(uint64(n))
-	seedPieces(spec, data, flags, pieces, carry, seeded)
+	if err := seedPieces(spec, data, flags, pieces, carry, seeded); err != nil {
+		return nil, err // a VM fault folding carries (op_budget) — typed, not shard_failed-worthy retrying
+	}
 
 	// All pieces are pre-seeded, so they dispatch CONCURRENTLY — the
 	// carry chain cost was paid locally above, in parallel piece folds
@@ -722,7 +780,25 @@ func (c *Coordinator) attemptOn(ctx context.Context, spec serve.Spec, payload []
 		// drops mid-round-trip.
 		go cli.Close()
 	}
-	res, err := cli.ScanTenantCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), tenant, payload)
+	var res []int64
+	if spec.Op == serve.OpUser {
+		// User op: make sure the worker holds our bytecode, then pin the
+		// scan to its content hash. A stale answer anyway (the push cache
+		// lied — worker restart, concurrent re-registration) gets one
+		// repair-and-retry before the error escapes to the normal piece
+		// retry loop.
+		reg := spec.Binding()
+		c.ensureOpPushed(ctx, w, cli, tenant, reg)
+		res, err = cli.ScanPinned(ctx, spec.OpString(), spec.Kind.String(), spec.Dir.String(), tenant, reg.Hash, payload)
+		if err != nil && opStale(err) && ctx.Err() == nil {
+			c.invalidatePush(w.addr, tenant, reg.Name)
+			if perr := c.pushOp(ctx, w, cli, tenant, reg); perr == nil {
+				res, err = cli.ScanPinned(ctx, spec.OpString(), spec.Kind.String(), spec.Dir.String(), tenant, reg.Hash, payload)
+			}
+		}
+	} else {
+		res, err = cli.ScanTenantCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), tenant, payload)
+	}
 	switch {
 	case err == nil:
 		c.reg.noteOK(w)
@@ -759,7 +835,10 @@ func connLevel(err error) bool {
 		errors.Is(err, serve.ErrNoStream),
 		errors.Is(err, serve.ErrStreamFailed),
 		errors.Is(err, serve.ErrStreamUnsupported),
-		errors.Is(err, serve.ErrXchgFailed):
+		errors.Is(err, serve.ErrXchgFailed),
+		errors.Is(err, serve.ErrBadOp),
+		errors.Is(err, serve.ErrOpBudget),
+		errors.Is(err, serve.ErrOpHash):
 		return false
 	}
 	return true // dial failure, EOF, torn line, net.ErrClosed, serve.ErrClosed

@@ -61,7 +61,7 @@ func (c *Coordinator) runExchange(ctx context.Context, spec serve.Spec, data []i
 	for i := range pieces {
 		peers[rankOf(i)] = pieces[i].w.addr
 	}
-	init := serve.Identity(spec.Op)
+	init := serve.IdentitySpec(spec)
 	if forward && seeded {
 		init = carry
 	}
@@ -124,7 +124,20 @@ func (c *Coordinator) runXchgPiece(ctx context.Context, spec serve.Spec, data, d
 		return fmt.Errorf("xchg piece [%d:%d) of %s via %s: dial: %w", pc.off, pc.end, spec, w.addr, err)
 	}
 	seg := data[pc.off:pc.end]
-	res, err := cli.ScanXchg(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), tenant, seg, x)
+	if spec.Op == serve.OpUser {
+		// Pin the piece to the registration's content hash and make sure
+		// the worker holds the bytecode first. No in-place repair on a
+		// stale answer — the group's peers have already timed out — but
+		// invalidating the push cache means the star fallback (and the
+		// next exchange) re-pushes before trying again.
+		reg := spec.Binding()
+		x.OpHash = reg.Hash
+		c.ensureOpPushed(ctx, w, cli, tenant, reg)
+	}
+	res, err := cli.ScanXchg(ctx, spec.OpString(), spec.Kind.String(), spec.Dir.String(), tenant, seg, x)
+	if err != nil && spec.Op == serve.OpUser && opStale(err) {
+		c.invalidatePush(w.addr, tenant, spec.Binding().Name)
+	}
 	switch {
 	case err == nil:
 		c.reg.noteOK(w)

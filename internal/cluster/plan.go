@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"scans/internal/combine"
 	"scans/internal/serve"
 )
 
@@ -155,9 +156,14 @@ func cutPieces(shards []shard, flags []bool, maxPiece int) []piece {
 // forward, that is a segment head or the true start of an unseeded
 // request; backward, the mirror — the vector's end or a segment
 // boundary immediately after the piece.
-func seedPieces(spec serve.Spec, data []int64, flags []bool, pieces []piece, carry int64, seeded bool) {
-	op := spec.Op
+// User ops run their VM program for every fold step (one scratch frame
+// per goroutine, one for the chain); a VM fault — realistically only
+// op_budget, on the piece's actual data — aborts the whole seeding with
+// the typed error, since a missing carry poisons every piece after it.
+// Builtins keep the direct serve.Combine path.
+func seedPieces(spec serve.Spec, data []int64, flags []bool, pieces []piece, carry int64, seeded bool) error {
 	folds := make([]int64, len(pieces))
+	errs := make([]error, len(pieces))
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	for k := range pieces {
@@ -166,18 +172,30 @@ func seedPieces(spec serve.Spec, data []int64, flags []bool, pieces []piece, car
 		go func(k int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			acc := serve.Identity(op)
+			var fr combine.Frame
+			acc := serve.IdentitySpec(spec)
 			for _, v := range data[pieces[k].off:pieces[k].end] {
-				acc = serve.Combine(op, acc, v)
+				var err error
+				acc, err = serve.CombineSpec(spec, &fr, acc, v)
+				if err != nil {
+					errs[k] = err
+					return
+				}
 			}
 			folds[k] = acc
 		}(k)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
 
 	n := len(data)
+	var fr combine.Frame
 	if spec.Dir == serve.Forward {
-		accv := serve.Identity(op)
+		accv := serve.IdentitySpec(spec)
 		if seeded {
 			accv = carry
 		}
@@ -191,23 +209,32 @@ func seedPieces(spec serve.Spec, data []int64, flags []bool, pieces []piece, car
 			}
 			pc.seeded = pc.off > 0 || seeded
 			pc.seed = accv
-			accv = serve.Combine(op, accv, folds[k])
+			var err error
+			accv, err = serve.CombineSpec(spec, &fr, accv, folds[k])
+			if err != nil {
+				return err
+			}
 		}
 	} else {
 		// Backward mirror: the carry is the fold of everything to the
 		// RIGHT up to the next segment head, built right-to-left. When a
 		// piece starts a segment, positions left of it get a fresh carry
 		// (the backward kernels reset AFTER the flagged element).
-		accv := serve.Identity(op)
+		accv := serve.IdentitySpec(spec)
 		for k := len(pieces) - 1; k >= 0; k-- {
 			pc := &pieces[k]
 			pc.seeded = pc.end < n && (flags == nil || !flags[pc.end])
 			pc.seed = accv
 			if pc.headAt {
-				accv = serve.Identity(op)
+				accv = serve.IdentitySpec(spec)
 			} else {
-				accv = serve.Combine(op, folds[k], accv)
+				var err error
+				accv, err = serve.CombineSpec(spec, &fr, folds[k], accv)
+				if err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }

@@ -154,7 +154,7 @@ func putEvent(rec *sessionRecord) replEvent {
 	return replEvent{
 		Kind:   "put",
 		Token:  rec.token,
-		Op:     rec.spec.Op.String(),
+		Op:     rec.spec.OpString(), // "user:<name>" for user ops — ParseSpec round-trips it
 		SKind:  rec.spec.Kind.String(),
 		Dir:    rec.spec.Dir.String(),
 		Tenant: rec.tenant,
@@ -257,9 +257,25 @@ func (t *sessionTable) resume(c *Coordinator, token string, lastAcked uint64) (*
 		}
 		t.broadcastLocked(replEvent{Kind: "upd", Token: token, Seq: rec.seq, Carry: rec.carry})
 	}
+	spec := rec.spec
+	if spec.Op == serve.OpUser && spec.Binding() == nil {
+		// A replicated (or follower-rebuilt) record carries the spec as
+		// strings, so a user op arrives UNBOUND — bind it against THIS
+		// coordinator's registry now. No registration here means the
+		// session cannot continue (each coordinator's registry is its
+		// own); that is a resume miss, not a corrupt stream.
+		var err error
+		spec, err = c.resolveSpec(spec, rec.tenant)
+		if err != nil {
+			t.mu.Unlock()
+			t.stats.resumeMisses.Add(1)
+			return nil, 0, fmt.Errorf("%w: session's user op is not registered on this coordinator: %v",
+				serve.ErrNoStream, err)
+		}
+	}
 	st := &coordStream{
 		c:      c,
-		spec:   rec.spec,
+		spec:   spec,
 		tenant: rec.tenant,
 		token:  token,
 		carry:  rec.carry,

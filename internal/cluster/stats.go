@@ -37,6 +37,11 @@ type coordStats struct {
 
 	resumes      atomic.Uint64
 	resumeMisses atomic.Uint64
+
+	opRegisters atomic.Uint64
+	opRejects   atomic.Uint64
+	opPushes    atomic.Uint64
+	opPushFails atomic.Uint64
 }
 
 // Stats is a point-in-time snapshot of a Coordinator's counters. The
@@ -109,6 +114,16 @@ type Stats struct {
 	// (unknown/expired token, or a rollback point beyond the ring).
 	Resumes      uint64
 	ResumeMisses uint64
+	// User combine-op ledger. OpRegisters counts accepted register_op
+	// calls, OpRejects the ones the monoid validator refused. OpPushes
+	// counts registrations successfully propagated to a worker (eager at
+	// register time or lazy before a piece), OpPushFails the propagation
+	// attempts that failed — advisory, since the per-piece op_hash retry
+	// repairs workers the push missed.
+	OpRegisters uint64
+	OpRejects   uint64
+	OpPushes    uint64
+	OpPushFails uint64
 }
 
 // String renders the snapshot in one line for logs.
@@ -118,13 +133,15 @@ func (s Stats) String() string {
 			"shards=%d pieces=%d retries=%d hedges=%d hedge_wins=%d "+
 			"xchg=%d xchg_fallbacks=%d carry_prescan=%d "+
 			"ejections=%d readmissions=%d heartbeats=%d joins=%d beat_ejections=%d "+
-			"streams{open=%d closed=%d failed=%d active=%d} resumes=%d resume_misses=%d",
+			"streams{open=%d closed=%d failed=%d active=%d} resumes=%d resume_misses=%d "+
+			"user_ops{registers=%d rejects=%d pushes=%d push_fails=%d}",
 		s.Requests, s.Rejected, s.Served, s.ShardFailed, s.Deadline,
 		s.Shards, s.Pieces, s.Retries, s.Hedges, s.HedgeWins,
 		s.XchgRequests, s.XchgFallbacks, s.CarryPrescanElems,
 		s.Ejections, s.Readmissions, s.Heartbeats, s.Joins, s.BeatEjections,
 		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsActive,
-		s.Resumes, s.ResumeMisses)
+		s.Resumes, s.ResumeMisses,
+		s.OpRegisters, s.OpRejects, s.OpPushes, s.OpPushFails)
 }
 
 // Stats snapshots the coordinator's counters; safe under traffic.
@@ -155,5 +172,9 @@ func (c *Coordinator) Stats() Stats {
 		StreamsActive:     st.streamsActive.Load(),
 		Resumes:           st.resumes.Load(),
 		ResumeMisses:      st.resumeMisses.Load(),
+		OpRegisters:       st.opRegisters.Load(),
+		OpRejects:         st.opRejects.Load(),
+		OpPushes:          st.opPushes.Load(),
+		OpPushFails:       st.opPushFails.Load(),
 	}
 }

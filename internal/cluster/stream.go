@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"sync"
 
+	"scans/internal/arena"
+	"scans/internal/combine"
 	"scans/internal/serve"
 )
 
@@ -43,7 +45,8 @@ type coordStream struct {
 	state   int // 0 open, 1 closed, 2 failed
 	failErr error
 	carry   int64
-	seq     uint64 // chunks applied through this attachment's session
+	seq     uint64        // chunks applied through this attachment's session
+	fr      combine.Frame // scratch for user-op carry folds (under mu)
 }
 
 const (
@@ -67,7 +70,18 @@ func (c *Coordinator) OpenScanStream(spec serve.Spec, tenant string) (serve.Scan
 		c.stats.rejected.Add(1)
 		return nil, serve.ErrStreamUnsupported
 	}
-	st := &coordStream{c: c, spec: spec, tenant: tenant, carry: serve.Identity(spec.Op)}
+	spec, err := c.resolveSpec(spec, tenant)
+	if err != nil {
+		c.stats.rejected.Add(1)
+		return nil, err
+	}
+	if w := spec.Width(); w > 1 {
+		// The stream carry is one scalar; a width-w fold state cannot
+		// ride it. Wide user monoids are one-shot only.
+		c.stats.rejected.Add(1)
+		return nil, fmt.Errorf("%w: width-%d user ops cannot stream (scalar carry)", serve.ErrBadRequest, w)
+	}
+	st := &coordStream{c: c, spec: spec, tenant: tenant, carry: serve.IdentitySpec(spec)}
 	st.token = c.sessions.register(st)
 	c.stats.streamsOpened.Add(1)
 	c.stats.streamsActive.Add(1)
@@ -127,14 +141,22 @@ func (st *coordStream) Push(ctx context.Context, chunk []int64) ([]int64, error)
 		st.c.sessions.removeOwned(st) // a failed chunk ends the session everywhere
 		return nil, err
 	}
-	st.c.stats.served.Add(1)
 	// New carry = fold of everything so far (same trick as
 	// serve.Stream.Push: the exclusive form's last output stops one
-	// element short of the fold).
+	// element short of the fold). The fold runs BEFORE the served count
+	// so a VM fault here lands in the ledger exactly once, as a failure.
 	last := res[len(res)-1]
 	if st.spec.Kind == serve.Exclusive {
-		last = serve.Combine(st.spec.Op, last, chunk[len(chunk)-1])
+		last, err = serve.CombineSpec(st.spec, &st.fr, last, chunk[len(chunk)-1])
+		if err != nil {
+			arena.PutInt64s(res)
+			err = st.c.finish(err)
+			st.failLocked(err)
+			st.c.sessions.removeOwned(st)
+			return nil, err
+		}
 	}
+	st.c.stats.served.Add(1)
 	st.carry = last
 	st.seq++
 	if !st.c.sessions.advance(st, st.seq, st.carry) {

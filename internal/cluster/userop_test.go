@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"scans/internal/combine"
+	"scans/internal/serve"
+)
+
+// User combine ops through the coordinator: registration propagates to
+// the fleet, scans run bit-identically across every path (one-shot vs
+// streamed, star vs exchange), and hash skew degrades to the star
+// plane's repair machinery instead of a wrong answer.
+
+// gcdScanRef computes the reference gcd scan (ExampleGCD's monoid:
+// gcd on magnitudes, abs(MinInt64)=1, identity 0).
+func gcdScanRef(data []int64, kind serve.Kind, dir serve.Dir) []int64 {
+	gcd := func(a, b int64) int64 {
+		abs := func(x int64) int64 {
+			if x == -1<<63 {
+				return 1
+			}
+			if x < 0 {
+				return -x
+			}
+			return x
+		}
+		if a == 0 {
+			return b
+		}
+		if b == 0 {
+			return a
+		}
+		x, y := abs(a), abs(b)
+		for y != 0 {
+			x, y = y, x%y
+		}
+		return x
+	}
+	out := make([]int64, len(data))
+	var acc int64
+	if dir == serve.Forward {
+		for i, v := range data {
+			if kind == serve.Exclusive {
+				out[i] = acc
+				acc = gcd(acc, v)
+			} else {
+				acc = gcd(acc, v)
+				out[i] = acc
+			}
+		}
+	} else {
+		for i := len(data) - 1; i >= 0; i-- {
+			if kind == serve.Exclusive {
+				out[i] = acc
+				acc = gcd(data[i], acc)
+			} else {
+				acc = gcd(data[i], acc)
+				out[i] = acc
+			}
+		}
+	}
+	return out
+}
+
+func gcdTestData(n int) []int64 {
+	data := make([]int64, n)
+	for i := range data {
+		// Products of small primes so running gcds stay interesting
+		// instead of collapsing to 1 immediately.
+		data[i] = int64((i%7+1)*30) * int64(i%11+1)
+		if i%13 == 0 {
+			data[i] = -data[i]
+		}
+	}
+	return data
+}
+
+func TestClusterUserOpCrossPathBitIdentical(t *testing.T) {
+	// The acceptance matrix: one registered monoid, one input vector,
+	// every serving path — single-node, cluster-star, cluster-exchange,
+	// and streamed through the coordinator — answers the same bits.
+	workers := startWorkers(t, 3, serve.Config{MaxWait: 100 * time.Microsecond})
+	star := newCoord(t, Config{Workers: workers, MinShardElems: 64, DataPlane: DataPlaneStar})
+	xchg := newCoord(t, Config{Workers: workers, MinShardElems: 64, DataPlane: DataPlaneExchange})
+
+	single := serve.New(serve.Config{MaxWait: 100 * time.Microsecond})
+	defer single.Close()
+	if _, err := single.RegisterScanOp("t", "gcd", combine.ExampleGCD); err != nil {
+		t.Fatalf("single-node register: %v", err)
+	}
+	for _, c := range []*Coordinator{star, xchg} {
+		if _, err := c.RegisterScanOp("t", "gcd", combine.ExampleGCD); err != nil {
+			t.Fatalf("coordinator register: %v", err)
+		}
+	}
+
+	data := gcdTestData(1500)
+	ctx := context.Background()
+	for _, kind := range []serve.Kind{serve.Inclusive, serve.Exclusive} {
+		for _, dir := range []serve.Dir{serve.Forward, serve.Backward} {
+			spec, err := serve.ParseSpec("user:gcd", kind.String(), dir.String())
+			if err != nil {
+				t.Fatalf("ParseSpec: %v", err)
+			}
+			want := gcdScanRef(data, kind, dir)
+
+			got, err := single.Scan(ctx, spec, data, "t")
+			if err != nil {
+				t.Fatalf("single-node %s %s: %v", kind, dir, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("single-node %s %s diverged from reference", kind, dir)
+			}
+			for name, c := range map[string]*Coordinator{"star": star, "exchange": xchg} {
+				got, err := c.Scan(ctx, spec, data, "t")
+				if err != nil {
+					t.Fatalf("%s %s %s: %v", name, kind, dir, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s %s %s diverged from single-node", name, kind, dir)
+				}
+			}
+
+			if dir == serve.Forward {
+				// Streamed: same vector in 7 chunks through the
+				// coordinator's session carry.
+				st, err := star.OpenScanStream(spec, "t")
+				if err != nil {
+					t.Fatalf("OpenScanStream: %v", err)
+				}
+				var streamed []int64
+				chunk := 229
+				for off := 0; off < len(data); off += chunk {
+					end := off + chunk
+					if end > len(data) {
+						end = len(data)
+					}
+					res, err := st.Push(ctx, data[off:end])
+					if err != nil {
+						t.Fatalf("Push: %v", err)
+					}
+					streamed = append(streamed, res...)
+				}
+				if _, err := st.Close(); err != nil {
+					t.Fatalf("Close: %v", err)
+				}
+				if !reflect.DeepEqual(streamed, want) {
+					t.Fatalf("streamed %s diverged from one-shot", kind)
+				}
+			}
+		}
+	}
+
+	// The exchange coordinator really used its data plane for the
+	// forward specs (no silent always-fallback), and pushed the op.
+	st := xchg.Stats()
+	if st.XchgRequests == 0 {
+		t.Fatal("exchange coordinator never attempted the exchange plane")
+	}
+	if st.OpRegisters != 1 || st.OpPushes == 0 {
+		t.Fatalf("op ledger: registers=%d pushes=%d, want 1 and >0", st.OpRegisters, st.OpPushes)
+	}
+}
+
+func TestClusterUserOpHashSkewRepairs(t *testing.T) {
+	// A worker whose registration drifts (re-registered behind the
+	// coordinator's back) answers op_hash to pinned pieces. The exchange
+	// plane must abort to star, and star's push-and-retry must repair
+	// the worker — the scan still answers the right bits.
+	workers := startWorkers(t, 2, serve.Config{MaxWait: 100 * time.Microsecond})
+	c := newCoord(t, Config{Workers: workers, MinShardElems: 64, DataPlane: DataPlaneExchange})
+	if _, err := c.RegisterScanOp("t", "gcd", combine.ExampleGCD); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+
+	// Corrupt worker 0: same tenant, same name, different program.
+	wcli, err := serve.Dial(workers[0])
+	if err != nil {
+		t.Fatalf("dial worker: %v", err)
+	}
+	defer wcli.Close()
+	if _, err := wcli.RegisterOp(context.Background(), "t", "gcd", combine.ExampleBitOr); err != nil {
+		t.Fatalf("corrupting register: %v", err)
+	}
+
+	data := gcdTestData(1200)
+	spec, err := serve.ParseSpec("user:gcd", "", "")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	got, err := c.Scan(context.Background(), spec, data, "t")
+	if err != nil {
+		t.Fatalf("Scan across hash skew: %v", err)
+	}
+	if want := gcdScanRef(data, serve.Exclusive, serve.Forward); !reflect.DeepEqual(got, want) {
+		t.Fatal("scan across hash skew returned wrong bits")
+	}
+	if st := c.Stats(); st.XchgFallbacks == 0 {
+		t.Fatalf("expected an exchange fallback, stats: %s", st)
+	}
+}
+
+func TestClusterUserOpUnknownAndWidthLimits(t *testing.T) {
+	workers := startWorkers(t, 2, serve.Config{MaxWait: 100 * time.Microsecond})
+	c := newCoord(t, Config{Workers: workers, MinShardElems: 64, MaxPieceElems: 4096})
+	ctx := context.Background()
+
+	// Unknown user op: typed bad_request at admission, nothing dispatched.
+	spec, err := serve.ParseSpec("user:nosuch", "", "")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if _, err := c.Scan(ctx, spec, []int64{1, 2}, "t"); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("unknown user op = %v, want ErrBadRequest", err)
+	}
+
+	if _, err := c.RegisterScanOp("t", "argmax", combine.ExampleArgmax); err != nil {
+		t.Fatalf("register argmax: %v", err)
+	}
+	am, err := serve.ParseSpec("user:argmax", "inclusive", "")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+
+	// A wide op dispatches as one piece and answers correctly.
+	data := []int64{3, 0, 9, 1, 9, 2, 4, 3}
+	got, err := c.Scan(ctx, am, data, "t")
+	if err != nil {
+		t.Fatalf("argmax via cluster: %v", err)
+	}
+	if want := []int64{3, 0, 9, 1, 9, 1, 9, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("argmax via cluster = %v, want %v", got, want)
+	}
+
+	// The three wide-op admission limits, each a typed bad_request.
+	if _, err := c.Scan(ctx, am, []int64{1, 2, 3}, "t"); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("ragged tuple count = %v, want ErrBadRequest", err)
+	}
+	if _, err := c.ScanSegmented(ctx, am, data, make([]bool, len(data)), "t"); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("segmented wide op = %v, want ErrBadRequest", err)
+	}
+	big := make([]int64, 4098)
+	if _, err := c.Scan(ctx, am, big, "t"); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("oversized wide op = %v, want ErrBadRequest", err)
+	}
+
+	// Wide ops cannot stream (the carry is one scalar).
+	if _, err := c.OpenScanStream(am, "t"); !errors.Is(err, serve.ErrBadRequest) {
+		t.Fatalf("wide stream open = %v, want ErrBadRequest", err)
+	}
+
+	// Non-associative registration is rejected at the coordinator with
+	// the counterexample; nothing reaches the workers.
+	if _, err := c.RegisterScanOp("t", "bad", combine.ExampleNonAssociative); !errors.Is(err, serve.ErrBadOp) {
+		t.Fatalf("non-associative register = %v, want ErrBadOp", err)
+	}
+	if st := c.Stats(); st.OpRejects != 1 {
+		t.Fatalf("OpRejects = %d, want 1", st.OpRejects)
+	}
+}
+
+func TestClusterUserOpSegmentedMatchesReference(t *testing.T) {
+	// Scalar user ops keep full segmented-scan generality on the
+	// cluster: flags cut pieces and reset carries exactly like builtins.
+	workers := startWorkers(t, 3, serve.Config{MaxWait: 100 * time.Microsecond})
+	c := newCoord(t, Config{Workers: workers, MinShardElems: 32})
+	if _, err := c.RegisterScanOp("t", "gcd", combine.ExampleGCD); err != nil {
+		t.Fatalf("register: %v", err)
+	}
+	data := gcdTestData(900)
+	flags := make([]bool, len(data))
+	for i := range flags {
+		flags[i] = i%97 == 13
+	}
+	spec, err := serve.ParseSpec("user:gcd", "inclusive", "")
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	got, err := c.ScanSegmented(context.Background(), spec, data, flags, "t")
+	if err != nil {
+		t.Fatalf("ScanSegmented: %v", err)
+	}
+	// Reference: restart the gcd scan at every flag.
+	want := make([]int64, len(data))
+	seg := 0
+	for i := seg; i < len(data); i++ {
+		if flags[i] {
+			copy(want[seg:i], gcdScanRef(data[seg:i], serve.Inclusive, serve.Forward))
+			seg = i
+		}
+	}
+	copy(want[seg:], gcdScanRef(data[seg:], serve.Inclusive, serve.Forward))
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("segmented cluster gcd diverged from reference")
+	}
+}

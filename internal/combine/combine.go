@@ -1,0 +1,382 @@
+// Package combine is a sandboxed stack-bytecode VM for user-defined
+// binary combine functions — the "⊕" of a scan — over fixed-width
+// int64 tuples. The paper's whole point is that scans are parameterized
+// by an ARBITRARY associative operator; this package lets a tenant ship
+// one over the wire instead of waiting for a new native kernel.
+//
+// A combine op is a straight-line-plus-branches bytecode program that
+// reads the two argument tuples (arga/argb), computes on a bounded
+// operand stack plus a tiny local frame, and leaves the result tuple on
+// the stack. Loops are allowed (gcd needs one) but every call runs
+// under a hard step budget, so a hostile or buggy op terminates with a
+// typed budget error instead of wedging an executor. The VM allocates
+// nothing: all state lives in a caller-owned Frame that is reused call
+// after call, which is what lets the serving hot path run user ops
+// without breaking its allocs-per-request gate.
+//
+// Safety model (what "sandboxed" means here):
+//   - no memory access beyond the two argument tuples, the fixed-size
+//     stack, and the fixed-size locals — there are no load/store
+//     instructions that take computed addresses;
+//   - no I/O, no calls, no allocation;
+//   - division and shift corner cases are totally defined (never
+//     panic): x/0 = 0, x%0 = 0, MinInt64/-1 = MinInt64;
+//   - every call is bounded by StepBudget instructions.
+//
+// Registration-time validation (registry.go) property-tests each
+// submitted op for associativity and identity before it is ever
+// served, rejecting non-monoids with a concrete counterexample.
+package combine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Limits. MaxWidth bounds the tuple width (argmax-with-index is a
+// 2-tuple; 4 leaves headroom for small windowed stats). MaxProgram
+// bounds program length; StackCap and LocalCap size the Frame. The
+// step budget bounds one CALL of the op, not one request — a scan of n
+// tuples makes ~n calls, each individually budgeted.
+const (
+	MaxWidth   = 4
+	MaxProgram = 256
+	StackCap   = 16
+	LocalCap   = 8
+
+	// StepBudget is the per-call instruction budget. Euclid's gcd on
+	// 64-bit inputs needs < 100 iterations of a ~10-instruction loop;
+	// 4096 clears every honest op by an order of magnitude while still
+	// terminating a runaway loop in well under a microsecond.
+	StepBudget = 4096
+)
+
+// Typed failures. ErrBudget is the one reachable from a validated op
+// at serve time (a loop whose trip count depends on input data);
+// ErrStack and ErrBadProgram are caught at validation and should never
+// escape a registered op.
+var (
+	ErrBudget     = errors.New("combine op exceeded its step budget")
+	ErrStack      = errors.New("combine op stack fault")
+	ErrBadProgram = errors.New("bad combine program")
+)
+
+// OpCode identifies a combine-VM instruction. The set is deliberately
+// tiny: tuple-field pushes, constants, a local frame, integer
+// arithmetic with totally-defined corner cases, compares, select,
+// stack shuffles, and bounded branches.
+type OpCode uint8
+
+const (
+	// OpConst pushes Imm.
+	OpConst OpCode = iota
+	// OpArgA / OpArgB push field Imm of the left / right argument.
+	OpArgA
+	OpArgB
+	// OpLoad / OpStore read / write local slot Imm (LocalCap slots,
+	// zeroed at call entry).
+	OpLoad
+	OpStore
+	// Binary arithmetic: pop y, pop x, push x∘y.
+	OpAdd
+	OpSub
+	OpMul
+	// OpDiv / OpMod are totally defined: x/0 = 0, x%0 = 0, and
+	// MinInt64 / -1 = MinInt64 (mod 0) rather than the hardware trap.
+	OpDiv
+	OpMod
+	OpMin
+	OpMax
+	OpAnd
+	OpOr
+	OpXor
+	// Unary: pop x, push ∘x. OpAbs(MinInt64) = MinInt64 (two's
+	// complement; defined, not trapped).
+	OpNeg
+	OpAbs
+	// Compares push 1 or 0: pop y, pop x, push x<y / x<=y / x==y.
+	OpLt
+	OpLe
+	OpEq
+	// OpSelect pops cond, onFalse, onTrue (in that order) and pushes
+	// onTrue if cond != 0 else onFalse. Push order: t, f, cond.
+	OpSelect
+	// Stack shuffles. OpPick pushes a copy of the value Imm slots below
+	// the top (pick 0 == dup).
+	OpDup
+	OpDrop
+	OpSwap
+	OpPick
+	// Branches. Targets are absolute instruction indexes, validated at
+	// parse time. OpJz / OpJnz pop the condition.
+	OpJmp
+	OpJz
+	OpJnz
+	// OpRet ends the call immediately (falling off the end is an
+	// implicit ret).
+	OpRet
+
+	opCodeCount
+)
+
+// hasImm reports whether an opcode carries an immediate operand.
+func (op OpCode) hasImm() bool {
+	switch op {
+	case OpConst, OpArgA, OpArgB, OpLoad, OpStore, OpPick, OpJmp, OpJz, OpJnz:
+		return true
+	}
+	return false
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op  OpCode
+	Imm int64
+}
+
+// Program is a validated combine program: the instructions plus the
+// tuple width and identity element its monoid is declared over.
+// Programs are immutable once built; Registered wraps one with its
+// content hash and registration metadata.
+type Program struct {
+	Width    int
+	Identity []int64 // len == Width
+	Code     []Instr
+}
+
+// checkStatic validates everything checkable without running: width,
+// identity length, program length, opcode range, and immediate ranges
+// (field indexes, local slots, pick depths, jump targets).
+func (p *Program) checkStatic() error {
+	if p.Width < 1 || p.Width > MaxWidth {
+		return fmt.Errorf("%w: width %d (want 1..%d)", ErrBadProgram, p.Width, MaxWidth)
+	}
+	if len(p.Identity) != p.Width {
+		return fmt.Errorf("%w: identity has %d fields for width %d", ErrBadProgram, len(p.Identity), p.Width)
+	}
+	if len(p.Code) == 0 {
+		return fmt.Errorf("%w: empty program", ErrBadProgram)
+	}
+	if len(p.Code) > MaxProgram {
+		return fmt.Errorf("%w: %d instructions (max %d)", ErrBadProgram, len(p.Code), MaxProgram)
+	}
+	for pc, in := range p.Code {
+		if in.Op >= opCodeCount {
+			return fmt.Errorf("%w: pc %d: unknown opcode %d", ErrBadProgram, pc, in.Op)
+		}
+		switch in.Op {
+		case OpArgA, OpArgB:
+			if in.Imm < 0 || in.Imm >= int64(p.Width) {
+				return fmt.Errorf("%w: pc %d: %s field %d out of range for width %d", ErrBadProgram, pc, in.Op, in.Imm, p.Width)
+			}
+		case OpLoad, OpStore:
+			if in.Imm < 0 || in.Imm >= LocalCap {
+				return fmt.Errorf("%w: pc %d: local slot %d out of range (0..%d)", ErrBadProgram, pc, in.Imm, LocalCap-1)
+			}
+		case OpPick:
+			if in.Imm < 0 || in.Imm >= StackCap {
+				return fmt.Errorf("%w: pc %d: pick depth %d out of range", ErrBadProgram, pc, in.Imm)
+			}
+		case OpJmp, OpJz, OpJnz:
+			if in.Imm < 0 || in.Imm > int64(len(p.Code)) {
+				return fmt.Errorf("%w: pc %d: jump target %d out of range (0..%d)", ErrBadProgram, pc, in.Imm, len(p.Code))
+			}
+		}
+	}
+	return nil
+}
+
+// Frame is one executor's scratch state: the operand stack and local
+// slots. A Frame is reused across calls (Exec resets it), so running a
+// user op allocates nothing. Frames are not safe for concurrent use;
+// give each executor goroutine its own.
+type Frame struct {
+	stack  [StackCap]int64
+	locals [LocalCap]int64
+	// argA/argB/out back ExecScalar and carry folds so no call site
+	// needs to allocate argument slices.
+	argA, argB, out [MaxWidth]int64
+}
+
+// Exec runs the combine: dst = combine(a, b), all of length
+// p.Width. dst may alias a or b. Returns ErrBudget if the call exceeds
+// StepBudget instructions, ErrStack on an operand-stack fault (which
+// validation makes unreachable for registered ops on the straight-line
+// paths it exercised, but input-dependent branches can still reach).
+func (p *Program) Exec(fr *Frame, dst, a, b []int64) error {
+	st := fr.stack[:0]
+	locals := &fr.locals
+	*locals = [LocalCap]int64{}
+	steps := 0
+	code := p.Code
+	for pc := 0; pc < len(code); {
+		if steps++; steps > StepBudget {
+			return ErrBudget
+		}
+		in := code[pc]
+		pc++
+		switch in.Op {
+		case OpConst:
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, in.Imm)
+		case OpArgA:
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, a[in.Imm])
+		case OpArgB:
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, b[in.Imm])
+		case OpLoad:
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, locals[in.Imm])
+		case OpStore:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			locals[in.Imm] = st[len(st)-1]
+			st = st[:len(st)-1]
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax, OpAnd, OpOr, OpXor, OpLt, OpLe, OpEq:
+			if len(st) < 2 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			x, y := st[len(st)-2], st[len(st)-1]
+			st = st[:len(st)-1]
+			var r int64
+			switch in.Op {
+			case OpAdd:
+				r = x + y
+			case OpSub:
+				r = x - y
+			case OpMul:
+				r = x * y
+			case OpDiv:
+				if y == 0 {
+					r = 0
+				} else if x == minInt64 && y == -1 {
+					r = minInt64
+				} else {
+					r = x / y
+				}
+			case OpMod:
+				if y == 0 || (x == minInt64 && y == -1) {
+					r = 0
+				} else {
+					r = x % y
+				}
+			case OpMin:
+				if r = x; y < x {
+					r = y
+				}
+			case OpMax:
+				if r = x; y > x {
+					r = y
+				}
+			case OpAnd:
+				r = x & y
+			case OpOr:
+				r = x | y
+			case OpXor:
+				r = x ^ y
+			case OpLt:
+				if x < y {
+					r = 1
+				}
+			case OpLe:
+				if x <= y {
+					r = 1
+				}
+			case OpEq:
+				if x == y {
+					r = 1
+				}
+			}
+			st[len(st)-1] = r
+		case OpNeg:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			st[len(st)-1] = -st[len(st)-1]
+		case OpAbs:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			if v := st[len(st)-1]; v < 0 {
+				st[len(st)-1] = -v
+			}
+		case OpSelect:
+			if len(st) < 3 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			t, f, c := st[len(st)-3], st[len(st)-2], st[len(st)-1]
+			st = st[:len(st)-2]
+			if c != 0 {
+				st[len(st)-1] = t
+			} else {
+				st[len(st)-1] = f
+			}
+		case OpDup:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, st[len(st)-1])
+		case OpDrop:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			st = st[:len(st)-1]
+		case OpSwap:
+			if len(st) < 2 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			st[len(st)-1], st[len(st)-2] = st[len(st)-2], st[len(st)-1]
+		case OpPick:
+			d := int(in.Imm)
+			if d >= len(st) {
+				return fmt.Errorf("%w: pick %d into depth %d at pc %d", ErrStack, d, len(st), pc-1)
+			}
+			if len(st) == StackCap {
+				return fmt.Errorf("%w: overflow at pc %d", ErrStack, pc-1)
+			}
+			st = append(st, st[len(st)-1-d])
+		case OpJmp:
+			pc = int(in.Imm)
+		case OpJz, OpJnz:
+			if len(st) == 0 {
+				return fmt.Errorf("%w: underflow at pc %d", ErrStack, pc-1)
+			}
+			c := st[len(st)-1]
+			st = st[:len(st)-1]
+			if (c == 0) == (in.Op == OpJz) {
+				pc = int(in.Imm)
+			}
+		case OpRet:
+			pc = len(code)
+		}
+	}
+	if len(st) != p.Width {
+		return fmt.Errorf("%w: program left %d values on the stack for width %d", ErrStack, len(st), p.Width)
+	}
+	copy(dst, st)
+	return nil
+}
+
+// ExecScalar is the width-1 fast path: r = combine(a, b).
+func (p *Program) ExecScalar(fr *Frame, a, b int64) (int64, error) {
+	fr.argA[0], fr.argB[0] = a, b
+	if err := p.Exec(fr, fr.out[:1], fr.argA[:1], fr.argB[:1]); err != nil {
+		return 0, err
+	}
+	return fr.out[0], nil
+}
+
+const minInt64 = -1 << 63

@@ -1,0 +1,213 @@
+package combine
+
+// Golden example ops. Each is a genuine monoid over all of int64 (the
+// validator in registry.go proves nothing less): gcd with an exact
+// identity at 0, bitwise or/and, UNSIGNED saturating add, and
+// argmax-with-index as a 2-tuple. ExampleNonAssociative is the
+// deliberate rejection demo — SIGNED saturating add, which looks
+// harmless and is not associative: (MAX ⊕ 1) ⊕ -1 = MAX-1 but
+// MAX ⊕ (1 ⊕ -1) = MAX. The validator's adversarial set catches it
+// and surfaces exactly that counterexample.
+
+// ExampleGCD is gcd as a monoid on int64: identity 0 is exact
+// (gcd(x, 0) = x verbatim, sign and all); once both arguments are
+// nonzero they are mapped to positive magnitudes (MinInt64, which has
+// no positive magnitude, maps to 1) and run through Euclid. The
+// mapping keeps the op associative over the full domain — after the
+// first real combine everything lives in the positive ints, where gcd
+// is the textbook monoid.
+const ExampleGCD = `
+; gcd over int64: identity 0, magnitudes via abs (MinInt64 -> 1)
+.width 1
+.identity 0
+	argb 0
+	jnz b_nonzero
+	arga 0
+	ret                 ; gcd(a, 0) = a, exactly
+b_nonzero:
+	arga 0
+	jnz both
+	argb 0
+	ret                 ; gcd(0, b) = b, exactly
+both:
+	arga 0
+	abs
+	dup
+	const 0
+	lt                  ; still negative? (abs(MinInt64) = MinInt64)
+	jz a_ok
+	drop
+	const 1
+a_ok:
+	argb 0
+	abs
+	dup
+	const 0
+	lt
+	jz b_ok
+	drop
+	const 1
+b_ok:
+loop:                   ; stack [x y], both >= 1
+	dup
+	jz done             ; y == 0 -> gcd is x
+	dup
+	store 0             ; save y
+	mod                 ; x % y
+	load 0
+	swap                ; [y x%y]
+	jmp loop
+done:
+	drop
+`
+
+// ExampleAdd is wrapping int64 addition — the VM twin of the native
+// sum kernel. It exists so native-vs-VM comparisons (check.sh's
+// throughput row, the fuzz parity target) have an op both sides
+// implement bit-identically.
+const ExampleAdd = `
+; wrapping add: VM twin of the builtin sum kernel
+.width 1
+.identity 0
+	arga 0
+	argb 0
+	add
+`
+
+// ExampleBitOr is bitwise union (bitmap merge); identity 0.
+const ExampleBitOr = `
+; bitwise or: bitmap union
+.width 1
+.identity 0
+	arga 0
+	argb 0
+	or
+`
+
+// ExampleBitAnd is bitwise intersection; identity all-ones.
+const ExampleBitAnd = `
+; bitwise and: bitmap intersection
+.width 1
+.identity -1
+	arga 0
+	argb 0
+	and
+`
+
+// ExampleSatAdd is UNSIGNED saturating add: int64 words treated as
+// uint64, clamping at 2^64-1 (all ones, -1 as a signed word). Unsigned
+// saturation is associative — the result is min(2^64-1, Σ) however the
+// sum is parenthesized — where signed clamping is not (see
+// ExampleNonAssociative). Unsigned compare rides the signed lt via the
+// sign-bit flip: x <u y  ⟺  (x ^ MinInt64) <s (y ^ MinInt64).
+const ExampleSatAdd = `
+; saturating add over uint64 words (clamps at 2^64-1)
+.width 1
+.identity 0
+	arga 0
+	argb 0
+	add                         ; s = a + b (wrapping)
+	dup
+	const -9223372036854775808
+	xor                         ; s ^ signbit
+	arga 0
+	const -9223372036854775808
+	xor                         ; a ^ signbit
+	lt                          ; wrapped iff s <u a
+	jz ok
+	drop
+	const -1                    ; saturate: all ones
+ok:
+`
+
+// ExampleArgmax is argmax-with-index as a 2-tuple [value, index]: the
+// combine keeps the tuple with the larger value, breaking ties toward
+// the smaller index (a total order, hence associative). Identity is
+// (MinInt64, MaxInt64) — smaller than every real observation.
+const ExampleArgmax = `
+; argmax with payload index: tuple [value, index]
+.width 2
+.identity -9223372036854775808 9223372036854775807
+	arga 0
+	argb 0
+	lt              ; b wins on value?
+	arga 0
+	argb 0
+	eq              ; tie on value?
+	argb 1
+	arga 1
+	lt              ; b has the smaller index?
+	and
+	or              ; pick_b
+	store 0
+	argb 0
+	arga 0
+	load 0
+	select          ; result value
+	argb 1
+	arga 1
+	load 0
+	select          ; result index
+`
+
+// ExampleNonAssociative is SIGNED saturating add — the classic
+// plausible non-monoid, kept as the registration-rejection demo:
+// (MAX ⊕ 1) ⊕ -1 = MAX-1 ≠ MAX = MAX ⊕ (1 ⊕ -1). Registering it
+// fails with that counterexample.
+const ExampleNonAssociative = `
+; signed saturating add: NOT associative, rejected at registration
+.width 1
+.identity 0
+	arga 0
+	argb 0
+	add
+	store 2         ; local2 = s (wrapping sum)
+	arga 0
+	const 0
+	lt
+	store 0         ; local0 = a < 0
+	argb 0
+	const 0
+	lt
+	store 1         ; local1 = b < 0
+	load 0
+	load 1
+	and
+	load 2
+	const 0
+	lt
+	const 1
+	xor             ; s >= 0 (flags are 0/1, xor 1 negates)
+	and
+	jnz neg_ovf     ; a<0 && b<0 && s>=0: wrapped below MinInt64
+	load 0
+	const 1
+	xor
+	load 1
+	const 1
+	xor
+	and
+	load 2
+	const 0
+	lt
+	and
+	jnz pos_ovf     ; a>=0 && b>=0 && s<0: wrapped above MaxInt64
+	load 2
+	ret
+neg_ovf:
+	const -9223372036854775808
+	ret
+pos_ovf:
+	const 9223372036854775807
+`
+
+// Examples maps example names to sources; scansd/scanload and the
+// golden tests use it, and DESIGN.md §11 documents each.
+var Examples = map[string]string{
+	"add":    ExampleAdd,
+	"gcd":    ExampleGCD,
+	"bor":    ExampleBitOr,
+	"band":   ExampleBitAnd,
+	"satadd": ExampleSatAdd,
+	"argmax": ExampleArgmax,
+}

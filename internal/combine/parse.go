@@ -1,0 +1,203 @@
+package combine
+
+// The combine-op assembler. Tenants submit ops as text — one
+// instruction per line, ';' comments, "name:" labels for branch
+// targets, and two directives declaring the monoid: ".width w" (tuple
+// width, default 1) and ".identity v0 [v1 ...]" (the identity tuple,
+// default all zeros). The parser resolves labels to absolute
+// instruction indexes and then runs the program's static checks; see
+// examples.go for canonical programs (gcd, saturating add,
+// argmax-with-index).
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// opNames maps opcodes to mnemonics; mnemonics is its inversion.
+var opNames = map[OpCode]string{
+	OpConst: "const", OpArgA: "arga", OpArgB: "argb",
+	OpLoad: "load", OpStore: "store",
+	OpAdd: "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpMod: "mod",
+	OpMin: "min", OpMax: "max", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpNeg: "neg", OpAbs: "abs",
+	OpLt: "lt", OpLe: "le", OpEq: "eq", OpSelect: "select",
+	OpDup: "dup", OpDrop: "drop", OpSwap: "swap", OpPick: "pick",
+	OpJmp: "jmp", OpJz: "jz", OpJnz: "jnz", OpRet: "ret",
+}
+
+var mnemonics = func() map[string]OpCode {
+	m := make(map[string]OpCode, len(opNames))
+	for op, name := range opNames {
+		m[name] = op
+	}
+	return m
+}()
+
+// String returns the assembler mnemonic.
+func (op OpCode) String() string {
+	if s, ok := opNames[op]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", int(op))
+}
+
+// jumpOps reports branch mnemonics (whose immediate is a label).
+func jumpOp(op OpCode) bool { return op == OpJmp || op == OpJz || op == OpJnz }
+
+// Parse assembles source into a Program and runs its static checks.
+// Errors carry the 1-based source line.
+func Parse(src string) (*Program, error) {
+	p := &Program{Width: 1}
+	type fixup struct {
+		pc    int
+		label string
+		line  int
+	}
+	var fixups []fixup
+	labels := map[string]int{}
+	identitySet := false
+
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		fail := func(format string, args ...any) (*Program, error) {
+			return nil, fmt.Errorf("line %d: %w: %s", lineNo+1, ErrBadProgram, fmt.Sprintf(format, args...))
+		}
+		switch head := fields[0]; {
+		case head == ".width":
+			if len(fields) != 2 {
+				return fail(".width wants one operand")
+			}
+			w, err := strconv.Atoi(fields[1])
+			if err != nil || w < 1 || w > MaxWidth {
+				return fail("bad width %q (want 1..%d)", fields[1], MaxWidth)
+			}
+			p.Width = w
+		case head == ".identity":
+			if len(fields) < 2 {
+				return fail(".identity wants at least one operand")
+			}
+			p.Identity = p.Identity[:0]
+			for _, f := range fields[1:] {
+				v, err := strconv.ParseInt(f, 10, 64)
+				if err != nil {
+					return fail("bad identity field %q", f)
+				}
+				p.Identity = append(p.Identity, v)
+			}
+			identitySet = true
+		case strings.HasSuffix(head, ":"):
+			if len(fields) != 1 {
+				return fail("label %q must be alone on its line", head)
+			}
+			name := head[:len(head)-1]
+			if name == "" {
+				return fail("empty label")
+			}
+			if _, dup := labels[name]; dup {
+				return fail("duplicate label %q", name)
+			}
+			labels[name] = len(p.Code)
+		default:
+			op, ok := mnemonics[head]
+			if !ok {
+				return fail("unknown mnemonic %q", head)
+			}
+			in := Instr{Op: op}
+			switch {
+			case jumpOp(op):
+				if len(fields) != 2 {
+					return fail("%s wants a label", head)
+				}
+				fixups = append(fixups, fixup{pc: len(p.Code), label: fields[1], line: lineNo + 1})
+			case op.hasImm():
+				if len(fields) != 2 {
+					return fail("%s wants one operand", head)
+				}
+				v, err := strconv.ParseInt(fields[1], 10, 64)
+				if err != nil {
+					return fail("bad operand %q", fields[1])
+				}
+				in.Imm = v
+			default:
+				if len(fields) != 1 {
+					return fail("%s takes no operand", head)
+				}
+			}
+			if len(p.Code) >= MaxProgram {
+				return fail("program exceeds %d instructions", MaxProgram)
+			}
+			p.Code = append(p.Code, in)
+		}
+	}
+	for _, fx := range fixups {
+		pc, ok := labels[fx.label]
+		if !ok {
+			return nil, fmt.Errorf("line %d: %w: undefined label %q", fx.line, ErrBadProgram, fx.label)
+		}
+		p.Code[fx.pc].Imm = int64(pc)
+	}
+	if !identitySet {
+		p.Identity = make([]int64, p.Width)
+	}
+	if len(p.Identity) != p.Width {
+		return nil, fmt.Errorf("%w: .identity has %d fields for width %d", ErrBadProgram, len(p.Identity), p.Width)
+	}
+	if err := p.checkStatic(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustParse is Parse for programs embedded in the binary (examples,
+// tests); it panics on error.
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic("combine: " + err.Error())
+	}
+	return p
+}
+
+// Format disassembles a program back to source (directives, then
+// instructions with absolute jump targets as generated labels).
+func (p *Program) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, ".width %d\n.identity", p.Width)
+	for _, v := range p.Identity {
+		fmt.Fprintf(&b, " %d", v)
+	}
+	b.WriteByte('\n')
+	targets := map[int64]bool{}
+	for _, in := range p.Code {
+		if jumpOp(in.Op) {
+			targets[in.Imm] = true
+		}
+	}
+	for pc, in := range p.Code {
+		if targets[int64(pc)] {
+			fmt.Fprintf(&b, "L%d:\n", pc)
+		}
+		switch {
+		case jumpOp(in.Op):
+			fmt.Fprintf(&b, "\t%s L%d\n", in.Op, in.Imm)
+		case in.Op.hasImm():
+			fmt.Fprintf(&b, "\t%s %d\n", in.Op, in.Imm)
+		default:
+			fmt.Fprintf(&b, "\t%s\n", in.Op)
+		}
+	}
+	if targets[int64(len(p.Code))] {
+		// A branch may target the end of the program (an implicit ret).
+		fmt.Fprintf(&b, "L%d:\n", len(p.Code))
+	}
+	return b.String()
+}

@@ -1,0 +1,315 @@
+package combine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Registration-time validation and the tenant-scoped op registry.
+//
+// An op is only servable after it survives the monoid property tests:
+// identity (f(e,x) == f(x,e) == x) and associativity (f(f(x,y),z) ==
+// f(x,f(y,z))) over both random tuples and an adversarial set (0, ±1,
+// MinInt64, MaxInt64 — the values where overflow, division, and
+// saturation bugs live). A failing submission is rejected with the
+// concrete counterexample in the error, so the tenant can reproduce it
+// locally. The tests are necessarily probabilistic — associativity
+// over all of int64³ is unprovable by testing — but every published
+// non-associativity bug class (overflow asymmetry, order-dependent
+// select, float-style rounding) falls to the adversarial set.
+//
+// Every accepted op gets a content hash over its canonical encoding
+// (width, identity, instructions). The hash names the SEMANTICS of the
+// registration: cluster coordinators stamp it on the scan pieces they
+// dispatch, and a worker holding a different registration under the
+// same name answers with a typed mismatch error instead of silently
+// combining with the wrong function (cluster propagation, DESIGN.md
+// §11).
+
+// Validation workload: trials per width plus the adversarial cross
+// products. ~200 triples × 4 Execs each ≈ sub-millisecond per
+// registration.
+const (
+	validateRandomTrials = 128
+	maxNameLen           = 64
+)
+
+// ErrRejected wraps every registration-time rejection (bad program,
+// failed property test, cap exceeded); callers map it to the wire's
+// bad_op code.
+var ErrRejected = errors.New("combine op rejected")
+
+// adversarial is the value set the property tests cross-product:
+// where overflow and corner-case bugs live.
+var adversarial = []int64{0, 1, -1, minInt64, maxInt64}
+
+const maxInt64 = 1<<63 - 1
+
+// Registered is one accepted op: the program plus its registration
+// identity. Instances are immutable; re-registration under the same
+// name installs a NEW Registered (with a new hash), so in-flight scans
+// holding the old pointer finish under the semantics they started
+// with.
+type Registered struct {
+	Tenant string
+	Name   string
+	Prog   *Program
+	Hash   uint64
+	Source string
+}
+
+// Width returns the op's tuple width.
+func (r *Registered) Width() int { return r.Prog.Width }
+
+// encode appends the program's canonical binary encoding: magic,
+// width, identity fields, then per instruction the opcode byte plus
+// (for immediate-carrying opcodes only) the 8-byte LE immediate.
+func (p *Program) encode(b []byte) []byte {
+	b = append(b, 'c', 'm', 'b', '1', byte(p.Width))
+	var w [8]byte
+	for _, v := range p.Identity {
+		binary.LittleEndian.PutUint64(w[:], uint64(v))
+		b = append(b, w[:]...)
+	}
+	for _, in := range p.Code {
+		b = append(b, byte(in.Op))
+		if in.Op.hasImm() {
+			binary.LittleEndian.PutUint64(w[:], uint64(in.Imm))
+			b = append(b, w[:]...)
+		}
+	}
+	return b
+}
+
+// HashProgram returns the content hash (FNV-64a over the canonical
+// encoding). Two sources that assemble to the same program — comments,
+// label names, formatting — share a hash; any semantic difference
+// (width, identity, instruction stream) changes it.
+func HashProgram(p *Program) uint64 {
+	h := fnv.New64a()
+	h.Write(p.encode(make([]byte, 0, 5+8*len(p.Identity)+9*len(p.Code))))
+	return h.Sum64()
+}
+
+// Validate property-tests p as a monoid: identity both sides, then
+// associativity, over random and adversarial tuples. The error on
+// failure carries the counterexample verbatim. Any VM fault during
+// validation (stack, budget) also rejects — an op that can't combine
+// the adversarial values can't be served.
+func Validate(p *Program) error {
+	if err := p.checkStatic(); err != nil {
+		return fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	var fr Frame
+	w := p.Width
+	// rng is seeded from the content hash: validation is deterministic
+	// per program, so a rejection reproduces.
+	rng := rand.New(rand.NewSource(int64(HashProgram(p))))
+	tuples := make([][]int64, 0, validateRandomTrials+len(adversarial)*w)
+	for _, v := range adversarial {
+		t := make([]int64, w)
+		for i := range t {
+			t[i] = v
+		}
+		tuples = append(tuples, t)
+		if w > 1 {
+			// Mixed tuples: adversarial value in one field, small
+			// values elsewhere.
+			for f := 0; f < w; f++ {
+				m := make([]int64, w)
+				for i := range m {
+					m[i] = int64(rng.Intn(7)) - 3
+				}
+				m[f] = v
+				tuples = append(tuples, m)
+			}
+		}
+	}
+	for i := 0; i < validateRandomTrials; i++ {
+		t := make([]int64, w)
+		for j := range t {
+			switch rng.Intn(3) {
+			case 0:
+				t[j] = int64(rng.Intn(201)) - 100
+			case 1:
+				t[j] = rng.Int63() - rng.Int63()
+			default:
+				t[j] = adversarial[rng.Intn(len(adversarial))]
+			}
+		}
+		tuples = append(tuples, t)
+	}
+
+	exec := func(dst, a, b []int64, what string) error {
+		if err := p.Exec(&fr, dst, a, b); err != nil {
+			return fmt.Errorf("%w: %s of %v and %v faults: %w", ErrRejected, what, a, b, err)
+		}
+		return nil
+	}
+	var t1, t2, t3 [MaxWidth]int64
+	eq := func(a, b []int64) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Identity, both sides.
+	for _, x := range tuples {
+		if err := exec(t1[:w], p.Identity, x, "combine"); err != nil {
+			return err
+		}
+		if !eq(t1[:w], x) {
+			return fmt.Errorf("%w: identity fails on the left: f(%v, %v) = %v, want %v",
+				ErrRejected, p.Identity, x, append([]int64(nil), t1[:w]...), x)
+		}
+		if err := exec(t1[:w], x, p.Identity, "combine"); err != nil {
+			return err
+		}
+		if !eq(t1[:w], x) {
+			return fmt.Errorf("%w: identity fails on the right: f(%v, %v) = %v, want %v",
+				ErrRejected, x, p.Identity, append([]int64(nil), t1[:w]...), x)
+		}
+	}
+
+	// Associativity over sampled triples: every adversarial-only triple
+	// (bounded), plus random triples from the full tuple pool.
+	checkTriple := func(x, y, z []int64) error {
+		if err := exec(t1[:w], x, y, "combine"); err != nil {
+			return err
+		}
+		if err := exec(t1[:w], t1[:w], z, "combine"); err != nil {
+			return err
+		}
+		if err := exec(t2[:w], y, z, "combine"); err != nil {
+			return err
+		}
+		if err := exec(t3[:w], x, t2[:w], "combine"); err != nil {
+			return err
+		}
+		if !eq(t1[:w], t3[:w]) {
+			return fmt.Errorf("%w: not associative: f(f(x,y),z) = %v but f(x,f(y,z)) = %v for x=%v y=%v z=%v",
+				ErrRejected, append([]int64(nil), t1[:w]...), append([]int64(nil), t3[:w]...), x, y, z)
+		}
+		return nil
+	}
+	if w == 1 {
+		// Width 1: the adversarial set is small enough to sweep
+		// exhaustively (5³ = 125 triples).
+		for _, a := range adversarial {
+			for _, b := range adversarial {
+				for _, c := range adversarial {
+					if err := checkTriple([]int64{a}, []int64{b}, []int64{c}); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	for i := 0; i < validateRandomTrials*2; i++ {
+		x := tuples[rng.Intn(len(tuples))]
+		y := tuples[rng.Intn(len(tuples))]
+		z := tuples[rng.Intn(len(tuples))]
+		if err := checkTriple(x, y, z); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Registry is the tenant-scoped op table. Lookup is lock-cheap
+// (RWMutex read path); registration validates outside the lock.
+type Registry struct {
+	perTenantCap int
+
+	mu sync.RWMutex
+	m  map[string]map[string]*Registered // tenant → name → op
+}
+
+// DefaultPerTenantCap bounds how many distinct op names one tenant may
+// hold; re-registering an existing name never counts against it.
+const DefaultPerTenantCap = 64
+
+// NewRegistry returns a registry with the given per-tenant name cap
+// (<= 0 means DefaultPerTenantCap).
+func NewRegistry(perTenantCap int) *Registry {
+	if perTenantCap <= 0 {
+		perTenantCap = DefaultPerTenantCap
+	}
+	return &Registry{perTenantCap: perTenantCap, m: make(map[string]map[string]*Registered)}
+}
+
+// validName: short, lowercase-ish identifiers; the wire prefixes them
+// with "user:".
+func validName(name string) bool {
+	if name == "" || len(name) > maxNameLen {
+		return false
+	}
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_', c == '-', c == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// Register parses, validates, and installs source as (tenant, name).
+// Re-registration semantics: the same name with the same content hash
+// is an idempotent success; a different program REPLACES the old one
+// under a new hash (scans already holding the old Registered finish
+// under it). Returns the installed op.
+func (rg *Registry) Register(tenant, name, source string) (*Registered, error) {
+	if !validName(name) {
+		return nil, fmt.Errorf("%w: bad op name %q (want 1..%d chars of [a-z0-9._-])", ErrRejected, name, maxNameLen)
+	}
+	prog, err := Parse(source)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrRejected, err)
+	}
+	if err := Validate(prog); err != nil {
+		return nil, err
+	}
+	reg := &Registered{Tenant: tenant, Name: name, Prog: prog, Hash: HashProgram(prog), Source: source}
+
+	rg.mu.Lock()
+	defer rg.mu.Unlock()
+	ops := rg.m[tenant]
+	if old, ok := ops[name]; ok {
+		if old.Hash == reg.Hash {
+			return old, nil // idempotent re-registration
+		}
+		ops[name] = reg // replacement
+		return reg, nil
+	}
+	if len(ops) >= rg.perTenantCap {
+		return nil, fmt.Errorf("%w: tenant %q holds %d ops (cap %d)", ErrRejected, tenant, len(ops), rg.perTenantCap)
+	}
+	if ops == nil {
+		ops = make(map[string]*Registered)
+		rg.m[tenant] = ops
+	}
+	ops[name] = reg
+	return reg, nil
+}
+
+// Lookup returns the tenant's op by name, or nil.
+func (rg *Registry) Lookup(tenant, name string) *Registered {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	return rg.m[tenant][name]
+}
+
+// Len reports how many ops a tenant holds.
+func (rg *Registry) Len(tenant string) int {
+	rg.mu.RLock()
+	defer rg.mu.RUnlock()
+	return len(rg.m[tenant])
+}

@@ -45,6 +45,28 @@ type Announcer interface {
 	Announce(addr string, weight float64, proto string, maxLine int) error
 }
 
+// OpRegistrar is the optional backend extension behind the
+// "register_op" wire message: a backend that hosts a tenant-scoped
+// user combine-op registry (internal/combine). RegisterScanOp
+// validates source as a monoid and installs it under (tenant, name),
+// returning the registration's content hash; rejections wrap ErrBadOp.
+// Both *Server and the cluster coordinator implement it (the
+// coordinator also propagates accepted registrations to its workers).
+// A backend that does not implement OpRegistrar answers register_op
+// with bad_request.
+type OpRegistrar interface {
+	RegisterScanOp(tenant, name, source string) (hash uint64, err error)
+}
+
+// OpResolver is the backend capability the worker-side exchange plane
+// needs for user combine ops: bind spec's "user:<name>" to the live
+// registration (verifying a pinned hash — ErrOpHash on mismatch) so the
+// exchange's own block-sum folds can run the op's VM program. Width-1
+// ops only: the exchanged carries are scalars.
+type OpResolver interface {
+	ResolveScanOp(spec Spec, tenant string) (Spec, error)
+}
+
 // StreamResumer is the optional backend extension behind the
 // "stream_resume" wire message: a backend whose stream sessions survive
 // their carrying connection (the cluster coordinator, whose session

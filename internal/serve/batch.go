@@ -1,9 +1,12 @@
 package serve
 
 import (
+	"errors"
+	"fmt"
 	"math"
 
 	"scans/internal/arena"
+	"scans/internal/combine"
 	"scans/internal/scan"
 )
 
@@ -102,6 +105,9 @@ func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	if s.fpPanic.Fire() {
 		panic("fault: injected kernel panic")
 	}
+	if spec.Op == OpUser {
+		return s.runUserGroup(spec, reqs)
+	}
 	n := 0
 	sc.views = sc.views[:0]
 	for _, f := range reqs {
@@ -131,6 +137,108 @@ func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	sc.views = sc.views[:0]
 	s.stats.served.Add(uint64(served))
 	return n
+}
+
+// runUserGroup serves one user-op group through the combine VM: the
+// same view semantics as the builtin kernels (each request is its own
+// segment; carry-seeded chunks fold their carry in at the segment
+// head), generalized to tuple widths and walked serially tuple by
+// tuple. Serial is deliberate — the VM combine is opaque to the
+// blocked kernels' reassociation, and a user monoid need not be
+// commutative, so the only universally correct order is the scan
+// order itself.
+//
+// Failure isolation is per REQUEST, not per group: a view whose op
+// blows its step budget (ErrOpBudget, data-dependent — validation
+// cannot see every input) or faults fails only its own future; the
+// rest of the group is served normally. Nothing here panics on VM
+// errors, so a budget blowout never poisons the batch.
+func (s *Server) runUserGroup(spec Spec, reqs []*Future) int {
+	reg := spec.reg
+	if reg == nil {
+		panic("serve: runUserGroup: user op " + spec.User + " reached the executor unbound")
+	}
+	var fr combine.Frame
+	n, served := 0, 0
+	for _, f := range reqs {
+		n += f.nelems()
+		dst := arena.GetInt64s(len(f.data))
+		if err := execUserView(reg.Prog, &fr, spec, dst, f.data, f.carry, f.seeded); err != nil {
+			arena.PutInt64s(dst)
+			if errors.Is(err, combine.ErrBudget) {
+				s.stats.opBudgetFails.Add(1)
+				err = fmt.Errorf("%w: op %q: %v", ErrOpBudget, spec.User, err)
+			} else {
+				err = fmt.Errorf("%w: op %q faulted: %v", ErrInternal, spec.User, err)
+			}
+			f.complete(nil, err)
+			continue
+		}
+		if f.complete(dst, nil) {
+			served++
+		} else {
+			arena.PutInt64s(dst)
+		}
+	}
+	s.stats.served.Add(uint64(served))
+	if served > 0 {
+		s.stats.recordUserServed(reg.Tenant, reg.Name, uint64(served))
+	}
+	return n
+}
+
+// execUserView runs one request's scan with the VM combine, mirroring
+// the view kernels' serial semantics (scan/views.go) at tuple stride:
+// forward exclusive writes the running accumulator before folding each
+// tuple in, inclusive after; backward walks from the tail with the
+// element on the LEFT of the accumulator (combine(el, acc) — user
+// monoids need not be commutative, so operand order is load-bearing).
+// The accumulator starts at the stream carry when seeded (width 1,
+// enforced at admission), else the program's identity tuple.
+//
+// Exec writes dst only after the program retires (a single copy off
+// the VM stack), so passing acc as both combine input and destination
+// is safe.
+func execUserView(p *combine.Program, fr *combine.Frame, spec Spec, dst, src []int64, carry int64, seeded bool) error {
+	w := p.Width
+	var acc [combine.MaxWidth]int64
+	copy(acc[:w], p.Identity)
+	if seeded {
+		acc[0] = carry
+	}
+	nt := len(src) / w
+	if spec.Dir == Forward {
+		for k := 0; k < nt; k++ {
+			el := src[k*w : (k+1)*w]
+			if spec.Kind == Exclusive {
+				copy(dst[k*w:(k+1)*w], acc[:w])
+				if err := p.Exec(fr, acc[:w], acc[:w], el); err != nil {
+					return err
+				}
+			} else {
+				if err := p.Exec(fr, acc[:w], acc[:w], el); err != nil {
+					return err
+				}
+				copy(dst[k*w:(k+1)*w], acc[:w])
+			}
+		}
+		return nil
+	}
+	for k := nt - 1; k >= 0; k-- {
+		el := src[k*w : (k+1)*w]
+		if spec.Kind == Exclusive {
+			copy(dst[k*w:(k+1)*w], acc[:w])
+			if err := p.Exec(fr, acc[:w], el, acc[:w]); err != nil {
+				return err
+			}
+		} else {
+			if err := p.Exec(fr, acc[:w], el, acc[:w]); err != nil {
+				return err
+			}
+			copy(dst[k*w:(k+1)*w], acc[:w])
+		}
+	}
+	return nil
 }
 
 // runSegmentedViews dispatches one fused (op, kind, direction) pass to

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"scans/internal/arena"
+	"scans/internal/combine"
 	"scans/internal/fault"
 )
 
@@ -86,6 +87,24 @@ func TestChaosSoak(t *testing.T) {
 	policy := RetryPolicy{MaxAttempts: 10, BaseDelay: 200 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
 	specs := allSpecs()
 
+	// A slice of the storm runs a registered user monoid through the
+	// combine VM, under an explicit shared tenant so one registration
+	// (retried through the same chaos) covers every connection. The VM's
+	// arena checkouts ride the same ledger assertion below.
+	if _, err := policy.Do(context.Background(), func() error {
+		conn, err := Dial(ns.Addr())
+		if err != nil {
+			return err
+		}
+		defer conn.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, err = conn.RegisterOp(ctx, "chaos", "gcd", combine.ExampleGCD)
+		return err
+	}); err != nil {
+		t.Fatalf("registering user op under chaos: %v", err)
+	}
+
 	type tally struct {
 		success, typedErr, lost, mismatch int
 	}
@@ -125,13 +144,22 @@ func TestChaosSoak(t *testing.T) {
 						data[j] = 2*(data[j]&1) - 1
 					}
 				}
-				want := directScan(spec, data)
+				// Every fifth request re-addresses the drawn kind/dir at the
+				// registered gcd monoid instead of a builtin kernel, so the
+				// VM path soaks under the same fault storm.
+				userOp := i%5 == 2
+				var want []int64
+				if userOp {
+					want = scanRef(data, 0, gcdRef, spec.Kind, spec.Dir)
+				} else {
+					want = directScan(spec, data)
+				}
 				// A third of forward requests go through a streaming
 				// session in small chunks, so conn.drop keeps killing
 				// connections with streams open mid-flight. A retry
 				// opens a fresh session, so full-request retries stay
 				// safe.
-				streamed := spec.Dir == Forward && i%3 == 0
+				streamed := !userOp && spec.Dir == Forward && i%3 == 0
 				var got []int64
 				_, err := policy.Do(context.Background(), func() error {
 					ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -141,6 +169,8 @@ func TestChaosSoak(t *testing.T) {
 					if streamed {
 						res, err = conn.StreamScan(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(),
 							data, 1+rng.Intn(16))
+					} else if userOp {
+						res, err = conn.ScanTenantCtx(ctx, "user:gcd", spec.Kind.String(), spec.Dir.String(), "chaos", data)
 					} else {
 						res, err = conn.ScanCtx(ctx, spec.Op.String(), spec.Kind.String(), spec.Dir.String(), data)
 					}

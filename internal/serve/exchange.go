@@ -34,8 +34,17 @@ package serve
 // results are bit-identical.
 //
 // The star chain folds new values on the LEFT for backward scans while
-// ⊗ always folds on the RIGHT; the two agree because every wire op
-// (+, ×, max, min over wrapping int64) is commutative.
+// ⊗ always folds on the RIGHT; the two agree because every BUILTIN op
+// (+, ×, max, min over wrapping int64) is commutative. User combine ops
+// (internal/combine) are only required to be associative, so the
+// exchange plane accepts them FORWARD only — the coordinator routes
+// backward user scans straight to the star plane, and a worker handed
+// one anyway answers bad_request. Forward user pieces fold their block
+// sums and ⊗ with the op's VM program, resolved (and hash-verified)
+// against this worker's own registry: a coordinator pins the content
+// hash on every piece, so a worker holding a stale or missing
+// registration answers the typed op_hash/bad_request and the
+// coordinator re-pushes and retries (then falls back to star).
 //
 // Any peer failure — a round timeout, a dead peer, a canceled sibling —
 // surfaces as the typed ErrXchgFailed, and the coordinator re-runs the
@@ -49,6 +58,7 @@ import (
 	"time"
 
 	"scans/internal/arena"
+	"scans/internal/combine"
 )
 
 // xchgKey addresses one mailbox slot: the carry message rank `rank`
@@ -257,6 +267,20 @@ func xcomb(op Op, a, b xpair) xpair {
 	return xpair{Combine(op, a.v, b.v), a.r}
 }
 
+// xcombSpec is xcomb generalized to bound user ops: the value half runs
+// the op's VM program (which can fail — budget blowout on pathological
+// carries), builtins take the infallible fast path.
+func xcombSpec(spec Spec, fr *combine.Frame, a, b xpair) (xpair, error) {
+	if b.r {
+		return xpair{b.v, true}, nil
+	}
+	v, err := CombineSpec(spec, fr, a.v, b.v)
+	if err != nil {
+		return xpair{}, err
+	}
+	return xpair{v, a.r}, nil
+}
+
 // XchgPiece describes one piece's role in a carry exchange, for
 // Client.ScanXchg: the group id, the piece's rank, every rank's worker
 // address, whether the piece opens at a segment head, whether the
@@ -268,6 +292,10 @@ type XchgPiece struct {
 	Head   bool
 	Seeded bool
 	Init   int64
+	// OpHash pins the user-op registration the piece must run under
+	// (user ops only; 0 for builtins). The worker verifies it against
+	// its own registry and answers op_hash on mismatch.
+	OpHash uint64
 }
 
 // ScanXchg runs one exchange-mode piece on the server: the raw segment
@@ -278,7 +306,7 @@ func (c *Client) ScanXchg(ctx context.Context, op, kind, dir, tenant string, dat
 	req := WireRequest{
 		Type: "scan_xchg", Op: op, Kind: kind, Dir: dir, Tenant: tenant, Data: data,
 		Group: x.Group, Rank: x.Rank, Peers: x.Peers,
-		XHead: x.Head, XSeed: x.Seeded, Init: x.Init,
+		XHead: x.Head, XSeed: x.Seeded, Init: x.Init, OpHash: x.OpHash,
 	}
 	resp, err := c.roundTrip(ctx, req)
 	if err != nil {
@@ -337,10 +365,36 @@ func (ns *NetServer) serveXchgPiece(ctx context.Context, spec Spec, req WireRequ
 	}
 	data := req.Data
 	op := spec.Op
+	var fr combine.Frame
+	if spec.Op == OpUser {
+		// Forward only: ⊗ folds on the right while the star chain's
+		// backward seed folds on the left, and a user op need not be
+		// commutative (see the package comment).
+		if spec.Dir == Backward {
+			return nil, fmt.Errorf("%w: backward user-op scans run on the star plane only", ErrBadRequest)
+		}
+		rs, ok := ns.be.(OpResolver)
+		if !ok {
+			return nil, fmt.Errorf("%w: backend hosts no user-op registry", ErrBadRequest)
+		}
+		var err error
+		if spec, err = rs.ResolveScanOp(spec, tenant); err != nil {
+			return nil, err
+		}
+	}
 
-	fold := Identity(op)
-	for _, v := range data {
-		fold = Combine(op, fold, v)
+	fold := IdentitySpec(spec)
+	if spec.Op == OpUser {
+		for _, v := range data {
+			var err error
+			if fold, err = CombineSpec(spec, &fr, fold, v); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for _, v := range data {
+			fold = Combine(op, fold, v)
+		}
 	}
 	// The piece's contribution: for a backward piece opening at a head,
 	// the star chain resets to the identity AFTER seeding the pieces to
@@ -349,8 +403,8 @@ func (ns *NetServer) serveXchgPiece(ctx context.Context, spec Spec, req WireRequ
 	if req.XHead && spec.Dir == Backward {
 		cv = Identity(op)
 	}
-	T := xpair{v: cv, r: req.XHead} // running subcube total
-	C := xpair{v: Identity(op)}     // exclusive prefix of lower ranks
+	T := xpair{v: cv, r: req.XHead}   // running subcube total
+	C := xpair{v: IdentitySpec(spec)} // exclusive prefix of lower ranks
 
 	timeout := ns.ncfg.XchgRoundTimeout
 	rounds := bits.Len(uint(k - 1))
@@ -374,13 +428,18 @@ func (ns *NetServer) serveXchgPiece(ctx context.Context, spec Spec, req WireRequ
 			return nil, fmt.Errorf("%w: round %d await from rank %d: %v", ErrXchgFailed, j, partner, err)
 		}
 		P := xpair{v: m.val, r: m.reset}
+		var cerr error
 		if partner < rank {
 			// The partner's subcube sits immediately below ours in rank
 			// order: it joins the exclusive prefix and prepends the total.
-			C = xcomb(op, P, C)
-			T = xcomb(op, P, T)
+			if C, cerr = xcombSpec(spec, &fr, P, C); cerr == nil {
+				T, cerr = xcombSpec(spec, &fr, P, T)
+			}
 		} else {
-			T = xcomb(op, T, P)
+			T, cerr = xcombSpec(spec, &fr, T, P)
+		}
+		if cerr != nil {
+			return nil, cerr
 		}
 	}
 
@@ -393,7 +452,10 @@ func (ns *NetServer) serveXchgPiece(ctx context.Context, spec Spec, req WireRequ
 	}
 	seed := C.v
 	if !C.r {
-		seed = Combine(op, req.Init, C.v)
+		var err error
+		if seed, err = CombineSpec(spec, &fr, req.Init, C.v); err != nil {
+			return nil, err
+		}
 	}
 	// Apply by the star plane's phantom-element trick, through our own
 	// backend so the piece fuses into batches like any other request:

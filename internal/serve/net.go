@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -590,6 +591,27 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 			releaseData(req.Data)
 			cs.resume(req)
 			continue
+		case "register_op":
+			// Combine-op registration: a control message, answered inline
+			// (validation property-tests the program, which is bounded by
+			// the VM step budget). The ack carries the content hash the
+			// tenant can pin scans with.
+			releaseData(req.Data)
+			t := req.Tenant
+			if t == "" {
+				t = tenant
+			}
+			if or, ok := ns.be.(OpRegistrar); ok {
+				hash, rerr := or.RegisterScanOp(t, req.Name, req.Source)
+				if rerr != nil {
+					respond(WireResponse{ID: req.ID, Error: rerr.Error(), Code: codeForError(rerr)})
+				} else {
+					respond(WireResponse{ID: req.ID, OpHash: hash})
+				}
+			} else {
+				respond(WireResponse{ID: req.ID, Error: "backend does not accept combine-op registrations", Code: CodeBadRequest})
+			}
+			continue
 		case "heartbeat":
 			releaseData(req.Data)
 			if ann, ok := ns.be.(Announcer); ok {
@@ -613,6 +635,11 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 			respond(WireResponse{ID: req.ID, Error: err.Error(), Code: codeForError(err)})
 			continue
 		}
+		if spec.Op == OpUser {
+			// Carry the caller's pin to admission; resolution verifies it
+			// there (code "op_hash" on mismatch).
+			spec.Hash = req.OpHash
+		}
 		var isFloat bool
 		switch req.Elem {
 		case "", ElemInt64:
@@ -621,6 +648,11 @@ func (ns *NetServer) serveConn(conn net.Conn, codec connCodec) {
 		default:
 			releaseData(req.Data)
 			respond(WireResponse{ID: req.ID, Error: fmt.Sprintf("unknown elem %q", req.Elem), Code: CodeBadRequest})
+			continue
+		}
+		if isFloat && spec.Op == OpUser {
+			releaseData(req.Data)
+			respond(WireResponse{ID: req.ID, Error: "user combine ops run over int64 words only", Code: CodeBadRequest})
 			continue
 		}
 		worst := codec.worstResp(len(req.Data))
@@ -930,6 +962,41 @@ func (c *Client) ScanTenantCtx(ctx context.Context, op, kind, dir, tenant string
 	return resp.Result, nil
 }
 
+// ScanPinned is ScanTenantCtx for user combine ops with a pinned
+// registration hash (op "user:<name>"): the server refuses to combine
+// with any program whose content hash differs from opHash (code
+// "op_hash" → ErrOpHash). opHash 0 means unpinned. Cluster
+// coordinators use the pin on every piece they dispatch, so a worker
+// holding a stale registration can never silently combine with the
+// wrong function.
+func (c *Client) ScanPinned(ctx context.Context, op, kind, dir, tenant string, opHash uint64, data []int64) ([]int64, error) {
+	req := WireRequest{Op: op, Kind: kind, Dir: dir, Tenant: tenant, OpHash: opHash, Data: data}
+	resp, err := c.roundTrip(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Result == nil {
+		resp.Result = []int64{}
+	}
+	return resp.Result, nil
+}
+
+// RegisterOp registers source as the tenant-scoped combine op name
+// ("" tenant = this connection's default fairness tenant, the client's
+// remote address) and returns the registration's content hash.
+// Rejections come back typed: ErrBadOp wraps every validation failure,
+// with the property-test counterexample in the message.
+func (c *Client) RegisterOp(ctx context.Context, tenant, name, source string) (uint64, error) {
+	resp, err := c.roundTrip(ctx, WireRequest{Type: "register_op", Tenant: tenant, Name: name, Source: source})
+	if err != nil {
+		return 0, err
+	}
+	if resp.OpHash == 0 {
+		return 0, fmt.Errorf("%w: register_op ack missing content hash (pre-user-op server?)", ErrBadRequest)
+	}
+	return resp.OpHash, nil
+}
+
 // ScanFloats performs one float64 scan round trip (elem "float64" on
 // the wire). Supported ops and the exactness contract are documented in
 // wirefloat.go: max/min over any non-NaN floats, sum over
@@ -1072,6 +1139,13 @@ func (c *Client) sendBin(req WireRequest) error {
 	var frame []byte
 	switch req.Type {
 	case "":
+		if name, ok := strings.CutPrefix(req.Op, "user:"); ok {
+			frame = arena.GetBytes(binwire.ScanFrameBytes(req.Tenant, len(req.Data)) + binwire.UserOpBytes(name))[:0]
+			frame = binwire.AppendScanUser(frame, req.ID,
+				binKindByte(req.Kind), binDirByte(req.Dir), name, req.OpHash,
+				req.TimeoutMS, req.Tenant, req.Data)
+			break
+		}
 		n := len(req.Data)
 		if req.Elem == ElemFloat64 {
 			n = len(req.FData)
@@ -1081,6 +1155,12 @@ func (c *Client) sendBin(req WireRequest) error {
 			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir), binElemByte(req.Elem),
 			req.TimeoutMS, req.Tenant, req.Data, req.FData)
 	case "stream_open":
+		if name, ok := strings.CutPrefix(req.Op, "user:"); ok {
+			frame = arena.GetBytes(binwire.StreamOpenFrameBytes() + binwire.UserOpBytes(name))[:0]
+			frame = binwire.AppendStreamOpenUser(frame, req.ID, req.Stream,
+				binKindByte(req.Kind), binDirByte(req.Dir), name, req.OpHash, req.WantAck)
+			break
+		}
 		frame = arena.GetBytes(binwire.StreamOpenFrameBytes())[:0]
 		if req.WantAck {
 			frame = binwire.AppendStreamOpen2(frame, req.ID, req.Stream,
@@ -1102,6 +1182,14 @@ func (c *Client) sendBin(req WireRequest) error {
 		frame = arena.GetBytes(binwire.HeartbeatFrameBytes(req.Addr))[:0]
 		frame = binwire.AppendHeartbeat(frame, req.ID, req.Addr, req.Weight, req.MaxLine, binProtoByte(req.WProto))
 	case "scan_xchg":
+		if name, ok := strings.CutPrefix(req.Op, "user:"); ok {
+			frame = arena.GetBytes(binwire.ScanXchgFrameBytes(req.Tenant, req.Peers, len(req.Data)) + binwire.UserOpBytes(name))[:0]
+			frame = binwire.AppendScanXchgUser(frame, req.ID,
+				binKindByte(req.Kind), binDirByte(req.Dir), name, req.OpHash,
+				req.TimeoutMS, req.Tenant, req.Group, req.Rank, req.Peers,
+				req.XHead, req.XSeed, req.Init, req.Data)
+			break
+		}
 		frame = arena.GetBytes(binwire.ScanXchgFrameBytes(req.Tenant, req.Peers, len(req.Data)))[:0]
 		frame = binwire.AppendScanXchg(frame, req.ID,
 			binOpByte(req.Op), binKindByte(req.Kind), binDirByte(req.Dir),
@@ -1110,6 +1198,9 @@ func (c *Client) sendBin(req WireRequest) error {
 	case "carry_xchg":
 		frame = arena.GetBytes(binwire.CarryXchgFrameBytes())[:0]
 		frame = binwire.AppendCarryXchg(frame, req.ID, req.Group, req.Round, req.From, req.Rank, req.XVal, req.XReset)
+	case "register_op":
+		frame = arena.GetBytes(binwire.RegisterOpFrameBytes(req.Tenant, req.Name, req.Source))[:0]
+		frame = binwire.AppendRegisterOp(frame, req.ID, req.Tenant, req.Name, req.Source)
 	default:
 		return fmt.Errorf("%w: unknown message type %q", ErrBadRequest, req.Type)
 	}
@@ -1214,6 +1305,8 @@ func (c *Client) readFrames() error {
 				seq := bresp.Seq
 				resp.Seq = &seq
 			}
+		case binwire.FOpAck:
+			resp.OpHash = bresp.OpHash
 		}
 		c.dispatch(resp)
 	}

@@ -53,6 +53,17 @@ func binOpString(b byte) string {
 	return fmt.Sprintf("bin:0x%02x", b)
 }
 
+// binOpWire is binOpString plus the user-op namespace: an OpUser byte
+// decodes to the "user:<name>" wire string, so an empty or unregistered
+// name is rejected by ParseSpec/resolveUserOp with bad_request — never
+// bad_frame — keeping the two codecs' rejection vocabulary identical.
+func binOpWire(q binwire.Request) string {
+	if q.Op == binwire.OpUser {
+		return "user:" + q.Name
+	}
+	return binOpString(q.Op)
+}
+
 func binKindByte(kind string) byte {
 	switch kind {
 	case "", "exclusive":
@@ -169,7 +180,8 @@ func wireFromBin(q binwire.Request) WireRequest {
 		req.MaxLine = q.MaxLine
 	case binwire.FScanXchg:
 		req.Type = "scan_xchg"
-		req.Op = binOpString(q.Op)
+		req.Op = binOpWire(q)
+		req.OpHash = q.OpHash
 		req.Kind = binKindString(q.Kind)
 		req.Dir = binDirString(q.Dir)
 		req.Group = q.Group
@@ -186,9 +198,14 @@ func wireFromBin(q binwire.Request) WireRequest {
 		req.Rank = q.Rank
 		req.XVal = q.XVal
 		req.XReset = q.XReset
+	case binwire.FRegisterOp:
+		req.Type = "register_op"
+		req.Name = q.Name
+		req.Source = q.Source
 	}
 	if q.Type == binwire.FScan || q.Type == binwire.FStreamOpen || q.Type == binwire.FStreamOpen2 {
-		req.Op = binOpString(q.Op)
+		req.Op = binOpWire(q)
+		req.OpHash = q.OpHash
 		req.Kind = binKindString(q.Kind)
 		req.Dir = binDirString(q.Dir)
 		req.Elem = binElemString(q.Elem)
@@ -251,6 +268,9 @@ func (b *binConn) respond(resp WireResponse) {
 		}
 		frame = arena.GetBytes(binwire.AckFrameBytes(resp.Resume))[:0]
 		frame = binwire.AppendAck(frame, resp.ID, seq, resp.Window, resp.Resume)
+	case resp.OpHash != 0:
+		frame = arena.GetBytes(binwire.OpAckFrameBytes())[:0]
+		frame = binwire.AppendOpAck(frame, resp.ID, resp.OpHash)
 	case resp.Total != nil:
 		frame = arena.GetBytes(binwire.TotalFrameBytes())[:0]
 		frame = binwire.AppendTotal(frame, resp.ID, *resp.Total)

@@ -19,10 +19,11 @@ import (
 //   - connection-level errors (torn line, dropped conn, EOF) — the
 //     request's fate is unknown; retry (the service is idempotent:
 //     scans are pure functions of their input).
-//   - ErrBadRequest, ErrClosed, context.DeadlineExceeded,
-//     context.Canceled — retrying cannot help (the request is wrong,
-//     the server is going away, or the caller's time budget is spent);
-//     fail fast.
+//   - ErrBadRequest, ErrBadOp, ErrOpBudget, ErrClosed,
+//     context.DeadlineExceeded, context.Canceled — retrying cannot help
+//     (the request or the user op is wrong, the server is going away,
+//     or the caller's time budget is spent); fail fast. ErrOpHash stays
+//     retryable: a different worker may hold the right registration.
 //
 // The zero value is usable; Do applies defaults.
 type RetryPolicy struct {
@@ -65,6 +66,8 @@ func (p RetryPolicy) Retryable(err error) bool {
 	case err == nil:
 		return false
 	case errors.Is(err, ErrBadRequest),
+		errors.Is(err, ErrBadOp),
+		errors.Is(err, ErrOpBudget),
 		errors.Is(err, ErrClosed),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, context.Canceled):

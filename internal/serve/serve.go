@@ -36,6 +36,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scans/internal/combine"
 	"scans/internal/fault"
 	"scans/internal/scan"
 )
@@ -97,6 +98,23 @@ var (
 	// re-running the whole request on the star data plane, which has no
 	// peer dependencies.
 	ErrXchgFailed = errors.New("serve: exchange failed (a peer carry-exchange round did not complete)")
+	// ErrBadOp means a register_op submission was rejected: the program
+	// failed to parse, failed the monoid property tests (the error
+	// detail carries the counterexample), or the tenant is at its op
+	// cap. Not retryable — the submission itself is wrong.
+	ErrBadOp = errors.New("serve: bad user op")
+	// ErrOpBudget means a user-defined combine op exceeded its per-call
+	// step budget while serving a request. Validation bounds the op on
+	// the inputs it sampled, but a data-dependent loop can still run
+	// long on the caller's actual data; only the offending request
+	// fails — the rest of its batch group is unaffected.
+	ErrOpBudget = errors.New("serve: combine op exceeded its step budget")
+	// ErrOpHash means a scan named a user op whose registration hash
+	// differs from the one the caller pinned (WireRequest.OpHash): the
+	// serving node holds a different program under that name. The
+	// cluster coordinator reacts by re-pushing its registration and
+	// retrying (star), or falling back to star from the exchange plane.
+	ErrOpHash = errors.New("serve: combine op content hash mismatch")
 )
 
 // Op identifies the scan operator of a request. The service fixes the
@@ -115,9 +133,15 @@ const (
 	// OpMul is the ×-scan (identity 1).
 	OpMul
 	opCount
+	// OpUser is a tenant-registered combine op (internal/combine): the
+	// wire form is "user:<name>", and Spec.User carries the name. Not
+	// counted in opCount — a user spec is valid only with a name, and
+	// servable only once resolved against a registry (Spec.Bind).
+	OpUser Op = 255
 )
 
-// String returns the wire name of the op ("sum", "max", "min", "mul").
+// String returns the wire name of the op ("sum", "max", "min", "mul";
+// "user" for registered ops — Spec.OpString includes the name).
 func (o Op) String() string {
 	switch o {
 	case OpSum:
@@ -128,6 +152,8 @@ func (o Op) String() string {
 		return "min"
 	case OpMul:
 		return "mul"
+	case OpUser:
+		return "user"
 	}
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
@@ -173,24 +199,82 @@ func (d Dir) String() string {
 
 // Spec fully identifies a scan flavor. Requests with equal Specs fuse
 // into the same segmented kernel pass.
+//
+// User ops: Op == OpUser names a tenant-registered combine op. User
+// carries the registered name (the wire form is "user:<name>") and
+// Hash optionally pins the expected registration content hash — the
+// admission path verifies it against the live registration and then
+// zeroes it, so futures carrying the same registration land in the
+// same batch group regardless of whether their callers pinned. The
+// unexported reg field is the resolved registration; it participates
+// in Spec equality, which is what scopes batch groups to one exact
+// registration (a replacement mid-flight starts a new group instead of
+// mixing semantics).
 type Spec struct {
 	Op   Op
 	Kind Kind
 	Dir  Dir
+
+	// User is the registered op name when Op == OpUser ("" otherwise).
+	User string
+	// Hash, when nonzero on an OpUser spec, pins the expected
+	// registration content hash; a mismatch at admission is ErrOpHash.
+	Hash uint64
+
+	reg *combine.Registered
 }
 
 // valid reports whether every field is in range.
 func (s Spec) valid() bool {
-	return s.Op < opCount && s.Kind < kindCount && s.Dir < dirCount
+	if s.Kind >= kindCount || s.Dir >= dirCount {
+		return false
+	}
+	if s.Op == OpUser {
+		return s.User != ""
+	}
+	return s.Op < opCount && s.User == "" && s.Hash == 0
 }
 
 // Valid reports whether every field is in range, for Backend
 // implementations that accept Specs built outside ParseSpec.
 func (s Spec) Valid() bool { return s.valid() }
 
+// OpString returns the wire name of the spec's operator: "sum", "max",
+// "min", "mul", or "user:<name>".
+func (s Spec) OpString() string {
+	if s.Op == OpUser {
+		return "user:" + s.User
+	}
+	return s.Op.String()
+}
+
 // String returns e.g. "sum/exclusive/forward".
 func (s Spec) String() string {
-	return s.Op.String() + "/" + s.Kind.String() + "/" + s.Dir.String()
+	return s.OpString() + "/" + s.Kind.String() + "/" + s.Dir.String()
+}
+
+// Bind returns a copy of the spec carrying a resolved registration, so
+// Backend implementations that already hold the Registered (cluster
+// workers serving exchange pieces, the coordinator's own folds) skip
+// the registry lookup at admission. Bind does not bypass verification:
+// admission still checks any pinned Hash against the binding.
+func (s Spec) Bind(r *combine.Registered) Spec {
+	s.reg = r
+	return s
+}
+
+// Binding returns the resolved registration of an admitted OpUser spec
+// (nil for builtins or unresolved specs).
+func (s Spec) Binding() *combine.Registered { return s.reg }
+
+// Width returns the spec's element tuple width: 1 for every builtin,
+// the registered program's width for a bound user op. Payload lengths
+// must be a multiple of it.
+func (s Spec) Width() int {
+	if s.reg != nil {
+		return s.reg.Width()
+	}
+	return 1
 }
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -243,6 +327,10 @@ type Config struct {
 	// consults the fault.KernelSlow and fault.KernelPanic points inside
 	// each kernel pass. nil (the default) costs a nil check per batch.
 	Faults *fault.Set
+	// OpCap bounds how many distinct user combine ops one tenant may
+	// register (re-registration of an existing name never counts).
+	// <= 0 means combine.DefaultPerTenantCap.
+	OpCap int
 
 	// legacyFlatten selects the pre-zero-copy group path (flatten into a
 	// fused src/flags vector, results as subslices of a fresh output).
@@ -423,6 +511,10 @@ type Server struct {
 	fpCorrupt *fault.Point
 	fpSkew    *fault.Point
 
+	// ops is the tenant-scoped user combine-op registry; scans naming
+	// "user:<name>" resolve against it at admission.
+	ops *combine.Registry
+
 	mu     sync.RWMutex // guards closed vs. sends on queue
 	closed bool
 
@@ -446,6 +538,7 @@ func newStopped(cfg Config) *Server {
 		cfg:       cfg,
 		queue:     make(chan *Future, cfg.QueueLimit),
 		execCh:    make(chan []*Future, cfg.Executors),
+		ops:       combine.NewRegistry(cfg.OpCap),
 		fpSlow:    cfg.Faults.Point(fault.KernelSlow),
 		fpPanic:   cfg.Faults.Point(fault.KernelPanic),
 		fpStall:   cfg.Faults.Point(fault.ExecStall),
@@ -483,7 +576,13 @@ func (s *Server) SubmitReq(ctx context.Context, r Req) (*Future, error) {
 func (s *Server) submitReq(ctx context.Context, r Req, poolable bool) (*Future, error) {
 	if !r.Spec.valid() {
 		s.stats.rejected.Add(1)
-		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, r.Spec)
+		return nil, fmt.Errorf("%w: invalid spec %s", ErrBadRequest, r.Spec)
+	}
+	if r.Spec.Op == OpUser {
+		if err := s.resolveUserOp(&r); err != nil {
+			s.stats.rejected.Add(1)
+			return nil, err
+		}
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -541,6 +640,72 @@ func (s *Server) submitReq(ctx context.Context, r Req, poolable bool) (*Future, 
 		}
 		return nil, ErrOverloaded
 	}
+}
+
+// resolveUserOp binds an OpUser request to its live registration:
+// lookup (unless the caller pre-bound via Spec.Bind), pinned-hash
+// verification, and tuple-width admission. On success the spec's Hash
+// is zeroed — it has served its purpose — so equal registrations fuse
+// into one batch group however their callers pinned.
+func (s *Server) resolveUserOp(r *Req) error {
+	reg := r.Spec.reg
+	if reg == nil {
+		if reg = s.ops.Lookup(r.Tenant, r.Spec.User); reg == nil {
+			return fmt.Errorf("%w: unknown user op %q for tenant %q (register_op first)", ErrBadRequest, r.Spec.User, r.Tenant)
+		}
+	}
+	if r.Spec.Hash != 0 && r.Spec.Hash != reg.Hash {
+		return fmt.Errorf("%w: op %q is registered as %#016x here, caller pinned %#016x", ErrOpHash, r.Spec.User, reg.Hash, r.Spec.Hash)
+	}
+	if w := reg.Width(); len(r.Data)%w != 0 {
+		return fmt.Errorf("%w: op %q combines width-%d tuples; %d elements is not a whole number of tuples", ErrBadRequest, r.Spec.User, w, len(r.Data))
+	}
+	if r.seeded && reg.Width() != 1 {
+		return fmt.Errorf("%w: op %q has width %d; streams carry width-1 ops only", ErrBadRequest, r.Spec.User, reg.Width())
+	}
+	r.Spec.Hash = 0
+	r.Spec.reg = reg
+	return nil
+}
+
+// RegisterScanOp validates source as a monoid and installs it as
+// (tenant, name), returning the registration's content hash. This is
+// the optional Backend capability behind the wire's register_op
+// request (see OpRegistrar); rejections — parse errors, failed
+// property tests with their counterexample, the tenant op cap — come
+// back wrapped in ErrBadOp, which the wire maps to the bad_op code.
+func (s *Server) RegisterScanOp(tenant, name, source string) (uint64, error) {
+	reg, err := s.ops.Register(tenant, name, source)
+	if err != nil {
+		s.stats.opRejects.Add(1)
+		return 0, fmt.Errorf("%w: %w", ErrBadOp, err)
+	}
+	s.stats.opRegisters.Add(1)
+	return reg.Hash, nil
+}
+
+// LookupScanOp returns the tenant's live registration by name (nil if
+// absent). Cluster coordinators use it to stamp piece specs with the
+// registration they are dispatching for.
+func (s *Server) LookupScanOp(tenant, name string) *combine.Registered {
+	return s.ops.Lookup(tenant, name)
+}
+
+// ResolveScanOp binds a user-op spec to the tenant's live registration
+// so callers outside the batch path (the worker-side exchange plane)
+// can fold with the op's VM program. A pinned spec.Hash is verified
+// (ErrOpHash on mismatch) and zeroed in the returned spec; width-1 ops
+// only — the carries these callers fold are scalars. Builtin specs pass
+// through unchanged.
+func (s *Server) ResolveScanOp(spec Spec, tenant string) (Spec, error) {
+	if spec.Op != OpUser {
+		return spec, nil
+	}
+	r := Req{Spec: spec, Tenant: tenant, seeded: true}
+	if err := s.resolveUserOp(&r); err != nil {
+		return Spec{}, err
+	}
+	return r.Spec, nil
 }
 
 // scanReq is the pooled synchronous path shared by Submit, SubmitCtx,
@@ -809,4 +974,35 @@ func Identity(op Op) int64 {
 		return 1
 	}
 	return 0
+}
+
+// IdentitySpec generalizes Identity to bound user ops (width-1: the
+// scalar carry paths — streams and cluster shard seeding — only exist
+// for width-1 monoids).
+func IdentitySpec(s Spec) int64 {
+	if s.Op == OpUser && s.reg != nil {
+		return s.reg.Prog.Identity[0]
+	}
+	return Identity(s.Op)
+}
+
+// CombineSpec folds two scalars with the spec's monoid — the carry
+// arithmetic behind streams and cluster shard seeding, generalized to
+// bound width-1 user ops. Builtins cannot fail; a user op that blows
+// its step budget returns ErrOpBudget, any other VM fault ErrInternal.
+func CombineSpec(s Spec, fr *combine.Frame, a, b int64) (int64, error) {
+	if s.Op != OpUser {
+		return Combine(s.Op, a, b), nil
+	}
+	if s.reg == nil {
+		return 0, fmt.Errorf("%w: user op %q is unbound", ErrInternal, s.User)
+	}
+	v, err := s.reg.Prog.ExecScalar(fr, a, b)
+	if err != nil {
+		if errors.Is(err, combine.ErrBudget) {
+			return 0, fmt.Errorf("%w: op %q: %v", ErrOpBudget, s.User, err)
+		}
+		return 0, fmt.Errorf("%w: op %q faulted: %v", ErrInternal, s.User, err)
+	}
+	return v, nil
 }

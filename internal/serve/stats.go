@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 	"sync/atomic"
 
 	"scans/internal/arena"
@@ -40,6 +41,27 @@ type stats struct {
 	streamsFailed  atomic.Uint64
 	streamsExpired atomic.Uint64
 	streamsActive  atomic.Int64
+
+	// User combine-op ledger (internal/combine): registration outcomes,
+	// serve-time step-budget failures, and per-registration serve
+	// counts. The per-op map is mutex-guarded — it is touched once per
+	// user-op GROUP, not per request, so it never sits on the builtin
+	// hot path.
+	opRegisters   atomic.Uint64
+	opRejects     atomic.Uint64
+	opBudgetFails atomic.Uint64
+	opMu          sync.Mutex
+	opServed      map[string]uint64 // "tenant:name" → requests served
+}
+
+// recordUserServed bumps the per-registration serve counter.
+func (st *stats) recordUserServed(tenant, name string, n uint64) {
+	st.opMu.Lock()
+	if st.opServed == nil {
+		st.opServed = make(map[string]uint64)
+	}
+	st.opServed[tenant+":"+name] += n
+	st.opMu.Unlock()
 }
 
 // record accounts one executed batch.
@@ -123,6 +145,17 @@ type Stats struct {
 	// StreamsActive is the gauge of currently-open sessions (0 after a
 	// full drain; a positive value with no live connections is a leak).
 	StreamsActive int64
+	// OpRegisters counts accepted register_op submissions (including
+	// idempotent re-registrations); OpRejects counts submissions that
+	// failed validation or the tenant cap (ErrBadOp). OpBudgetFails
+	// counts requests that failed at serve time because their user op
+	// blew its step budget (ErrOpBudget).
+	OpRegisters   uint64
+	OpRejects     uint64
+	OpBudgetFails uint64
+	// UserOps maps "tenant:name" to requests served through that
+	// registration (replacements under one name share the key).
+	UserOps map[string]uint64
 	// BytesPooled totals the payload bytes the zero-copy path served
 	// from recycled arena buffers instead of fresh allocations — the
 	// allocation traffic the arena absorbed. Process-wide (the arena
@@ -140,12 +173,23 @@ func (s Stats) String() string {
 		"requests=%d rejected=%d served=%d deadline_drops=%d shed=%d panics=%d panic_failed=%d corrupt_drops=%d "+
 			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d} "+
 			"streams{open=%d closed=%d failed=%d expired=%d active=%d} "+
+			"user_ops{registered=%d rejected=%d budget_fails=%d served=%d} "+
 			"arena{bytes_pooled=%d misses=%d}",
 		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed, s.CorruptDrops,
 		s.Batches, s.Groups, s.FusedElements,
 		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy,
 		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive,
+		s.OpRegisters, s.OpRejects, s.OpBudgetFails, s.userServedTotal(),
 		s.BytesPooled, s.ArenaMisses)
+}
+
+// userServedTotal sums the per-registration serve counts.
+func (s Stats) userServedTotal() uint64 {
+	var t uint64
+	for _, n := range s.UserOps {
+		t += n
+	}
+	return t
 }
 
 // Stats snapshots the server's counters. Safe to call concurrently
@@ -172,7 +216,19 @@ func (s *Server) Stats() Stats {
 		StreamsFailed:  st.streamsFailed.Load(),
 		StreamsExpired: st.streamsExpired.Load(),
 		StreamsActive:  st.streamsActive.Load(),
+
+		OpRegisters:   st.opRegisters.Load(),
+		OpRejects:     st.opRejects.Load(),
+		OpBudgetFails: st.opBudgetFails.Load(),
 	}
+	st.opMu.Lock()
+	if len(st.opServed) > 0 {
+		out.UserOps = make(map[string]uint64, len(st.opServed))
+		for k, v := range st.opServed {
+			out.UserOps[k] = v
+		}
+	}
+	st.opMu.Unlock()
 	ac := arena.Stats()
 	out.BytesPooled = ac.BytesPooled
 	out.ArenaMisses = ac.Misses

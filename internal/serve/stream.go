@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"sync"
+
+	"scans/internal/arena"
+	"scans/internal/combine"
 )
 
 // Streaming scan sessions: the paper's Figure 10 long-vector rule says
@@ -51,21 +54,37 @@ type Stream struct {
 	mu      sync.Mutex
 	state   streamState
 	failErr error
-	carry   int64 // fold of all chunks so far; starts at Identity(op)
+	carry   int64 // fold of all chunks so far; starts at the op's identity
+	// fr is the VM scratch frame for user-op carry folds; Push holds mu,
+	// so one frame per stream suffices.
+	fr combine.Frame
 }
 
 // OpenStream starts a streaming session for spec. Backward specs are
 // rejected with ErrStreamUnsupported (their carry depends on chunks
 // that have not arrived yet); invalid specs with ErrBadRequest; a
-// closed server with ErrClosed.
+// closed server with ErrClosed. A user-op spec is resolved here, once:
+// the stream binds the live registration (width-1 ops only — the carry
+// is a scalar) and every chunk runs under it, so a re-registration
+// mid-stream cannot change the stream's semantics.
 func (s *Server) OpenStream(spec Spec, tenant string) (*Stream, error) {
 	if !spec.valid() {
 		s.stats.rejected.Add(1)
-		return nil, fmt.Errorf("%w: invalid spec %+v", ErrBadRequest, spec)
+		return nil, fmt.Errorf("%w: invalid spec %s", ErrBadRequest, spec)
 	}
 	if spec.Dir == Backward {
 		s.stats.rejected.Add(1)
 		return nil, ErrStreamUnsupported
+	}
+	if spec.Op == OpUser {
+		// seeded marks the request as a stream chunk, which also enforces
+		// the width-1 rule at resolution.
+		r := Req{Spec: spec, Tenant: tenant, seeded: true}
+		if err := s.resolveUserOp(&r); err != nil {
+			s.stats.rejected.Add(1)
+			return nil, err
+		}
+		spec = r.Spec
 	}
 	s.mu.RLock()
 	closed := s.closed
@@ -76,7 +95,7 @@ func (s *Server) OpenStream(spec Spec, tenant string) (*Stream, error) {
 	}
 	s.stats.streamsOpened.Add(1)
 	s.stats.streamsActive.Add(1)
-	return &Stream{srv: s, spec: spec, tenant: tenant, carry: Identity(spec.Op)}, nil
+	return &Stream{srv: s, spec: spec, tenant: tenant, carry: IdentitySpec(spec)}, nil
 }
 
 // Spec returns the stream's scan flavor.
@@ -117,10 +136,19 @@ func (st *Stream) Push(ctx context.Context, chunk []int64) ([]int64, error) {
 	}
 	// New carry = fold of everything so far. The inclusive form reads
 	// it off the last output; the exclusive form's last output stops
-	// one element short, so fold the last input back in.
+	// one element short, so fold the last input back in (with the
+	// spec's own monoid — for user ops that is one more VM call, which
+	// can fail on pathological data; a failed fold means the carry is
+	// untrusted, so it fails the stream like any chunk error).
 	last := res[len(res)-1]
 	if st.spec.Kind == Exclusive {
-		last = Combine(st.spec.Op, last, chunk[len(chunk)-1])
+		var ferr error
+		last, ferr = CombineSpec(st.spec, &st.fr, last, chunk[len(chunk)-1])
+		if ferr != nil {
+			arena.PutInt64s(res)
+			st.failLocked(ferr)
+			return nil, ferr
+		}
 	}
 	st.carry = last
 	return res, nil

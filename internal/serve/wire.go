@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+	"strings"
 
 	"scans/internal/arena"
 )
@@ -148,8 +149,21 @@ type WireRequest struct {
 	// Stream is the client-chosen stream id for stream_* messages,
 	// unique among the connection's simultaneously-open streams.
 	Stream uint64 `json:"stream,omitempty"`
-	// Op is "sum", "max", "min", or "mul".
+	// Op is "sum", "max", "min", "mul", or "user:<name>" for a combine
+	// op the tenant registered via a "register_op" message.
 	Op string `json:"op"`
+	// Name and Source are the "register_op" fields: Name is the op name
+	// (addressed later as "user:<name>"), Source its combine-VM assembly
+	// (internal/combine). The ack echoes the registration's content hash
+	// in OpHash; rejections (parse error, failed monoid property test
+	// with its counterexample, tenant cap) answer with code "bad_op".
+	Name   string `json:"op_name,omitempty"`
+	Source string `json:"source,omitempty"`
+	// OpHash, when nonzero on a user-op scan, pins the expected
+	// registration content hash: the server refuses to combine with a
+	// different program under that name (code "op_hash"). Cluster
+	// coordinators stamp it on every piece they dispatch.
+	OpHash uint64 `json:"op_hash,omitempty"`
 	// Kind is "exclusive" (default when empty) or "inclusive".
 	Kind string `json:"kind,omitempty"`
 	// Dir is "forward" (default when empty) or "backward".
@@ -233,6 +247,9 @@ type WireResponse struct {
 	// retry vs give-up without parsing English.
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`
+	// OpHash on a register_op ack is the accepted registration's content
+	// hash — the value scans pin via WireRequest.OpHash.
+	OpHash uint64 `json:"op_hash,omitempty"`
 	// Resume is the stream resume token on a resumable stream_open /
 	// stream_resume ack; Seq on a stream_resume ack is the 1-based index
 	// of the next chunk the server expects (a pointer so the field is
@@ -299,6 +316,19 @@ const (
 	// coordinator retries the request on the star data plane rather than
 	// retrying the piece.
 	CodeXchgFailed = "xchg_failed"
+	// CodeBadOp: a register_op submission was rejected (parse error,
+	// failed monoid property test — the message carries the
+	// counterexample — or tenant op cap). Not retryable.
+	CodeBadOp = "bad_op"
+	// CodeOpBudget: a user op exceeded its per-call step budget on this
+	// request's actual data. Only this request failed. Not retryable
+	// with the same data; the op needs fixing.
+	CodeOpBudget = "op_budget"
+	// CodeOpHash: the scan pinned a registration content hash that does
+	// not match the program the server holds under that name. A typed
+	// answer — the server is alive; re-push the registration (or drop
+	// the pin) and retry.
+	CodeOpHash = "op_hash"
 )
 
 // codeForError classifies a server-side error into a wire code. The
@@ -312,6 +342,12 @@ func codeForError(err error) string {
 		return CodeNoStream
 	case errors.Is(err, ErrStreamFailed):
 		return CodeStreamFailed
+	case errors.Is(err, ErrBadOp):
+		return CodeBadOp
+	case errors.Is(err, ErrOpBudget):
+		return CodeOpBudget
+	case errors.Is(err, ErrOpHash):
+		return CodeOpHash
 	case errors.Is(err, ErrShardFailed):
 		return CodeShardFailed
 	case errors.Is(err, ErrXchgFailed):
@@ -358,6 +394,12 @@ func errorForCode(code, msg string) error {
 		sentinel = ErrShardFailed
 	case CodeXchgFailed:
 		sentinel = ErrXchgFailed
+	case CodeBadOp:
+		sentinel = ErrBadOp
+	case CodeOpBudget:
+		sentinel = ErrOpBudget
+	case CodeOpHash:
+		sentinel = ErrOpHash
 	case CodeDeadline:
 		sentinel = context.DeadlineExceeded
 	default:
@@ -379,6 +421,11 @@ func errorForCode(code, msg string) error {
 // wire_fast_test.go.
 func appendWireResponse(dst []byte, resp WireResponse) ([]byte, bool) {
 	if resp.Error != "" || resp.Code != "" {
+		return dst, false
+	}
+	if resp.OpHash != 0 {
+		// register_op acks are rare (one per registration); keep them on
+		// encoding/json.
 		return dst, false
 	}
 	if resp.Resume != "" || resp.Seq != nil || resp.Window != 0 {
@@ -527,7 +574,17 @@ func ParseSpec(op, kind, dir string) (Spec, error) {
 	case "mul":
 		s.Op = OpMul
 	default:
-		return s, fmt.Errorf("%w: unknown op %q", ErrBadRequest, op)
+		// The user-op namespace: "user:<name>". Resolution against the
+		// tenant's registry happens at admission; here only the shape is
+		// checked, so an unknown or bad name is always a bad_request —
+		// never a framing error — on both codecs (binwire decodes its
+		// user-op frames into this same string form).
+		name, ok := strings.CutPrefix(op, "user:")
+		if !ok || name == "" {
+			return s, fmt.Errorf("%w: unknown op %q", ErrBadRequest, op)
+		}
+		s.Op = OpUser
+		s.User = name
 	}
 	switch kind {
 	case "", "exclusive":

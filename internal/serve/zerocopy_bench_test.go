@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scans/internal/arena"
+	"scans/internal/combine"
 )
 
 // BenchmarkServeZeroCopyVsFlatten pits the zero-copy serving path
@@ -135,5 +136,49 @@ func TestAllocsSteadyStateScan(t *testing.T) {
 	}
 	if avg := testing.AllocsPerRun(200, run); avg > maxSteadyScanAllocs {
 		t.Errorf("steady-state Scan allocates %.1f objects/request, want <= %d — a copy or per-request allocation crept back into the zero-copy path", avg, maxSteadyScanAllocs)
+	}
+}
+
+// maxSteadyUserOpAllocs bounds allocations per request on the warm
+// user-op (combine VM) path. The VM itself is allocation-free after
+// warm-up — per-executor Frame scratch, arena-backed dst, the same
+// pooled future machinery as the builtins — so the budget is the
+// builtin budget plus 2 for the resolved binding's spec plumbing.
+const maxSteadyUserOpAllocs = maxSteadyScanAllocs + 2
+
+// TestAllocsSteadyStateUserOpScan is check.sh's VM alloc gate: a
+// registered monoid served through the batch path must stay within a
+// fixed allocs/request budget, or the "no allocation beyond a
+// per-executor scratch frame" contract of internal/combine has broken.
+func TestAllocsSteadyStateUserOpScan(t *testing.T) {
+	if raceEnabled {
+		t.Skip("alloc-free pooling is not observable under -race (sync.Pool drops Puts)")
+	}
+	s := New(Config{MaxWait: 50 * time.Microsecond})
+	defer s.Close()
+	if _, err := s.RegisterScanOp("", "gcd", combine.ExampleGCD); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := ParseSpec("user:gcd", "inclusive", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]int64, 256)
+	for i := range data {
+		data[i] = int64((i%9 + 1) * 12)
+	}
+	ctx := context.Background()
+	run := func() {
+		res, err := s.Scan(ctx, spec, data, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		arena.PutInt64s(res)
+	}
+	for i := 0; i < 100; i++ {
+		run()
+	}
+	if avg := testing.AllocsPerRun(200, run); avg > maxSteadyUserOpAllocs {
+		t.Errorf("steady-state user-op Scan allocates %.1f objects/request, want <= %d — the combine VM path has grown a per-request allocation", avg, maxSteadyUserOpAllocs)
 	}
 }

@@ -44,6 +44,12 @@ echo "== alloc-regression gate (no -race: its sync.Pool drops Puts by design)"
 go test -count=1 -run '^TestAllocsSteadyStateScan$' ./internal/serve/
 go test -count=1 -run '^TestSteadyStateAllocFree$' ./internal/arena/
 
+echo "== user-op VM alloc gate (no -race)"
+# The combine VM must serve a registered monoid within a fixed
+# allocs/request budget: no per-call frame or buffer allocation beyond
+# the per-executor scratch the design promises.
+go test -count=1 -run '^TestAllocsSteadyStateUserOpScan$' ./internal/serve/
+
 echo "== fuzz burst: FuzzSegmentedAgainstDirect (10s)"
 go test -fuzz='^FuzzSegmentedAgainstDirect$' -fuzztime=10s -run '^$' ./internal/scan/
 
@@ -52,6 +58,12 @@ go test -fuzz='^FuzzViewKernelsMatchFlattened$' -fuzztime=10s -run '^$' ./intern
 
 echo "== fuzz burst: FuzzStreamedScanMatchesOneShot (10s)"
 go test -fuzz='^FuzzStreamedScanMatchesOneShot$' -fuzztime=10s -run '^$' ./internal/serve/
+
+echo "== fuzz burst: FuzzVMMatchesNative (10s, -race)"
+# User-monoid parity: +/max/min expressed as combine-VM bytecode must
+# answer bit-identically to the native kernels on the same fuzzed
+# traffic, across every kind × dir combination.
+go test -race -fuzz='^FuzzVMMatchesNative$' -fuzztime=10s -run '^$' ./internal/serve/
 
 echo "== fuzz burst: FuzzBinwireMatchesJSON (10s, -race)"
 # Codec parity under the race detector: the same fuzzed traffic through
@@ -117,5 +129,22 @@ go run ./cmd/scanload -workers 2 -clients 8 -requests 400 -n 16384 \
 grep -q 'success=400' "$alloc_tmp/xchg.out" || { echo "FAIL: exchange run lost requests"; exit 1; }
 grep -q 'xchg_fallbacks=0 carry_prescan=0' "$alloc_tmp/xchg.out" || {
 	echo "FAIL: coordinator did O(n) carry pre-scan work in exchange mode"; exit 1; }
+
+echo "== native-vs-VM throughput gate"
+# The same scan load once through the native sum kernel and once
+# through its combine-VM twin (user:add). The VM pays a per-element
+# interpreter dispatch, so a slowdown is expected — the gate only
+# requires a zero-loss, zero-bad_op run on both arms; the two
+# -bench-append phases land as a native-vs-VM row pair (op field) in
+# the bench report, the numbers BENCH_serve.json tracks.
+go run ./cmd/scanload -requests 2000 -n 4096 -clients 8 \
+	-op sum -bench-json "$alloc_tmp/vmnative.json" | tee "$alloc_tmp/native.out"
+go run ./cmd/scanload -requests 2000 -n 4096 -clients 8 \
+	-op user:add -register example:add \
+	-bench-json "$alloc_tmp/vmnative.json" -bench-append | tee "$alloc_tmp/vm.out"
+grep -q 'success=2000' "$alloc_tmp/native.out" || { echo "FAIL: native arm lost requests"; exit 1; }
+grep -q 'success=2000' "$alloc_tmp/vm.out" || { echo "FAIL: VM arm lost requests"; exit 1; }
+grep -q 'bad_op=0' "$alloc_tmp/vm.out" || { echo "FAIL: VM arm hit bad_op"; exit 1; }
+grep -q '"op": "user:add"' "$alloc_tmp/vmnative.json" || { echo "FAIL: bench report missing the VM row's op field"; exit 1; }
 
 echo "check.sh: all green"
