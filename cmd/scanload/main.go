@@ -11,6 +11,13 @@
 // pushed through a streaming session in -chunk-element chunks instead
 // of a one-shot request, measuring the cross-chunk-carry path.
 //
+// -op accepts a comma-separated operator list (e.g.
+// -op sum,user:add,user:gcd): requests round-robin across the ops, so
+// one phase measures a realistic interleave of native kernels and
+// combine-VM dispatch. user:<name> ops whose name matches a built-in
+// example monoid auto-register that example when -register is absent;
+// outcomes are tallied per op as well as in aggregate.
+//
 // Every request's terminal outcome is counted separately — served,
 // rejected-overloaded, shed by queue age, deadline-expired, failed by
 // an isolated kernel panic, lost (no terminal outcome after the retry
@@ -146,6 +153,141 @@ func (o *outcomes) counts() map[string]uint64 {
 	}
 }
 
+// opSpec is one operator in the (possibly mixed) workload: the raw -op
+// token, its parsed spec, and — for user:<name> ops — the combine-op
+// source to register before the run ("" leaves the op unregistered, so
+// requests land in the bad_op bucket by design).
+type opSpec struct {
+	op   string
+	spec serve.Spec
+	name string
+	src  string
+}
+
+// resolveOps parses the comma-separated -op list and resolves each
+// user:<name> op's combine source. -register (a file path or
+// example:<name>) applies when the list has exactly one user op; in
+// mixed-op runs each user:<name> auto-registers the example monoid of
+// the same name if one exists.
+func resolveOps(opsCSV, register, kind, dir string) ([]opSpec, error) {
+	var ops []opSpec
+	userOps := 0
+	for _, tok := range strings.Split(opsCSV, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		spec, err := serve.ParseSpec(tok, kind, dir)
+		if err != nil {
+			return nil, err
+		}
+		o := opSpec{op: tok, spec: spec}
+		if name, ok := strings.CutPrefix(tok, "user:"); ok {
+			o.name = name
+			userOps++
+			if src, ok := combine.Examples[name]; ok {
+				o.src = src
+			}
+		}
+		ops = append(ops, o)
+	}
+	if len(ops) == 0 {
+		return nil, errors.New("-op: empty operator list")
+	}
+	if register != "" {
+		if userOps != 1 {
+			return nil, errors.New("-register needs exactly one user:<name> op; mixed-op runs auto-register example monoids by name")
+		}
+		src := ""
+		if ex, ok := strings.CutPrefix(register, "example:"); ok {
+			if src, ok = combine.Examples[ex]; !ok {
+				return nil, fmt.Errorf("unknown example monoid %q", ex)
+			}
+		} else {
+			b, err := os.ReadFile(register)
+			if err != nil {
+				return nil, err
+			}
+			src = string(b)
+		}
+		for i := range ops {
+			if ops[i].name != "" {
+				ops[i].src = src
+			}
+		}
+	}
+	return ops, nil
+}
+
+// newOutcomeSet allocates one outcome bucket per workload op.
+func newOutcomeSet(nOps int) []*outcomes {
+	outs := make([]*outcomes, nOps)
+	for i := range outs {
+		outs[i] = &outcomes{}
+	}
+	return outs
+}
+
+// aggregateOutcomes folds per-op buckets into one totals block for the
+// top-line report and the lost-request exit check. A single-op set is
+// returned as-is.
+func aggregateOutcomes(outs []*outcomes) *outcomes {
+	if len(outs) == 1 {
+		return outs[0]
+	}
+	agg := &outcomes{}
+	for _, o := range outs {
+		agg.success.Add(o.success.Load())
+		agg.overloaded.Add(o.overloaded.Load())
+		agg.shed.Add(o.shed.Load())
+		agg.deadline.Add(o.deadline.Load())
+		agg.internal.Add(o.internal.Load())
+		agg.badReq.Add(o.badReq.Load())
+		agg.badOp.Add(o.badOp.Load())
+		agg.shardFailed.Add(o.shardFailed.Load())
+		agg.lost.Add(o.lost.Load())
+		agg.retries.Add(o.retries.Load())
+		agg.redials.Add(o.redials.Load())
+		agg.resumed.Add(o.resumed.Load())
+		agg.failedOver.Add(o.failedOver.Load())
+		agg.xchgFallback.Add(o.xchgFallback.Load())
+	}
+	return agg
+}
+
+// perOpCounts renders the per-op buckets for the -bench-json report.
+func perOpCounts(ops []opSpec, outs []*outcomes) map[string]map[string]uint64 {
+	m := make(map[string]map[string]uint64, len(ops))
+	for i, o := range ops {
+		m[o.op] = outs[i].counts()
+	}
+	return m
+}
+
+// printPerOp prints one outcome line per op after the aggregate, so a
+// mixed workload shows which operator degraded.
+func printPerOp(ops []opSpec, outs []*outcomes) {
+	if len(ops) <= 1 {
+		return
+	}
+	for i, o := range ops {
+		fmt.Printf("   [%-12s] %s\n", o.op, outs[i])
+	}
+}
+
+// workloadLabel names the workload for the phase banner: the spec for a
+// single op, the op list for a round-robin mix.
+func workloadLabel(ops []opSpec) string {
+	if len(ops) == 1 {
+		return ops[0].spec.String()
+	}
+	names := make([]string, len(ops))
+	for i, o := range ops {
+		names[i] = o.op
+	}
+	return strings.Join(names, "+") + " round-robin"
+}
+
 // latRec collects per-request end-to-end latencies across all client
 // goroutines for the -bench-json percentile report.
 type latRec struct {
@@ -188,9 +330,17 @@ func (l *latRec) percentiles(ps ...int) []float64 {
 type benchReport struct {
 	Mode             string            `json:"mode"`
 	Wire             string            `json:"wire"`
-	// Op is the scan operator the phase drove ("sum", "user:gcd", ...),
-	// so a native-vs-VM sweep yields distinguishable rows.
-	Op               string            `json:"op,omitempty"`
+	// Op is the scan operator the phase drove ("sum", "user:gcd", or a
+	// comma list for mixed-op runs), so a native-vs-VM sweep yields
+	// distinguishable rows.
+	Op string `json:"op,omitempty"`
+	// Gomaxprocs and NumCPU pin the host parallelism the row was
+	// measured under; VMDispatch records the combine-VM dispatch mode
+	// ("vector" or "scalar") applied to the servers the phase stood up
+	// (for -addr it echoes the flag — set it to match the remote scansd).
+	Gomaxprocs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	VMDispatch string `json:"vm_dispatch"`
 	Requests         int               `json:"requests"`
 	Clients          int               `json:"clients"`
 	ElemsPerRequest  int               `json:"elems_per_request"`
@@ -209,6 +359,9 @@ type benchReport struct {
 	// client-observed outage window.
 	FailoverGapMs float64           `json:"failover_gap_ms,omitempty"`
 	Outcomes      map[string]uint64 `json:"outcomes"`
+	// PerOpOutcomes splits the tallies by operator for mixed-op runs
+	// (-op a,b,c); absent when the phase drove a single op.
+	PerOpOutcomes map[string]map[string]uint64 `json:"per_op_outcomes,omitempty"`
 }
 
 // memSnap snapshots the allocator after a GC settles the heap, so two
@@ -231,8 +384,9 @@ func (r *benchReport) fillMem(m0, m1 runtime.MemStats, requests int) {
 // benchPhase assembles one measured phase's report from the latency
 // recorder, the pre-phase allocator snapshot, and the outcome tallies.
 // wire names the protocol the phase's scan payloads traveled over:
-// "json", "bin", or "none" for in-process phases with no wire at all.
-func benchPhase(mode, wire string, clients, requests, n int, elapsed time.Duration, m0 runtime.MemStats, out *outcomes) benchReport {
+// "json", "bin", or "none" for in-process phases with no wire at all;
+// vm is the combine-VM dispatch mode the phase ran under.
+func benchPhase(mode, wire, vm string, clients, requests, n int, elapsed time.Duration, m0 runtime.MemStats, out *outcomes) benchReport {
 	var m1 runtime.MemStats
 	runtime.ReadMemStats(&m1)
 	ps := benchLat.percentiles(50, 99)
@@ -240,6 +394,9 @@ func benchPhase(mode, wire string, clients, requests, n int, elapsed time.Durati
 	r := benchReport{
 		Mode:            mode,
 		Wire:            wire,
+		Gomaxprocs:      runtime.GOMAXPROCS(0),
+		NumCPU:          runtime.NumCPU(),
+		VMDispatch:      vm,
 		Requests:        requests,
 		Clients:         clients,
 		ElemsPerRequest: n,
@@ -294,8 +451,9 @@ func main() {
 		clients   = flag.Int("clients", 32, "concurrent closed-loop clients")
 		requests  = flag.Int("requests", 10000, "total requests across all clients")
 		n         = flag.Int("n", 256, "elements per scan request")
-		op        = flag.String("op", "sum", "scan operator: sum, max, min, mul, or user:<name> (see -register)")
-		register  = flag.String("register", "", "combine-op source for -op user:<name>: a file path, or example:<name> for a built-in example monoid (gcd, bor, band, satadd, argmax); registered before the run")
+		op        = flag.String("op", "sum", "scan operator, or a comma list to round-robin a mixed workload: sum, max, min, mul, user:<name> (see -register; in a mix, user:<name> auto-registers the example monoid of that name)")
+		register  = flag.String("register", "", "combine-op source for a single -op user:<name>: a file path, or example:<name> for a built-in example monoid (add, gcd, bor, band, satadd, argmax); registered before the run")
+		vmDisp    = flag.String("vm-dispatch", serve.VMDispatchVector, "combine-VM dispatch mode for the servers this tool stands up (in-process and cluster workers): vector or scalar; recorded in -bench-json rows")
 		kind      = flag.String("kind", "exclusive", "exclusive or inclusive")
 		dir       = flag.String("dir", "forward", "forward or backward")
 		maxWait   = flag.Duration("max-wait", 100*time.Microsecond, "batching window (in-process mode)")
@@ -315,31 +473,10 @@ func main() {
 		*chunk = serve.DefaultStreamChunk
 	}
 
-	spec, err := serve.ParseSpec(*op, *kind, *dir)
+	ops, err := resolveOps(*op, *register, *kind, *dir)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "scanload:", err)
 		os.Exit(1)
-	}
-	opName, opSrc := "", ""
-	if *register != "" {
-		var ok bool
-		if opName, ok = strings.CutPrefix(*op, "user:"); !ok || opName == "" {
-			fmt.Fprintln(os.Stderr, "scanload: -register needs -op user:<name>")
-			os.Exit(1)
-		}
-		if ex, ok := strings.CutPrefix(*register, "example:"); ok {
-			if opSrc, ok = combine.Examples[ex]; !ok {
-				fmt.Fprintf(os.Stderr, "scanload: unknown example monoid %q\n", ex)
-				os.Exit(1)
-			}
-		} else {
-			b, err := os.ReadFile(*register)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "scanload: -register:", err)
-				os.Exit(1)
-			}
-			opSrc = string(b)
-		}
 	}
 	policy := serve.RetryPolicy{MaxAttempts: *attempts}
 
@@ -347,8 +484,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scanload: -kill-coordinator-after needs cluster mode (-workers N)")
 		os.Exit(1)
 	}
-	if *killAfter > 0 && opSrc != "" {
-		fmt.Fprintln(os.Stderr, "scanload: -register is not supported in failover mode")
+	if *killAfter > 0 && (len(ops) > 1 || ops[0].src != "") {
+		fmt.Fprintln(os.Stderr, "scanload: mixed ops and user-op registration are not supported in failover mode")
 		os.Exit(1)
 	}
 
@@ -357,20 +494,21 @@ func main() {
 			fmt.Fprintln(os.Stderr, "scanload: -workers and -addr are mutually exclusive")
 			os.Exit(1)
 		}
-		var out outcomes
 		if *killAfter > 0 {
+			var out outcomes
 			fmt.Printf("cluster failover: %d workers (%s wire), primary+standby coordinators, kill primary after %v, %d clients × %d-element %s scans, %d requests total\n",
-				*workersN, *proto, *killAfter, *clients, *n, spec, *requests)
+				*workersN, *proto, *killAfter, *clients, *n, ops[0].spec, *requests)
 			m0 := memSnap()
-			elapsed, cst, gapMs, err := driveFailover(*workersN, *proto, spec, *op, *kind, *dir,
+			elapsed, cst, gapMs, err := driveFailover(*workersN, *proto, *vmDisp, ops[0].spec, ops[0].op, *kind, *dir,
 				*clients, *requests, *n, *maxWait, *timeout, *killAfter, policy, &out, *stream, *chunk)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "scanload:", err)
 				os.Exit(1)
 			}
 			if *benchPath != "" {
-				rep := benchPhase(fmt.Sprintf("cluster-%dw-failover", *workersN), *proto,
+				rep := benchPhase(fmt.Sprintf("cluster-%dw-failover", *workersN), *proto, *vmDisp,
 					*clients, *requests, *n, elapsed, m0, &out)
+				rep.Op = *op
 				rep.FailoverGapMs = gapMs
 				writeBenchJSON(*benchPath, rep, *benchApp)
 			}
@@ -387,25 +525,32 @@ func main() {
 			return
 		}
 		fmt.Printf("cluster: %d workers (%s wire, %s data plane), %d clients × %d-element %s scans, %d requests total\n",
-			*workersN, *proto, *dataPlane, *clients, *n, spec, *requests)
+			*workersN, *proto, *dataPlane, *clients, *n, workloadLabel(ops), *requests)
+		outs := newOutcomeSet(len(ops))
 		m0 := memSnap()
-		elapsed, cst, err := driveCluster(*workersN, *proto, *dataPlane, spec, opName, opSrc, *clients, *requests, *n, *maxWait, *timeout, policy, &out, *stream, *chunk)
+		elapsed, cst, err := driveCluster(*workersN, *proto, *dataPlane, *vmDisp, ops, *clients, *requests, *n, *maxWait, *timeout, policy, outs, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
+		out := aggregateOutcomes(outs)
+		out.xchgFallback.Store(cst.XchgFallbacks)
 		if *benchPath != "" {
 			phase := fmt.Sprintf("cluster-%dw", *workersN)
 			if *dataPlane == cluster.DataPlaneExchange {
 				phase += "-exchange"
 			}
-			rep := benchPhase(phase, *proto, *clients, *requests, *n, elapsed, m0, &out)
+			rep := benchPhase(phase, *proto, *vmDisp, *clients, *requests, *n, elapsed, m0, out)
 			rep.Op = *op
+			if len(ops) > 1 {
+				rep.PerOpOutcomes = perOpCounts(ops, outs)
+			}
 			writeBenchJSON(*benchPath, rep, *benchApp)
 		}
 		report(fmt.Sprintf("%dw", *workersN), *requests, *n, elapsed)
 		fmt.Println("  ", cst)
 		fmt.Println("  ", out.String())
+		printPerOp(ops, outs)
 		if lost := out.lost.Load(); lost > 0 {
 			fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
 			os.Exit(1)
@@ -414,24 +559,29 @@ func main() {
 	}
 
 	if *addr != "" {
-		var out outcomes
+		outs := newOutcomeSet(len(ops))
 		m0 := memSnap()
-		elapsed, err := driveRemote(*addr, *proto, *clients, *requests, *n, *op, *kind, *dir, opName, opSrc, *timeout, policy, &out, *stream, *chunk)
+		elapsed, err := driveRemote(*addr, *proto, *clients, *requests, *n, ops, *kind, *dir, *timeout, policy, outs, *stream, *chunk)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "scanload:", err)
 			os.Exit(1)
 		}
+		out := aggregateOutcomes(outs)
 		label := "remote " + *addr
 		if *stream {
 			label += " (streamed)"
 		}
 		if *benchPath != "" {
-			rep := benchPhase(label, *proto, *clients, *requests, *n, elapsed, m0, &out)
+			rep := benchPhase(label, *proto, *vmDisp, *clients, *requests, *n, elapsed, m0, out)
 			rep.Op = *op
+			if len(ops) > 1 {
+				rep.PerOpOutcomes = perOpCounts(ops, outs)
+			}
 			writeBenchJSON(*benchPath, rep, *benchApp)
 		}
 		report(label, *requests, *n, elapsed)
 		fmt.Println("  ", out.String())
+		printPerOp(ops, outs)
 		if lost := out.lost.Load(); lost > 0 {
 			fmt.Fprintf(os.Stderr, "scanload: %d request(s) LOST (no terminal outcome)\n", lost)
 			os.Exit(1)
@@ -439,7 +589,7 @@ func main() {
 		return
 	}
 
-	fused := serve.Config{MaxWait: *maxWait, QueueLimit: 1 << 15}
+	fused := serve.Config{MaxWait: *maxWait, QueueLimit: 1 << 15, VMDispatch: *vmDisp}
 	unfused := fused
 	unfused.MaxBatchRequests = 1
 
@@ -448,21 +598,28 @@ func main() {
 		mode = fmt.Sprintf(" (streamed, %d-element chunks)", *chunk)
 	}
 	fmt.Printf("in-process: %d clients × %d-element %s scans, %d requests total%s\n",
-		*clients, *n, spec, *requests, mode)
-	var outFused, outUnfused outcomes
+		*clients, *n, workloadLabel(ops), *requests, mode)
+	outsFused, outsUnfused := newOutcomeSet(len(ops)), newOutcomeSet(len(ops))
 	m0 := memSnap()
-	tFused, stFused := driveInProcess(fused, spec, opName, opSrc, *clients, *requests, *n, *timeout, policy, &outFused, *stream, *chunk)
+	tFused, stFused := driveInProcess(fused, ops, *clients, *requests, *n, *timeout, policy, outsFused, *stream, *chunk)
+	outFused := aggregateOutcomes(outsFused)
 	// The bench report covers the fused phase only (the production
 	// config); the unfused phase below exists to price fusion.
-	rep := benchPhase("in-process-fused", "none", *clients, *requests, *n, tFused, m0, &outFused)
+	rep := benchPhase("in-process-fused", "none", *vmDisp, *clients, *requests, *n, tFused, m0, outFused)
 	rep.Op = *op
+	if len(ops) > 1 {
+		rep.PerOpOutcomes = perOpCounts(ops, outsFused)
+	}
 	report("fused", *requests, *n, tFused)
 	fmt.Println("  ", stFused)
 	fmt.Println("  ", outFused.String())
-	tUnfused, stUnfused := driveInProcess(unfused, spec, opName, opSrc, *clients, *requests, *n, *timeout, policy, &outUnfused, *stream, *chunk)
+	printPerOp(ops, outsFused)
+	tUnfused, stUnfused := driveInProcess(unfused, ops, *clients, *requests, *n, *timeout, policy, outsUnfused, *stream, *chunk)
+	outUnfused := aggregateOutcomes(outsUnfused)
 	report("unfused", *requests, *n, tUnfused)
 	fmt.Println("  ", stUnfused)
 	fmt.Println("  ", outUnfused.String())
+	printPerOp(ops, outsUnfused)
 	fmt.Printf("fusion speedup: %.2fx\n", float64(tUnfused)/float64(tFused))
 	if *benchPath != "" {
 		rep.FusionSpeedup = float64(tUnfused) / float64(tFused)
@@ -476,12 +633,17 @@ func main() {
 
 // driveInProcess runs one closed-loop phase against a fresh in-process
 // server and returns the elapsed time and the server's final stats.
-func driveInProcess(cfg serve.Config, spec serve.Spec, opName, opSrc string, clients, requests, n int,
-	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, serve.Stats) {
+// Requests round-robin across ops; each terminal outcome lands in its
+// op's bucket in outs.
+func driveInProcess(cfg serve.Config, ops []opSpec, clients, requests, n int,
+	timeout time.Duration, policy serve.RetryPolicy, outs []*outcomes, stream bool, chunk int) (time.Duration, serve.Stats) {
 	srv := serve.New(cfg)
-	if opSrc != "" {
+	for _, o := range ops {
+		if o.src == "" {
+			continue
+		}
 		// In-process requests run under the "" tenant; register there.
-		if _, err := srv.RegisterScanOp("", opName, opSrc); err != nil {
+		if _, err := srv.RegisterScanOp("", o.name, o.src); err != nil {
 			fmt.Fprintln(os.Stderr, "scanload: register:", err)
 			os.Exit(1)
 		}
@@ -494,6 +656,8 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, opName, opSrc string, cli
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
+				oi := i % len(ops)
+				spec := ops[oi].spec
 				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
@@ -523,8 +687,8 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, opName, opSrc string, cli
 					return err
 				})
 				benchLat.add(time.Since(t0))
-				out.retries.Add(uint64(attempts - 1))
-				out.record(err)
+				outs[oi].retries.Add(uint64(attempts - 1))
+				outs[oi].record(err)
 			}
 		}(c)
 	}
@@ -539,8 +703,8 @@ func driveInProcess(cfg serve.Config, spec serve.Spec, opName, opSrc string, cli
 // redial: scans are pure, so resubmitting on a fresh connection is
 // safe, and a request only counts as lost once the retry budget is
 // exhausted without any classified response.
-func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir, opName, opSrc string,
-	timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, error) {
+func driveRemote(addr, proto string, clients, requests, n int, ops []opSpec, kind, dir string,
+	timeout time.Duration, policy serve.RetryPolicy, outs []*outcomes, stream bool, chunk int) (time.Duration, error) {
 	conns := make([]*serve.Client, clients)
 	for i := range conns {
 		c, err := serve.DialProto(addr, proto)
@@ -548,11 +712,14 @@ func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir, op
 			return 0, err
 		}
 		conns[i] = c
-		if opSrc != "" {
+		for _, o := range ops {
+			if o.src == "" {
+				continue
+			}
 			// Scans and streams run under each connection's default
-			// tenant, so the op is registered once per connection.
-			if _, err := c.RegisterOp(context.Background(), "", opName, opSrc); err != nil {
-				return 0, fmt.Errorf("register %q: %w", opName, err)
+			// tenant, so each op is registered once per connection.
+			if _, err := c.RegisterOp(context.Background(), "", o.name, o.src); err != nil {
+				return 0, fmt.Errorf("register %q: %w", o.name, err)
 			}
 		}
 	}
@@ -571,6 +738,8 @@ func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir, op
 			defer wg.Done()
 			data := randomData(int64(c), n)
 			for i := 0; i < requests/clients; i++ {
+				oi := i % len(ops)
+				op := ops[oi].op
 				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
@@ -598,14 +767,14 @@ func driveRemote(addr, proto string, clients, requests, n int, op, kind, dir, op
 						if fresh, derr := serve.DialProto(addr, proto); derr == nil {
 							conns[c].Close()
 							conns[c] = fresh
-							out.redials.Add(1)
+							outs[oi].redials.Add(1)
 						}
 					}
 					return err
 				})
 				benchLat.add(time.Since(t0))
-				out.retries.Add(uint64(attempts - 1))
-				out.record(err)
+				outs[oi].retries.Add(uint64(attempts - 1))
+				outs[oi].record(err)
 			}
 		}(c)
 	}
@@ -641,9 +810,9 @@ func isConnError(err error) bool {
 // coordinator. Giant scans split into per-worker shards exactly as they
 // would across hosts; the coordinator's own retry/hedge machinery is
 // live, and its stats are returned for the report.
-func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName, opSrc string, clients, requests, n int,
-	maxWait, timeout time.Duration, policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
-	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
+func driveCluster(nWorkers int, proto, dataPlane, vmDisp string, ops []opSpec, clients, requests, n int,
+	maxWait, timeout time.Duration, policy serve.RetryPolicy, outs []*outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, error) {
+	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15, VMDispatch: vmDisp}
 	workers := make([]*serve.NetServer, 0, nWorkers)
 	defer func() {
 		for _, w := range workers {
@@ -669,12 +838,15 @@ func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName
 		return 0, cluster.Stats{}, err
 	}
 	defer coord.Close()
-	if opSrc != "" {
+	for _, o := range ops {
+		if o.src == "" {
+			continue
+		}
 		// Each closed-loop client scans under its own fairness tenant,
 		// and user-op registries are tenant-scoped.
 		for c := 0; c < clients; c++ {
-			if _, err := coord.RegisterScanOp(fmt.Sprintf("client-%d", c), opName, opSrc); err != nil {
-				return 0, cluster.Stats{}, fmt.Errorf("register %q: %w", opName, err)
+			if _, err := coord.RegisterScanOp(fmt.Sprintf("client-%d", c), o.name, o.src); err != nil {
+				return 0, cluster.Stats{}, fmt.Errorf("register %q: %w", o.name, err)
 			}
 		}
 	}
@@ -688,6 +860,8 @@ func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName
 			data := randomData(int64(c), n)
 			tenant := fmt.Sprintf("client-%d", c)
 			for i := 0; i < requests/clients; i++ {
+				oi := i % len(ops)
+				spec := ops[oi].spec
 				t0 := time.Now()
 				attempts, err := policy.Do(context.Background(), func() error {
 					ctx := context.Background()
@@ -717,15 +891,15 @@ func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName
 					return err
 				})
 				benchLat.add(time.Since(t0))
-				out.retries.Add(uint64(attempts - 1))
-				out.record(err)
+				outs[oi].retries.Add(uint64(attempts - 1))
+				outs[oi].record(err)
 			}
 		}(c)
 	}
 	wg.Wait()
-	cst := coord.Stats()
-	out.xchgFallback.Store(cst.XchgFallbacks)
-	return time.Since(start), cst, nil
+	// The exchange-fallback tally is run-level (taken from the
+	// coordinator's ledger), so the caller attaches it to the aggregate.
+	return time.Since(start), coord.Stats(), nil
 }
 
 // driveFailover is driveCluster with a control-plane murder scheduled:
@@ -736,10 +910,10 @@ func driveCluster(nWorkers int, proto, dataPlane string, spec serve.Spec, opName
 // in-flight streams resume by token, bit-identically. Returns the
 // standby's stats (the coordinator that finishes the run) and the
 // failover gap in ms: primary killed → first standby-served request.
-func driveFailover(nWorkers int, proto string, spec serve.Spec, op, kind, dir string,
+func driveFailover(nWorkers int, proto, vmDisp string, spec serve.Spec, op, kind, dir string,
 	clients, requests, n int, maxWait, timeout, killAfter time.Duration,
 	policy serve.RetryPolicy, out *outcomes, stream bool, chunk int) (time.Duration, cluster.Stats, float64, error) {
-	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15}
+	wcfg := serve.Config{MaxWait: maxWait, QueueLimit: 1 << 15, VMDispatch: vmDisp}
 	workers := make([]*serve.NetServer, 0, nWorkers)
 	defer func() {
 		for _, w := range workers {

@@ -75,6 +75,8 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on DefaultServeMux; served only with -pprof
 	"os"
 	"os/signal"
 	"strconv"
@@ -130,8 +132,21 @@ func main() {
 	chaosSpec = flag.String("chaos", "", "arm fault points: name:prob[:duration],... (see package doc)")
 		chaosSeed = flag.Int64("chaos-seed", 1, "fault-injection RNG seed")
 		xchgRound = flag.Duration("xchg-round-timeout", 2*time.Second, "worker: per-round deadline for the exchange data plane's carry rounds")
+		vmDisp    = flag.String("vm-dispatch", serve.VMDispatchVector, "user combine-op execution: vector (lane-blocked engine + native promotion) or scalar (per-element interpreter)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060; empty = off)")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank
+			// import; nothing else registers on it here.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "scansd: pprof:", err)
+			}
+		}()
+		fmt.Println("scansd pprof on http://" + *pprofAddr + "/debug/pprof/")
+	}
 
 	faults, err := parseChaos(*chaosSpec, *chaosSeed)
 	if err != nil {
@@ -211,6 +226,7 @@ func main() {
 			Workers:          *kworkers,
 			Executors:        *executors,
 			OpCap:            *opCap,
+			VMDispatch:       *vmDisp,
 			Faults:           faults,
 		}, ncfg)
 		if err != nil {

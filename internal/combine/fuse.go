@@ -1,0 +1,151 @@
+package combine
+
+// Superinstruction fusion: a peephole pass over the compiled vector
+// code that inlines cheap moves into their consumers, so the hot
+// push/push/arith shapes the golden examples compile to become ONE
+// vector instruction reading both arguments straight from the strided
+// input tuples. `arga 0; argb 0; add` lowers to
+//
+//	mov r0, a[0]
+//	mov r1, b[0]
+//	add r2, r0, r1
+//
+// and fuses to the single superinstruction `add r0, a[0], b[0]` — one
+// dispatch, two strided loads, one store per lane, which is what lets
+// the engine approach the native kernels' instruction mix.
+//
+// Inlining rules:
+//   - a mov from a constant or another register is inlined into every
+//     use (it is pure renaming);
+//   - a mov from an argument field (srcA/srcB) is inlined only when the
+//     register has a single use — inlining a multi-use argument load
+//     would re-read memory per use instead of once into a row.
+//
+// After inlining, dead moves are swept backward (an instruction is live
+// iff its register feeds the output tuple or a live instruction) and
+// registers are renumbered compactly so VecScratch rows stay tight.
+func fusePlan(vp *VecPlan) {
+	code := vp.code
+	if len(code) == 0 {
+		return
+	}
+
+	// Use counts per register over instruction operands and outputs.
+	// Only ACTIVE operand slots count — an unused y/z slot is the zero
+	// operand, which happens to name register 0.
+	uses := make([]int, vp.nreg)
+	countOp := func(o operand) {
+		if o.kind == srcReg {
+			uses[o.idx]++
+		}
+	}
+	for i := range code {
+		for _, o := range activeOps(&code[i]) {
+			countOp(*o)
+		}
+	}
+	for _, o := range vp.out {
+		countOp(o)
+	}
+
+	// Forward pass: rewrite operands through the replacement map, then
+	// decide whether this instruction becomes a replacement itself.
+	repl := make([]*operand, vp.nreg)
+	resolve := func(o operand) operand {
+		for o.kind == srcReg && repl[o.idx] != nil {
+			o = *repl[o.idx]
+		}
+		return o
+	}
+	live := make([]bool, len(code))
+	for i := range code {
+		in := &code[i]
+		for _, o := range activeOps(in) {
+			*o = resolve(*o)
+		}
+		if in.op == vMov {
+			src := in.x
+			inline := false
+			switch src.kind {
+			case srcImm, srcReg:
+				inline = true
+			case srcA, srcB:
+				inline = uses[in.dst] <= 1
+			}
+			if inline {
+				s := src
+				repl[in.dst] = &s
+				continue // instruction dropped; DCE confirms below
+			}
+		}
+		live[i] = true
+	}
+	for i := range vp.out {
+		vp.out[i] = resolve(vp.out[i])
+	}
+
+	// Backward DCE: an instruction is live iff its dst is needed.
+	needed := make([]bool, vp.nreg)
+	for _, o := range vp.out {
+		if o.kind == srcReg {
+			needed[o.idx] = true
+		}
+	}
+	for i := len(code) - 1; i >= 0; i-- {
+		if !live[i] || !needed[code[i].dst] {
+			live[i] = false
+			continue
+		}
+		for _, o := range activeOps(&code[i]) {
+			if o.kind == srcReg {
+				needed[o.idx] = true
+			}
+		}
+	}
+
+	// Compact: renumber surviving registers in definition order.
+	remap := make([]uint16, vp.nreg)
+	for i := range remap {
+		remap[i] = ^uint16(0)
+	}
+	out := code[:0]
+	nreg := 0
+	for i := range code {
+		if !live[i] {
+			continue
+		}
+		in := code[i]
+		for _, o := range activeOps(&in) {
+			*o = remapOp(*o, remap)
+		}
+		remap[in.dst] = uint16(nreg)
+		in.dst = uint16(nreg)
+		nreg++
+		out = append(out, in)
+	}
+	for i := range vp.out {
+		vp.out[i] = remapOp(vp.out[i], remap)
+	}
+	vp.code = out
+	vp.nreg = nreg
+}
+
+func remapOp(o operand, remap []uint16) operand {
+	if o.kind == srcReg {
+		o.idx = remap[o.idx]
+	}
+	return o
+}
+
+// activeOps returns pointers to the operand slots an instruction
+// actually reads (vMov/vUn: x; vBin: x,y; vSel: x,y,z).
+func activeOps(in *vinstr) []*operand {
+	switch in.op {
+	case vBin:
+		return []*operand{&in.x, &in.y}
+	case vSel:
+		return []*operand{&in.x, &in.y, &in.z}
+	default:
+		return []*operand{&in.x}
+	}
+}

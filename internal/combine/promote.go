@@ -1,0 +1,107 @@
+package combine
+
+// Native promotion: a registered program whose FUSED plan is
+// structurally the canonical form of a builtin monoid — one binary
+// superinstruction combining field 0 of each argument, with the
+// builtin's identity — doesn't need the VM at all. The serving layer
+// routes such ops straight to the native segmented view kernels, so a
+// tenant who ships `arga 0; argb 0; add` pays exactly what `sum` pays.
+//
+// Detection runs on the plan, not the source: any program the compiler
+// canonicalizes to the same superinstruction (operand-order shuffles,
+// dead locals, folded constants, redundant ret) promotes identically.
+// The registration's op_hash is untouched — promotion is a dispatch
+// decision, not a semantic change, and cluster hash propagation keys on
+// the program the tenant shipped.
+//
+// The identity check is belt-and-braces: validation already forces the
+// identity (f(e,x) = x pins e for these monoids), but promotion must
+// never hand the native kernels an op whose exclusive-scan seed
+// differs from theirs.
+
+// Promotion names the builtin kernel a plan is structurally equal to
+// (PromoteNone if it must run on the vector or scalar engine).
+type Promotion uint8
+
+const (
+	PromoteNone Promotion = iota
+	PromoteAdd
+	PromoteMul
+	PromoteMax
+	PromoteMin
+)
+
+func (p Promotion) String() string {
+	switch p {
+	case PromoteAdd:
+		return "add"
+	case PromoteMul:
+		return "mul"
+	case PromoteMax:
+		return "max"
+	case PromoteMin:
+		return "min"
+	}
+	return "none"
+}
+
+// detectPromotion inspects a fused plan for the canonical shape: width
+// 1, exactly one instruction, a vBin over arga[0] and argb[0] (either
+// operand order — the promotable monoids are all commutative), whose
+// result is the output, with the matching builtin identity.
+func detectPromotion(vp *VecPlan, p *Program) Promotion {
+	if vp.width != 1 || len(vp.code) != 1 || len(vp.out) != 1 {
+		return PromoteNone
+	}
+	in := vp.code[0]
+	if in.op != vBin {
+		return PromoteNone
+	}
+	if vp.out[0].kind != srcReg || vp.out[0].idx != in.dst {
+		return PromoteNone
+	}
+	x, y := in.x, in.y
+	ab := x.kind == srcA && x.idx == 0 && y.kind == srcB && y.idx == 0
+	ba := x.kind == srcB && x.idx == 0 && y.kind == srcA && y.idx == 0
+	if !ab && !ba {
+		return PromoteNone
+	}
+	id := p.Identity[0]
+	switch in.sub {
+	case OpAdd:
+		if id == 0 {
+			return PromoteAdd
+		}
+	case OpMul:
+		if id == 1 {
+			return PromoteMul
+		}
+	case OpMax:
+		if id == minInt64 {
+			return PromoteMax
+		}
+	case OpMin:
+		if id == maxInt64 {
+			return PromoteMin
+		}
+	}
+	return PromoteNone
+}
+
+// Promotion reports the plan's native-kernel promotion.
+func (vp *VecPlan) Promotion() Promotion { return vp.promo }
+
+// DispatchClass labels how a program executes, for stats and bench
+// metadata: "native" (promoted), "vector" (lane-blocked plan), or
+// "scalar" (per-element Exec fallback).
+func DispatchClass(p *Program) string {
+	vp := CompileVec(p)
+	switch {
+	case vp == nil:
+		return "scalar"
+	case vp.promo != PromoteNone:
+		return "native"
+	default:
+		return "vector"
+	}
+}

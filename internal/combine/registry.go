@@ -60,10 +60,25 @@ type Registered struct {
 	Prog   *Program
 	Hash   uint64
 	Source string
+
+	// planOnce/plan cache the compiled vector plan (vector.go). Lazy so
+	// paths that never serve the op (pure hash propagation) skip the
+	// compile; Once so concurrent executors share one plan. nil plan ==
+	// scalar fallback.
+	planOnce sync.Once
+	plan     *VecPlan
 }
 
 // Width returns the op's tuple width.
 func (r *Registered) Width() int { return r.Prog.Width }
+
+// Plan returns the op's compiled vector plan, or nil when the program
+// needs scalar execution (irreducible control flow — gcd's loop).
+// Compiled once per registration and shared; plans are immutable.
+func (r *Registered) Plan() *VecPlan {
+	r.planOnce.Do(func() { r.plan = CompileVec(r.Prog) })
+	return r.plan
+}
 
 // encode appends the program's canonical binary encoding: magic,
 // width, identity fields, then per instruction the opcode byte plus

@@ -60,6 +60,10 @@ type execScratch struct {
 	groups map[Spec][]*Future
 	order  []Spec
 	views  []scan.View[int64]
+	// vec is the lane-blocked engine's register scratch, created on the
+	// first vector-dispatched user-op group this executor serves and
+	// reused forever after — vector lane blocks never touch the GC.
+	vec *combine.VecScratch
 }
 
 func newExecScratch() *execScratch {
@@ -106,9 +110,18 @@ func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 		panic("fault: injected kernel panic")
 	}
 	if spec.Op == OpUser {
-		return s.runUserGroup(spec, reqs)
+		return s.runUserGroup(sc, spec, reqs)
 	}
-	n := 0
+	n, served := s.runViewsGroup(sc, spec, reqs)
+	s.stats.served.Add(uint64(served))
+	return n
+}
+
+// runViewsGroup stages one group's requests as views, runs a single
+// native kernel pass under kspec, and scatters the results. kspec may
+// differ from the futures' own Spec: promoted user ops run here under
+// the builtin kernel their program is structurally equal to.
+func (s *Server) runViewsGroup(sc *execScratch, kspec Spec, reqs []*Future) (n, served int) {
 	sc.views = sc.views[:0]
 	for _, f := range reqs {
 		n += f.nelems()
@@ -122,8 +135,7 @@ func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	// One kernel pass for the whole group, straight over the request
 	// payloads (Src) into per-request arena buffers (Dst): no fused
 	// vector, no flags, no copies.
-	runSegmentedViews(spec, sc.views, s.cfg.Workers)
-	served := 0
+	runSegmentedViews(kspec, sc.views, s.cfg.Workers)
 	for i, f := range reqs {
 		if f.complete(sc.views[i].Dst, nil) {
 			served++
@@ -135,35 +147,90 @@ func (s *Server) runGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	}
 	clear(sc.views) // release Dst/Src references; buffers now owned by waiters
 	sc.views = sc.views[:0]
-	s.stats.served.Add(uint64(served))
-	return n
+	return n, served
 }
 
-// runUserGroup serves one user-op group through the combine VM: the
-// same view semantics as the builtin kernels (each request is its own
-// segment; carry-seeded chunks fold their carry in at the segment
-// head), generalized to tuple widths and walked serially tuple by
-// tuple. Serial is deliberate — the VM combine is opaque to the
-// blocked kernels' reassociation, and a user monoid need not be
-// commutative, so the only universally correct order is the scan
-// order itself.
+// promotedOp maps a registration's plan promotion to the builtin Op it
+// is structurally equal to.
+func promotedOp(reg *combine.Registered) (Op, bool) {
+	vp := reg.Plan()
+	if vp == nil {
+		return 0, false
+	}
+	switch vp.Promotion() {
+	case combine.PromoteAdd:
+		return OpSum, true
+	case combine.PromoteMul:
+		return OpMul, true
+	case combine.PromoteMax:
+		return OpMax, true
+	case combine.PromoteMin:
+		return OpMin, true
+	}
+	return 0, false
+}
+
+// runUserGroup serves one user-op group with the best dispatch its
+// registration compiles to (combine/vector.go), cheapest first:
+//
+//   - native: the fused plan is structurally a builtin monoid, so the
+//     whole group runs ONE native segmented kernel pass under that
+//     builtin's Spec — the VM is out of the loop entirely;
+//   - vector: requests of at least MinVecTuples run the lane-blocked
+//     engine's blocked two-pass scan (reassociation is sound: the op
+//     was validated associative at registration); smaller requests
+//     keep the serial walk;
+//   - scalar: programs with irreducible control flow (gcd's loop), or
+//     Config.VMDispatch == "scalar", walk tuple by tuple through Exec
+//     exactly as PR 9 shipped.
+//
+// All three produce bit-identical results (FuzzVMMatchesNative and
+// FuzzVectorizedMatchesScalar pin this).
 //
 // Failure isolation is per REQUEST, not per group: a view whose op
 // blows its step budget (ErrOpBudget, data-dependent — validation
-// cannot see every input) or faults fails only its own future; the
-// rest of the group is served normally. Nothing here panics on VM
-// errors, so a budget blowout never poisons the batch.
-func (s *Server) runUserGroup(spec Spec, reqs []*Future) int {
+// cannot see every input, and only the scalar path can still trip it:
+// a compiled plan provably cannot fault or exceed the budget) fails
+// only its own future; the rest of the group is served normally.
+// Nothing here panics on VM errors, so a budget blowout never poisons
+// the batch.
+func (s *Server) runUserGroup(sc *execScratch, spec Spec, reqs []*Future) int {
 	reg := spec.reg
 	if reg == nil {
 		panic("serve: runUserGroup: user op " + spec.User + " reached the executor unbound")
 	}
+	var vp *combine.VecPlan
+	if s.cfg.vmVector() {
+		if op, ok := promotedOp(reg); ok {
+			kspec := Spec{Op: op, Kind: spec.Kind, Dir: spec.Dir}
+			n, served := s.runViewsGroup(sc, kspec, reqs)
+			s.stats.served.Add(uint64(served))
+			s.stats.vmPromoted.Add(uint64(len(reqs)))
+			if served > 0 {
+				s.stats.recordUserServed(reg.Tenant, reg.Name, uint64(served))
+			}
+			return n
+		}
+		if vp = reg.Plan(); vp != nil && sc.vec == nil {
+			sc.vec = combine.NewVecScratch()
+		}
+	}
 	var fr combine.Frame
+	w := reg.Width()
 	n, served := 0, 0
 	for _, f := range reqs {
 		n += f.nelems()
 		dst := arena.GetInt64s(len(f.data))
-		if err := execUserView(reg.Prog, &fr, spec, dst, f.data, f.carry, f.seeded); err != nil {
+		var err error
+		if vp != nil && len(f.data)/w >= combine.MinVecTuples {
+			err = vp.ScanBlocked(sc.vec, reg.Prog, dst, f.data,
+				spec.Kind == Inclusive, spec.Dir == Backward, f.carry, f.seeded)
+			s.stats.vmVector.Add(1)
+		} else {
+			err = execUserView(reg.Prog, &fr, spec, dst, f.data, f.carry, f.seeded)
+			s.stats.vmScalar.Add(1)
+		}
+		if err != nil {
 			arena.PutInt64s(dst)
 			if errors.Is(err, combine.ErrBudget) {
 				s.stats.opBudgetFails.Add(1)

@@ -332,6 +332,17 @@ type Config struct {
 	// <= 0 means combine.DefaultPerTenantCap.
 	OpCap int
 
+	// VMDispatch selects how user combine ops execute:
+	// VMDispatchVector (the default) compiles each registration to a
+	// lane-blocked vector plan — programs canonical to a builtin monoid
+	// promote all the way to the native kernels — falling back to
+	// per-element Exec only for programs with irreducible control flow
+	// or sub-MinVecTuples requests; VMDispatchScalar forces the
+	// per-element interpreter everywhere (the PR 9 baseline, kept for
+	// benchmarking and bit-identity comparisons). Results are
+	// bit-identical either way.
+	VMDispatch string
+
 	// legacyFlatten selects the pre-zero-copy group path (flatten into a
 	// fused src/flags vector, results as subslices of a fresh output).
 	// Benchmark baseline only: its results are not arena-backed, so it
@@ -360,9 +371,22 @@ func (c Config) withDefaults() Config {
 	if c.QueueLimit <= 0 {
 		c.QueueLimit = 4096
 	}
+	if c.VMDispatch == "" {
+		c.VMDispatch = VMDispatchVector
+	}
 	c.Executors = scan.Workers(c.Executors)
 	return c
 }
+
+// VMDispatch values for Config.
+const (
+	VMDispatchVector = "vector"
+	VMDispatchScalar = "scalar"
+)
+
+// vmVector reports whether the config wants vectorized user-op
+// dispatch (anything but an explicit "scalar").
+func (c Config) vmVector() bool { return c.VMDispatch != VMDispatchScalar }
 
 // Req is one scan request. Spec and Data are required; Tenant
 // optionally names the submitter for the batcher's weighted fair pick
@@ -996,6 +1020,13 @@ func CombineSpec(s Spec, fr *combine.Frame, a, b int64) (int64, error) {
 	}
 	if s.reg == nil {
 		return 0, fmt.Errorf("%w: user op %q is unbound", ErrInternal, s.User)
+	}
+	// Promoted registrations (structurally a builtin monoid) fold with
+	// the native combine — this is the carry path streams, the cluster
+	// planner, and the exchange plane all share, so a promoted op pays
+	// native cost end to end, not just in the batch kernels.
+	if op, ok := promotedOp(s.reg); ok {
+		return Combine(op, a, b), nil
 	}
 	v, err := s.reg.Prog.ExecScalar(fr, a, b)
 	if err != nil {

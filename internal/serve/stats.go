@@ -52,6 +52,14 @@ type stats struct {
 	opBudgetFails atomic.Uint64
 	opMu          sync.Mutex
 	opServed      map[string]uint64 // "tenant:name" → requests served
+
+	// User-op dispatch-class counters (requests, not groups): promoted
+	// ops ran a native kernel pass, vector ops the lane-blocked engine,
+	// scalar ops the per-element interpreter (irreducible control flow,
+	// sub-MinVecTuples requests, or VMDispatch == "scalar").
+	vmPromoted atomic.Uint64
+	vmVector   atomic.Uint64
+	vmScalar   atomic.Uint64
 }
 
 // recordUserServed bumps the per-registration serve counter.
@@ -153,6 +161,14 @@ type Stats struct {
 	OpRegisters   uint64
 	OpRejects     uint64
 	OpBudgetFails uint64
+	// VMPromotedReqs / VMVectorReqs / VMScalarReqs split user-op
+	// requests by dispatch class: native-kernel promotion, the
+	// lane-blocked vector engine, or the per-element scalar
+	// interpreter. Their sum is the total user-op requests dispatched
+	// (including ones that later failed their step budget).
+	VMPromotedReqs uint64
+	VMVectorReqs   uint64
+	VMScalarReqs   uint64
 	// UserOps maps "tenant:name" to requests served through that
 	// registration (replacements under one name share the key).
 	UserOps map[string]uint64
@@ -174,12 +190,14 @@ func (s Stats) String() string {
 			"batches=%d groups=%d fused_elems=%d occupancy{p50=%d p99=%d max=%d} "+
 			"streams{open=%d closed=%d failed=%d expired=%d active=%d} "+
 			"user_ops{registered=%d rejected=%d budget_fails=%d served=%d} "+
+			"vm_dispatch{promoted=%d vector=%d scalar=%d} "+
 			"arena{bytes_pooled=%d misses=%d}",
 		s.Requests, s.Rejected, s.Served, s.DeadlineDrops, s.Shed, s.Panics, s.PanicFailed, s.CorruptDrops,
 		s.Batches, s.Groups, s.FusedElements,
 		s.P50Occupancy, s.P99Occupancy, s.MaxOccupancy,
 		s.StreamsOpened, s.StreamsClosed, s.StreamsFailed, s.StreamsExpired, s.StreamsActive,
 		s.OpRegisters, s.OpRejects, s.OpBudgetFails, s.userServedTotal(),
+		s.VMPromotedReqs, s.VMVectorReqs, s.VMScalarReqs,
 		s.BytesPooled, s.ArenaMisses)
 }
 
@@ -220,6 +238,10 @@ func (s *Server) Stats() Stats {
 		OpRegisters:   st.opRegisters.Load(),
 		OpRejects:     st.opRejects.Load(),
 		OpBudgetFails: st.opBudgetFails.Load(),
+
+		VMPromotedReqs: st.vmPromoted.Load(),
+		VMVectorReqs:   st.vmVector.Load(),
+		VMScalarReqs:   st.vmScalar.Load(),
 	}
 	st.opMu.Lock()
 	if len(st.opServed) > 0 {

@@ -150,35 +150,49 @@ const maxSteadyUserOpAllocs = maxSteadyScanAllocs + 2
 // registered monoid served through the batch path must stay within a
 // fixed allocs/request budget, or the "no allocation beyond a
 // per-executor scratch frame" contract of internal/combine has broken.
+// All three dispatch classes are pinned: scalar (gcd's loop), vector
+// (satadd's lane blocks must come from the per-executor VecScratch,
+// not the GC), and native-promoted (add).
 func TestAllocsSteadyStateUserOpScan(t *testing.T) {
 	if raceEnabled {
 		t.Skip("alloc-free pooling is not observable under -race (sync.Pool drops Puts)")
 	}
-	s := New(Config{MaxWait: 50 * time.Microsecond})
-	defer s.Close()
-	if _, err := s.RegisterScanOp("", "gcd", combine.ExampleGCD); err != nil {
-		t.Fatal(err)
+	cases := []struct {
+		name, source, class string
+	}{
+		{"gcd", combine.ExampleGCD, "scalar"},
+		{"satadd", combine.ExampleSatAdd, "vector"},
+		{"add", combine.ExampleAdd, "native"},
 	}
-	spec, err := ParseSpec("user:gcd", "inclusive", "")
-	if err != nil {
-		t.Fatal(err)
-	}
-	data := make([]int64, 256)
-	for i := range data {
-		data[i] = int64((i%9 + 1) * 12)
-	}
-	ctx := context.Background()
-	run := func() {
-		res, err := s.Scan(ctx, spec, data, "")
-		if err != nil {
-			t.Fatal(err)
-		}
-		arena.PutInt64s(res)
-	}
-	for i := 0; i < 100; i++ {
-		run()
-	}
-	if avg := testing.AllocsPerRun(200, run); avg > maxSteadyUserOpAllocs {
-		t.Errorf("steady-state user-op Scan allocates %.1f objects/request, want <= %d — the combine VM path has grown a per-request allocation", avg, maxSteadyUserOpAllocs)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := New(Config{MaxWait: 50 * time.Microsecond})
+			defer s.Close()
+			if _, err := s.RegisterScanOp("", tc.name, tc.source); err != nil {
+				t.Fatal(err)
+			}
+			spec, err := ParseSpec("user:"+tc.name, "inclusive", "")
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := make([]int64, 256)
+			for i := range data {
+				data[i] = int64((i%9 + 1) * 12)
+			}
+			ctx := context.Background()
+			run := func() {
+				res, err := s.Scan(ctx, spec, data, "")
+				if err != nil {
+					t.Fatal(err)
+				}
+				arena.PutInt64s(res)
+			}
+			for i := 0; i < 100; i++ {
+				run()
+			}
+			if avg := testing.AllocsPerRun(200, run); avg > maxSteadyUserOpAllocs {
+				t.Errorf("steady-state %s-dispatch user-op Scan allocates %.1f objects/request, want <= %d — the combine VM path has grown a per-request allocation", tc.class, avg, maxSteadyUserOpAllocs)
+			}
+		})
 	}
 }
